@@ -1,0 +1,60 @@
+// Fig. 7(b): effect of the table-tree depth on checking XML key
+// propagation — Algorithm propagation vs Algorithm GminimumCover
+// (minimum cover + relational implication + null check), with
+// fields = 15 and keys = 10, depth varying from 2 to 20 (the paper chose
+// these "based on the average tree depth found in real XML data").
+//
+// Paper shape to reproduce: both algorithms are rather insensitive to
+// depth; propagation is much faster than GminimumCover end to end
+// (EXPERIMENTS.md, experiment F7B).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/gminimum_cover.h"
+#include "core/propagation.h"
+
+namespace xmlprop {
+namespace {
+
+constexpr size_t kFields = 15;
+constexpr size_t kKeys = 10;
+
+void BM_Propagation(benchmark::State& state) {
+  SyntheticWorkload w = bench::MustMakeWorkload(
+      kFields, static_cast<size_t>(state.range(0)), kKeys);
+  Fd fd = bench::FullWalkFd(w);
+  PropagationStats stats;
+  for (auto _ : state) {
+    Result<bool> r = CheckPropagation(w.keys, w.table, fd, &stats);
+    if (!r.ok()) state.SkipWithError("propagation errored");
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["implication_calls_per_check"] =
+      static_cast<double>(stats.implication_calls) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Propagation)
+    ->ArgName("depth")
+    ->DenseRange(2, 20, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GminimumCover(benchmark::State& state) {
+  SyntheticWorkload w = bench::MustMakeWorkload(
+      kFields, static_cast<size_t>(state.range(0)), kKeys);
+  Fd fd = bench::FullWalkFd(w);
+  for (auto _ : state) {
+    Result<bool> r = CheckPropagationViaCover(w.keys, w.table, fd);
+    if (!r.ok()) state.SkipWithError("propagation errored");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_GminimumCover)
+    ->ArgName("depth")
+    ->DenseRange(2, 20, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace xmlprop
+
+BENCHMARK_MAIN();

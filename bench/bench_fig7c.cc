@@ -1,0 +1,55 @@
+// Fig. 7(c): effect of the number of XML keys on checking propagation —
+// Algorithm propagation vs Algorithm GminimumCover, fields = 15,
+// depth = 10, keys varying from 10 to 100.
+//
+// Paper shape to reproduce: propagation grows roughly linearly in the
+// number of keys; GminimumCover is hit harder (it analyses all keys at
+// every table-tree node and its minimize step grows with the FD count).
+// See EXPERIMENTS.md, experiment F7C.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/gminimum_cover.h"
+#include "core/propagation.h"
+
+namespace xmlprop {
+namespace {
+
+constexpr size_t kFields = 15;
+constexpr size_t kDepth = 10;
+
+void BM_Propagation(benchmark::State& state) {
+  SyntheticWorkload w = bench::MustMakeWorkload(
+      kFields, kDepth, static_cast<size_t>(state.range(0)));
+  Fd fd = bench::FullWalkFd(w);
+  for (auto _ : state) {
+    Result<bool> r = CheckPropagation(w.keys, w.table, fd);
+    if (!r.ok()) state.SkipWithError("propagation errored");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Propagation)
+    ->ArgName("keys")
+    ->DenseRange(10, 100, 10)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GminimumCover(benchmark::State& state) {
+  SyntheticWorkload w = bench::MustMakeWorkload(
+      kFields, kDepth, static_cast<size_t>(state.range(0)));
+  Fd fd = bench::FullWalkFd(w);
+  for (auto _ : state) {
+    Result<bool> r = CheckPropagationViaCover(w.keys, w.table, fd);
+    if (!r.ok()) state.SkipWithError("propagation errored");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_GminimumCover)
+    ->ArgName("keys")
+    ->DenseRange(10, 100, 10)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace xmlprop
+
+BENCHMARK_MAIN();

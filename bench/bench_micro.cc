@@ -1,0 +1,201 @@
+// Micro-benchmarks and ablations for the substrates behind the Section 6
+// numbers: path containment (the inner loop of Algorithm implication),
+// key implication itself, key satisfaction checking, XML parsing, and
+// transformation evaluation. The `minimize` ablation separates the raw
+// FD-generation cost of Algorithm minimumCover from its final
+// minimization pass (a design choice DESIGN.md calls out).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/minimum_cover.h"
+#include "keys/implication.h"
+#include "keys/satisfaction.h"
+#include "relational/cover.h"
+#include "keys/incremental.h"
+#include "synth/doc_generator.h"
+#include "transform/eval.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace xmlprop {
+namespace {
+
+PathExpr MustPath(const char* text) {
+  Result<PathExpr> p = PathExpr::Parse(text);
+  if (!p.ok()) std::abort();
+  return std::move(p).value();
+}
+
+void BM_PathContainment(benchmark::State& state) {
+  // Worst-ish case for the DP: wildcards on both sides.
+  PathExpr super = MustPath("//a//b//c//d//e");
+  PathExpr sub = MustPath("x/a/y/b/z/c/w/d/v/e");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PathContains(super, sub));
+  }
+}
+BENCHMARK(BM_PathContainment);
+
+void BM_PathEval(benchmark::State& state) {
+  Rng rng(7);
+  RandomTreeSpec spec;
+  spec.max_depth = 6;
+  spec.max_children = 4;
+  Tree tree = RandomTree(spec, &rng);
+  PathExpr path = MustPath("//book/chapter/@number");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(path.EvalFromRoot(tree));
+  }
+  state.counters["tree_nodes"] = static_cast<double>(tree.size());
+}
+BENCHMARK(BM_PathEval);
+
+void BM_Implication(benchmark::State& state) {
+  SyntheticWorkload w = bench::MustMakeWorkload(
+      15, 10, static_cast<size_t>(state.range(0)));
+  // The query Algorithm propagation issues at the deepest level.
+  XmlKey phi("", MustPath("//n1/n2/n3/n4/n5/n6/n7/n8/n9"),
+             MustPath("n10"), {"k10"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ImpliesIdentification(w.keys, phi));
+  }
+}
+BENCHMARK(BM_Implication)->ArgName("keys")->Arg(10)->Arg(50)->Arg(100);
+
+void BM_KeySatisfaction(benchmark::State& state) {
+  Rng rng(11);
+  RandomTreeSpec spec;
+  spec.max_depth = 6;
+  spec.max_children = 4;
+  Result<XmlKey> key = XmlKey::Parse("(//book, (chapter, {@number}))");
+  if (!key.ok()) std::abort();
+  Result<Tree> tree = RandomSatisfyingTree(spec, {*key}, &rng);
+  if (!tree.ok()) std::abort();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Satisfies(*tree, *key));
+  }
+  state.counters["tree_nodes"] = static_cast<double>(tree->size());
+}
+BENCHMARK(BM_KeySatisfaction);
+
+void BM_XmlParse(benchmark::State& state) {
+  Rng rng(13);
+  RandomTreeSpec spec;
+  spec.max_depth = static_cast<int>(state.range(0));
+  spec.max_children = 4;
+  std::string xml = WriteXml(RandomTree(spec, &rng));
+  for (auto _ : state) {
+    Result<Tree> t = ParseXml(xml);
+    if (!t.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xml.size()));
+}
+BENCHMARK(BM_XmlParse)->ArgName("max_depth")->Arg(4)->Arg(6)->Arg(8);
+
+void BM_TransformEval(benchmark::State& state) {
+  Rng rng(17);
+  SyntheticWorkload w = bench::MustMakeWorkload(10, 3, 5);
+  RandomTreeSpec spec;
+  spec.labels = {"n1", "n2", "n3", "e1", "e3"};
+  spec.attributes = {"k1", "k2", "k3", "a0", "a2"};
+  spec.max_depth = 5;
+  Result<Tree> tree = RandomSatisfyingTree(spec, w.keys, &rng);
+  if (!tree.ok()) std::abort();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalTableTree(*tree, w.table));
+  }
+}
+BENCHMARK(BM_TransformEval);
+
+// Ablation: per-fragment validation during bulk import — the
+// IncrementalChecker's indexed checking vs a full batch re-check after
+// every fragment (what a naive importer would do). The incremental cost
+// per append is independent of how much has been imported already.
+void BM_ImportIncremental(benchmark::State& state) {
+  Result<std::vector<XmlKey>> keys =
+      ParseKeySet("(ε, (//book, {@isbn}))\n(//book, (chapter, {@number}))");
+  if (!keys.ok()) std::abort();
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    IncrementalChecker checker(*keys);
+    for (int i = 0; i < n; ++i) {
+      Tree fragment("book");
+      fragment.CreateAttribute(fragment.root(), "isbn", std::to_string(i))
+          .ok();
+      NodeId ch = fragment.CreateElement(fragment.root(), "chapter");
+      fragment.CreateAttribute(ch, "number", "1").ok();
+      benchmark::DoNotOptimize(checker.Append(fragment));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ImportIncremental)
+    ->ArgName("books")
+    ->Arg(100)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ImportBatchRecheck(benchmark::State& state) {
+  Result<std::vector<XmlKey>> keys =
+      ParseKeySet("(ε, (//book, {@isbn}))\n(//book, (chapter, {@number}))");
+  if (!keys.ok()) std::abort();
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Tree doc("r");
+    for (int i = 0; i < n; ++i) {
+      NodeId book = doc.CreateElement(doc.root(), "book");
+      doc.CreateAttribute(book, "isbn", std::to_string(i)).ok();
+      NodeId ch = doc.CreateElement(book, "chapter");
+      doc.CreateAttribute(ch, "number", "1").ok();
+      benchmark::DoNotOptimize(CheckAll(doc, *keys));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ImportBatchRecheck)
+    ->ArgName("books")
+    ->Arg(100)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+// Ablation: FD generation vs the trailing minimize() pass.
+void BM_CoverRawGeneration(benchmark::State& state) {
+  SyntheticWorkload w = bench::MustMakeWorkload(
+      static_cast<size_t>(state.range(0)), 10, 10);
+  for (auto _ : state) {
+    Result<FdSet> raw = PropagatedCoverRaw(w.keys, w.table);
+    if (!raw.ok()) state.SkipWithError("raw cover failed");
+    benchmark::DoNotOptimize(raw);
+  }
+}
+BENCHMARK(BM_CoverRawGeneration)
+    ->ArgName("fields")
+    ->Arg(50)
+    ->Arg(200)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CoverMinimizeOnly(benchmark::State& state) {
+  SyntheticWorkload w = bench::MustMakeWorkload(
+      static_cast<size_t>(state.range(0)), 10, 10);
+  Result<FdSet> raw = PropagatedCoverRaw(w.keys, w.table);
+  if (!raw.ok()) std::abort();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Minimize(*raw));
+  }
+  state.counters["raw_fds"] = static_cast<double>(raw->size());
+}
+BENCHMARK(BM_CoverMinimizeOnly)
+    ->ArgName("fields")
+    ->Arg(50)
+    ->Arg(200)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xmlprop
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// Macro benchmark: the whole pipeline on a realistically-sized corpus —
+// a generated DBLP-like bibliography (conf → year → paper → title) with
+// relative keys. Measures the end-to-end stages a consumer warehouse
+// would run: parse, key check, shredding, minimum cover + BCNF design,
+// and XML publishing of the shredded instance.
+
+#include <benchmark/benchmark.h>
+
+#include "core/design_advisor.h"
+#include "core/publish.h"
+#include "keys/satisfaction.h"
+#include "transform/eval.h"
+#include "transform/rule_parser.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace xmlprop {
+namespace {
+
+constexpr const char* kKeys = R"(
+KC: (ε, (//conf, {@id}))
+KY: (//conf, (year, {@y}))
+KP: (//conf/year, (paper, {@no}))
+KT: (//conf/year/paper, (title, {}))
+)";
+
+constexpr const char* kRule = R"(
+rule Bib {
+  confId:  value(CI)
+  year:    value(YY)
+  paperNo: value(PN)
+  title:   value(TV)
+  C  := Xr//conf
+  CI := C/@id
+  Y  := C/year
+  YY := Y/@y
+  P  := Y/paper
+  PN := P/@no
+  T  := P/title
+  TV := T/@text
+}
+)";
+
+// A bibliography with `confs` conferences × 4 years × 8 papers.
+Tree MakeCorpus(int confs) {
+  Tree doc("r");
+  for (int c = 0; c < confs; ++c) {
+    NodeId conf = doc.CreateElement(doc.root(), "conf");
+    doc.CreateAttribute(conf, "id", "conf" + std::to_string(c)).ok();
+    for (int y = 0; y < 4; ++y) {
+      NodeId year = doc.CreateElement(conf, "year");
+      doc.CreateAttribute(year, "y", std::to_string(2000 + y)).ok();
+      for (int p = 0; p < 8; ++p) {
+        NodeId paper = doc.CreateElement(year, "paper");
+        doc.CreateAttribute(paper, "no", std::to_string(p)).ok();
+        NodeId title = doc.CreateElement(paper, "title");
+        doc.CreateAttribute(title, "text",
+                            "p" + std::to_string(c * 100 + y * 10 + p))
+            .ok();
+      }
+    }
+  }
+  return doc;
+}
+
+struct Fixture {
+  std::vector<XmlKey> keys;
+  TableRule rule;
+  TableTree table;
+  Fixture() {
+    keys = ParseKeySet(kKeys).value();
+    rule = ParseTableRule(kRule).value();
+    table = TableTree::Build(rule).value();
+  }
+};
+
+Fixture& Fix() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_PipelineParse(benchmark::State& state) {
+  std::string xml = WriteXml(MakeCorpus(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    Result<Tree> t = ParseXml(xml);
+    if (!t.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xml.size()));
+}
+BENCHMARK(BM_PipelineParse)->ArgName("confs")->Arg(50)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipelineCheck(benchmark::State& state) {
+  Tree doc = MakeCorpus(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SatisfiesAll(doc, Fix().keys));
+  }
+  state.counters["nodes"] = static_cast<double>(doc.size());
+}
+BENCHMARK(BM_PipelineCheck)->ArgName("confs")->Arg(50)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipelineShred(benchmark::State& state) {
+  Tree doc = MakeCorpus(static_cast<int>(state.range(0)));
+  size_t tuples = 0;
+  for (auto _ : state) {
+    Instance instance = EvalTableTree(doc, Fix().table);
+    tuples = instance.size();
+    benchmark::DoNotOptimize(instance);
+  }
+  state.counters["tuples"] = static_cast<double>(tuples);
+}
+BENCHMARK(BM_PipelineShred)->ArgName("confs")->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipelineDesign(benchmark::State& state) {
+  for (auto _ : state) {
+    Result<DesignReport> report = AdviseDesign(Fix().keys, Fix().rule);
+    if (!report.ok()) state.SkipWithError("design failed");
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_PipelineDesign)->Unit(benchmark::kMillisecond);
+
+void BM_PipelinePublish(benchmark::State& state) {
+  Tree doc = MakeCorpus(static_cast<int>(state.range(0)));
+  Instance instance = EvalTableTree(doc, Fix().table);
+  for (auto _ : state) {
+    Result<Tree> published = PublishXml(instance, Fix().table, Fix().keys);
+    if (!published.ok()) state.SkipWithError("publish failed");
+    benchmark::DoNotOptimize(published);
+  }
+  state.counters["tuples"] = static_cast<double>(instance.size());
+}
+BENCHMARK(BM_PipelinePublish)->ArgName("confs")->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xmlprop
+
+BENCHMARK_MAIN();

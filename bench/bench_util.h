@@ -1,0 +1,54 @@
+#ifndef XMLPROP_BENCH_BENCH_UTIL_H_
+#define XMLPROP_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the paper-reproduction benchmarks (Section 6).
+
+#include <cstdlib>
+#include <iostream>
+
+#include "synth/workload.h"
+
+namespace xmlprop {
+namespace bench {
+
+/// Builds the Section 6 synthetic workload or aborts (benchmark setup
+/// failures are programming errors, not measurements).
+inline SyntheticWorkload MustMakeWorkload(size_t fields, size_t depth,
+                                          size_t keys, uint64_t seed = 42) {
+  WorkloadSpec spec;
+  spec.fields = fields;
+  spec.depth = depth;
+  spec.keys = keys;
+  spec.seed = seed;
+  Result<SyntheticWorkload> w = MakeWorkload(spec);
+  if (!w.ok()) {
+    std::cerr << "workload generation failed: " << w.status().ToString()
+              << std::endl;
+    std::abort();
+  }
+  return std::move(w).value();
+}
+
+/// An FD whose propagation check walks the longest ancestor chain in the
+/// table tree: (all other fields) -> (deepest field). The per-ancestor
+/// implication calls are the cost driver Fig. 7(b)/(c) vary.
+inline Fd FullWalkFd(const SyntheticWorkload& w) {
+  const size_t arity = w.table.schema().arity();
+  size_t deepest_field = 0;
+  size_t deepest_len = 0;
+  for (size_t f = 0; f < arity; ++f) {
+    size_t len = w.table.AncestorChain(w.table.VarForField(f)).size();
+    if (len > deepest_len) {
+      deepest_len = len;
+      deepest_field = f;
+    }
+  }
+  AttrSet lhs = w.table.schema().FullSet();
+  lhs.Reset(deepest_field);
+  return Fd::SingleRhs(std::move(lhs), deepest_field);
+}
+
+}  // namespace bench
+}  // namespace xmlprop
+
+#endif  // XMLPROP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,115 @@
+// A larger scenario: a DBLP-like bibliography exchanged as XML.
+//
+//   conf  — identified globally by @id          (absolute key)
+//   year  — identified by @y, per conference    (relative key)
+//   paper — identified by @no, per year         (relative key)
+//   at most one title per paper, one location per year
+//
+// The example (1) generates a random document that provably satisfies
+// the keys (RandomSatisfyingTree), (2) shreds it into a universal
+// relation, and (3) derives the minimum cover and a BCNF design — the
+// full pipeline a consumer warehouse would run before creating tables.
+//
+// Build & run:  ./build/examples/bibliography
+
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/design_advisor.h"
+#include "keys/satisfaction.h"
+#include "synth/doc_generator.h"
+#include "transform/eval.h"
+#include "transform/rule_parser.h"
+#include "xml/writer.h"
+
+namespace {
+
+constexpr const char* kKeys = R"(
+KC: (ε, (//conf, {@id}))
+KY: (//conf, (year, {@y}))
+KP: (//conf/year, (paper, {@no}))
+KT: (//conf/year/paper, (title, {}))
+KL: (//conf/year, (location, {}))
+)";
+
+constexpr const char* kUniversal = R"(
+rule Bib {
+  confId:   value(CI)
+  year:     value(YY)
+  location: value(LV)
+  paperNo:  value(PN)
+  title:    value(TV)
+  C  := Xr//conf
+  CI := C/@id
+  Y  := C/year
+  YY := Y/@y
+  L  := Y/location
+  LV := L/@city
+  P  := Y/paper
+  PN := P/@no
+  T  := P/title
+  TV := T/@text
+}
+)";
+
+int Fail(const xmlprop::Status& s) {
+  std::cerr << "error: " << s.ToString() << std::endl;
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  using namespace xmlprop;
+
+  Result<std::vector<XmlKey>> keys = ParseKeySet(kKeys);
+  if (!keys.ok()) return Fail(keys.status());
+
+  // 1. Generate a structured bibliography with deliberately colliding
+  //    key values, then let RepairToSatisfy patch it into a document
+  //    that provably satisfies the keys (exactly what a provider-side
+  //    cleaning step would do).
+  Rng rng(2026);
+  Tree raw("r");
+  const char* cities[] = {"Bangalore", "Boston", "Tokyo"};
+  for (int c = 0; c < 3; ++c) {
+    NodeId conf = raw.CreateElement(raw.root(), "conf");
+    // Small value range => guaranteed @id collisions to repair.
+    raw.CreateAttribute(conf, "id", "icde" + std::to_string(rng.UniformInt(0, 1))).ok();
+    for (int y = 0; y < 2; ++y) {
+      NodeId year = raw.CreateElement(conf, "year");
+      raw.CreateAttribute(year, "y", std::to_string(2002 + rng.UniformInt(0, 1))).ok();
+      NodeId location = raw.CreateElement(year, "location");
+      raw.CreateAttribute(location, "city", cities[rng.UniformIndex(3)]).ok();
+      for (int p = 0; p < rng.UniformInt(1, 3); ++p) {
+        NodeId paper = raw.CreateElement(year, "paper");
+        raw.CreateAttribute(paper, "no", std::to_string(rng.UniformInt(1, 2))).ok();
+        NodeId title = raw.CreateElement(paper, "title");
+        raw.CreateAttribute(title, "text", "paper-" + rng.Identifier(4)).ok();
+      }
+    }
+  }
+  Result<Tree> doc = RepairToSatisfy(std::move(raw), *keys);
+  if (!doc.ok()) return Fail(doc.status());
+  std::cout << "Generated bibliography (" << doc->size()
+            << " nodes), satisfies keys: "
+            << (SatisfiesAll(*doc, *keys) ? "yes" : "NO") << "\n\n";
+  std::cout << WriteXml(*doc) << "\n";
+
+  // 2. Shred into the universal relation.
+  Result<TableRule> universal = ParseTableRule(kUniversal);
+  if (!universal.ok()) return Fail(universal.status());
+  Result<Instance> instance = EvalRule(*doc, *universal);
+  if (!instance.ok()) return Fail(instance.status());
+  std::cout << instance->ToString() << "\n";
+
+  // 3. Minimum cover + normalized design.
+  Result<DesignReport> report = AdviseDesign(*keys, *universal);
+  if (!report.ok()) return Fail(report.status());
+  std::cout << report->ToString();
+  std::cout << "\nThe relative keys chain down the hierarchy: papers are\n"
+               "keyed by (confId, year, paperNo) — the transitive-key\n"
+               "construction of Section 4 — and the BCNF design splits\n"
+               "conference / year / paper tables accordingly.\n";
+  return 0;
+}

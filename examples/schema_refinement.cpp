@@ -1,0 +1,88 @@
+// Schema refinement from scratch (Examples 1.2 and 3.1): start from a
+// universal relation over every field of interest, compute a minimum
+// cover of all FDs propagated from the XML keys (Algorithm minimumCover),
+// and decompose into BCNF / 3NF guided by that cover.
+//
+// Build & run:  ./build/examples/schema_refinement
+
+#include <iostream>
+
+#include "core/design_advisor.h"
+#include "keys/xml_key.h"
+#include "transform/rule_parser.h"
+
+namespace {
+
+constexpr const char* kKeys = R"(
+K1: (ε, (//book, {@isbn}))
+K2: (//book, (chapter, {@number}))
+K3: (//book, (title, {}))
+K4: (//book/chapter, (name, {}))
+K5: (//book/chapter/section, (name, {}))
+K6: (//book/chapter, (section, {@number}))
+K7: (//book, (author/contact, {}))
+)";
+
+// The universal relation of Example 3.1 (Fig. 4's table tree): one rough
+// schema holding every field the designers care about.
+constexpr const char* kUniversal = R"(
+rule U {
+  bookIsbn:    value(X1)
+  bookTitle:   value(X2)
+  bookAuthor:  value(X4)
+  authContact: value(X5)
+  chapNum:     value(C1)
+  chapName:    value(C2)
+  secNum:      value(S1)
+  secName:     value(S2)
+  Xa := Xr//book
+  X1 := Xa/@isbn
+  X2 := Xa/title
+  Xg := Xa/author
+  X4 := Xg/name
+  X5 := Xg/contact
+  Xc := Xa/chapter
+  C1 := Xc/@number
+  C2 := Xc/name
+  Zs := Xc/section
+  S1 := Zs/@number
+  S2 := Zs/name
+}
+)";
+
+}  // namespace
+
+int main() {
+  using namespace xmlprop;
+
+  Result<std::vector<XmlKey>> keys = ParseKeySet(kKeys);
+  if (!keys.ok()) {
+    std::cerr << keys.status().ToString() << std::endl;
+    return 1;
+  }
+  Result<TableRule> universal = ParseTableRule(kUniversal);
+  if (!universal.ok()) {
+    std::cerr << universal.status().ToString() << std::endl;
+    return 1;
+  }
+
+  Result<DesignReport> report = AdviseDesign(*keys, *universal);
+  if (!report.ok()) {
+    std::cerr << report.status().ToString() << std::endl;
+    return 1;
+  }
+
+  std::cout << report->ToString();
+  std::cout
+      << "\nReading the report:\n"
+         "  * The minimum cover is Example 3.1's — four FDs, found in\n"
+         "    polynomial time (the naive route enumerates 2^7 x 8\n"
+         "    candidate FDs).\n"
+         "  * bookAuthor appears in no FD: a book may have several\n"
+         "    authors, so no key determines it (the paper's point about\n"
+         "    isbn -> author NOT being mapped from the keys).\n"
+         "  * The BCNF decomposition materializes book / chapter /\n"
+         "    section fragments keyed exactly like the paper's refined\n"
+         "    schema R.\n";
+  return 0;
+}

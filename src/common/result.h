@@ -1,0 +1,74 @@
+#ifndef XMLPROP_COMMON_RESULT_H_
+#define XMLPROP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace xmlprop {
+
+/// The result of a fallible computation producing a T: either a value or a
+/// non-OK Status. Mirrors arrow::Result. Accessing the value of an errored
+/// Result is a programming error (checked by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value — lets `return value;` work.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit from a non-OK status — lets `return Status::...;` work.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() && "Result constructed from OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The carried status; Status::OK() when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define XMLPROP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define XMLPROP_ASSIGN_OR_RETURN(lhs, expr) \
+  XMLPROP_ASSIGN_OR_RETURN_IMPL(            \
+      XMLPROP_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define XMLPROP_CONCAT_INNER_(a, b) a##b
+#define XMLPROP_CONCAT_(a, b) XMLPROP_CONCAT_INNER_(a, b)
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_COMMON_RESULT_H_

@@ -1,0 +1,60 @@
+#ifndef XMLPROP_COMMON_RNG_H_
+#define XMLPROP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace xmlprop {
+
+/// Deterministic pseudo-random source used by the synthetic workload and
+/// document generators and by property tests. Thin wrapper around
+/// std::mt19937_64 so every generated artifact is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int UniformInt(int lo, int hi) {
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform size_t in [0, n-1]. Requires n > 0.
+  size_t UniformIndex(size_t n) {
+    std::uniform_int_distribution<size_t> dist(0, n - 1);
+    return dist(engine_);
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p < 0 ? 0 : (p > 1 ? 1 : p));
+    return dist(engine_);
+  }
+
+  /// A lowercase identifier of `len` characters.
+  std::string Identifier(int len) {
+    std::string s;
+    s.reserve(static_cast<size_t>(len));
+    for (int i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + UniformInt(0, 25)));
+    }
+    return s;
+  }
+
+  /// Picks a uniformly random element of `v`. Requires v non-empty.
+  template <typename T>
+  const T& Choose(const std::vector<T>& v) {
+    return v[UniformIndex(v.size())];
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_COMMON_RNG_H_

@@ -1,0 +1,92 @@
+#ifndef XMLPROP_COMMON_STATUS_H_
+#define XMLPROP_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace xmlprop {
+
+/// Machine-readable category of an error carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  /// The input violates a syntactic rule (malformed XML, path, key or rule
+  /// DSL text).
+  kParseError,
+  /// The input is syntactically fine but semantically invalid (e.g. a table
+  /// rule that is not connected to the root, a key over an unknown relation).
+  kInvalidArgument,
+  /// A referenced entity (relation, field, variable, attribute) is missing.
+  kNotFound,
+  /// An internal invariant was broken; indicates a bug in this library.
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` ("ParseError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object: the result of an operation that can
+/// fail without a value. Functions that produce a value use Result<T>.
+///
+/// Statuses are cheap to copy in the OK case (single pointer test) and
+/// carry a code plus message otherwise. This library never throws across
+/// its public API; all fallible entry points return Status or Result.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(message)})) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  /// The error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const State> state_;
+};
+
+/// Propagates a non-OK Status out of the current function.
+#define XMLPROP_RETURN_NOT_OK(expr)                \
+  do {                                             \
+    ::xmlprop::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+#ifndef XMLPROP_COMMON_STR_UTIL_H_
+#define XMLPROP_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xmlprop {
+
+/// Splits `s` on `sep`, trimming ASCII whitespace from each piece.
+/// Empty pieces are kept (so "a,,b" -> {"a", "", "b"}).
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True iff `c` may start an XML name (letters, '_', ':').
+bool IsNameStartChar(char c);
+
+/// True iff `c` may continue an XML name (name start chars, digits, '-', '.').
+bool IsNameChar(char c);
+
+/// True iff `s` is a non-empty XML name per the two predicates above.
+bool IsValidName(std::string_view s);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_COMMON_STR_UTIL_H_

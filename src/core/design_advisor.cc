@@ -1,0 +1,76 @@
+#include "core/design_advisor.h"
+
+#include "core/propagation.h"
+#include "transform/table_tree.h"
+
+namespace xmlprop {
+
+std::string DesignReport::ToString() const {
+  std::string out;
+  out += "Universal relation:\n  " + universal.ToString() + "\n\n";
+  out += "Canonical keys per table-tree variable:\n";
+  for (const NodeKeyAssignment& nk : node_keys) {
+    out += "  " + nk.var + ": ";
+    if (nk.canonical_key.has_value()) {
+      out += nk.canonical_key->Empty()
+                 ? "{} (unique)"
+                 : "{" + universal.FormatSet(*nk.canonical_key) + "}";
+    } else {
+      out += "(not keyed)";
+    }
+    out += '\n';
+  }
+  out += "\nMinimum cover of propagated FDs:\n";
+  for (const Fd& fd : cover.fds()) {
+    out += "  " + fd.ToString(universal) + "\n";
+  }
+  out += "\nBCNF decomposition:\n";
+  for (const SubRelation& r : bcnf) {
+    out += "  " + r.ToString(universal) + "\n";
+  }
+  out += "\n3NF synthesis:\n";
+  for (const SubRelation& r : third_nf) {
+    out += "  " + r.ToString(universal) + "\n";
+  }
+  return out;
+}
+
+Result<DesignReport> AdviseDesign(const std::vector<XmlKey>& sigma,
+                                  const TableRule& universal_rule) {
+  XMLPROP_ASSIGN_OR_RETURN(TableTree table, TableTree::Build(universal_rule));
+  DesignReport report;
+  report.universal = table.schema();
+  XMLPROP_ASSIGN_OR_RETURN(report.cover, MinimumCover(sigma, table));
+  XMLPROP_ASSIGN_OR_RETURN(report.node_keys, ComputeNodeKeys(sigma, table));
+  report.bcnf = DecomposeBcnf(report.cover);
+  report.third_nf = Synthesize3nf(report.cover);
+  return report;
+}
+
+Result<std::vector<KeyCheckOutcome>> CheckDeclaredKeys(
+    const std::vector<XmlKey>& sigma, const Transformation& transformation,
+    const std::vector<DeclaredKey>& declared) {
+  std::vector<KeyCheckOutcome> outcomes;
+  for (const DeclaredKey& dk : declared) {
+    XMLPROP_ASSIGN_OR_RETURN(const TableRule* rule,
+                             transformation.FindRule(dk.relation));
+    XMLPROP_ASSIGN_OR_RETURN(TableTree table, TableTree::Build(*rule));
+    XMLPROP_ASSIGN_OR_RETURN(AttrSet lhs,
+                             table.schema().MakeSet(dk.attributes));
+    // The key holds iff lhs determines every other field of the relation.
+    AttrSet rhs = table.schema().FullSet().Minus(lhs);
+    KeyCheckOutcome outcome;
+    outcome.key = dk;
+    if (rhs.Empty()) {
+      outcome.guaranteed = true;  // key covers all fields
+    } else {
+      XMLPROP_ASSIGN_OR_RETURN(
+          bool ok, CheckPropagation(sigma, table, Fd(lhs, rhs)));
+      outcome.guaranteed = ok;
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+}  // namespace xmlprop

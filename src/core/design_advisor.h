@@ -1,0 +1,64 @@
+#ifndef XMLPROP_CORE_DESIGN_ADVISOR_H_
+#define XMLPROP_CORE_DESIGN_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/minimum_cover.h"
+#include "keys/xml_key.h"
+#include "relational/normalize.h"
+#include "transform/rule.h"
+
+namespace xmlprop {
+
+/// The end-to-end design-refinement workflow of Examples 1.2 / 3.1:
+/// from XML keys and a universal-relation table rule to a normalized
+/// relational schema.
+struct DesignReport {
+  /// The universal relation the rule defines.
+  RelationSchema universal;
+  /// Minimum cover of the propagated FDs (Algorithm minimumCover).
+  FdSet cover;
+  /// Canonical transitive key per table-tree variable.
+  std::vector<NodeKeyAssignment> node_keys;
+  /// BCNF decomposition guided by the cover.
+  std::vector<SubRelation> bcnf;
+  /// 3NF synthesis (dependency-preserving alternative).
+  std::vector<SubRelation> third_nf;
+
+  /// Multi-section human-readable report.
+  std::string ToString() const;
+};
+
+/// Runs minimumCover over the universal rule and decomposes to BCNF and
+/// 3NF. The rule is validated; `sigma` is the key set of the source data.
+Result<DesignReport> AdviseDesign(const std::vector<XmlKey>& sigma,
+                                  const TableRule& universal_rule);
+
+/// A key the consumer database declares on one of its relations
+/// (Example 1.1: key of Chapter is {bookTitle, chapterNum}).
+struct DeclaredKey {
+  std::string relation;
+  std::vector<std::string> attributes;
+};
+
+/// The verdict for one declared key: `guaranteed` means the key FD
+/// (attributes → all other fields) is propagated from the XML keys, so
+/// *no* conforming document can ever violate it.
+struct KeyCheckOutcome {
+  DeclaredKey key;
+  bool guaranteed = false;
+};
+
+/// The consistency-check workflow of Example 1.1: validates each declared
+/// relational key against the XML keys via Algorithm propagation. A key
+/// that is not guaranteed may still hold on particular documents — the
+/// designers were "lucky with this particular XML data set".
+Result<std::vector<KeyCheckOutcome>> CheckDeclaredKeys(
+    const std::vector<XmlKey>& sigma, const Transformation& transformation,
+    const std::vector<DeclaredKey>& declared);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_CORE_DESIGN_ADVISOR_H_

@@ -1,0 +1,47 @@
+#include "core/gminimum_cover.h"
+
+namespace xmlprop {
+
+Result<GMinimumCover> GMinimumCover::Build(const std::vector<XmlKey>& sigma,
+                                           const TableTree& table,
+                                           PropagationStats* stats) {
+  XMLPROP_ASSIGN_OR_RETURN(FdSet cover, MinimumCover(sigma, table, stats));
+  return GMinimumCover(sigma, table, std::move(cover));
+}
+
+Result<bool> GMinimumCover::Check(const Fd& fd,
+                                  PropagationStats* stats) const {
+  if (fd.lhs.universe_size() != table_.schema().arity() ||
+      fd.rhs.universe_size() != table_.schema().arity()) {
+    return Status::InvalidArgument(
+        "FD attribute universe does not match relation " +
+        table_.relation_name());
+  }
+  // Condition (1): relational implication from the minimum cover.
+  if (!cover_.Implies(fd)) return false;
+  // Condition (2): LHS fields guaranteed non-null when the RHS is
+  // present — checked per RHS attribute, like Algorithm propagation.
+  for (size_t a : fd.rhs.ToVector()) {
+    XMLPROP_ASSIGN_OR_RETURN(
+        bool non_null,
+        LhsNonNullWhenRhsPresent(sigma_, table_, fd.lhs, a, stats));
+    if (!non_null) return false;
+  }
+  return true;
+}
+
+Result<bool> GMinimumCover::Check(const std::string& fd_text,
+                                  PropagationStats* stats) const {
+  XMLPROP_ASSIGN_OR_RETURN(Fd fd, ParseFd(table_.schema(), fd_text));
+  return Check(fd, stats);
+}
+
+Result<bool> CheckPropagationViaCover(const std::vector<XmlKey>& sigma,
+                                      const TableTree& table, const Fd& fd,
+                                      PropagationStats* stats) {
+  XMLPROP_ASSIGN_OR_RETURN(GMinimumCover checker,
+                           GMinimumCover::Build(sigma, table, stats));
+  return checker.Check(fd, stats);
+}
+
+}  // namespace xmlprop

@@ -1,0 +1,60 @@
+#ifndef XMLPROP_CORE_GMINIMUM_COVER_H_
+#define XMLPROP_CORE_GMINIMUM_COVER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/minimum_cover.h"
+#include "core/propagation.h"
+#include "keys/xml_key.h"
+#include "relational/fd_set.h"
+#include "transform/table_tree.h"
+
+namespace xmlprop {
+
+/// Algorithm GminimumCover (Section 6): the alternative way to check XML
+/// key propagation. It first computes a minimum cover Γ_mc of all the
+/// propagated FDs with Algorithm minimumCover; a query FD φ = X → A is
+/// then propagated iff
+///   (1) Γ_mc implies φ under relational FD implication, and
+///   (2) all the fields in X are guaranteed non-null whenever A is
+///       non-null (the exist()-based null condition).
+/// Build once, query many times — the paper's experiments compare its
+/// end-to-end latency against Algorithm propagation (Fig. 7(b), 7(c)).
+class GMinimumCover {
+ public:
+  /// Runs Algorithm minimumCover over (sigma, table).
+  static Result<GMinimumCover> Build(const std::vector<XmlKey>& sigma,
+                                     const TableTree& table,
+                                     PropagationStats* stats = nullptr);
+
+  /// Checks one FD (conditions 1 and 2 above).
+  Result<bool> Check(const Fd& fd, PropagationStats* stats = nullptr) const;
+
+  /// Parses `fd_text` against the relation schema and checks it.
+  Result<bool> Check(const std::string& fd_text,
+                     PropagationStats* stats = nullptr) const;
+
+  /// The underlying minimum cover.
+  const FdSet& cover() const { return cover_; }
+
+ private:
+  GMinimumCover(std::vector<XmlKey> sigma, TableTree table, FdSet cover)
+      : sigma_(std::move(sigma)),
+        table_(std::move(table)),
+        cover_(std::move(cover)) {}
+
+  std::vector<XmlKey> sigma_;
+  TableTree table_;
+  FdSet cover_;
+};
+
+/// One-shot convenience: Build + Check. This is what the Fig. 7(b)/(c)
+/// benchmarks measure against Algorithm propagation.
+Result<bool> CheckPropagationViaCover(const std::vector<XmlKey>& sigma,
+                                      const TableTree& table, const Fd& fd,
+                                      PropagationStats* stats = nullptr);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_CORE_GMINIMUM_COVER_H_

@@ -1,0 +1,181 @@
+#include "core/minimum_cover.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "keys/implication.h"
+#include "relational/cover.h"
+
+namespace xmlprop {
+
+namespace {
+
+// Shared state of one minimumCover run.
+struct CoverBuilder {
+  const std::vector<XmlKey>& sigma;
+  const TableTree& table;
+  PropagationStats* stats;
+
+  // attr name -> field position, per table-tree variable.
+  std::vector<std::map<std::string, size_t>> attr_fields;
+  // Canonical transitive key per variable (fields), when keyed.
+  std::vector<std::optional<AttrSet>> canonical;
+  FdSet gamma;
+
+  CoverBuilder(const std::vector<XmlKey>& s, const TableTree& t,
+               PropagationStats* st)
+      : sigma(s), table(t), stats(st), gamma(t.schema()) {}
+
+  bool ImpliesCounted(const XmlKey& key) {
+    if (stats != nullptr) ++stats->implication_calls;
+    return ImpliesIdentification(sigma, key);
+  }
+
+  void CollectAttrFields() {
+    attr_fields.resize(table.size());
+    for (size_t v = 0; v < table.size(); ++v) {
+      for (int child : table.node(static_cast<int>(v)).children) {
+        const TableTree::VarNode& c = table.node(child);
+        if (c.field < 0) continue;
+        if (c.step.length() != 1 || !c.step.atoms()[0].is_attribute()) {
+          continue;
+        }
+        attr_fields[v].emplace(c.step.atoms()[0].label.substr(1),
+                               static_cast<size_t>(c.field));
+      }
+    }
+  }
+
+  // The fields populated by v's attributes named in `attrs`, or nullopt
+  // when some attribute is not populated as a field.
+  std::optional<AttrSet> FieldsOfAttrs(size_t v,
+                                       const std::vector<std::string>& attrs) {
+    AttrSet fields(table.schema().arity());
+    for (const std::string& a : attrs) {
+      auto it = attr_fields[v].find(a);
+      if (it == attr_fields[v].end()) return std::nullopt;
+      fields.Set(it->second);
+    }
+    return fields;
+  }
+
+  // Candidate transitive keys of variable v (deduplicated, deterministic
+  // order: by size, then lexicographic).
+  Result<std::vector<AttrSet>> CandidatesFor(int v) {
+    std::set<AttrSet> candidates;
+    std::vector<int> chain = table.AncestorChain(v);
+    chain.pop_back();  // proper ancestors only
+    for (int u : chain) {
+      const auto& base = canonical[static_cast<size_t>(u)];
+      if (!base.has_value()) continue;
+      XMLPROP_ASSIGN_OR_RETURN(PathExpr rho, table.PathBetween(u, v));
+      PathExpr u_path = table.PathFromRoot(u);
+
+      // v unique under u: keyed by the ancestor's key alone (S = ∅).
+      if (ImpliesCounted(XmlKey("", u_path, rho, {}))) {
+        candidates.insert(*base);
+      }
+      // One candidate per key of Σ whose attributes are all fields of v.
+      for (const XmlKey& k : sigma) {
+        if (k.attributes().empty()) continue;  // covered by the ∅ case
+        std::optional<AttrSet> key_fields = FieldsOfAttrs(
+            static_cast<size_t>(v), k.attributes());
+        if (!key_fields.has_value()) continue;
+        if (ImpliesCounted(XmlKey("", u_path, rho, k.attributes()))) {
+          candidates.insert(base->Union(*key_fields));
+        }
+      }
+    }
+    std::vector<AttrSet> out(candidates.begin(), candidates.end());
+    std::stable_sort(out.begin(), out.end(),
+                     [](const AttrSet& a, const AttrSet& b) {
+                       if (a.Count() != b.Count()) return a.Count() < b.Count();
+                       return a < b;
+                     });
+    return out;
+  }
+
+  Status AssignKeys() {
+    canonical.assign(table.size(), std::nullopt);
+    canonical[0] = table.schema().EmptySet();  // the root is unique
+    for (size_t v = 1; v < table.size(); ++v) {
+      XMLPROP_ASSIGN_OR_RETURN(std::vector<AttrSet> candidates,
+                               CandidatesFor(static_cast<int>(v)));
+      if (candidates.empty()) continue;
+      canonical[v] = candidates[0];
+      // Alternative keys are pairwise equivalent to the canonical one
+      // (the paper's equivalence property): emit both directions.
+      for (size_t i = 1; i < candidates.size(); ++i) {
+        for (size_t f : candidates[i].Minus(candidates[0]).ToVector()) {
+          gamma.Add(Fd::SingleRhs(candidates[0], f));
+        }
+        for (size_t f : candidates[0].Minus(candidates[i]).ToVector()) {
+          gamma.Add(Fd::SingleRhs(candidates[i], f));
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Status EmitFieldFds() {
+    for (size_t v = 0; v < table.size(); ++v) {
+      if (!canonical[v].has_value()) continue;
+      const AttrSet& key = *canonical[v];
+      PathExpr v_path = table.PathFromRoot(static_cast<int>(v));
+      for (size_t w = 0; w < table.size(); ++w) {
+        const TableTree::VarNode& node = table.node(static_cast<int>(w));
+        if (node.field < 0) continue;
+        if (!table.IsAncestorOrSelf(static_cast<int>(v),
+                                    static_cast<int>(w))) {
+          continue;
+        }
+        size_t f = static_cast<size_t>(node.field);
+        if (key.Test(f)) continue;  // trivial
+        XMLPROP_ASSIGN_OR_RETURN(
+            PathExpr rho,
+            table.PathBetween(static_cast<int>(v), static_cast<int>(w)));
+        if (ImpliesCounted(
+                XmlKey("", v_path, rho.WithoutTrailingAttribute(), {}))) {
+          gamma.Add(Fd::SingleRhs(key, f));
+        }
+      }
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Result<FdSet> PropagatedCoverRaw(const std::vector<XmlKey>& sigma,
+                                 const TableTree& table,
+                                 PropagationStats* stats) {
+  CoverBuilder builder(sigma, table, stats);
+  builder.CollectAttrFields();
+  XMLPROP_RETURN_NOT_OK(builder.AssignKeys());
+  XMLPROP_RETURN_NOT_OK(builder.EmitFieldFds());
+  return std::move(builder.gamma);
+}
+
+Result<FdSet> MinimumCover(const std::vector<XmlKey>& sigma,
+                           const TableTree& table, PropagationStats* stats) {
+  XMLPROP_ASSIGN_OR_RETURN(FdSet raw,
+                           PropagatedCoverRaw(sigma, table, stats));
+  return Minimize(raw);
+}
+
+Result<std::vector<NodeKeyAssignment>> ComputeNodeKeys(
+    const std::vector<XmlKey>& sigma, const TableTree& table,
+    PropagationStats* stats) {
+  CoverBuilder builder(sigma, table, stats);
+  builder.CollectAttrFields();
+  XMLPROP_RETURN_NOT_OK(builder.AssignKeys());
+  std::vector<NodeKeyAssignment> out;
+  for (size_t v = 0; v < table.size(); ++v) {
+    out.push_back(NodeKeyAssignment{table.node(static_cast<int>(v)).name,
+                                    builder.canonical[v]});
+  }
+  return out;
+}
+
+}  // namespace xmlprop

@@ -1,0 +1,68 @@
+#ifndef XMLPROP_CORE_MINIMUM_COVER_H_
+#define XMLPROP_CORE_MINIMUM_COVER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/propagation.h"
+#include "keys/xml_key.h"
+#include "relational/fd_set.h"
+#include "transform/table_tree.h"
+
+namespace xmlprop {
+
+/// Debug/teaching output of Algorithm minimumCover: the canonical
+/// transitive key chosen for each table-tree variable (the set of
+/// universal-relation fields whose values pin down that variable's
+/// binding), or nullopt when the variable is not keyed.
+struct NodeKeyAssignment {
+  std::string var;
+  std::optional<AttrSet> canonical_key;
+};
+
+/// Algorithm `minimumCover` (Section 5): computes, in polynomial time, a
+/// minimum cover of all FDs propagated from the XML keys `sigma` onto the
+/// universal relation defined by `table`.
+///
+/// Reconstruction of the partially-OCR-lost pseudo-code (DESIGN.md §7),
+/// following the surviving prose:
+///   - traverse the table tree top-down; the root is keyed by ∅;
+///   - at each variable v, build *candidate transitive keys*: for every
+///     keyed ancestor u and every key k ∈ Σ whose attributes are all
+///     populated as fields from v, if Σ forces identification of v under
+///     u by k's attributes (Algorithm implication), the candidate is
+///     canonical(u) ∪ fields(k); v unique under u (S = ∅) contributes
+///     canonical(u) itself;
+///   - one candidate becomes the node's canonical key; every other
+///     candidate K' is linked to it by two-way FDs (making them
+///     equivalent under Armstrong's axioms — the paper's key-equivalence
+///     property);
+///   - for each keyed v and each field f populated from a descendant-or-
+///     self w of v that is unique under v, emit canonical(v) → f;
+///   - finally `minimize` removes extraneous attributes and redundant FDs.
+///
+/// Contract (tested against Algorithm naive): the result is a minimum
+/// cover of the FDs propagated under *value semantics*
+/// (CheckValuePropagation); use GminimumCover for the full null-aware
+/// per-FD check. Complexity O(n²·m²) with n = |Σ|, m = |table|.
+Result<FdSet> MinimumCover(const std::vector<XmlKey>& sigma,
+                           const TableTree& table,
+                           PropagationStats* stats = nullptr);
+
+/// The raw FD set Γ produced before the final `minimize` (for tests and
+/// the ablation bench).
+Result<FdSet> PropagatedCoverRaw(const std::vector<XmlKey>& sigma,
+                                 const TableTree& table,
+                                 PropagationStats* stats = nullptr);
+
+/// The per-variable canonical keys the algorithm assigns (for diagnostics
+/// and the design-advisor explanation output).
+Result<std::vector<NodeKeyAssignment>> ComputeNodeKeys(
+    const std::vector<XmlKey>& sigma, const TableTree& table,
+    PropagationStats* stats = nullptr);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_CORE_MINIMUM_COVER_H_

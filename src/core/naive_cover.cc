@@ -1,0 +1,57 @@
+#include "core/naive_cover.h"
+
+#include "relational/cover.h"
+
+namespace xmlprop {
+
+Result<FdSet> AllPropagatedFds(const std::vector<XmlKey>& sigma,
+                               const TableTree& table,
+                               const NaiveOptions& options,
+                               PropagationStats* stats) {
+  const size_t n = table.schema().arity();
+  if (n > options.max_fields) {
+    return Status::InvalidArgument(
+        "naive enumeration over " + std::to_string(n) +
+        " fields exceeds max_fields=" + std::to_string(options.max_fields));
+  }
+
+  FdSet all(table.schema());
+  // Every candidate X → A with A ∉ X (trivial FDs carry no design
+  // information and are dropped, as in the paper).
+  for (size_t a = 0; a < n; ++a) {
+    const uint64_t masks = uint64_t{1} << (n - 1);
+    for (uint64_t mask = 0; mask < masks; ++mask) {
+      AttrSet lhs(n);
+      // Spread mask bits over positions != a.
+      size_t bit = 0;
+      for (size_t pos = 0; pos < n; ++pos) {
+        if (pos == a) continue;
+        if ((mask >> bit) & 1) lhs.Set(pos);
+        ++bit;
+      }
+      Fd fd = Fd::SingleRhs(std::move(lhs), a);
+      // Screening: skip candidates the accumulated set already implies —
+      // both the (cheap) relational check before the propagation test
+      // and the insertion after it.
+      if (options.screen_implied && all.Implies(fd)) continue;
+      Result<bool> propagated =
+          options.include_null_condition
+              ? CheckPropagation(sigma, table, fd, stats)
+              : CheckValuePropagation(sigma, table, fd, stats);
+      XMLPROP_RETURN_NOT_OK(propagated.status());
+      if (*propagated) all.Add(std::move(fd));
+    }
+  }
+  return all;
+}
+
+Result<FdSet> NaiveMinimumCover(const std::vector<XmlKey>& sigma,
+                                const TableTree& table,
+                                const NaiveOptions& options,
+                                PropagationStats* stats) {
+  XMLPROP_ASSIGN_OR_RETURN(FdSet all,
+                           AllPropagatedFds(sigma, table, options, stats));
+  return Minimize(all);
+}
+
+}  // namespace xmlprop

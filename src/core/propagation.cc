@@ -1,0 +1,289 @@
+#include "core/propagation.h"
+
+#include <algorithm>
+
+#include "keys/implication.h"
+
+namespace xmlprop {
+
+namespace {
+
+// An attribute child of a table-tree node that populates a field.
+struct AttrField {
+  std::string attr;  // attribute name without '@'
+  size_t field;      // schema position it populates
+};
+
+// The attributes of `target` whose fields lie in `lhs` — the candidate
+// key attributes ß of Fig. 5 line 13.
+std::vector<AttrField> LhsAttributesOf(const TableTree& table, int target,
+                                       const AttrSet& lhs) {
+  std::vector<AttrField> out;
+  for (int child : table.node(target).children) {
+    const TableTree::VarNode& c = table.node(child);
+    if (c.field < 0 || !lhs.Test(static_cast<size_t>(c.field))) continue;
+    if (c.step.length() != 1 || !c.step.atoms()[0].is_attribute()) continue;
+    out.push_back(AttrField{c.step.atoms()[0].label.substr(1),
+                            static_cast<size_t>(c.field)});
+  }
+  return out;
+}
+
+bool ImpliesCounted(const std::vector<XmlKey>& sigma, const XmlKey& key,
+                    PropagationStats* stats) {
+  // The algorithm needs the identification component only; attribute
+  // existence is handled separately by the exist() bookkeeping
+  // (LhsNonNullWhenRhsPresent).
+  if (stats != nullptr) ++stats->implication_calls;
+  return ImpliesIdentification(sigma, key);
+}
+
+Result<bool> KeyedAncestorWalk(const std::vector<XmlKey>& sigma,
+                               const TableTree& table, const AttrSet& lhs,
+                               size_t a, PropagationStats* stats);
+
+// Checks propagation of X → a for a single RHS attribute.
+Result<bool> CheckOne(const std::vector<XmlKey>& sigma, const TableTree& table,
+                      const AttrSet& lhs, size_t a, bool check_null_condition,
+                      PropagationStats* stats) {
+  // Condition (1): trivial FD, or a keyed ancestor with x unique below
+  // it. Fig. 5 interleaves this keyed-chain walk with the Ycheck/exist
+  // bookkeeping in one loop; we run the walk first and the (cheaper)
+  // null-safety pass after — same verdict, and the implication-call
+  // count per check stays the quantity the Section 6 analysis tracks.
+  XMLPROP_ASSIGN_OR_RETURN(bool key_found,
+                           KeyedAncestorWalk(sigma, table, lhs, a, stats));
+  if (!key_found) return false;
+
+  if (check_null_condition) {
+    // Condition (2): whenever the RHS is non-null, every LHS field is
+    // non-null (the paper's Ycheck / exist bookkeeping).
+    XMLPROP_ASSIGN_OR_RETURN(
+        bool non_null, LhsNonNullWhenRhsPresent(sigma, table, lhs, a, stats));
+    if (!non_null) return false;
+  }
+  return true;
+}
+
+// The keyed-chain walk of Fig. 5 lines 10-18: some ancestor `target` of x
+// is keyed by attributes populating LHS fields, and x is unique under it.
+Result<bool> KeyedAncestorWalk(const std::vector<XmlKey>& sigma,
+                               const TableTree& table, const AttrSet& lhs,
+                               size_t a, PropagationStats* stats) {
+  if (lhs.Test(a)) return true;  // trivial FD
+
+  const int x = table.VarForField(a);
+  if (x < 0) {
+    return Status::Internal("field without a populating variable");
+  }
+  std::vector<int> chain = table.AncestorChain(x);
+  chain.pop_back();  // drop x itself; targets are proper ancestors
+
+  int context = table.root();
+  for (int target : chain) {
+    // Is `target` keyed relative to `context` by attributes of X-fields?
+    std::vector<AttrField> beta = LhsAttributesOf(table, target, lhs);
+    std::vector<std::string> beta_attrs;
+    for (const AttrField& af : beta) beta_attrs.push_back(af.attr);
+
+    XMLPROP_ASSIGN_OR_RETURN(PathExpr ctx_to_target,
+                             table.PathBetween(context, target));
+    XmlKey keyed_check("", table.PathFromRoot(context), ctx_to_target,
+                       beta_attrs);
+    if (ImpliesCounted(sigma, keyed_check, stats)) {
+      context = target;
+    }
+    if (context == target) {
+      // `target` is keyed; is x unique under it? (Fig. 5 line 17.)
+      // A trailing attribute step is stripped: an attribute is unique per
+      // element, and key targets cannot address attributes.
+      XMLPROP_ASSIGN_OR_RETURN(PathExpr target_to_x,
+                               table.PathBetween(target, x));
+      XmlKey unique_check("", table.PathFromRoot(target),
+                          target_to_x.WithoutTrailingAttribute(), {});
+      if (ImpliesCounted(sigma, unique_check, stats)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<bool> LhsNonNullWhenRhsPresent(const std::vector<XmlKey>& sigma,
+                                      const TableTree& table,
+                                      const AttrSet& lhs, size_t rhs_attr,
+                                      PropagationStats* stats) {
+  const int x = table.VarForField(rhs_attr);
+  if (x < 0) return Status::Internal("field without a populating variable");
+
+  // Ycheck: LHS fields not yet shown non-null.
+  AttrSet ycheck = lhs;
+  for (int target : table.AncestorChain(x)) {
+    std::vector<AttrField> beta = LhsAttributesOf(table, target, lhs);
+    if (beta.empty()) continue;
+    std::vector<std::string> beta_attrs;
+    for (const AttrField& af : beta) beta_attrs.push_back(af.attr);
+    if (stats != nullptr) ++stats->exist_calls;
+    if (AttributesExist(sigma, table.PathFromRoot(target), beta_attrs)) {
+      for (const AttrField& af : beta) ycheck.Reset(af.field);
+    }
+  }
+  return ycheck.Empty();
+}
+
+namespace {
+
+Result<bool> CheckImpl(const std::vector<XmlKey>& sigma,
+                       const TableTree& table, const Fd& fd,
+                       bool check_null_condition, PropagationStats* stats) {
+  if (fd.lhs.universe_size() != table.schema().arity() ||
+      fd.rhs.universe_size() != table.schema().arity()) {
+    return Status::InvalidArgument(
+        "FD attribute universe does not match relation " +
+        table.relation_name());
+  }
+  if (fd.rhs.Empty()) {
+    return Status::InvalidArgument("FD with empty right-hand side");
+  }
+  for (size_t a : fd.rhs.ToVector()) {
+    XMLPROP_ASSIGN_OR_RETURN(
+        bool ok,
+        CheckOne(sigma, table, fd.lhs, a, check_null_condition, stats));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<bool> CheckPropagation(const std::vector<XmlKey>& sigma,
+                              const TableTree& table, const Fd& fd,
+                              PropagationStats* stats) {
+  return CheckImpl(sigma, table, fd, /*check_null_condition=*/true, stats);
+}
+
+Result<bool> CheckValuePropagation(const std::vector<XmlKey>& sigma,
+                                   const TableTree& table, const Fd& fd,
+                                   PropagationStats* stats) {
+  return CheckImpl(sigma, table, fd, /*check_null_condition=*/false, stats);
+}
+
+Result<bool> CheckPropagation(const std::vector<XmlKey>& sigma,
+                              const TableTree& table,
+                              const std::string& fd_text,
+                              PropagationStats* stats) {
+  XMLPROP_ASSIGN_OR_RETURN(Fd fd, ParseFd(table.schema(), fd_text));
+  return CheckPropagation(sigma, table, fd, stats);
+}
+
+std::string PropagationTrace::ToString() const {
+  std::string out;
+  for (const PerRhs& r : rhs) {
+    out += "RHS field " + r.rhs_field + ":\n";
+    if (r.trivial) {
+      out += "  trivial (RHS is part of the LHS)\n";
+    }
+    for (const AncestorStep& s : r.steps) {
+      out += "  at " + s.var + ": keyed? " + s.keyed_query + "  => " +
+             (s.keyed ? "yes" : "no") + "\n";
+      if (!s.uniqueness_query.empty()) {
+        out += "    unique below? " + s.uniqueness_query + "  => " +
+               (s.unique ? "yes (key found)" : "no") + "\n";
+      }
+    }
+    if (!r.trivial) {
+      out += r.key_found
+                 ? "  keyed ancestor with uniqueness found\n"
+                 : "  NO keyed ancestor identifies the RHS variable\n";
+    }
+    if (!r.non_null_fields.empty()) {
+      out += "  non-null guaranteed (exist):";
+      for (const std::string& f : r.non_null_fields) out += " " + f;
+      out += "\n";
+    }
+    if (!r.null_risk_fields.empty()) {
+      out += "  NULL RISK (no key forces these when the RHS is present):";
+      for (const std::string& f : r.null_risk_fields) out += " " + f;
+      out += "\n";
+    }
+  }
+  out += propagated ? "=> PROPAGATED\n" : "=> NOT PROPAGATED\n";
+  return out;
+}
+
+Result<PropagationTrace> ExplainPropagation(const std::vector<XmlKey>& sigma,
+                                            const TableTree& table,
+                                            const Fd& fd) {
+  if (fd.lhs.universe_size() != table.schema().arity() ||
+      fd.rhs.universe_size() != table.schema().arity() || fd.rhs.Empty()) {
+    return Status::InvalidArgument("malformed FD for this relation");
+  }
+  PropagationTrace trace;
+  trace.propagated = true;
+  for (size_t a : fd.rhs.ToVector()) {
+    PropagationTrace::PerRhs per;
+    per.rhs_field = table.schema().attributes()[a];
+
+    // Condition (1): the keyed-ancestor walk, instrumented.
+    if (fd.lhs.Test(a)) {
+      per.trivial = true;
+      per.key_found = true;
+    } else {
+      const int x = table.VarForField(a);
+      std::vector<int> chain = table.AncestorChain(x);
+      chain.pop_back();
+      int context = table.root();
+      for (int target : chain) {
+        if (per.key_found) break;
+        PropagationTrace::AncestorStep step;
+        step.var = table.node(target).name;
+        std::vector<std::string> beta;
+        for (const AttrField& af : LhsAttributesOf(table, target, fd.lhs)) {
+          beta.push_back(af.attr);
+        }
+        XMLPROP_ASSIGN_OR_RETURN(PathExpr rho,
+                                 table.PathBetween(context, target));
+        XmlKey keyed_check("", table.PathFromRoot(context), rho, beta);
+        step.keyed_query = keyed_check.ToString();
+        if (ImpliesIdentification(sigma, keyed_check)) context = target;
+        step.keyed = (context == target);
+        if (step.keyed) {
+          XMLPROP_ASSIGN_OR_RETURN(PathExpr to_x,
+                                   table.PathBetween(target, x));
+          XmlKey unique_check("", table.PathFromRoot(target),
+                              to_x.WithoutTrailingAttribute(), {});
+          step.uniqueness_query = unique_check.ToString();
+          step.unique = ImpliesIdentification(sigma, unique_check);
+          per.key_found = per.key_found || step.unique;
+        }
+        per.steps.push_back(std::move(step));
+      }
+    }
+
+    // Condition (2): per-field null-safety bookkeeping.
+    const int x = table.VarForField(a);
+    AttrSet ycheck = fd.lhs;
+    for (int target : table.AncestorChain(x)) {
+      std::vector<AttrField> beta = LhsAttributesOf(table, target, fd.lhs);
+      if (beta.empty()) continue;
+      std::vector<std::string> beta_attrs;
+      for (const AttrField& af : beta) beta_attrs.push_back(af.attr);
+      if (AttributesExist(sigma, table.PathFromRoot(target), beta_attrs)) {
+        for (const AttrField& af : beta) ycheck.Reset(af.field);
+      }
+    }
+    per.non_null_ok = ycheck.Empty();
+    for (size_t f : fd.lhs.ToVector()) {
+      (ycheck.Test(f) ? per.null_risk_fields : per.non_null_fields)
+          .push_back(table.schema().attributes()[f]);
+    }
+    trace.propagated =
+        trace.propagated && per.key_found && per.non_null_ok;
+    trace.rhs.push_back(std::move(per));
+  }
+  return trace;
+}
+
+}  // namespace xmlprop

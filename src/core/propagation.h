@@ -1,0 +1,109 @@
+#ifndef XMLPROP_CORE_PROPAGATION_H_
+#define XMLPROP_CORE_PROPAGATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "keys/xml_key.h"
+#include "relational/fd.h"
+#include "transform/table_tree.h"
+
+namespace xmlprop {
+
+/// Counters exposed by the algorithms for the paper's Section 6 analysis
+/// (execution time is dominated by calls to Algorithm `implication`, whose
+/// count is governed by the table-tree depth).
+struct PropagationStats {
+  size_t implication_calls = 0;
+  size_t exist_calls = 0;
+};
+
+/// Algorithm `propagation` (Fig. 5): decides whether the FD `fd` on the
+/// relation defined by `table` is propagated from the XML keys `sigma`
+/// via the transformation, i.e. Σ ⊨_σ φ — every XML tree satisfying Σ
+/// maps to an instance satisfying φ under the paper's null-aware FD
+/// semantics (Section 3).
+///
+/// For an FD X → A with A populated by value(x):
+///   (1) either A ∈ X (trivial), or some ancestor `target` of x in the
+///       table tree is *keyed* by attributes populating fields of X — via
+///       a chain of relative keys walked top-down with Algorithm
+///       `implication` — and x is unique under that ancestor
+///       (Σ ⊨ (ρ(root, target), (ρ(target, x), {}))); and
+///   (2) every field of X is defined by an attribute of an ancestor of x
+///       that is required to exist (function `exist`), which rules out
+///       null LHS values occurring with a non-null RHS.
+///
+/// A set-valued RHS X → Y is handled as the conjunction over Y's
+/// attributes. Complexity: O(n²·m) with n = |Σ| and m = |table|.
+///
+/// Errors are returned only for malformed inputs (FD over the wrong
+/// schema universe).
+Result<bool> CheckPropagation(const std::vector<XmlKey>& sigma,
+                              const TableTree& table, const Fd& fd,
+                              PropagationStats* stats = nullptr);
+
+/// The *value-semantics* component of propagation: condition (1) of
+/// CheckPropagation only (keyed ancestor + uniqueness), skipping the
+/// null-safety check. This is the semantics against which minimum covers
+/// are complete under Armstrong's axioms (the null condition is not
+/// preserved by augmentation, so GminimumCover re-checks it per FD — see
+/// DESIGN.md §7). Equivalent to classic FD satisfaction over the
+/// null-free tuples of every generated instance.
+Result<bool> CheckValuePropagation(const std::vector<XmlKey>& sigma,
+                                   const TableTree& table, const Fd& fd,
+                                   PropagationStats* stats = nullptr);
+
+/// Parses `fd_text` against the table's schema and runs CheckPropagation.
+Result<bool> CheckPropagation(const std::vector<XmlKey>& sigma,
+                              const TableTree& table,
+                              const std::string& fd_text,
+                              PropagationStats* stats = nullptr);
+
+/// A human-readable account of one propagation check — every keyed-chain
+/// step Fig. 5 performed and the null-safety bookkeeping, per RHS
+/// attribute. Produced by ExplainPropagation; rendered by ToString.
+struct PropagationTrace {
+  struct AncestorStep {
+    std::string var;                ///< the candidate `target` variable
+    std::string keyed_query;        ///< the key whose implication was asked
+    bool keyed = false;             ///< did `context` advance here?
+    std::string uniqueness_query;   ///< set when the target was keyed
+    bool unique = false;            ///< x unique under this target?
+  };
+  struct PerRhs {
+    std::string rhs_field;
+    bool trivial = false;           ///< RHS ∈ LHS (condition 1 immediate)
+    std::vector<AncestorStep> steps;
+    bool key_found = false;
+    std::vector<std::string> non_null_fields;   ///< proven by exist()
+    std::vector<std::string> null_risk_fields;  ///< Ycheck leftovers
+    bool non_null_ok = false;
+  };
+  std::vector<PerRhs> rhs;
+  bool propagated = false;
+
+  std::string ToString() const;
+};
+
+/// Runs the same decision as CheckPropagation but records why: the chain
+/// of implication queries, where the context advanced, which uniqueness
+/// check succeeded, and which LHS fields carry a null risk. The verdict
+/// always equals CheckPropagation's (tested).
+Result<PropagationTrace> ExplainPropagation(const std::vector<XmlKey>& sigma,
+                                            const TableTree& table,
+                                            const Fd& fd);
+
+/// The null-safety half of propagation, shared with GminimumCover:
+/// true iff every field in `lhs` is populated by an attribute of an
+/// ancestor-or-self of the variable populating `rhs_attr`, and that
+/// attribute is guaranteed to exist by `sigma` (AttributesExist).
+Result<bool> LhsNonNullWhenRhsPresent(const std::vector<XmlKey>& sigma,
+                                      const TableTree& table,
+                                      const AttrSet& lhs, size_t rhs_attr,
+                                      PropagationStats* stats = nullptr);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_CORE_PROPAGATION_H_

@@ -1,0 +1,199 @@
+#include "core/publish.h"
+
+#include <map>
+#include <optional>
+
+#include "core/minimum_cover.h"
+
+namespace xmlprop {
+
+namespace {
+
+// Signature of one element group: the variable plus the tuple values
+// that identify it (nullopt entries are part of the signature for
+// unkeyed variables).
+using GroupValues = std::vector<std::optional<std::string>>;
+
+class Publisher {
+ public:
+  Publisher(const Instance& instance, const TableTree& table,
+            std::vector<std::optional<AttrSet>> canonical,
+            std::string root_label)
+      : instance_(instance),
+        table_(table),
+        canonical_(std::move(canonical)),
+        out_(std::move(root_label)) {}
+
+  Result<Tree> Run() {
+    CollectSubtreeFields();
+    for (const Tuple& t : instance_.tuples()) {
+      XMLPROP_RETURN_NOT_OK(PlaceTuple(t));
+    }
+    return std::move(out_);
+  }
+
+ private:
+  bool IsAttributeVar(int v) const {
+    const TableTree::VarNode& node = table_.node(v);
+    return node.step.length() >= 1 && node.step.EndsWithAttribute();
+  }
+
+  void CollectSubtreeFields() {
+    subtree_fields_.assign(table_.size(), {});
+    for (size_t w = 0; w < table_.size(); ++w) {
+      int field = table_.node(static_cast<int>(w)).field;
+      if (field < 0) continue;
+      for (int v = static_cast<int>(w); v != -1; v = table_.node(v).parent) {
+        subtree_fields_[static_cast<size_t>(v)].push_back(
+            static_cast<size_t>(field));
+      }
+    }
+  }
+
+  // Group signature of element variable v under tuple t, or nullopt when
+  // the tuple does not instantiate v (null key fields / all-null subtree).
+  std::optional<GroupValues> GroupOf(int v, const Tuple& t) const {
+    if (v == table_.root()) return GroupValues{};
+    const auto& key = canonical_[static_cast<size_t>(v)];
+    if (key.has_value() && !key->Empty()) {
+      GroupValues values;
+      for (size_t f : key->ToVector()) {
+        if (!t[f].has_value()) return std::nullopt;
+        values.emplace_back(t[f]);
+      }
+      return values;
+    }
+    // Unkeyed (or keyed by ∅, i.e. globally unique): group under the
+    // parent by the subtree's field values; an all-null subtree means
+    // the element is absent from this tuple.
+    int parent = table_.node(v).parent;
+    std::optional<GroupValues> parent_group = GroupOf(parent, t);
+    if (!parent_group.has_value()) return std::nullopt;
+    GroupValues values = std::move(*parent_group);
+    values.emplace_back("/" + table_.node(v).name);  // scope separator
+    bool any = false;
+    for (size_t f : subtree_fields_[static_cast<size_t>(v)]) {
+      values.emplace_back(t[f]);
+      any = any || t[f].has_value();
+    }
+    if (!any && !(key.has_value() && key->Empty())) return std::nullopt;
+    return values;
+  }
+
+  // The element node for (v, group), creating it (and its ancestors) on
+  // demand.
+  Result<NodeId> ElementFor(int v, const GroupValues& group, const Tuple& t) {
+    if (v == table_.root()) return out_.root();
+    auto it = elements_.find({v, group});
+    if (it != elements_.end()) return it->second;
+
+    int parent = table_.node(v).parent;
+    std::optional<GroupValues> parent_group = GroupOf(parent, t);
+    if (!parent_group.has_value()) {
+      return Status::Internal("child instantiated without its parent");
+    }
+    XMLPROP_ASSIGN_OR_RETURN(NodeId parent_elem,
+                             ElementFor(parent, *parent_group, t));
+    // Materialize the step's label atoms as a nested chain ("//" becomes
+    // a direct edge).
+    NodeId cur = parent_elem;
+    for (const PathAtom& atom : table_.node(v).step.atoms()) {
+      if (atom.is_descendant() || atom.is_attribute()) continue;
+      cur = out_.CreateElement(cur, atom.label);
+    }
+    if (cur == parent_elem) {
+      return Status::InvalidArgument(
+          "variable " + table_.node(v).name +
+          " has no element label in its step; cannot publish");
+    }
+    elements_.emplace(std::make_pair(v, group), cur);
+    return cur;
+  }
+
+  Status PlaceTuple(const Tuple& t) {
+    for (size_t vi = 1; vi < table_.size(); ++vi) {
+      int v = static_cast<int>(vi);
+      const TableTree::VarNode& node = table_.node(v);
+      if (IsAttributeVar(v)) {
+        // Attribute variable: set the attribute on the parent's element.
+        if (node.field < 0 || !t[static_cast<size_t>(node.field)]) continue;
+        const std::string& value = *t[static_cast<size_t>(node.field)];
+        int parent = node.parent;
+        std::optional<GroupValues> group = GroupOf(parent, t);
+        if (!group.has_value()) continue;
+        XMLPROP_ASSIGN_OR_RETURN(NodeId elem, ElementFor(parent, *group, t));
+        const std::string attr =
+            node.step.atoms().back().label.substr(1);
+        std::optional<std::string> existing =
+            out_.AttributeValue(elem, attr);
+        if (existing.has_value() && *existing != value) {
+          return Status::InvalidArgument(
+              "instance is inconsistent with the keys: field " +
+              table_.schema().attributes()[static_cast<size_t>(node.field)] +
+              " has conflicting values ('" + *existing + "' vs '" + value +
+              "') for one element");
+        }
+        XMLPROP_RETURN_NOT_OK(out_.SetAttributeValue(elem, attr, value));
+        continue;
+      }
+
+      // Element variable: instantiate only when the tuple actually
+      // carries data beneath it (a keyed variable's key fields may be
+      // non-null — they live on ancestors — while its own subtree, and
+      // hence the original element, is absent).
+      bool has_data = false;
+      for (size_t f : subtree_fields_[vi]) {
+        has_data = has_data || t[f].has_value();
+      }
+      if (!has_data) continue;
+      std::optional<GroupValues> group = GroupOf(v, t);
+      if (!group.has_value()) continue;
+      XMLPROP_ASSIGN_OR_RETURN(NodeId elem, ElementFor(v, *group, t));
+      // Field-bearing element: its value is the text content.
+      if (node.field >= 0 && t[static_cast<size_t>(node.field)]) {
+        const std::string& value = *t[static_cast<size_t>(node.field)];
+        const Node& n = out_.node(elem);
+        if (n.children.empty()) {
+          out_.CreateText(elem, value);
+        } else if (out_.node(n.children[0]).value != value) {
+          return Status::InvalidArgument(
+              "instance is inconsistent with the keys: field " +
+              table_.schema().attributes()[static_cast<size_t>(node.field)] +
+              " has conflicting text values for one element");
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  const Instance& instance_;
+  const TableTree& table_;
+  std::vector<std::optional<AttrSet>> canonical_;
+  Tree out_;
+  // Fields populated anywhere in each variable's subtree.
+  std::vector<std::vector<size_t>> subtree_fields_;
+  std::map<std::pair<int, GroupValues>, NodeId> elements_;
+};
+
+}  // namespace
+
+Result<Tree> PublishXml(const Instance& instance, const TableTree& table,
+                        const std::vector<XmlKey>& sigma,
+                        std::string root_label) {
+  if (instance.schema().arity() != table.schema().arity()) {
+    return Status::InvalidArgument(
+        "instance schema does not match the table tree");
+  }
+  XMLPROP_ASSIGN_OR_RETURN(std::vector<NodeKeyAssignment> node_keys,
+                           ComputeNodeKeys(sigma, table));
+  std::vector<std::optional<AttrSet>> canonical;
+  canonical.reserve(node_keys.size());
+  for (NodeKeyAssignment& nk : node_keys) {
+    canonical.push_back(std::move(nk.canonical_key));
+  }
+  Publisher publisher(instance, table, std::move(canonical),
+                      std::move(root_label));
+  return publisher.Run();
+}
+
+}  // namespace xmlprop

@@ -1,0 +1,46 @@
+#ifndef XMLPROP_CORE_PUBLISH_H_
+#define XMLPROP_CORE_PUBLISH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "keys/xml_key.h"
+#include "relational/instance.h"
+#include "transform/table_tree.h"
+#include "xml/tree.h"
+
+namespace xmlprop {
+
+/// The inverse bridge: publishes a universal-relation instance back to a
+/// canonical XML document along the structure of the table tree — the
+/// XML-publishing half of the XML⇄relational round trip (the paper's
+/// transformation language is "similar to that of STORED", which works
+/// both ways; Section 7 lists "understanding XML to XML transformations"
+/// as an application).
+///
+/// Reconstruction must know which tuples describe the *same* element;
+/// that is exactly what the XML keys decide. Elements are grouped per
+/// variable of the table tree:
+///   - a variable keyed by Σ (canonical transitive key from Algorithm
+///     minimumCover's machinery) groups tuples by its key-field values —
+///     one element per distinct non-null combination;
+///   - an unkeyed variable (e.g. the multi-valued author of Example 3.1)
+///     groups by its parent's group plus the values of every field
+///     populated beneath it — the set-semantics inverse of the
+///     evaluation's implicit Cartesian product;
+///   - attribute fields become attributes, element-valued fields become
+///     text children; tuples contribute only their non-null prefix.
+///
+/// "//"-steps materialize as a direct child edge and multi-label steps
+/// as a nested chain (the canonical choices). Conflicting values for the
+/// same keyed element (an instance inconsistent with the keys) are
+/// reported as errors. Shred(Publish(I)) = I is property-tested for
+/// instances produced by shredding key-satisfying documents.
+Result<Tree> PublishXml(const Instance& instance, const TableTree& table,
+                        const std::vector<XmlKey>& sigma,
+                        std::string root_label = "r");
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_CORE_PUBLISH_H_

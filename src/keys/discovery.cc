@@ -1,0 +1,212 @@
+#include "keys/discovery.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "keys/implication.h"
+#include "keys/satisfaction.h"
+
+namespace xmlprop {
+
+namespace {
+
+// All simple label paths of length 1..max_len starting below `from`
+// (label steps only, no attributes), deduplicated.
+void CollectRelativePaths(const Tree& tree, NodeId from, size_t max_len,
+                          std::set<std::vector<std::string>>* out) {
+  struct Frame {
+    NodeId node;
+    std::vector<std::string> path;
+  };
+  std::vector<Frame> stack = {{from, {}}};
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    if (frame.path.size() >= max_len) continue;
+    for (NodeId child : tree.node(frame.node).children) {
+      if (tree.node(child).kind != NodeKind::kElement) continue;
+      std::vector<std::string> extended = frame.path;
+      extended.push_back(tree.node(child).label);
+      out->insert(extended);
+      stack.push_back({child, std::move(extended)});
+    }
+  }
+}
+
+PathExpr PathFromLabels(const std::vector<std::string>& labels) {
+  std::vector<PathAtom> atoms;
+  atoms.reserve(labels.size());
+  for (const std::string& l : labels) atoms.push_back(PathAtom::Label(l));
+  return PathExpr::FromAtoms(std::move(atoms));
+}
+
+// Attribute names present on every node of `targets` (the only
+// attributes a satisfiable key may use — Definition 2.1 condition 1).
+std::vector<std::string> CommonAttributes(const Tree& tree,
+                                          const std::vector<NodeId>& targets) {
+  std::vector<std::string> common;
+  bool first = true;
+  for (NodeId t : targets) {
+    std::set<std::string> here;
+    for (NodeId attr : tree.node(t).attributes) {
+      here.insert(tree.node(attr).label);
+    }
+    if (first) {
+      common.assign(here.begin(), here.end());
+      first = false;
+    } else {
+      common.erase(std::remove_if(common.begin(), common.end(),
+                                  [&](const std::string& a) {
+                                    return here.find(a) == here.end();
+                                  }),
+                   common.end());
+    }
+    if (common.empty()) break;
+  }
+  return common;
+}
+
+// All subsets of `attrs` with size in [1, max_size], smallest first.
+std::vector<std::vector<std::string>> AttributeSubsets(
+    const std::vector<std::string>& attrs, size_t max_size) {
+  std::vector<std::vector<std::string>> subsets;
+  const size_t n = attrs.size();
+  if (n > 20) return subsets;  // degenerate documents; give up gracefully
+  for (uint64_t mask = 1; mask < (uint64_t{1} << n); ++mask) {
+    std::vector<std::string> subset;
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) subset.push_back(attrs[i]);
+    }
+    if (subset.size() <= max_size) subsets.push_back(std::move(subset));
+  }
+  std::stable_sort(subsets.begin(), subsets.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.size() < b.size();
+                   });
+  return subsets;
+}
+
+}  // namespace
+
+Result<std::vector<DiscoveredKey>> DiscoverKeys(
+    const Tree& tree, const DiscoveryOptions& options) {
+  // Candidate contexts: ε plus //L for every element label.
+  std::set<std::string> labels;
+  for (NodeId n : tree.DescendantsOrSelf(tree.root())) {
+    if (n != tree.root()) labels.insert(tree.node(n).label);
+  }
+  struct ContextCand {
+    PathExpr path;
+    std::vector<NodeId> nodes;
+  };
+  std::vector<ContextCand> contexts;
+  contexts.push_back({PathExpr(), {tree.root()}});
+  for (const std::string& label : labels) {
+    XMLPROP_ASSIGN_OR_RETURN(
+        PathExpr p, PathExpr::Parse("//" + label));
+    std::vector<NodeId> nodes = p.EvalFromRoot(tree);
+    if (!nodes.empty()) contexts.push_back({std::move(p), std::move(nodes)});
+  }
+
+  std::vector<DiscoveredKey> discovered;
+  size_t candidates_examined = 0;
+
+  for (const ContextCand& ctx : contexts) {
+    // Target candidates: relative simple paths under the context nodes;
+    // for the root context also //L (the paper's absolute-key idiom).
+    std::set<std::vector<std::string>> rel_paths;
+    for (NodeId n : ctx.nodes) {
+      CollectRelativePaths(tree, n, options.max_target_length, &rel_paths);
+    }
+    std::vector<PathExpr> targets;
+    for (const auto& labels_path : rel_paths) {
+      targets.push_back(PathFromLabels(labels_path));
+    }
+    if (ctx.path.IsEpsilon()) {
+      for (const std::string& label : labels) {
+        XMLPROP_ASSIGN_OR_RETURN(PathExpr p,
+                                 PathExpr::Parse("//" + label));
+        targets.push_back(std::move(p));
+      }
+    }
+
+    for (const PathExpr& target : targets) {
+      if (++candidates_examined > options.max_candidates) {
+        return Status::InvalidArgument(
+            "key discovery exceeded max_candidates=" +
+            std::to_string(options.max_candidates) +
+            "; raise the limit or tighten the bounds");
+      }
+      // Gather all targets (for evidence counts and common attributes).
+      std::vector<NodeId> all_targets;
+      for (NodeId n : ctx.nodes) {
+        std::vector<NodeId> t = target.Eval(tree, n);
+        all_targets.insert(all_targets.end(), t.begin(), t.end());
+      }
+      if (all_targets.size() < std::max<size_t>(options.min_targets, 1)) {
+        continue;
+      }
+
+      // Try ∅ first (strongest), then minimal attribute sets.
+      std::vector<std::vector<std::string>> attr_sets = {{}};
+      for (auto& s : AttributeSubsets(CommonAttributes(tree, all_targets),
+                                      options.max_attributes)) {
+        attr_sets.push_back(std::move(s));
+      }
+      std::vector<std::vector<std::string>> kept;
+      for (const std::vector<std::string>& attrs : attr_sets) {
+        // Skip supersets of already-kept sets (non-minimal).
+        bool dominated = false;
+        for (const auto& k : kept) {
+          dominated = std::includes(attrs.begin(), attrs.end(), k.begin(),
+                                    k.end());
+          if (dominated) break;
+        }
+        if (dominated) continue;
+        XmlKey key("", ctx.path, target, attrs);
+        if (Satisfies(tree, key)) {
+          kept.push_back(attrs);
+          DiscoveredKey dk;
+          dk.key = std::move(key);
+          dk.context_count = ctx.nodes.size();
+          dk.target_count = all_targets.size();
+          discovered.push_back(std::move(dk));
+        }
+      }
+    }
+  }
+
+  if (options.prune_implied) {
+    // Drop keys implied by the remaining ones (full Def. 2.1 semantics).
+    std::vector<DiscoveredKey> reduced;
+    for (size_t i = 0; i < discovered.size(); ++i) {
+      std::vector<XmlKey> others;
+      for (size_t j = 0; j < discovered.size(); ++j) {
+        if (j == i) continue;
+        // Keys already pruned do not count as support.
+        bool pruned = true;
+        for (const DiscoveredKey& r : reduced) {
+          if (r.key == discovered[j].key) pruned = false;
+        }
+        if (j > i || !pruned) others.push_back(discovered[j].key);
+      }
+      if (!Implies(others, discovered[i].key)) {
+        reduced.push_back(discovered[i]);
+      }
+    }
+    discovered = std::move(reduced);
+  }
+
+  // Name the keys deterministically.
+  for (size_t i = 0; i < discovered.size(); ++i) {
+    discovered[i].key = XmlKey("D" + std::to_string(i + 1),
+                               discovered[i].key.context(),
+                               discovered[i].key.target(),
+                               discovered[i].key.attributes());
+  }
+  return discovered;
+}
+
+}  // namespace xmlprop

@@ -1,0 +1,59 @@
+#ifndef XMLPROP_KEYS_DISCOVERY_H_
+#define XMLPROP_KEYS_DISCOVERY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "keys/xml_key.h"
+#include "xml/tree.h"
+
+namespace xmlprop {
+
+/// Bounds for the key-discovery search.
+struct DiscoveryOptions {
+  /// Largest key attribute set tried (∅ — "at most one target" — is
+  /// always tried as well).
+  size_t max_attributes = 2;
+  /// Longest relative target path tried (simple label steps only).
+  size_t max_target_length = 2;
+  /// Safety cap on the number of (context, target) candidates examined.
+  size_t max_candidates = 20000;
+  /// When true, keys implied (Algorithm implication) by other discovered
+  /// keys are pruned from the result.
+  bool prune_implied = true;
+  /// Minimum evidence: candidates whose total target count across all
+  /// contexts is below this are dropped. 1 accepts everything the
+  /// document supports; ≥2 filters out "keys" vacuously true on
+  /// singleton targets (useful for autodesign on small samples).
+  size_t min_targets = 1;
+};
+
+/// A key that holds on the examined document, with evidence counts.
+struct DiscoveredKey {
+  XmlKey key;
+  /// Number of context nodes the key was checked under.
+  size_t context_count = 0;
+  /// Total number of target nodes across all contexts.
+  size_t target_count = 0;
+};
+
+/// Mines the XML keys (class K⁻) satisfied by `tree`: the Example 1.1
+/// situation in reverse — instead of "digging through the documentation",
+/// propose the constraints the data obeys, to be confirmed by the data
+/// owner. Discovered keys hold on *this* document; they are candidate
+/// constraints, not guarantees.
+///
+/// Search space: contexts ε and //L for every element label L in the
+/// document; targets are the label paths observed under the context
+/// nodes (up to max_target_length, plus //L targets for the root
+/// context); attribute sets are subsets (≤ max_attributes) of the
+/// attributes common to every target node, plus ∅. Within one
+/// (context, target) pair only minimal attribute sets are kept, and
+/// (optionally) keys implied by the rest are pruned, so the result is a
+/// reduced cover of what was observed.
+Result<std::vector<DiscoveredKey>> DiscoverKeys(
+    const Tree& tree, const DiscoveryOptions& options = {});
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_KEYS_DISCOVERY_H_

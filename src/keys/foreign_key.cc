@@ -1,0 +1,257 @@
+#include "keys/foreign_key.h"
+
+#include <map>
+#include <set>
+
+#include "common/str_util.h"
+#include "keys/satisfaction.h"
+
+namespace xmlprop {
+
+XmlForeignKey::XmlForeignKey(std::string name, PathExpr context,
+                             PathExpr source_target,
+                             std::vector<std::string> source_attrs,
+                             PathExpr ref_target,
+                             std::vector<std::string> ref_attrs)
+    : name_(std::move(name)),
+      context_(std::move(context)),
+      source_target_(std::move(source_target)),
+      source_attrs_(std::move(source_attrs)),
+      ref_target_(std::move(ref_target)),
+      ref_attrs_(std::move(ref_attrs)) {}
+
+namespace {
+
+Status FkSyntaxError(std::string_view text, std::string_view what) {
+  return Status::ParseError("foreign key syntax error (" +
+                            std::string(what) + "): " + std::string(text));
+}
+
+// Parses "(T, {@a, @b})" into a path and ordered attribute list.
+Status ParseSide(std::string_view side, std::string_view original,
+                 PathExpr* path, std::vector<std::string>* attrs) {
+  std::string_view s = TrimWhitespace(side);
+  if (s.empty() || s.front() != '(' || s.back() != ')') {
+    return FkSyntaxError(original, "expected (T, {@a, ...})");
+  }
+  std::string_view inner = TrimWhitespace(s.substr(1, s.size() - 2));
+  size_t brace = inner.find('{');
+  size_t comma = inner.rfind(
+      ',', brace == std::string_view::npos ? std::string_view::npos : brace);
+  if (brace == std::string_view::npos || comma == std::string_view::npos ||
+      inner.back() != '}') {
+    return FkSyntaxError(original, "expected (T, {@a, ...})");
+  }
+  Result<PathExpr> parsed =
+      PathExpr::Parse(TrimWhitespace(inner.substr(0, comma)));
+  XMLPROP_RETURN_NOT_OK(parsed.status());
+  *path = std::move(parsed).value();
+  std::string_view attr_text =
+      TrimWhitespace(inner.substr(brace + 1, inner.size() - brace - 2));
+  attrs->clear();
+  if (!attr_text.empty()) {
+    for (const std::string& piece : SplitAndTrim(attr_text, ',')) {
+      if (piece.empty() || piece[0] != '@' ||
+          !IsValidName(std::string_view(piece).substr(1))) {
+        return FkSyntaxError(original, "bad attribute '" + piece + "'");
+      }
+      attrs->push_back(piece.substr(1));
+    }
+  }
+  return Status::OK();
+}
+
+// Ordered attribute value tuple of `node`, or nullopt if any is missing.
+std::optional<std::vector<std::string>> TupleOf(
+    const Tree& tree, NodeId node, const std::vector<std::string>& attrs) {
+  std::vector<std::string> tuple;
+  tuple.reserve(attrs.size());
+  for (const std::string& a : attrs) {
+    std::optional<std::string> v = tree.AttributeValue(node, a);
+    if (!v.has_value()) return std::nullopt;
+    tuple.push_back(std::move(*v));
+  }
+  return tuple;
+}
+
+}  // namespace
+
+Result<XmlForeignKey> XmlForeignKey::Parse(std::string_view text) {
+  std::string_view s = TrimWhitespace(text);
+
+  std::string name;
+  size_t colon = s.find(':');
+  size_t paren = s.find('(');
+  if (colon != std::string_view::npos &&
+      (paren == std::string_view::npos || colon < paren)) {
+    name = std::string(TrimWhitespace(s.substr(0, colon)));
+    s = TrimWhitespace(s.substr(colon + 1));
+  }
+  if (s.empty() || s.front() != '(' || s.back() != ')') {
+    return FkSyntaxError(text, "expected (C, (T1, {...}) => (T2, {...}))");
+  }
+  std::string_view body = TrimWhitespace(s.substr(1, s.size() - 2));
+
+  // Split at the top-level comma (end of the context path).
+  size_t depth = 0;
+  size_t split = std::string_view::npos;
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (body[i] == '(' || body[i] == '{') ++depth;
+    if (body[i] == ')' || body[i] == '}') {
+      if (depth == 0) return FkSyntaxError(text, "unbalanced parentheses");
+      --depth;
+    }
+    if (body[i] == ',' && depth == 0) {
+      split = i;
+      break;
+    }
+  }
+  if (split == std::string_view::npos) {
+    return FkSyntaxError(text, "missing top-level comma after context");
+  }
+  Result<PathExpr> context =
+      PathExpr::Parse(TrimWhitespace(body.substr(0, split)));
+  XMLPROP_RETURN_NOT_OK(context.status());
+  std::string_view rest = TrimWhitespace(body.substr(split + 1));
+
+  size_t arrow = rest.find("=>");
+  if (arrow == std::string_view::npos) {
+    return FkSyntaxError(text, "missing '=>'");
+  }
+  PathExpr source_target, ref_target;
+  std::vector<std::string> source_attrs, ref_attrs;
+  XMLPROP_RETURN_NOT_OK(ParseSide(rest.substr(0, arrow), text,
+                                  &source_target, &source_attrs));
+  XMLPROP_RETURN_NOT_OK(
+      ParseSide(rest.substr(arrow + 2), text, &ref_target, &ref_attrs));
+
+  if (source_attrs.empty() || source_attrs.size() != ref_attrs.size()) {
+    return FkSyntaxError(
+        text, "attribute lists must be non-empty and of equal length");
+  }
+  if (context->EndsWithAttribute() || source_target.EndsWithAttribute() ||
+      ref_target.EndsWithAttribute()) {
+    return FkSyntaxError(text, "paths must target elements");
+  }
+  return XmlForeignKey(std::move(name), std::move(context).value(),
+                       std::move(source_target), std::move(source_attrs),
+                       std::move(ref_target), std::move(ref_attrs));
+}
+
+XmlKey XmlForeignKey::ReferencedKey() const {
+  return XmlKey(name_.empty() ? "" : name_ + ".key", context_, ref_target_,
+                ref_attrs_);
+}
+
+std::string XmlForeignKey::ToString() const {
+  std::string out;
+  if (!name_.empty()) out += name_ + ": ";
+  out += "(" + context_.ToString() + ", (" + source_target_.ToString() +
+         ", {";
+  for (size_t i = 0; i < source_attrs_.size(); ++i) {
+    out += (i ? ", @" : "@") + source_attrs_[i];
+  }
+  out += "}) => (" + ref_target_.ToString() + ", {";
+  for (size_t i = 0; i < ref_attrs_.size(); ++i) {
+    out += (i ? ", @" : "@") + ref_attrs_[i];
+  }
+  out += "}))";
+  return out;
+}
+
+Result<std::vector<XmlForeignKey>> ParseForeignKeySet(
+    std::string_view text) {
+  std::vector<XmlForeignKey> fks;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t eol = text.find('\n', start);
+    std::string_view line = (eol == std::string_view::npos)
+                                ? text.substr(start)
+                                : text.substr(start, eol - start);
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = TrimWhitespace(line);
+    if (!line.empty()) {
+      XMLPROP_ASSIGN_OR_RETURN(XmlForeignKey fk, XmlForeignKey::Parse(line));
+      fks.push_back(std::move(fk));
+    }
+    if (eol == std::string_view::npos) break;
+    start = eol + 1;
+  }
+  return fks;
+}
+
+std::string ForeignKeyViolation::Describe(const Tree& tree,
+                                          const XmlForeignKey& fk) const {
+  std::string out = "foreign key ";
+  out += fk.name().empty() ? fk.ToString() : fk.name();
+  switch (kind) {
+    case Kind::kMissingSourceAttribute:
+      out += ": source node <" + tree.node(node).label + "> lacks " + detail;
+      break;
+    case Kind::kDanglingReference:
+      out += ": source node <" + tree.node(node).label +
+             "> references missing tuple " + detail;
+      break;
+    case Kind::kReferencedNotKey:
+      out += ": referenced side is not a key (" + detail + ")";
+      break;
+  }
+  return out;
+}
+
+std::vector<ForeignKeyViolation> CheckForeignKey(const Tree& tree,
+                                                 const XmlForeignKey& fk) {
+  std::vector<ForeignKeyViolation> violations;
+
+  // (ii) the referenced side must be a key.
+  for (const KeyViolation& kv : CheckKey(tree, fk.ReferencedKey())) {
+    ForeignKeyViolation v;
+    v.kind = ForeignKeyViolation::Kind::kReferencedNotKey;
+    v.context = kv.context;
+    v.node = kv.node1;
+    v.detail = kv.kind == KeyViolation::Kind::kMissingAttribute
+                   ? "missing @" + kv.attribute
+                   : "duplicate key values";
+    violations.push_back(std::move(v));
+  }
+
+  // (i) inclusion, per context node.
+  for (NodeId ctx : fk.context().EvalFromRoot(tree)) {
+    if (tree.node(ctx).kind != NodeKind::kElement) continue;
+    std::set<std::vector<std::string>> referenced;
+    for (NodeId r : fk.ref_target().Eval(tree, ctx)) {
+      std::optional<std::vector<std::string>> tuple =
+          TupleOf(tree, r, fk.ref_attrs());
+      if (tuple.has_value()) referenced.insert(std::move(*tuple));
+    }
+    for (NodeId s : fk.source_target().Eval(tree, ctx)) {
+      std::optional<std::vector<std::string>> tuple =
+          TupleOf(tree, s, fk.source_attrs());
+      if (!tuple.has_value()) {
+        ForeignKeyViolation v;
+        v.kind = ForeignKeyViolation::Kind::kMissingSourceAttribute;
+        v.context = ctx;
+        v.node = s;
+        v.detail = "one of its referencing attributes";
+        violations.push_back(std::move(v));
+        continue;
+      }
+      if (referenced.find(*tuple) == referenced.end()) {
+        ForeignKeyViolation v;
+        v.kind = ForeignKeyViolation::Kind::kDanglingReference;
+        v.context = ctx;
+        v.node = s;
+        v.detail = "(" + Join(*tuple, ", ") + ")";
+        violations.push_back(std::move(v));
+      }
+    }
+  }
+  return violations;
+}
+
+bool Satisfies(const Tree& tree, const XmlForeignKey& fk) {
+  return CheckForeignKey(tree, fk).empty();
+}
+
+}  // namespace xmlprop

@@ -1,0 +1,96 @@
+#ifndef XMLPROP_KEYS_FOREIGN_KEY_H_
+#define XMLPROP_KEYS_FOREIGN_KEY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "keys/xml_key.h"
+#include "xml/tree.h"
+
+namespace xmlprop {
+
+/// An XML foreign key, the second constraint species of XML Schema that
+/// Section 3 discusses: within every context node n ∈ [[C]],
+///
+///   (C, (T1, {@a1..@ak})  ⊆  (T2, {@b1..@bk}))
+///
+/// requires (i) each T1-node's attribute tuple (a1..ak) to equal the
+/// (b1..bk) tuple of some T2-node under the same context (inclusion), and
+/// (ii) (C, (T2, {@b1..@bk})) to be a key (the referenced side must
+/// identify — XML Schema's keyref-targets-key rule).
+///
+/// IMPORTANT: this class exists for *checking documents only*. There is
+/// deliberately no propagation API for it: Theorem 3.2 proves that
+/// propagation for keys + foreign keys is undecidable for any
+/// transformation language expressing the identity mapping (by reduction
+/// from implication of relational keys + foreign keys [Fan & Libkin,
+/// JACM'02]).
+class XmlForeignKey {
+ public:
+  XmlForeignKey() = default;
+  XmlForeignKey(std::string name, PathExpr context, PathExpr source_target,
+                std::vector<std::string> source_attrs, PathExpr ref_target,
+                std::vector<std::string> ref_attrs);
+
+  /// Parses "name: (C, (T1, {@a1,..}) => (T2, {@b1,..}))". The two
+  /// attribute lists must have equal, non-zero length; positions
+  /// correspond (a_i references b_i).
+  static Result<XmlForeignKey> Parse(std::string_view text);
+
+  const std::string& name() const { return name_; }
+  const PathExpr& context() const { return context_; }
+  const PathExpr& source_target() const { return source_target_; }
+  const std::vector<std::string>& source_attrs() const {
+    return source_attrs_;
+  }
+  const PathExpr& ref_target() const { return ref_target_; }
+  const std::vector<std::string>& ref_attrs() const { return ref_attrs_; }
+
+  /// The key constraint on the referenced side, (C, (T2, {@b1..@bk})).
+  XmlKey ReferencedKey() const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  PathExpr context_;
+  PathExpr source_target_;
+  std::vector<std::string> source_attrs_;  // in declaration order
+  PathExpr ref_target_;
+  std::vector<std::string> ref_attrs_;     // in declaration order
+};
+
+/// One violation of a foreign key.
+struct ForeignKeyViolation {
+  enum class Kind {
+    /// A source node lacks one of the referencing attributes.
+    kMissingSourceAttribute,
+    /// A source tuple matches no referenced node's tuple (dangling).
+    kDanglingReference,
+    /// The referenced side fails to be a key (duplicate / missing attrs).
+    kReferencedNotKey,
+  };
+  Kind kind = Kind::kDanglingReference;
+  NodeId context = kInvalidNode;
+  NodeId node = kInvalidNode;  ///< the offending source node, if any
+  std::string detail;
+
+  std::string Describe(const Tree& tree, const XmlForeignKey& fk) const;
+};
+
+/// Parses a newline-separated list of foreign keys; '#' starts a comment
+/// (same conventions as ParseKeySet).
+Result<std::vector<XmlForeignKey>> ParseForeignKeySet(std::string_view text);
+
+/// All violations of `fk` in `tree` (empty = satisfied).
+std::vector<ForeignKeyViolation> CheckForeignKey(const Tree& tree,
+                                                 const XmlForeignKey& fk);
+
+/// True iff `tree` satisfies `fk`.
+bool Satisfies(const Tree& tree, const XmlForeignKey& fk);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_KEYS_FOREIGN_KEY_H_

@@ -1,0 +1,204 @@
+#include "keys/implication.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+namespace xmlprop {
+
+std::string ImplicationWitness::Describe(const std::vector<XmlKey>& sigma,
+                                         const XmlKey& phi) const {
+  std::string out = "Σ ⊨ " + phi.ToString() + " ";
+  if (!witness_index.has_value()) {
+    out += "by the epsilon axiom (target ≡ ε)";
+    return out;
+  }
+  const XmlKey& k = sigma[*witness_index];
+  out += "witnessed by " + (k.name().empty() ? k.ToString() : k.name());
+  out += " via split " + k.target().ToString() + " ≡ " + t1.ToString() +
+         " / " + t2.ToString();
+  out += "; target-to-context gives (" + k.context().Concat(t1).ToString() +
+         ", (" + t2.ToString() + ", ...)); containment + superkey close the gap";
+  return out;
+}
+
+namespace {
+
+// One candidate split of a witness key's target: T ≡ T[0,cut1) / T[cut2,n)
+// with cut2 == cut1 (a boundary split) or cut2 == cut1 - 1 (the
+// self-overlapping split of a "//" atom, since // ≡ ////).
+struct SplitPoint {
+  size_t cut1;
+  size_t cut2;
+};
+
+// Tests whether key k witnesses φ via the split (cut1, cut2):
+// target-to-context gives (C/T1, (T2, S')); context and target
+// containment then close the gap. Runs on atom spans — no allocation.
+bool SplitWitnesses(const XmlKey& k, const XmlKey& phi, SplitPoint sp) {
+  return PathContains(
+             AtomSeq::Concat(k.context(), k.target(), 0, sp.cut1),
+             AtomSeq::Of(phi.context())) &&
+         PathContains(
+             AtomSeq::Slice(k.target(), sp.cut2, k.target().length()),
+             AtomSeq::Of(phi.target()));
+}
+
+}  // namespace
+
+std::optional<ImplicationWitness> FindWitness(const std::vector<XmlKey>& sigma,
+                                              const XmlKey& phi) {
+  // Epsilon axiom: a subtree has exactly one root, so identification under
+  // any attribute set is trivial when the target is ε.
+  if (phi.target().IsEpsilon()) {
+    return ImplicationWitness{std::nullopt, PathExpr(), PathExpr()};
+  }
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    const XmlKey& k = sigma[i];
+    // Superkey rule precondition (identification only): the witness's
+    // attributes must all be among φ's attributes.
+    if (!k.AttributesSubsetOf(phi)) continue;
+    const size_t n = k.target().length();
+    for (size_t cut = 0; cut <= n; ++cut) {
+      SplitPoint sp{cut, cut};
+      if (SplitWitnesses(k, phi, sp)) {
+        const auto& atoms = k.target().atoms();
+        return ImplicationWitness{
+            i,
+            PathExpr::FromAtoms({atoms.begin(),
+                                 atoms.begin() + static_cast<long>(cut)}),
+            PathExpr::FromAtoms({atoms.begin() + static_cast<long>(cut),
+                                 atoms.end()})};
+      }
+      // Overlapping split: a "//" atom may belong to both halves.
+      if (cut < n && k.target().atoms()[cut].is_descendant()) {
+        SplitPoint overlap{cut + 1, cut};
+        if (SplitWitnesses(k, phi, overlap)) {
+          const auto& atoms = k.target().atoms();
+          return ImplicationWitness{
+              i,
+              PathExpr::FromAtoms(
+                  {atoms.begin(), atoms.begin() + static_cast<long>(cut) + 1}),
+              PathExpr::FromAtoms(
+                  {atoms.begin() + static_cast<long>(cut), atoms.end()})};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// Recursive decision procedure for identification, closed under the
+// composition rule. The recursion strictly decreases the measure
+// (|target atoms|, S non-empty), so it is a DAG; `memo` caches results on
+// (context, target, S-emptiness) states.
+bool ImpliesIdentRec(const std::vector<XmlKey>& sigma, const XmlKey& phi,
+                     std::map<std::string, bool>* memo) {
+  if (phi.target().IsEpsilon()) return true;
+
+  // Single-atom targets cannot be composed, so the witness search is the
+  // whole computation — skip the (string-keyed) memo table for them.
+  // Note there is no explicit weakening step: a witness key with an empty
+  // attribute set already passes the S' ⊆ S test inside FindWitness, so
+  // "(C,(T,∅)) identifies under any S" falls out of the search.
+  const std::vector<PathAtom>& atoms = phi.target().atoms();
+  if (atoms.size() <= 1) return FindWitness(sigma, phi).has_value();
+
+  std::string state = phi.context().ToString() + "|" +
+                      phi.target().ToString() + "|" +
+                      (phi.attributes().empty() ? "0" : "1");
+  auto it = memo->find(state);
+  if (it != memo->end()) return it->second;
+
+  bool result = FindWitness(sigma, phi).has_value();
+
+  // Composition: Qt ≡ A/B (non-overlapping, both non-ε): at most one
+  // A-node per context, and B identified under Qc/A.
+  for (size_t cut = 1; !result && cut < atoms.size(); ++cut) {
+    PathExpr a = PathExpr::FromAtoms(
+        {atoms.begin(), atoms.begin() + static_cast<long>(cut)});
+    PathExpr b = PathExpr::FromAtoms(
+        {atoms.begin() + static_cast<long>(cut), atoms.end()});
+    XmlKey first("", phi.context(), a, {});
+    if (!ImpliesIdentRec(sigma, first, memo)) continue;
+    XmlKey second("", phi.context().Concat(a), b, phi.attributes());
+    result = ImpliesIdentRec(sigma, second, memo);
+  }
+
+  (*memo)[state] = result;
+  return result;
+}
+
+}  // namespace
+
+bool ImpliesIdentification(const std::vector<XmlKey>& sigma,
+                           const XmlKey& phi) {
+  std::map<std::string, bool> memo;
+  return ImpliesIdentRec(sigma, phi, &memo);
+}
+
+bool AttributesExist(const std::vector<XmlKey>& sigma,
+                     const PathExpr& node_path,
+                     const std::vector<std::string>& attrs) {
+  // A key (C, (T, S)) requires every node in [[C/T]] to carry all
+  // attributes of S (Definition 2.1 condition 1); if L(node_path) ⊆
+  // L(C/T) this covers the nodes at node_path.
+  std::vector<std::string> needed = attrs;
+  for (const XmlKey& key : sigma) {
+    if (needed.empty()) break;
+    if (key.attributes().empty()) continue;
+    if (!PathContains(key.context().Concat(key.target()), node_path)) {
+      continue;
+    }
+    needed.erase(std::remove_if(needed.begin(), needed.end(),
+                                [&](const std::string& attr) {
+                                  const auto& s = key.attributes();
+                                  return std::find(s.begin(), s.end(),
+                                                   attr) != s.end();
+                                }),
+                 needed.end());
+  }
+  return needed.empty();
+}
+
+bool Implies(const std::vector<XmlKey>& sigma, const XmlKey& phi) {
+  if (!ImpliesIdentification(sigma, phi)) return false;
+  if (phi.attributes().empty()) return true;
+  return AttributesExist(sigma, phi.context().Concat(phi.target()),
+                         phi.attributes());
+}
+
+bool ImmediatelyPrecedes(const XmlKey& a, const XmlKey& b) {
+  return PathEquivalent(a.context().Concat(a.target()), b.context());
+}
+
+bool IsTransitiveSet(const std::vector<XmlKey>& keys) {
+  const size_t n = keys.size();
+  // anchored[i] == true once key i is known to be preceded (transitively)
+  // by an absolute key, or is itself absolute.
+  std::vector<bool> anchored(n, false);
+  for (size_t i = 0; i < n; ++i) anchored[i] = keys[i].IsAbsolute();
+
+  // Fixpoint: a relative key becomes anchored when some anchored key
+  // immediately precedes it.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (anchored[i]) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (anchored[j] && ImmediatelyPrecedes(keys[j], keys[i])) {
+          anchored[i] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return std::all_of(anchored.begin(), anchored.end(),
+                     [](bool b) { return b; });
+}
+
+}  // namespace xmlprop

@@ -1,0 +1,80 @@
+#ifndef XMLPROP_KEYS_IMPLICATION_H_
+#define XMLPROP_KEYS_IMPLICATION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "keys/xml_key.h"
+
+namespace xmlprop {
+
+/// A single-key witness explaining why Σ implies the *identification*
+/// component of a key φ = (Qc, (Qt, S)): either the epsilon axiom
+/// (witness_index unset, Qt ≡ ε), or a key k = (C, (T, S')) ∈ Σ with
+/// S' ⊆ S whose target splits as T ≡ T1/T2 such that L(Qc) ⊆ L(C/T1)
+/// (target-to-context + context containment) and L(Qt) ⊆ L(T2) (target
+/// containment). See DESIGN.md §4.
+struct ImplicationWitness {
+  /// Index into Σ of the witnessing key; unset for the epsilon axiom.
+  std::optional<size_t> witness_index;
+  /// The split of the witnessing key's target (both ε for epsilon axiom).
+  PathExpr t1;
+  PathExpr t2;
+
+  /// Human-readable derivation.
+  std::string Describe(const std::vector<XmlKey>& sigma,
+                       const XmlKey& phi) const;
+};
+
+/// Finds a single-key witness for the identification component of φ, or
+/// nullopt. (ImpliesIdentification additionally closes under the
+/// composition rule and so can succeed where this fails.)
+std::optional<ImplicationWitness> FindWitness(const std::vector<XmlKey>& sigma,
+                                              const XmlKey& phi);
+
+/// Decides whether Σ forces the *identification* component of φ:
+/// in every tree satisfying Σ, two target nodes of φ agreeing on all of
+/// φ's attributes (when present) are the same node. This is condition (2)
+/// of Definition 2.1 alone — attribute *existence* (condition 1) is
+/// deliberately not required, because it is what the paper's `exist`
+/// function (Fig. 5) checks separately; see AttributesExist.
+///
+/// Sound rules implemented (DESIGN.md §4):
+///   - epsilon: a subtree has one root, so (C, (ε, S)) identifies;
+///   - single-key witness per FindWitness (superkey S' ⊆ S + target-to-
+///     context + the two containment rules);
+///   - composition: Qt ≡ A/B with Σ forcing ≤1 A-node per Qc-context
+///     (identification with S = ∅) and identification of B under Qc/A;
+///   - weakening: at most one target ((Qc,(Qt,∅))) identifies under any S.
+/// Polynomial via memoized recursion over splits.
+bool ImpliesIdentification(const std::vector<XmlKey>& sigma,
+                           const XmlKey& phi);
+
+/// The paper's function `exist` (Fig. 5): true iff every attribute in
+/// `attrs` is required by Σ to exist on every node reachable by
+/// `node_path` — i.e. for each @l ∈ attrs some key (C, (T, S)) has
+/// @l ∈ S and L(node_path) ⊆ L(C/T) (Definition 2.1 condition 1 makes
+/// key attributes mandatory on target nodes).
+bool AttributesExist(const std::vector<XmlKey>& sigma,
+                     const PathExpr& node_path,
+                     const std::vector<std::string>& attrs);
+
+/// Algorithm `implication` (Section 4): full Definition 2.1 implication
+/// Σ ⊨ φ — identification plus mandatory existence of φ's attributes on
+/// its target nodes. Every tree satisfying Σ satisfies φ.
+bool Implies(const std::vector<XmlKey>& sigma, const XmlKey& phi);
+
+/// "(Q, (Q', S)) immediately precedes (Q1, (Q1', S1))" iff Q1 ≡ Q/Q'
+/// (Section 4). The `precedes` relation is its transitive closure.
+bool ImmediatelyPrecedes(const XmlKey& a, const XmlKey& b);
+
+/// True iff `keys` is a *transitive set* (Section 4): every relative key
+/// is preceded (transitively) by an absolute key in the set. A transitive
+/// set identifies nodes uniquely within the whole document by providing
+/// key values along the context chain up to the root (Example 4.1).
+bool IsTransitiveSet(const std::vector<XmlKey>& keys);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_KEYS_IMPLICATION_H_

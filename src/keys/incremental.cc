@@ -1,0 +1,107 @@
+#include "keys/incremental.h"
+
+#include <algorithm>
+
+namespace xmlprop {
+
+namespace {
+
+// Labels on the path from ancestor `from` down to `to` (exclusive of
+// `from`, inclusive of `to`). `from` must be an ancestor-or-self of `to`.
+std::vector<std::string> LabelsBetween(const Tree& tree, NodeId from,
+                                       NodeId to) {
+  std::vector<std::string> labels;
+  NodeId cur = to;
+  while (cur != from) {
+    labels.push_back(tree.node(cur).label);
+    cur = tree.node(cur).parent;
+  }
+  std::reverse(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+IncrementalChecker::IncrementalChecker(std::vector<XmlKey> keys,
+                                       std::string root_label)
+    : keys_(std::move(keys)),
+      document_(std::move(root_label)),
+      index_(keys_.size()) {}
+
+void IncrementalChecker::CheckNewTarget(size_t key_index, NodeId context,
+                                        NodeId target,
+                                        std::vector<TaggedViolation>* out) {
+  const XmlKey& key = keys_[key_index];
+  bool complete = true;
+  std::vector<std::string> values;
+  values.reserve(key.attributes().size());
+  for (const std::string& attr : key.attributes()) {
+    std::optional<std::string> v = document_.AttributeValue(target, attr);
+    if (!v.has_value()) {
+      KeyViolation viol;
+      viol.kind = KeyViolation::Kind::kMissingAttribute;
+      viol.context = context;
+      viol.node1 = target;
+      viol.attribute = attr;
+      out->push_back(TaggedViolation{key_index, std::move(viol)});
+      complete = false;
+    } else {
+      values.push_back(std::move(*v));
+    }
+  }
+  if (!complete) return;
+
+  auto [it, inserted] = index_[key_index].seen.emplace(
+      std::make_pair(context, std::move(values)), target);
+  if (!inserted && it->second != target) {
+    KeyViolation viol;
+    viol.kind = KeyViolation::Kind::kDuplicateValues;
+    viol.context = context;
+    viol.node1 = it->second;
+    viol.node2 = target;
+    out->push_back(TaggedViolation{key_index, std::move(viol)});
+  }
+}
+
+Result<std::vector<TaggedViolation>> IncrementalChecker::Append(
+    NodeId parent, const Tree& fragment) {
+  XMLPROP_ASSIGN_OR_RETURN(NodeId new_root,
+                           document_.Graft(parent, fragment,
+                                           fragment.root()));
+  std::vector<NodeId> new_elements = document_.DescendantsOrSelf(new_root);
+
+  std::vector<TaggedViolation> violations;
+  for (size_t ki = 0; ki < keys_.size(); ++ki) {
+    const XmlKey& key = keys_[ki];
+
+    // (a) Existing contexts that can reach the new subtree: the
+    // ancestor-or-self chain of the graft parent.
+    std::vector<NodeId> contexts;
+    for (NodeId n = parent; n != kInvalidNode; n = document_.node(n).parent) {
+      if (key.context().MatchesWord(document_.PathLabelsFromRoot(n))) {
+        contexts.push_back(n);
+      }
+    }
+    std::reverse(contexts.begin(), contexts.end());  // document order
+
+    // (b) Contexts inside the new subtree.
+    for (NodeId n : new_elements) {
+      if (key.context().MatchesWord(document_.PathLabelsFromRoot(n))) {
+        contexts.push_back(n);
+      }
+    }
+
+    for (NodeId ctx : contexts) {
+      for (NodeId m : new_elements) {
+        if (!document_.IsAncestorOrSelf(ctx, m)) continue;
+        if (key.target().MatchesWord(LabelsBetween(document_, ctx, m))) {
+          CheckNewTarget(ki, ctx, m, &violations);
+        }
+      }
+    }
+  }
+  violation_count_ += violations.size();
+  return violations;
+}
+
+}  // namespace xmlprop

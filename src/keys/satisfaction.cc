@@ -1,0 +1,98 @@
+#include "keys/satisfaction.h"
+
+#include <map>
+
+#include "common/str_util.h"
+
+namespace xmlprop {
+
+std::string KeyViolation::Describe(const Tree& tree, const XmlKey& key) const {
+  std::string out = "key ";
+  out += key.name().empty() ? key.ToString() : key.name();
+  if (kind == Kind::kMissingAttribute) {
+    out += ": target node <" + tree.node(node1).label + "> (path /" +
+           Join(tree.PathLabelsFromRoot(node1), "/") + ") lacks @" + attribute;
+  } else {
+    out += ": target nodes <" + tree.node(node1).label + "> (path /" +
+           Join(tree.PathLabelsFromRoot(node1), "/") + ") and <" +
+           tree.node(node2).label + "> (path /" +
+           Join(tree.PathLabelsFromRoot(node2), "/") +
+           ") agree on all key attributes";
+  }
+  out += " under context node ";
+  out += (context == tree.root())
+             ? std::string("/")
+             : "/" + Join(tree.PathLabelsFromRoot(context), "/");
+  return out;
+}
+
+std::vector<KeyViolation> CheckKey(const Tree& tree, const XmlKey& key) {
+  std::vector<KeyViolation> violations;
+  for (NodeId ctx : key.context().EvalFromRoot(tree)) {
+    if (tree.node(ctx).kind != NodeKind::kElement) continue;
+    std::vector<NodeId> targets = key.target().Eval(tree, ctx);
+
+    // Condition (1): every target node carries every key attribute.
+    // (Uniqueness of an attribute per element is a Tree invariant.)
+    // Nodes with missing attributes are excluded from the value-equality
+    // check: the key's semantics never compares them.
+    std::map<std::vector<std::string>, NodeId> seen;
+    for (NodeId t : targets) {
+      if (tree.node(t).kind != NodeKind::kElement) continue;
+      bool complete = true;
+      std::vector<std::string> values;
+      values.reserve(key.attributes().size());
+      for (const std::string& attr : key.attributes()) {
+        std::optional<std::string> v = tree.AttributeValue(t, attr);
+        if (!v.has_value()) {
+          KeyViolation viol;
+          viol.kind = KeyViolation::Kind::kMissingAttribute;
+          viol.context = ctx;
+          viol.node1 = t;
+          viol.attribute = attr;
+          violations.push_back(std::move(viol));
+          complete = false;
+        } else {
+          values.push_back(std::move(*v));
+        }
+      }
+      if (!complete) continue;
+
+      // Condition (2): equal key values imply the same node.
+      auto [it, inserted] = seen.emplace(std::move(values), t);
+      if (!inserted) {
+        KeyViolation viol;
+        viol.kind = KeyViolation::Kind::kDuplicateValues;
+        viol.context = ctx;
+        viol.node1 = it->second;
+        viol.node2 = t;
+        violations.push_back(std::move(viol));
+      }
+    }
+  }
+  return violations;
+}
+
+bool Satisfies(const Tree& tree, const XmlKey& key) {
+  return CheckKey(tree, key).empty();
+}
+
+bool SatisfiesAll(const Tree& tree, const std::vector<XmlKey>& keys) {
+  for (const XmlKey& key : keys) {
+    if (!Satisfies(tree, key)) return false;
+  }
+  return true;
+}
+
+std::vector<TaggedViolation> CheckAll(const Tree& tree,
+                                      const std::vector<XmlKey>& keys) {
+  std::vector<TaggedViolation> out;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (KeyViolation& v : CheckKey(tree, keys[i])) {
+      out.push_back(TaggedViolation{i, std::move(v)});
+    }
+  }
+  return out;
+}
+
+}  // namespace xmlprop

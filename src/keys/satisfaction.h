@@ -1,0 +1,55 @@
+#ifndef XMLPROP_KEYS_SATISFACTION_H_
+#define XMLPROP_KEYS_SATISFACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "keys/xml_key.h"
+#include "xml/tree.h"
+
+namespace xmlprop {
+
+/// One witness that a tree violates a key (Definition 2.1).
+struct KeyViolation {
+  enum class Kind {
+    /// A target node lacks one of the key attributes (condition 1).
+    kMissingAttribute,
+    /// Two distinct target nodes agree on all key attribute values
+    /// (condition 2).
+    kDuplicateValues,
+  };
+
+  Kind kind = Kind::kMissingAttribute;
+  /// The context node under which the violation occurs.
+  NodeId context = kInvalidNode;
+  /// The offending target node(s); node2 is set only for kDuplicateValues.
+  NodeId node1 = kInvalidNode;
+  NodeId node2 = kInvalidNode;
+  /// The missing attribute for kMissingAttribute; empty otherwise.
+  std::string attribute;
+
+  /// Human-readable description referencing node ids and paths.
+  std::string Describe(const Tree& tree, const XmlKey& key) const;
+};
+
+/// Returns every violation of `key` in `tree` (empty = satisfied).
+/// Runs in time O(|tree| + targets·attrs) per context node.
+std::vector<KeyViolation> CheckKey(const Tree& tree, const XmlKey& key);
+
+/// True iff `tree` satisfies `key` (short-circuiting CheckKey).
+bool Satisfies(const Tree& tree, const XmlKey& key);
+
+/// True iff `tree` satisfies every key in `keys`.
+bool SatisfiesAll(const Tree& tree, const std::vector<XmlKey>& keys);
+
+/// Collects violations across a key set, tagged by key index.
+struct TaggedViolation {
+  size_t key_index;
+  KeyViolation violation;
+};
+std::vector<TaggedViolation> CheckAll(const Tree& tree,
+                                      const std::vector<XmlKey>& keys);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_KEYS_SATISFACTION_H_

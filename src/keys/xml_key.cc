@@ -1,0 +1,152 @@
+#include "keys/xml_key.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace xmlprop {
+
+XmlKey::XmlKey(std::string name, PathExpr context, PathExpr target,
+               std::vector<std::string> attributes)
+    : name_(std::move(name)),
+      context_(std::move(context)),
+      target_(std::move(target)),
+      attributes_(std::move(attributes)) {
+  std::sort(attributes_.begin(), attributes_.end());
+  attributes_.erase(std::unique(attributes_.begin(), attributes_.end()),
+                    attributes_.end());
+}
+
+namespace {
+
+Status KeySyntaxError(std::string_view text, std::string_view what) {
+  return Status::ParseError("key syntax error (" + std::string(what) +
+                            "): " + std::string(text));
+}
+
+}  // namespace
+
+Result<XmlKey> XmlKey::Parse(std::string_view text) {
+  std::string_view s = TrimWhitespace(text);
+
+  // Optional "name :" prefix (name must not contain parentheses).
+  std::string name;
+  size_t colon = s.find(':');
+  size_t paren = s.find('(');
+  if (colon != std::string_view::npos &&
+      (paren == std::string_view::npos || colon < paren)) {
+    name = std::string(TrimWhitespace(s.substr(0, colon)));
+    s = TrimWhitespace(s.substr(colon + 1));
+  }
+
+  if (s.empty() || s.front() != '(' || s.back() != ')') {
+    return KeySyntaxError(text, "expected (C, (T, {...}))");
+  }
+  std::string_view body = TrimWhitespace(s.substr(1, s.size() - 2));
+
+  // Split "C , (T, {...})" at the top-level comma.
+  size_t depth = 0;
+  size_t split = std::string_view::npos;
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (body[i] == '(' || body[i] == '{') ++depth;
+    if (body[i] == ')' || body[i] == '}') {
+      if (depth == 0) return KeySyntaxError(text, "unbalanced parentheses");
+      --depth;
+    }
+    if (body[i] == ',' && depth == 0) {
+      split = i;
+      break;
+    }
+  }
+  if (split == std::string_view::npos) {
+    return KeySyntaxError(text, "missing top-level comma");
+  }
+  std::string_view context_text = TrimWhitespace(body.substr(0, split));
+  std::string_view rest = TrimWhitespace(body.substr(split + 1));
+
+  if (rest.empty() || rest.front() != '(' || rest.back() != ')') {
+    return KeySyntaxError(text, "expected (T, {...}) after context");
+  }
+  std::string_view inner = TrimWhitespace(rest.substr(1, rest.size() - 2));
+
+  size_t brace = inner.find('{');
+  size_t inner_comma = inner.rfind(',', brace == std::string_view::npos
+                                              ? std::string_view::npos
+                                              : brace);
+  if (brace == std::string_view::npos ||
+      inner_comma == std::string_view::npos || inner.back() != '}') {
+    return KeySyntaxError(text, "expected (T, {@a1, ...})");
+  }
+  std::string_view target_text = TrimWhitespace(inner.substr(0, inner_comma));
+  std::string_view attrs_text =
+      TrimWhitespace(inner.substr(brace + 1, inner.size() - brace - 2));
+
+  XMLPROP_ASSIGN_OR_RETURN(PathExpr context, PathExpr::Parse(context_text));
+  XMLPROP_ASSIGN_OR_RETURN(PathExpr target, PathExpr::Parse(target_text));
+  if (context.EndsWithAttribute() || target.EndsWithAttribute()) {
+    return KeySyntaxError(text,
+                          "context/target must not contain attribute steps");
+  }
+
+  std::vector<std::string> attributes;
+  if (!attrs_text.empty()) {
+    for (const std::string& piece : SplitAndTrim(attrs_text, ',')) {
+      if (piece.empty() || piece[0] != '@' ||
+          !IsValidName(std::string_view(piece).substr(1))) {
+        return KeySyntaxError(text, "bad key attribute '" + piece + "'");
+      }
+      attributes.push_back(piece.substr(1));
+    }
+  }
+  return XmlKey(std::move(name), std::move(context), std::move(target),
+                std::move(attributes));
+}
+
+bool XmlKey::AttributesSubsetOf(const XmlKey& other) const {
+  // Both sides are sorted and unique (constructor invariant).
+  return std::includes(other.attributes_.begin(), other.attributes_.end(),
+                       attributes_.begin(), attributes_.end());
+}
+
+std::string XmlKey::ToString() const {
+  std::string out;
+  if (!name_.empty()) {
+    out += name_;
+    out += ": ";
+  }
+  out += '(';
+  out += context_.ToString();
+  out += ", (";
+  out += target_.ToString();
+  out += ", {";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += '@';
+    out += attributes_[i];
+  }
+  out += "}))";
+  return out;
+}
+
+Result<std::vector<XmlKey>> ParseKeySet(std::string_view text) {
+  std::vector<XmlKey> keys;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t eol = text.find('\n', start);
+    std::string_view line = (eol == std::string_view::npos)
+                                ? text.substr(start)
+                                : text.substr(start, eol - start);
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = TrimWhitespace(line);
+    if (!line.empty()) {
+      XMLPROP_ASSIGN_OR_RETURN(XmlKey key, XmlKey::Parse(line));
+      keys.push_back(std::move(key));
+    }
+    if (eol == std::string_view::npos) break;
+    start = eol + 1;
+  }
+  return keys;
+}
+
+}  // namespace xmlprop

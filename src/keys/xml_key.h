@@ -1,0 +1,82 @@
+#ifndef XMLPROP_KEYS_XML_KEY_H_
+#define XMLPROP_KEYS_XML_KEY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/path.h"
+
+namespace xmlprop {
+
+/// An XML key of the class K⁻ studied by the paper (Section 2), written
+///
+///   name : (C, (T, {@a1, ..., @ak}))
+///
+/// following the syntax of Buneman et al. [WWW'01]: C is the *context*
+/// path expression, T the *target* path expression, and the key paths are
+/// restricted to simple attributes @ai. A key with empty context (C = ε)
+/// is *absolute*, otherwise *relative*.
+///
+/// Semantics (Definition 2.1): a tree satisfies the key iff for every
+/// context node n ∈ [[C]] and all n1, n2 ∈ n[[T]]:
+///   (1) n1 and n2 each carry every attribute @ai (key attributes are
+///       required to exist on target nodes), and
+///   (2) if n1 and n2 agree on the values of all @ai then n1 = n2.
+///
+/// An empty attribute set is meaningful: (C, (T, {})) asserts that each
+/// context node has *at most one* T-target (e.g. "each book has at most
+/// one title", key K3 of Example 2.1).
+class XmlKey {
+ public:
+  XmlKey() = default;
+  XmlKey(std::string name, PathExpr context, PathExpr target,
+         std::vector<std::string> attributes);
+
+  /// Parses "name : (C, (T, {@a1, ..., @ak}))"; the "name :" prefix is
+  /// optional, C may be written "ε" or left empty, and the attribute set
+  /// may be "{}". Context and target must not contain attribute steps.
+  static Result<XmlKey> Parse(std::string_view text);
+
+  const std::string& name() const { return name_; }
+  const PathExpr& context() const { return context_; }
+  const PathExpr& target() const { return target_; }
+  /// Attribute names *without* the '@' prefix, sorted and deduplicated.
+  const std::vector<std::string>& attributes() const { return attributes_; }
+
+  /// True iff the context is the empty path (key scoped at the root).
+  bool IsAbsolute() const { return context_.IsEpsilon(); }
+
+  /// True iff every attribute of this key also belongs to `other`
+  /// (the precondition for the superkey inference rule).
+  bool AttributesSubsetOf(const XmlKey& other) const;
+
+  /// Size |k| used in complexity accounting: atoms of C and T plus the
+  /// number of key attributes.
+  size_t size() const {
+    return context_.length() + target_.length() + attributes_.size();
+  }
+
+  /// "name: (C, (T, {@a1, ..., @ak}))" (name omitted when empty).
+  std::string ToString() const;
+
+  friend bool operator==(const XmlKey& a, const XmlKey& b) {
+    return a.context_ == b.context_ && a.target_ == b.target_ &&
+           a.attributes_ == b.attributes_;
+  }
+
+ private:
+  std::string name_;
+  PathExpr context_;
+  PathExpr target_;
+  std::vector<std::string> attributes_;
+};
+
+/// Parses a whitespace/newline-separated list of keys; '#' starts a
+/// comment running to end of line. Convenient for examples and tests.
+Result<std::vector<XmlKey>> ParseKeySet(std::string_view text);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_KEYS_XML_KEY_H_

@@ -1,0 +1,305 @@
+#include "keys/xsd_import.h"
+
+#include <map>
+
+#include "common/str_util.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace xmlprop {
+
+namespace {
+
+// The local part of a possibly-prefixed XML name ("xs:key" -> "key").
+std::string_view LocalName(std::string_view name) {
+  size_t colon = name.rfind(':');
+  return colon == std::string_view::npos ? name : name.substr(colon + 1);
+}
+
+// Translates an XML Schema selector xpath (restricted subset) into the
+// paper's path language: ".//a/b" -> "//a/b", "./a" -> "a", "a/b" -> "a/b".
+Result<PathExpr> TranslateSelector(std::string_view xpath,
+                                   const std::string& constraint) {
+  std::string_view s = TrimWhitespace(xpath);
+  if (s.find('|') != std::string_view::npos) {
+    return Status::InvalidArgument(
+        "constraint " + constraint +
+        ": selector unions ('|') are outside the paper's path language");
+  }
+  std::string translated;
+  if (StartsWith(s, ".//")) {
+    translated = "//" + std::string(s.substr(3));
+  } else if (StartsWith(s, "./")) {
+    translated = std::string(s.substr(2));
+  } else if (s == ".") {
+    translated = "";
+  } else {
+    translated = std::string(s);
+  }
+  // Reject other axes / functions the subset does not carry.
+  for (std::string_view bad : {"::", "..", "(", "["}) {
+    if (translated.find(bad) != std::string::npos) {
+      return Status::InvalidArgument("constraint " + constraint +
+                                     ": unsupported xpath construct '" +
+                                     std::string(bad) + "' in selector '" +
+                                     std::string(xpath) + "'");
+    }
+  }
+  Result<PathExpr> path = PathExpr::Parse(translated);
+  if (!path.ok()) {
+    return Status::InvalidArgument("constraint " + constraint +
+                                   ": cannot translate selector '" +
+                                   std::string(xpath) +
+                                   "': " + path.status().message());
+  }
+  if (path->EndsWithAttribute()) {
+    return Status::InvalidArgument("constraint " + constraint +
+                                   ": selector must target elements");
+  }
+  return path;
+}
+
+// Translates an xs:field xpath, which must be a plain attribute "@a"
+// (K⁻ restricts key paths to simple attributes — Section 2).
+Result<std::string> TranslateField(std::string_view xpath,
+                                   const std::string& constraint) {
+  std::string_view s = TrimWhitespace(xpath);
+  if (StartsWith(s, "./")) s = s.substr(2);
+  if (s.empty() || s[0] != '@' || !IsValidName(s.substr(1))) {
+    return Status::InvalidArgument(
+        "constraint " + constraint + ": field '" + std::string(xpath) +
+        "' is not a simple attribute; the key class K⁻ of the paper "
+        "(Section 2) restricts key paths to attributes @a");
+  }
+  return std::string(s.substr(1));
+}
+
+// The nearest ancestor <xs:element name="..."> of `node`, or empty.
+std::string EnclosingElementName(const Tree& tree, NodeId node) {
+  NodeId cur = tree.node(node).parent;
+  while (cur != kInvalidNode) {
+    if (LocalName(tree.node(cur).label) == "element") {
+      std::optional<std::string> name = tree.AttributeValue(cur, "name");
+      if (name.has_value()) return *name;
+    }
+    cur = tree.node(cur).parent;
+  }
+  return "";
+}
+
+
+// Selector path and ordered field attributes of one identity constraint.
+struct ConstraintParts {
+  PathExpr target;
+  std::vector<std::string> attributes;  // declaration order
+};
+
+Result<ConstraintParts> ParseConstraintParts(const Tree& tree, NodeId node,
+                                             const std::string& name) {
+  std::optional<NodeId> selector;
+  std::vector<NodeId> fields;
+  for (NodeId child : tree.node(node).children) {
+    std::string_view child_local = LocalName(tree.node(child).label);
+    if (child_local == "selector") {
+      if (selector.has_value()) {
+        return Status::InvalidArgument("constraint " + name +
+                                       " has multiple selectors");
+      }
+      selector = child;
+    } else if (child_local == "field") {
+      fields.push_back(child);
+    }
+  }
+  if (!selector.has_value()) {
+    return Status::InvalidArgument("constraint " + name +
+                                   " lacks an xs:selector");
+  }
+  std::optional<std::string> selector_xpath =
+      tree.AttributeValue(*selector, "xpath");
+  if (!selector_xpath.has_value()) {
+    return Status::InvalidArgument("constraint " + name +
+                                   ": selector lacks @xpath");
+  }
+  ConstraintParts parts;
+  XMLPROP_ASSIGN_OR_RETURN(parts.target,
+                           TranslateSelector(*selector_xpath, name));
+  for (NodeId field : fields) {
+    std::optional<std::string> xpath = tree.AttributeValue(field, "xpath");
+    if (!xpath.has_value()) {
+      return Status::InvalidArgument("constraint " + name +
+                                     ": field lacks @xpath");
+    }
+    XMLPROP_ASSIGN_OR_RETURN(std::string attr, TranslateField(*xpath, name));
+    parts.attributes.push_back(std::move(attr));
+  }
+  return parts;
+}
+
+}  // namespace
+
+Result<XsdImportResult> ImportXsdKeys(std::string_view xsd_text) {
+  XMLPROP_ASSIGN_OR_RETURN(Tree tree, ParseXml(xsd_text));
+  if (LocalName(tree.node(tree.root()).label) != "schema") {
+    return Status::InvalidArgument(
+        "not an XML Schema document (root is <" +
+        tree.node(tree.root()).label + ">, expected xs:schema)");
+  }
+
+  XsdImportResult result;
+
+  // Referenced-key lookup for keyrefs: name -> (element, parts).
+  struct KeyDecl {
+    std::string element;
+    ConstraintParts parts;
+  };
+  std::map<std::string, KeyDecl> keys_by_name;
+
+  // Pass 1: xs:key / xs:unique.
+  for (NodeId node : tree.DescendantsOrSelf(tree.root())) {
+    std::string_view local = LocalName(tree.node(node).label);
+    bool is_key = (local == "key");
+    bool is_unique = (local == "unique");
+    if (!is_key && !is_unique) continue;
+
+    std::string name =
+        tree.AttributeValue(node, "name").value_or("(anonymous)");
+    if (is_unique) {
+      result.warnings.push_back(
+          "xs:unique '" + name +
+          "' imported with xs:key semantics: the key class K⁻ "
+          "(Definition 2.1) requires key attributes to exist on targets");
+    }
+
+    // Context: instances of the declaring element.
+    std::string element = EnclosingElementName(tree, node);
+    if (element.empty()) {
+      return Status::InvalidArgument(
+          "constraint " + name +
+          " is not declared inside an <xs:element name=...>");
+    }
+    XMLPROP_ASSIGN_OR_RETURN(PathExpr context,
+                             PathExpr::Parse("//" + element));
+    XMLPROP_ASSIGN_OR_RETURN(ConstraintParts parts,
+                             ParseConstraintParts(tree, node, name));
+    keys_by_name.emplace(name, KeyDecl{element, parts});
+    result.keys.emplace_back(name, std::move(context),
+                             std::move(parts.target),
+                             std::move(parts.attributes));
+  }
+
+  // Pass 2: xs:keyref -> XmlForeignKey.
+  for (NodeId node : tree.DescendantsOrSelf(tree.root())) {
+    if (LocalName(tree.node(node).label) != "keyref") continue;
+    std::string name =
+        tree.AttributeValue(node, "name").value_or("(anonymous)");
+    std::optional<std::string> refer = tree.AttributeValue(node, "refer");
+    if (!refer.has_value()) {
+      return Status::InvalidArgument("keyref " + name + " lacks @refer");
+    }
+    std::string refer_local(LocalName(*refer));
+    auto it = keys_by_name.find(refer_local);
+    if (it == keys_by_name.end()) {
+      return Status::InvalidArgument("keyref " + name +
+                                     " refers to unknown key '" +
+                                     refer_local + "'");
+    }
+    std::string element = EnclosingElementName(tree, node);
+    if (element.empty()) {
+      return Status::InvalidArgument(
+          "keyref " + name + " is not declared inside an <xs:element>");
+    }
+    if (element != it->second.element) {
+      return Status::InvalidArgument(
+          "keyref " + name + " is declared on <" + element +
+          "> but refers to a key on <" + it->second.element +
+          ">; both sides must share the scoping element");
+    }
+    XMLPROP_ASSIGN_OR_RETURN(ConstraintParts source,
+                             ParseConstraintParts(tree, node, name));
+    if (source.attributes.size() != it->second.parts.attributes.size() ||
+        source.attributes.empty()) {
+      return Status::InvalidArgument(
+          "keyref " + name +
+          ": field count does not match the referenced key");
+    }
+    XMLPROP_ASSIGN_OR_RETURN(PathExpr context,
+                             PathExpr::Parse("//" + element));
+    result.foreign_keys.emplace_back(
+        name, std::move(context), std::move(source.target),
+        std::move(source.attributes), it->second.parts.target,
+        it->second.parts.attributes);
+  }
+  return result;
+}
+
+Result<std::string> ExportXsdKeys(const std::vector<XmlKey>& keys,
+                                  std::string_view root_element) {
+  // Group keys by the element their context addresses.
+  std::map<std::string, std::vector<const XmlKey*>> by_element;
+  for (const XmlKey& key : keys) {
+    std::string element;
+    if (key.context().IsEpsilon()) {
+      element = std::string(root_element);
+    } else {
+      const auto& atoms = key.context().atoms();
+      if (atoms.size() == 2 && atoms[0].is_descendant() &&
+          !atoms[1].is_descendant() && !atoms[1].is_attribute()) {
+        element = atoms[1].label;
+      } else {
+        return Status::InvalidArgument(
+            "key " + key.ToString() +
+            ": only ε or //label contexts map onto XML Schema's "
+            "per-element constraint scoping");
+      }
+    }
+    // Selector subset check: interior "//" is outside the XSD xpath
+    // fragment (only a leading .// is allowed).
+    const auto& t = key.target().atoms();
+    for (size_t i = 1; i < t.size(); ++i) {
+      if (t[i].is_descendant()) {
+        return Status::InvalidArgument(
+            "key " + key.ToString() +
+            ": interior '//' cannot be expressed as an XSD selector");
+      }
+    }
+    by_element[element].push_back(&key);
+  }
+
+  Tree schema("xs:schema");
+  XMLPROP_RETURN_NOT_OK(
+      schema
+          .CreateAttribute(schema.root(), "xmlns:xs",
+                           "http://www.w3.org/2001/XMLSchema")
+          .status());
+  size_t counter = 0;
+  for (const auto& [element, element_keys] : by_element) {
+    NodeId decl = schema.CreateElement(schema.root(), "xs:element");
+    XMLPROP_RETURN_NOT_OK(
+        schema.CreateAttribute(decl, "name", element).status());
+    for (const XmlKey* key : element_keys) {
+      NodeId constraint = schema.CreateElement(decl, "xs:key");
+      std::string name = key->name().empty()
+                             ? "key" + std::to_string(++counter)
+                             : key->name();
+      XMLPROP_RETURN_NOT_OK(
+          schema.CreateAttribute(constraint, "name", name).status());
+      NodeId selector = schema.CreateElement(constraint, "xs:selector");
+      std::string xpath = key->target().ToString();
+      if (key->target().IsEpsilon()) {
+        xpath = ".";
+      } else if (StartsWith(xpath, "//")) {
+        xpath = "." + xpath;
+      }
+      XMLPROP_RETURN_NOT_OK(
+          schema.CreateAttribute(selector, "xpath", xpath).status());
+      for (const std::string& attr : key->attributes()) {
+        NodeId field = schema.CreateElement(constraint, "xs:field");
+        XMLPROP_RETURN_NOT_OK(
+            schema.CreateAttribute(field, "xpath", "@" + attr).status());
+      }
+    }
+  }
+  return WriteXml(schema);
+}
+
+}  // namespace xmlprop

@@ -1,0 +1,63 @@
+#ifndef XMLPROP_KEYS_XSD_IMPORT_H_
+#define XMLPROP_KEYS_XSD_IMPORT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "keys/foreign_key.h"
+#include "keys/xml_key.h"
+
+namespace xmlprop {
+
+/// Result of importing identity constraints from an XML Schema document.
+struct XsdImportResult {
+  std::vector<XmlKey> keys;
+  /// xs:keyref constraints, paired with the xs:key/xs:unique they refer
+  /// to. Checkable on documents only — their propagation is undecidable
+  /// (Theorem 3.2).
+  std::vector<XmlForeignKey> foreign_keys;
+  /// Human-readable notes about approximations made (e.g. xs:unique
+  /// imported with xs:key semantics; see ImportXsdKeys).
+  std::vector<std::string> warnings;
+};
+
+/// Imports xs:key / xs:unique identity constraints from an XML Schema
+/// document into the paper's key class K⁻. The paper positions its keys
+/// as "a subset of those in XML Schema" (Section 1); this is the bridge.
+///
+/// Mapping, per constraint declared inside `<xs:element name="E">`:
+///   - context  := //E  (instances of the declaring element, wherever
+///     they occur — the schema's scoping, approximated path-wise);
+///   - target   := the xs:selector xpath, restricted to the subset the
+///     paper's path language carries: child steps `a/b`, a leading
+///     `.//` (descendant), and `.` prefixes. Unions ('|') and other
+///     axes are rejected;
+///   - key paths := the xs:field xpaths, which must be attributes
+///     (`@a`) — K⁻'s restriction (Section 2). Element fields are
+///     rejected with a pointer to the restriction.
+///
+/// xs:unique differs from xs:key only in not requiring the fields to
+/// exist; K⁻ (Definition 2.1) always requires existence, so xs:unique is
+/// imported with key semantics and a warning is recorded.
+///
+/// xs:keyref constraints become XmlForeignKeys: the source side comes
+/// from the keyref's selector/fields, the referenced side from the
+/// xs:key/xs:unique named by @refer (which must be declared under the
+/// same element, giving both sides the same context — XML Schema's
+/// scoping rule for keyrefs). Keyrefs referring to keys declared
+/// elsewhere are rejected.
+Result<XsdImportResult> ImportXsdKeys(std::string_view xsd_text);
+
+/// The inverse bridge: renders keys as an XML Schema document with one
+/// xs:key per constraint, declared under an <xs:element name="..."> per
+/// distinct context. Only keys whose context is ε or //label can be
+/// expressed (the schema's scoping is per-element); others are rejected.
+/// Round-trips through ImportXsdKeys (modulo key order).
+Result<std::string> ExportXsdKeys(const std::vector<XmlKey>& keys,
+                                  std::string_view root_element = "r");
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_KEYS_XSD_IMPORT_H_

@@ -1,0 +1,104 @@
+#include "relational/attribute_set.h"
+
+#include <bit>
+#include <cassert>
+
+namespace xmlprop {
+
+namespace {
+constexpr size_t kBits = 64;
+}  // namespace
+
+AttrSet::AttrSet(size_t universe_size)
+    : universe_size_(universe_size),
+      words_((universe_size + kBits - 1) / kBits, 0) {}
+
+AttrSet::AttrSet(size_t universe_size, std::initializer_list<size_t> members)
+    : AttrSet(universe_size) {
+  for (size_t m : members) Set(m);
+}
+
+bool AttrSet::Test(size_t i) const {
+  assert(i < universe_size_);
+  return (words_[i / kBits] >> (i % kBits)) & 1u;
+}
+
+void AttrSet::Set(size_t i) {
+  assert(i < universe_size_);
+  words_[i / kBits] |= uint64_t{1} << (i % kBits);
+}
+
+void AttrSet::Reset(size_t i) {
+  assert(i < universe_size_);
+  words_[i / kBits] &= ~(uint64_t{1} << (i % kBits));
+}
+
+bool AttrSet::Empty() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+size_t AttrSet::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+std::vector<size_t> AttrSet::ToVector() const {
+  std::vector<size_t> out;
+  out.reserve(Count());
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    uint64_t w = words_[wi];
+    while (w != 0) {
+      int bit = std::countr_zero(w);
+      out.push_back(wi * kBits + static_cast<size_t>(bit));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+bool AttrSet::IsSubsetOf(const AttrSet& other) const {
+  assert(universe_size_ == other.universe_size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~other.words_[i]) return false;
+  }
+  return true;
+}
+
+bool AttrSet::Intersects(const AttrSet& other) const {
+  assert(universe_size_ == other.universe_size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+AttrSet AttrSet::Union(const AttrSet& other) const {
+  AttrSet out = *this;
+  out.UnionInPlace(other);
+  return out;
+}
+
+AttrSet AttrSet::Intersect(const AttrSet& other) const {
+  assert(universe_size_ == other.universe_size_);
+  AttrSet out = *this;
+  for (size_t i = 0; i < words_.size(); ++i) out.words_[i] &= other.words_[i];
+  return out;
+}
+
+AttrSet AttrSet::Minus(const AttrSet& other) const {
+  assert(universe_size_ == other.universe_size_);
+  AttrSet out = *this;
+  for (size_t i = 0; i < words_.size(); ++i) out.words_[i] &= ~other.words_[i];
+  return out;
+}
+
+void AttrSet::UnionInPlace(const AttrSet& other) {
+  assert(universe_size_ == other.universe_size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+}  // namespace xmlprop

@@ -1,0 +1,63 @@
+#ifndef XMLPROP_RELATIONAL_ATTRIBUTE_SET_H_
+#define XMLPROP_RELATIONAL_ATTRIBUTE_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace xmlprop {
+
+/// A set of relational attributes, represented as a bitset over a fixed
+/// universe of `universe_size` attribute positions (the columns of one
+/// relation schema). Supports the set algebra needed by FD reasoning:
+/// union, difference, subset, iteration. The benchmarks run universes of
+/// up to 1000 attributes (the Oracle column limit quoted in Section 6), so
+/// the representation is a packed word vector rather than a single word.
+class AttrSet {
+ public:
+  AttrSet() = default;
+  explicit AttrSet(size_t universe_size);
+  AttrSet(size_t universe_size, std::initializer_list<size_t> members);
+
+  size_t universe_size() const { return universe_size_; }
+
+  bool Test(size_t i) const;
+  void Set(size_t i);
+  void Reset(size_t i);
+
+  bool Empty() const;
+  size_t Count() const;
+
+  /// Membership list in increasing order.
+  std::vector<size_t> ToVector() const;
+
+  bool IsSubsetOf(const AttrSet& other) const;
+  bool Intersects(const AttrSet& other) const;
+
+  AttrSet Union(const AttrSet& other) const;
+  AttrSet Intersect(const AttrSet& other) const;
+  AttrSet Minus(const AttrSet& other) const;
+
+  void UnionInPlace(const AttrSet& other);
+
+  friend bool operator==(const AttrSet& a, const AttrSet& b) {
+    return a.universe_size_ == b.universe_size_ && a.words_ == b.words_;
+  }
+
+  /// Strict total order (for use as map keys / canonical sorting).
+  friend bool operator<(const AttrSet& a, const AttrSet& b) {
+    if (a.universe_size_ != b.universe_size_) {
+      return a.universe_size_ < b.universe_size_;
+    }
+    return a.words_ < b.words_;
+  }
+
+ private:
+  size_t universe_size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_RELATIONAL_ATTRIBUTE_SET_H_

@@ -1,0 +1,65 @@
+#include "relational/cover.h"
+
+namespace xmlprop {
+
+FdSet Minimize(const FdSet& input) {
+  FdSet working = input.Normalized();
+
+  // Step 1 (Lines 1-4 of the paper's `minimize`): remove extraneous
+  // attributes. B ∈ X is extraneous in X → A when F ⊨ (X − B) → A.
+  // Checked against the full set F, which preserves equivalence.
+  for (Fd& fd : working.mutable_fds()) {
+    for (size_t b : fd.lhs.ToVector()) {
+      AttrSet reduced = fd.lhs;
+      reduced.Reset(b);
+      if (fd.rhs.IsSubsetOf(working.Closure(reduced))) {
+        fd.lhs = std::move(reduced);
+      }
+    }
+  }
+
+  // Left-reduction typically collapses many FDs onto the same reduced
+  // form; dropping exact duplicates here keeps the quadratic redundancy
+  // pass tractable for the naive algorithm's exponential inputs.
+  working = working.Normalized();
+
+  // Step 2 (Lines 5-8): remove redundant FDs. φ is redundant when the
+  // remaining FDs still imply it — tested by a closure that skips φ
+  // in place (no per-candidate set copies). Removed FDs are masked by
+  // emptying them: an FD with Y ⊆ X never fires nor contributes.
+  FdSet result(working.schema());
+  std::vector<Fd> remaining = working.fds();
+  std::vector<char> removed(remaining.size(), 0);
+  for (size_t i = 0; i < remaining.size(); ++i) {
+    AttrSet closure = ClosureOver(remaining, remaining[i].lhs, i);
+    if (remaining[i].rhs.IsSubsetOf(closure)) {
+      removed[i] = 1;
+      remaining[i].rhs = remaining[i].lhs;  // neutralize: trivial FD
+    }
+  }
+  for (size_t i = 0; i < remaining.size(); ++i) {
+    if (!removed[i]) result.Add(std::move(remaining[i]));
+  }
+  return result;
+}
+
+bool IsMinimal(const FdSet& cover) {
+  const std::vector<Fd>& fds = cover.fds();
+  for (size_t i = 0; i < fds.size(); ++i) {
+    // Non-redundancy.
+    FdSet others(cover.schema());
+    for (size_t j = 0; j < fds.size(); ++j) {
+      if (j != i) others.Add(fds[j]);
+    }
+    if (others.Implies(fds[i])) return false;
+    // Left-reduction.
+    for (size_t b : fds[i].lhs.ToVector()) {
+      AttrSet reduced = fds[i].lhs;
+      reduced.Reset(b);
+      if (fds[i].rhs.IsSubsetOf(cover.Closure(reduced))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xmlprop

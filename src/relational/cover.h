@@ -1,0 +1,25 @@
+#ifndef XMLPROP_RELATIONAL_COVER_H_
+#define XMLPROP_RELATIONAL_COVER_H_
+
+#include "relational/fd_set.h"
+
+namespace xmlprop {
+
+/// The paper's `minimize` function (Section 5, after [Beeri & Bernstein]):
+/// given a set F of FDs, produces a non-redundant cover by
+///   1. eliminating extraneous LHS attributes: for each X → Y and B ∈ X,
+///      drop B when F ⊨ (X − B) → Y; then
+///   2. eliminating redundant FDs: drop φ when (G − φ) ⊨ φ.
+/// Quadratic in |F| (each step is a linear-time closure).
+/// Input is normalized to single-attribute RHS first, so the result is a
+/// *minimum cover* in the sense of [Maier'80]: non-redundant, left-reduced,
+/// single-RHS.
+FdSet Minimize(const FdSet& input);
+
+/// True iff `cover` is non-redundant (no FD implied by the others) and
+/// left-reduced (no extraneous LHS attribute). Used by tests.
+bool IsMinimal(const FdSet& cover);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_RELATIONAL_COVER_H_

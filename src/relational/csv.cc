@@ -1,0 +1,179 @@
+#include "relational/csv.h"
+
+#include <vector>
+
+namespace xmlprop {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  for (char c : s) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(const Field& f, std::string* out) {
+  if (!f.has_value()) return;  // NULL: unquoted empty
+  const std::string& s = *f;
+  if (s.empty() || NeedsQuoting(s)) {
+    out->push_back('"');
+    for (char c : s) {
+      if (c == '"') out->push_back('"');
+      out->push_back(c);
+    }
+    out->push_back('"');
+  } else {
+    *out += s;
+  }
+}
+
+// One parsed cell: text plus whether it was quoted (to distinguish NULL
+// from the empty string).
+struct Cell {
+  std::string text;
+  bool quoted = false;
+};
+
+// Splits `text` into rows of cells; handles quoted cells with embedded
+// separators/newlines and doubled quotes.
+Result<std::vector<std::vector<Cell>>> Tokenize(std::string_view text) {
+  std::vector<std::vector<Cell>> rows;
+  std::vector<Cell> row;
+  Cell cell;
+  size_t line = 1;
+  bool in_quotes = false;
+  bool cell_started = false;
+
+  auto end_cell = [&]() {
+    row.push_back(std::move(cell));
+    cell = Cell{};
+    cell_started = false;
+  };
+  auto end_row = [&]() {
+    end_cell();
+    // Skip fully blank lines (a single empty unquoted cell).
+    if (!(row.size() == 1 && !row[0].quoted && row[0].text.empty())) {
+      rows.push_back(std::move(row));
+    }
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell.text.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        if (c == '\n') ++line;
+        cell.text.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (cell_started && !cell.text.empty()) {
+          return Status::ParseError("CSV line " + std::to_string(line) +
+                                    ": quote inside unquoted cell");
+        }
+        in_quotes = true;
+        cell.quoted = true;
+        cell_started = true;
+        break;
+      case ',':
+        end_cell();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_row();
+        ++line;
+        break;
+      default:
+        cell.text.push_back(c);
+        cell_started = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("CSV: unterminated quoted cell");
+  }
+  if (cell_started || !row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace
+
+std::string WriteCsv(const Instance& instance) {
+  std::string out;
+  const RelationSchema& schema = instance.schema();
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    if (i > 0) out += ',';
+    out += schema.attributes()[i];
+  }
+  out += '\n';
+  for (const Tuple& t : instance.tuples()) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out += ',';
+      AppendField(t[i], &out);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Instance> ReadCsv(const RelationSchema& schema,
+                         std::string_view text) {
+  XMLPROP_ASSIGN_OR_RETURN(std::vector<std::vector<Cell>> rows,
+                           Tokenize(text));
+  if (rows.empty()) {
+    return Status::ParseError("CSV: missing header line");
+  }
+  // Header: map columns to schema positions by name.
+  const std::vector<Cell>& header = rows[0];
+  if (header.size() != schema.arity()) {
+    return Status::ParseError(
+        "CSV header has " + std::to_string(header.size()) +
+        " columns; schema " + schema.name() + " has " +
+        std::to_string(schema.arity()));
+  }
+  std::vector<size_t> position(header.size());
+  std::vector<bool> used(schema.arity(), false);
+  for (size_t i = 0; i < header.size(); ++i) {
+    std::optional<size_t> idx = schema.IndexOf(header[i].text);
+    if (!idx.has_value()) {
+      return Status::ParseError("CSV header column '" + header[i].text +
+                                "' is not an attribute of " + schema.name());
+    }
+    if (used[*idx]) {
+      return Status::ParseError("CSV header repeats column '" +
+                                header[i].text + "'");
+    }
+    used[*idx] = true;
+    position[i] = *idx;
+  }
+
+  Instance instance(schema);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != header.size()) {
+      return Status::ParseError(
+          "CSV row " + std::to_string(r + 1) + " has " +
+          std::to_string(rows[r].size()) + " cells, expected " +
+          std::to_string(header.size()));
+    }
+    Tuple t(schema.arity());
+    for (size_t i = 0; i < rows[r].size(); ++i) {
+      const Cell& cell = rows[r][i];
+      if (cell.text.empty() && !cell.quoted) continue;  // NULL
+      t[position[i]] = cell.text;
+    }
+    XMLPROP_RETURN_NOT_OK(instance.Add(std::move(t)));
+  }
+  return instance;
+}
+
+}  // namespace xmlprop

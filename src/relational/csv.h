@@ -1,0 +1,28 @@
+#ifndef XMLPROP_RELATIONAL_CSV_H_
+#define XMLPROP_RELATIONAL_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "relational/instance.h"
+
+namespace xmlprop {
+
+/// RFC 4180-style CSV for relation instances, with one extension for SQL
+/// semantics: an *unquoted empty* cell is NULL, while a *quoted empty*
+/// cell ("") is the empty string. Fields containing commas, quotes, CR
+/// or LF are quoted; embedded quotes double ("").
+///
+/// The first line is the header; on reading it must list exactly the
+/// schema's attributes (any order — columns are mapped by name).
+std::string WriteCsv(const Instance& instance);
+
+/// Parses CSV text into an instance of `schema`. Rows are deduplicated
+/// (set semantics, like Instance::Add). Errors carry 1-based line
+/// numbers.
+Result<Instance> ReadCsv(const RelationSchema& schema, std::string_view text);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_RELATIONAL_CSV_H_

@@ -1,0 +1,47 @@
+#include "relational/fd.h"
+
+#include "common/str_util.h"
+
+namespace xmlprop {
+
+std::string Fd::ToString(const RelationSchema& schema) const {
+  return schema.FormatSet(lhs) + " -> " + schema.FormatSet(rhs);
+}
+
+Result<Fd> ParseFd(const RelationSchema& schema, std::string_view text) {
+  std::string_view s = TrimWhitespace(text);
+  size_t arrow_len = 2;
+  size_t arrow = s.find("->");
+  if (arrow == std::string_view::npos) {
+    arrow = s.find("→");
+    arrow_len = std::string_view("→").size();
+  }
+  if (arrow == std::string_view::npos) {
+    return Status::ParseError("FD must contain '->': " + std::string(text));
+  }
+  std::string_view lhs_text = TrimWhitespace(s.substr(0, arrow));
+  std::string_view rhs_text = TrimWhitespace(s.substr(arrow + arrow_len));
+  if (rhs_text.empty()) {
+    return Status::ParseError("FD has empty right-hand side: " +
+                              std::string(text));
+  }
+
+  std::vector<std::string> lhs_names;
+  if (!lhs_text.empty()) lhs_names = SplitAndTrim(lhs_text, ',');
+  std::vector<std::string> rhs_names = SplitAndTrim(rhs_text, ',');
+
+  XMLPROP_ASSIGN_OR_RETURN(AttrSet lhs, schema.MakeSet(lhs_names));
+  XMLPROP_ASSIGN_OR_RETURN(AttrSet rhs, schema.MakeSet(rhs_names));
+  return Fd(std::move(lhs), std::move(rhs));
+}
+
+std::vector<Fd> SplitRhs(const Fd& fd) {
+  std::vector<Fd> out;
+  for (size_t attr : fd.rhs.ToVector()) {
+    if (fd.lhs.Test(attr)) continue;  // trivial piece
+    out.push_back(Fd::SingleRhs(fd.lhs, attr));
+  }
+  return out;
+}
+
+}  // namespace xmlprop

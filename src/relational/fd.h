@@ -1,0 +1,57 @@
+#ifndef XMLPROP_RELATIONAL_FD_H_
+#define XMLPROP_RELATIONAL_FD_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/attribute_set.h"
+#include "relational/schema.h"
+
+namespace xmlprop {
+
+/// A functional dependency X → Y over one relation schema. Algorithms
+/// that compute covers normalize to single-attribute right-hand sides;
+/// user-facing FDs may have set-valued RHS.
+struct Fd {
+  AttrSet lhs;
+  AttrSet rhs;
+
+  Fd() = default;
+  Fd(AttrSet l, AttrSet r) : lhs(std::move(l)), rhs(std::move(r)) {}
+
+  /// Convenience: X → {a}.
+  static Fd SingleRhs(AttrSet l, size_t attr) {
+    AttrSet r(l.universe_size());
+    r.Set(attr);
+    return Fd(std::move(l), std::move(r));
+  }
+
+  /// Trivial iff Y ⊆ X (implied by reflexivity alone).
+  bool IsTrivial() const { return rhs.IsSubsetOf(lhs); }
+
+  /// "a, b -> c" under `schema`'s attribute names.
+  std::string ToString(const RelationSchema& schema) const;
+
+  friend bool operator==(const Fd& a, const Fd& b) {
+    return a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+  friend bool operator<(const Fd& a, const Fd& b) {
+    if (!(a.lhs == b.lhs)) return a.lhs < b.lhs;
+    return a.rhs < b.rhs;
+  }
+};
+
+/// Parses "a, b -> c, d" (also accepts the arrow "→"). All attributes
+/// must belong to `schema`; the LHS may be empty ("-> c" means the
+/// constant FD ∅ → c).
+Result<Fd> ParseFd(const RelationSchema& schema, std::string_view text);
+
+/// Splits an FD with a k-attribute RHS into k single-RHS FDs
+/// (Armstrong decomposition). Trivial pieces (A ∈ X) are dropped.
+std::vector<Fd> SplitRhs(const Fd& fd);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_RELATIONAL_FD_H_

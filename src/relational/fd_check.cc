@@ -1,0 +1,75 @@
+#include "relational/fd_check.h"
+
+#include <map>
+#include <vector>
+
+namespace xmlprop {
+
+namespace {
+
+// Projects tuple `t` on `attrs`; nullopt fields become engaged==false.
+std::vector<Field> Project(const Tuple& t, const AttrSet& attrs) {
+  std::vector<Field> out;
+  for (size_t i : attrs.ToVector()) out.push_back(t[i]);
+  return out;
+}
+
+bool AnyNull(const std::vector<Field>& fields) {
+  for (const Field& f : fields) {
+    if (!f.has_value()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string FdViolation::Describe(const Instance& instance,
+                                  const Fd& fd) const {
+  std::string out =
+      "FD " + fd.ToString(instance.schema()) + " violated: ";
+  if (kind == Kind::kIncompleteLhs) {
+    out += "tuple #" + std::to_string(tuple1) +
+           " has null in the LHS but a non-null RHS field";
+  } else {
+    out += "tuples #" + std::to_string(tuple1) + " and #" +
+           std::to_string(tuple2) + " agree on the LHS but differ on the RHS";
+  }
+  return out;
+}
+
+std::optional<FdViolation> CheckFd(const Instance& instance, const Fd& fd) {
+  const std::vector<Tuple>& tuples = instance.tuples();
+
+  // Condition (1): null in X forces null throughout Y.
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (AnyNull(Project(tuples[i], fd.lhs))) {
+      for (size_t a : fd.rhs.ToVector()) {
+        if (tuples[i][a].has_value()) {
+          return FdViolation{FdViolation::Kind::kIncompleteLhs, i, 0};
+        }
+      }
+    }
+  }
+
+  // Condition (2): classic FD semantics restricted to completely
+  // null-free tuples.
+  std::map<std::vector<Field>, size_t> by_lhs;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (Instance::HasNull(tuples[i])) continue;
+    std::vector<Field> x = Project(tuples[i], fd.lhs);
+    auto [it, inserted] = by_lhs.emplace(std::move(x), i);
+    if (!inserted) {
+      size_t j = it->second;
+      if (Project(tuples[i], fd.rhs) != Project(tuples[j], fd.rhs)) {
+        return FdViolation{FdViolation::Kind::kDisagreement, j, i};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool SatisfiesFd(const Instance& instance, const Fd& fd) {
+  return !CheckFd(instance, fd).has_value();
+}
+
+}  // namespace xmlprop

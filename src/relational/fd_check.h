@@ -1,0 +1,42 @@
+#ifndef XMLPROP_RELATIONAL_FD_CHECK_H_
+#define XMLPROP_RELATIONAL_FD_CHECK_H_
+
+#include <optional>
+#include <string>
+
+#include "relational/fd.h"
+#include "relational/instance.h"
+
+namespace xmlprop {
+
+/// A witness that an instance violates an FD under the paper's null-aware
+/// semantics (Section 3).
+struct FdViolation {
+  enum class Kind {
+    /// Condition (1): a tuple whose X projection contains null has a
+    /// non-null attribute in its Y projection ("an incomplete key cannot
+    /// determine complete fields").
+    kIncompleteLhs,
+    /// Condition (2): two null-free tuples agree on X but differ on Y.
+    kDisagreement,
+  };
+  Kind kind = Kind::kIncompleteLhs;
+  size_t tuple1 = 0;
+  size_t tuple2 = 0;  // set only for kDisagreement
+
+  std::string Describe(const Instance& instance, const Fd& fd) const;
+};
+
+/// Checks I ⊨ X → Y per the paper's Section 3 semantics:
+///   (1) for any tuple t, if π_X(t) contains null then so does π_Y(t); and
+///   (2) for tuples t1 ≠ t2 with no nulls at all, π_X(t1) = π_X(t2)
+///       implies π_Y(t1) = π_Y(t2).
+/// Returns the first violation found, or nullopt when satisfied.
+std::optional<FdViolation> CheckFd(const Instance& instance, const Fd& fd);
+
+/// True iff the instance satisfies `fd`.
+bool SatisfiesFd(const Instance& instance, const Fd& fd);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_RELATIONAL_FD_CHECK_H_

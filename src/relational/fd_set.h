@@ -1,0 +1,78 @@
+#ifndef XMLPROP_RELATIONAL_FD_SET_H_
+#define XMLPROP_RELATIONAL_FD_SET_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/fd.h"
+#include "relational/schema.h"
+
+namespace xmlprop {
+
+/// Sentinel for ClosureOver: skip no FD.
+inline constexpr size_t kNoSkip = static_cast<size_t>(-1);
+
+/// The attribute closure of `start` under `fds`, optionally ignoring the
+/// FD at `skip_index` (used by redundancy elimination to test
+/// "(F − φ) ⊨ φ" without copying the set). Allocation-light bitset
+/// fixpoint — the hot path of the cover algorithms.
+AttrSet ClosureOver(const std::vector<Fd>& fds, const AttrSet& start,
+                    size_t skip_index = kNoSkip);
+
+/// A set of FDs over one relation schema, with the closure/implication
+/// machinery of Armstrong's axioms — the foundation both of `minimize`
+/// (Section 5) and of GminimumCover's relational FD implication step.
+class FdSet {
+ public:
+  FdSet() = default;
+  explicit FdSet(RelationSchema schema) : schema_(std::move(schema)) {}
+
+  const RelationSchema& schema() const { return schema_; }
+  const std::vector<Fd>& fds() const { return fds_; }
+  /// Mutable access for in-place rewriting (cover algorithms).
+  std::vector<Fd>& mutable_fds() { return fds_; }
+  size_t size() const { return fds_.size(); }
+  bool empty() const { return fds_.empty(); }
+
+  /// Appends an FD (no dedup — covers handle redundancy).
+  void Add(Fd fd) { fds_.push_back(std::move(fd)); }
+
+  /// Appends an FD only if it is not already implied; returns whether it
+  /// was added. Keeps incrementally-built sets lean.
+  bool AddIfNew(const Fd& fd);
+
+  /// Parses and appends "a, b -> c".
+  Status AddParsed(std::string_view text);
+
+  /// The attribute closure X⁺ under this FD set.
+  AttrSet Closure(const AttrSet& start) const;
+
+  /// True iff this set implies `fd` (Y ⊆ X⁺).
+  bool Implies(const Fd& fd) const;
+
+  /// True iff this set implies every FD in `other`.
+  bool ImpliesAll(const FdSet& other) const;
+
+  /// True iff the two sets are covers of each other.
+  bool EquivalentTo(const FdSet& other) const;
+
+  /// True iff `candidate_key` determines every attribute of the schema.
+  bool IsSuperkey(const AttrSet& candidate_key) const;
+
+  /// Rewrites to single-attribute RHS form, dropping trivial FDs and
+  /// exact duplicates. Preserves equivalence.
+  FdSet Normalized() const;
+
+  /// One FD per line.
+  std::string ToString() const;
+
+ private:
+  RelationSchema schema_;
+  std::vector<Fd> fds_;
+};
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_RELATIONAL_FD_SET_H_

@@ -1,0 +1,38 @@
+#include "relational/instance.h"
+
+#include <algorithm>
+
+namespace xmlprop {
+
+Status Instance::Add(Tuple tuple) {
+  if (tuple.size() != schema_.arity()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) + " != schema arity " +
+        std::to_string(schema_.arity()) + " for relation " + schema_.name());
+  }
+  if (std::find(tuples_.begin(), tuples_.end(), tuple) == tuples_.end()) {
+    tuples_.push_back(std::move(tuple));
+  }
+  return Status::OK();
+}
+
+bool Instance::HasNull(const Tuple& tuple) {
+  return std::any_of(tuple.begin(), tuple.end(),
+                     [](const Field& f) { return !f.has_value(); });
+}
+
+std::string Instance::ToString() const {
+  std::string out = schema_.ToString();
+  out += '\n';
+  for (const Tuple& t : tuples_) {
+    out += "  (";
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += t[i].has_value() ? *t[i] : std::string("NULL");
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+}  // namespace xmlprop

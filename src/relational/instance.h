@@ -1,0 +1,50 @@
+#ifndef XMLPROP_RELATIONAL_INSTANCE_H_
+#define XMLPROP_RELATIONAL_INSTANCE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/schema.h"
+
+namespace xmlprop {
+
+/// One field value: a string, or null (nullopt). XML shredding produces
+/// null when a variable's node set is empty (Section 2, "semistructured"
+/// subtlety).
+using Field = std::optional<std::string>;
+
+/// One tuple; positions follow the owning instance's schema.
+using Tuple = std::vector<Field>;
+
+/// A relation instance: a schema plus a bag of tuples (the transformation
+/// semantics can legitimately produce duplicates; they are deduplicated
+/// on construction to match set semantics of the generated instance I_i).
+class Instance {
+ public:
+  Instance() = default;
+  explicit Instance(RelationSchema schema) : schema_(std::move(schema)) {}
+
+  const RelationSchema& schema() const { return schema_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+
+  /// Appends `tuple` unless an identical tuple is already present.
+  /// Fails if the arity does not match the schema.
+  Status Add(Tuple tuple);
+
+  /// True iff some field of `tuple` is null.
+  static bool HasNull(const Tuple& tuple);
+
+  /// Tuples projected on `attrs`, rendered for display.
+  std::string ToString() const;
+
+ private:
+  RelationSchema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_RELATIONAL_INSTANCE_H_

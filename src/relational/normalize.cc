@@ -1,0 +1,279 @@
+#include "relational/normalize.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <optional>
+
+namespace xmlprop {
+
+namespace {
+
+// Enumerates all subsets of `members` (as AttrSets over `universe`),
+// invoking `fn(subset)`; aborts early if fn returns false. Caller must
+// keep |members| small (tests only).
+template <typename Fn>
+void ForEachSubset(const std::vector<size_t>& members, size_t universe,
+                   Fn fn) {
+  assert(members.size() <= 22 && "subset enumeration is test-sized only");
+  const size_t n = members.size();
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    AttrSet subset(universe);
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) subset.Set(members[i]);
+    }
+    if (!fn(subset)) return;
+  }
+}
+
+// Minimal candidate keys of the fragment `attrs` under global `fds`
+// (closure taken in the full universe, key test restricted to the
+// fragment). Exponential; test-sized inputs only.
+std::vector<AttrSet> CandidateKeysOfFragment(const AttrSet& attrs,
+                                             const FdSet& fds) {
+  std::vector<AttrSet> keys;
+  std::vector<size_t> members = attrs.ToVector();
+  ForEachSubset(members, attrs.universe_size(), [&](const AttrSet& x) {
+    if (attrs.IsSubsetOf(fds.Closure(x))) keys.push_back(x);
+    return true;
+  });
+  // Keep only minimal ones.
+  std::vector<AttrSet> minimal;
+  for (const AttrSet& k : keys) {
+    bool is_minimal = std::none_of(
+        keys.begin(), keys.end(), [&](const AttrSet& other) {
+          return !(other == k) && other.IsSubsetOf(k);
+        });
+    if (is_minimal) minimal.push_back(k);
+  }
+  return minimal;
+}
+
+void DropSubsumedFragments(std::vector<SubRelation>* fragments) {
+  std::vector<SubRelation> kept;
+  for (size_t i = 0; i < fragments->size(); ++i) {
+    const AttrSet& a = (*fragments)[i].attrs;
+    bool subsumed = false;
+    for (size_t j = 0; j < fragments->size(); ++j) {
+      if (i == j) continue;
+      const AttrSet& b = (*fragments)[j].attrs;
+      if (a.IsSubsetOf(b) && (!(a == b) || j < i)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) kept.push_back((*fragments)[i]);
+  }
+  *fragments = std::move(kept);
+}
+
+}  // namespace
+
+std::string SubRelation::ToString(const RelationSchema& universal) const {
+  return name + "(" + universal.FormatSet(attrs) + ")";
+}
+
+std::vector<SubRelation> DecomposeBcnf(const FdSet& cover) {
+  const RelationSchema& universal = cover.schema();
+  std::deque<AttrSet> pending = {universal.FullSet()};
+  std::vector<SubRelation> done;
+
+  // Width up to which the exact (exponential) violation search runs after
+  // the cover-driven fast path finds nothing. Deciding BCNF of a
+  // subschema under projected FDs is coNP-hard [Beeri & Bernstein], so
+  // very wide fragments get the textbook cover-driven best effort only.
+  constexpr size_t kExactWidth = 18;
+
+  while (!pending.empty()) {
+    AttrSet s = pending.front();
+    pending.pop_front();
+
+    // A violation is an X ⊆ s whose closure gains an attribute of s
+    // without covering all of s; splitting on it preserves losslessness.
+    std::optional<AttrSet> violation;
+    for (const Fd& fd : cover.fds()) {
+      if (!fd.lhs.IsSubsetOf(s)) continue;
+      AttrSet closure = cover.Closure(fd.lhs);
+      if (closure.Intersect(s).Minus(fd.lhs).Empty()) continue;  // trivial
+      if (s.IsSubsetOf(closure)) continue;  // lhs is a superkey of s
+      violation = fd.lhs;
+      break;
+    }
+    if (!violation.has_value() && s.Count() <= kExactWidth) {
+      // Exact pass: violations may hide behind LHSs that are not cover
+      // LHSs (e.g. {b,c} firing a,c → d after b → a).
+      ForEachSubset(s.ToVector(), s.universe_size(), [&](const AttrSet& x) {
+        AttrSet closure = cover.Closure(x);
+        if (!closure.Intersect(s).Minus(x).Empty() &&
+            !s.IsSubsetOf(closure)) {
+          violation = x;
+          return false;
+        }
+        return true;
+      });
+    }
+
+    if (violation.has_value()) {
+      AttrSet closure = cover.Closure(*violation);
+      AttrSet gain = closure.Intersect(s).Minus(*violation);
+      pending.push_back(violation->Union(closure.Intersect(s)));
+      pending.push_back(s.Minus(gain));
+    } else {
+      done.push_back(SubRelation{"", s});
+    }
+  }
+
+  DropSubsumedFragments(&done);
+  for (size_t i = 0; i < done.size(); ++i) {
+    done[i].name = "R" + std::to_string(i + 1);
+  }
+  return done;
+}
+
+std::vector<SubRelation> Synthesize3nf(const FdSet& cover) {
+  const RelationSchema& universal = cover.schema();
+  // Group the (single-RHS, left-reduced) cover by LHS.
+  std::map<AttrSet, AttrSet> groups;
+  for (const Fd& fd : cover.fds()) {
+    auto [it, inserted] = groups.emplace(fd.lhs, fd.lhs.Union(fd.rhs));
+    if (!inserted) it->second.UnionInPlace(fd.rhs);
+  }
+
+  std::vector<SubRelation> fragments;
+  for (const auto& [lhs, attrs] : groups) {
+    fragments.push_back(SubRelation{"", attrs});
+  }
+  if (fragments.empty()) {
+    fragments.push_back(SubRelation{"", universal.FullSet()});
+  }
+
+  // Ensure some fragment holds a key of the universal relation.
+  bool has_key = std::any_of(
+      fragments.begin(), fragments.end(),
+      [&](const SubRelation& f) { return cover.IsSuperkey(f.attrs); });
+  if (!has_key) {
+    // Shrink the full attribute set to a minimal key greedily.
+    AttrSet key = universal.FullSet();
+    for (size_t a : universal.FullSet().ToVector()) {
+      AttrSet reduced = key;
+      reduced.Reset(a);
+      if (cover.IsSuperkey(reduced)) key = reduced;
+    }
+    fragments.push_back(SubRelation{"", key});
+  }
+
+  DropSubsumedFragments(&fragments);
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    fragments[i].name = "R" + std::to_string(i + 1);
+  }
+  return fragments;
+}
+
+bool IsBcnf(const AttrSet& attrs, const FdSet& fds) {
+  bool ok = true;
+  ForEachSubset(attrs.ToVector(), attrs.universe_size(),
+                [&](const AttrSet& x) {
+                  AttrSet closure = fds.Closure(x);
+                  AttrSet gain = closure.Intersect(attrs).Minus(x);
+                  if (!gain.Empty() && !attrs.IsSubsetOf(closure)) {
+                    ok = false;
+                    return false;
+                  }
+                  return true;
+                });
+  return ok;
+}
+
+bool Is3nf(const AttrSet& attrs, const FdSet& fds) {
+  std::vector<AttrSet> keys = CandidateKeysOfFragment(attrs, fds);
+  AttrSet prime(attrs.universe_size());
+  for (const AttrSet& k : keys) prime.UnionInPlace(k);
+
+  bool ok = true;
+  ForEachSubset(attrs.ToVector(), attrs.universe_size(),
+                [&](const AttrSet& x) {
+                  AttrSet closure = fds.Closure(x);
+                  AttrSet gain = closure.Intersect(attrs).Minus(x);
+                  if (gain.Empty()) return true;
+                  if (attrs.IsSubsetOf(closure)) return true;  // superkey
+                  for (size_t a : gain.ToVector()) {
+                    if (!prime.Test(a)) {
+                      ok = false;
+                      return false;
+                    }
+                  }
+                  return true;
+                });
+  return ok;
+}
+
+bool IsLosslessJoin(const std::vector<SubRelation>& decomposition,
+                    const FdSet& fds) {
+  const size_t cols = fds.schema().arity();
+  const size_t rows = decomposition.size();
+  if (rows == 0) return false;
+
+  // Tableau: symbol 0 is the distinguished variable of a column; each
+  // non-distinguished cell starts with a unique positive symbol.
+  std::vector<std::vector<int>> t(rows, std::vector<int>(cols, 0));
+  int next_symbol = 1;
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (!decomposition[r].attrs.Test(c)) t[r][c] = next_symbol++;
+    }
+  }
+
+  FdSet norm = fds.Normalized();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Fd& fd : norm.fds()) {
+      std::vector<size_t> x = fd.lhs.ToVector();
+      std::vector<size_t> y = fd.rhs.ToVector();
+      for (size_t r1 = 0; r1 < rows; ++r1) {
+        for (size_t r2 = r1 + 1; r2 < rows; ++r2) {
+          bool agree = std::all_of(x.begin(), x.end(), [&](size_t c) {
+            return t[r1][c] == t[r2][c];
+          });
+          if (!agree) continue;
+          for (size_t c : y) {
+            if (t[r1][c] == t[r2][c]) continue;
+            // Equate the two symbols, preferring the distinguished one.
+            int keep = std::min(t[r1][c], t[r2][c]);
+            int drop = std::max(t[r1][c], t[r2][c]);
+            for (size_t r = 0; r < rows; ++r) {
+              if (t[r][c] == drop) t[r][c] = keep;
+            }
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  for (size_t r = 0; r < rows; ++r) {
+    if (std::all_of(t[r].begin(), t[r].end(),
+                    [](int s) { return s == 0; })) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PreservesDependencies(const std::vector<SubRelation>& decomposition,
+                           const FdSet& fds) {
+  FdSet projected(fds.schema());
+  for (const SubRelation& frag : decomposition) {
+    ForEachSubset(frag.attrs.ToVector(), frag.attrs.universe_size(),
+                  [&](const AttrSet& x) {
+                    AttrSet gain =
+                        fds.Closure(x).Intersect(frag.attrs).Minus(x);
+                    if (!gain.Empty()) projected.Add(Fd(x, gain));
+                    return true;
+                  });
+  }
+  return projected.ImpliesAll(fds);
+}
+
+}  // namespace xmlprop

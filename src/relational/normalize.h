@@ -1,0 +1,67 @@
+#ifndef XMLPROP_RELATIONAL_NORMALIZE_H_
+#define XMLPROP_RELATIONAL_NORMALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/cover.h"
+#include "relational/fd_set.h"
+
+namespace xmlprop {
+
+/// A fragment of a decomposed universal relation: a name plus the subset
+/// of universal attributes it keeps.
+struct SubRelation {
+  std::string name;
+  AttrSet attrs;
+
+  /// "name(attr, attr, ...)" using the universal schema's names.
+  std::string ToString(const RelationSchema& universal) const;
+};
+
+/// BCNF decomposition of the universal relation guided by a cover of its
+/// propagated FDs — the design-refinement step of Examples 1.2 / 3.1.
+///
+/// Classic split loop: while some X ⊆ S has X⁺ ∩ S ⊋ X and X⁺ ⊉ S,
+/// replace S by (X ∪ (X⁺∩S)) and (S − (X⁺∩S − X)). Violations are found
+/// by the cover-driven fast path (LHSs of cover FDs), falling back to an
+/// exact subset search for fragments of width ≤ 18 — BCNF of a subschema
+/// is coNP-hard to decide in general [Beeri & Bernstein], so very wide
+/// fragments get the textbook best effort only. For fragments within the
+/// exact width the result is guaranteed to pass IsBcnf.
+std::vector<SubRelation> DecomposeBcnf(const FdSet& cover);
+
+/// Bernstein's 3NF synthesis from a minimum cover: one relation per
+/// LHS-group of the cover, plus a key relation when no fragment contains
+/// a key of the universal relation; fragments subsumed by others are
+/// dropped. Dependency-preserving and lossless.
+std::vector<SubRelation> Synthesize3nf(const FdSet& cover);
+
+/// Exact BCNF test for fragment `attrs` under global FDs `fds`
+/// (projection computed by closure over all subsets — exponential; only
+/// call on small fragments, e.g. in tests). A fragment is in BCNF iff for
+/// every X ⊂ attrs, X⁺ ∩ attrs ∈ {X, attrs...} — precisely: any X whose
+/// closure gains an attribute of the fragment must be a key of it.
+bool IsBcnf(const AttrSet& attrs, const FdSet& fds);
+
+/// Exact 3NF test for fragment `attrs` under global FDs (exponential,
+/// test-sized inputs only): every violating FD's RHS attribute must be
+/// prime (contained in some candidate key of the fragment).
+bool Is3nf(const AttrSet& attrs, const FdSet& fds);
+
+/// Chase-based lossless-join test: true iff the decomposition joins back
+/// to the original universal relation under `fds` (tableau chase of
+/// [Aho, Beeri & Ullman]).
+bool IsLosslessJoin(const std::vector<SubRelation>& decomposition,
+                    const FdSet& fds);
+
+/// True iff every FD of `fds` is implied by the union of the FD
+/// projections onto the fragments (dependency preservation; projections
+/// computed by the closure-based algorithm, exponential in fragment
+/// width — test-sized inputs only).
+bool PreservesDependencies(const std::vector<SubRelation>& decomposition,
+                           const FdSet& fds);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_RELATIONAL_NORMALIZE_H_

@@ -1,0 +1,82 @@
+#include "relational/schema.h"
+
+#include "common/str_util.h"
+
+namespace xmlprop {
+
+RelationSchema::RelationSchema(std::string name,
+                               std::vector<std::string> attributes)
+    : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+Result<RelationSchema> RelationSchema::Parse(std::string_view text) {
+  std::string_view s = TrimWhitespace(text);
+  size_t open = s.find('(');
+  if (open == std::string_view::npos || s.back() != ')') {
+    return Status::ParseError("expected name(attr, ...): " + std::string(text));
+  }
+  std::string name(TrimWhitespace(s.substr(0, open)));
+  if (!IsValidName(name)) {
+    return Status::ParseError("bad relation name: " + std::string(text));
+  }
+  std::string_view attrs = s.substr(open + 1, s.size() - open - 2);
+  std::vector<std::string> attributes;
+  if (!TrimWhitespace(attrs).empty()) {
+    attributes = SplitAndTrim(attrs, ',');
+  }
+  RelationSchema schema(std::move(name), std::move(attributes));
+  for (size_t i = 0; i < schema.attributes_.size(); ++i) {
+    if (!IsValidName(schema.attributes_[i])) {
+      return Status::ParseError("bad attribute name '" +
+                                schema.attributes_[i] + "' in " +
+                                std::string(text));
+    }
+    for (size_t j = i + 1; j < schema.attributes_.size(); ++j) {
+      if (schema.attributes_[i] == schema.attributes_[j]) {
+        return Status::ParseError("duplicate attribute '" +
+                                  schema.attributes_[i] + "' in " +
+                                  std::string(text));
+      }
+    }
+  }
+  return schema;
+}
+
+std::optional<size_t> RelationSchema::IndexOf(
+    std::string_view attribute) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i] == attribute) return i;
+  }
+  return std::nullopt;
+}
+
+AttrSet RelationSchema::FullSet() const {
+  AttrSet set(arity());
+  for (size_t i = 0; i < arity(); ++i) set.Set(i);
+  return set;
+}
+
+Result<AttrSet> RelationSchema::MakeSet(
+    const std::vector<std::string>& names) const {
+  AttrSet set(arity());
+  for (const std::string& n : names) {
+    std::optional<size_t> idx = IndexOf(n);
+    if (!idx.has_value()) {
+      return Status::NotFound("attribute '" + n + "' not in relation " +
+                              name_);
+    }
+    set.Set(*idx);
+  }
+  return set;
+}
+
+std::string RelationSchema::FormatSet(const AttrSet& set) const {
+  std::vector<std::string> names;
+  for (size_t i : set.ToVector()) names.push_back(attributes_[i]);
+  return Join(names, ", ");
+}
+
+std::string RelationSchema::ToString() const {
+  return name_ + "(" + Join(attributes_, ", ") + ")";
+}
+
+}  // namespace xmlprop

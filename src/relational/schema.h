@@ -1,0 +1,53 @@
+#ifndef XMLPROP_RELATIONAL_SCHEMA_H_
+#define XMLPROP_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/attribute_set.h"
+
+namespace xmlprop {
+
+/// A relation schema: a name plus an ordered list of attribute (field)
+/// names. Attribute positions index into AttrSets over this schema.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  RelationSchema(std::string name, std::vector<std::string> attributes);
+
+  /// Parses "name(attr1, attr2, ...)". Attribute names must be valid
+  /// identifiers and distinct.
+  static Result<RelationSchema> Parse(std::string_view text);
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  size_t arity() const { return attributes_.size(); }
+
+  /// Position of `attribute`, or nullopt.
+  std::optional<size_t> IndexOf(std::string_view attribute) const;
+
+  /// An empty AttrSet over this schema's attribute universe.
+  AttrSet EmptySet() const { return AttrSet(arity()); }
+  /// The set of all attributes.
+  AttrSet FullSet() const;
+
+  /// Builds an AttrSet from attribute names; fails on unknown names.
+  Result<AttrSet> MakeSet(const std::vector<std::string>& names) const;
+
+  /// "attr1, attr2" rendering of a set (sorted by position).
+  std::string FormatSet(const AttrSet& set) const;
+
+  /// "name(attr1, attr2, ...)".
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> attributes_;
+};
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,169 @@
+#include "relational/sql_ddl.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace xmlprop {
+
+namespace {
+
+// A minimal subset of `attrs` whose closure (under the cover) contains
+// all of `attrs` — greedy shrink from the full fragment.
+AttrSet MinimalFragmentKey(const AttrSet& attrs, const FdSet& cover) {
+  AttrSet key = attrs;
+  for (size_t a : attrs.ToVector()) {
+    AttrSet reduced = key;
+    reduced.Reset(a);
+    if (attrs.IsSubsetOf(cover.Closure(reduced))) key = reduced;
+  }
+  return key;
+}
+
+std::string EscapeSqlString(const std::string& v) {
+  std::string out;
+  out.reserve(v.size() + 2);
+  out += '\'';
+  for (char c : v) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  out += '\'';
+  return out;
+}
+
+}  // namespace
+
+std::string TableDdl::ToSql(const DdlOptions& options) const {
+  std::string out = "CREATE TABLE " + name + " (";
+  // An empty key means the FDs force at most one row (every column is a
+  // constant); SQL cannot spell PRIMARY KEY (), so the clause is dropped
+  // with an explanatory comment.
+  if (primary_key.empty()) out += "  -- singleton: at most one row";
+  out += "\n";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const std::string& col = columns[i];
+    bool is_key = std::find(primary_key.begin(), primary_key.end(), col) !=
+                  primary_key.end();
+    out += "  " + col + " " + options.column_type;
+    if (is_key && options.not_null_keys) out += " NOT NULL";
+    bool more = (i + 1 < columns.size()) || !primary_key.empty() ||
+                (options.foreign_keys && !foreign_keys.empty());
+    if (more) out += ",";
+    out += "\n";
+  }
+  if (!primary_key.empty()) {
+    out += "  PRIMARY KEY (" + Join(primary_key, ", ") + ")";
+    if (options.foreign_keys && !foreign_keys.empty()) out += ",";
+    out += "\n";
+  }
+  if (options.foreign_keys) {
+    for (size_t i = 0; i < foreign_keys.size(); ++i) {
+      out += "  " + foreign_keys[i];
+      if (i + 1 < foreign_keys.size()) out += ",";
+      out += "\n";
+    }
+  }
+  out += ");";
+  return out;
+}
+
+Result<std::vector<TableDdl>> GenerateDdl(
+    const std::vector<SubRelation>& decomposition, const FdSet& cover) {
+  const RelationSchema& universal = cover.schema();
+  std::vector<TableDdl> tables;
+  std::vector<AttrSet> keys;
+
+  for (const SubRelation& fragment : decomposition) {
+    if (fragment.attrs.universe_size() != universal.arity()) {
+      return Status::InvalidArgument(
+          "fragment " + fragment.name +
+          " is not over the cover's universal schema");
+    }
+    if (fragment.attrs.Empty()) {
+      return Status::InvalidArgument("fragment " + fragment.name +
+                                     " has no attributes");
+    }
+    TableDdl table;
+    table.name = fragment.name;
+    for (size_t a : fragment.attrs.ToVector()) {
+      table.columns.push_back(universal.attributes()[a]);
+    }
+    AttrSet key = MinimalFragmentKey(fragment.attrs, cover);
+    for (size_t a : key.ToVector()) {
+      table.primary_key.push_back(universal.attributes()[a]);
+    }
+    keys.push_back(std::move(key));
+    tables.push_back(std::move(table));
+  }
+
+  // Foreign keys: fragment i references fragment j when i ⊇ key(j)
+  // (and i != j, and key(j) is a proper subset of i's attributes so the
+  // reference is informative). Transitively implied references are
+  // suppressed: no FK to j when some other reachable key strictly
+  // extends key(j) — in a hierarchy, section references chapter but not
+  // (redundantly) book.
+  for (size_t i = 0; i < decomposition.size(); ++i) {
+    for (size_t j = 0; j < decomposition.size(); ++j) {
+      if (i == j || keys[j].Empty()) continue;
+      if (!keys[j].IsSubsetOf(decomposition[i].attrs)) continue;
+      if (decomposition[i].attrs == keys[j]) continue;
+      bool shadowed = false;
+      for (size_t l = 0; l < decomposition.size() && !shadowed; ++l) {
+        if (l == i || l == j) continue;
+        shadowed = keys[j].IsSubsetOf(keys[l]) && !(keys[j] == keys[l]) &&
+                   keys[l].IsSubsetOf(decomposition[i].attrs);
+      }
+      if (shadowed) continue;
+      // Skip self-shadowing: if key(j) equals key(i) the two fragments
+      // share a key; emit the reference only from the wider fragment,
+      // or from the later one when equal in width (deterministic).
+      if (keys[j] == keys[i] &&
+          (decomposition[i].attrs.Count() < decomposition[j].attrs.Count() ||
+           (decomposition[i].attrs.Count() ==
+                decomposition[j].attrs.Count() &&
+            i < j))) {
+        continue;
+      }
+      std::vector<std::string> cols;
+      for (size_t a : keys[j].ToVector()) {
+        cols.push_back(cover.schema().attributes()[a]);
+      }
+      tables[i].foreign_keys.push_back(
+          "FOREIGN KEY (" + Join(cols, ", ") + ") REFERENCES " +
+          decomposition[j].name + "(" + Join(cols, ", ") + ")");
+    }
+  }
+  return tables;
+}
+
+Result<std::string> GenerateDdlScript(
+    const std::vector<SubRelation>& decomposition, const FdSet& cover,
+    const DdlOptions& options) {
+  XMLPROP_ASSIGN_OR_RETURN(std::vector<TableDdl> tables,
+                           GenerateDdl(decomposition, cover));
+  std::string out;
+  for (const TableDdl& t : tables) {
+    out += t.ToSql(options);
+    out += "\n\n";
+  }
+  return out;
+}
+
+std::string GenerateInserts(const Instance& instance) {
+  std::string out;
+  const RelationSchema& schema = instance.schema();
+  std::string prefix = "INSERT INTO " + schema.name() + " (" +
+                       Join(schema.attributes(), ", ") + ") VALUES (";
+  for (const Tuple& t : instance.tuples()) {
+    out += prefix;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += t[i].has_value() ? EscapeSqlString(*t[i]) : std::string("NULL");
+    }
+    out += ");\n";
+  }
+  return out;
+}
+
+}  // namespace xmlprop

@@ -1,0 +1,61 @@
+#ifndef XMLPROP_RELATIONAL_SQL_DDL_H_
+#define XMLPROP_RELATIONAL_SQL_DDL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/fd_set.h"
+#include "relational/instance.h"
+#include "relational/normalize.h"
+
+namespace xmlprop {
+
+/// Options for DDL generation.
+struct DdlOptions {
+  /// SQL type used for every column (the paper's data model is untyped
+  /// text values).
+  std::string column_type = "TEXT";
+  /// Emit NOT NULL on primary-key columns.
+  bool not_null_keys = true;
+  /// Emit FOREIGN KEY clauses between fragments (see GenerateDdl).
+  bool foreign_keys = true;
+};
+
+/// A fragment with its inferred constraints, ready to print.
+struct TableDdl {
+  std::string name;
+  std::vector<std::string> columns;
+  /// Column names of the chosen primary key (a minimal key of the
+  /// fragment under the cover's FDs).
+  std::vector<std::string> primary_key;
+  /// "FOREIGN KEY (a, b) REFERENCES t(a, b)" clauses.
+  std::vector<std::string> foreign_keys;
+
+  std::string ToSql(const DdlOptions& options) const;
+};
+
+/// Turns a normalized decomposition (DecomposeBcnf / Synthesize3nf output)
+/// plus the FD cover into CREATE TABLE statements:
+///   - each fragment's primary key is a minimal subset of its attributes
+///     determining the whole fragment (via the cover's closures);
+///   - a foreign key is emitted from fragment A to fragment B when A
+///     contains all of B's primary-key columns (the standard
+///     shared-key-join wiring of a hierarchical decomposition).
+/// Fragments must be over `cover`'s universal schema.
+Result<std::vector<TableDdl>> GenerateDdl(
+    const std::vector<SubRelation>& decomposition, const FdSet& cover);
+
+/// Renders the full script ("CREATE TABLE ...;\n\n..." in order).
+Result<std::string> GenerateDdlScript(
+    const std::vector<SubRelation>& decomposition, const FdSet& cover,
+    const DdlOptions& options = {});
+
+/// INSERT statements for an instance (nulls become SQL NULL; values are
+/// single-quoted with '' escaping). Useful together with the shredding
+/// evaluator to bulk-load a consumer database.
+std::string GenerateInserts(const Instance& instance);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_RELATIONAL_SQL_DDL_H_

@@ -1,0 +1,127 @@
+#include "synth/doc_generator.h"
+
+#include <set>
+#include <string>
+
+#include "keys/satisfaction.h"
+
+namespace xmlprop {
+
+namespace {
+
+void GrowRandom(Tree* tree, NodeId node, int depth,
+                const RandomTreeSpec& spec, Rng* rng) {
+  for (const std::string& attr : spec.attributes) {
+    if (rng->Bernoulli(spec.attribute_prob)) {
+      // Duplicate attributes cannot happen (alphabet names are distinct).
+      tree->CreateAttribute(node, attr,
+                            std::to_string(rng->UniformInt(
+                                0, spec.value_range - 1)))
+          .ok();
+    }
+  }
+  int children =
+      depth >= spec.max_depth ? 0 : rng->UniformInt(0, spec.max_children);
+  if (children == 0) {
+    if (rng->Bernoulli(spec.text_prob)) {
+      tree->CreateText(node, std::to_string(rng->UniformInt(
+                                 0, spec.value_range - 1)));
+    }
+    return;
+  }
+  for (int i = 0; i < children; ++i) {
+    NodeId child = tree->CreateElement(node, rng->Choose(spec.labels));
+    GrowRandom(tree, child, depth + 1, spec, rng);
+  }
+}
+
+void CopyExcept(const Tree& src, Tree* dst, NodeId src_node, NodeId dst_node,
+                NodeId victim) {
+  for (NodeId attr : src.node(src_node).attributes) {
+    if (attr == victim) continue;
+    dst->CreateAttribute(dst_node, src.node(attr).label, src.node(attr).value)
+        .ok();
+  }
+  for (NodeId child : src.node(src_node).children) {
+    if (child == victim) continue;
+    const Node& c = src.node(child);
+    if (c.kind == NodeKind::kText) {
+      dst->CreateText(dst_node, c.value);
+    } else {
+      NodeId copy = dst->CreateElement(dst_node, c.label);
+      CopyExcept(src, dst, child, copy, victim);
+    }
+  }
+}
+
+}  // namespace
+
+Tree RandomTree(const RandomTreeSpec& spec, Rng* rng) {
+  Tree tree("r");
+  GrowRandom(&tree, tree.root(), 0, spec, rng);
+  return tree;
+}
+
+Result<Tree> WithoutSubtree(const Tree& tree, NodeId victim) {
+  if (!tree.IsValid(victim) || victim == tree.root()) {
+    return Status::InvalidArgument("cannot remove the root or an invalid node");
+  }
+  Tree out(tree.node(tree.root()).label);
+  CopyExcept(tree, &out, tree.root(), out.root(), victim);
+  return out;
+}
+
+Result<Tree> RepairToSatisfy(Tree tree, const std::vector<XmlKey>& sigma,
+                             int max_rounds) {
+  size_t fresh_counter = 0;
+  auto fresh = [&fresh_counter]() {
+    return "fresh_" + std::to_string(fresh_counter++);
+  };
+
+  for (int round = 0; round < max_rounds; ++round) {
+    std::vector<TaggedViolation> violations = CheckAll(tree, sigma);
+    if (violations.empty()) return tree;
+
+    // Batch all fixes that keep node ids stable; do at most one deletion
+    // per round (a deletion rebuilds the tree and invalidates ids).
+    bool changed = false;
+    std::set<std::pair<NodeId, std::string>> touched;
+    std::optional<NodeId> to_delete;
+    for (const TaggedViolation& tv : violations) {
+      const XmlKey& key = sigma[tv.key_index];
+      const KeyViolation& v = tv.violation;
+      if (v.kind == KeyViolation::Kind::kMissingAttribute) {
+        if (touched.insert({v.node1, v.attribute}).second) {
+          XMLPROP_RETURN_NOT_OK(
+              tree.SetAttributeValue(v.node1, v.attribute, fresh()));
+          changed = true;
+        }
+      } else if (!key.attributes().empty()) {
+        // Bump the second node's first key attribute to a fresh value.
+        const std::string& attr = key.attributes().front();
+        if (touched.insert({v.node2, attr}).second) {
+          XMLPROP_RETURN_NOT_OK(tree.SetAttributeValue(v.node2, attr, fresh()));
+          changed = true;
+        }
+      } else if (!to_delete.has_value()) {
+        // "At most one target": drop the second node entirely.
+        to_delete = v.node2;
+      }
+    }
+    if (to_delete.has_value() && !changed) {
+      XMLPROP_ASSIGN_OR_RETURN(tree, WithoutSubtree(tree, *to_delete));
+      changed = true;
+    }
+    if (!changed) {
+      return Status::Internal("repair loop made no progress");
+    }
+  }
+  return Status::Internal("repair did not converge within max_rounds");
+}
+
+Result<Tree> RandomSatisfyingTree(const RandomTreeSpec& spec,
+                                  const std::vector<XmlKey>& sigma, Rng* rng) {
+  return RepairToSatisfy(RandomTree(spec, rng), sigma);
+}
+
+}  // namespace xmlprop

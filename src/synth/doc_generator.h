@@ -1,0 +1,59 @@
+#ifndef XMLPROP_SYNTH_DOC_GENERATOR_H_
+#define XMLPROP_SYNTH_DOC_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "keys/xml_key.h"
+#include "xml/tree.h"
+
+namespace xmlprop {
+
+/// Shape parameters for RandomTree. Small alphabets and value ranges are
+/// deliberate: they provoke key collisions, shared labels and missing
+/// attributes, which is what the repair loop and the property tests feed
+/// on.
+struct RandomTreeSpec {
+  std::vector<std::string> labels = {"book", "chapter", "section", "title",
+                                     "author", "name", "contact"};
+  std::vector<std::string> attributes = {"isbn", "number", "id"};
+  int max_depth = 4;
+  int max_children = 3;
+  /// Probability that an element gets each attribute of the alphabet.
+  double attribute_prob = 0.5;
+  /// Attribute/text values are drawn uniformly from [0, value_range).
+  int value_range = 3;
+  /// Probability that a leaf element gets a text child.
+  double text_prob = 0.5;
+};
+
+/// Generates a random XML tree (no constraints enforced).
+Tree RandomTree(const RandomTreeSpec& spec, Rng* rng);
+
+/// Returns a copy of `tree` without the subtree rooted at `victim`
+/// (which must not be the document root). Attribute "subtrees" are the
+/// attribute node itself.
+Result<Tree> WithoutSubtree(const Tree& tree, NodeId victim);
+
+/// Repairs `tree` until it satisfies every key in `sigma`:
+///   - a target node missing a key attribute gets it, with a globally
+///     fresh value;
+///   - of two target nodes agreeing on all key attributes, one has an
+///     attribute bumped to a fresh value — or, for attribute-less keys
+///     ((C, (T, {})), "at most one T"), the second node is deleted.
+/// Fresh values never collide, so the loop terminates; `max_rounds`
+/// guards against bugs. The result satisfies SatisfiesAll(result, sigma).
+Result<Tree> RepairToSatisfy(Tree tree, const std::vector<XmlKey>& sigma,
+                             int max_rounds = 1000);
+
+/// Convenience: RandomTree + RepairToSatisfy — a random document that
+/// provably satisfies `sigma` (the generator behind the soundness
+/// property tests).
+Result<Tree> RandomSatisfyingTree(const RandomTreeSpec& spec,
+                                  const std::vector<XmlKey>& sigma, Rng* rng);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_SYNTH_DOC_GENERATOR_H_

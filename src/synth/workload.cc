@@ -1,0 +1,189 @@
+#include "synth/workload.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.h"
+
+namespace xmlprop {
+
+namespace {
+
+std::string LevelLabel(size_t i) { return "n" + std::to_string(i); }
+std::string LevelVar(size_t i) { return "V" + std::to_string(i); }
+
+// Root path of the level-i variable: //n1/n2/.../ni (ε for i = 0).
+Result<PathExpr> LevelPath(size_t i) {
+  std::string text;
+  for (size_t k = 1; k <= i; ++k) {
+    text += (k == 1) ? "//" : "/";
+    text += LevelLabel(k);
+  }
+  return PathExpr::Parse(text);
+}
+
+}  // namespace
+
+Result<SyntheticWorkload> MakeWorkload(const WorkloadSpec& spec) {
+  if (spec.fields == 0 || spec.depth == 0) {
+    return Status::InvalidArgument("workload needs fields >= 1, depth >= 1");
+  }
+  Rng rng(spec.seed);
+  SyntheticWorkload w;
+  w.rule = TableRule("U");
+
+  // Spine: V1 := Xr//n1, Vi := V(i-1)/ni.
+  for (size_t i = 1; i <= spec.depth; ++i) {
+    std::string path_text =
+        (i == 1) ? "//" + LevelLabel(1) : LevelLabel(i);
+    XMLPROP_ASSIGN_OR_RETURN(PathExpr path, PathExpr::Parse(path_text));
+    w.rule.AddMapping(LevelVar(i), i == 1 ? std::string(kRootVar)
+                                          : LevelVar(i - 1),
+                      std::move(path));
+  }
+
+  // Fields. The first min(depth, fields) are the chain-key attributes
+  // key<i> = @k<i> of level i; the remainder are data fields distributed
+  // round-robin over the levels, alternating attribute / element children.
+  const size_t key_levels = std::min(spec.depth, spec.fields);
+  // chain_key_field[i-1] = schema position of level i's key attribute.
+  std::vector<size_t> chain_key_field;
+  // attr/element data fields per level (field position, mapping name).
+  std::vector<std::vector<std::pair<size_t, std::string>>> attr_fields(
+      spec.depth + 1);
+  std::vector<std::vector<std::pair<size_t, std::string>>> elem_fields(
+      spec.depth + 1);
+
+  size_t next_field = 0;
+  for (size_t i = 1; i <= key_levels; ++i) {
+    std::string var = "KA" + std::to_string(i);
+    XMLPROP_ASSIGN_OR_RETURN(PathExpr path,
+                             PathExpr::Parse("@k" + std::to_string(i)));
+    w.rule.AddMapping(var, LevelVar(i), std::move(path));
+    w.rule.AddField("key" + std::to_string(i), var);
+    chain_key_field.push_back(next_field++);
+  }
+  for (size_t j = 0; next_field < spec.fields; ++j) {
+    size_t level = (j % spec.depth) + 1;
+    bool attr = (j % 2 == 0);
+    std::string var = "F" + std::to_string(j);
+    std::string field = "f" + std::to_string(j);
+    std::string step =
+        attr ? "@a" + std::to_string(j) : "e" + std::to_string(j);
+    XMLPROP_ASSIGN_OR_RETURN(PathExpr path, PathExpr::Parse(step));
+    w.rule.AddMapping(var, LevelVar(level), std::move(path));
+    w.rule.AddField(field, var);
+    if (attr) {
+      attr_fields[level].emplace_back(next_field, "a" + std::to_string(j));
+    } else {
+      elem_fields[level].emplace_back(next_field, "e" + std::to_string(j));
+    }
+    ++next_field;
+  }
+
+  // Keys. Chain keys first: level i identified by @k<i> relative to the
+  // level-(i-1) context.
+  const size_t chain_keys = std::min(spec.depth, spec.keys);
+  for (size_t i = 1; i <= chain_keys; ++i) {
+    XMLPROP_ASSIGN_OR_RETURN(PathExpr ctx, LevelPath(i - 1));
+    XMLPROP_ASSIGN_OR_RETURN(
+        PathExpr target,
+        PathExpr::Parse(i == 1 ? "//" + LevelLabel(1) : LevelLabel(i)));
+    w.keys.emplace_back("CK" + std::to_string(i), std::move(ctx),
+                        std::move(target),
+                        std::vector<std::string>{"k" + std::to_string(i)});
+  }
+  // Extra keys: uniqueness keys for element fields, alternative attribute
+  // keys, and synthetic uniqueness keys as filler.
+  for (size_t j = chain_keys; j < spec.keys; ++j) {
+    size_t level = 1 + rng.UniformIndex(spec.depth);
+    std::string name = "XK" + std::to_string(j);
+    if (j % 3 == 0 && !elem_fields[level].empty()) {
+      // Uniqueness: each level node has at most one such element child.
+      XMLPROP_ASSIGN_OR_RETURN(PathExpr ctx, LevelPath(level));
+      XMLPROP_ASSIGN_OR_RETURN(
+          PathExpr target,
+          PathExpr::Parse(rng.Choose(elem_fields[level]).second));
+      w.keys.emplace_back(name, std::move(ctx), std::move(target),
+                          std::vector<std::string>{});
+    } else if (!attr_fields[level].empty()) {
+      // Alternative key: level also identified by a data attribute.
+      XMLPROP_ASSIGN_OR_RETURN(PathExpr ctx, LevelPath(level - 1));
+      XMLPROP_ASSIGN_OR_RETURN(
+          PathExpr target,
+          PathExpr::Parse(level == 1 ? "//" + LevelLabel(1)
+                                     : LevelLabel(level)));
+      const auto& chosen = rng.Choose(attr_fields[level]);
+      w.keys.emplace_back(name, std::move(ctx), std::move(target),
+                          std::vector<std::string>{chosen.second});
+    } else {
+      // Filler: uniqueness of a synthetic element not in the table tree.
+      XMLPROP_ASSIGN_OR_RETURN(PathExpr ctx, LevelPath(level));
+      XMLPROP_ASSIGN_OR_RETURN(PathExpr target,
+                               PathExpr::Parse("u" + std::to_string(j)));
+      w.keys.emplace_back(name, std::move(ctx), std::move(target),
+                          std::vector<std::string>{});
+    }
+  }
+
+  XMLPROP_ASSIGN_OR_RETURN(w.table, TableTree::Build(w.rule));
+  const size_t arity = w.table.schema().arity();
+
+  // The deepest level whose whole chain (1..d*) has both key fields and
+  // chain keys.
+  const size_t keyed_depth = std::min(chain_keys, key_levels);
+
+  // true_fd: chain keys of levels 1..L → an attribute data field at the
+  // deepest such level L <= keyed_depth. Attribute fields are unique per
+  // element (no extra uniqueness key needed), and restricting the LHS to
+  // levels <= L keeps every LHS attribute on an ancestor of the RHS
+  // variable — required by the null-safety half of propagation.
+  std::optional<size_t> rhs;
+  size_t rhs_level = keyed_depth;
+  for (size_t level = keyed_depth; level >= 1 && !rhs.has_value(); --level) {
+    if (!attr_fields[level].empty()) {
+      rhs = attr_fields[level].front().first;
+      rhs_level = level;
+    }
+    if (level == 1) break;
+  }
+  if (!rhs.has_value()) {
+    // Degenerate: every field is a chain-key attribute; fall back to the
+    // trivial (but still null-safe) FD keys -> deepest key.
+    rhs = keyed_depth > 0 ? chain_key_field[keyed_depth - 1] : size_t{0};
+    rhs_level = keyed_depth;
+  }
+  AttrSet lhs(arity);
+  for (size_t i = 0; i < std::min(rhs_level, keyed_depth); ++i) {
+    lhs.Set(chain_key_field[i]);
+  }
+  w.true_fd = Fd::SingleRhs(lhs, *rhs);
+
+  // false_fd: an element data field alone cannot determine the first
+  // field (element fields never key anything — keys carry attributes);
+  // next preference is a deep attribute field (keys only relative to its
+  // parent context, never globally); last resort is the constant FD
+  // ∅ → field0, which fails whenever the root has several descendants.
+  std::optional<size_t> false_lhs;
+  for (size_t level = spec.depth; level >= 1; --level) {
+    if (!elem_fields[level].empty()) {
+      false_lhs = elem_fields[level].back().first;
+      break;
+    }
+    if (level == 1) break;
+  }
+  if (!false_lhs.has_value()) {
+    for (size_t level = spec.depth; level >= 2; --level) {
+      if (!attr_fields[level].empty()) {
+        false_lhs = attr_fields[level].back().first;
+        break;
+      }
+    }
+  }
+  AttrSet f(arity);
+  if (false_lhs.has_value() && *false_lhs != 0) f.Set(*false_lhs);
+  w.false_fd = Fd::SingleRhs(std::move(f), 0);
+  return w;
+}
+
+}  // namespace xmlprop

@@ -1,0 +1,56 @@
+#ifndef XMLPROP_SYNTH_WORKLOAD_H_
+#define XMLPROP_SYNTH_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "keys/xml_key.h"
+#include "relational/fd.h"
+#include "transform/rule.h"
+#include "transform/table_tree.h"
+
+namespace xmlprop {
+
+/// Knobs of the Section 6 experiments: the number of universal-relation
+/// fields, the depth of the table tree, and the number of XML keys.
+/// (The paper chose depth 2..20 "based on the average tree depth found in
+/// real XML data" [Choi, WebDB'02], fields up to 500, and keys up to 100.)
+struct WorkloadSpec {
+  size_t fields = 15;
+  size_t depth = 5;
+  size_t keys = 10;
+  uint64_t seed = 42;
+};
+
+/// A generated benchmark instance: a universal-relation table rule whose
+/// table tree is a spine of `depth` element variables with `fields` leaf
+/// fields distributed over the levels, plus a key set of size `keys`:
+///   - one *chain key* per level (level i identified by @k<i> relative to
+///     the level-(i-1) context) — these make deep fields transitively
+///     keyed, mirroring the book/chapter/section schema of the paper;
+///   - extra keys beyond the depth alternate between uniqueness keys for
+///     element-child fields ((ctx, (e, {}))) and *alternative* attribute
+///     keys ((ctx, (level, {@other}))), which exercise the key-equivalence
+///     machinery of Algorithm minimumCover.
+struct SyntheticWorkload {
+  TableRule rule;
+  TableTree table;
+  std::vector<XmlKey> keys;
+
+  /// An FD expected to be propagated: the chain-key fields of the deepest
+  /// fully-keyed level → some field determined by that level (degenerates
+  /// to a trivial FD when every field is a chain-key attribute).
+  Fd true_fd;
+
+  /// An FD expected NOT to be propagated (a non-keying LHS).
+  Fd false_fd;
+};
+
+/// Builds the workload deterministically from the spec. Fails when the
+/// spec is degenerate (zero fields or depth).
+Result<SyntheticWorkload> MakeWorkload(const WorkloadSpec& spec);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_SYNTH_WORKLOAD_H_

@@ -1,0 +1,471 @@
+#include "tools/cli.h"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "core/design_advisor.h"
+#include "core/gminimum_cover.h"
+#include "core/naive_cover.h"
+#include "core/propagation.h"
+#include "keys/discovery.h"
+#include "keys/foreign_key.h"
+#include "keys/implication.h"
+#include "keys/satisfaction.h"
+#include "keys/xsd_import.h"
+#include "core/publish.h"
+#include "relational/csv.h"
+#include "relational/sql_ddl.h"
+#include "transform/derive_rule.h"
+#include "transform/eval.h"
+#include "transform/rule_parser.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace xmlprop {
+
+namespace {
+
+constexpr const char* kHelp = R"HELP(xmlprop — XML key propagation toolkit
+(Davidson, Fan, Hara, Qin: "Propagating XML Constraints to Relations",
+ICDE 2003)
+
+usage: xmlprop <command> [--flag value]...
+
+commands:
+  check      --keys FILE --doc FILE [--fkeys FILE]
+             Check the document against XML keys (and, with --fkeys,
+             foreign keys); list violations.
+  implies    --keys FILE --key "(C, (T, {@a,...}))"
+             Decide Σ ⊨ φ (Algorithm implication).
+  propagate  --keys FILE --rules FILE --relation NAME --fd "a, b -> c"
+             Is the FD guaranteed for every conforming document?
+             (Algorithm propagation; --via-cover uses GminimumCover;
+             --explain prints the keyed-chain derivation.)
+  cover      --keys FILE --rules FILE [--relation NAME] [--naive]
+             Minimum cover of all propagated FDs (Algorithm minimumCover,
+             or the exponential Algorithm naive with --naive).
+  design     --keys FILE --rules FILE [--relation NAME] [--sql] [--3nf]
+             Minimum cover + BCNF (default) or 3NF design; --sql prints
+             CREATE TABLE DDL.
+  shred      --rules FILE --doc FILE [--sql | --csv]
+             Evaluate the transformation; --sql prints INSERT statements,
+             --csv prints one CSV block per relation.
+  publish    --keys FILE --rules FILE --data FILE.csv [--relation NAME]
+             [--root LABEL]
+             Inverse shredding: reconstruct a canonical XML document from
+             a CSV instance, grouping elements by the XML keys.
+  discover   --doc FILE [--max-attrs N] [--max-target-len N] [--min-support N]
+             Mine XML keys the document satisfies.
+  autodesign --doc FILE [--sql] [--3nf] [--max-depth N] [--min-support N]
+             Fully automatic: derive a rough universal relation from the
+             document, mine its keys, and produce a normalized design.
+  import-xsd --xsd FILE
+             Import xs:key/xs:unique/xs:keyref constraints as paper-style
+             keys / foreign keys.
+  export-xsd --keys FILE [--root LABEL]
+             Render keys as XML Schema identity constraints.
+  help       This text.
+
+exit codes: 0 ok/yes; 1 error; 2 the answer is "no" (violations found /
+FD not propagated / key not implied).
+)HELP";
+
+struct ParsedArgs {
+  std::string command;
+  std::map<std::string, std::string> flags;
+  bool Has(const std::string& name) const { return flags.count(name) > 0; }
+  std::string Get(const std::string& name) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? std::string() : it->second;
+  }
+};
+
+Result<ParsedArgs> ParseArgs(const std::vector<std::string>& args) {
+  ParsedArgs parsed;
+  if (args.empty()) return Status::InvalidArgument("no command given");
+  parsed.command = args[0];
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.size() < 3 || a[0] != '-' || a[1] != '-') {
+      return Status::InvalidArgument("unexpected argument '" + a +
+                                     "' (flags are --name [value])");
+    }
+    std::string name = a.substr(2);
+    // Boolean flags take no value; everything else consumes the next arg.
+    if (name == "sql" || name == "naive" || name == "3nf" ||
+        name == "via-cover" || name == "csv" || name == "explain") {
+      parsed.flags[name] = "true";
+    } else {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument("flag --" + name + " needs a value");
+      }
+      parsed.flags[name] = args[++i];
+    }
+  }
+  return parsed;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Result<std::vector<XmlKey>> LoadKeys(const ParsedArgs& args) {
+  if (!args.Has("keys")) {
+    return Status::InvalidArgument("missing --keys FILE");
+  }
+  XMLPROP_ASSIGN_OR_RETURN(std::string text, ReadFile(args.Get("keys")));
+  return ParseKeySet(text);
+}
+
+Result<Tree> LoadDoc(const ParsedArgs& args) {
+  if (!args.Has("doc")) return Status::InvalidArgument("missing --doc FILE");
+  XMLPROP_ASSIGN_OR_RETURN(std::string text, ReadFile(args.Get("doc")));
+  return ParseXml(text);
+}
+
+Result<Transformation> LoadRules(const ParsedArgs& args) {
+  if (!args.Has("rules")) {
+    return Status::InvalidArgument("missing --rules FILE");
+  }
+  XMLPROP_ASSIGN_OR_RETURN(std::string text, ReadFile(args.Get("rules")));
+  return ParseTransformation(text);
+}
+
+// The rule named --relation, or the only rule of the transformation.
+Result<const TableRule*> SelectRule(const Transformation& t,
+                                    const ParsedArgs& args) {
+  if (args.Has("relation")) return t.FindRule(args.Get("relation"));
+  if (t.rules().size() == 1) return &t.rules()[0];
+  return Status::InvalidArgument(
+      "the rules file defines several relations; pick one with "
+      "--relation NAME");
+}
+
+int CmdCheck(const ParsedArgs& args, std::ostream& out) {
+  Result<std::vector<XmlKey>> keys = LoadKeys(args);
+  if (!keys.ok()) throw keys.status();
+  Result<Tree> doc = LoadDoc(args);
+  if (!doc.ok()) throw doc.status();
+
+  size_t total = 0;
+  for (const TaggedViolation& tv : CheckAll(*doc, *keys)) {
+    out << "VIOLATION: "
+        << tv.violation.Describe(*doc, (*keys)[tv.key_index]) << "\n";
+    ++total;
+  }
+
+  size_t constraint_count = keys->size();
+  if (args.Has("fkeys")) {
+    Result<std::string> text = ReadFile(args.Get("fkeys"));
+    if (!text.ok()) throw text.status();
+    Result<std::vector<XmlForeignKey>> fks = ParseForeignKeySet(*text);
+    if (!fks.ok()) throw fks.status();
+    constraint_count += fks->size();
+    for (const XmlForeignKey& fk : *fks) {
+      for (const ForeignKeyViolation& v : CheckForeignKey(*doc, fk)) {
+        out << "VIOLATION: " << v.Describe(*doc, fk) << "\n";
+        ++total;
+      }
+    }
+  }
+
+  if (total == 0) {
+    out << "OK: document satisfies all " << constraint_count
+        << " constraint(s)\n";
+    return 0;
+  }
+  out << total << " violation(s)\n";
+  return 2;
+}
+
+int CmdImplies(const ParsedArgs& args, std::ostream& out) {
+  Result<std::vector<XmlKey>> keys = LoadKeys(args);
+  if (!keys.ok()) throw keys.status();
+  if (!args.Has("key")) {
+    throw Status::InvalidArgument("missing --key \"(C, (T, {@a,...}))\"");
+  }
+  Result<XmlKey> phi = XmlKey::Parse(args.Get("key"));
+  if (!phi.ok()) throw phi.status();
+
+  if (Implies(*keys, *phi)) {
+    std::optional<ImplicationWitness> witness = FindWitness(*keys, *phi);
+    out << "IMPLIED";
+    if (witness.has_value()) {
+      out << ": " << witness->Describe(*keys, *phi);
+    }
+    out << "\n";
+    return 0;
+  }
+  out << "NOT IMPLIED\n";
+  return 2;
+}
+
+int CmdPropagate(const ParsedArgs& args, std::ostream& out) {
+  Result<std::vector<XmlKey>> keys = LoadKeys(args);
+  if (!keys.ok()) throw keys.status();
+  Result<Transformation> rules = LoadRules(args);
+  if (!rules.ok()) throw rules.status();
+  Result<const TableRule*> rule = SelectRule(*rules, args);
+  if (!rule.ok()) throw rule.status();
+  if (!args.Has("fd")) {
+    throw Status::InvalidArgument("missing --fd \"a, b -> c\"");
+  }
+  Result<TableTree> table = TableTree::Build(**rule);
+  if (!table.ok()) throw table.status();
+  Result<Fd> fd = ParseFd(table->schema(), args.Get("fd"));
+  if (!fd.ok()) throw fd.status();
+
+  PropagationStats stats;
+  Result<bool> verdict =
+      args.Has("via-cover")
+          ? CheckPropagationViaCover(*keys, *table, *fd, &stats)
+          : CheckPropagation(*keys, *table, *fd, &stats);
+  if (!verdict.ok()) throw verdict.status();
+  out << (*verdict ? "PROPAGATED" : "NOT PROPAGATED") << ": "
+      << fd->ToString(table->schema()) << " on "
+      << table->relation_name() << "  (implication calls: "
+      << stats.implication_calls << ")\n";
+  if (args.Has("explain")) {
+    Result<PropagationTrace> trace = ExplainPropagation(*keys, *table, *fd);
+    if (!trace.ok()) throw trace.status();
+    out << trace->ToString();
+  }
+  return *verdict ? 0 : 2;
+}
+
+int CmdCover(const ParsedArgs& args, std::ostream& out) {
+  Result<std::vector<XmlKey>> keys = LoadKeys(args);
+  if (!keys.ok()) throw keys.status();
+  Result<Transformation> rules = LoadRules(args);
+  if (!rules.ok()) throw rules.status();
+  Result<const TableRule*> rule = SelectRule(*rules, args);
+  if (!rule.ok()) throw rule.status();
+  Result<TableTree> table = TableTree::Build(**rule);
+  if (!table.ok()) throw table.status();
+
+  Result<FdSet> cover = args.Has("naive")
+                            ? NaiveMinimumCover(*keys, *table)
+                            : MinimumCover(*keys, *table);
+  if (!cover.ok()) throw cover.status();
+  out << "Minimum cover for " << table->schema().ToString() << " ("
+      << (args.Has("naive") ? "Algorithm naive" : "Algorithm minimumCover")
+      << "):\n";
+  for (const Fd& fd : cover->fds()) {
+    out << "  " << fd.ToString(table->schema()) << "\n";
+  }
+  if (cover->empty()) out << "  (none)\n";
+  return 0;
+}
+
+int CmdDesign(const ParsedArgs& args, std::ostream& out) {
+  Result<std::vector<XmlKey>> keys = LoadKeys(args);
+  if (!keys.ok()) throw keys.status();
+  Result<Transformation> rules = LoadRules(args);
+  if (!rules.ok()) throw rules.status();
+  Result<const TableRule*> rule = SelectRule(*rules, args);
+  if (!rule.ok()) throw rule.status();
+
+  Result<DesignReport> report = AdviseDesign(*keys, **rule);
+  if (!report.ok()) throw report.status();
+  out << report->ToString();
+  if (args.Has("sql")) {
+    const std::vector<SubRelation>& fragments =
+        args.Has("3nf") ? report->third_nf : report->bcnf;
+    Result<std::string> ddl = GenerateDdlScript(fragments, report->cover);
+    if (!ddl.ok()) throw ddl.status();
+    out << "\n-- DDL (" << (args.Has("3nf") ? "3NF" : "BCNF") << ")\n"
+        << *ddl;
+  }
+  return 0;
+}
+
+int CmdShred(const ParsedArgs& args, std::ostream& out) {
+  Result<Transformation> rules = LoadRules(args);
+  if (!rules.ok()) throw rules.status();
+  Result<Tree> doc = LoadDoc(args);
+  if (!doc.ok()) throw doc.status();
+  Result<std::vector<Instance>> instances = EvalTransformation(*doc, *rules);
+  if (!instances.ok()) throw instances.status();
+  for (const Instance& instance : *instances) {
+    if (args.Has("sql")) {
+      out << GenerateInserts(instance);
+    } else if (args.Has("csv")) {
+      out << "# " << instance.schema().name() << "\n"
+          << WriteCsv(instance);
+    } else {
+      out << instance.ToString() << "\n";
+    }
+  }
+  return 0;
+}
+
+int CmdPublish(const ParsedArgs& args, std::ostream& out) {
+  Result<std::vector<XmlKey>> keys = LoadKeys(args);
+  if (!keys.ok()) throw keys.status();
+  Result<Transformation> rules = LoadRules(args);
+  if (!rules.ok()) throw rules.status();
+  Result<const TableRule*> rule = SelectRule(*rules, args);
+  if (!rule.ok()) throw rule.status();
+  if (!args.Has("data")) {
+    throw Status::InvalidArgument("missing --data FILE (CSV instance)");
+  }
+  Result<TableTree> table = TableTree::Build(**rule);
+  if (!table.ok()) throw table.status();
+  Result<std::string> csv = ReadFile(args.Get("data"));
+  if (!csv.ok()) throw csv.status();
+  Result<Instance> instance = ReadCsv(table->schema(), *csv);
+  if (!instance.ok()) throw instance.status();
+  Result<Tree> published =
+      PublishXml(*instance, *table, *keys,
+                 args.Has("root") ? args.Get("root") : std::string("r"));
+  if (!published.ok()) throw published.status();
+  out << WriteXml(*published);
+  return 0;
+}
+
+int CmdDiscover(const ParsedArgs& args, std::ostream& out) {
+  Result<Tree> doc = LoadDoc(args);
+  if (!doc.ok()) throw doc.status();
+  DiscoveryOptions options;
+  if (args.Has("max-attrs")) {
+    options.max_attributes =
+        static_cast<size_t>(std::stoul(args.Get("max-attrs")));
+  }
+  if (args.Has("max-target-len")) {
+    options.max_target_length =
+        static_cast<size_t>(std::stoul(args.Get("max-target-len")));
+  }
+  if (args.Has("min-support")) {
+    options.min_targets =
+        static_cast<size_t>(std::stoul(args.Get("min-support")));
+  }
+  Result<std::vector<DiscoveredKey>> keys = DiscoverKeys(*doc, options);
+  if (!keys.ok()) throw keys.status();
+  out << "# keys satisfied by the document (candidates, not guarantees)\n";
+  for (const DiscoveredKey& d : *keys) {
+    out << d.key.ToString() << "   # contexts=" << d.context_count
+        << " targets=" << d.target_count << "\n";
+  }
+  if (keys->empty()) out << "# (none found within the search bounds)\n";
+  return 0;
+}
+
+int CmdAutoDesign(const ParsedArgs& args, std::ostream& out) {
+  Result<Tree> doc = LoadDoc(args);
+  if (!doc.ok()) throw doc.status();
+
+  DeriveOptions derive;
+  if (args.Has("max-depth")) {
+    derive.max_depth = static_cast<size_t>(std::stoul(args.Get("max-depth")));
+  }
+  Result<TableRule> rule = DeriveUniversalRule(*doc, derive);
+  if (!rule.ok()) throw rule.status();
+
+  DiscoveryOptions discovery;
+  if (args.Has("min-support")) {
+    discovery.min_targets =
+        static_cast<size_t>(std::stoul(args.Get("min-support")));
+  }
+  Result<std::vector<DiscoveredKey>> discovered =
+      DiscoverKeys(*doc, discovery);
+  if (!discovered.ok()) throw discovered.status();
+  std::vector<XmlKey> keys;
+  for (const DiscoveredKey& d : *discovered) keys.push_back(d.key);
+
+  out << "# Derived universal relation (rough schema):\n"
+      << rule->ToString() << "\n\n";
+  out << "# Keys mined from the document (candidates — confirm with the "
+         "data owner!):\n";
+  for (const XmlKey& k : keys) out << "#   " << k.ToString() << "\n";
+  out << "\n";
+
+  Result<DesignReport> report = AdviseDesign(keys, *rule);
+  if (!report.ok()) throw report.status();
+  out << report->ToString();
+  if (args.Has("sql")) {
+    const std::vector<SubRelation>& fragments =
+        args.Has("3nf") ? report->third_nf : report->bcnf;
+    Result<std::string> ddl = GenerateDdlScript(fragments, report->cover);
+    if (!ddl.ok()) throw ddl.status();
+    out << "\n-- DDL (" << (args.Has("3nf") ? "3NF" : "BCNF") << ")\n"
+        << *ddl;
+  }
+  return 0;
+}
+
+int CmdExportXsd(const ParsedArgs& args, std::ostream& out) {
+  Result<std::vector<XmlKey>> keys = LoadKeys(args);
+  if (!keys.ok()) throw keys.status();
+  Result<std::string> xsd = ExportXsdKeys(
+      *keys, args.Has("root") ? args.Get("root") : std::string("r"));
+  if (!xsd.ok()) throw xsd.status();
+  out << *xsd;
+  return 0;
+}
+
+int CmdImportXsd(const ParsedArgs& args, std::ostream& out) {
+  if (!args.Has("xsd")) throw Status::InvalidArgument("missing --xsd FILE");
+  Result<std::string> text = ReadFile(args.Get("xsd"));
+  if (!text.ok()) throw text.status();
+  Result<XsdImportResult> imported = ImportXsdKeys(*text);
+  if (!imported.ok()) throw imported.status();
+  for (const std::string& warning : imported->warnings) {
+    out << "# warning: " << warning << "\n";
+  }
+  for (const XmlKey& key : imported->keys) {
+    out << key.ToString() << "\n";
+  }
+  for (const XmlForeignKey& fk : imported->foreign_keys) {
+    out << fk.ToString() << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  Result<ParsedArgs> parsed = ParseArgs(args);
+  if (!parsed.ok()) {
+    err << "error: " << parsed.status().message() << "\n"
+        << "run `xmlprop help` for usage\n";
+    return 1;
+  }
+  try {
+    const std::string& cmd = parsed->command;
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+      out << kHelp;
+      return 0;
+    }
+    if (cmd == "check") return CmdCheck(*parsed, out);
+    if (cmd == "implies") return CmdImplies(*parsed, out);
+    if (cmd == "propagate") return CmdPropagate(*parsed, out);
+    if (cmd == "cover") return CmdCover(*parsed, out);
+    if (cmd == "design") return CmdDesign(*parsed, out);
+    if (cmd == "shred") return CmdShred(*parsed, out);
+    if (cmd == "publish") return CmdPublish(*parsed, out);
+    if (cmd == "discover") return CmdDiscover(*parsed, out);
+    if (cmd == "autodesign") return CmdAutoDesign(*parsed, out);
+    if (cmd == "import-xsd") return CmdImportXsd(*parsed, out);
+    if (cmd == "export-xsd") return CmdExportXsd(*parsed, out);
+    err << "error: unknown command '" << cmd << "'\n"
+        << "run `xmlprop help` for usage\n";
+    return 1;
+  } catch (const Status& status) {
+    // Command helpers throw Status for input problems; the library
+    // itself never throws (Status/Result error model).
+    err << "error: " << status.ToString() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace xmlprop

@@ -1,0 +1,30 @@
+#ifndef XMLPROP_TOOLS_CLI_H_
+#define XMLPROP_TOOLS_CLI_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xmlprop {
+
+/// Runs the `xmlprop` command-line tool. `args` excludes the program
+/// name (argv[1..]). Normal output goes to `out`, diagnostics to `err`.
+/// Returns the process exit code (0 success; 1 user/input error; 2 the
+/// question's answer is "no" — e.g. a key is violated or an FD is not
+/// propagated — so scripts can branch on it).
+///
+/// Commands (see `xmlprop help`):
+///   check      --keys F --doc F            key satisfaction report
+///   implies    --keys F --key KEYTEXT      Σ ⊨ φ (Algorithm implication)
+///   propagate  --keys F --rules F --relation R --fd "a, b -> c"
+///   cover      --keys F --rules F [--naive] minimum cover of propagated FDs
+///   design     --keys F --rules F [--sql] [--3nf]  normalized schema
+///   shred      --rules F --doc F [--sql]   evaluate the transformation
+///   discover   --doc F                     mine keys the document obeys
+///   import-xsd --xsd F                     keys from XML Schema
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_TOOLS_CLI_H_

@@ -1,0 +1,14 @@
+// Entry point of the `xmlprop` command-line tool. All logic lives in
+// tools/cli.h so it can be unit-tested; this file only adapts argv.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) args.push_back("help");
+  return xmlprop::RunCli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,166 @@
+#include "transform/derive_rule.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace xmlprop {
+
+namespace {
+
+// Structural summary of one distinct element label path.
+struct PathInfo {
+  std::vector<std::string> labels;       // path from (below) the root
+  int parent = -1;                       // index of the parent path
+  std::vector<std::string> attributes;  // observed, first-seen order
+  bool has_element_children = false;
+  bool has_text = false;
+};
+
+// Field names must be identifiers; label characters outside the set are
+// mapped to '_'.
+std::string Sanitize(const std::string& s) {
+  std::string out;
+  for (char c : s) out.push_back(IsNameChar(c) && c != ':' ? c : '_');
+  if (out.empty() || !IsNameStartChar(out[0])) out = "f_" + out;
+  return out;
+}
+
+}  // namespace
+
+Result<TableRule> DeriveUniversalRule(const Tree& tree,
+                                      const DeriveOptions& options) {
+  // Pass 1: collect distinct paths in document (first-encounter) order.
+  std::vector<PathInfo> paths;
+  std::map<std::vector<std::string>, int> path_index;
+
+  struct Frame {
+    NodeId node;
+    int path = -1;  // index into `paths` (-1 for the root)
+    size_t depth = 0;
+  };
+  std::vector<Frame> stack = {{tree.root(), -1, 0}};
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    const Node& n = tree.node(frame.node);
+    // Children in reverse so first-encounter order follows the document.
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      if (tree.node(*it).kind != NodeKind::kElement) continue;
+      if (frame.depth >= options.max_depth) continue;
+      std::vector<std::string> labels;
+      if (frame.path >= 0) {
+        labels = paths[static_cast<size_t>(frame.path)].labels;
+      }
+      labels.push_back(tree.node(*it).label);
+      auto [entry, inserted] =
+          path_index.emplace(labels, static_cast<int>(paths.size()));
+      if (inserted) {
+        PathInfo info;
+        info.labels = std::move(labels);
+        info.parent = frame.path;
+        paths.push_back(std::move(info));
+      }
+      stack.push_back({*it, entry->second, frame.depth + 1});
+    }
+    if (frame.path < 0) continue;
+    PathInfo& info = paths[static_cast<size_t>(frame.path)];
+    for (NodeId attr : n.attributes) {
+      const std::string& name = tree.node(attr).label;
+      if (std::find(info.attributes.begin(), info.attributes.end(), name) ==
+          info.attributes.end()) {
+        info.attributes.push_back(name);
+      }
+    }
+    for (NodeId child : n.children) {
+      if (tree.node(child).kind == NodeKind::kElement) {
+        info.has_element_children = true;
+      } else if (tree.node(child).kind == NodeKind::kText) {
+        info.has_text = true;
+      }
+    }
+  }
+  // Reversed-stack DFS visits parents before children, but attribute and
+  // content flags accumulate across ALL occurrences of a path, which the
+  // single pass above already does (every node is visited).
+
+  // Pass 2: emit the rule. Variables in path order guarantee parents are
+  // declared first (paths store their parent's index, always smaller?
+  // not necessarily — a path can first be seen under a later parent
+  // occurrence. Sort topologically by path length to be safe.)
+  std::vector<size_t> order(paths.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return paths[a].labels.size() < paths[b].labels.size();
+  });
+
+  TableRule rule(options.relation_name);
+  std::vector<std::string> var_of_path(paths.size());
+  std::set<std::string> used_fields;
+  size_t field_count = 0;
+  size_t var_counter = 0;
+
+  // First declare all element variables (parents before children).
+  for (size_t idx : order) {
+    PathInfo& p = paths[idx];
+    std::string var = "V" + std::to_string(++var_counter);
+    var_of_path[idx] = var;
+    std::string parent_var = p.parent < 0
+                                 ? std::string(kRootVar)
+                                 : var_of_path[static_cast<size_t>(p.parent)];
+    XMLPROP_ASSIGN_OR_RETURN(PathExpr step,
+                             PathExpr::Parse(p.labels.back()));
+    rule.AddMapping(var, parent_var, std::move(step));
+  }
+
+  auto unique_field = [&](std::string base) {
+    std::string name = Sanitize(base);
+    std::string candidate = name;
+    int suffix = 1;
+    while (!used_fields.insert(candidate).second) {
+      candidate = name + "_" + std::to_string(++suffix);
+    }
+    return candidate;
+  };
+
+  // Then fields: attributes, and text-only leaves.
+  for (size_t idx : order) {
+    const PathInfo& p = paths[idx];
+    std::string base = Join(p.labels, "_");
+    for (const std::string& attr : p.attributes) {
+      if (++field_count > options.max_fields) {
+        return Status::InvalidArgument(
+            "derived rule exceeds max_fields=" +
+            std::to_string(options.max_fields) +
+            "; raise DeriveOptions::max_fields or lower max_depth");
+      }
+      std::string var = "A" + std::to_string(field_count);
+      XMLPROP_ASSIGN_OR_RETURN(PathExpr step, PathExpr::Parse("@" + attr));
+      rule.AddMapping(var, var_of_path[idx], std::move(step));
+      rule.AddField(unique_field(base + "_" + attr), var);
+    }
+    if (!p.has_element_children && p.attributes.empty() && p.has_text) {
+      if (++field_count > options.max_fields) {
+        return Status::InvalidArgument(
+            "derived rule exceeds max_fields=" +
+            std::to_string(options.max_fields));
+      }
+      // The element variable itself is the field (it is a leaf in the
+      // table tree: no child variables were derived for it).
+      rule.AddField(unique_field(base), var_of_path[idx]);
+    }
+  }
+
+  if (rule.field_rules().empty()) {
+    return Status::InvalidArgument(
+        "document yields no fields (no attributes or text leaves within "
+        "max_depth)");
+  }
+  XMLPROP_RETURN_NOT_OK(rule.Validate());
+  return rule;
+}
+
+}  // namespace xmlprop

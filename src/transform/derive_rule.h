@@ -1,0 +1,44 @@
+#ifndef XMLPROP_TRANSFORM_DERIVE_RULE_H_
+#define XMLPROP_TRANSFORM_DERIVE_RULE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "transform/rule.h"
+#include "xml/tree.h"
+
+namespace xmlprop {
+
+/// Bounds for rule derivation.
+struct DeriveOptions {
+  /// Relation name of the derived universal relation.
+  std::string relation_name = "U";
+  /// Deepest element path turned into a variable.
+  size_t max_depth = 6;
+  /// Hard cap on derived fields (exceeded => error, never silent
+  /// truncation).
+  size_t max_fields = 200;
+};
+
+/// Derives a universal-relation table rule from a document's structure —
+/// the "rough schema specified by a mapping from the XML document" that
+/// the paper's design workflow starts from (Section 1), generated
+/// instead of hand-written:
+///
+///   - every distinct element label path (up to max_depth) becomes a
+///     variable, wired to its parent path's variable by a single label
+///     step (the root-level paths map from Xr);
+///   - every attribute observed on a path becomes a field
+///     (`path_parts_attr`: value of @attr);
+///   - an element path that never has element children or attributes but
+///     carries text becomes a field itself (its value() is the text).
+///
+/// Together with DiscoverKeys this closes the loop: document → rough
+/// schema + candidate keys → minimum cover → normalized design (the
+/// CLI's `autodesign` command).
+Result<TableRule> DeriveUniversalRule(const Tree& tree,
+                                      const DeriveOptions& options = {});
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_TRANSFORM_DERIVE_RULE_H_

@@ -1,0 +1,87 @@
+#include "transform/eval.h"
+
+namespace xmlprop {
+
+namespace {
+
+// Depth-first enumeration over variable bindings. Variables are visited
+// in table-tree index order, which is topological (parents precede
+// children by construction). binding[i] == kInvalidNode encodes null.
+class Enumerator {
+ public:
+  Enumerator(const Tree& tree, const TableTree& table, Instance* out)
+      : tree_(tree), table_(table), out_(out),
+        binding_(table.size(), kInvalidNode) {}
+
+  void Run() {
+    binding_[0] = tree_.root();
+    Recurse(1);
+  }
+
+ private:
+  void Recurse(size_t var) {
+    if (var == table_.size()) {
+      Emit();
+      return;
+    }
+    const TableTree::VarNode& node = table_.node(static_cast<int>(var));
+    NodeId parent_binding = binding_[static_cast<size_t>(node.parent)];
+    std::vector<NodeId> choices;
+    if (parent_binding != kInvalidNode) {
+      choices = node.step.Eval(tree_, parent_binding);
+    }
+    if (choices.empty()) {
+      // Empty node set: the variable (and transitively its descendants)
+      // binds to null and the field, if any, becomes NULL.
+      binding_[var] = kInvalidNode;
+      Recurse(var + 1);
+      return;
+    }
+    for (NodeId choice : choices) {
+      binding_[var] = choice;
+      Recurse(var + 1);
+    }
+  }
+
+  void Emit() {
+    Tuple tuple(table_.schema().arity());
+    for (size_t f = 0; f < table_.schema().arity(); ++f) {
+      int var = table_.VarForField(f);
+      NodeId n = binding_[static_cast<size_t>(var)];
+      if (n != kInvalidNode) tuple[f] = tree_.Value(n);
+    }
+    // Instance::Add only fails on arity mismatch, which cannot happen here.
+    out_->Add(std::move(tuple)).ok();
+  }
+
+  const Tree& tree_;
+  const TableTree& table_;
+  Instance* out_;
+  std::vector<NodeId> binding_;
+};
+
+}  // namespace
+
+Instance EvalTableTree(const Tree& tree, const TableTree& table) {
+  Instance instance(table.schema());
+  Enumerator(tree, table, &instance).Run();
+  return instance;
+}
+
+Result<Instance> EvalRule(const Tree& tree, const TableRule& rule) {
+  XMLPROP_ASSIGN_OR_RETURN(TableTree table, TableTree::Build(rule));
+  return EvalTableTree(tree, table);
+}
+
+Result<std::vector<Instance>> EvalTransformation(
+    const Tree& tree, const Transformation& transformation) {
+  XMLPROP_RETURN_NOT_OK(transformation.Validate());
+  std::vector<Instance> instances;
+  for (const TableRule& rule : transformation.rules()) {
+    XMLPROP_ASSIGN_OR_RETURN(Instance instance, EvalRule(tree, rule));
+    instances.push_back(std::move(instance));
+  }
+  return instances;
+}
+
+}  // namespace xmlprop

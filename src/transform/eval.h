@@ -1,0 +1,31 @@
+#ifndef XMLPROP_TRANSFORM_EVAL_H_
+#define XMLPROP_TRANSFORM_EVAL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "relational/instance.h"
+#include "transform/rule.h"
+#include "transform/table_tree.h"
+#include "xml/tree.h"
+
+namespace xmlprop {
+
+/// Evaluates Rule(R) over an XML tree (the semantics of Section 2):
+/// variables range over node sets reached by their mapping paths, the
+/// root variable binds to the document root, tuples are produced for
+/// every joint binding (the implicit Cartesian product), and a variable
+/// whose node set is empty binds to null — as do its descendants and the
+/// field it populates.
+Result<Instance> EvalRule(const Tree& tree, const TableRule& rule);
+
+/// EvalRule over a pre-built table tree (avoids re-validation in loops).
+Instance EvalTableTree(const Tree& tree, const TableTree& table);
+
+/// σ(T): evaluates every table rule of the transformation.
+Result<std::vector<Instance>> EvalTransformation(
+    const Tree& tree, const Transformation& transformation);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_TRANSFORM_EVAL_H_

@@ -1,0 +1,141 @@
+#include "transform/rule.h"
+
+#include <map>
+#include <set>
+
+namespace xmlprop {
+
+RelationSchema TableRule::Schema() const {
+  std::vector<std::string> attrs;
+  attrs.reserve(field_rules_.size());
+  for (const FieldRule& f : field_rules_) attrs.push_back(f.field);
+  return RelationSchema(relation_name_, std::move(attrs));
+}
+
+Status TableRule::Validate() const {
+  if (relation_name_.empty()) {
+    return Status::InvalidArgument("table rule without a relation name");
+  }
+  if (field_rules_.empty()) {
+    return Status::InvalidArgument("Rule(" + relation_name_ +
+                                   ") has no field rules");
+  }
+
+  // Variables: declared once, parents declared before use (connectivity
+  // to the root), paths well-formed.
+  std::set<std::string> declared;
+  std::set<std::string> has_children;  // parents of some mapping
+  for (const VarMapping& m : mappings_) {
+    if (m.var == kRootVar) {
+      return Status::InvalidArgument("Rule(" + relation_name_ +
+                                     "): the root variable cannot be remapped");
+    }
+    if (!declared.insert(m.var).second) {
+      return Status::InvalidArgument("Rule(" + relation_name_ +
+                                     "): variable " + m.var +
+                                     " declared twice");
+    }
+    bool parent_is_root = (m.parent == kRootVar);
+    if (!parent_is_root && declared.find(m.parent) == declared.end()) {
+      return Status::InvalidArgument(
+          "Rule(" + relation_name_ + "): variable " + m.var +
+          " uses undeclared parent " + m.parent +
+          " (declare parents first; all variables must connect to " +
+          std::string(kRootVar) + ")");
+    }
+    if (m.path.IsEpsilon()) {
+      return Status::InvalidArgument("Rule(" + relation_name_ +
+                                     "): empty path in mapping for " + m.var);
+    }
+    // Definition 2.2(1): only mappings from the root may use "//".
+    if (!parent_is_root && !m.path.IsSimple()) {
+      return Status::InvalidArgument(
+          "Rule(" + relation_name_ + "): mapping " + m.ToString() +
+          " uses '//' but its parent is not the root variable");
+    }
+    has_children.insert(m.parent);
+  }
+
+  // Nothing may hang below an attribute-valued variable.
+  for (const VarMapping& m : mappings_) {
+    if (m.path.EndsWithAttribute() && has_children.count(m.var) > 0) {
+      return Status::InvalidArgument(
+          "Rule(" + relation_name_ + "): variable " + m.var +
+          " is attribute-valued but has child mappings");
+    }
+  }
+
+  // Field rules: distinct names, distinct declared leaf variables.
+  std::set<std::string> field_names;
+  std::set<std::string> field_vars;
+  for (const FieldRule& f : field_rules_) {
+    if (!field_names.insert(f.field).second) {
+      return Status::InvalidArgument("Rule(" + relation_name_ +
+                                     "): duplicate field " + f.field);
+    }
+    if (declared.find(f.var) == declared.end()) {
+      return Status::InvalidArgument("Rule(" + relation_name_ + "): field " +
+                                     f.field + " uses undeclared variable " +
+                                     f.var);
+    }
+    if (!field_vars.insert(f.var).second) {
+      return Status::InvalidArgument(
+          "Rule(" + relation_name_ + "): variable " + f.var +
+          " populates more than one field (Definition 2.2 requires distinct "
+          "variables)");
+    }
+    // Definition 2.2(2): field variables are leaves of the table tree.
+    if (has_children.count(f.var) > 0) {
+      return Status::InvalidArgument(
+          "Rule(" + relation_name_ + "): field " + f.field +
+          " is defined by value(" + f.var +
+          ") but that variable has child mappings");
+    }
+  }
+  return Status::OK();
+}
+
+std::string TableRule::ToString() const {
+  std::string out = "Rule(" + relation_name_ + ") = {";
+  for (size_t i = 0; i < field_rules_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += field_rules_[i].ToString();
+  }
+  out += "},\n  ";
+  for (size_t i = 0; i < mappings_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += mappings_[i].ToString();
+  }
+  return out;
+}
+
+Result<const TableRule*> Transformation::FindRule(
+    std::string_view name) const {
+  for (const TableRule& r : rules_) {
+    if (r.relation_name() == name) return &r;
+  }
+  return Status::NotFound("no table rule for relation " + std::string(name));
+}
+
+Status Transformation::Validate() const {
+  std::set<std::string> names;
+  for (const TableRule& r : rules_) {
+    XMLPROP_RETURN_NOT_OK(r.Validate());
+    if (!names.insert(r.relation_name()).second) {
+      return Status::InvalidArgument("duplicate table rule for relation " +
+                                     r.relation_name());
+    }
+  }
+  return Status::OK();
+}
+
+std::string Transformation::ToString() const {
+  std::string out;
+  for (const TableRule& r : rules_) {
+    out += r.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace xmlprop

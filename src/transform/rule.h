@@ -1,0 +1,113 @@
+#ifndef XMLPROP_TRANSFORM_RULE_H_
+#define XMLPROP_TRANSFORM_RULE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/schema.h"
+#include "xml/path.h"
+
+namespace xmlprop {
+
+/// The distinguished root variable of every table rule (X_r in the paper).
+inline constexpr std::string_view kRootVar = "Xr";
+
+/// A variable mapping "X := Y/P" (Definition 2.2): X ranges over the
+/// nodes reached from each binding of Y by path expression P.
+struct VarMapping {
+  std::string var;
+  std::string parent;  ///< a previously declared variable or kRootVar
+  PathExpr path;
+
+  std::string ToString() const {
+    std::string p = path.ToString();
+    bool descendant_start = p.size() >= 2 && p[0] == '/' && p[1] == '/';
+    return var + " := " + parent + (descendant_start ? "" : "/") + p;
+  }
+};
+
+/// A field rule "f : value(X)": field f of the relation is populated with
+/// value(X) for each binding of X.
+struct FieldRule {
+  std::string field;
+  std::string var;
+
+  std::string ToString() const { return field + ": value(" + var + ")"; }
+};
+
+/// One table rule Rule(R) of a transformation (Definition 2.2): a set of
+/// field rules over a set of variables connected to the root. Build with
+/// the fluent AddField/AddMapping API or parse the DSL via
+/// ParseTableRule (rule_parser.h), then call Validate() — the algorithms
+/// require a validated rule (they consume its TableTree form).
+///
+/// Well-formedness (checked by Validate):
+///   - every variable is declared exactly once and connected to Xr;
+///   - in X := Y/P, P is a *simple* path (no "//") unless Y is Xr;
+///   - no field is defined by value(Y) when Y has a child variable
+///     (field variables are leaves of the table tree);
+///   - field names are distinct, field variables are declared and
+///     distinct, paths are non-empty, and nothing hangs below an
+///     attribute-valued variable.
+class TableRule {
+ public:
+  TableRule() = default;
+  explicit TableRule(std::string relation_name)
+      : relation_name_(std::move(relation_name)) {}
+
+  const std::string& relation_name() const { return relation_name_; }
+  const std::vector<FieldRule>& field_rules() const { return field_rules_; }
+  const std::vector<VarMapping>& mappings() const { return mappings_; }
+
+  void AddField(std::string field, std::string var) {
+    field_rules_.push_back(FieldRule{std::move(field), std::move(var)});
+  }
+  void AddMapping(std::string var, std::string parent, PathExpr path) {
+    mappings_.push_back(
+        VarMapping{std::move(var), std::move(parent), std::move(path)});
+  }
+
+  /// The relation schema R(f1, ..., fn) defined by the field rules,
+  /// in declaration order.
+  RelationSchema Schema() const;
+
+  /// Checks Definition 2.2 well-formedness; returns the first problem.
+  Status Validate() const;
+
+  /// Pretty-prints in the paper's notation.
+  std::string ToString() const;
+
+ private:
+  std::string relation_name_;
+  std::vector<FieldRule> field_rules_;
+  std::vector<VarMapping> mappings_;
+};
+
+/// A transformation σ: one table rule per target relation
+/// (Definition 2.2).
+class Transformation {
+ public:
+  Transformation() = default;
+  explicit Transformation(std::vector<TableRule> rules)
+      : rules_(std::move(rules)) {}
+
+  const std::vector<TableRule>& rules() const { return rules_; }
+  void AddRule(TableRule rule) { rules_.push_back(std::move(rule)); }
+
+  /// The rule for relation `name`, or NotFound.
+  Result<const TableRule*> FindRule(std::string_view name) const;
+
+  /// Validates every rule and checks relation names are distinct.
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<TableRule> rules_;
+};
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_TRANSFORM_RULE_H_

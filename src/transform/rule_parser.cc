@@ -1,0 +1,151 @@
+#include "transform/rule_parser.h"
+
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace xmlprop {
+
+namespace {
+
+// Strips '#' comments and splits into trimmed, non-empty lines.
+std::vector<std::string> CleanLines(std::string_view text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t eol = text.find('\n', start);
+    std::string_view line = (eol == std::string_view::npos)
+                                ? text.substr(start)
+                                : text.substr(start, eol - start);
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = TrimWhitespace(line);
+    if (!line.empty()) lines.emplace_back(line);
+    if (eol == std::string_view::npos) break;
+    start = eol + 1;
+  }
+  return lines;
+}
+
+// Parses "f: value(X)" into a field rule; returns false if the line does
+// not look like one (so the caller can try a mapping).
+bool TryParseFieldRule(std::string_view line, FieldRule* out, Status* error) {
+  size_t colon = line.find(':');
+  if (colon == std::string_view::npos) return false;
+  // ":=" marks a mapping, not a field rule.
+  if (colon + 1 < line.size() && line[colon + 1] == '=') return false;
+  std::string field(TrimWhitespace(line.substr(0, colon)));
+  std::string_view rest = TrimWhitespace(line.substr(colon + 1));
+  if (!StartsWith(rest, "value(") || rest.back() != ')') {
+    *error = Status::ParseError("expected 'field: value(Var)': " +
+                                std::string(line));
+    return true;  // it was a field rule, just malformed
+  }
+  std::string var(
+      TrimWhitespace(rest.substr(6, rest.size() - 7)));
+  if (!IsValidName(field) || !IsValidName(var)) {
+    *error = Status::ParseError("bad field rule: " + std::string(line));
+    return true;
+  }
+  out->field = std::move(field);
+  out->var = std::move(var);
+  *error = Status::OK();
+  return true;
+}
+
+// Parses "X := Y/P" (parent = leading identifier of the RHS).
+Status ParseMapping(std::string_view line, VarMapping* out) {
+  size_t assign = line.find(":=");
+  if (assign == std::string_view::npos) {
+    return Status::ParseError("expected 'X := Y/path' or 'f: value(X)': " +
+                              std::string(line));
+  }
+  std::string var(TrimWhitespace(line.substr(0, assign)));
+  std::string_view rhs = TrimWhitespace(line.substr(assign + 2));
+  if (!IsValidName(var)) {
+    return Status::ParseError("bad variable name in mapping: " +
+                              std::string(line));
+  }
+  // Leading identifier = parent variable.
+  size_t i = 0;
+  while (i < rhs.size() && IsNameChar(rhs[i])) ++i;
+  std::string parent(rhs.substr(0, i));
+  if (parent.empty() || i >= rhs.size() || rhs[i] != '/') {
+    return Status::ParseError("mapping RHS must be 'Parent/path': " +
+                              std::string(line));
+  }
+  // "Y//p" keeps the descendant marker; "Y/p" drops the separator.
+  std::string_view path_text = rhs.substr(i);
+  if (!StartsWith(path_text, "//")) path_text = path_text.substr(1);
+  XMLPROP_ASSIGN_OR_RETURN(PathExpr path, PathExpr::Parse(path_text));
+  out->var = std::move(var);
+  out->parent = std::move(parent);
+  out->path = std::move(path);
+  return Status::OK();
+}
+
+Status ParseRuleBody(const std::vector<std::string>& lines, size_t begin,
+                     size_t end, TableRule* rule) {
+  for (size_t i = begin; i < end; ++i) {
+    FieldRule field;
+    Status field_status;
+    if (TryParseFieldRule(lines[i], &field, &field_status)) {
+      XMLPROP_RETURN_NOT_OK(field_status);
+      rule->AddField(std::move(field.field), std::move(field.var));
+      continue;
+    }
+    VarMapping mapping;
+    XMLPROP_RETURN_NOT_OK(ParseMapping(lines[i], &mapping));
+    rule->AddMapping(std::move(mapping.var), std::move(mapping.parent),
+                     std::move(mapping.path));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Transformation> ParseTransformation(std::string_view text) {
+  std::vector<std::string> lines = CleanLines(text);
+  Transformation transformation;
+  size_t i = 0;
+  while (i < lines.size()) {
+    std::string_view header = lines[i];
+    if (!StartsWith(header, "rule ") && !StartsWith(header, "rule{")) {
+      return Status::ParseError("expected 'rule <relation> {': " +
+                                std::string(header));
+    }
+    std::string_view after = TrimWhitespace(header.substr(4));
+    if (after.empty() || after.back() != '{') {
+      return Status::ParseError("rule header must end with '{': " +
+                                std::string(header));
+    }
+    std::string relation(TrimWhitespace(after.substr(0, after.size() - 1)));
+    if (!IsValidName(relation)) {
+      return Status::ParseError("bad relation name in rule header: " +
+                                std::string(header));
+    }
+    // Find the closing '}' line.
+    size_t close = i + 1;
+    while (close < lines.size() && lines[close] != "}") ++close;
+    if (close == lines.size()) {
+      return Status::ParseError("missing '}' for rule " + relation);
+    }
+    TableRule rule(relation);
+    XMLPROP_RETURN_NOT_OK(ParseRuleBody(lines, i + 1, close, &rule));
+    transformation.AddRule(std::move(rule));
+    i = close + 1;
+  }
+  XMLPROP_RETURN_NOT_OK(transformation.Validate());
+  return transformation;
+}
+
+Result<TableRule> ParseTableRule(std::string_view text) {
+  XMLPROP_ASSIGN_OR_RETURN(Transformation t, ParseTransformation(text));
+  if (t.rules().size() != 1) {
+    return Status::InvalidArgument("expected exactly one rule, found " +
+                                   std::to_string(t.rules().size()));
+  }
+  return t.rules()[0];
+}
+
+}  // namespace xmlprop

@@ -1,0 +1,41 @@
+#ifndef XMLPROP_TRANSFORM_RULE_PARSER_H_
+#define XMLPROP_TRANSFORM_RULE_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "transform/rule.h"
+
+namespace xmlprop {
+
+/// Parses the textual transformation DSL, a close transliteration of the
+/// paper's notation (Example 2.4). One `rule <relation> { ... }` block per
+/// table rule; inside a block, one item per line:
+///
+///   rule book {
+///     isbn:    value(X1)        # field rules: f: value(X)
+///     title:   value(X2)
+///     author:  value(X4)
+///     contact: value(X5)
+///     Xa := Xr//book            # variable mappings: X := Y/P
+///     X1 := Xa/@isbn
+///     X2 := Xa/title
+///     Xb := Xa/author
+///     X4 := Xb/name
+///     X5 := Xb/contact
+///   }
+///
+/// '#' comments run to end of line. The root variable is spelled `Xr`.
+/// In a mapping RHS the parent variable is the leading identifier; the
+/// rest is the path ("Xa/@isbn" → parent Xa, path "@isbn"; "Xr//book" →
+/// parent Xr, path "//book"). Parents must be declared before use.
+/// The parsed rules are Validate()d before being returned.
+Result<Transformation> ParseTransformation(std::string_view text);
+
+/// Parses a single `rule ... { ... }` block (or bare block body when the
+/// text contains exactly one rule).
+Result<TableRule> ParseTableRule(std::string_view text);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_TRANSFORM_RULE_PARSER_H_

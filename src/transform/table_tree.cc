@@ -1,0 +1,111 @@
+#include "transform/table_tree.h"
+
+#include <algorithm>
+#include <map>
+
+namespace xmlprop {
+
+Result<TableTree> TableTree::Build(const TableRule& rule) {
+  XMLPROP_RETURN_NOT_OK(rule.Validate());
+
+  TableTree tree;
+  tree.schema_ = rule.Schema();
+
+  std::map<std::string, int, std::less<>> index;
+  VarNode root;
+  root.name = std::string(kRootVar);
+  tree.nodes_.push_back(std::move(root));
+  index.emplace(std::string(kRootVar), 0);
+
+  for (const VarMapping& m : rule.mappings()) {
+    auto parent_it = index.find(m.parent);
+    if (parent_it == index.end()) {
+      return Status::Internal("validated rule has unknown parent " +
+                              m.parent);
+    }
+    VarNode node;
+    node.name = m.var;
+    node.parent = parent_it->second;
+    node.step = m.path;
+    int id = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back(std::move(node));
+    tree.nodes_[static_cast<size_t>(parent_it->second)].children.push_back(id);
+    index.emplace(m.var, id);
+  }
+
+  tree.field_to_var_.assign(tree.schema_.arity(), -1);
+  for (size_t f = 0; f < rule.field_rules().size(); ++f) {
+    const FieldRule& fr = rule.field_rules()[f];
+    auto it = index.find(fr.var);
+    if (it == index.end()) {
+      return Status::Internal("validated rule has unknown field variable " +
+                              fr.var);
+    }
+    tree.nodes_[static_cast<size_t>(it->second)].field = static_cast<int>(f);
+    tree.field_to_var_[f] = it->second;
+  }
+  // Precompute root paths (parents precede children in index order).
+  tree.root_paths_.resize(tree.nodes_.size());
+  for (size_t v = 1; v < tree.nodes_.size(); ++v) {
+    const VarNode& node = tree.nodes_[v];
+    tree.root_paths_[v] =
+        tree.root_paths_[static_cast<size_t>(node.parent)].Concat(node.step);
+  }
+  return tree;
+}
+
+Result<int> TableTree::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("no variable named " + std::string(name));
+}
+
+Result<PathExpr> TableTree::PathBetween(int u, int v) const {
+  if (!IsAncestorOrSelf(u, v)) {
+    return Status::InvalidArgument("variable " + node(u).name +
+                                   " is not an ancestor of " + node(v).name);
+  }
+  PathExpr path;
+  std::vector<PathExpr> steps;
+  int cur = v;
+  while (cur != u) {
+    steps.push_back(node(cur).step);
+    cur = node(cur).parent;
+  }
+  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    path = path.Concat(*it);
+  }
+  return path;
+}
+
+std::vector<int> TableTree::AncestorChain(int v) const {
+  std::vector<int> chain;
+  int cur = v;
+  while (cur != -1) {
+    chain.push_back(cur);
+    cur = node(cur).parent;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+bool TableTree::IsAncestorOrSelf(int u, int v) const {
+  int cur = v;
+  while (cur != -1) {
+    if (cur == u) return true;
+    cur = node(cur).parent;
+  }
+  return false;
+}
+
+size_t TableTree::Depth() const {
+  size_t depth = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    size_t d = AncestorChain(static_cast<int>(i)).size() - 1;
+    depth = std::max(depth, d);
+  }
+  return depth;
+}
+
+}  // namespace xmlprop

@@ -1,0 +1,77 @@
+#ifndef XMLPROP_TRANSFORM_TABLE_TREE_H_
+#define XMLPROP_TRANSFORM_TABLE_TREE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/schema.h"
+#include "transform/rule.h"
+#include "xml/path.h"
+
+namespace xmlprop {
+
+/// The tree form of a table rule (Fig. 3/4): every variable is a node,
+/// edges carry the path expression of the variable's mapping, and leaves
+/// that populate fields know their field position. The propagation and
+/// minimum-cover algorithms operate on this structure.
+class TableTree {
+ public:
+  /// A variable node. Index 0 is always the root variable Xr.
+  struct VarNode {
+    std::string name;
+    int parent = -1;          ///< index of the parent variable node
+    PathExpr step;            ///< path labelling the edge from the parent
+    std::vector<int> children;
+    int field = -1;           ///< schema position populated, or -1
+  };
+
+  /// Builds the tree from a rule; the rule is Validate()d first.
+  static Result<TableTree> Build(const TableRule& rule);
+
+  const RelationSchema& schema() const { return schema_; }
+  const std::string& relation_name() const { return schema_.name(); }
+
+  size_t size() const { return nodes_.size(); }
+  int root() const { return 0; }
+  const VarNode& node(int i) const { return nodes_[static_cast<size_t>(i)]; }
+
+  /// Index of variable `name`, or NotFound.
+  Result<int> IndexOf(std::string_view name) const;
+
+  /// The variable node populating schema position `field`, or -1.
+  int VarForField(size_t field) const {
+    return field_to_var_[field];
+  }
+
+  /// ρ(root, v): concatenation of edge paths from the root down to `v`.
+  /// Precomputed at Build time (the algorithms query it in inner loops).
+  const PathExpr& PathFromRoot(int v) const {
+    return root_paths_[static_cast<size_t>(v)];
+  }
+
+  /// ρ(u, v): the unique path from `u` down to `v`; `u` must be an
+  /// ancestor-or-self of `v` (checked).
+  Result<PathExpr> PathBetween(int u, int v) const;
+
+  /// Nodes on the root→v chain, inclusive of both ends.
+  std::vector<int> AncestorChain(int v) const;
+
+  /// True iff `u` is `v` or an ancestor of `v`.
+  bool IsAncestorOrSelf(int u, int v) const;
+
+  /// Maximum number of edges root→leaf (the `depth` experiment knob of
+  /// Section 6).
+  size_t Depth() const;
+
+ private:
+  RelationSchema schema_;
+  std::vector<VarNode> nodes_;
+  std::vector<int> field_to_var_;
+  std::vector<PathExpr> root_paths_;
+};
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_TRANSFORM_TABLE_TREE_H_

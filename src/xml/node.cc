@@ -1,0 +1,17 @@
+#include "xml/node.h"
+
+namespace xmlprop {
+
+const char* NodeKindToString(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kElement:
+      return "element";
+    case NodeKind::kAttribute:
+      return "attribute";
+    case NodeKind::kText:
+      return "text";
+  }
+  return "unknown";
+}
+
+}  // namespace xmlprop

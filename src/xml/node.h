@@ -1,0 +1,45 @@
+#ifndef XMLPROP_XML_NODE_H_
+#define XMLPROP_XML_NODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xmlprop {
+
+/// Index of a node within its owning Tree. Node ids are dense, assigned in
+/// creation order, and stable for the lifetime of the tree.
+using NodeId = int32_t;
+
+/// Sentinel id meaning "no node" (e.g. the parent of the root).
+inline constexpr NodeId kInvalidNode = -1;
+
+/// The three node kinds of the paper's XML tree model (Fig. 1): elements
+/// (E), attributes (A), and text (S). The document root is an element.
+enum class NodeKind : uint8_t {
+  kElement,
+  kAttribute,
+  kText,
+};
+
+/// Returns "element" / "attribute" / "text".
+const char* NodeKindToString(NodeKind kind);
+
+/// One node of an XML tree. Plain data; owned and linked by Tree.
+struct Node {
+  NodeId id = kInvalidNode;
+  NodeKind kind = NodeKind::kElement;
+  /// Element tag or attribute name (without '@'); empty for text nodes.
+  std::string label;
+  /// Attribute value or text content; empty for elements.
+  std::string value;
+  NodeId parent = kInvalidNode;
+  /// Element and text children in document order (elements only).
+  std::vector<NodeId> children;
+  /// Attribute nodes in declaration order (elements only).
+  std::vector<NodeId> attributes;
+};
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_XML_NODE_H_

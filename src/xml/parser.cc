@@ -1,0 +1,351 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace xmlprop {
+
+namespace {
+
+// Recursive-descent XML parser with position tracking. The grammar subset
+// is documented on ParseXml in parser.h.
+class Parser {
+ public:
+  Parser(std::string_view input, const ParseOptions& options)
+      : input_(input), options_(options) {}
+
+  Result<Tree> Parse() {
+    SkipProlog();
+    if (AtEnd() || Peek() != '<') {
+      return Error("expected root element");
+    }
+    // Parse the root start tag ourselves so the Tree root gets its label.
+    XMLPROP_ASSIGN_OR_RETURN(StartTag root_tag, ParseStartTag());
+    Tree tree(root_tag.name);
+    for (auto& [name, value] : root_tag.attributes) {
+      Result<NodeId> r =
+          tree.CreateAttribute(tree.root(), std::move(name), std::move(value));
+      if (!r.ok()) return PositionedError(r.status().message());
+    }
+    if (!root_tag.self_closing) {
+      XMLPROP_RETURN_NOT_OK(ParseContent(&tree, tree.root(), root_tag.name));
+    }
+    SkipMisc();
+    if (!AtEnd()) {
+      return Error("content after document element");
+    }
+    return tree;
+  }
+
+ private:
+  struct StartTag {
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> attributes;
+    bool self_closing = false;
+  };
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  void Advance() {
+    if (input_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+  void AdvanceBy(size_t n) {
+    for (size_t i = 0; i < n && !AtEnd(); ++i) Advance();
+  }
+  bool ConsumePrefix(std::string_view prefix) {
+    if (input_.substr(pos_).substr(0, prefix.size()) != prefix) return false;
+    AdvanceBy(prefix.size());
+    return true;
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  Status Error(std::string_view what) const {
+    return Status::ParseError("XML parse error at " + std::to_string(line_) +
+                              ":" + std::to_string(col_) + ": " +
+                              std::string(what));
+  }
+  Status PositionedError(std::string_view what) const { return Error(what); }
+
+  // Skips the XML declaration, DOCTYPE, comments, PIs and whitespace
+  // before the root element.
+  void SkipProlog() {
+    while (!AtEnd()) {
+      SkipWhitespace();
+      if (ConsumePrefix("<?")) {
+        SkipUntil("?>");
+      } else if (ConsumePrefix("<!--")) {
+        SkipUntil("-->");
+      } else if (ConsumePrefix("<!DOCTYPE")) {
+        SkipDoctype();
+      } else {
+        return;
+      }
+    }
+  }
+
+  // Skips comments, PIs and whitespace after the document element.
+  void SkipMisc() {
+    while (!AtEnd()) {
+      SkipWhitespace();
+      if (ConsumePrefix("<!--")) {
+        SkipUntil("-->");
+      } else if (ConsumePrefix("<?")) {
+        SkipUntil("?>");
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipUntil(std::string_view terminator) {
+    while (!AtEnd()) {
+      if (ConsumePrefix(terminator)) return;
+      Advance();
+    }
+  }
+
+  // Consumes a DOCTYPE body up to its closing '>', skipping over a
+  // bracketed internal subset if present.
+  void SkipDoctype() {
+    int bracket_depth = 0;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '[') {
+        ++bracket_depth;
+      } else if (c == ']') {
+        --bracket_depth;
+      } else if (c == '>' && bracket_depth <= 0) {
+        Advance();
+        return;
+      }
+      Advance();
+    }
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStartChar(Peek())) {
+      return Error("expected a name");
+    }
+    std::string name;
+    while (!AtEnd() && IsNameChar(Peek())) {
+      name.push_back(Peek());
+      Advance();
+    }
+    return name;
+  }
+
+  // Decodes one entity/char reference after the '&' has been consumed.
+  Result<std::string> ParseReference() {
+    size_t semi = input_.find(';', pos_);
+    if (semi == std::string_view::npos || semi - pos_ > 10) {
+      return Error("unterminated entity reference");
+    }
+    std::string_view body = input_.substr(pos_, semi - pos_);
+    AdvanceBy(body.size() + 1);
+    if (body == "lt") return std::string("<");
+    if (body == "gt") return std::string(">");
+    if (body == "amp") return std::string("&");
+    if (body == "apos") return std::string("'");
+    if (body == "quot") return std::string("\"");
+    if (!body.empty() && body[0] == '#') {
+      uint32_t code = 0;
+      bool hex = body.size() > 1 && (body[1] == 'x' || body[1] == 'X');
+      std::string_view digits = body.substr(hex ? 2 : 1);
+      if (digits.empty()) return Error("empty character reference");
+      for (char c : digits) {
+        uint32_t d;
+        if (c >= '0' && c <= '9') {
+          d = static_cast<uint32_t>(c - '0');
+        } else if (hex && c >= 'a' && c <= 'f') {
+          d = static_cast<uint32_t>(c - 'a' + 10);
+        } else if (hex && c >= 'A' && c <= 'F') {
+          d = static_cast<uint32_t>(c - 'A' + 10);
+        } else {
+          return Error("malformed character reference &" + std::string(body) +
+                       ";");
+        }
+        code = code * (hex ? 16 : 10) + d;
+        if (code > 0x10FFFF) {
+          return Error("character reference out of range");
+        }
+      }
+      return EncodeUtf8(code);
+    }
+    return Error("unknown entity &" + std::string(body) + ";");
+  }
+
+  static std::string EncodeUtf8(uint32_t code) {
+    std::string out;
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return out;
+  }
+
+  Result<std::string> ParseAttributeValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    char quote = Peek();
+    Advance();
+    std::string value;
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '<') return Error("'<' in attribute value");
+      if (Peek() == '&') {
+        Advance();
+        XMLPROP_ASSIGN_OR_RETURN(std::string decoded, ParseReference());
+        value += decoded;
+      } else {
+        value.push_back(Peek());
+        Advance();
+      }
+    }
+    if (AtEnd()) return Error("unterminated attribute value");
+    Advance();  // closing quote
+    return value;
+  }
+
+  // Parses "<name attr=... (/)>" — the leading '<' is still pending.
+  Result<StartTag> ParseStartTag() {
+    if (!ConsumePrefix("<")) return Error("expected '<'");
+    StartTag tag;
+    XMLPROP_ASSIGN_OR_RETURN(tag.name, ParseName());
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag <" + tag.name);
+      if (ConsumePrefix("/>")) {
+        tag.self_closing = true;
+        return tag;
+      }
+      if (ConsumePrefix(">")) return tag;
+      XMLPROP_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+      SkipWhitespace();
+      if (!ConsumePrefix("=")) {
+        return Error("expected '=' after attribute " + attr_name);
+      }
+      SkipWhitespace();
+      XMLPROP_ASSIGN_OR_RETURN(std::string attr_value, ParseAttributeValue());
+      for (const auto& [existing, unused] : tag.attributes) {
+        if (existing == attr_name) {
+          return Error("duplicate attribute @" + attr_name + " on <" +
+                       tag.name + ">");
+        }
+      }
+      tag.attributes.emplace_back(std::move(attr_name), std::move(attr_value));
+    }
+  }
+
+  // Parses element content up to and including "</expected_name>".
+  Status ParseContent(Tree* tree, NodeId element,
+                      const std::string& expected_name) {
+    std::string text;
+    auto flush_text = [&]() {
+      if (text.empty()) return;
+      if (options_.keep_whitespace_text ||
+          !TrimWhitespace(text).empty()) {
+        tree->CreateText(element, text);
+      }
+      text.clear();
+    };
+    while (true) {
+      if (AtEnd()) {
+        return Error("unterminated element <" + expected_name + ">");
+      }
+      if (Peek() == '<') {
+        if (ConsumePrefix("</")) {
+          flush_text();
+          XMLPROP_ASSIGN_OR_RETURN(std::string name, ParseName());
+          SkipWhitespace();
+          if (!ConsumePrefix(">")) {
+            return Error("malformed end tag </" + name);
+          }
+          if (name != expected_name) {
+            return Error("mismatched end tag: expected </" + expected_name +
+                         ">, found </" + name + ">");
+          }
+          return Status::OK();
+        }
+        if (ConsumePrefix("<!--")) {
+          SkipUntil("-->");
+          continue;
+        }
+        if (ConsumePrefix("<![CDATA[")) {
+          size_t end = input_.find("]]>", pos_);
+          if (end == std::string_view::npos) {
+            return Error("unterminated CDATA section");
+          }
+          text += input_.substr(pos_, end - pos_);
+          AdvanceBy(end - pos_ + 3);
+          continue;
+        }
+        if (ConsumePrefix("<?")) {
+          SkipUntil("?>");
+          continue;
+        }
+        flush_text();
+        XMLPROP_ASSIGN_OR_RETURN(StartTag tag, ParseStartTag());
+        NodeId child = tree->CreateElement(element, tag.name);
+        for (auto& [name, value] : tag.attributes) {
+          Result<NodeId> r =
+              tree->CreateAttribute(child, std::move(name), std::move(value));
+          if (!r.ok()) return PositionedError(r.status().message());
+        }
+        if (!tag.self_closing) {
+          XMLPROP_RETURN_NOT_OK(ParseContent(tree, child, tag.name));
+        }
+        continue;
+      }
+      if (Peek() == '&') {
+        Advance();
+        XMLPROP_ASSIGN_OR_RETURN(std::string decoded, ParseReference());
+        text += decoded;
+        continue;
+      }
+      text.push_back(Peek());
+      Advance();
+    }
+  }
+
+  std::string_view input_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t col_ = 1;
+};
+
+}  // namespace
+
+Result<Tree> ParseXml(std::string_view input, const ParseOptions& options) {
+  Parser parser(input, options);
+  return parser.Parse();
+}
+
+}  // namespace xmlprop

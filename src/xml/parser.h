@@ -1,0 +1,33 @@
+#ifndef XMLPROP_XML_PARSER_H_
+#define XMLPROP_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/tree.h"
+
+namespace xmlprop {
+
+/// Options controlling ParseXml.
+struct ParseOptions {
+  /// When false (default), text nodes consisting only of whitespace are
+  /// dropped — the usual choice for data-oriented XML, and what the
+  /// paper's tree model (Fig. 1) implies.
+  bool keep_whitespace_text = false;
+};
+
+/// Parses an XML 1.0 document (non-validating subset) into a Tree.
+///
+/// Supported: an optional XML declaration, a DOCTYPE (skipped, including a
+/// bracketed internal subset), comments, processing instructions, elements
+/// with attributes, self-closing tags, character data, CDATA sections, the
+/// five predefined entities (&lt; &gt; &amp; &apos; &quot;) and numeric
+/// character references (&#NN; / &#xNN;, ASCII range emitted verbatim,
+/// larger code points encoded as UTF-8).
+///
+/// Errors carry 1-based line:column positions.
+Result<Tree> ParseXml(std::string_view input, const ParseOptions& options = {});
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_XML_PARSER_H_

@@ -1,0 +1,242 @@
+#include "xml/path.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace xmlprop {
+
+namespace {
+
+// Returns true iff sub[i..] denotes a language contained in super[j..],
+// where "//" matches any (possibly empty) sequence of element labels.
+// Memoized over the (i, j) grid; -1 unknown, 0 false, 1 true.
+bool ContainsRec(const AtomSeq& sub, const AtomSeq& super, size_t i, size_t j,
+                 std::vector<int8_t>* memo) {
+  const size_t cols = sub.size() + 1;
+  int8_t& slot = (*memo)[j * cols + i];
+  if (slot != -1) return slot == 1;
+
+  bool result = false;
+  if (j == super.size()) {
+    result = (i == sub.size());
+  } else if (super.at(j).is_descendant()) {
+    // "//" first tries to match the empty sequence, then absorbs one more
+    // element label (or a whole "//") of the sub-expression.
+    result = ContainsRec(sub, super, i, j + 1, memo);
+    if (!result && i < sub.size() && !sub.at(i).is_attribute()) {
+      result = ContainsRec(sub, super, i + 1, j, memo);
+    }
+  } else {
+    // A concrete label in the super-expression: every word of the
+    // sub-language must start with exactly that label. A "//" in the
+    // sub-expression generates words starting with any label (and the
+    // empty prefix), so only a matching concrete label can succeed.
+    if (i < sub.size() && !sub.at(i).is_descendant() &&
+        sub.at(i).label == super.at(j).label) {
+      result = ContainsRec(sub, super, i + 1, j + 1, memo);
+    }
+  }
+  slot = result ? 1 : 0;
+  return result;
+}
+
+}  // namespace
+
+PathExpr PathExpr::FromAtoms(std::vector<PathAtom> atoms) {
+  PathExpr p;
+  p.atoms_.reserve(atoms.size());
+  for (PathAtom& a : atoms) {
+    if (a.is_descendant() && !p.atoms_.empty() &&
+        p.atoms_.back().is_descendant()) {
+      continue;  // //·// ≡ //
+    }
+    p.atoms_.push_back(std::move(a));
+  }
+  return p;
+}
+
+Result<PathExpr> PathExpr::Parse(std::string_view text) {
+  std::string_view s = TrimWhitespace(text);
+  if (s.empty() || s == "ε" || s == "epsilon") return PathExpr();
+
+  std::vector<PathAtom> atoms;
+  size_t i = 0;
+  bool pending_sep = false;   // a single '/' was consumed, a step must follow
+  bool after_label = false;   // the previous token was a label atom
+  while (i < s.size()) {
+    if (s[i] == '/') {
+      if (i + 1 < s.size() && s[i + 1] == '/') {
+        atoms.push_back(PathAtom::Descendant());
+        i += 2;
+        pending_sep = false;
+        after_label = false;
+        continue;
+      }
+      if (!after_label || pending_sep) {
+        return Status::ParseError("unexpected '/' in path: " +
+                                  std::string(text));
+      }
+      pending_sep = true;
+      after_label = false;
+      ++i;
+      continue;
+    }
+    if (after_label) {
+      return Status::ParseError("expected '/' before step in path: " +
+                                std::string(text));
+    }
+    bool is_attr = (s[i] == '@');
+    size_t start = is_attr ? i + 1 : i;
+    size_t end = start;
+    while (end < s.size() && IsNameChar(s[end])) ++end;
+    std::string_view name = s.substr(start, end - start);
+    if (!IsValidName(name)) {
+      return Status::ParseError("invalid step at offset " +
+                                std::to_string(i) + " in path: " +
+                                std::string(text));
+    }
+    atoms.push_back(PathAtom::Label((is_attr ? "@" : "") + std::string(name)));
+    i = end;
+    pending_sep = false;
+    after_label = true;
+  }
+  if (pending_sep) {
+    return Status::ParseError("trailing '/' in path: " + std::string(text));
+  }
+  // Attribute steps may only be the final atom.
+  for (size_t k = 0; k + 1 < atoms.size(); ++k) {
+    if (atoms[k].is_attribute()) {
+      return Status::ParseError("attribute step must be last in path: " +
+                                std::string(text));
+    }
+  }
+  return FromAtoms(std::move(atoms));
+}
+
+bool PathExpr::IsSimple() const {
+  return std::none_of(atoms_.begin(), atoms_.end(),
+                      [](const PathAtom& a) { return a.is_descendant(); });
+}
+
+bool PathExpr::EndsWithAttribute() const {
+  return !atoms_.empty() && atoms_.back().is_attribute();
+}
+
+PathExpr PathExpr::Concat(const PathExpr& other) const {
+  std::vector<PathAtom> atoms = atoms_;
+  atoms.insert(atoms.end(), other.atoms_.begin(), other.atoms_.end());
+  return FromAtoms(std::move(atoms));
+}
+
+std::vector<NodeId> PathExpr::Eval(const Tree& tree, NodeId from) const {
+  std::vector<NodeId> current = {from};
+  for (const PathAtom& atom : atoms_) {
+    std::vector<NodeId> next;
+    for (NodeId n : current) {
+      if (tree.node(n).kind != NodeKind::kElement) continue;
+      if (atom.is_descendant()) {
+        std::vector<NodeId> d = tree.DescendantsOrSelf(n);
+        next.insert(next.end(), d.begin(), d.end());
+      } else if (atom.is_attribute()) {
+        std::optional<NodeId> a =
+            tree.FindAttribute(n, std::string_view(atom.label).substr(1));
+        if (a.has_value()) next.push_back(*a);
+      } else {
+        std::vector<NodeId> c = tree.ChildElements(n, atom.label);
+        next.insert(next.end(), c.begin(), c.end());
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    current = std::move(next);
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+bool PathExpr::MatchesWord(const std::vector<std::string>& word) const {
+  const size_t n = word.size();
+  const size_t m = atoms_.size();
+  // dp[i] == true iff word[0..i) is matched by the atoms processed so far.
+  std::vector<char> dp(n + 1, 0);
+  dp[0] = 1;
+  for (size_t j = 0; j < m; ++j) {
+    std::vector<char> next(n + 1, 0);
+    if (atoms_[j].is_descendant()) {
+      // "//" extends any match over a run of element labels.
+      bool carry = false;
+      for (size_t i = 0; i <= n; ++i) {
+        carry = carry || dp[i];
+        next[i] = carry ? 1 : 0;
+        // Attribute labels stop the run.
+        if (carry && i < n && !word[i].empty() && word[i][0] == '@') {
+          carry = false;
+        }
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        if (dp[i] && word[i] == atoms_[j].label) next[i + 1] = 1;
+      }
+    }
+    dp = std::move(next);
+  }
+  return dp[n] != 0;
+}
+
+PathExpr PathExpr::WithoutTrailingAttribute() const {
+  if (!EndsWithAttribute()) return *this;
+  return FromAtoms({atoms_.begin(), atoms_.end() - 1});
+}
+
+std::vector<std::pair<PathExpr, PathExpr>> PathExpr::Splits() const {
+  std::vector<std::pair<PathExpr, PathExpr>> out;
+  const size_t n = atoms_.size();
+  for (size_t k = 0; k <= n; ++k) {
+    out.emplace_back(
+        FromAtoms({atoms_.begin(), atoms_.begin() + static_cast<long>(k)}),
+        FromAtoms({atoms_.begin() + static_cast<long>(k), atoms_.end()}));
+  }
+  // Overlapping splits: each "//" can belong to both halves (// ≡ ////).
+  for (size_t d = 0; d < n; ++d) {
+    if (!atoms_[d].is_descendant()) continue;
+    out.emplace_back(
+        FromAtoms({atoms_.begin(), atoms_.begin() + static_cast<long>(d) + 1}),
+        FromAtoms({atoms_.begin() + static_cast<long>(d), atoms_.end()}));
+  }
+  return out;
+}
+
+std::string PathExpr::ToString() const {
+  if (atoms_.empty()) return "ε";
+  std::string out;
+  bool prev_label = false;
+  for (const PathAtom& a : atoms_) {
+    if (a.is_descendant()) {
+      out += "//";
+      prev_label = false;
+    } else {
+      if (prev_label) out += '/';
+      out += a.label;
+      prev_label = true;
+    }
+  }
+  return out;
+}
+
+bool PathContains(const AtomSeq& super, const AtomSeq& sub) {
+  const size_t rows = super.size() + 1;
+  const size_t cols = sub.size() + 1;
+  std::vector<int8_t> memo(rows * cols, -1);
+  return ContainsRec(sub, super, 0, 0, &memo);
+}
+
+bool PathContains(const PathExpr& super, const PathExpr& sub) {
+  return PathContains(AtomSeq::Of(super), AtomSeq::Of(sub));
+}
+
+bool PathEquivalent(const PathExpr& a, const PathExpr& b) {
+  return PathContains(a, b) && PathContains(b, a);
+}
+
+}  // namespace xmlprop

@@ -1,0 +1,185 @@
+#ifndef XMLPROP_XML_PATH_H_
+#define XMLPROP_XML_PATH_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "xml/tree.h"
+
+namespace xmlprop {
+
+/// One step of a path expression in normal form: either a label step
+/// (an element tag, or "@name" for an attribute) or the descendant-or-self
+/// wildcard "//" (written kDescendant here).
+struct PathAtom {
+  enum class Kind : uint8_t {
+    kLabel,       ///< a concrete element label or "@attr"
+    kDescendant,  ///< "//", matching any (possibly empty) element path
+  };
+
+  Kind kind = Kind::kLabel;
+  /// The label for kLabel atoms. Attribute steps carry a leading '@'.
+  std::string label;
+
+  static PathAtom Label(std::string l) {
+    return PathAtom{Kind::kLabel, std::move(l)};
+  }
+  static PathAtom Descendant() { return PathAtom{Kind::kDescendant, {}}; }
+
+  bool is_descendant() const { return kind == Kind::kDescendant; }
+  bool is_attribute() const {
+    return kind == Kind::kLabel && !label.empty() && label[0] == '@';
+  }
+
+  friend bool operator==(const PathAtom& a, const PathAtom& b) {
+    return a.kind == b.kind && a.label == b.label;
+  }
+};
+
+/// A path expression of the paper's language (Section 2):
+///
+///   P ::= ε | l | P/P | P//P
+///
+/// where ε is the empty path, l a node label (or @attr), "/" child
+/// concatenation and "//" descendant-or-self. Expressions are kept in a
+/// normal form: a sequence of atoms with no two adjacent "//" atoms
+/// (since //·// ≡ //). ε is the empty sequence.
+///
+/// Semantics: a path expression denotes a language of label words; "//"
+/// stands for any sequence (possibly empty) of *element* labels. Attribute
+/// steps may only appear as the final atom.
+class PathExpr {
+ public:
+  /// ε — the empty path.
+  PathExpr() = default;
+
+  /// Parses the textual form, e.g. "", "ε", "//book/chapter/@number",
+  /// "book//section". A leading "//" is allowed; a leading or trailing
+  /// single "/" is not. "@attr" steps must be last.
+  static Result<PathExpr> Parse(std::string_view text);
+
+  /// Builds directly from atoms (normalizing adjacent "//").
+  static PathExpr FromAtoms(std::vector<PathAtom> atoms);
+
+  /// A single-label path.
+  static PathExpr Label(std::string l) {
+    return FromAtoms({PathAtom::Label(std::move(l))});
+  }
+
+  /// The "//" path alone.
+  static PathExpr AnyDescendant() {
+    return FromAtoms({PathAtom::Descendant()});
+  }
+
+  const std::vector<PathAtom>& atoms() const { return atoms_; }
+  bool IsEpsilon() const { return atoms_.empty(); }
+
+  /// True iff the expression contains no "//" atom (a "simple path" in the
+  /// paper's Definition 2.2 sense).
+  bool IsSimple() const;
+
+  /// True iff the final atom is an attribute step "@name".
+  bool EndsWithAttribute() const;
+
+  /// Number of atoms (|P| in the paper's complexity statements).
+  size_t length() const { return atoms_.size(); }
+
+  /// Concatenation P/Q (normalizes "//" adjacency). If P ends with an
+  /// attribute step and Q is non-empty the result is semantically dead;
+  /// Concat does not police this (validation lives with the users).
+  PathExpr Concat(const PathExpr& other) const;
+
+  /// n[[P]]: the nodes reached from `from` by following this expression in
+  /// `tree`. Results are deduplicated, in document order. "//"
+  /// traverses descendant-or-self over elements only; "@a" selects the
+  /// attribute node.
+  std::vector<NodeId> Eval(const Tree& tree, NodeId from) const;
+
+  /// [[P]] evaluated at the document root.
+  std::vector<NodeId> EvalFromRoot(const Tree& tree) const {
+    return Eval(tree, tree.root());
+  }
+
+  /// True iff the concrete label word (e.g. the labels on a tree path)
+  /// belongs to this expression's language. "//" matches any run of
+  /// element labels; attribute labels ("@a") only match verbatim.
+  /// O(|word|·|atoms|).
+  bool MatchesWord(const std::vector<std::string>& word) const;
+
+  /// This expression with a trailing "@attr" atom removed (unchanged when
+  /// there is none). Keys cannot target attribute paths, but an attribute
+  /// is unique per element, so uniqueness of ".../x/@a" reduces to
+  /// uniqueness of ".../x" — used by the propagation algorithms.
+  PathExpr WithoutTrailingAttribute() const;
+
+  /// All ways to write this expression as a concatenation T1/T2: the
+  /// boundary cuts between atoms, plus — for every "//" atom — the cut
+  /// *inside* it (since // ≡ ////, both halves keep a "//"). Used by key
+  /// implication's target-to-context search.
+  std::vector<std::pair<PathExpr, PathExpr>> Splits() const;
+
+  /// Textual form: "ε" for the empty path, else atoms joined with "/"
+  /// ("//" atoms render as an empty step, e.g. "//book", "a//b").
+  std::string ToString() const;
+
+  friend bool operator==(const PathExpr& a, const PathExpr& b) {
+    return a.atoms_ == b.atoms_;
+  }
+
+ private:
+  std::vector<PathAtom> atoms_;
+};
+
+/// A non-owning view over the concatenation of up to two atom spans.
+/// Lets the implication engine test containment against C/T1 or T2
+/// (sub-spans of key paths) without materializing concatenated
+/// expressions — the hot loop of Algorithm implication. Adjacent "//"
+/// atoms across the seam need no normalization: the containment DP
+/// treats //·// and // identically (both denote Σ*).
+struct AtomSeq {
+  const PathAtom* first = nullptr;
+  size_t first_size = 0;
+  const PathAtom* second = nullptr;
+  size_t second_size = 0;
+
+  /// The whole of `p`.
+  static AtomSeq Of(const PathExpr& p) {
+    return AtomSeq{p.atoms().data(), p.atoms().size(), nullptr, 0};
+  }
+  /// The concatenation a / b[b_begin, b_end).
+  static AtomSeq Concat(const PathExpr& a, const PathExpr& b, size_t b_begin,
+                        size_t b_end) {
+    return AtomSeq{a.atoms().data(), a.atoms().size(),
+                   b.atoms().data() + b_begin, b_end - b_begin};
+  }
+  /// The slice p[begin, end).
+  static AtomSeq Slice(const PathExpr& p, size_t begin, size_t end) {
+    return AtomSeq{p.atoms().data() + begin, end - begin, nullptr, 0};
+  }
+
+  size_t size() const { return first_size + second_size; }
+  const PathAtom& at(size_t i) const {
+    return i < first_size ? first[i] : second[i - first_size];
+  }
+};
+
+/// Language containment over atom sequences: L(sub) ⊆ L(super).
+bool PathContains(const AtomSeq& super, const AtomSeq& sub);
+
+/// Language containment: true iff L(sub) ⊆ L(super), i.e. every label word
+/// matched by `sub` is matched by `super`. Decided by the classic
+/// wildcard-subsumption dynamic program ("//" = Σ* over element labels;
+/// it never absorbs attribute steps). Polynomial: O(|sub|·|super|).
+bool PathContains(const PathExpr& super, const PathExpr& sub);
+
+/// Language equivalence: containment in both directions.
+bool PathEquivalent(const PathExpr& a, const PathExpr& b);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_XML_PATH_H_

@@ -1,0 +1,213 @@
+#include "xml/tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xmlprop {
+
+Tree::Tree(std::string root_label) {
+  Node root;
+  root.id = 0;
+  root.kind = NodeKind::kElement;
+  root.label = std::move(root_label);
+  nodes_.push_back(std::move(root));
+}
+
+NodeId Tree::CreateElement(NodeId parent, std::string label) {
+  assert(IsValid(parent) && node(parent).kind == NodeKind::kElement);
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.id = id;
+  n.kind = NodeKind::kElement;
+  n.label = std::move(label);
+  n.parent = parent;
+  nodes_.push_back(std::move(n));
+  nodes_[static_cast<size_t>(parent)].children.push_back(id);
+  return id;
+}
+
+NodeId Tree::CreateText(NodeId parent, std::string text) {
+  assert(IsValid(parent) && node(parent).kind == NodeKind::kElement);
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.id = id;
+  n.kind = NodeKind::kText;
+  n.value = std::move(text);
+  n.parent = parent;
+  nodes_.push_back(std::move(n));
+  nodes_[static_cast<size_t>(parent)].children.push_back(id);
+  return id;
+}
+
+Result<NodeId> Tree::CreateAttribute(NodeId parent, std::string name,
+                                     std::string value) {
+  if (!IsValid(parent) || node(parent).kind != NodeKind::kElement) {
+    return Status::InvalidArgument("attribute parent must be an element");
+  }
+  if (FindAttribute(parent, name).has_value()) {
+    return Status::InvalidArgument("duplicate attribute @" + name +
+                                   " on element <" + node(parent).label + ">");
+  }
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.id = id;
+  n.kind = NodeKind::kAttribute;
+  n.label = std::move(name);
+  n.value = std::move(value);
+  n.parent = parent;
+  nodes_.push_back(std::move(n));
+  nodes_[static_cast<size_t>(parent)].attributes.push_back(id);
+  return id;
+}
+
+Result<NodeId> Tree::Graft(NodeId parent, const Tree& src, NodeId src_node) {
+  if (!IsValid(parent) || node(parent).kind != NodeKind::kElement) {
+    return Status::InvalidArgument("graft parent must be an element");
+  }
+  if (!src.IsValid(src_node) ||
+      src.node(src_node).kind != NodeKind::kElement) {
+    return Status::InvalidArgument("graft source must be an element");
+  }
+  NodeId copy = CreateElement(parent, src.node(src_node).label);
+  for (NodeId attr : src.node(src_node).attributes) {
+    XMLPROP_RETURN_NOT_OK(
+        CreateAttribute(copy, src.node(attr).label, src.node(attr).value)
+            .status());
+  }
+  for (NodeId child : src.node(src_node).children) {
+    if (src.node(child).kind == NodeKind::kText) {
+      CreateText(copy, src.node(child).value);
+    } else {
+      XMLPROP_RETURN_NOT_OK(Graft(copy, src, child).status());
+    }
+  }
+  return copy;
+}
+
+Status Tree::SetAttributeValue(NodeId id, std::string name,
+                               std::string value) {
+  std::optional<NodeId> attr = FindAttribute(id, name);
+  if (attr.has_value()) {
+    nodes_[static_cast<size_t>(*attr)].value = std::move(value);
+    return Status::OK();
+  }
+  return CreateAttribute(id, std::move(name), std::move(value)).status();
+}
+
+std::optional<NodeId> Tree::FindAttribute(NodeId id,
+                                          std::string_view name) const {
+  if (!IsValid(id)) return std::nullopt;
+  for (NodeId attr : node(id).attributes) {
+    if (node(attr).label == name) return attr;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Tree::AttributeValue(NodeId id,
+                                                std::string_view name) const {
+  std::optional<NodeId> attr = FindAttribute(id, name);
+  if (!attr.has_value()) return std::nullopt;
+  return node(*attr).value;
+}
+
+void Tree::ValueRec(NodeId id, std::string* out) const {
+  const Node& n = node(id);
+  switch (n.kind) {
+    case NodeKind::kAttribute:
+    case NodeKind::kText:
+      *out += n.value;
+      return;
+    case NodeKind::kElement:
+      break;
+  }
+  // Element: text-only elements flatten to their text.
+  bool text_only = n.attributes.empty() &&
+                   std::all_of(n.children.begin(), n.children.end(),
+                               [this](NodeId c) {
+                                 return node(c).kind == NodeKind::kText;
+                               });
+  if (text_only) {
+    for (NodeId c : n.children) *out += node(c).value;
+    return;
+  }
+  *out += '(';
+  bool first = true;
+  for (NodeId attr : n.attributes) {
+    if (!first) *out += ", ";
+    first = false;
+    *out += '@';
+    *out += node(attr).label;
+    *out += ": ";
+    *out += node(attr).value;
+  }
+  for (NodeId c : n.children) {
+    if (!first) *out += ", ";
+    first = false;
+    if (node(c).kind == NodeKind::kElement) {
+      *out += node(c).label;
+      *out += ": ";
+    }
+    ValueRec(c, out);
+  }
+  *out += ')';
+}
+
+std::string Tree::Value(NodeId id) const {
+  assert(IsValid(id));
+  std::string out;
+  ValueRec(id, &out);
+  return out;
+}
+
+std::vector<NodeId> Tree::DescendantsOrSelf(NodeId id) const {
+  assert(IsValid(id) && node(id).kind == NodeKind::kElement);
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack = {id};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const Node& n = node(cur);
+    // Push element children in reverse so output stays in document order.
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      if (node(*it).kind == NodeKind::kElement) stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> Tree::ChildElements(NodeId id,
+                                        std::string_view label) const {
+  assert(IsValid(id));
+  std::vector<NodeId> out;
+  if (node(id).kind != NodeKind::kElement) return out;
+  for (NodeId c : node(id).children) {
+    if (node(c).kind == NodeKind::kElement && node(c).label == label) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool Tree::IsAncestorOrSelf(NodeId ancestor, NodeId descendant) const {
+  NodeId cur = descendant;
+  while (cur != kInvalidNode) {
+    if (cur == ancestor) return true;
+    cur = node(cur).parent;
+  }
+  return false;
+}
+
+std::vector<std::string> Tree::PathLabelsFromRoot(NodeId id) const {
+  assert(IsValid(id));
+  std::vector<std::string> labels;
+  NodeId cur = id;
+  while (cur != root()) {
+    labels.push_back(node(cur).label);
+    cur = node(cur).parent;
+  }
+  std::reverse(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace xmlprop

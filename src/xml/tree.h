@@ -1,0 +1,105 @@
+#ifndef XMLPROP_XML_TREE_H_
+#define XMLPROP_XML_TREE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "xml/node.h"
+
+namespace xmlprop {
+
+/// An XML document as a node-labelled tree (the model of Section 2 /
+/// Fig. 1 of the paper): element nodes with attribute and text children.
+///
+/// The tree owns all nodes in a flat vector indexed by NodeId; node 0 is
+/// always the document root element. Trees are built through the CreateX
+/// mutators and never shrink, so NodeIds remain valid.
+class Tree {
+ public:
+  /// Creates a tree whose root element is labelled `root_label`.
+  explicit Tree(std::string root_label = "r");
+
+  Tree(const Tree&) = default;
+  Tree& operator=(const Tree&) = default;
+  Tree(Tree&&) = default;
+  Tree& operator=(Tree&&) = default;
+
+  NodeId root() const { return 0; }
+  size_t size() const { return nodes_.size(); }
+
+  const Node& node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
+  bool IsValid(NodeId id) const {
+    return id >= 0 && static_cast<size_t>(id) < nodes_.size();
+  }
+
+  /// Appends a new element child labelled `label` under `parent` and
+  /// returns its id. `parent` must be an element.
+  NodeId CreateElement(NodeId parent, std::string label);
+
+  /// Appends a text child with content `text` under `parent`.
+  NodeId CreateText(NodeId parent, std::string text);
+
+  /// Adds attribute `name`=`value` on element `parent` and returns the
+  /// attribute node id. Fails if `parent` already has an attribute `name`
+  /// (XML well-formedness) or is not an element.
+  Result<NodeId> CreateAttribute(NodeId parent, std::string name,
+                                 std::string value);
+
+  /// Deep-copies the subtree of `src` rooted at `src_node` (an element)
+  /// as a new child of `parent`, returning the id of the copy's root.
+  /// Used by the incremental import checker to assemble documents from
+  /// fragments.
+  Result<NodeId> Graft(NodeId parent, const Tree& src, NodeId src_node);
+
+  /// Sets attribute `name` of element `id` to `value`, creating the
+  /// attribute when absent. Used by the document repair loop.
+  Status SetAttributeValue(NodeId id, std::string name, std::string value);
+
+  /// The attribute node `@name` of element `id`, or nullopt if absent.
+  std::optional<NodeId> FindAttribute(NodeId id, std::string_view name) const;
+
+  /// The string value of attribute `@name` of element `id`, or nullopt.
+  std::optional<std::string> AttributeValue(NodeId id,
+                                            std::string_view name) const;
+
+  /// The paper's value() function: a canonical string for the pre-order
+  /// traversal of the subtree rooted at `id`.
+  ///
+  ///  - attribute node  -> its value
+  ///  - text node       -> its content
+  ///  - element whose children are text only and with no attributes
+  ///                     -> the concatenated text (Example 2.5: value of a
+  ///                        `name` element is "Fundamentals")
+  ///  - other elements  -> "(@a: v, child: ..., ...)" pre-order form
+  ///                        (Example 2.5: value of a `section` element is
+  ///                        "(@number: 1, name: Fundamentals)")
+  std::string Value(NodeId id) const;
+
+  /// All element descendants of `id` including `id` itself, in document
+  /// order ("//" = descendant-or-self, elements only).
+  std::vector<NodeId> DescendantsOrSelf(NodeId id) const;
+
+  /// Element children of `id` labelled `label`, in document order.
+  std::vector<NodeId> ChildElements(NodeId id, std::string_view label) const;
+
+  /// True iff `ancestor` is `descendant` or one of its ancestors.
+  bool IsAncestorOrSelf(NodeId ancestor, NodeId descendant) const;
+
+  /// The labels of element nodes on the path root -> `id`, excluding the
+  /// root label (so the root maps to the empty path). `id` must be an
+  /// element. Used in diagnostics.
+  std::vector<std::string> PathLabelsFromRoot(NodeId id) const;
+
+ private:
+  void ValueRec(NodeId id, std::string* out) const;
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_XML_TREE_H_

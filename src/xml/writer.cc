@@ -1,0 +1,101 @@
+#include "xml/writer.h"
+
+#include <algorithm>
+
+namespace xmlprop {
+
+namespace {
+
+bool HasTextChild(const Tree& tree, NodeId id) {
+  const Node& n = tree.node(id);
+  return std::any_of(n.children.begin(), n.children.end(), [&](NodeId c) {
+    return tree.node(c).kind == NodeKind::kText;
+  });
+}
+
+void WriteElement(const Tree& tree, NodeId id, const WriteOptions& options,
+                  int depth, bool inline_mode, std::string* out) {
+  const Node& n = tree.node(id);
+  const bool pretty = options.indent > 0 && !inline_mode;
+  auto pad = [&](int d) {
+    if (pretty) out->append(static_cast<size_t>(d * options.indent), ' ');
+  };
+
+  pad(depth);
+  *out += '<';
+  *out += n.label;
+  for (NodeId attr : n.attributes) {
+    *out += ' ';
+    *out += tree.node(attr).label;
+    *out += "=\"";
+    *out += EscapeXml(tree.node(attr).value, /*for_attribute=*/true);
+    *out += '"';
+  }
+  if (n.children.empty()) {
+    *out += "/>";
+    if (pretty) *out += '\n';
+    return;
+  }
+  *out += '>';
+
+  // Mixed/text content is written inline so whitespace survives the
+  // round trip; element-only content is pretty-printed.
+  const bool children_inline = inline_mode || HasTextChild(tree, id) ||
+                               options.indent == 0;
+  if (!children_inline) *out += '\n';
+  for (NodeId c : n.children) {
+    const Node& child = tree.node(c);
+    if (child.kind == NodeKind::kText) {
+      *out += EscapeXml(child.value, /*for_attribute=*/false);
+    } else {
+      WriteElement(tree, c, options, depth + 1, children_inline, out);
+    }
+  }
+  if (!children_inline) pad(depth);
+  *out += "</";
+  *out += n.label;
+  *out += '>';
+  if (pretty) *out += '\n';
+}
+
+}  // namespace
+
+std::string EscapeXml(const std::string& text, bool for_attribute) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        if (for_attribute) {
+          out += "&quot;";
+        } else {
+          out.push_back(c);
+        }
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string WriteXml(const Tree& tree, const WriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out += "<?xml version=\"1.0\"?>";
+    if (options.indent > 0) out += '\n';
+  }
+  WriteElement(tree, tree.root(), options, 0, /*inline_mode=*/false, &out);
+  return out;
+}
+
+}  // namespace xmlprop

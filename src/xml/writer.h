@@ -1,0 +1,30 @@
+#ifndef XMLPROP_XML_WRITER_H_
+#define XMLPROP_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/tree.h"
+
+namespace xmlprop {
+
+/// Options controlling WriteXml.
+struct WriteOptions {
+  /// Spaces per nesting level; 0 writes a compact single-line document.
+  int indent = 2;
+  /// Emit the `<?xml version="1.0"?>` declaration first.
+  bool declaration = true;
+};
+
+/// Serializes `tree` back to XML text. Attribute values and character data
+/// are escaped, so Parse(Write(t)) reproduces t (round-trip tested).
+/// Elements containing any text child are written inline (no indentation
+/// inside them) to keep mixed content byte-accurate.
+std::string WriteXml(const Tree& tree, const WriteOptions& options = {});
+
+/// Escapes &, <, > (and, when `for_attribute`, the double quote) for
+/// inclusion in XML text.
+std::string EscapeXml(const std::string& text, bool for_attribute);
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_XML_WRITER_H_

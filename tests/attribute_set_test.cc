@@ -1,0 +1,78 @@
+#include "relational/attribute_set.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlprop {
+namespace {
+
+TEST(AttrSetTest, EmptyByDefault) {
+  AttrSet s(10);
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_EQ(s.universe_size(), 10u);
+}
+
+TEST(AttrSetTest, SetTestReset) {
+  AttrSet s(130);  // spans three words
+  s.Set(0);
+  s.Set(64);
+  s.Set(129);
+  EXPECT_TRUE(s.Test(0));
+  EXPECT_TRUE(s.Test(64));
+  EXPECT_TRUE(s.Test(129));
+  EXPECT_FALSE(s.Test(1));
+  EXPECT_EQ(s.Count(), 3u);
+  s.Reset(64);
+  EXPECT_FALSE(s.Test(64));
+  EXPECT_EQ(s.Count(), 2u);
+}
+
+TEST(AttrSetTest, InitializerList) {
+  AttrSet s(8, {1, 3, 5});
+  EXPECT_EQ(s.ToVector(), (std::vector<size_t>{1, 3, 5}));
+}
+
+TEST(AttrSetTest, ToVectorSortedAcrossWords) {
+  AttrSet s(200, {199, 0, 63, 64, 127, 128});
+  EXPECT_EQ(s.ToVector(), (std::vector<size_t>{0, 63, 64, 127, 128, 199}));
+}
+
+TEST(AttrSetTest, SubsetAndIntersects) {
+  AttrSet a(100, {1, 2}), b(100, {1, 2, 3}), c(100, {4});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(AttrSet(100).IsSubsetOf(c));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(AttrSetTest, Algebra) {
+  AttrSet a(70, {1, 65}), b(70, {2, 65});
+  EXPECT_EQ(a.Union(b).ToVector(), (std::vector<size_t>{1, 2, 65}));
+  EXPECT_EQ(a.Intersect(b).ToVector(), (std::vector<size_t>{65}));
+  EXPECT_EQ(a.Minus(b).ToVector(), (std::vector<size_t>{1}));
+  AttrSet c = a;
+  c.UnionInPlace(b);
+  EXPECT_EQ(c, a.Union(b));
+}
+
+TEST(AttrSetTest, EqualityAndOrdering) {
+  AttrSet a(10, {1}), b(10, {1}), c(10, {2});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a < c || c < a);
+  EXPECT_FALSE(a < b);
+}
+
+TEST(AttrSetTest, LargeUniverse1000) {
+  // The Oracle column-limit scale of Section 6.
+  AttrSet s(1000);
+  for (size_t i = 0; i < 1000; i += 7) s.Set(i);
+  EXPECT_EQ(s.Count(), 143u);
+  EXPECT_TRUE(s.Test(994));
+  EXPECT_FALSE(s.Test(995));
+}
+
+}  // namespace
+}  // namespace xmlprop

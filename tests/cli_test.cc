@@ -1,0 +1,315 @@
+#include "tools/cli.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "paper_fixtures.h"
+
+namespace xmlprop {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Writes fixture files into a per-test temp directory.
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("xmlprop_cli_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+    Write("keys.txt", testing_fixtures::kPaperKeys);
+    Write("doc.xml", testing_fixtures::kFig1Xml);
+    Write("rules.txt", testing_fixtures::kPaperTransformation);
+    Write("universal.txt", testing_fixtures::kUniversalRule);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Write(const std::string& name, const std::string& content) {
+    std::string path = (dir_ / name).string();
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  // Runs the CLI and captures output.
+  struct RunResult {
+    int code;
+    std::string out;
+    std::string err;
+  };
+  RunResult Run(std::vector<std::string> args) {
+    std::ostringstream out, err;
+    int code = RunCli(args, out, err);
+    return RunResult{code, out.str(), err.str()};
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CliTest, HelpListsCommands) {
+  RunResult r = Run({"help"});
+  EXPECT_EQ(r.code, 0);
+  for (const char* cmd : {"check", "propagate", "cover", "design", "shred",
+                          "discover", "import-xsd", "implies"}) {
+    EXPECT_NE(r.out.find(cmd), std::string::npos) << cmd;
+  }
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  RunResult r = Run({"frobnicate"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, NoArgsIsError) {
+  RunResult r = Run({});
+  EXPECT_EQ(r.code, 1);
+}
+
+TEST_F(CliTest, CheckCleanDocument) {
+  RunResult r = Run({"check", "--keys", Path("keys.txt"), "--doc",
+                     Path("doc.xml")});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("OK"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckViolatingDocument) {
+  Write("bad.xml", R"(<r><book isbn="1"/><book isbn="1"/></r>)");
+  RunResult r =
+      Run({"check", "--keys", Path("keys.txt"), "--doc", Path("bad.xml")});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.out.find("VIOLATION"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckWithForeignKeys) {
+  Write("doc_fk.xml",
+        R"(<r><book isbn="1"/><cite ref="1"/><cite ref="9"/></r>)");
+  Write("fkeys.txt",
+        "FK1: (ε, (//cite, {@ref}) => (//book, {@isbn}))\n");
+  Write("just_k1.txt", "K1: (ε, (//book, {@isbn}))\n");
+  RunResult r = Run({"check", "--keys", Path("just_k1.txt"), "--doc",
+                     Path("doc_fk.xml"), "--fkeys", Path("fkeys.txt")});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.out.find("references missing tuple"), std::string::npos);
+
+  Write("doc_fk_ok.xml", R"(<r><book isbn="1"/><cite ref="1"/></r>)");
+  RunResult ok = Run({"check", "--keys", Path("just_k1.txt"), "--doc",
+                      Path("doc_fk_ok.xml"), "--fkeys", Path("fkeys.txt")});
+  EXPECT_EQ(ok.code, 0) << ok.out << ok.err;
+  EXPECT_NE(ok.out.find("2 constraint(s)"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckMissingFile) {
+  RunResult r = Run({"check", "--keys", Path("nope.txt"), "--doc",
+                     Path("doc.xml")});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST_F(CliTest, ImpliesYesAndNo) {
+  RunResult yes = Run({"implies", "--keys", Path("keys.txt"), "--key",
+                       "(//, (book, {@isbn}))"});
+  EXPECT_EQ(yes.code, 0) << yes.err;
+  EXPECT_NE(yes.out.find("IMPLIED"), std::string::npos);
+
+  RunResult no = Run({"implies", "--keys", Path("keys.txt"), "--key",
+                      "(ε, (//chapter, {@number}))"});
+  EXPECT_EQ(no.code, 2);
+  EXPECT_NE(no.out.find("NOT IMPLIED"), std::string::npos);
+}
+
+TEST_F(CliTest, PropagateExample42) {
+  RunResult yes =
+      Run({"propagate", "--keys", Path("keys.txt"), "--rules",
+           Path("rules.txt"), "--relation", "book", "--fd",
+           "isbn -> contact"});
+  EXPECT_EQ(yes.code, 0) << yes.err;
+  EXPECT_NE(yes.out.find("PROPAGATED"), std::string::npos);
+
+  RunResult no =
+      Run({"propagate", "--keys", Path("keys.txt"), "--rules",
+           Path("rules.txt"), "--relation", "section", "--fd",
+           "inChapt, number -> name"});
+  EXPECT_EQ(no.code, 2);
+  EXPECT_NE(no.out.find("NOT PROPAGATED"), std::string::npos);
+}
+
+TEST_F(CliTest, PropagateViaCoverAgrees) {
+  RunResult r = Run({"propagate", "--keys", Path("keys.txt"), "--rules",
+                     Path("rules.txt"), "--relation", "book", "--fd",
+                     "isbn -> title", "--via-cover"});
+  EXPECT_EQ(r.code, 0) << r.err;
+}
+
+TEST_F(CliTest, PropagateNeedsRelationWhenAmbiguous) {
+  RunResult r = Run({"propagate", "--keys", Path("keys.txt"), "--rules",
+                     Path("rules.txt"), "--fd", "isbn -> title"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--relation"), std::string::npos);
+}
+
+TEST_F(CliTest, CoverMatchesExample31) {
+  RunResult r = Run({"cover", "--keys", Path("keys.txt"), "--rules",
+                     Path("universal.txt")});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("bookIsbn -> bookTitle"), std::string::npos);
+  EXPECT_NE(r.out.find("bookIsbn, chapNum, secNum -> secName"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, CoverNaiveAgrees) {
+  RunResult r = Run({"cover", "--keys", Path("keys.txt"), "--rules",
+                     Path("universal.txt"), "--naive"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Algorithm naive"), std::string::npos);
+  EXPECT_NE(r.out.find("bookIsbn -> bookTitle"), std::string::npos);
+}
+
+TEST_F(CliTest, DesignWithSql) {
+  RunResult r = Run({"design", "--keys", Path("keys.txt"), "--rules",
+                     Path("universal.txt"), "--sql"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("BCNF decomposition"), std::string::npos);
+  EXPECT_NE(r.out.find("CREATE TABLE"), std::string::npos);
+  EXPECT_NE(r.out.find("PRIMARY KEY"), std::string::npos);
+}
+
+TEST_F(CliTest, Design3nfSql) {
+  RunResult r = Run({"design", "--keys", Path("keys.txt"), "--rules",
+                     Path("universal.txt"), "--sql", "--3nf"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("-- DDL (3NF)"), std::string::npos);
+}
+
+TEST_F(CliTest, ShredPlainAndSql) {
+  RunResult plain = Run({"shred", "--rules", Path("rules.txt"), "--doc",
+                         Path("doc.xml")});
+  EXPECT_EQ(plain.code, 0) << plain.err;
+  EXPECT_NE(plain.out.find("Introduction"), std::string::npos);
+
+  RunResult sql = Run({"shred", "--rules", Path("rules.txt"), "--doc",
+                       Path("doc.xml"), "--sql"});
+  EXPECT_EQ(sql.code, 0);
+  EXPECT_NE(sql.out.find("INSERT INTO chapter"), std::string::npos);
+  EXPECT_NE(sql.out.find("NULL"), std::string::npos);
+}
+
+TEST_F(CliTest, ShredCsvThenPublishRoundTrips) {
+  // shred --csv produces a per-relation CSV block; feeding the universal
+  // relation's block back through `publish` reconstructs a document that
+  // re-shreds identically.
+  RunResult csv = Run({"shred", "--rules", Path("universal.txt"), "--doc",
+                       Path("doc.xml"), "--csv"});
+  ASSERT_EQ(csv.code, 0) << csv.err;
+  ASSERT_NE(csv.out.find("# U\n"), std::string::npos);
+  Write("u.csv", csv.out.substr(csv.out.find('\n') + 1));
+
+  RunResult published =
+      Run({"publish", "--keys", Path("keys.txt"), "--rules",
+           Path("universal.txt"), "--data", Path("u.csv")});
+  ASSERT_EQ(published.code, 0) << published.err;
+  EXPECT_NE(published.out.find("<book"), std::string::npos);
+  Write("published.xml", published.out);
+
+  RunResult reshredded = Run({"shred", "--rules", Path("universal.txt"),
+                              "--doc", Path("published.xml"), "--csv"});
+  ASSERT_EQ(reshredded.code, 0) << reshredded.err;
+  EXPECT_EQ(csv.out, reshredded.out);
+}
+
+TEST_F(CliTest, PublishRejectsBadCsv) {
+  Write("bad.csv", "nope,columns\n1,2\n");
+  RunResult r = Run({"publish", "--keys", Path("keys.txt"), "--rules",
+                     Path("universal.txt"), "--data", Path("bad.csv")});
+  EXPECT_EQ(r.code, 1);
+}
+
+TEST_F(CliTest, DiscoverFindsIsbnKey) {
+  RunResult r = Run({"discover", "--doc", Path("doc.xml")});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("(ε, (//book, {@isbn}))"), std::string::npos);
+}
+
+TEST_F(CliTest, ImportXsd) {
+  Write("schema.xsd", R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="r">
+        <xs:key name="bookKey">
+          <xs:selector xpath=".//book"/>
+          <xs:field xpath="@isbn"/>
+        </xs:key>
+      </xs:element>
+    </xs:schema>)");
+  RunResult r = Run({"import-xsd", "--xsd", Path("schema.xsd")});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("bookKey: (//r, (//book, {@isbn}))"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, ExportXsdRoundTripsThroughImport) {
+  Write("two_keys.txt",
+        "K1: (ε, (//book, {@isbn}))\nK2: (//book, (chapter, {@number}))\n");
+  RunResult exported =
+      Run({"export-xsd", "--keys", Path("two_keys.txt"), "--root", "lib"});
+  ASSERT_EQ(exported.code, 0) << exported.err;
+  EXPECT_NE(exported.out.find("<xs:schema"), std::string::npos);
+  Write("exported.xsd", exported.out);
+  RunResult back = Run({"import-xsd", "--xsd", Path("exported.xsd")});
+  ASSERT_EQ(back.code, 0) << back.err;
+  EXPECT_NE(back.out.find("(//lib, (//book, {@isbn}))"), std::string::npos);
+  EXPECT_NE(back.out.find("(//book, (chapter, {@number}))"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, ImportXsdPrintsKeyrefs) {
+  Write("kr.xsd", R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="db">
+        <xs:key name="bk"><xs:selector xpath="book"/>
+          <xs:field xpath="@isbn"/></xs:key>
+        <xs:keyref name="cr" refer="bk"><xs:selector xpath="cite"/>
+          <xs:field xpath="@ref"/></xs:keyref>
+      </xs:element>
+    </xs:schema>)");
+  RunResult r = Run({"import-xsd", "--xsd", Path("kr.xsd")});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("=>"), std::string::npos);
+}
+
+TEST_F(CliTest, AutodesignEndToEnd) {
+  RunResult r = Run({"autodesign", "--doc", Path("doc.xml"), "--sql",
+                     "--min-support", "2"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Derived universal relation"), std::string::npos);
+  EXPECT_NE(r.out.find("Minimum cover"), std::string::npos);
+  EXPECT_NE(r.out.find("CREATE TABLE"), std::string::npos);
+}
+
+TEST_F(CliTest, FlagWithoutValueFails) {
+  RunResult r = Run({"check", "--keys"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("needs a value"), std::string::npos);
+}
+
+TEST_F(CliTest, BadFdTextSurfacesParseError) {
+  RunResult r = Run({"propagate", "--keys", Path("keys.txt"), "--rules",
+                     Path("rules.txt"), "--relation", "book", "--fd",
+                     "garbage"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmlprop

@@ -1,0 +1,88 @@
+// Regression guards for the paper's complexity claims (Sections 4-6):
+// the cost driver of both checking algorithms is the number of calls to
+// Algorithm implication, which must scale linearly with the table-tree
+// depth for `propagation` and polynomially (≈ nodes × ancestors × keys
+// + nodes²) for `minimumCover`. These tests pin loose upper bounds so a
+// future change that accidentally blows up the call count fails fast.
+
+#include <gtest/gtest.h>
+
+#include "core/minimum_cover.h"
+#include "core/propagation.h"
+#include "synth/workload.h"
+
+namespace xmlprop {
+namespace {
+
+SyntheticWorkload Make(size_t fields, size_t depth, size_t keys) {
+  WorkloadSpec spec;
+  spec.fields = fields;
+  spec.depth = depth;
+  spec.keys = keys;
+  Result<SyntheticWorkload> w = MakeWorkload(spec);
+  EXPECT_TRUE(w.ok());
+  return std::move(w).value();
+}
+
+TEST(ComplexityTest, PropagationImplicationCallsLinearInDepth) {
+  // Fig. 5 issues at most 2 implication calls per ancestor of the RHS
+  // variable, per RHS attribute.
+  for (size_t depth : {2u, 5u, 10u, 20u}) {
+    SyntheticWorkload w = Make(/*fields=*/depth, depth, /*keys=*/depth);
+    // All chain keys but the deepest → the deepest (walks every level;
+    // the workload's true_fd can degenerate to a call-free trivial FD).
+    const size_t arity = w.table.schema().arity();
+    AttrSet lhs = w.table.schema().FullSet();
+    lhs.Reset(arity - 1);
+    Fd fd = Fd::SingleRhs(std::move(lhs), arity - 1);
+    PropagationStats stats;
+    Result<bool> r = CheckPropagation(w.keys, w.table, fd, &stats);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(stats.implication_calls, 2 * (depth + 2))
+        << "depth=" << depth;
+    EXPECT_GE(stats.implication_calls, depth) << "depth=" << depth;
+  }
+}
+
+TEST(ComplexityTest, PropagationCallsIndependentOfKeyCount) {
+  // More keys make each implication call dearer but must not change the
+  // number of calls (that is governed by the ancestor walk).
+  SyntheticWorkload small = Make(15, 10, 10);
+  SyntheticWorkload large = Make(15, 10, 100);
+  PropagationStats s1, s2;
+  ASSERT_TRUE(CheckPropagation(small.keys, small.table, small.true_fd, &s1)
+                  .ok());
+  ASSERT_TRUE(CheckPropagation(large.keys, large.table, large.true_fd, &s2)
+                  .ok());
+  EXPECT_EQ(s1.implication_calls, s2.implication_calls);
+}
+
+TEST(ComplexityTest, MinimumCoverCallsPolynomiallyBounded) {
+  // Candidate search: nodes × ancestors × (keys + 1); FD generation:
+  // keyed-nodes × field-nodes. A generous closed-form bound:
+  for (auto [fields, depth, keys] :
+       {std::tuple<size_t, size_t, size_t>{15, 5, 10},
+        {30, 10, 20}, {60, 10, 40}}) {
+    SyntheticWorkload w = Make(fields, depth, keys);
+    PropagationStats stats;
+    Result<FdSet> cover = MinimumCover(w.keys, w.table, &stats);
+    ASSERT_TRUE(cover.ok());
+    size_t nodes = w.table.size();
+    size_t bound = nodes * (depth + 2) * (keys + 1) + nodes * nodes;
+    EXPECT_LE(stats.implication_calls, bound)
+        << "fields=" << fields << " depth=" << depth << " keys=" << keys;
+  }
+}
+
+TEST(ComplexityTest, MinimumCoverScalesToOracleColumnLimit) {
+  // 1000 fields — the Oracle limit quoted in Section 6 — must stay in
+  // interactive time (the paper's own propagation took minutes there on
+  // 2003 hardware; minimumCover is our polynomial workhorse).
+  SyntheticWorkload w = Make(1000, 10, 50);
+  Result<FdSet> cover = MinimumCover(w.keys, w.table);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_GT(cover->size(), 0u);
+}
+
+}  // namespace
+}  // namespace xmlprop

@@ -1,0 +1,114 @@
+#include "relational/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace xmlprop {
+namespace {
+
+RelationSchema S() {
+  Result<RelationSchema> s = RelationSchema::Parse("t(a, b, c)");
+  EXPECT_TRUE(s.ok());
+  return std::move(s).value();
+}
+
+TEST(CsvTest, WriteBasic) {
+  Instance i(S());
+  ASSERT_TRUE(i.Add({Field("1"), Field("x"), std::nullopt}).ok());
+  EXPECT_EQ(WriteCsv(i), "a,b,c\n1,x,\n");
+}
+
+TEST(CsvTest, QuotingRules) {
+  Instance i(S());
+  ASSERT_TRUE(i.Add({Field("has,comma"), Field("has \"quote\""),
+                     Field("")}).ok());
+  std::string csv = WriteCsv(i);
+  EXPECT_EQ(csv, "a,b,c\n\"has,comma\",\"has \"\"quote\"\"\",\"\"\n");
+}
+
+TEST(CsvTest, ReadBasic) {
+  Result<Instance> i = ReadCsv(S(), "a,b,c\n1,x,\n2,y,z\n");
+  ASSERT_TRUE(i.ok()) << i.status().ToString();
+  ASSERT_EQ(i->size(), 2u);
+  EXPECT_EQ(i->tuples()[0][0], Field("1"));
+  EXPECT_EQ(i->tuples()[0][2], std::nullopt);  // unquoted empty = NULL
+  EXPECT_EQ(i->tuples()[1][2], Field("z"));
+}
+
+TEST(CsvTest, QuotedEmptyIsEmptyStringNotNull) {
+  Result<Instance> i = ReadCsv(S(), "a,b,c\n1,\"\",\n");
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i->tuples()[0][1], Field(""));
+  EXPECT_EQ(i->tuples()[0][2], std::nullopt);
+}
+
+TEST(CsvTest, HeaderReordersColumns) {
+  Result<Instance> i = ReadCsv(S(), "c,a,b\nz,1,y\n");
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i->tuples()[0][0], Field("1"));
+  EXPECT_EQ(i->tuples()[0][1], Field("y"));
+  EXPECT_EQ(i->tuples()[0][2], Field("z"));
+}
+
+TEST(CsvTest, EmbeddedNewlinesAndCrlf) {
+  Result<Instance> i =
+      ReadCsv(S(), "a,b,c\r\n\"line1\nline2\",x,y\r\n");
+  ASSERT_TRUE(i.ok()) << i.status().ToString();
+  EXPECT_EQ(i->tuples()[0][0], Field("line1\nline2"));
+}
+
+TEST(CsvTest, Errors) {
+  EXPECT_FALSE(ReadCsv(S(), "").ok());                     // no header
+  EXPECT_FALSE(ReadCsv(S(), "a,b\n1,2\n").ok());           // arity
+  EXPECT_FALSE(ReadCsv(S(), "a,b,zz\n1,2,3\n").ok());      // unknown col
+  EXPECT_FALSE(ReadCsv(S(), "a,a,b\n1,2,3\n").ok());       // repeated col
+  EXPECT_FALSE(ReadCsv(S(), "a,b,c\n1,2\n").ok());         // short row
+  EXPECT_FALSE(ReadCsv(S(), "a,b,c\n\"open,2,3\n").ok());  // unterminated
+  EXPECT_FALSE(ReadCsv(S(), "a,b,c\nx\"y,2,3\n").ok());    // stray quote
+}
+
+TEST(CsvTest, BlankLinesSkipped) {
+  Result<Instance> i = ReadCsv(S(), "a,b,c\n\n1,2,3\n\n");
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i->size(), 1u);
+}
+
+TEST(CsvTest, RoundTripRandomInstances) {
+  Rng rng(99);
+  for (int iter = 0; iter < 20; ++iter) {
+    Instance original(S());
+    int rows = rng.UniformInt(0, 8);
+    for (int r = 0; r < rows; ++r) {
+      Tuple t(3);
+      for (size_t c = 0; c < 3; ++c) {
+        switch (rng.UniformInt(0, 4)) {
+          case 0:
+            break;  // NULL
+          case 1:
+            t[c] = "";
+            break;
+          case 2:
+            t[c] = "plain" + std::to_string(rng.UniformInt(0, 9));
+            break;
+          case 3:
+            t[c] = "with,comma\"and\"quotes";
+            break;
+          case 4:
+            t[c] = "multi\nline\r\nvalue";
+            break;
+        }
+      }
+      ASSERT_TRUE(original.Add(std::move(t)).ok());
+    }
+    Result<Instance> back = ReadCsv(S(), WriteCsv(original));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    ASSERT_EQ(back->size(), original.size());
+    for (size_t r = 0; r < original.size(); ++r) {
+      EXPECT_EQ(back->tuples()[r], original.tuples()[r]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmlprop

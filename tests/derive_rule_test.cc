@@ -1,0 +1,167 @@
+#include "transform/derive_rule.h"
+
+#include <gtest/gtest.h>
+
+#include "core/design_advisor.h"
+#include "keys/discovery.h"
+#include "paper_fixtures.h"
+#include "relational/fd_check.h"
+#include "transform/eval.h"
+#include "transform/table_tree.h"
+#include "xml/parser.h"
+
+namespace xmlprop {
+namespace {
+
+using testing_fixtures::Fig1Tree;
+
+Tree T(std::string_view xml) {
+  Result<Tree> t = ParseXml(xml);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return std::move(t).value();
+}
+
+TEST(DeriveRuleTest, Fig1YieldsValidatedRule) {
+  Tree tree = Fig1Tree();
+  Result<TableRule> rule = DeriveUniversalRule(tree);
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_TRUE(rule->Validate().ok());
+  Result<TableTree> table = TableTree::Build(*rule);
+  ASSERT_TRUE(table.ok());
+  // Fields: book_isbn, chapter_number, section_number attributes; and
+  // text leaves title, author_name, author_contact, chapter_name,
+  // section_name.
+  RelationSchema schema = rule->Schema();
+  EXPECT_TRUE(schema.IndexOf("book_isbn").has_value()) << schema.ToString();
+  EXPECT_TRUE(schema.IndexOf("book_chapter_number").has_value());
+  EXPECT_TRUE(schema.IndexOf("book_title").has_value());
+  EXPECT_TRUE(schema.IndexOf("book_author_contact").has_value());
+  EXPECT_TRUE(
+      schema.IndexOf("book_chapter_section_number").has_value());
+}
+
+TEST(DeriveRuleTest, EvaluatesOnTheSourceDocument) {
+  Tree tree = Fig1Tree();
+  Result<TableRule> rule = DeriveUniversalRule(tree);
+  ASSERT_TRUE(rule.ok());
+  Result<Instance> instance = EvalRule(tree, *rule);
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+  EXPECT_GT(instance->size(), 0u);
+  // The isbn values appear in the shredded data.
+  bool found_123 = false;
+  size_t isbn = *rule->Schema().IndexOf("book_isbn");
+  for (const Tuple& t : instance->tuples()) {
+    if (t[isbn] == Field("123")) found_123 = true;
+  }
+  EXPECT_TRUE(found_123);
+}
+
+TEST(DeriveRuleTest, SharedPathsMergeAcrossOccurrences) {
+  // The same label path under different instances contributes ONE
+  // variable; attributes union across occurrences.
+  Tree tree = T(R"(<r>
+      <item sku="1"/>
+      <item color="red"/>
+  </r>)");
+  Result<TableRule> rule = DeriveUniversalRule(tree);
+  ASSERT_TRUE(rule.ok());
+  RelationSchema schema = rule->Schema();
+  EXPECT_EQ(schema.arity(), 2u);
+  EXPECT_TRUE(schema.IndexOf("item_sku").has_value());
+  EXPECT_TRUE(schema.IndexOf("item_color").has_value());
+  // One element variable for `item` plus two attribute variables.
+  EXPECT_EQ(rule->mappings().size(), 3u);
+}
+
+TEST(DeriveRuleTest, TextLeafBecomesField) {
+  Tree tree = T(R"(<r><name>Ada</name></r>)");
+  Result<TableRule> rule = DeriveUniversalRule(tree);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(rule->Schema().IndexOf("name").has_value());
+}
+
+TEST(DeriveRuleTest, MixedElementPrefersAttributes) {
+  // An element with attributes is not itself a field (its variable has
+  // attribute children); only the attribute fields are emitted.
+  Tree tree = T(R"(<r><p id="1">text</p></r>)");
+  Result<TableRule> rule = DeriveUniversalRule(tree);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->Schema().arity(), 1u);
+  EXPECT_TRUE(rule->Schema().IndexOf("p_id").has_value());
+}
+
+TEST(DeriveRuleTest, DepthBoundRespected) {
+  Tree tree = T(R"(<r><a><b><c x="1"/></b></a></r>)");
+  DeriveOptions options;
+  options.max_depth = 2;
+  Result<TableRule> rule = DeriveUniversalRule(tree, options);
+  // a and b derived, c (depth 3) dropped — leaving zero fields.
+  EXPECT_FALSE(rule.ok());
+  options.max_depth = 3;
+  rule = DeriveUniversalRule(tree, options);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(rule->Schema().IndexOf("a_b_c_x").has_value());
+}
+
+TEST(DeriveRuleTest, FieldCapEnforced) {
+  Tree tree = Fig1Tree();
+  DeriveOptions options;
+  options.max_fields = 2;
+  EXPECT_FALSE(DeriveUniversalRule(tree, options).ok());
+}
+
+TEST(DeriveRuleTest, DuplicateFieldNamesDisambiguated) {
+  // 'a_b' the path vs 'a' with attribute 'b' collide on the field name.
+  Tree tree = T(R"(<r><a b="1"><b>t</b></a></r>)");
+  Result<TableRule> rule = DeriveUniversalRule(tree);
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  RelationSchema schema = rule->Schema();
+  EXPECT_EQ(schema.arity(), 2u);
+  EXPECT_TRUE(schema.IndexOf("a_b").has_value());
+  EXPECT_TRUE(schema.IndexOf("a_b_2").has_value());
+}
+
+TEST(DeriveRuleTest, EmptyDocumentRejected) {
+  Tree tree = T("<r/>");
+  EXPECT_FALSE(DeriveUniversalRule(tree).ok());
+}
+
+TEST(DeriveRuleTest, RecursiveStructureBounded) {
+  Tree tree = T(R"(<r><d n="1"><d n="2"><d n="3"><d n="4"/></d></d></d></r>)");
+  DeriveOptions options;
+  options.max_depth = 3;
+  Result<TableRule> rule = DeriveUniversalRule(tree, options);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->Schema().arity(), 3u);  // d_n, d_d_n, d_d_d_n
+}
+
+TEST(DeriveRuleTest, EndToEndAutoDesignPipeline) {
+  // The full automatic pipeline: document -> derived rule + mined keys
+  // -> minimum cover -> BCNF. Every cover FD must hold on the document's
+  // own shredded instance (null-free restriction).
+  Tree tree = Fig1Tree();
+  Result<TableRule> rule = DeriveUniversalRule(tree);
+  ASSERT_TRUE(rule.ok());
+  Result<std::vector<DiscoveredKey>> discovered = DiscoverKeys(tree);
+  ASSERT_TRUE(discovered.ok());
+  std::vector<XmlKey> keys;
+  for (const DiscoveredKey& d : *discovered) keys.push_back(d.key);
+
+  Result<DesignReport> report = AdviseDesign(keys, *rule);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->cover.empty());
+
+  Result<Instance> instance = EvalRule(tree, *rule);
+  ASSERT_TRUE(instance.ok());
+  Instance null_free(instance->schema());
+  for (const Tuple& t : instance->tuples()) {
+    if (!Instance::HasNull(t)) null_free.Add(t).ok();
+  }
+  for (const Fd& fd : report->cover.fds()) {
+    EXPECT_TRUE(SatisfiesFd(null_free, fd))
+        << fd.ToString(report->universal);
+  }
+}
+
+}  // namespace
+}  // namespace xmlprop

@@ -1,0 +1,112 @@
+#include "core/design_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_fixtures.h"
+#include "transform/rule_parser.h"
+
+namespace xmlprop {
+namespace {
+
+using testing_fixtures::kUniversalRule;
+using testing_fixtures::PaperKeys;
+using testing_fixtures::PaperTransformation;
+
+TEST(DesignAdvisorTest, Example31EndToEnd) {
+  Result<TableRule> rule = ParseTableRule(kUniversalRule);
+  ASSERT_TRUE(rule.ok());
+  Result<DesignReport> report = AdviseDesign(PaperKeys(), *rule);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_EQ(report->cover.size(), 4u);
+  // Every BCNF fragment is in BCNF and the join is lossless; the
+  // book/chapter/section fragments of the paper's decomposition appear.
+  for (const SubRelation& f : report->bcnf) {
+    EXPECT_TRUE(IsBcnf(f.attrs, report->cover))
+        << f.ToString(report->universal);
+  }
+  EXPECT_TRUE(IsLosslessJoin(report->bcnf, report->cover));
+
+  auto has = [&](std::initializer_list<const char*> names) {
+    Result<AttrSet> want = report->universal.MakeSet(
+        std::vector<std::string>(names.begin(), names.end()));
+    EXPECT_TRUE(want.ok());
+    for (const SubRelation& f : report->bcnf) {
+      if (f.attrs == *want) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has({"bookIsbn", "bookTitle", "authContact"}));
+  EXPECT_TRUE(has({"bookIsbn", "chapNum", "chapName"}));
+  EXPECT_TRUE(has({"bookIsbn", "chapNum", "secNum", "secName"}));
+
+  // 3NF synthesis is lossless and dependency-preserving.
+  EXPECT_TRUE(IsLosslessJoin(report->third_nf, report->cover));
+  EXPECT_TRUE(PreservesDependencies(report->third_nf, report->cover));
+  for (const SubRelation& f : report->third_nf) {
+    EXPECT_TRUE(Is3nf(f.attrs, report->cover));
+  }
+}
+
+TEST(DesignAdvisorTest, ReportMentionsEverything) {
+  Result<TableRule> rule = ParseTableRule(kUniversalRule);
+  ASSERT_TRUE(rule.ok());
+  Result<DesignReport> report = AdviseDesign(PaperKeys(), *rule);
+  ASSERT_TRUE(report.ok());
+  std::string text = report->ToString();
+  EXPECT_NE(text.find("Minimum cover"), std::string::npos);
+  EXPECT_NE(text.find("BCNF"), std::string::npos);
+  EXPECT_NE(text.find("3NF"), std::string::npos);
+  EXPECT_NE(text.find("bookIsbn -> bookTitle"), std::string::npos);
+  EXPECT_NE(text.find("Zs: {bookIsbn, chapNum, secNum}"), std::string::npos);
+  EXPECT_NE(text.find("Xg: (not keyed)"), std::string::npos);
+}
+
+TEST(DeclaredKeyCheckTest, Example11Scenario) {
+  // The initial design keys Chapter by (bookTitle-ish) — here we model
+  // the two candidate keys on the paper's chapter relation.
+  std::vector<DeclaredKey> declared = {
+      DeclaredKey{"chapter", {"inBook", "number"}},
+      DeclaredKey{"chapter", {"number"}},
+      DeclaredKey{"book", {"isbn"}},
+      DeclaredKey{"book", {"title"}},
+  };
+  Result<std::vector<KeyCheckOutcome>> outcomes =
+      CheckDeclaredKeys(PaperKeys(), PaperTransformation(), declared);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  ASSERT_EQ(outcomes->size(), 4u);
+  EXPECT_TRUE((*outcomes)[0].guaranteed);   // (inBook, number) safe
+  EXPECT_FALSE((*outcomes)[1].guaranteed);  // number alone unsafe
+  EXPECT_FALSE((*outcomes)[3].guaranteed);  // title unsafe (two "XML"s)
+}
+
+TEST(DeclaredKeyCheckTest, BookIsbnNotFullyKeying) {
+  // isbn does not determine `author` (multiple authors), so isbn is NOT a
+  // guaranteed key of the 4-field book relation.
+  std::vector<DeclaredKey> declared = {DeclaredKey{"book", {"isbn"}}};
+  Result<std::vector<KeyCheckOutcome>> outcomes =
+      CheckDeclaredKeys(PaperKeys(), PaperTransformation(), declared);
+  ASSERT_TRUE(outcomes.ok());
+  EXPECT_FALSE((*outcomes)[0].guaranteed);
+}
+
+TEST(DeclaredKeyCheckTest, UnknownRelationOrAttribute) {
+  EXPECT_FALSE(CheckDeclaredKeys(PaperKeys(), PaperTransformation(),
+                                 {DeclaredKey{"nope", {"x"}}})
+                   .ok());
+  EXPECT_FALSE(CheckDeclaredKeys(PaperKeys(), PaperTransformation(),
+                                 {DeclaredKey{"book", {"zzz"}}})
+                   .ok());
+}
+
+TEST(DeclaredKeyCheckTest, AllFieldsKeyIsTrivially1Guaranteed) {
+  std::vector<DeclaredKey> declared = {
+      DeclaredKey{"book", {"isbn", "title", "author", "contact"}}};
+  Result<std::vector<KeyCheckOutcome>> outcomes =
+      CheckDeclaredKeys(PaperKeys(), PaperTransformation(), declared);
+  ASSERT_TRUE(outcomes.ok());
+  EXPECT_TRUE((*outcomes)[0].guaranteed);
+}
+
+}  // namespace
+}  // namespace xmlprop

@@ -1,0 +1,185 @@
+#include "keys/discovery.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "keys/implication.h"
+#include "keys/satisfaction.h"
+#include "paper_fixtures.h"
+#include "xml/parser.h"
+
+namespace xmlprop {
+namespace {
+
+using testing_fixtures::Fig1Tree;
+
+Tree T(std::string_view xml) {
+  Result<Tree> t = ParseXml(xml);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return std::move(t).value();
+}
+
+bool Contains(const std::vector<DiscoveredKey>& keys,
+              std::string_view context, std::string_view target,
+              const std::vector<std::string>& attrs) {
+  return std::any_of(keys.begin(), keys.end(), [&](const DiscoveredKey& d) {
+    return d.key.context().ToString() == context &&
+           d.key.target().ToString() == target &&
+           d.key.attributes() == attrs;
+  });
+}
+
+TEST(DiscoveryTest, FindsPaperStyleKeysOnFig1) {
+  Tree tree = Fig1Tree();
+  Result<std::vector<DiscoveredKey>> keys = DiscoverKeys(tree);
+  ASSERT_TRUE(keys.ok()) << keys.status().ToString();
+
+  // The paper's K1 (books keyed by @isbn document-wide) and K2 (chapters
+  // keyed by @number per book) are discoverable from the data.
+  EXPECT_TRUE(Contains(*keys, "ε", "//book", {"isbn"}))
+      << "missing K1-like key";
+  EXPECT_TRUE(Contains(*keys, "//book", "chapter", {"number"}))
+      << "missing K2-like key";
+  // K3: at most one title per book.
+  EXPECT_TRUE(Contains(*keys, "//book", "title", {}));
+  // K7: at most one author/contact per book. Fig. 1 additionally has at
+  // most one author per book, so discovery may return the two stronger
+  // single-step keys instead; the discovered set must IMPLY K7.
+  std::vector<XmlKey> discovered_keys;
+  for (const DiscoveredKey& d : *keys) discovered_keys.push_back(d.key);
+  Result<XmlKey> k7 = XmlKey::Parse("(//book, (author/contact, {}))");
+  ASSERT_TRUE(k7.ok());
+  EXPECT_TRUE(Implies(discovered_keys, *k7));
+}
+
+TEST(DiscoveryTest, EveryDiscoveredKeyActuallyHolds) {
+  Tree tree = Fig1Tree();
+  Result<std::vector<DiscoveredKey>> keys = DiscoverKeys(tree);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_FALSE(keys->empty());
+  for (const DiscoveredKey& d : *keys) {
+    EXPECT_TRUE(Satisfies(tree, d.key)) << d.key.ToString();
+    EXPECT_GT(d.context_count, 0u);
+    EXPECT_GT(d.target_count, 0u);
+  }
+}
+
+TEST(DiscoveryTest, DoesNotProposeViolatedKeys) {
+  // Two books share a title value; //book keyed by nothing-but-@t fails.
+  Tree tree = T(R"(<r><book t="XML" isbn="1"/><book t="XML" isbn="2"/></r>)");
+  Result<std::vector<DiscoveredKey>> keys = DiscoverKeys(tree);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_FALSE(Contains(*keys, "ε", "//book", {"t"}));
+  EXPECT_TRUE(Contains(*keys, "ε", "//book", {"isbn"}));
+}
+
+TEST(DiscoveryTest, MinimalAttributeSetsOnly) {
+  // @isbn alone keys books, so {isbn, t} must not be proposed.
+  Tree tree = T(R"(<r><book t="a" isbn="1"/><book t="b" isbn="2"/></r>)");
+  Result<std::vector<DiscoveredKey>> keys = DiscoverKeys(tree);
+  ASSERT_TRUE(keys.ok());
+  for (const DiscoveredKey& d : *keys) {
+    EXPECT_LE(d.key.attributes().size(), 1u) << d.key.ToString();
+  }
+}
+
+TEST(DiscoveryTest, CompositeKeysWhenNeeded) {
+  // Neither @a nor @b alone identifies; {a, b} does.
+  Tree tree = T(R"(<r>
+      <p a="1" b="1"/><p a="1" b="2"/><p a="2" b="1"/></r>)");
+  Result<std::vector<DiscoveredKey>> keys = DiscoverKeys(tree);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_TRUE(Contains(*keys, "ε", "//p", {"a", "b"}));
+  EXPECT_FALSE(Contains(*keys, "ε", "//p", {"a"}));
+  EXPECT_FALSE(Contains(*keys, "ε", "//p", {"b"}));
+}
+
+TEST(DiscoveryTest, RelativeButNotAbsolute) {
+  // Chapter numbers repeat across books: only the relative key holds.
+  Tree tree = T(R"(<r>
+      <book isbn="1"><chapter number="1"/><chapter number="2"/></book>
+      <book isbn="2"><chapter number="1"/></book></r>)");
+  Result<std::vector<DiscoveredKey>> keys = DiscoverKeys(tree);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_TRUE(Contains(*keys, "//book", "chapter", {"number"}));
+  EXPECT_FALSE(Contains(*keys, "ε", "//chapter", {"number"}));
+}
+
+TEST(DiscoveryTest, PruningDropsImpliedKeys) {
+  // With pruning, (//book, (chapter, {@n})) subsumes weaker variants
+  // like (//shelf/book, ...) — and in particular the same key must not
+  // appear twice reachable via different context spellings.
+  Tree tree = T(R"(<r>
+      <book isbn="1"><chapter n="1"/></book></r>)");
+  DiscoveryOptions no_prune;
+  no_prune.prune_implied = false;
+  Result<std::vector<DiscoveredKey>> all = DiscoverKeys(tree, no_prune);
+  Result<std::vector<DiscoveredKey>> pruned = DiscoverKeys(tree);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_LT(pruned->size(), all->size());
+  // Everything pruned is implied by what remains.
+  std::vector<XmlKey> kept;
+  for (const DiscoveredKey& d : *pruned) kept.push_back(d.key);
+  for (const DiscoveredKey& d : *all) {
+    bool in_kept = std::any_of(
+        pruned->begin(), pruned->end(),
+        [&](const DiscoveredKey& k) { return k.key == d.key; });
+    if (!in_kept) {
+      EXPECT_TRUE(Implies(kept, d.key)) << d.key.ToString();
+    }
+  }
+}
+
+TEST(DiscoveryTest, CandidateCapEnforced) {
+  Tree tree = Fig1Tree();
+  DiscoveryOptions options;
+  options.max_candidates = 3;
+  Result<std::vector<DiscoveredKey>> keys = DiscoverKeys(tree, options);
+  EXPECT_FALSE(keys.ok());
+}
+
+TEST(DiscoveryTest, TargetLengthBoundRespected) {
+  Tree tree = Fig1Tree();
+  DiscoveryOptions options;
+  options.max_target_length = 1;
+  Result<std::vector<DiscoveredKey>> keys = DiscoverKeys(tree, options);
+  ASSERT_TRUE(keys.ok());
+  for (const DiscoveredKey& d : *keys) {
+    // Non-descendant targets have at most one step.
+    if (d.key.target().IsSimple()) {
+      EXPECT_LE(d.key.target().length(), 1u) << d.key.ToString();
+    }
+  }
+}
+
+TEST(DiscoveryTest, MinSupportFiltersSingletonEvidence) {
+  // One author in the whole document: without support filtering the
+  // vacuous key (ε, (//author, {})) is proposed; with min_targets = 2 it
+  // is not, while the two-book @isbn key survives.
+  Tree tree = Fig1Tree();
+  Result<std::vector<DiscoveredKey>> all = DiscoverKeys(tree);
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(Contains(*all, "ε", "//author", {}));
+
+  DiscoveryOptions options;
+  options.min_targets = 2;
+  Result<std::vector<DiscoveredKey>> supported = DiscoverKeys(tree, options);
+  ASSERT_TRUE(supported.ok());
+  EXPECT_FALSE(Contains(*supported, "ε", "//author", {}));
+  EXPECT_TRUE(Contains(*supported, "ε", "//book", {"isbn"}));
+  for (const DiscoveredKey& d : *supported) {
+    EXPECT_GE(d.target_count, 2u) << d.key.ToString();
+  }
+}
+
+TEST(DiscoveryTest, TrivialDocument) {
+  Tree tree = T("<r/>");
+  Result<std::vector<DiscoveredKey>> keys = DiscoverKeys(tree);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_TRUE(keys->empty());
+}
+
+}  // namespace
+}  // namespace xmlprop

@@ -1,0 +1,126 @@
+#include "synth/doc_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "keys/satisfaction.h"
+#include "paper_fixtures.h"
+#include "xml/parser.h"
+
+namespace xmlprop {
+namespace {
+
+using testing_fixtures::PaperKeys;
+
+TEST(RandomTreeTest, RespectsDepthBound) {
+  Rng rng(3);
+  RandomTreeSpec spec;
+  spec.max_depth = 2;
+  Tree t = RandomTree(spec, &rng);
+  for (NodeId n = 0; n < static_cast<NodeId>(t.size()); ++n) {
+    if (t.node(n).kind != NodeKind::kElement) continue;
+    int depth = 0;
+    for (NodeId c = n; c != t.root(); c = t.node(c).parent) ++depth;
+    EXPECT_LE(depth, 2);
+  }
+}
+
+TEST(RandomTreeTest, UsesConfiguredAlphabets) {
+  Rng rng(4);
+  RandomTreeSpec spec;
+  spec.labels = {"only"};
+  spec.attributes = {"a"};
+  Tree t = RandomTree(spec, &rng);
+  for (NodeId n = 1; n < static_cast<NodeId>(t.size()); ++n) {
+    if (t.node(n).kind == NodeKind::kElement) {
+      EXPECT_EQ(t.node(n).label, "only");
+    } else if (t.node(n).kind == NodeKind::kAttribute) {
+      EXPECT_EQ(t.node(n).label, "a");
+    }
+  }
+}
+
+TEST(WithoutSubtreeTest, RemovesElementSubtree) {
+  Result<Tree> t = ParseXml("<r><a><b/></a><c/></r>");
+  ASSERT_TRUE(t.ok());
+  NodeId a = t->node(t->root()).children[0];
+  Result<Tree> pruned = WithoutSubtree(*t, a);
+  ASSERT_TRUE(pruned.ok());
+  ASSERT_EQ(pruned->node(pruned->root()).children.size(), 1u);
+  EXPECT_EQ(pruned->node(pruned->node(pruned->root()).children[0]).label,
+            "c");
+}
+
+TEST(WithoutSubtreeTest, RemovesAttribute) {
+  Result<Tree> t = ParseXml("<r x=\"1\" y=\"2\"/>");
+  ASSERT_TRUE(t.ok());
+  NodeId x = *t->FindAttribute(t->root(), "x");
+  Result<Tree> pruned = WithoutSubtree(*t, x);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_FALSE(pruned->AttributeValue(pruned->root(), "x").has_value());
+  EXPECT_EQ(pruned->AttributeValue(pruned->root(), "y"), "2");
+}
+
+TEST(WithoutSubtreeTest, RootRejected) {
+  Result<Tree> t = ParseXml("<r/>");
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE(WithoutSubtree(*t, t->root()).ok());
+}
+
+TEST(RepairTest, FixesMissingAttribute) {
+  Result<Tree> t = ParseXml("<r><book/><book isbn=\"1\"/></r>");
+  ASSERT_TRUE(t.ok());
+  Result<std::vector<XmlKey>> keys = ParseKeySet("(ε, (//book, {@isbn}))");
+  ASSERT_TRUE(keys.ok());
+  Result<Tree> repaired = RepairToSatisfy(*t, *keys);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  EXPECT_TRUE(SatisfiesAll(*repaired, *keys));
+}
+
+TEST(RepairTest, FixesDuplicateValues) {
+  Result<Tree> t = ParseXml("<r><book isbn=\"1\"/><book isbn=\"1\"/></r>");
+  ASSERT_TRUE(t.ok());
+  Result<std::vector<XmlKey>> keys = ParseKeySet("(ε, (//book, {@isbn}))");
+  ASSERT_TRUE(keys.ok());
+  Result<Tree> repaired = RepairToSatisfy(*t, *keys);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_TRUE(SatisfiesAll(*repaired, *keys));
+  // Both books survive (values bumped, not deleted).
+  EXPECT_EQ(repaired->ChildElements(repaired->root(), "book").size(), 2u);
+}
+
+TEST(RepairTest, DeletesForAttributelessKeys) {
+  Result<Tree> t =
+      ParseXml("<r><book><title>A</title><title>B</title></book></r>");
+  ASSERT_TRUE(t.ok());
+  Result<std::vector<XmlKey>> keys = ParseKeySet("(//book, (title, {}))");
+  ASSERT_TRUE(keys.ok());
+  Result<Tree> repaired = RepairToSatisfy(*t, *keys);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_TRUE(SatisfiesAll(*repaired, *keys));
+}
+
+TEST(RepairTest, AlreadySatisfyingUnchangedSize) {
+  Result<Tree> t = ParseXml("<r><book isbn=\"1\"/></r>");
+  ASSERT_TRUE(t.ok());
+  Result<std::vector<XmlKey>> keys = ParseKeySet("(ε, (//book, {@isbn}))");
+  ASSERT_TRUE(keys.ok());
+  Result<Tree> repaired = RepairToSatisfy(*t, *keys);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired->size(), t->size());
+}
+
+class RepairProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RepairProperty, RandomTreesRepairToSatisfyPaperKeys) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 6151 + 3);
+  std::vector<XmlKey> sigma = PaperKeys();
+  RandomTreeSpec spec;
+  Result<Tree> tree = RandomSatisfyingTree(spec, sigma, &rng);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_TRUE(SatisfiesAll(*tree, sigma));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace xmlprop

@@ -1,0 +1,220 @@
+// End-to-end property tests: the headline soundness invariants of the
+// paper, checked against randomly generated documents and workloads.
+//
+//  1. Propagation soundness: if Algorithm propagation says an FD is
+//     propagated from Σ, the FD holds (null-aware semantics, Section 3)
+//     on σ(T) for every generated tree T ⊨ Σ.
+//  2. Cover soundness: every FD in Algorithm minimumCover's output holds
+//     on the null-free restriction of σ(T) (value semantics).
+//  3. naive ≡ minimumCover: the exponential and polynomial covers are
+//     Armstrong-equivalent on random workloads.
+//  4. propagation ≡ GminimumCover: the two checking algorithms agree on
+//     every candidate FD of random workloads.
+
+#include <gtest/gtest.h>
+
+#include "core/gminimum_cover.h"
+#include "core/minimum_cover.h"
+#include "core/naive_cover.h"
+#include "core/propagation.h"
+#include "keys/satisfaction.h"
+#include "paper_fixtures.h"
+#include "relational/fd_check.h"
+#include "synth/doc_generator.h"
+#include "synth/workload.h"
+#include "transform/eval.h"
+
+namespace xmlprop {
+namespace {
+
+using testing_fixtures::PaperKeys;
+using testing_fixtures::UniversalTable;
+
+// All single-RHS FDs over `arity` fields with |LHS| <= 2.
+std::vector<Fd> SmallFdCandidates(size_t arity) {
+  std::vector<Fd> out;
+  for (size_t a = 0; a < arity; ++a) {
+    out.push_back(Fd::SingleRhs(AttrSet(arity), a));
+    for (size_t i = 0; i < arity; ++i) {
+      if (i == a) continue;
+      out.push_back(Fd::SingleRhs(AttrSet(arity, {i}), a));
+      for (size_t j = i + 1; j < arity; ++j) {
+        if (j == a) continue;
+        out.push_back(Fd::SingleRhs(AttrSet(arity, {i, j}), a));
+      }
+    }
+  }
+  return out;
+}
+
+Instance NullFreeRestriction(const Instance& in) {
+  Instance out(in.schema());
+  for (const Tuple& t : in.tuples()) {
+    if (!Instance::HasNull(t)) out.Add(t).ok();
+  }
+  return out;
+}
+
+class PropagationSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(PropagationSoundness, PropagatedFdsHoldOnGeneratedInstances) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31337 + 11);
+  std::vector<XmlKey> sigma = PaperKeys();
+  TableTree u = UniversalTable();
+  std::vector<Fd> candidates = SmallFdCandidates(u.schema().arity());
+  // Add the paper's wider FDs.
+  for (const char* text :
+       {"bookIsbn, chapNum, secNum -> secName",
+        "bookIsbn, chapNum, secNum -> chapName",
+        "bookIsbn, chapNum, secNum, secName -> chapName"}) {
+    Result<Fd> fd = ParseFd(u.schema(), text);
+    ASSERT_TRUE(fd.ok());
+    candidates.push_back(*fd);
+  }
+
+  // Precompute verdicts once.
+  std::vector<std::pair<Fd, bool>> verdicts;
+  for (const Fd& fd : candidates) {
+    Result<bool> p = CheckPropagation(sigma, u, fd);
+    ASSERT_TRUE(p.ok());
+    verdicts.emplace_back(fd, *p);
+  }
+
+  RandomTreeSpec spec;
+  spec.max_depth = 5;
+  spec.max_children = 3;
+  for (int doc = 0; doc < 3; ++doc) {
+    Result<Tree> tree = RandomSatisfyingTree(spec, sigma, &rng);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    Instance instance = EvalTableTree(*tree, u);
+    for (const auto& [fd, propagated] : verdicts) {
+      if (!propagated) continue;
+      std::optional<FdViolation> v = CheckFd(instance, fd);
+      EXPECT_FALSE(v.has_value())
+          << fd.ToString(u.schema()) << " violated: "
+          << (v ? v->Describe(instance, fd) : "") << "\n"
+          << instance.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropagationSoundness, ::testing::Range(0, 6));
+
+class CoverSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoverSoundness, CoverFdsHoldOnNullFreeInstances) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7907 + 5);
+  std::vector<XmlKey> sigma = PaperKeys();
+  TableTree u = UniversalTable();
+  Result<FdSet> cover = MinimumCover(sigma, u);
+  ASSERT_TRUE(cover.ok());
+
+  RandomTreeSpec spec;
+  for (int doc = 0; doc < 3; ++doc) {
+    Result<Tree> tree = RandomSatisfyingTree(spec, sigma, &rng);
+    ASSERT_TRUE(tree.ok());
+    Instance instance = NullFreeRestriction(EvalTableTree(*tree, u));
+    for (const Fd& fd : cover->fds()) {
+      EXPECT_TRUE(SatisfiesFd(instance, fd))
+          << fd.ToString(u.schema()) << "\n" << instance.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverSoundness, ::testing::Range(0, 6));
+
+struct WorkloadCase {
+  size_t fields;
+  size_t depth;
+  size_t keys;
+};
+
+class NaiveEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(NaiveEquivalence, PolynomialCoverEquivalentToNaive) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  const WorkloadCase cases[] = {
+      {4, 2, 3}, {6, 3, 5}, {8, 4, 6}, {7, 2, 10}, {5, 5, 5}, {8, 3, 12},
+  };
+  for (const WorkloadCase& c : cases) {
+    WorkloadSpec spec;
+    spec.fields = c.fields;
+    spec.depth = c.depth;
+    spec.keys = c.keys;
+    spec.seed = seed * 97 + 17;
+    Result<SyntheticWorkload> w = MakeWorkload(spec);
+    ASSERT_TRUE(w.ok());
+    Result<FdSet> poly = MinimumCover(w->keys, w->table);
+    Result<FdSet> naive = NaiveMinimumCover(w->keys, w->table);
+    ASSERT_TRUE(poly.ok());
+    ASSERT_TRUE(naive.ok());
+    EXPECT_TRUE(poly->EquivalentTo(*naive))
+        << "fields=" << c.fields << " depth=" << c.depth
+        << " keys=" << c.keys << "\npoly:\n" << poly->ToString()
+        << "naive:\n" << naive->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NaiveEquivalence, ::testing::Range(0, 5));
+
+class CheckerAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckerAgreement, PropagationAgreesWithGminimumCover) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  const WorkloadCase cases[] = {{6, 3, 5}, {8, 4, 8}, {5, 2, 6}};
+  for (const WorkloadCase& c : cases) {
+    WorkloadSpec spec;
+    spec.fields = c.fields;
+    spec.depth = c.depth;
+    spec.keys = c.keys;
+    spec.seed = seed * 131 + 29;
+    Result<SyntheticWorkload> w = MakeWorkload(spec);
+    ASSERT_TRUE(w.ok());
+    Result<GMinimumCover> checker = GMinimumCover::Build(w->keys, w->table);
+    ASSERT_TRUE(checker.ok());
+    for (const Fd& fd : SmallFdCandidates(c.fields)) {
+      Result<bool> direct = CheckPropagation(w->keys, w->table, fd);
+      Result<bool> via = checker->Check(fd);
+      ASSERT_TRUE(direct.ok());
+      ASSERT_TRUE(via.ok());
+      EXPECT_EQ(*direct, *via)
+          << fd.ToString(w->table.schema()) << " fields=" << c.fields
+          << " depth=" << c.depth << " keys=" << c.keys;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckerAgreement, ::testing::Range(0, 5));
+
+class WorkloadInstanceSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadInstanceSoundness, TrueFdHoldsOnGeneratedWorkloadDocs) {
+  // Generate documents for a synthetic workload's alphabet and verify
+  // the workload's true_fd on the mapped instance.
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  WorkloadSpec spec;
+  spec.fields = 8;
+  spec.depth = 3;
+  spec.keys = 6;
+  spec.seed = seed + 1;
+  Result<SyntheticWorkload> w = MakeWorkload(spec);
+  ASSERT_TRUE(w.ok());
+
+  Rng rng(seed * 47 + 3);
+  RandomTreeSpec tree_spec;
+  tree_spec.labels = {"n1", "n2", "n3", "e1", "e3", "e5"};
+  tree_spec.attributes = {"k1", "k2", "k3", "a0", "a2", "a4"};
+  tree_spec.max_depth = 4;
+  Result<Tree> tree = RandomSatisfyingTree(tree_spec, w->keys, &rng);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  Instance instance = EvalTableTree(*tree, w->table);
+  EXPECT_TRUE(SatisfiesFd(instance, w->true_fd))
+      << w->true_fd.ToString(w->table.schema()) << "\n"
+      << instance.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadInstanceSoundness,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace xmlprop

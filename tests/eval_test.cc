@@ -1,0 +1,214 @@
+#include "transform/eval.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "paper_fixtures.h"
+#include "xml/parser.h"
+
+namespace xmlprop {
+namespace {
+
+using testing_fixtures::Fig1Tree;
+using testing_fixtures::PaperTransformation;
+
+Tree T(std::string_view xml) {
+  Result<Tree> t = ParseXml(xml);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return std::move(t).value();
+}
+
+bool HasTuple(const Instance& i, const std::vector<Field>& t) {
+  return std::find(i.tuples().begin(), i.tuples().end(), t) !=
+         i.tuples().end();
+}
+
+TEST(EvalTest, PaperExample25SectionInstance) {
+  // Example 2.5: evaluating Rule(section) over Fig. 1 yields
+  //   (1, 1, Fundamentals) and (1, 2, Attributes)
+  // for the one chapter that has sections; the section-less chapters
+  // contribute "incomplete" rows with nulls (the Section 3 subtlety).
+  Tree tree = Fig1Tree();
+  Transformation t = PaperTransformation();
+  Result<const TableRule*> rule = t.FindRule("section");
+  ASSERT_TRUE(rule.ok());
+  Result<Instance> instance = EvalRule(tree, **rule);
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+  EXPECT_TRUE(HasTuple(*instance, {"1", "1", "Fundamentals"}));
+  EXPECT_TRUE(HasTuple(*instance, {"1", "2", "Attributes"}));
+  // Chapters 1 and 10 of book 123 have no sections.
+  EXPECT_TRUE(HasTuple(*instance, {"1", std::nullopt, std::nullopt}));
+  EXPECT_TRUE(HasTuple(*instance, {"10", std::nullopt, std::nullopt}));
+  EXPECT_EQ(instance->size(), 4u);
+}
+
+TEST(EvalTest, ChapterInstanceMatchesFig2b) {
+  // Fig. 2(b): (123,1,Introduction), (123,10,Conclusion),
+  //            (234,1,Getting Acquainted) — keyed by isbn.
+  Tree tree = Fig1Tree();
+  Transformation t = PaperTransformation();
+  Result<const TableRule*> rule = t.FindRule("chapter");
+  ASSERT_TRUE(rule.ok());
+  Result<Instance> instance = EvalRule(tree, **rule);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->size(), 3u);
+  EXPECT_TRUE(HasTuple(*instance, {"123", "1", "Introduction"}));
+  EXPECT_TRUE(HasTuple(*instance, {"123", "10", "Conclusion"}));
+  EXPECT_TRUE(HasTuple(*instance, {"234", "1", "Getting Acquainted"}));
+}
+
+TEST(EvalTest, BookInstanceWithNulls) {
+  // Book 234 has no author: author and contact become NULL.
+  Tree tree = Fig1Tree();
+  Transformation t = PaperTransformation();
+  Result<const TableRule*> rule = t.FindRule("book");
+  ASSERT_TRUE(rule.ok());
+  Result<Instance> instance = EvalRule(tree, **rule);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->size(), 2u);
+  EXPECT_TRUE(HasTuple(
+      *instance, {"123", "XML", "Tim Bray", "tbray@example.org"}));
+  EXPECT_TRUE(HasTuple(*instance, {"234", "XML", std::nullopt, std::nullopt}));
+}
+
+TEST(EvalTest, CartesianProductAcrossSiblings) {
+  // Two chapters × two authors = 4 tuples in a joint rule.
+  Tree tree = T(R"(<r><book isbn="1">
+      <author>A</author><author>B</author>
+      <chapter number="1"/><chapter number="2"/></book></r>)");
+  Result<Transformation> t = ParseTransformation(R"(
+    rule U {
+      isbn: value(I)
+      auth: value(A)
+      chap: value(C)
+      Xb := Xr//book
+      I := Xb/@isbn
+      A := Xb/author
+      C := Xb/chapter
+    })");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  Result<Instance> instance = EvalRule(tree, t->rules()[0]);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->size(), 4u);
+}
+
+TEST(EvalTest, MissingSubtreeYieldsNullDescendants) {
+  // A book without an author: fields below the author variable are null.
+  Tree tree = T(R"(<r><book isbn="1"/></r>)");
+  Result<Transformation> t = ParseTransformation(R"(
+    rule book {
+      isbn: value(X1)
+      name: value(X4)
+      Xa := Xr//book
+      X1 := Xa/@isbn
+      Xb := Xa/author
+      X4 := Xb/name
+    })");
+  ASSERT_TRUE(t.ok());
+  Result<Instance> instance = EvalRule(tree, t->rules()[0]);
+  ASSERT_TRUE(instance.ok());
+  ASSERT_EQ(instance->size(), 1u);
+  EXPECT_EQ(instance->tuples()[0][0], Field("1"));
+  EXPECT_EQ(instance->tuples()[0][1], std::nullopt);
+}
+
+TEST(EvalTest, NoMatchesStillEmitsAllNullTuple) {
+  // A rule over a document with no books: one tuple, all fields null —
+  // the "incomplete tuples" the paper's Section 3 semantics discusses.
+  Tree tree = T("<r><other/></r>");
+  Transformation t = PaperTransformation();
+  Result<const TableRule*> rule = t.FindRule("book");
+  ASSERT_TRUE(rule.ok());
+  Result<Instance> instance = EvalRule(tree, **rule);
+  ASSERT_TRUE(instance.ok());
+  ASSERT_EQ(instance->size(), 1u);
+  EXPECT_TRUE(Instance::HasNull(instance->tuples()[0]));
+  for (const Field& f : instance->tuples()[0]) EXPECT_EQ(f, std::nullopt);
+}
+
+TEST(EvalTest, DuplicateTuplesCollapse) {
+  // Two chapters with identical contents produce one tuple (set
+  // semantics) when the key attribute is not part of the rule.
+  Tree tree = T(R"(<r><book isbn="1">
+      <chapter number="1"><name>Intro</name></chapter>
+      <chapter number="2"><name>Intro</name></chapter></book></r>)");
+  Result<Transformation> t = ParseTransformation(R"(
+    rule names {
+      isbn: value(I)
+      name: value(N)
+      Xb := Xr//book
+      I := Xb/@isbn
+      Xc := Xb/chapter
+      N := Xc/name
+    })");
+  ASSERT_TRUE(t.ok());
+  Result<Instance> instance = EvalRule(tree, t->rules()[0]);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->size(), 1u);
+}
+
+TEST(EvalTest, DescendantMappingCollectsAllMatches) {
+  Tree tree = T(R"(<r><a><book isbn="1"/></a><book isbn="2"/></r>)");
+  Result<Transformation> t = ParseTransformation(R"(
+    rule books {
+      isbn: value(I)
+      Xb := Xr//book
+      I := Xb/@isbn
+    })");
+  ASSERT_TRUE(t.ok());
+  Result<Instance> instance = EvalRule(tree, t->rules()[0]);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->size(), 2u);
+}
+
+TEST(EvalTest, EvalTransformationAllRules) {
+  Tree tree = Fig1Tree();
+  Result<std::vector<Instance>> all =
+      EvalTransformation(tree, PaperTransformation());
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 3u);
+  EXPECT_EQ((*all)[0].schema().name(), "book");
+  EXPECT_EQ((*all)[1].size(), 3u);  // chapter
+  EXPECT_EQ((*all)[2].size(), 4u);  // section (incl. null rows)
+}
+
+TEST(EvalTest, MultiStepAttributeMapping) {
+  // A mapping may reach an attribute through intermediate labels:
+  // N := Xb/chapter/@number ranges over all chapter numbers of the book.
+  Tree tree = T(R"(<r><book isbn="1">
+      <chapter number="1"/><chapter number="2"/></book></r>)");
+  Result<Transformation> t = ParseTransformation(R"(
+    rule nums {
+      isbn: value(I)
+      num:  value(N)
+      Xb := Xr//book
+      I := Xb/@isbn
+      N := Xb/chapter/@number
+    })");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  Result<Instance> instance = EvalRule(tree, t->rules()[0]);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->size(), 2u);
+  EXPECT_TRUE(HasTuple(*instance, {"1", "1"}));
+  EXPECT_TRUE(HasTuple(*instance, {"1", "2"}));
+}
+
+TEST(EvalTest, ValueOfElementFieldUsesSubtreeSerialization) {
+  // A field variable bound to a structured element serializes pre-order.
+  Tree tree = T(R"(<r><book isbn="1"><author><name>X</name></author></book></r>)");
+  Result<Transformation> t = ParseTransformation(R"(
+    rule b {
+      a: value(A)
+      Xb := Xr//book
+      A := Xb/author
+    })");
+  ASSERT_TRUE(t.ok());
+  Result<Instance> instance = EvalRule(tree, t->rules()[0]);
+  ASSERT_TRUE(instance.ok());
+  ASSERT_EQ(instance->size(), 1u);
+  EXPECT_EQ(instance->tuples()[0][0], Field("(name: X)"));
+}
+
+}  // namespace
+}  // namespace xmlprop

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/propagation.h"
+#include "paper_fixtures.h"
+
+namespace xmlprop {
+namespace {
+
+using testing_fixtures::PaperKeys;
+using testing_fixtures::PaperTransformation;
+using testing_fixtures::RuleTable;
+using testing_fixtures::UniversalTable;
+
+TEST(ExplainTest, PositiveCaseShowsDerivation) {
+  // Example 4.2 positive: isbn -> contact on Rule(book).
+  TableTree book = RuleTable(PaperTransformation(), "book");
+  Result<Fd> fd = ParseFd(book.schema(), "isbn -> contact");
+  ASSERT_TRUE(fd.ok());
+  Result<PropagationTrace> trace =
+      ExplainPropagation(PaperKeys(), book, *fd);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_TRUE(trace->propagated);
+  ASSERT_EQ(trace->rhs.size(), 1u);
+  const auto& per = trace->rhs[0];
+  EXPECT_TRUE(per.key_found);
+  EXPECT_TRUE(per.non_null_ok);
+  // The walk visits Xr then Xa; Xa is keyed by @isbn and the contact
+  // variable is unique below it (K7).
+  ASSERT_GE(per.steps.size(), 2u);
+  EXPECT_EQ(per.steps[0].var, "Xr");
+  EXPECT_EQ(per.steps[1].var, "Xa");
+  EXPECT_TRUE(per.steps[1].keyed);
+  EXPECT_TRUE(per.steps[1].unique);
+  std::string text = trace->ToString();
+  EXPECT_NE(text.find("PROPAGATED"), std::string::npos);
+  EXPECT_NE(text.find("//book"), std::string::npos);
+}
+
+TEST(ExplainTest, NegativeCaseShowsFailedChecks) {
+  // Example 4.2 negative: (inChapt, number) -> name on Rule(section).
+  TableTree section = RuleTable(PaperTransformation(), "section");
+  Result<Fd> fd = ParseFd(section.schema(), "inChapt, number -> name");
+  ASSERT_TRUE(fd.ok());
+  Result<PropagationTrace> trace =
+      ExplainPropagation(PaperKeys(), section, *fd);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_FALSE(trace->propagated);
+  const auto& per = trace->rhs[0];
+  EXPECT_FALSE(per.key_found);
+  // Both non-root targets fail the keyed check.
+  for (size_t i = 1; i < per.steps.size(); ++i) {
+    EXPECT_FALSE(per.steps[i].keyed) << per.steps[i].var;
+  }
+  EXPECT_NE(trace->ToString().find("NO keyed ancestor"), std::string::npos);
+}
+
+TEST(ExplainTest, NullRiskNamed) {
+  // isbn, title -> contact: title carries the null risk.
+  TableTree book = RuleTable(PaperTransformation(), "book");
+  Result<Fd> fd = ParseFd(book.schema(), "isbn, title -> contact");
+  ASSERT_TRUE(fd.ok());
+  Result<PropagationTrace> trace =
+      ExplainPropagation(PaperKeys(), book, *fd);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_FALSE(trace->propagated);
+  const auto& per = trace->rhs[0];
+  EXPECT_TRUE(per.key_found);  // value-wise it would propagate
+  EXPECT_FALSE(per.non_null_ok);
+  ASSERT_EQ(per.null_risk_fields, std::vector<std::string>{"title"});
+  EXPECT_EQ(per.non_null_fields, std::vector<std::string>{"isbn"});
+  EXPECT_NE(trace->ToString().find("NULL RISK"), std::string::npos);
+}
+
+TEST(ExplainTest, VerdictAlwaysMatchesCheckPropagation) {
+  TableTree u = UniversalTable();
+  std::vector<XmlKey> sigma = PaperKeys();
+  const char* fds[] = {
+      "bookIsbn -> bookTitle",
+      "bookIsbn -> bookAuthor",
+      "bookIsbn, chapNum -> chapName",
+      "chapNum -> chapName",
+      "bookIsbn, chapNum, secNum -> secName",
+      "bookIsbn, bookTitle -> authContact",
+      "secName -> secNum",
+      "bookIsbn -> bookIsbn",
+      "bookIsbn, chapNum -> bookTitle, chapName",
+  };
+  for (const char* text : fds) {
+    Result<Fd> fd = ParseFd(u.schema(), text);
+    ASSERT_TRUE(fd.ok());
+    Result<bool> direct = CheckPropagation(sigma, u, *fd);
+    Result<PropagationTrace> trace = ExplainPropagation(sigma, u, *fd);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(trace.ok());
+    EXPECT_EQ(*direct, trace->propagated) << text;
+  }
+}
+
+TEST(ExplainTest, TrivialFdMarked) {
+  TableTree book = RuleTable(PaperTransformation(), "book");
+  Result<Fd> fd = ParseFd(book.schema(), "isbn -> isbn");
+  ASSERT_TRUE(fd.ok());
+  Result<PropagationTrace> trace =
+      ExplainPropagation(PaperKeys(), book, *fd);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_TRUE(trace->propagated);
+  EXPECT_TRUE(trace->rhs[0].trivial);
+  EXPECT_NE(trace->ToString().find("trivial"), std::string::npos);
+}
+
+TEST(ExplainTest, RejectsMalformedFd) {
+  TableTree book = RuleTable(PaperTransformation(), "book");
+  EXPECT_FALSE(
+      ExplainPropagation(PaperKeys(), book, Fd(AttrSet(2), AttrSet(2)))
+          .ok());
+}
+
+}  // namespace
+}  // namespace xmlprop

@@ -1,0 +1,210 @@
+#include "relational/fd.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/cover.h"
+#include "relational/fd_set.h"
+
+namespace xmlprop {
+namespace {
+
+RelationSchema S() {
+  Result<RelationSchema> s = RelationSchema::Parse("R(a, b, c, d, e)");
+  EXPECT_TRUE(s.ok());
+  return std::move(s).value();
+}
+
+Fd F(const RelationSchema& schema, std::string_view text) {
+  Result<Fd> fd = ParseFd(schema, text);
+  EXPECT_TRUE(fd.ok()) << text << ": " << fd.status().ToString();
+  return std::move(fd).value();
+}
+
+TEST(SchemaTest, ParseAndLookup) {
+  RelationSchema s = S();
+  EXPECT_EQ(s.name(), "R");
+  EXPECT_EQ(s.arity(), 5u);
+  EXPECT_EQ(s.IndexOf("c"), 2u);
+  EXPECT_FALSE(s.IndexOf("zzz").has_value());
+  EXPECT_EQ(s.ToString(), "R(a, b, c, d, e)");
+}
+
+TEST(SchemaTest, ParseErrors) {
+  EXPECT_FALSE(RelationSchema::Parse("R").ok());
+  EXPECT_FALSE(RelationSchema::Parse("R(a, a)").ok());
+  EXPECT_FALSE(RelationSchema::Parse("1R(a)").ok());
+  EXPECT_FALSE(RelationSchema::Parse("R(a, 1b)").ok());
+}
+
+TEST(SchemaTest, MakeAndFormatSet) {
+  RelationSchema s = S();
+  Result<AttrSet> set = s.MakeSet({"b", "d"});
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(s.FormatSet(*set), "b, d");
+  EXPECT_FALSE(s.MakeSet({"nope"}).ok());
+  EXPECT_EQ(s.FullSet().Count(), 5u);
+}
+
+TEST(FdParseTest, BasicAndUnicodeArrow) {
+  RelationSchema s = S();
+  Fd fd = F(s, "a, b -> c");
+  EXPECT_EQ(fd.ToString(s), "a, b -> c");
+  Fd fd2 = F(s, "a → c, d");
+  EXPECT_EQ(fd2.ToString(s), "a -> c, d");
+}
+
+TEST(FdParseTest, EmptyLhsConstantFd) {
+  RelationSchema s = S();
+  Fd fd = F(s, "-> c");
+  EXPECT_TRUE(fd.lhs.Empty());
+  EXPECT_EQ(fd.rhs.ToVector(), (std::vector<size_t>{2}));
+}
+
+TEST(FdParseTest, Errors) {
+  RelationSchema s = S();
+  EXPECT_FALSE(ParseFd(s, "a, b").ok());
+  EXPECT_FALSE(ParseFd(s, "a ->").ok());
+  EXPECT_FALSE(ParseFd(s, "a -> zz").ok());
+}
+
+TEST(FdTest, TrivialityAndSplit) {
+  RelationSchema s = S();
+  EXPECT_TRUE(F(s, "a, b -> a").IsTrivial());
+  EXPECT_FALSE(F(s, "a -> b").IsTrivial());
+  std::vector<Fd> parts = SplitRhs(F(s, "a -> a, b, c"));
+  ASSERT_EQ(parts.size(), 2u);  // a -> a dropped as trivial
+}
+
+TEST(FdSetTest, ClosureTextbook) {
+  // Classic example: F = {a->b, b->c, cd->e}.
+  FdSet f(S());
+  ASSERT_TRUE(f.AddParsed("a -> b").ok());
+  ASSERT_TRUE(f.AddParsed("b -> c").ok());
+  ASSERT_TRUE(f.AddParsed("c, d -> e").ok());
+  AttrSet a(5, {0});
+  EXPECT_EQ(f.Closure(a).ToVector(), (std::vector<size_t>{0, 1, 2}));
+  AttrSet ad(5, {0, 3});
+  EXPECT_EQ(f.Closure(ad).Count(), 5u);
+}
+
+TEST(FdSetTest, ConstantFdsFireImmediately) {
+  FdSet f(S());
+  ASSERT_TRUE(f.AddParsed("-> a").ok());
+  ASSERT_TRUE(f.AddParsed("a -> b").ok());
+  EXPECT_TRUE(f.Closure(AttrSet(5)).Test(1));
+}
+
+TEST(FdSetTest, ImpliesAndEquivalence) {
+  FdSet f(S()), g(S());
+  ASSERT_TRUE(f.AddParsed("a -> b").ok());
+  ASSERT_TRUE(f.AddParsed("b -> c").ok());
+  ASSERT_TRUE(g.AddParsed("a -> b, c").ok());
+  ASSERT_TRUE(g.AddParsed("b -> c").ok());
+  EXPECT_TRUE(f.Implies(F(S(), "a -> c")));
+  EXPECT_FALSE(f.Implies(F(S(), "b -> a")));
+  EXPECT_TRUE(f.EquivalentTo(g));
+}
+
+TEST(FdSetTest, AddIfNewSkipsImplied) {
+  FdSet f(S());
+  ASSERT_TRUE(f.AddParsed("a -> b").ok());
+  EXPECT_FALSE(f.AddIfNew(F(S(), "a -> b")));
+  EXPECT_FALSE(f.AddIfNew(F(S(), "a, c -> b")));  // implied by augmentation
+  EXPECT_TRUE(f.AddIfNew(F(S(), "b -> c")));
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(FdSetTest, IsSuperkey) {
+  FdSet f(S());
+  ASSERT_TRUE(f.AddParsed("a -> b, c").ok());
+  ASSERT_TRUE(f.AddParsed("a -> d, e").ok());
+  EXPECT_TRUE(f.IsSuperkey(AttrSet(5, {0})));
+  EXPECT_FALSE(f.IsSuperkey(AttrSet(5, {1})));
+}
+
+TEST(FdSetTest, NormalizedSplitsAndDedupes) {
+  FdSet f(S());
+  ASSERT_TRUE(f.AddParsed("a -> b, c").ok());
+  ASSERT_TRUE(f.AddParsed("a -> b").ok());
+  ASSERT_TRUE(f.AddParsed("a -> a, b").ok());  // trivial piece dropped
+  FdSet n = f.Normalized();
+  EXPECT_EQ(n.size(), 2u);  // a->b, a->c
+  EXPECT_TRUE(n.EquivalentTo(f));
+}
+
+TEST(MinimizeTest, RemovesExtraneousAttributes) {
+  // ab->c with a->b: b is extraneous.
+  FdSet f(S());
+  ASSERT_TRUE(f.AddParsed("a, b -> c").ok());
+  ASSERT_TRUE(f.AddParsed("a -> b").ok());
+  FdSet m = Minimize(f);
+  EXPECT_TRUE(m.EquivalentTo(f));
+  EXPECT_TRUE(IsMinimal(m));
+  for (const Fd& fd : m.fds()) {
+    EXPECT_LE(fd.lhs.Count(), 1u);
+  }
+}
+
+TEST(MinimizeTest, RemovesRedundantFds) {
+  // a->b, b->c, a->c: the last is redundant.
+  FdSet f(S());
+  ASSERT_TRUE(f.AddParsed("a -> b").ok());
+  ASSERT_TRUE(f.AddParsed("b -> c").ok());
+  ASSERT_TRUE(f.AddParsed("a -> c").ok());
+  FdSet m = Minimize(f);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.EquivalentTo(f));
+  EXPECT_TRUE(IsMinimal(m));
+}
+
+TEST(MinimizeTest, KeepsEquivalenceCycles) {
+  // a->b, b->a: both needed.
+  FdSet f(S());
+  ASSERT_TRUE(f.AddParsed("a -> b").ok());
+  ASSERT_TRUE(f.AddParsed("b -> a").ok());
+  FdSet m = Minimize(f);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(IsMinimal(m));
+}
+
+TEST(MinimizeTest, DropsTrivialInput) {
+  FdSet f(S());
+  ASSERT_TRUE(f.AddParsed("a -> a").ok());
+  ASSERT_TRUE(f.AddParsed("a, b -> b").ok());
+  FdSet m = Minimize(f);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MinimizeTest, BeeriBernsteinExample) {
+  // F = {a->bc, b->c, a->b, ab->c}: minimum cover is {a->b, b->c}.
+  FdSet f(S());
+  ASSERT_TRUE(f.AddParsed("a -> b, c").ok());
+  ASSERT_TRUE(f.AddParsed("b -> c").ok());
+  ASSERT_TRUE(f.AddParsed("a -> b").ok());
+  ASSERT_TRUE(f.AddParsed("a, b -> c").ok());
+  FdSet m = Minimize(f);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.EquivalentTo(f));
+  EXPECT_TRUE(IsMinimal(m));
+}
+
+TEST(IsMinimalTest, DetectsRedundancyAndExtraneous) {
+  FdSet redundant(S());
+  ASSERT_TRUE(redundant.AddParsed("a -> b").ok());
+  ASSERT_TRUE(redundant.AddParsed("b -> c").ok());
+  ASSERT_TRUE(redundant.AddParsed("a -> c").ok());
+  EXPECT_FALSE(IsMinimal(redundant));
+
+  FdSet extraneous(S());
+  ASSERT_TRUE(extraneous.AddParsed("a -> b").ok());
+  ASSERT_TRUE(extraneous.AddParsed("a, b -> c").ok());
+  EXPECT_FALSE(IsMinimal(extraneous));
+
+  FdSet minimal(S());
+  ASSERT_TRUE(minimal.AddParsed("a -> b").ok());
+  ASSERT_TRUE(minimal.AddParsed("b -> c").ok());
+  EXPECT_TRUE(IsMinimal(minimal));
+}
+
+}  // namespace
+}  // namespace xmlprop

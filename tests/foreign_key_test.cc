@@ -1,0 +1,148 @@
+#include "keys/foreign_key.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace xmlprop {
+namespace {
+
+Tree T(std::string_view xml) {
+  Result<Tree> t = ParseXml(xml);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return std::move(t).value();
+}
+
+XmlForeignKey FK(std::string_view text) {
+  Result<XmlForeignKey> fk = XmlForeignKey::Parse(text);
+  EXPECT_TRUE(fk.ok()) << text << ": " << fk.status().ToString();
+  return std::move(fk).value();
+}
+
+TEST(ForeignKeyParseTest, FullForm) {
+  XmlForeignKey fk = FK(
+      "FK1: (ε, (//cite, {@ref}) => (//book, {@isbn}))");
+  EXPECT_EQ(fk.name(), "FK1");
+  EXPECT_EQ(fk.context().ToString(), "ε");
+  EXPECT_EQ(fk.source_target().ToString(), "//cite");
+  EXPECT_EQ(fk.source_attrs(), std::vector<std::string>{"ref"});
+  EXPECT_EQ(fk.ref_target().ToString(), "//book");
+  EXPECT_EQ(fk.ref_attrs(), std::vector<std::string>{"isbn"});
+}
+
+TEST(ForeignKeyParseTest, MultiAttributeOrderPreserved) {
+  XmlForeignKey fk =
+      FK("(//db, (ref, {@x, @y}) => (item, {@a, @b}))");
+  EXPECT_EQ(fk.source_attrs(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(fk.ref_attrs(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ForeignKeyParseTest, Errors) {
+  EXPECT_FALSE(XmlForeignKey::Parse("").ok());
+  EXPECT_FALSE(
+      XmlForeignKey::Parse("(ε, (//a, {@x}) (//b, {@y}))").ok());  // no =>
+  EXPECT_FALSE(
+      XmlForeignKey::Parse("(ε, (//a, {}) => (//b, {}))").ok());  // empty
+  EXPECT_FALSE(XmlForeignKey::Parse(
+                   "(ε, (//a, {@x, @z}) => (//b, {@y}))")
+                   .ok());  // arity mismatch
+  EXPECT_FALSE(XmlForeignKey::Parse(
+                   "(ε, (//a/@x, {@x}) => (//b, {@y}))")
+                   .ok());  // attr path
+}
+
+TEST(ForeignKeyParseTest, ToStringRoundTrip) {
+  const char* text = "FK: (//db, (cite, {@ref}) => (//book, {@isbn}))";
+  XmlForeignKey fk = FK(text);
+  XmlForeignKey again = FK(fk.ToString());
+  EXPECT_EQ(again.name(), "FK");
+  EXPECT_EQ(again.source_attrs(), fk.source_attrs());
+  EXPECT_EQ(again.ref_target().ToString(), fk.ref_target().ToString());
+}
+
+TEST(ForeignKeyParseTest, SetParserWithComments) {
+  Result<std::vector<XmlForeignKey>> fks = ParseForeignKeySet(R"(
+    # bibliography references
+    FK1: (ε, (//cite, {@ref}) => (//book, {@isbn}))
+    FK2: (//db, (use, {@of}) => (item, {@id}))   # scoped
+  )");
+  ASSERT_TRUE(fks.ok()) << fks.status().ToString();
+  ASSERT_EQ(fks->size(), 2u);
+  EXPECT_EQ((*fks)[0].name(), "FK1");
+  EXPECT_EQ((*fks)[1].context().ToString(), "//db");
+}
+
+TEST(ForeignKeyParseTest, SetParserPropagatesErrors) {
+  EXPECT_FALSE(ParseForeignKeySet("FK1: garbage\n").ok());
+}
+
+TEST(ForeignKeyCheckTest, SatisfiedReference) {
+  Tree tree = T(R"(<r>
+      <book isbn="1"/><book isbn="2"/>
+      <cite ref="1"/><cite ref="2"/><cite ref="1"/></r>)");
+  XmlForeignKey fk = FK("(ε, (//cite, {@ref}) => (//book, {@isbn}))");
+  EXPECT_TRUE(Satisfies(tree, fk));
+}
+
+TEST(ForeignKeyCheckTest, DanglingReferenceDetected) {
+  Tree tree = T(R"(<r><book isbn="1"/><cite ref="9"/></r>)");
+  XmlForeignKey fk = FK("(ε, (//cite, {@ref}) => (//book, {@isbn}))");
+  std::vector<ForeignKeyViolation> v = CheckForeignKey(tree, fk);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, ForeignKeyViolation::Kind::kDanglingReference);
+  EXPECT_NE(v[0].Describe(tree, fk).find("9"), std::string::npos);
+}
+
+TEST(ForeignKeyCheckTest, ReferencedSideMustBeKey) {
+  // Two books share @isbn: the referenced side fails to be a key even
+  // though the inclusion holds.
+  Tree tree = T(R"(<r><book isbn="1"/><book isbn="1"/><cite ref="1"/></r>)");
+  XmlForeignKey fk = FK("(ε, (//cite, {@ref}) => (//book, {@isbn}))");
+  std::vector<ForeignKeyViolation> v = CheckForeignKey(tree, fk);
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].kind, ForeignKeyViolation::Kind::kReferencedNotKey);
+}
+
+TEST(ForeignKeyCheckTest, MissingSourceAttribute) {
+  Tree tree = T(R"(<r><book isbn="1"/><cite/></r>)");
+  XmlForeignKey fk = FK("(ε, (//cite, {@ref}) => (//book, {@isbn}))");
+  std::vector<ForeignKeyViolation> v = CheckForeignKey(tree, fk);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind,
+            ForeignKeyViolation::Kind::kMissingSourceAttribute);
+}
+
+TEST(ForeignKeyCheckTest, RelativeScoping) {
+  // References resolve within each context node separately: a cite in
+  // one db cannot reference a book of another.
+  Tree tree = T(R"(<r>
+      <db><book isbn="1"/><cite ref="1"/></db>
+      <db><book isbn="2"/><cite ref="1"/></db></r>)");
+  XmlForeignKey fk = FK("(//db, (cite, {@ref}) => (book, {@isbn}))");
+  std::vector<ForeignKeyViolation> v = CheckForeignKey(tree, fk);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, ForeignKeyViolation::Kind::kDanglingReference);
+}
+
+TEST(ForeignKeyCheckTest, MultiAttributeTuples) {
+  Tree tree = T(R"(<r>
+      <item a="1" b="1"/><item a="1" b="2"/>
+      <ref x="1" y="2"/><ref x="2" y="1"/></r>)");
+  XmlForeignKey fk = FK("(ε, (//ref, {@x, @y}) => (//item, {@a, @b}))");
+  std::vector<ForeignKeyViolation> v = CheckForeignKey(tree, fk);
+  // (1,2) matches; (2,1) dangles.
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, ForeignKeyViolation::Kind::kDanglingReference);
+  EXPECT_NE(v[0].detail.find("2, 1"), std::string::npos);
+}
+
+TEST(ForeignKeyCheckTest, ReferencedKeyAccessor) {
+  XmlForeignKey fk = FK("FK: (ε, (//cite, {@ref}) => (//book, {@isbn}))");
+  XmlKey key = fk.ReferencedKey();
+  EXPECT_EQ(key.target().ToString(), "//book");
+  EXPECT_EQ(key.attributes(), std::vector<std::string>{"isbn"});
+  EXPECT_EQ(key.name(), "FK.key");
+}
+
+}  // namespace
+}  // namespace xmlprop

@@ -1,0 +1,81 @@
+#include "core/gminimum_cover.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_fixtures.h"
+
+namespace xmlprop {
+namespace {
+
+using testing_fixtures::PaperKeys;
+using testing_fixtures::UniversalTable;
+
+TEST(GMinimumCoverTest, AgreesWithPropagationOnPaperFds) {
+  // Section 6 treats GminimumCover as an alternative implementation of
+  // propagation checking: the two must agree.
+  TableTree u = UniversalTable();
+  std::vector<XmlKey> sigma = PaperKeys();
+  Result<GMinimumCover> checker = GMinimumCover::Build(sigma, u);
+  ASSERT_TRUE(checker.ok()) << checker.status().ToString();
+
+  const char* fds[] = {
+      "bookIsbn -> bookTitle",
+      "bookIsbn -> authContact",
+      "bookIsbn -> bookAuthor",
+      "bookIsbn, chapNum -> chapName",
+      "bookIsbn, chapNum, secNum -> secName",
+      "bookIsbn, secNum -> secName",
+      "chapNum -> chapName",
+      "bookTitle -> bookIsbn",
+      "bookIsbn, chapNum -> bookTitle",
+      "bookIsbn, bookTitle -> authContact",  // null condition differs? no:
+                                             // bookTitle not attr-backed
+      "bookIsbn, chapNum, secNum -> bookTitle",
+      "secNum -> secName",
+  };
+  for (const char* text : fds) {
+    Result<bool> direct = CheckPropagation(sigma, u, text);
+    Result<bool> via_cover = checker->Check(text);
+    ASSERT_TRUE(direct.ok()) << text;
+    ASSERT_TRUE(via_cover.ok()) << text;
+    EXPECT_EQ(*direct, *via_cover) << text;
+  }
+}
+
+TEST(GMinimumCoverTest, NullConditionEnforced) {
+  // bookIsbn, bookTitle -> authContact: implied by the cover under
+  // Armstrong (augmentation), but bookTitle may be null when authContact
+  // is present, so the full check must reject it.
+  TableTree u = UniversalTable();
+  Result<GMinimumCover> checker = GMinimumCover::Build(PaperKeys(), u);
+  ASSERT_TRUE(checker.ok());
+  Result<Fd> fd = ParseFd(u.schema(), "bookIsbn, bookTitle -> authContact");
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(checker->cover().Implies(*fd));  // Armstrong says yes
+  Result<bool> full = checker->Check(*fd);
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(*full);  // null condition says no
+  // Algorithm propagation agrees.
+  Result<bool> direct = CheckPropagation(PaperKeys(), u, *fd);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_FALSE(*direct);
+}
+
+TEST(GMinimumCoverTest, OneShotHelper) {
+  TableTree u = UniversalTable();
+  Result<Fd> fd = ParseFd(u.schema(), "bookIsbn -> bookTitle");
+  ASSERT_TRUE(fd.ok());
+  Result<bool> r = CheckPropagationViaCover(PaperKeys(), u, *fd);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST(GMinimumCoverTest, RejectsWrongUniverse) {
+  TableTree u = UniversalTable();
+  Result<GMinimumCover> checker = GMinimumCover::Build(PaperKeys(), u);
+  ASSERT_TRUE(checker.ok());
+  EXPECT_FALSE(checker->Check(Fd(AttrSet(2, {0}), AttrSet(2, {1}))).ok());
+}
+
+}  // namespace
+}  // namespace xmlprop

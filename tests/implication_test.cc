@@ -1,0 +1,245 @@
+#include "keys/implication.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "keys/satisfaction.h"
+#include "paper_fixtures.h"
+#include "synth/doc_generator.h"
+
+namespace xmlprop {
+namespace {
+
+using testing_fixtures::PaperKeys;
+
+XmlKey K(std::string_view text) {
+  Result<XmlKey> k = XmlKey::Parse(text);
+  EXPECT_TRUE(k.ok()) << k.status().ToString();
+  return std::move(k).value();
+}
+
+std::vector<XmlKey> Keys(std::initializer_list<const char*> texts) {
+  std::vector<XmlKey> out;
+  for (const char* t : texts) out.push_back(K(t));
+  return out;
+}
+
+TEST(ImplicationTest, EpsilonAxiom) {
+  // (P, (ε, {})) holds with no keys at all: any subtree has one root.
+  EXPECT_TRUE(Implies({}, K("(//anything, (ε, {}))")));
+  EXPECT_TRUE(Implies({}, K("(ε, (ε, {}))")));
+}
+
+TEST(ImplicationTest, EpsilonWithAttributesNeedsExistence) {
+  // (C, (ε, {@a})) additionally requires @a to exist on the C nodes
+  // (Definition 2.1 condition 1) — identification alone is trivial.
+  EXPECT_TRUE(ImpliesIdentification({}, K("(//book, (ε, {@isbn}))")));
+  EXPECT_FALSE(Implies({}, K("(//book, (ε, {@isbn}))")));
+  // With a key forcing @isbn on books, the full implication holds.
+  EXPECT_TRUE(Implies(Keys({"(ε, (//book, {@isbn}))"}),
+                      K("(//book, (ε, {@isbn}))")));
+}
+
+TEST(ImplicationTest, ReflexivityAndSuperkey) {
+  std::vector<XmlKey> sigma = Keys({"(ε, (//book, {@isbn}))"});
+  EXPECT_TRUE(ImpliesIdentification(sigma, K("(ε, (//book, {@isbn}))")));
+  // Superkey (identification only): more attributes still identify.
+  EXPECT_TRUE(
+      ImpliesIdentification(sigma, K("(ε, (//book, {@isbn, @extra}))")));
+  // But the full implication fails: @extra need not exist.
+  EXPECT_FALSE(Implies(sigma, K("(ε, (//book, {@isbn, @extra}))")));
+  // Fewer attributes do not identify.
+  EXPECT_FALSE(ImpliesIdentification(sigma, K("(ε, (//book, {}))")));
+}
+
+TEST(ImplicationTest, TargetToContext) {
+  // The paper's example rule: (ε, (//book, {@isbn})) gives
+  // (//, (book, {@isbn})) — identify books under any context node.
+  std::vector<XmlKey> sigma = Keys({"(ε, (//book, {@isbn}))"});
+  EXPECT_TRUE(ImpliesIdentification(sigma, K("(//, (book, {@isbn}))")));
+  EXPECT_TRUE(ImpliesIdentification(sigma, K("(//, (//book, {@isbn}))")));
+  EXPECT_TRUE(
+      ImpliesIdentification(sigma, K("(//shelf, (book, {@isbn}))")));
+}
+
+TEST(ImplicationTest, ContextContainment) {
+  // Key in a wide context applies in a narrower one.
+  std::vector<XmlKey> sigma = Keys({"(//book, (chapter, {@number}))"});
+  EXPECT_TRUE(ImpliesIdentification(
+      sigma, K("(//shelf/book, (chapter, {@number}))")));
+  // Wider-than-declared contexts are not implied.
+  EXPECT_FALSE(ImpliesIdentification(sigma, K("(//, (chapter, {@number}))")));
+}
+
+TEST(ImplicationTest, TargetContainment) {
+  std::vector<XmlKey> sigma = Keys({"(//book, (//name, {@id}))"});
+  EXPECT_TRUE(ImpliesIdentification(sigma, K("(//book, (name, {@id}))")));
+  EXPECT_TRUE(
+      ImpliesIdentification(sigma, K("(//book, (chapter/name, {@id}))")));
+}
+
+TEST(ImplicationTest, NegativeChapterNotGloballyKeyed) {
+  // Example 4.2's failing checks: chapters are keyed per book, not per
+  // document.
+  std::vector<XmlKey> sigma = PaperKeys();
+  EXPECT_FALSE(ImpliesIdentification(
+      sigma, K("(ε, (//book/chapter, {@number}))")));
+  EXPECT_FALSE(ImpliesIdentification(
+      sigma, K("(ε, (//book/chapter/section, {@number}))")));
+}
+
+TEST(ImplicationTest, PositivePaperChecks) {
+  // Example 4.2's succeeding checks.
+  std::vector<XmlKey> sigma = PaperKeys();
+  EXPECT_TRUE(ImpliesIdentification(sigma, K("(ε, (//book, {@isbn}))")));
+  EXPECT_TRUE(
+      ImpliesIdentification(sigma, K("(//book, (author/contact, {}))")));
+  EXPECT_TRUE(
+      ImpliesIdentification(sigma, K("(//book, (chapter, {@number}))")));
+  EXPECT_TRUE(
+      ImpliesIdentification(sigma, K("(//book/chapter, (name, {}))")));
+}
+
+TEST(ImplicationTest, CompositionOfUniqueness) {
+  // (ε,(a,{})) and (a,(b,{})) force at most one a/b node — derivable only
+  // through the composition rule, not by a single witness.
+  std::vector<XmlKey> sigma = Keys({"(ε, (a, {}))", "(a, (b, {}))"});
+  EXPECT_FALSE(FindWitness(sigma, K("(ε, (a/b, {}))")).has_value());
+  EXPECT_TRUE(ImpliesIdentification(sigma, K("(ε, (a/b, {}))")));
+}
+
+TEST(ImplicationTest, CompositionWithAttributesOnTail) {
+  // ≤1 'a' per doc + b keyed by @k under a ⟹ a/b keyed by @k globally.
+  std::vector<XmlKey> sigma = Keys({"(ε, (a, {}))", "(a, (b, {@k}))"});
+  EXPECT_TRUE(ImpliesIdentification(sigma, K("(ε, (a/b, {@k}))")));
+  // The reverse shape (attributes on the head) is not derivable: many
+  // 'a' nodes with distinct @k each contribute a 'b'.
+  std::vector<XmlKey> sigma2 = Keys({"(ε, (a, {@k}))", "(a, (b, {}))"});
+  EXPECT_FALSE(ImpliesIdentification(sigma2, K("(ε, (a/b, {}))")));
+}
+
+TEST(ImplicationTest, ThreeLevelComposition) {
+  std::vector<XmlKey> sigma =
+      Keys({"(ε, (a, {}))", "(a, (b, {}))", "(a/b, (c, {}))"});
+  EXPECT_TRUE(ImpliesIdentification(sigma, K("(ε, (a/b/c, {}))")));
+}
+
+TEST(ImplicationTest, LongTargetsStayPolynomial) {
+  // A 26-step composed-uniqueness chain: without memoization the split
+  // recursion would be exponential; with it this finishes instantly.
+  std::vector<XmlKey> sigma;
+  std::string prefix;
+  std::string target_text;
+  for (char c = 'a'; c <= 'z'; ++c) {
+    std::string label(1, c);
+    Result<XmlKey> k =
+        XmlKey::Parse("(" + (prefix.empty() ? "ε" : prefix) + ", (" +
+                      label + ", {}))");
+    ASSERT_TRUE(k.ok());
+    sigma.push_back(std::move(k).value());
+    prefix += (prefix.empty() ? "" : "/") + label;
+    target_text = prefix;
+  }
+  Result<XmlKey> phi = XmlKey::Parse("(ε, (" + target_text + ", {}))");
+  ASSERT_TRUE(phi.ok());
+  EXPECT_TRUE(ImpliesIdentification(sigma, *phi));
+  // Breaking one link in the middle breaks the chain.
+  sigma.erase(sigma.begin() + 13);
+  EXPECT_FALSE(ImpliesIdentification(sigma, *phi));
+}
+
+TEST(ImplicationTest, WitnessDescribesDerivation) {
+  std::vector<XmlKey> sigma = PaperKeys();
+  std::optional<ImplicationWitness> w =
+      FindWitness(sigma, K("(//, (book, {@isbn}))"));
+  ASSERT_TRUE(w.has_value());
+  ASSERT_TRUE(w->witness_index.has_value());
+  EXPECT_EQ(sigma[*w->witness_index].name(), "K1");
+  std::string desc = w->Describe(sigma, K("(//, (book, {@isbn}))"));
+  EXPECT_NE(desc.find("K1"), std::string::npos);
+}
+
+TEST(ImplicationTest, FullImplicationChecksExistence) {
+  std::vector<XmlKey> sigma = PaperKeys();
+  // //book/chapter nodes must carry @number (K2's condition 1 covers
+  // them), so the full implication of the relative key holds.
+  EXPECT_TRUE(Implies(sigma, K("(//book, (chapter, {@number}))")));
+  // @isbn is not forced on chapters.
+  EXPECT_FALSE(Implies(sigma, K("(//book, (chapter, {@isbn, @number}))")));
+}
+
+TEST(TransitiveSetTest, PaperExample41) {
+  // {K1, K2} is transitive; {K2} alone is not.
+  std::vector<XmlKey> k1k2 = Keys(
+      {"(ε, (//book, {@isbn}))", "(//book, (chapter, {@number}))"});
+  EXPECT_TRUE(IsTransitiveSet(k1k2));
+  EXPECT_FALSE(IsTransitiveSet(Keys({"(//book, (chapter, {@number}))"})));
+}
+
+TEST(TransitiveSetTest, ChainOfThree) {
+  EXPECT_TRUE(IsTransitiveSet(Keys({
+      "(ε, (//book, {@isbn}))",
+      "(//book, (chapter, {@number}))",
+      "(//book/chapter, (section, {@number}))",
+  })));
+  // Remove the middle link: the section key is orphaned.
+  EXPECT_FALSE(IsTransitiveSet(Keys({
+      "(ε, (//book, {@isbn}))",
+      "(//book/chapter, (section, {@number}))",
+  })));
+}
+
+TEST(TransitiveSetTest, EquivalentContextPathsCount) {
+  // Immediate precedence is up to path equivalence (// ≡ ////).
+  EXPECT_TRUE(IsTransitiveSet(Keys({
+      "(ε, (//book, {@isbn}))",
+      "(////book, (chapter, {@number}))",
+  })));
+}
+
+TEST(ImmediatelyPrecedesTest, Definition) {
+  EXPECT_TRUE(ImmediatelyPrecedes(K("(ε, (//book, {@isbn}))"),
+                                  K("(//book, (chapter, {@n}))")));
+  EXPECT_FALSE(ImmediatelyPrecedes(K("(ε, (//book, {@isbn}))"),
+                                   K("(//shelf, (chapter, {@n}))")));
+}
+
+// Soundness property: whenever Implies(Σ, φ) says yes, every randomly
+// generated document satisfying Σ also satisfies φ.
+class ImplicationSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ImplicationSoundness, ImpliedKeysHoldOnSatisfyingDocs) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 13);
+  std::vector<XmlKey> sigma = PaperKeys();
+  std::vector<XmlKey> candidates = Keys({
+      "(ε, (//book, {@isbn}))",
+      "(ε, (//book, {@isbn, @number}))",
+      "(//, (book, {@isbn}))",
+      "(//book, (chapter, {@number}))",
+      "(//book, (chapter, {@number, @isbn}))",
+      "(//book, (title, {}))",
+      "(//book, (chapter/name, {}))",
+      "(//book/chapter, (name, {}))",
+      "(ε, (//chapter, {@number}))",
+      "(//book, (//section, {@number}))",
+      "(//book/chapter, (section, {@number}))",
+      "(ε, (//book/title, {}))",
+  });
+  RandomTreeSpec spec;  // paper-flavoured label alphabet by default
+  for (int doc = 0; doc < 5; ++doc) {
+    Result<Tree> tree = RandomSatisfyingTree(spec, sigma, &rng);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    ASSERT_TRUE(SatisfiesAll(*tree, sigma));
+    for (const XmlKey& phi : candidates) {
+      if (Implies(sigma, phi)) {
+        EXPECT_TRUE(Satisfies(*tree, phi))
+            << phi.ToString() << " claimed implied but violated";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImplicationSoundness, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace xmlprop

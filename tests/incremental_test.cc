@@ -1,0 +1,175 @@
+#include "keys/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "paper_fixtures.h"
+#include "synth/doc_generator.h"
+#include "xml/parser.h"
+
+namespace xmlprop {
+namespace {
+
+using testing_fixtures::PaperKeys;
+
+Tree Fragment(std::string_view xml) {
+  Result<Tree> t = ParseXml(xml);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return std::move(t).value();
+}
+
+std::vector<XmlKey> Keys(std::initializer_list<const char*> texts) {
+  std::vector<XmlKey> out;
+  for (const char* t : texts) {
+    Result<XmlKey> k = XmlKey::Parse(t);
+    EXPECT_TRUE(k.ok()) << k.status().ToString();
+    out.push_back(std::move(k).value());
+  }
+  return out;
+}
+
+TEST(IncrementalTest, CleanImportReportsNothing) {
+  IncrementalChecker checker(Keys({"(ε, (//book, {@isbn}))"}));
+  Result<std::vector<TaggedViolation>> v1 =
+      checker.Append(Fragment(R"(<book isbn="1"><title>A</title></book>)"));
+  ASSERT_TRUE(v1.ok());
+  EXPECT_TRUE(v1->empty());
+  Result<std::vector<TaggedViolation>> v2 =
+      checker.Append(Fragment(R"(<book isbn="2"/>)"));
+  ASSERT_TRUE(v2.ok());
+  EXPECT_TRUE(v2->empty());
+  EXPECT_TRUE(SatisfiesAll(checker.document(), checker.keys()));
+  EXPECT_EQ(checker.violation_count(), 0u);
+}
+
+TEST(IncrementalTest, DuplicateAcrossAppendsDetected) {
+  IncrementalChecker checker(Keys({"(ε, (//book, {@isbn}))"}));
+  ASSERT_TRUE(checker.Append(Fragment(R"(<book isbn="1"/>)")).ok());
+  Result<std::vector<TaggedViolation>> v =
+      checker.Append(Fragment(R"(<book isbn="1"/>)"));
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->size(), 1u);
+  EXPECT_EQ((*v)[0].violation.kind, KeyViolation::Kind::kDuplicateValues);
+  // node1 is the earlier book, node2 the new one.
+  EXPECT_LT((*v)[0].violation.node1, (*v)[0].violation.node2);
+}
+
+TEST(IncrementalTest, MissingAttributeDetectedOnArrival) {
+  IncrementalChecker checker(Keys({"(ε, (//book, {@isbn}))"}));
+  Result<std::vector<TaggedViolation>> v =
+      checker.Append(Fragment("<book/>"));
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->size(), 1u);
+  EXPECT_EQ((*v)[0].violation.kind, KeyViolation::Kind::kMissingAttribute);
+  EXPECT_EQ((*v)[0].violation.attribute, "isbn");
+}
+
+TEST(IncrementalTest, RelativeKeyScopesPerParent) {
+  // chapter numbers repeat across books but not within one.
+  IncrementalChecker checker(Keys({"(//book, (chapter, {@number}))"}));
+  ASSERT_TRUE(
+      checker.Append(Fragment(R"(<book isbn="1"><chapter number="1"/></book>)"))
+          .ok());
+  // A second book with chapter 1 is fine.
+  Result<std::vector<TaggedViolation>> ok =
+      checker.Append(Fragment(R"(<book isbn="2"><chapter number="1"/></book>)"));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->empty());
+  // Appending chapter 1 INTO book 1 collides.
+  NodeId book1 = checker.document().node(checker.document().root()).children[0];
+  Result<std::vector<TaggedViolation>> bad =
+      checker.Append(book1, Fragment(R"(<chapter number="1"/>)"));
+  ASSERT_TRUE(bad.ok());
+  ASSERT_EQ(bad->size(), 1u);
+  EXPECT_EQ((*bad)[0].violation.kind, KeyViolation::Kind::kDuplicateValues);
+}
+
+TEST(IncrementalTest, NewContextInsideFragmentChecked) {
+  // A whole book arrives with an internal duplicate.
+  IncrementalChecker checker(Keys({"(//book, (chapter, {@number}))"}));
+  Result<std::vector<TaggedViolation>> v = checker.Append(Fragment(
+      R"(<book isbn="1"><chapter number="1"/><chapter number="1"/></book>)"));
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->size(), 1u);
+}
+
+TEST(IncrementalTest, EmptyAttributeSetKeys) {
+  IncrementalChecker checker(Keys({"(//book, (title, {}))"}));
+  ASSERT_TRUE(
+      checker.Append(Fragment(R"(<book><title>A</title></book>)")).ok());
+  NodeId book = checker.document().node(checker.document().root()).children[0];
+  Result<std::vector<TaggedViolation>> v =
+      checker.Append(book, Fragment("<title>B</title>"));
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->size(), 1u);
+  EXPECT_EQ((*v)[0].violation.kind, KeyViolation::Kind::kDuplicateValues);
+}
+
+TEST(IncrementalTest, DescendantContextKeys) {
+  // Context //book matches books nested anywhere, including inside the
+  // fragment being appended.
+  IncrementalChecker checker(Keys({"(//book, (chapter, {@number}))"}));
+  Result<std::vector<TaggedViolation>> v = checker.Append(Fragment(
+      R"(<shelf><book isbn="1"><chapter number="2"/><chapter number="2"/></book></shelf>)"));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 1u);
+}
+
+TEST(IncrementalTest, GraftRejectsBadParent) {
+  IncrementalChecker checker(Keys({"(ε, (//book, {@isbn}))"}));
+  EXPECT_FALSE(checker.Append(999, Fragment("<book/>")).ok());
+}
+
+// Property: the incremental verdicts agree with the batch checker —
+// same total violation count, and "no violations" == "satisfies".
+class IncrementalAgreesWithBatch : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalAgreesWithBatch, RandomAppendSequences) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2713 + 19);
+  std::vector<XmlKey> sigma = PaperKeys();
+  IncrementalChecker checker(sigma);
+
+  RandomTreeSpec spec;
+  spec.max_depth = 3;
+  spec.max_children = 2;
+  size_t incremental_total = 0;
+  for (int step = 0; step < 6; ++step) {
+    // Random fragment, random existing element as the graft point.
+    Tree fragment = RandomTree(spec, &rng);
+    // RandomTree roots are labelled "r"; give fragments realistic roots.
+    Tree relabeled(rng.Choose(spec.labels));
+    for (NodeId a : fragment.node(fragment.root()).attributes) {
+      relabeled
+          .CreateAttribute(relabeled.root(), fragment.node(a).label,
+                           fragment.node(a).value)
+          .ok();
+    }
+    for (NodeId c : fragment.node(fragment.root()).children) {
+      if (fragment.node(c).kind == NodeKind::kText) {
+        relabeled.CreateText(relabeled.root(), fragment.node(c).value);
+      } else {
+        EXPECT_TRUE(
+            relabeled.Graft(relabeled.root(), fragment, c).ok());
+      }
+    }
+    std::vector<NodeId> elements =
+        checker.document().DescendantsOrSelf(checker.document().root());
+    NodeId parent = elements[rng.UniformIndex(elements.size())];
+    Result<std::vector<TaggedViolation>> v =
+        checker.Append(parent, relabeled);
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    incremental_total += v->size();
+  }
+
+  std::vector<TaggedViolation> batch = CheckAll(checker.document(), sigma);
+  EXPECT_EQ(incremental_total, batch.size());
+  EXPECT_EQ(checker.violation_count(), batch.size());
+  EXPECT_EQ(incremental_total == 0,
+            SatisfiesAll(checker.document(), sigma));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalAgreesWithBatch,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace xmlprop

@@ -1,0 +1,120 @@
+#include "relational/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/fd_check.h"
+
+namespace xmlprop {
+namespace {
+
+RelationSchema S() {
+  Result<RelationSchema> s = RelationSchema::Parse("R(x, y, z)");
+  EXPECT_TRUE(s.ok());
+  return std::move(s).value();
+}
+
+Fd F(std::string_view text) {
+  Result<Fd> fd = ParseFd(S(), text);
+  EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+  return std::move(fd).value();
+}
+
+Tuple T3(Field a, Field b, Field c) { return Tuple{a, b, c}; }
+
+TEST(InstanceTest, AddDeduplicates) {
+  Instance i(S());
+  ASSERT_TRUE(i.Add(T3("1", "2", "3")).ok());
+  ASSERT_TRUE(i.Add(T3("1", "2", "3")).ok());
+  ASSERT_TRUE(i.Add(T3("1", "2", "4")).ok());
+  EXPECT_EQ(i.size(), 2u);
+}
+
+TEST(InstanceTest, ArityChecked) {
+  Instance i(S());
+  EXPECT_FALSE(i.Add(Tuple{Field("1")}).ok());
+}
+
+TEST(InstanceTest, NullsDistinctFromValues) {
+  Instance i(S());
+  ASSERT_TRUE(i.Add(T3("1", std::nullopt, "3")).ok());
+  ASSERT_TRUE(i.Add(T3("1", "", "3")).ok());  // empty string != null
+  EXPECT_EQ(i.size(), 2u);
+  EXPECT_TRUE(Instance::HasNull(i.tuples()[0]));
+  EXPECT_FALSE(Instance::HasNull(i.tuples()[1]));
+}
+
+TEST(InstanceTest, ToStringShowsNull) {
+  Instance i(S());
+  ASSERT_TRUE(i.Add(T3("a", std::nullopt, "c")).ok());
+  EXPECT_NE(i.ToString().find("NULL"), std::string::npos);
+}
+
+TEST(FdCheckTest, ClassicSatisfaction) {
+  Instance i(S());
+  ASSERT_TRUE(i.Add(T3("1", "a", "x")).ok());
+  ASSERT_TRUE(i.Add(T3("2", "a", "y")).ok());
+  EXPECT_TRUE(SatisfiesFd(i, F("x -> y, z")));
+  EXPECT_FALSE(SatisfiesFd(i, F("y -> z")));
+}
+
+TEST(FdCheckTest, DisagreementReported) {
+  Instance i(S());
+  ASSERT_TRUE(i.Add(T3("1", "a", "x")).ok());
+  ASSERT_TRUE(i.Add(T3("1", "b", "x")).ok());
+  std::optional<FdViolation> v = CheckFd(i, F("x -> y"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, FdViolation::Kind::kDisagreement);
+  EXPECT_NE(v->Describe(i, F("x -> y")).find("differ"), std::string::npos);
+}
+
+TEST(FdCheckTest, NullSemanticsCondition1) {
+  // Section 3: if the LHS projection has null, the RHS must be null too.
+  Instance i(S());
+  ASSERT_TRUE(i.Add(T3(std::nullopt, "b", "c")).ok());
+  // x is null but y is not: x -> y violated by condition (1).
+  std::optional<FdViolation> v = CheckFd(i, F("x -> y"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, FdViolation::Kind::kIncompleteLhs);
+  // x -> (nothing non-null)… with a null RHS it is fine.
+  Instance j(S());
+  ASSERT_TRUE(j.Add(T3(std::nullopt, std::nullopt, "c")).ok());
+  EXPECT_TRUE(SatisfiesFd(j, F("x -> y")));
+}
+
+TEST(FdCheckTest, NullTuplesExemptFromCondition2) {
+  // Two tuples agree on x but one has a null elsewhere: condition (2)
+  // only compares completely null-free tuples.
+  Instance i(S());
+  ASSERT_TRUE(i.Add(T3("1", "a", "p")).ok());
+  ASSERT_TRUE(i.Add(T3("1", "b", std::nullopt)).ok());
+  // x -> y: the second tuple has a null (in z), so no comparison happens;
+  // but condition (1) applies per-tuple: x non-null, y non-null: fine.
+  EXPECT_TRUE(SatisfiesFd(i, F("x -> y")));
+}
+
+TEST(FdCheckTest, TrivialFdCanFailByNullCondition) {
+  // The subtle Section 3 point: {x,y} -> x is violated when y is null
+  // but x is not ("an incomplete key cannot determine complete fields").
+  Instance i(S());
+  ASSERT_TRUE(i.Add(T3("1", std::nullopt, "c")).ok());
+  std::optional<FdViolation> v = CheckFd(i, F("x, y -> x"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, FdViolation::Kind::kIncompleteLhs);
+}
+
+TEST(FdCheckTest, EmptyLhsConstantFd) {
+  Instance i(S());
+  ASSERT_TRUE(i.Add(T3("1", "a", "c")).ok());
+  ASSERT_TRUE(i.Add(T3("2", "a", "c")).ok());
+  EXPECT_TRUE(SatisfiesFd(i, F("-> y")));
+  EXPECT_FALSE(SatisfiesFd(i, F("-> x")));
+}
+
+TEST(FdCheckTest, EmptyInstanceSatisfiesEverything) {
+  Instance i(S());
+  EXPECT_TRUE(SatisfiesFd(i, F("x -> y")));
+  EXPECT_TRUE(SatisfiesFd(i, F("-> x")));
+}
+
+}  // namespace
+}  // namespace xmlprop

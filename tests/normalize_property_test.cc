@@ -1,0 +1,123 @@
+// Property tests over random FD sets: the normalization pipeline must
+// uphold its textbook guarantees for ANY input, not just the paper's
+// example — BCNF decompositions are lossless and in BCNF; 3NF synthesis
+// is lossless, dependency-preserving and in 3NF; Minimize yields an
+// equivalent, minimal cover.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "relational/cover.h"
+#include "relational/normalize.h"
+
+namespace xmlprop {
+namespace {
+
+RelationSchema SchemaOfArity(size_t n) {
+  std::vector<std::string> attrs;
+  for (size_t i = 0; i < n; ++i) {
+    attrs.push_back(std::string(1, static_cast<char>('a' + i)));
+  }
+  return RelationSchema("R", std::move(attrs));
+}
+
+AttrSet RandomSubset(size_t arity, Rng* rng, double density) {
+  AttrSet s(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    if (rng->Bernoulli(density)) s.Set(i);
+  }
+  return s;
+}
+
+FdSet RandomFdSet(size_t arity, size_t fd_count, Rng* rng) {
+  FdSet f(SchemaOfArity(arity));
+  for (size_t i = 0; i < fd_count; ++i) {
+    AttrSet lhs = RandomSubset(arity, rng, 0.3);
+    AttrSet rhs = RandomSubset(arity, rng, 0.25);
+    rhs = rhs.Minus(lhs);
+    if (rhs.Empty()) rhs.Set(rng->UniformIndex(arity));
+    f.Add(Fd(std::move(lhs), std::move(rhs)));
+  }
+  return f;
+}
+
+class NormalizeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalizeProperty, MinimizeProducesEquivalentMinimalCover) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 911 + 7);
+  for (int iter = 0; iter < 10; ++iter) {
+    size_t arity = static_cast<size_t>(rng.UniformInt(2, 7));
+    FdSet f = RandomFdSet(arity, static_cast<size_t>(rng.UniformInt(1, 8)),
+                          &rng);
+    FdSet m = Minimize(f);
+    EXPECT_TRUE(m.EquivalentTo(f)) << "input:\n"
+                                   << f.ToString() << "cover:\n"
+                                   << m.ToString();
+    EXPECT_TRUE(IsMinimal(m)) << m.ToString();
+    // Single-attribute RHS form.
+    for (const Fd& fd : m.fds()) {
+      EXPECT_EQ(fd.rhs.Count(), 1u);
+      EXPECT_FALSE(fd.IsTrivial());
+    }
+  }
+}
+
+TEST_P(NormalizeProperty, BcnfDecompositionLosslessAndNormal) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1733 + 29);
+  for (int iter = 0; iter < 8; ++iter) {
+    size_t arity = static_cast<size_t>(rng.UniformInt(2, 6));
+    FdSet cover = Minimize(
+        RandomFdSet(arity, static_cast<size_t>(rng.UniformInt(1, 6)), &rng));
+    std::vector<SubRelation> frags = DecomposeBcnf(cover);
+    ASSERT_FALSE(frags.empty());
+    for (const SubRelation& f : frags) {
+      EXPECT_TRUE(IsBcnf(f.attrs, cover))
+          << f.ToString(cover.schema()) << "\n"
+          << cover.ToString();
+    }
+    EXPECT_TRUE(IsLosslessJoin(frags, cover)) << cover.ToString();
+    // Fragments jointly cover every attribute.
+    AttrSet all(arity);
+    for (const SubRelation& f : frags) all.UnionInPlace(f.attrs);
+    EXPECT_EQ(all, cover.schema().FullSet());
+  }
+}
+
+TEST_P(NormalizeProperty, ThirdNfSynthesisGuarantees) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 613 + 41);
+  for (int iter = 0; iter < 8; ++iter) {
+    size_t arity = static_cast<size_t>(rng.UniformInt(2, 6));
+    FdSet cover = Minimize(
+        RandomFdSet(arity, static_cast<size_t>(rng.UniformInt(1, 6)), &rng));
+    std::vector<SubRelation> frags = Synthesize3nf(cover);
+    ASSERT_FALSE(frags.empty());
+    for (const SubRelation& f : frags) {
+      EXPECT_TRUE(Is3nf(f.attrs, cover))
+          << f.ToString(cover.schema()) << "\n"
+          << cover.ToString();
+    }
+    EXPECT_TRUE(IsLosslessJoin(frags, cover)) << cover.ToString();
+    EXPECT_TRUE(PreservesDependencies(frags, cover)) << cover.ToString();
+  }
+}
+
+TEST_P(NormalizeProperty, ClosureIsAClosureOperator) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 263 + 5);
+  for (int iter = 0; iter < 10; ++iter) {
+    size_t arity = static_cast<size_t>(rng.UniformInt(2, 8));
+    FdSet f = RandomFdSet(arity, static_cast<size_t>(rng.UniformInt(1, 8)),
+                          &rng);
+    AttrSet x = RandomSubset(arity, &rng, 0.4);
+    AttrSet cx = f.Closure(x);
+    // Extensive, monotone, idempotent.
+    EXPECT_TRUE(x.IsSubsetOf(cx));
+    EXPECT_EQ(f.Closure(cx), cx);
+    AttrSet y = x.Union(RandomSubset(arity, &rng, 0.2));
+    EXPECT_TRUE(cx.IsSubsetOf(f.Closure(y)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizeProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace xmlprop

@@ -1,0 +1,152 @@
+#include "relational/normalize.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlprop {
+namespace {
+
+FdSet PaperExample12() {
+  // Example 1.2: Chapter(isbn, bookTitle, author, chapterNum, chapterName)
+  // with cover {isbn -> bookTitle, isbn chapterNum -> chapterName}.
+  Result<RelationSchema> s = RelationSchema::Parse(
+      "Chapter(isbn, bookTitle, author, chapterNum, chapterName)");
+  EXPECT_TRUE(s.ok());
+  FdSet f(*s);
+  EXPECT_TRUE(f.AddParsed("isbn -> bookTitle").ok());
+  EXPECT_TRUE(f.AddParsed("isbn, chapterNum -> chapterName").ok());
+  return f;
+}
+
+bool HasFragment(const std::vector<SubRelation>& frags, const AttrSet& set) {
+  for (const SubRelation& f : frags) {
+    if (f.attrs == set) return true;
+  }
+  return false;
+}
+
+TEST(BcnfTest, PaperExample12Decomposition) {
+  FdSet cover = PaperExample12();
+  std::vector<SubRelation> frags = DecomposeBcnf(cover);
+
+  // Book(isbn, bookTitle) and Chapter(isbn, chapterNum, chapterName) must
+  // appear; every fragment must be in BCNF and the join lossless.
+  EXPECT_TRUE(HasFragment(frags, AttrSet(5, {0, 1})));
+  EXPECT_TRUE(HasFragment(frags, AttrSet(5, {0, 3, 4})));
+  for (const SubRelation& f : frags) {
+    EXPECT_TRUE(IsBcnf(f.attrs, cover)) << f.ToString(cover.schema());
+  }
+  EXPECT_TRUE(IsLosslessJoin(frags, cover));
+}
+
+TEST(BcnfTest, AlreadyNormalizedStaysWhole) {
+  Result<RelationSchema> s = RelationSchema::Parse("R(a, b)");
+  ASSERT_TRUE(s.ok());
+  FdSet f(*s);
+  ASSERT_TRUE(f.AddParsed("a -> b").ok());  // a is a key: BCNF already
+  std::vector<SubRelation> frags = DecomposeBcnf(f);
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_EQ(frags[0].attrs.Count(), 2u);
+}
+
+TEST(BcnfTest, TransitiveChainSplits) {
+  Result<RelationSchema> s = RelationSchema::Parse("R(a, b, c)");
+  ASSERT_TRUE(s.ok());
+  FdSet f(*s);
+  ASSERT_TRUE(f.AddParsed("a -> b").ok());
+  ASSERT_TRUE(f.AddParsed("b -> c").ok());
+  std::vector<SubRelation> frags = DecomposeBcnf(f);
+  EXPECT_EQ(frags.size(), 2u);
+  for (const SubRelation& fr : frags) EXPECT_TRUE(IsBcnf(fr.attrs, f));
+  EXPECT_TRUE(IsLosslessJoin(frags, f));
+}
+
+TEST(BcnfTest, NoFdsNoSplit) {
+  Result<RelationSchema> s = RelationSchema::Parse("R(a, b, c)");
+  ASSERT_TRUE(s.ok());
+  FdSet f(*s);
+  std::vector<SubRelation> frags = DecomposeBcnf(f);
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_TRUE(IsLosslessJoin(frags, f));
+}
+
+TEST(ThirdNfTest, SynthesisGroupsByLhs) {
+  Result<RelationSchema> s = RelationSchema::Parse("R(a, b, c, d)");
+  ASSERT_TRUE(s.ok());
+  FdSet f(*s);
+  ASSERT_TRUE(f.AddParsed("a -> b").ok());
+  ASSERT_TRUE(f.AddParsed("a -> c").ok());
+  ASSERT_TRUE(f.AddParsed("c -> d").ok());
+  std::vector<SubRelation> frags = Synthesize3nf(f);
+  // Groups: {a,b,c} and {c,d}; {a,b,c} contains the key a.
+  EXPECT_EQ(frags.size(), 2u);
+  EXPECT_TRUE(HasFragment(frags, AttrSet(4, {0, 1, 2})));
+  EXPECT_TRUE(HasFragment(frags, AttrSet(4, {2, 3})));
+  for (const SubRelation& fr : frags) EXPECT_TRUE(Is3nf(fr.attrs, f));
+  EXPECT_TRUE(IsLosslessJoin(frags, f));
+  EXPECT_TRUE(PreservesDependencies(frags, f));
+}
+
+TEST(ThirdNfTest, AddsKeyFragmentWhenMissing) {
+  Result<RelationSchema> s = RelationSchema::Parse("R(a, b, c)");
+  ASSERT_TRUE(s.ok());
+  FdSet f(*s);
+  ASSERT_TRUE(f.AddParsed("a -> b").ok());
+  // No group contains a key of R ({a,c}); synthesis must add one.
+  std::vector<SubRelation> frags = Synthesize3nf(f);
+  bool some_key = false;
+  for (const SubRelation& fr : frags) some_key |= f.IsSuperkey(fr.attrs);
+  EXPECT_TRUE(some_key);
+  EXPECT_TRUE(IsLosslessJoin(frags, f));
+}
+
+TEST(ThirdNfTest, DependencyPreservationWhereBcnfFails) {
+  // Classic SJT example: R(s, j, t), sj -> t, t -> j.
+  // BCNF cannot preserve sj -> t; 3NF synthesis can.
+  Result<RelationSchema> s = RelationSchema::Parse("R(s, j, t)");
+  ASSERT_TRUE(s.ok());
+  FdSet f(*s);
+  ASSERT_TRUE(f.AddParsed("s, j -> t").ok());
+  ASSERT_TRUE(f.AddParsed("t -> j").ok());
+  std::vector<SubRelation> frags3 = Synthesize3nf(f);
+  EXPECT_TRUE(PreservesDependencies(frags3, f));
+  EXPECT_TRUE(IsLosslessJoin(frags3, f));
+  std::vector<SubRelation> fragsB = DecomposeBcnf(f);
+  EXPECT_TRUE(IsLosslessJoin(fragsB, f));
+  EXPECT_FALSE(PreservesDependencies(fragsB, f));
+}
+
+TEST(NormalFormCheckersTest, ViolationsDetected) {
+  Result<RelationSchema> s = RelationSchema::Parse("R(a, b, c)");
+  ASSERT_TRUE(s.ok());
+  FdSet f(*s);
+  ASSERT_TRUE(f.AddParsed("a -> b").ok());
+  ASSERT_TRUE(f.AddParsed("b -> c").ok());
+  AttrSet whole = s->FullSet();
+  EXPECT_FALSE(IsBcnf(whole, f));  // b -> c with b not a key
+  EXPECT_FALSE(Is3nf(whole, f));   // c is not prime
+  EXPECT_TRUE(IsBcnf(AttrSet(3, {0, 1}), f));
+}
+
+TEST(LosslessJoinTest, LossyDecompositionDetected) {
+  // R(a, b, c) with only a->b: splitting {a,b} | {b,c} is lossy.
+  Result<RelationSchema> s = RelationSchema::Parse("R(a, b, c)");
+  ASSERT_TRUE(s.ok());
+  FdSet f(*s);
+  ASSERT_TRUE(f.AddParsed("a -> b").ok());
+  std::vector<SubRelation> lossy = {SubRelation{"R1", AttrSet(3, {0, 1})},
+                                    SubRelation{"R2", AttrSet(3, {1, 2})}};
+  EXPECT_FALSE(IsLosslessJoin(lossy, f));
+  std::vector<SubRelation> lossless = {SubRelation{"R1", AttrSet(3, {0, 1})},
+                                       SubRelation{"R2", AttrSet(3, {0, 2})}};
+  EXPECT_TRUE(IsLosslessJoin(lossless, f));
+}
+
+TEST(SubRelationTest, ToStringUsesUniversalNames) {
+  Result<RelationSchema> s = RelationSchema::Parse("R(a, b, c)");
+  ASSERT_TRUE(s.ok());
+  SubRelation r{"Book", AttrSet(3, {0, 2})};
+  EXPECT_EQ(r.ToString(*s), "Book(a, c)");
+}
+
+}  // namespace
+}  // namespace xmlprop

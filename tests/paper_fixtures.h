@@ -1,0 +1,152 @@
+#ifndef XMLPROP_TESTS_PAPER_FIXTURES_H_
+#define XMLPROP_TESTS_PAPER_FIXTURES_H_
+
+// Shared fixtures reproducing the paper's running example: the XML tree of
+// Fig. 1, the key set K1-K7 of Example 2.1, the transformation of
+// Example 2.4 and the universal relation of Example 3.1.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "keys/xml_key.h"
+#include "transform/rule_parser.h"
+#include "transform/table_tree.h"
+#include "xml/parser.h"
+#include "xml/tree.h"
+
+namespace xmlprop {
+namespace testing_fixtures {
+
+/// The XML document of Fig. 1 (two books titled "XML"; the second book's
+/// chapter 1 carries the two sections of Example 2.5).
+inline const char* kFig1Xml = R"(<?xml version="1.0"?>
+<r>
+  <book isbn="123">
+    <author><name>Tim Bray</name><contact>tbray@example.org</contact></author>
+    <title>XML</title>
+    <chapter number="1"><name>Introduction</name></chapter>
+    <chapter number="10"><name>Conclusion</name></chapter>
+  </book>
+  <book isbn="234">
+    <title>XML</title>
+    <chapter number="1">
+      <name>Getting Acquainted</name>
+      <section number="1"><name>Fundamentals</name></section>
+      <section number="2"><name>Attributes</name></section>
+    </chapter>
+  </book>
+</r>)";
+
+/// The key set of Example 2.1 (K1-K7).
+inline const char* kPaperKeys = R"(
+K1: (ε, (//book, {@isbn}))                     # a book is identified by @isbn
+K2: (//book, (chapter, {@number}))             # chapter number, per book
+K3: (//book, (title, {}))                      # at most one title per book
+K4: (//book/chapter, (name, {}))               # at most one name per chapter
+K5: (//book/chapter/section, (name, {}))       # at most one name per section
+K6: (//book/chapter, (section, {@number}))     # section number, per chapter
+K7: (//book, (author/contact, {}))             # at most one contact author
+)";
+
+/// The transformation of Example 2.4 (relations book, chapter, section).
+inline const char* kPaperTransformation = R"(
+rule book {
+  isbn:    value(X1)
+  title:   value(X2)
+  author:  value(X4)
+  contact: value(X5)
+  Xa := Xr//book
+  X1 := Xa/@isbn
+  X2 := Xa/title
+  Xb := Xa/author
+  X4 := Xb/name
+  X5 := Xb/contact
+}
+rule chapter {
+  inBook: value(Y1)
+  number: value(Y2)
+  name:   value(Y3)
+  Yb := Xr//book
+  Y1 := Yb/@isbn
+  Yc := Yb/chapter
+  Y2 := Yc/@number
+  Y3 := Yc/name
+}
+rule section {
+  inChapt: value(Z1)
+  number:  value(Z2)
+  name:    value(Z3)
+  Zc := Xr//book/chapter
+  Z1 := Zc/@number
+  Zs := Zc/section
+  Z2 := Zs/@number
+  Z3 := Zs/name
+}
+)";
+
+/// The universal relation of Example 3.1 (Fig. 4's table tree).
+inline const char* kUniversalRule = R"(
+rule U {
+  bookIsbn:    value(X1)
+  bookTitle:   value(X2)
+  bookAuthor:  value(X4)
+  authContact: value(X5)
+  chapNum:     value(C1)
+  chapName:    value(C2)
+  secNum:      value(S1)
+  secName:     value(S2)
+  Xa := Xr//book
+  X1 := Xa/@isbn
+  X2 := Xa/title
+  Xg := Xa/author
+  X4 := Xg/name
+  X5 := Xg/contact
+  Xc := Xa/chapter
+  C1 := Xc/@number
+  C2 := Xc/name
+  Zs := Xc/section
+  S1 := Zs/@number
+  S2 := Zs/name
+}
+)";
+
+inline Tree Fig1Tree() {
+  Result<Tree> tree = ParseXml(kFig1Xml);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+inline std::vector<XmlKey> PaperKeys() {
+  Result<std::vector<XmlKey>> keys = ParseKeySet(kPaperKeys);
+  EXPECT_TRUE(keys.ok()) << keys.status().ToString();
+  return std::move(keys).value();
+}
+
+inline Transformation PaperTransformation() {
+  Result<Transformation> t = ParseTransformation(kPaperTransformation);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return std::move(t).value();
+}
+
+inline TableTree UniversalTable() {
+  Result<TableRule> rule = ParseTableRule(kUniversalRule);
+  EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+  Result<TableTree> table = TableTree::Build(*rule);
+  EXPECT_TRUE(table.ok()) << table.status().ToString();
+  return std::move(table).value();
+}
+
+inline TableTree RuleTable(const Transformation& t, const std::string& name) {
+  Result<const TableRule*> rule = t.FindRule(name);
+  EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+  Result<TableTree> table = TableTree::Build(**rule);
+  EXPECT_TRUE(table.ok()) << table.status().ToString();
+  return std::move(table).value();
+}
+
+}  // namespace testing_fixtures
+}  // namespace xmlprop
+
+#endif  // XMLPROP_TESTS_PAPER_FIXTURES_H_

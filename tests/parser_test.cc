@@ -1,0 +1,188 @@
+#include "xml/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "synth/doc_generator.h"
+#include "xml/writer.h"
+
+namespace xmlprop {
+namespace {
+
+Tree MustParse(std::string_view xml, const ParseOptions& options = {}) {
+  Result<Tree> t = ParseXml(xml, options);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return std::move(t).value();
+}
+
+TEST(ParserTest, MinimalDocument) {
+  Tree t = MustParse("<r/>");
+  EXPECT_EQ(t.node(t.root()).label, "r");
+  EXPECT_TRUE(t.node(t.root()).children.empty());
+}
+
+TEST(ParserTest, DeclarationAndWhitespace) {
+  Tree t = MustParse("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n  <r/>\n");
+  EXPECT_EQ(t.node(t.root()).label, "r");
+}
+
+TEST(ParserTest, AttributesBothQuoteStyles) {
+  Tree t = MustParse("<r a=\"1\" b='two'/>");
+  EXPECT_EQ(t.AttributeValue(t.root(), "a"), "1");
+  EXPECT_EQ(t.AttributeValue(t.root(), "b"), "two");
+}
+
+TEST(ParserTest, NestedElementsAndText) {
+  Tree t = MustParse("<r><a>hi</a><b><c/></b></r>");
+  ASSERT_EQ(t.node(t.root()).children.size(), 2u);
+  NodeId a = t.node(t.root()).children[0];
+  EXPECT_EQ(t.Value(a), "hi");
+}
+
+TEST(ParserTest, WhitespaceOnlyTextDroppedByDefault) {
+  Tree t = MustParse("<r>\n  <a/>\n</r>");
+  ASSERT_EQ(t.node(t.root()).children.size(), 1u);
+  EXPECT_EQ(t.node(t.node(t.root()).children[0]).label, "a");
+}
+
+TEST(ParserTest, WhitespaceKeptOnRequest) {
+  ParseOptions options;
+  options.keep_whitespace_text = true;
+  Tree t = MustParse("<r> <a/> </r>", options);
+  EXPECT_EQ(t.node(t.root()).children.size(), 3u);
+}
+
+TEST(ParserTest, PredefinedEntities) {
+  Tree t = MustParse("<r a=\"&lt;&amp;&gt;\">&quot;x&apos;</r>");
+  EXPECT_EQ(t.AttributeValue(t.root(), "a"), "<&>");
+  ASSERT_EQ(t.node(t.root()).children.size(), 1u);
+  EXPECT_EQ(t.node(t.node(t.root()).children[0]).value, "\"x'");
+}
+
+TEST(ParserTest, NumericCharacterReferences) {
+  Tree t = MustParse("<r>&#65;&#x42;&#xE9;</r>");
+  EXPECT_EQ(t.Value(t.root()), "AB\xC3\xA9");  // 'A', 'B', U+00E9 as UTF-8
+}
+
+TEST(ParserTest, CdataSection) {
+  Tree t = MustParse("<r><![CDATA[a < b & c]]></r>");
+  EXPECT_EQ(t.Value(t.root()), "a < b & c");
+}
+
+TEST(ParserTest, CommentsAndPisSkipped) {
+  Tree t = MustParse(
+      "<!-- head --><?pi data?><r><!-- in --><a/><?x?></r><!-- tail -->");
+  ASSERT_EQ(t.node(t.root()).children.size(), 1u);
+}
+
+TEST(ParserTest, DoctypeWithInternalSubsetSkipped) {
+  Tree t = MustParse(
+      "<!DOCTYPE r [ <!ELEMENT r (a)> <!ATTLIST r x CDATA #IMPLIED> ]><r/>");
+  EXPECT_EQ(t.node(t.root()).label, "r");
+}
+
+TEST(ParserTest, SelfClosingNested) {
+  Tree t = MustParse("<r><a x=\"1\"/><b/></r>");
+  EXPECT_EQ(t.node(t.root()).children.size(), 2u);
+}
+
+TEST(ParserTest, ErrorMismatchedTags) {
+  Result<Tree> t = ParseXml("<r><a></b></r>");
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("mismatched"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorUnterminatedElement) {
+  EXPECT_FALSE(ParseXml("<r><a>").ok());
+}
+
+TEST(ParserTest, ErrorDuplicateAttribute) {
+  EXPECT_FALSE(ParseXml("<r a=\"1\" a=\"2\"/>").ok());
+}
+
+TEST(ParserTest, ErrorContentAfterRoot) {
+  EXPECT_FALSE(ParseXml("<r/><r2/>").ok());
+}
+
+TEST(ParserTest, ErrorBadEntity) {
+  EXPECT_FALSE(ParseXml("<r>&nope;</r>").ok());
+  EXPECT_FALSE(ParseXml("<r>&#xZZ;</r>").ok());
+  EXPECT_FALSE(ParseXml("<r>& loose</r>").ok());
+}
+
+TEST(ParserTest, ErrorLtInAttribute) {
+  EXPECT_FALSE(ParseXml("<r a=\"<\"/>").ok());
+}
+
+TEST(ParserTest, ErrorReportsPosition) {
+  Result<Tree> t = ParseXml("<r>\n<a></b>\n</r>");
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("2:"), std::string::npos);
+}
+
+// Structural equality of two trees (labels, attrs, text, order).
+bool TreesEqual(const Tree& a, NodeId na, const Tree& b, NodeId nb) {
+  const Node& x = a.node(na);
+  const Node& y = b.node(nb);
+  if (x.kind != y.kind || x.label != y.label || x.value != y.value)
+    return false;
+  if (x.attributes.size() != y.attributes.size() ||
+      x.children.size() != y.children.size())
+    return false;
+  for (size_t i = 0; i < x.attributes.size(); ++i) {
+    if (!TreesEqual(a, x.attributes[i], b, y.attributes[i])) return false;
+  }
+  for (size_t i = 0; i < x.children.size(); ++i) {
+    if (!TreesEqual(a, x.children[i], b, y.children[i])) return false;
+  }
+  return true;
+}
+
+TEST(WriterTest, EscapesSpecials) {
+  Tree t("r");
+  ASSERT_TRUE(t.CreateAttribute(t.root(), "a", "x\"<&>").ok());
+  t.CreateText(t.root(), "1 < 2 & 3 > 2");
+  std::string xml = WriteXml(t);
+  EXPECT_NE(xml.find("&quot;"), std::string::npos);
+  EXPECT_NE(xml.find("&lt;"), std::string::npos);
+  EXPECT_NE(xml.find("&amp;"), std::string::npos);
+}
+
+TEST(WriterTest, RoundTripHandBuilt) {
+  Tree t("r");
+  NodeId book = t.CreateElement(t.root(), "book");
+  ASSERT_TRUE(t.CreateAttribute(book, "isbn", "a&b\"c").ok());
+  NodeId title = t.CreateElement(book, "title");
+  t.CreateText(title, "<XML> & more");
+  Tree back = MustParse(WriteXml(t));
+  EXPECT_TRUE(TreesEqual(t, t.root(), back, back.root()));
+}
+
+// Property: random trees survive write→parse byte-structure-exactly.
+class RoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripProperty, WriteParseIsIdentity) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  RandomTreeSpec spec;
+  spec.max_depth = 5;
+  spec.max_children = 4;
+  Tree t = RandomTree(spec, &rng);
+  // Pretty form: indentation whitespace is dropped again by the default
+  // parse options; generated text is never whitespace-only.
+  Tree back = MustParse(WriteXml(t));
+  EXPECT_TRUE(TreesEqual(t, t.root(), back, back.root()));
+  // Compact form adds no whitespace at all, so keeping whitespace must
+  // also reproduce the tree exactly.
+  WriteOptions compact;
+  compact.indent = 0;
+  ParseOptions keep;
+  keep.keep_whitespace_text = true;
+  Tree back2 = MustParse(WriteXml(t, compact), keep);
+  EXPECT_TRUE(TreesEqual(t, t.root(), back2, back2.root()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace xmlprop

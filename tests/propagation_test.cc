@@ -1,0 +1,283 @@
+#include "core/propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "keys/satisfaction.h"
+#include "paper_fixtures.h"
+#include "relational/fd_check.h"
+#include "transform/eval.h"
+#include "transform/rule_parser.h"
+#include "xml/parser.h"
+
+namespace xmlprop {
+namespace {
+
+using testing_fixtures::PaperKeys;
+using testing_fixtures::PaperTransformation;
+using testing_fixtures::RuleTable;
+using testing_fixtures::UniversalTable;
+
+bool Propagated(const TableTree& table, const std::string& fd,
+                PropagationStats* stats = nullptr) {
+  Result<bool> r = CheckPropagation(PaperKeys(), table, fd, stats);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() && *r;
+}
+
+TEST(PropagationTest, PaperExample42Positive) {
+  // Example 4.2: isbn → contact over Rule(book) is propagated.
+  TableTree book = RuleTable(PaperTransformation(), "book");
+  EXPECT_TRUE(Propagated(book, "isbn -> contact"));
+}
+
+TEST(PropagationTest, PaperExample42Negative) {
+  // Example 4.2: (inChapt, number) → name over Rule(section) is NOT
+  // propagated — chapter numbers do not identify chapters globally.
+  TableTree section = RuleTable(PaperTransformation(), "section");
+  EXPECT_FALSE(Propagated(section, "inChapt, number -> name"));
+}
+
+TEST(PropagationTest, Example11RefinedChapterKeyHolds) {
+  // The refined design of Example 1.1: (inBook, number) → name over
+  // Rule(chapter) — i.e. (isbn, chapterNum) is a safe key.
+  TableTree chapter = RuleTable(PaperTransformation(), "chapter");
+  EXPECT_TRUE(Propagated(chapter, "inBook, number -> name"));
+}
+
+TEST(PropagationTest, Example11OriginalDesignFails) {
+  // The original design keyed Chapter by (bookTitle, chapterNum): title
+  // does not identify a book, so the FD is not propagated.
+  Result<Transformation> t = ParseTransformation(R"(
+    rule chapterByTitle {
+      bookTitle:   value(T1)
+      chapterNum:  value(T2)
+      chapterName: value(T3)
+      Xb := Xr//book
+      T1 := Xb/title
+      Xc := Xb/chapter
+      T2 := Xc/@number
+      T3 := Xc/name
+    })");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  Result<TableTree> table = TableTree::Build(t->rules()[0]);
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE(Propagated(*table, "bookTitle, chapterNum -> chapterName"));
+}
+
+TEST(PropagationTest, BookRuleFds) {
+  TableTree book = RuleTable(PaperTransformation(), "book");
+  EXPECT_TRUE(Propagated(book, "isbn -> title"));
+  // A book may have several authors (only the contact one is unique).
+  EXPECT_FALSE(Propagated(book, "isbn -> author"));
+  // title does not key books (two books named "XML").
+  EXPECT_FALSE(Propagated(book, "title -> isbn"));
+  EXPECT_TRUE(Propagated(book, "isbn -> title, contact"));
+}
+
+TEST(PropagationTest, UniversalRelationFds) {
+  TableTree u = UniversalTable();
+  EXPECT_TRUE(Propagated(u, "bookIsbn -> bookTitle"));
+  EXPECT_TRUE(Propagated(u, "bookIsbn -> authContact"));
+  EXPECT_TRUE(Propagated(u, "bookIsbn, chapNum -> chapName"));
+  EXPECT_TRUE(Propagated(u, "bookIsbn, chapNum, secNum -> secName"));
+  EXPECT_FALSE(Propagated(u, "bookIsbn -> chapName"));
+  EXPECT_FALSE(Propagated(u, "chapNum -> chapName"));
+  EXPECT_FALSE(Propagated(u, "bookIsbn, secNum -> secName"));
+  EXPECT_FALSE(Propagated(u, "bookIsbn, chapNum, secNum -> bookTitle"));
+  // ^ value-wise implied (augmentation of bookIsbn -> bookTitle), but a
+  // chapterless book makes chapNum null while bookTitle is present,
+  // violating condition (1) of the Section 3 semantics.
+  EXPECT_FALSE(Propagated(u, "bookIsbn -> bookAuthor"));
+}
+
+TEST(PropagationTest, TrivialFdNeedsNonNullLhs) {
+  // X → A with A ∈ X still requires the other LHS fields to be non-null
+  // when A is present (condition 1 of the Section 3 FD semantics).
+  TableTree book = RuleTable(PaperTransformation(), "book");
+  // isbn → isbn: trivially fine (isbn is a required key attribute).
+  EXPECT_TRUE(Propagated(book, "isbn -> isbn"));
+  // (isbn, author) → isbn: author may be null while isbn is not.
+  EXPECT_FALSE(Propagated(book, "isbn, author -> isbn"));
+}
+
+TEST(PropagationTest, ValueSemanticsIgnoresNullCondition) {
+  TableTree book = RuleTable(PaperTransformation(), "book");
+  Result<Fd> fd = ParseFd(book.schema(), "isbn, author -> isbn");
+  ASSERT_TRUE(fd.ok());
+  Result<bool> value_only = CheckValuePropagation(PaperKeys(), book, *fd);
+  ASSERT_TRUE(value_only.ok());
+  EXPECT_TRUE(*value_only);  // trivially true once nulls are ignored
+  Result<bool> full = CheckPropagation(PaperKeys(), book, *fd);
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(*full);
+}
+
+TEST(PropagationTest, LhsFieldsFromNonAttributesBlockNullSafety) {
+  // (title, isbn) → contact: title is an element field, which no key can
+  // force to exist, so the null-safety condition fails.
+  TableTree book = RuleTable(PaperTransformation(), "book");
+  EXPECT_FALSE(Propagated(book, "isbn, title -> contact"));
+  Result<Fd> fd = ParseFd(book.schema(), "isbn, title -> contact");
+  ASSERT_TRUE(fd.ok());
+  Result<bool> value_only = CheckValuePropagation(PaperKeys(), book, *fd);
+  ASSERT_TRUE(value_only.ok());
+  EXPECT_TRUE(*value_only);  // superset of a keying LHS
+}
+
+TEST(PropagationTest, EmptyKeysPropagateAlmostNothing) {
+  TableTree book = RuleTable(PaperTransformation(), "book");
+  Result<bool> r = CheckPropagation({}, book, "isbn -> title");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(PropagationTest, StatsCountImplicationCalls) {
+  TableTree book = RuleTable(PaperTransformation(), "book");
+  PropagationStats stats;
+  EXPECT_TRUE(Propagated(book, "isbn -> contact", &stats));
+  EXPECT_GT(stats.implication_calls, 0u);
+  EXPECT_GT(stats.exist_calls, 0u);
+}
+
+TEST(PropagationTest, ErrorOnWrongUniverse) {
+  TableTree book = RuleTable(PaperTransformation(), "book");
+  Fd bad(AttrSet(3, {0}), AttrSet(3, {1}));  // wrong arity
+  EXPECT_FALSE(CheckPropagation(PaperKeys(), book, bad).ok());
+}
+
+TEST(PropagationTest, ErrorOnEmptyRhs) {
+  TableTree book = RuleTable(PaperTransformation(), "book");
+  Fd bad(AttrSet(4, {0}), AttrSet(4));
+  EXPECT_FALSE(CheckPropagation(PaperKeys(), book, bad).ok());
+}
+
+TEST(PropagationTest, ErrorOnUnknownFieldName) {
+  TableTree book = RuleTable(PaperTransformation(), "book");
+  EXPECT_FALSE(CheckPropagation(PaperKeys(), book, "nosuch -> isbn").ok());
+}
+
+TEST(PropagationTest, ConstantFieldViaUniqueness) {
+  // A root-level singleton: (ε, (config, {})) forces at most one config
+  // node, so ∅ → value is propagated.
+  Result<std::vector<XmlKey>> keys =
+      ParseKeySet("(ε, (config, {}))");
+  ASSERT_TRUE(keys.ok());
+  Result<Transformation> t = ParseTransformation(R"(
+    rule conf {
+      val: value(V)
+      C := Xr/config
+      V := C/@v
+    })");
+  ASSERT_TRUE(t.ok());
+  Result<TableTree> table = TableTree::Build(t->rules()[0]);
+  ASSERT_TRUE(table.ok());
+  Result<bool> r = CheckPropagation(*keys, *table, "-> val");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+// Counterexample witnesses: each FD the algorithm rejects must be
+// *genuinely* violable — a concrete Σ-satisfying document whose shredded
+// instance breaks the FD. This guards against vacuous "not propagated"
+// verdicts.
+TEST(PropagationTest, NegativeVerdictsHaveCounterexampleDocuments) {
+  struct Case {
+    const char* relation;
+    const char* fd;
+    const char* witness_xml;
+  };
+  // NOTE: condition (2) of the Section 3 semantics only compares tuples
+  // that are completely null-free, so witnesses must populate every
+  // field of the relation.
+  const Case cases[] = {
+      // Chapter numbers repeat across books (Example 4.2's negative).
+      {"section", "inChapt, number -> name", R"(<r>
+          <book isbn="1"><chapter number="7">
+            <section number="1"><name>A</name></section>
+          </chapter></book>
+          <book isbn="2"><chapter number="7">
+            <section number="1"><name>B</name></section>
+          </chapter></book></r>)"},
+      // Two books share a title (all book fields populated).
+      {"book", "title -> isbn", R"(<r>
+          <book isbn="1"><title>XML</title>
+            <author><name>N1</name><contact>c1</contact></author></book>
+          <book isbn="2"><title>XML</title>
+            <author><name>N2</name><contact>c2</contact></author></book>
+          </r>)"},
+      // A book with two authors, in a contact-free relation. (On the
+      // 4-field book rule this FD is unviolable: two null-free tuples
+      // would need two contact authors, which K7 forbids — Fig. 5 is
+      // deliberately conservative there.)
+      {"book2", "isbn -> author", R"(<r>
+          <book isbn="1"><title>T</title>
+            <author><name>A</name></author>
+            <author><name>B</name></author>
+          </book></r>)"},
+  };
+  std::vector<XmlKey> sigma = PaperKeys();
+  Result<Transformation> t = ParseTransformation(
+      std::string(testing_fixtures::kPaperTransformation) + R"(
+    rule book2 {
+      isbn:   value(B1)
+      title:  value(B2)
+      author: value(B4)
+      Ba := Xr//book
+      B1 := Ba/@isbn
+      B2 := Ba/title
+      Bb := Ba/author
+      B4 := Bb/name
+    })");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  for (const Case& c : cases) {
+    Result<Tree> doc = ParseXml(c.witness_xml);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    ASSERT_TRUE(SatisfiesAll(*doc, sigma)) << c.fd;
+
+    TableTree table = RuleTable(*t, c.relation);
+    Result<Fd> fd = ParseFd(table.schema(), c.fd);
+    ASSERT_TRUE(fd.ok());
+    Result<bool> verdict = CheckPropagation(sigma, table, *fd);
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_FALSE(*verdict) << c.fd;
+
+    Instance instance = EvalTableTree(*doc, table);
+    EXPECT_TRUE(CheckFd(instance, *fd).has_value())
+        << c.fd << " has no violation on its witness:\n"
+        << instance.ToString();
+  }
+}
+
+// A null-condition rejection also has a witness: isbn, author -> isbn is
+// violated (condition 1) by a book without authors.
+TEST(PropagationTest, NullConditionRejectionHasWitness) {
+  std::vector<XmlKey> sigma = PaperKeys();
+  TableTree book = RuleTable(PaperTransformation(), "book");
+  Result<Fd> fd = ParseFd(book.schema(), "isbn, author -> isbn");
+  ASSERT_TRUE(fd.ok());
+  Result<Tree> doc = ParseXml(R"(<r><book isbn="1"/></r>)");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(SatisfiesAll(*doc, sigma));
+  Instance instance = EvalTableTree(*doc, book);
+  std::optional<FdViolation> v = CheckFd(instance, *fd);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, FdViolation::Kind::kIncompleteLhs);
+}
+
+TEST(LhsNonNullTest, DirectChecks) {
+  TableTree book = RuleTable(PaperTransformation(), "book");
+  std::vector<XmlKey> sigma = PaperKeys();
+  // isbn (field 0) is forced to exist on //book; contact is field 3.
+  AttrSet isbn(4, {0});
+  Result<bool> ok = LhsNonNullWhenRhsPresent(sigma, book, isbn, 3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+  // title (field 1) is not attribute-backed.
+  AttrSet title(4, {1});
+  Result<bool> bad = LhsNonNullWhenRhsPresent(sigma, book, title, 3);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(*bad);
+}
+
+}  // namespace
+}  // namespace xmlprop

@@ -1,0 +1,203 @@
+#include "core/publish.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "keys/satisfaction.h"
+#include "paper_fixtures.h"
+#include "synth/doc_generator.h"
+#include "transform/eval.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace xmlprop {
+namespace {
+
+using testing_fixtures::Fig1Tree;
+using testing_fixtures::PaperKeys;
+using testing_fixtures::UniversalTable;
+
+// Instances compare as sets of tuples.
+bool SameTuples(const Instance& a, const Instance& b) {
+  if (a.size() != b.size()) return false;
+  for (const Tuple& t : a.tuples()) {
+    bool found = false;
+    for (const Tuple& u : b.tuples()) {
+      if (t == u) found = true;
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+TEST(PublishTest, Fig1RoundTripsThroughUniversalRelation) {
+  // Shred Fig. 1 into the universal relation, publish it back to XML,
+  // and re-shred: the instances must coincide, and the published
+  // document must satisfy all the keys.
+  Tree original = Fig1Tree();
+  TableTree u = UniversalTable();
+  std::vector<XmlKey> sigma = PaperKeys();
+
+  Instance shredded = EvalTableTree(original, u);
+  Result<Tree> published = PublishXml(shredded, u, sigma);
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+  EXPECT_TRUE(SatisfiesAll(*published, sigma)) << WriteXml(*published);
+
+  Instance reshredded = EvalTableTree(*published, u);
+  EXPECT_TRUE(SameTuples(shredded, reshredded))
+      << "shredded:\n" << shredded.ToString() << "\npublished:\n"
+      << WriteXml(*published) << "\nreshredded:\n"
+      << reshredded.ToString();
+}
+
+TEST(PublishTest, GroupsByKeysNotByTuples) {
+  // Two chapters of one book: the Cartesian-free instance has two tuples
+  // sharing the book key; publishing must create ONE book element.
+  Tree original = Fig1Tree();
+  TableTree u = UniversalTable();
+  Result<Tree> published =
+      PublishXml(EvalTableTree(original, u), u, PaperKeys());
+  ASSERT_TRUE(published.ok());
+  Result<PathExpr> books = PathExpr::Parse("//book");
+  ASSERT_TRUE(books.ok());
+  EXPECT_EQ(books->EvalFromRoot(*published).size(), 2u);
+  Result<PathExpr> chapters = PathExpr::Parse("//book/chapter");
+  ASSERT_TRUE(chapters.ok());
+  EXPECT_EQ(chapters->EvalFromRoot(*published).size(), 3u);
+}
+
+TEST(PublishTest, UnkeyedMultiValuedVariablesReconstruct) {
+  // Two authors (unkeyed) × two chapters: the product instance must fold
+  // back into exactly two author elements.
+  Result<Tree> original = ParseXml(R"(<r><book isbn="1">
+      <title>T</title>
+      <author><name>A</name><contact>a@x</contact></author>
+      <author><name>B</name><contact>b@x</contact></author>
+      <chapter number="1"><name>N1</name></chapter>
+      <chapter number="2"><name>N2</name></chapter>
+  </book></r>)");
+  ASSERT_TRUE(original.ok());
+  TableTree u = UniversalTable();
+  // K7 (one contact author) does not hold here; use the structural keys.
+  Result<std::vector<XmlKey>> sigma = ParseKeySet(R"(
+      K1: (ε, (//book, {@isbn}))
+      K2: (//book, (chapter, {@number}))
+      K3: (//book, (title, {}))
+      K4: (//book/chapter, (name, {}))
+      K6: (//book/chapter, (section, {@number}))
+      K5: (//book/chapter/section, (name, {}))
+      KA: (//author, (name, {}))
+      KB: (//author, (contact, {}))
+  )");
+  ASSERT_TRUE(sigma.ok());
+
+  Instance shredded = EvalTableTree(*original, u);
+  EXPECT_EQ(shredded.size(), 4u);  // 2 authors × 2 chapters
+  Result<Tree> published = PublishXml(shredded, u, *sigma);
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+
+  Result<PathExpr> authors = PathExpr::Parse("//author");
+  ASSERT_TRUE(authors.ok());
+  EXPECT_EQ(authors->EvalFromRoot(*published).size(), 2u)
+      << WriteXml(*published);
+
+  Instance reshredded = EvalTableTree(*published, u);
+  EXPECT_TRUE(SameTuples(shredded, reshredded)) << WriteXml(*published);
+}
+
+TEST(PublishTest, NullRowsContributeOnlyPrefixes) {
+  // A book with no chapters shreds to a null-suffixed tuple; publishing
+  // must create the book but no chapter.
+  Result<Tree> original = ParseXml(
+      R"(<r><book isbn="9"><title>Solo</title></book></r>)");
+  ASSERT_TRUE(original.ok());
+  TableTree u = UniversalTable();
+  Result<Tree> published =
+      PublishXml(EvalTableTree(*original, u), u, PaperKeys());
+  ASSERT_TRUE(published.ok());
+  Result<PathExpr> chapters = PathExpr::Parse("//chapter");
+  ASSERT_TRUE(chapters.ok());
+  EXPECT_TRUE(chapters->EvalFromRoot(*published).empty());
+  Result<PathExpr> books = PathExpr::Parse("//book");
+  ASSERT_TRUE(books.ok());
+  ASSERT_EQ(books->EvalFromRoot(*published).size(), 1u);
+}
+
+TEST(PublishTest, MultiLabelStepsNestChains) {
+  // A mapping with a two-label step publishes as a nested chain.
+  Result<Transformation> t = ParseTransformation(R"(
+    rule R {
+      v: value(A)
+      X := Xr/wrap/item
+      A := X/@id
+    })");
+  ASSERT_TRUE(t.ok());
+  Result<TableTree> table = TableTree::Build(t->rules()[0]);
+  ASSERT_TRUE(table.ok());
+  Result<std::vector<XmlKey>> sigma =
+      ParseKeySet("(ε, (wrap/item, {@id}))");
+  ASSERT_TRUE(sigma.ok());
+  Instance instance(table->schema());
+  Tuple t1(1), t2(1);
+  t1[0] = "1";
+  t2[0] = "2";
+  ASSERT_TRUE(instance.Add(t1).ok());
+  ASSERT_TRUE(instance.Add(t2).ok());
+  Result<Tree> published = PublishXml(instance, *table, *sigma);
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+  Result<PathExpr> items = PathExpr::Parse("wrap/item");
+  ASSERT_TRUE(items.ok());
+  EXPECT_EQ(items->EvalFromRoot(*published).size(), 2u)
+      << WriteXml(*published);
+}
+
+TEST(PublishTest, InconsistentInstanceRejected) {
+  // Same book key, two different titles: impossible under the keys.
+  TableTree u = UniversalTable();
+  Instance bad(u.schema());
+  Tuple t1(8), t2(8);
+  t1[0] = "1";  // bookIsbn
+  t1[1] = "Title A";
+  t2[0] = "1";
+  t2[1] = "Title B";
+  ASSERT_TRUE(bad.Add(t1).ok());
+  ASSERT_TRUE(bad.Add(t2).ok());
+  Result<Tree> published = PublishXml(bad, u, PaperKeys());
+  ASSERT_FALSE(published.ok());
+  EXPECT_NE(published.status().message().find("inconsistent"),
+            std::string::npos);
+}
+
+TEST(PublishTest, SchemaMismatchRejected) {
+  TableTree u = UniversalTable();
+  Result<RelationSchema> other = RelationSchema::Parse("x(a)");
+  ASSERT_TRUE(other.ok());
+  Instance wrong(*other);
+  EXPECT_FALSE(PublishXml(wrong, u, PaperKeys()).ok());
+}
+
+class PublishRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PublishRoundTrip, RandomDocumentsRoundTrip) {
+  // Shred(Publish(Shred(doc))) == Shred(doc) for random key-satisfying
+  // documents.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 4409 + 17);
+  std::vector<XmlKey> sigma = PaperKeys();
+  TableTree u = UniversalTable();
+  RandomTreeSpec spec;
+  Result<Tree> doc = RandomSatisfyingTree(spec, sigma, &rng);
+  ASSERT_TRUE(doc.ok());
+
+  Instance shredded = EvalTableTree(*doc, u);
+  Result<Tree> published = PublishXml(shredded, u, sigma);
+  ASSERT_TRUE(published.ok()) << published.status().ToString();
+  Instance reshredded = EvalTableTree(*published, u);
+  EXPECT_TRUE(SameTuples(shredded, reshredded))
+      << "doc:\n" << WriteXml(*doc) << "\npublished:\n"
+      << WriteXml(*published);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PublishRoundTrip, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace xmlprop

@@ -1,0 +1,184 @@
+#include "transform/rule.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_fixtures.h"
+#include "transform/rule_parser.h"
+
+namespace xmlprop {
+namespace {
+
+using testing_fixtures::kPaperTransformation;
+
+Result<TableRule> ParseOne(std::string_view body) {
+  return ParseTableRule(std::string("rule R {\n") + std::string(body) +
+                        "\n}\n");
+}
+
+TEST(RuleParserTest, PaperTransformationParses) {
+  Result<Transformation> t = ParseTransformation(kPaperTransformation);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->rules().size(), 3u);
+  EXPECT_EQ(t->rules()[0].relation_name(), "book");
+  EXPECT_EQ(t->rules()[1].relation_name(), "chapter");
+  EXPECT_EQ(t->rules()[2].relation_name(), "section");
+  EXPECT_EQ(t->rules()[0].field_rules().size(), 4u);
+  EXPECT_EQ(t->rules()[0].mappings().size(), 6u);
+}
+
+TEST(RuleParserTest, SchemaFollowsFieldOrder) {
+  Result<Transformation> t = ParseTransformation(kPaperTransformation);
+  ASSERT_TRUE(t.ok());
+  RelationSchema s = t->rules()[0].Schema();
+  EXPECT_EQ(s.ToString(), "book(isbn, title, author, contact)");
+}
+
+TEST(RuleParserTest, MappingRhsSplitsParentAndPath) {
+  Result<TableRule> r = ParseOne(R"(
+      f: value(X1)
+      Xa := Xr//book
+      X1 := Xa/@isbn)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->mappings()[0].parent, "Xr");
+  EXPECT_EQ(r->mappings()[0].path.ToString(), "//book");
+  EXPECT_EQ(r->mappings()[1].parent, "Xa");
+  EXPECT_EQ(r->mappings()[1].path.ToString(), "@isbn");
+}
+
+TEST(RuleParserTest, CommentsIgnored) {
+  Result<TableRule> r = ParseOne(R"(
+      # field rules
+      f: value(X1)   # the only field
+      Xa := Xr//b    # var
+      X1 := Xa/@x)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(RuleParserTest, ErrorMissingBrace) {
+  EXPECT_FALSE(ParseTransformation("rule R {\n f: value(X)\n").ok());
+}
+
+TEST(RuleParserTest, ErrorBadHeader) {
+  EXPECT_FALSE(ParseTransformation("table R {\n}\n").ok());
+  EXPECT_FALSE(ParseTransformation("rule {\n}\n").ok());
+}
+
+TEST(RuleParserTest, ErrorMalformedLines) {
+  EXPECT_FALSE(ParseOne("f: nonsense(X)").ok());
+  EXPECT_FALSE(ParseOne("just some words").ok());
+  EXPECT_FALSE(ParseOne("X := /nope").ok());
+  EXPECT_FALSE(ParseOne("X := Xr").ok());
+}
+
+TEST(RuleValidationTest, UndeclaredParentRejected) {
+  Result<TableRule> r = ParseOne(R"(
+      f: value(X1)
+      X1 := Zz/@x)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("undeclared parent"),
+            std::string::npos);
+}
+
+TEST(RuleValidationTest, DescendantOnlyFromRoot) {
+  // Definition 2.2: X := Y/P with P containing '//' requires Y = Xr.
+  Result<TableRule> r = ParseOne(R"(
+      f: value(X1)
+      Xa := Xr/a
+      X1 := Xa//b)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("'//'"), std::string::npos);
+
+  Result<TableRule> ok = ParseOne(R"(
+      f: value(X1)
+      Xa := Xr//a
+      X1 := Xa/b)");
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST(RuleValidationTest, FieldVariablesMustBeLeaves) {
+  // Definition 2.2: no field value(Y) when some X := Y/P exists.
+  Result<TableRule> r = ParseOne(R"(
+      f: value(Xa)
+      Xa := Xr//a
+      X1 := Xa/b)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("child mappings"), std::string::npos);
+}
+
+TEST(RuleValidationTest, DuplicateVariableRejected) {
+  EXPECT_FALSE(ParseOne(R"(
+      f: value(X1)
+      X1 := Xr/a
+      X1 := Xr/b)").ok());
+}
+
+TEST(RuleValidationTest, DuplicateFieldRejected) {
+  EXPECT_FALSE(ParseOne(R"(
+      f: value(X1)
+      f: value(X2)
+      X1 := Xr/a
+      X2 := Xr/b)").ok());
+}
+
+TEST(RuleValidationTest, SharedFieldVariableRejected) {
+  EXPECT_FALSE(ParseOne(R"(
+      f: value(X1)
+      g: value(X1)
+      X1 := Xr/a)").ok());
+}
+
+TEST(RuleValidationTest, FieldOnUndeclaredVariable) {
+  EXPECT_FALSE(ParseOne("f: value(Ghost)").ok());
+}
+
+TEST(RuleValidationTest, NoFieldsRejected) {
+  EXPECT_FALSE(ParseOne("X1 := Xr/a").ok());
+}
+
+TEST(RuleValidationTest, AttributeVariableCannotHaveChildren) {
+  Result<TableRule> r = ParseOne(R"(
+      f: value(X2)
+      X1 := Xr/a/@attr
+      X2 := X1/b)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("attribute-valued"),
+            std::string::npos);
+}
+
+TEST(RuleValidationTest, RootCannotBeRemapped) {
+  EXPECT_FALSE(ParseOne(R"(
+      f: value(X1)
+      Xr := Xr/a
+      X1 := Xr/b)").ok());
+}
+
+TEST(TransformationTest, DuplicateRelationRejected) {
+  Transformation t;
+  TableRule a("R"), b("R");
+  a.AddField("f", "X");
+  a.AddMapping("X", std::string(kRootVar), PathExpr::Label("x"));
+  b.AddField("g", "Y");
+  b.AddMapping("Y", std::string(kRootVar), PathExpr::Label("y"));
+  t.AddRule(a);
+  t.AddRule(b);
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TransformationTest, FindRule) {
+  Result<Transformation> t = ParseTransformation(kPaperTransformation);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->FindRule("chapter").ok());
+  EXPECT_FALSE(t->FindRule("nope").ok());
+}
+
+TEST(RuleToStringTest, MentionsFieldsAndMappings) {
+  Result<Transformation> t = ParseTransformation(kPaperTransformation);
+  ASSERT_TRUE(t.ok());
+  std::string s = t->rules()[0].ToString();
+  EXPECT_NE(s.find("Rule(book)"), std::string::npos);
+  EXPECT_NE(s.find("isbn: value(X1)"), std::string::npos);
+  EXPECT_NE(s.find("Xa := Xr//book"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmlprop

@@ -1,0 +1,142 @@
+#include "keys/satisfaction.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_fixtures.h"
+#include "xml/parser.h"
+
+namespace xmlprop {
+namespace {
+
+using testing_fixtures::Fig1Tree;
+using testing_fixtures::PaperKeys;
+
+XmlKey K(std::string_view text) {
+  Result<XmlKey> k = XmlKey::Parse(text);
+  EXPECT_TRUE(k.ok()) << k.status().ToString();
+  return std::move(k).value();
+}
+
+Tree T(std::string_view xml) {
+  Result<Tree> t = ParseXml(xml);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return std::move(t).value();
+}
+
+TEST(SatisfactionTest, Fig1SatisfiesAllPaperKeys) {
+  // Example 2.3: the XML tree of Fig. 1 satisfies K1-K7.
+  Tree tree = Fig1Tree();
+  for (const XmlKey& key : PaperKeys()) {
+    EXPECT_TRUE(Satisfies(tree, key)) << key.ToString();
+  }
+  EXPECT_TRUE(SatisfiesAll(tree, PaperKeys()));
+}
+
+TEST(SatisfactionTest, DuplicateKeyValuesDetected) {
+  Tree tree = T(R"(<r><book isbn="1"/><book isbn="1"/></r>)");
+  XmlKey key = K("(ε, (//book, {@isbn}))");
+  std::vector<KeyViolation> v = CheckKey(tree, key);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, KeyViolation::Kind::kDuplicateValues);
+  EXPECT_NE(v[0].node1, v[0].node2);
+}
+
+TEST(SatisfactionTest, MissingAttributeDetected) {
+  // Condition (1) of Definition 2.1: key attributes must exist on every
+  // target node — even a lone one.
+  Tree tree = T(R"(<r><book/></r>)");
+  XmlKey key = K("(ε, (//book, {@isbn}))");
+  std::vector<KeyViolation> v = CheckKey(tree, key);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, KeyViolation::Kind::kMissingAttribute);
+  EXPECT_EQ(v[0].attribute, "isbn");
+}
+
+TEST(SatisfactionTest, RelativeKeyScoping) {
+  // The same @number may repeat across books but not within one book.
+  Tree ok = T(R"(<r>
+      <book isbn="1"><chapter number="1"/></book>
+      <book isbn="2"><chapter number="1"/></book></r>)");
+  XmlKey key = K("(//book, (chapter, {@number}))");
+  EXPECT_TRUE(Satisfies(ok, key));
+
+  Tree bad = T(R"(<r>
+      <book isbn="1"><chapter number="1"/><chapter number="1"/></book></r>)");
+  EXPECT_FALSE(Satisfies(bad, key));
+}
+
+TEST(SatisfactionTest, AbsoluteVersionOfRelativeKeyFails) {
+  // Two books may both have chapter 1; (ε, (//chapter, {@number})) fails
+  // while the relative K2 holds — the scoping distinction of Section 2.
+  Tree tree = T(R"(<r>
+      <book isbn="1"><chapter number="1"/></book>
+      <book isbn="2"><chapter number="1"/></book></r>)");
+  EXPECT_TRUE(Satisfies(tree, K("(//book, (chapter, {@number}))")));
+  EXPECT_FALSE(Satisfies(tree, K("(ε, (//chapter, {@number}))")));
+}
+
+TEST(SatisfactionTest, EmptyAttributeSetMeansAtMostOne) {
+  XmlKey key = K("(//book, (title, {}))");
+  EXPECT_TRUE(Satisfies(T(R"(<r><book><title>A</title></book></r>)"), key));
+  EXPECT_TRUE(Satisfies(T(R"(<r><book/></r>)"), key));
+  EXPECT_FALSE(Satisfies(
+      T(R"(<r><book><title>A</title><title>B</title></book></r>)"), key));
+}
+
+TEST(SatisfactionTest, MultiAttributeKey) {
+  XmlKey key = K("(ε, (//p, {@a, @b}))");
+  EXPECT_TRUE(Satisfies(T(R"(<r><p a="1" b="1"/><p a="1" b="2"/></r>)"), key));
+  EXPECT_FALSE(Satisfies(T(R"(<r><p a="1" b="1"/><p a="1" b="1"/></r>)"), key));
+}
+
+TEST(SatisfactionTest, MultiStepTargetPath) {
+  // K7-style: at most one author contact per book.
+  XmlKey key = K("(//book, (author/contact, {}))");
+  EXPECT_TRUE(Satisfies(T(R"(<r><book>
+      <author><contact>x</contact></author><author/></book></r>)"), key));
+  EXPECT_FALSE(Satisfies(T(R"(<r><book>
+      <author><contact>x</contact></author>
+      <author><contact>y</contact></author></book></r>)"), key));
+}
+
+TEST(SatisfactionTest, NestedContextsCheckedIndependently) {
+  // A key with context //a applies to nested 'a' elements separately.
+  Tree tree = T(R"(<r><a><b k="1"/><a><b k="1"/></a></a></r>)");
+  // Outer 'a' sees only its direct b child; the nested a's b is separate.
+  EXPECT_TRUE(Satisfies(tree, K("(//a, (b, {@k}))")));
+  // But with target //b the outer context sees both b's, which collide.
+  EXPECT_FALSE(Satisfies(tree, K("(//a, (//b, {@k}))")));
+}
+
+TEST(SatisfactionTest, CheckAllTagsKeyIndices) {
+  Tree tree = T(R"(<r><book/><book/></r>)");
+  std::vector<XmlKey> keys = {K("(ε, (//book, {@isbn}))"),
+                              K("(ε, (//book, {}))")};
+  std::vector<TaggedViolation> all = CheckAll(tree, keys);
+  // Key 0: two missing-attribute violations; key 1: one duplicate.
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].key_index, 0u);
+  EXPECT_EQ(all[2].key_index, 1u);
+  EXPECT_EQ(all[2].violation.kind, KeyViolation::Kind::kDuplicateValues);
+}
+
+TEST(SatisfactionTest, DescribeMentionsPathAndKey) {
+  Tree tree = T(R"(<r><book/></r>)");
+  XmlKey key = K("KX: (ε, (//book, {@isbn}))");
+  std::vector<KeyViolation> v = CheckKey(tree, key);
+  ASSERT_EQ(v.size(), 1u);
+  std::string desc = v[0].Describe(tree, key);
+  EXPECT_NE(desc.find("KX"), std::string::npos);
+  EXPECT_NE(desc.find("isbn"), std::string::npos);
+  EXPECT_NE(desc.find("book"), std::string::npos);
+}
+
+TEST(SatisfactionTest, ViolationInFig2ScenarioTitleAsKey) {
+  // Example 1.1: bookTitle cannot act as a key — two books share "XML".
+  // The XML-side analogue: (ε, (//book, {@t})) with equal @t values.
+  Tree tree = T(R"(<r><book t="XML"/><book t="XML"/></r>)");
+  EXPECT_FALSE(Satisfies(tree, K("(ε, (//book, {@t}))")));
+}
+
+}  // namespace
+}  // namespace xmlprop

@@ -1,0 +1,154 @@
+#include "relational/sql_ddl.h"
+
+#include <gtest/gtest.h>
+
+#include "core/minimum_cover.h"
+#include "paper_fixtures.h"
+#include "relational/normalize.h"
+
+namespace xmlprop {
+namespace {
+
+using testing_fixtures::PaperKeys;
+using testing_fixtures::UniversalTable;
+
+// The paper-example cover and its BCNF decomposition.
+struct Fixture {
+  FdSet cover;
+  std::vector<SubRelation> bcnf;
+};
+
+Fixture MakeFixture() {
+  TableTree u = UniversalTable();
+  Result<FdSet> cover = MinimumCover(PaperKeys(), u);
+  EXPECT_TRUE(cover.ok());
+  Fixture f{std::move(cover).value(), {}};
+  f.bcnf = DecomposeBcnf(f.cover);
+  // Friendlier names for assertions.
+  for (SubRelation& frag : f.bcnf) {
+    if (frag.attrs.Test(7)) frag.name = "section";
+    else if (frag.attrs.Test(5)) frag.name = "chapter";
+    else if (frag.attrs.Test(1)) frag.name = "book";
+    else frag.name = "author_rest";
+  }
+  return f;
+}
+
+TEST(SqlDdlTest, PrimaryKeysAreMinimalFragmentKeys) {
+  Fixture f = MakeFixture();
+  Result<std::vector<TableDdl>> tables = GenerateDdl(f.bcnf, f.cover);
+  ASSERT_TRUE(tables.ok()) << tables.status().ToString();
+  for (const TableDdl& t : *tables) {
+    if (t.name == "book") {
+      EXPECT_EQ(t.primary_key, std::vector<std::string>{"bookIsbn"});
+    } else if (t.name == "chapter") {
+      EXPECT_EQ(t.primary_key,
+                (std::vector<std::string>{"bookIsbn", "chapNum"}));
+    } else if (t.name == "section") {
+      EXPECT_EQ(t.primary_key,
+                (std::vector<std::string>{"bookIsbn", "chapNum", "secNum"}));
+    }
+  }
+}
+
+TEST(SqlDdlTest, ForeignKeysFollowHierarchyWithoutRedundancy) {
+  Fixture f = MakeFixture();
+  Result<std::vector<TableDdl>> tables = GenerateDdl(f.bcnf, f.cover);
+  ASSERT_TRUE(tables.ok());
+  for (const TableDdl& t : *tables) {
+    if (t.name == "section") {
+      // section -> chapter only; the reference to book is transitively
+      // implied and must be suppressed.
+      ASSERT_EQ(t.foreign_keys.size(), 1u) << t.ToSql({});
+      EXPECT_NE(t.foreign_keys[0].find("REFERENCES chapter"),
+                std::string::npos);
+    }
+    if (t.name == "chapter") {
+      ASSERT_EQ(t.foreign_keys.size(), 1u);
+      EXPECT_NE(t.foreign_keys[0].find("REFERENCES book"), std::string::npos);
+    }
+    if (t.name == "book") {
+      EXPECT_TRUE(t.foreign_keys.empty());
+    }
+  }
+}
+
+TEST(SqlDdlTest, ScriptContainsEveryTable) {
+  Fixture f = MakeFixture();
+  Result<std::string> script = GenerateDdlScript(f.bcnf, f.cover);
+  ASSERT_TRUE(script.ok());
+  EXPECT_NE(script->find("CREATE TABLE book"), std::string::npos);
+  EXPECT_NE(script->find("CREATE TABLE chapter"), std::string::npos);
+  EXPECT_NE(script->find("CREATE TABLE section"), std::string::npos);
+  EXPECT_NE(script->find("PRIMARY KEY (bookIsbn, chapNum, secNum)"),
+            std::string::npos);
+}
+
+TEST(SqlDdlTest, OptionsControlTypeAndClauses) {
+  Fixture f = MakeFixture();
+  DdlOptions options;
+  options.column_type = "VARCHAR(255)";
+  options.foreign_keys = false;
+  options.not_null_keys = false;
+  Result<std::string> script = GenerateDdlScript(f.bcnf, f.cover, options);
+  ASSERT_TRUE(script.ok());
+  EXPECT_NE(script->find("VARCHAR(255)"), std::string::npos);
+  EXPECT_EQ(script->find("FOREIGN KEY"), std::string::npos);
+  EXPECT_EQ(script->find("NOT NULL"), std::string::npos);
+}
+
+TEST(SqlDdlTest, RejectsForeignUniverse) {
+  Fixture f = MakeFixture();
+  std::vector<SubRelation> bad = {SubRelation{"x", AttrSet(3, {0})}};
+  EXPECT_FALSE(GenerateDdl(bad, f.cover).ok());
+}
+
+TEST(SqlDdlTest, RejectsEmptyFragment) {
+  Fixture f = MakeFixture();
+  std::vector<SubRelation> bad = {
+      SubRelation{"x", AttrSet(f.cover.schema().arity())}};
+  EXPECT_FALSE(GenerateDdl(bad, f.cover).ok());
+}
+
+TEST(SqlDdlTest, InsertsEscapeAndNull) {
+  Result<RelationSchema> schema = RelationSchema::Parse("t(a, b)");
+  ASSERT_TRUE(schema.ok());
+  Instance instance(*schema);
+  ASSERT_TRUE(instance.Add({Field("O'Brien"), std::nullopt}).ok());
+  std::string sql = GenerateInserts(instance);
+  EXPECT_NE(sql.find("INSERT INTO t (a, b) VALUES ('O''Brien', NULL);"),
+            std::string::npos);
+}
+
+TEST(SqlDdlTest, SingletonFragmentOmitsPrimaryKeyClause) {
+  // ∅ -> a, ∅ -> b: the fragment holds at most one row; SQL has no
+  // PRIMARY KEY () so the clause must be dropped.
+  Result<RelationSchema> schema = RelationSchema::Parse("r(a, b)");
+  ASSERT_TRUE(schema.ok());
+  FdSet cover(*schema);
+  ASSERT_TRUE(cover.AddParsed("-> a").ok());
+  ASSERT_TRUE(cover.AddParsed("-> b").ok());
+  std::vector<SubRelation> frags = {SubRelation{"r1", AttrSet(2, {0, 1})}};
+  Result<std::vector<TableDdl>> tables = GenerateDdl(frags, cover);
+  ASSERT_TRUE(tables.ok());
+  EXPECT_TRUE((*tables)[0].primary_key.empty());
+  std::string sql = (*tables)[0].ToSql({});
+  EXPECT_EQ(sql.find("PRIMARY KEY"), std::string::npos);
+  EXPECT_NE(sql.find("singleton"), std::string::npos);
+  // No dangling comma before the closing paren.
+  EXPECT_EQ(sql.find(",\n);"), std::string::npos);
+}
+
+TEST(SqlDdlTest, AllKeyFragmentGetsWholeRowKey) {
+  // A fragment with no FDs projecting into it: primary key = all columns.
+  Result<RelationSchema> schema = RelationSchema::Parse("r(a, b)");
+  ASSERT_TRUE(schema.ok());
+  FdSet cover(*schema);
+  std::vector<SubRelation> frags = {SubRelation{"r1", AttrSet(2, {0, 1})}};
+  Result<std::vector<TableDdl>> tables = GenerateDdl(frags, cover);
+  ASSERT_TRUE(tables.ok());
+  EXPECT_EQ((*tables)[0].primary_key, (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace xmlprop

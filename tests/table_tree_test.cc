@@ -1,0 +1,115 @@
+#include "transform/table_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_fixtures.h"
+
+namespace xmlprop {
+namespace {
+
+using testing_fixtures::PaperTransformation;
+using testing_fixtures::RuleTable;
+using testing_fixtures::UniversalTable;
+
+TEST(TableTreeTest, BookRuleShape) {
+  // Fig. 3(a): Xr -> Xa(//book) -> {X1(@isbn), X2(title), Xb(author)};
+  // Xb -> {X4(name), X5(contact)}.
+  TableTree t = RuleTable(PaperTransformation(), "book");
+  EXPECT_EQ(t.size(), 7u);  // Xr + 6 variables
+  EXPECT_EQ(t.node(t.root()).name, "Xr");
+  Result<int> xa = t.IndexOf("Xa");
+  ASSERT_TRUE(xa.ok());
+  EXPECT_EQ(t.node(*xa).step.ToString(), "//book");
+  EXPECT_EQ(t.node(*xa).children.size(), 3u);
+  Result<int> xb = t.IndexOf("Xb");
+  ASSERT_TRUE(xb.ok());
+  EXPECT_EQ(t.node(*xb).children.size(), 2u);
+}
+
+TEST(TableTreeTest, FieldsAttachToVariables) {
+  TableTree t = RuleTable(PaperTransformation(), "book");
+  Result<int> x1 = t.IndexOf("X1");
+  ASSERT_TRUE(x1.ok());
+  EXPECT_EQ(t.node(*x1).field, 0);  // isbn is field 0
+  EXPECT_EQ(t.VarForField(0), *x1);
+  // Internal variables carry no field.
+  Result<int> xa = t.IndexOf("Xa");
+  ASSERT_TRUE(xa.ok());
+  EXPECT_EQ(t.node(*xa).field, -1);
+}
+
+TEST(TableTreeTest, PathFromRoot) {
+  // Fig. 3(b): ρ(Xr, Zs) = //book/chapter/section.
+  TableTree t = RuleTable(PaperTransformation(), "section");
+  Result<int> zs = t.IndexOf("Zs");
+  ASSERT_TRUE(zs.ok());
+  EXPECT_EQ(t.PathFromRoot(*zs).ToString(), "//book/chapter/section");
+  EXPECT_EQ(t.PathFromRoot(t.root()).ToString(), "ε");
+}
+
+TEST(TableTreeTest, PathBetween) {
+  TableTree t = RuleTable(PaperTransformation(), "book");
+  Result<int> xb = t.IndexOf("Xb");
+  Result<int> x5 = t.IndexOf("X5");
+  ASSERT_TRUE(xb.ok());
+  ASSERT_TRUE(x5.ok());
+  // The paper's example: ρ(Xr, X5) = //book/author/contact.
+  Result<PathExpr> p = t.PathBetween(t.root(), *x5);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "//book/author/contact");
+  Result<PathExpr> p2 = t.PathBetween(*xb, *x5);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2->ToString(), "contact");
+  // ρ(v, v) = ε.
+  Result<PathExpr> self = t.PathBetween(*xb, *xb);
+  ASSERT_TRUE(self.ok());
+  EXPECT_TRUE(self->IsEpsilon());
+  // Non-ancestor pairs are rejected.
+  EXPECT_FALSE(t.PathBetween(*x5, *xb).ok());
+}
+
+TEST(TableTreeTest, AncestorChain) {
+  TableTree t = RuleTable(PaperTransformation(), "book");
+  Result<int> x5 = t.IndexOf("X5");
+  ASSERT_TRUE(x5.ok());
+  std::vector<int> chain = t.AncestorChain(*x5);
+  ASSERT_EQ(chain.size(), 4u);  // Xr, Xa, Xb, X5
+  EXPECT_EQ(chain.front(), t.root());
+  EXPECT_EQ(chain.back(), *x5);
+  EXPECT_EQ(t.node(chain[1]).name, "Xa");
+  EXPECT_EQ(t.node(chain[2]).name, "Xb");
+}
+
+TEST(TableTreeTest, IsAncestorOrSelf) {
+  TableTree t = RuleTable(PaperTransformation(), "book");
+  int xa = *t.IndexOf("Xa");
+  int x5 = *t.IndexOf("X5");
+  EXPECT_TRUE(t.IsAncestorOrSelf(t.root(), x5));
+  EXPECT_TRUE(t.IsAncestorOrSelf(xa, x5));
+  EXPECT_TRUE(t.IsAncestorOrSelf(x5, x5));
+  EXPECT_FALSE(t.IsAncestorOrSelf(x5, xa));
+}
+
+TEST(TableTreeTest, Depth) {
+  // book rule: Xr -> Xa -> Xb -> X4 is 3 edges deep.
+  EXPECT_EQ(RuleTable(PaperTransformation(), "book").Depth(), 3u);
+  // universal tree (Fig. 4): Xr -> Xa -> Xc -> Zs -> S1 is 4 edges.
+  EXPECT_EQ(UniversalTable().Depth(), 4u);
+}
+
+TEST(TableTreeTest, UniversalTreeShape) {
+  TableTree t = UniversalTable();
+  EXPECT_EQ(t.schema().arity(), 8u);
+  EXPECT_EQ(t.size(), 13u);  // Xr + 12 variables
+  EXPECT_EQ(t.schema().ToString(),
+            "U(bookIsbn, bookTitle, bookAuthor, authContact, chapNum, "
+            "chapName, secNum, secName)");
+}
+
+TEST(TableTreeTest, IndexOfUnknownFails) {
+  TableTree t = UniversalTable();
+  EXPECT_FALSE(t.IndexOf("Nope").ok());
+}
+
+}  // namespace
+}  // namespace xmlprop

@@ -1,0 +1,159 @@
+#include "xml/tree.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlprop {
+namespace {
+
+Tree SampleTree() {
+  // <r><book isbn="1"><title>XML</title><chapter number="2"/></book></r>
+  Tree t("r");
+  NodeId book = t.CreateElement(t.root(), "book");
+  EXPECT_TRUE(t.CreateAttribute(book, "isbn", "1").ok());
+  NodeId title = t.CreateElement(book, "title");
+  t.CreateText(title, "XML");
+  NodeId chapter = t.CreateElement(book, "chapter");
+  EXPECT_TRUE(t.CreateAttribute(chapter, "number", "2").ok());
+  return t;
+}
+
+TEST(TreeTest, RootIsElementZero) {
+  Tree t("r");
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.node(0).kind, NodeKind::kElement);
+  EXPECT_EQ(t.node(0).label, "r");
+  EXPECT_EQ(t.node(0).parent, kInvalidNode);
+}
+
+TEST(TreeTest, ParentChildLinks) {
+  Tree t = SampleTree();
+  NodeId book = t.node(t.root()).children[0];
+  EXPECT_EQ(t.node(book).label, "book");
+  EXPECT_EQ(t.node(book).parent, t.root());
+  EXPECT_EQ(t.node(book).children.size(), 2u);
+  EXPECT_EQ(t.node(book).attributes.size(), 1u);
+}
+
+TEST(TreeTest, DuplicateAttributeRejected) {
+  Tree t("r");
+  ASSERT_TRUE(t.CreateAttribute(t.root(), "a", "1").ok());
+  Result<NodeId> dup = t.CreateAttribute(t.root(), "a", "2");
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TreeTest, AttributeLookup) {
+  Tree t = SampleTree();
+  NodeId book = t.node(t.root()).children[0];
+  EXPECT_EQ(t.AttributeValue(book, "isbn"), "1");
+  EXPECT_FALSE(t.AttributeValue(book, "missing").has_value());
+  EXPECT_TRUE(t.FindAttribute(book, "isbn").has_value());
+}
+
+TEST(TreeTest, SetAttributeValueUpdatesAndCreates) {
+  Tree t("r");
+  ASSERT_TRUE(t.SetAttributeValue(t.root(), "a", "1").ok());
+  EXPECT_EQ(t.AttributeValue(t.root(), "a"), "1");
+  ASSERT_TRUE(t.SetAttributeValue(t.root(), "a", "2").ok());
+  EXPECT_EQ(t.AttributeValue(t.root(), "a"), "2");
+  EXPECT_EQ(t.node(t.root()).attributes.size(), 1u);
+}
+
+TEST(TreeTest, ValueOfAttributeAndText) {
+  Tree t = SampleTree();
+  NodeId book = t.node(t.root()).children[0];
+  NodeId isbn = *t.FindAttribute(book, "isbn");
+  EXPECT_EQ(t.Value(isbn), "1");
+  NodeId title = t.node(book).children[0];
+  EXPECT_EQ(t.Value(title), "XML");  // text-only element flattens
+}
+
+TEST(TreeTest, ValueOfStructuredElementIsPreorder) {
+  // Example 2.5: value(section) = "(@number: 1, name: Introduction)"-style.
+  Tree t("r");
+  NodeId section = t.CreateElement(t.root(), "section");
+  ASSERT_TRUE(t.CreateAttribute(section, "number", "1").ok());
+  NodeId name = t.CreateElement(section, "name");
+  t.CreateText(name, "Introduction");
+  EXPECT_EQ(t.Value(section), "(@number: 1, name: Introduction)");
+}
+
+TEST(TreeTest, DescendantsOrSelfDocumentOrder) {
+  Tree t = SampleTree();
+  std::vector<NodeId> d = t.DescendantsOrSelf(t.root());
+  ASSERT_EQ(d.size(), 4u);  // r, book, title, chapter
+  EXPECT_EQ(d[0], t.root());
+  EXPECT_EQ(t.node(d[1]).label, "book");
+  EXPECT_EQ(t.node(d[2]).label, "title");
+  EXPECT_EQ(t.node(d[3]).label, "chapter");
+}
+
+TEST(TreeTest, ChildElementsFiltersByLabel) {
+  Tree t = SampleTree();
+  NodeId book = t.node(t.root()).children[0];
+  EXPECT_EQ(t.ChildElements(book, "title").size(), 1u);
+  EXPECT_EQ(t.ChildElements(book, "chapter").size(), 1u);
+  EXPECT_TRUE(t.ChildElements(book, "nosuch").empty());
+}
+
+TEST(TreeTest, AncestorOrSelf) {
+  Tree t = SampleTree();
+  NodeId book = t.node(t.root()).children[0];
+  NodeId title = t.node(book).children[0];
+  EXPECT_TRUE(t.IsAncestorOrSelf(t.root(), title));
+  EXPECT_TRUE(t.IsAncestorOrSelf(title, title));
+  EXPECT_FALSE(t.IsAncestorOrSelf(title, book));
+}
+
+TEST(TreeTest, GraftDeepCopies) {
+  Tree src("frag");
+  NodeId a = src.CreateElement(src.root(), "a");
+  ASSERT_TRUE(src.CreateAttribute(a, "x", "1").ok());
+  src.CreateText(a, "hello");
+
+  Tree dst("r");
+  Result<NodeId> grafted = dst.Graft(dst.root(), src, src.root());
+  ASSERT_TRUE(grafted.ok());
+  EXPECT_EQ(dst.node(*grafted).label, "frag");
+  ASSERT_EQ(dst.node(*grafted).children.size(), 1u);
+  NodeId copied_a = dst.node(*grafted).children[0];
+  EXPECT_EQ(dst.AttributeValue(copied_a, "x"), "1");
+  EXPECT_EQ(dst.Value(copied_a), "(@x: 1, hello)");
+  // The source is untouched.
+  EXPECT_EQ(src.size(), 4u);
+}
+
+TEST(TreeTest, GraftSubtreeOnly) {
+  Tree src("frag");
+  NodeId a = src.CreateElement(src.root(), "a");
+  src.CreateElement(a, "b");
+  src.CreateElement(src.root(), "c");
+
+  Tree dst("r");
+  Result<NodeId> grafted = dst.Graft(dst.root(), src, a);
+  ASSERT_TRUE(grafted.ok());
+  EXPECT_EQ(dst.node(*grafted).label, "a");
+  EXPECT_EQ(dst.size(), 3u);  // r, a, b — 'c' not copied
+}
+
+TEST(TreeTest, GraftRejectsBadArguments) {
+  Tree src("frag");
+  NodeId a = src.CreateElement(src.root(), "a");
+  Result<NodeId> attr = src.CreateAttribute(a, "x", "1");
+  ASSERT_TRUE(attr.ok());
+  Tree dst("r");
+  EXPECT_FALSE(dst.Graft(999, src, src.root()).ok());
+  EXPECT_FALSE(dst.Graft(dst.root(), src, *attr).ok());  // not an element
+}
+
+TEST(TreeTest, PathLabelsFromRoot) {
+  Tree t = SampleTree();
+  NodeId book = t.node(t.root()).children[0];
+  NodeId title = t.node(book).children[0];
+  EXPECT_EQ(t.PathLabelsFromRoot(title),
+            (std::vector<std::string>{"book", "title"}));
+  EXPECT_TRUE(t.PathLabelsFromRoot(t.root()).empty());
+}
+
+}  // namespace
+}  // namespace xmlprop

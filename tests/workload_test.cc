@@ -1,0 +1,130 @@
+#include "synth/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "core/gminimum_cover.h"
+#include "core/minimum_cover.h"
+#include "core/propagation.h"
+#include "keys/implication.h"
+
+namespace xmlprop {
+namespace {
+
+SyntheticWorkload Make(size_t fields, size_t depth, size_t keys,
+                       uint64_t seed = 42) {
+  WorkloadSpec spec;
+  spec.fields = fields;
+  spec.depth = depth;
+  spec.keys = keys;
+  spec.seed = seed;
+  Result<SyntheticWorkload> w = MakeWorkload(spec);
+  EXPECT_TRUE(w.ok()) << w.status().ToString();
+  return std::move(w).value();
+}
+
+TEST(WorkloadTest, SpecHonored) {
+  SyntheticWorkload w = Make(15, 5, 10);
+  EXPECT_EQ(w.table.schema().arity(), 15u);
+  EXPECT_EQ(w.table.Depth(), 6u);  // spine depth + field leaves
+  EXPECT_EQ(w.keys.size(), 10u);
+  EXPECT_TRUE(w.rule.Validate().ok());
+}
+
+TEST(WorkloadTest, Deterministic) {
+  SyntheticWorkload a = Make(20, 6, 12, 7);
+  SyntheticWorkload b = Make(20, 6, 12, 7);
+  ASSERT_EQ(a.keys.size(), b.keys.size());
+  for (size_t i = 0; i < a.keys.size(); ++i) {
+    EXPECT_TRUE(a.keys[i] == b.keys[i]);
+  }
+  EXPECT_EQ(a.rule.ToString(), b.rule.ToString());
+}
+
+TEST(WorkloadTest, TrueFdPropagates) {
+  for (auto [fields, depth, keys] :
+       {std::tuple<size_t, size_t, size_t>{15, 5, 10},
+        {30, 8, 20}, {8, 3, 3}, {5, 5, 5}, {12, 2, 30}}) {
+    SyntheticWorkload w = Make(fields, depth, keys);
+    Result<bool> r = CheckPropagation(w.keys, w.table, w.true_fd);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(*r) << "fields=" << fields << " depth=" << depth
+                    << " keys=" << keys << " fd="
+                    << w.true_fd.ToString(w.table.schema());
+  }
+}
+
+TEST(WorkloadTest, FalseFdDoesNotPropagate) {
+  for (auto [fields, depth, keys] :
+       {std::tuple<size_t, size_t, size_t>{15, 5, 10},
+        {30, 8, 20}, {8, 3, 3}, {12, 2, 30}}) {
+    SyntheticWorkload w = Make(fields, depth, keys);
+    Result<bool> r = CheckPropagation(w.keys, w.table, w.false_fd);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(*r) << "fields=" << fields << " depth=" << depth
+                     << " keys=" << keys << " fd="
+                     << w.false_fd.ToString(w.table.schema());
+  }
+}
+
+TEST(WorkloadTest, ChainKeysFormTransitiveSet) {
+  SyntheticWorkload w = Make(10, 4, 4);
+  // The first `depth` keys are the chain; they are transitive.
+  std::vector<XmlKey> chain(w.keys.begin(), w.keys.begin() + 4);
+  EXPECT_TRUE(IsTransitiveSet(chain));
+}
+
+TEST(WorkloadTest, MinimumCoverRunsAndKeysDeepNodes) {
+  SyntheticWorkload w = Make(15, 5, 10);
+  Result<FdSet> cover = MinimumCover(w.keys, w.table);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_FALSE(cover->empty());
+  // The deepest spine variable is keyed by the chain-key fields.
+  Result<std::vector<NodeKeyAssignment>> nk = ComputeNodeKeys(w.keys, w.table);
+  ASSERT_TRUE(nk.ok());
+  bool deep_keyed = false;
+  for (const NodeKeyAssignment& a : *nk) {
+    if (a.var == "V5" && a.canonical_key.has_value()) deep_keyed = true;
+  }
+  EXPECT_TRUE(deep_keyed);
+}
+
+TEST(WorkloadTest, DegenerateSpecsRejected) {
+  WorkloadSpec zero_fields;
+  zero_fields.fields = 0;
+  EXPECT_FALSE(MakeWorkload(zero_fields).ok());
+  WorkloadSpec zero_depth;
+  zero_depth.depth = 0;
+  EXPECT_FALSE(MakeWorkload(zero_depth).ok());
+}
+
+TEST(WorkloadTest, KeysFewerThanDepth) {
+  // Only the first `keys` levels are chain-keyed; still a valid workload.
+  SyntheticWorkload w = Make(20, 10, 3);
+  EXPECT_EQ(w.keys.size(), 3u);
+  Result<bool> r = CheckPropagation(w.keys, w.table, w.true_fd);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST(WorkloadTest, LargeSpecBuildsQuickly) {
+  // The Fig. 7(a) upper end: 500 fields.
+  SyntheticWorkload w = Make(500, 10, 50);
+  EXPECT_EQ(w.table.schema().arity(), 500u);
+  EXPECT_EQ(w.keys.size(), 50u);
+}
+
+TEST(WorkloadTest, GminimumCoverAgreesOnWorkloadFds) {
+  SyntheticWorkload w = Make(12, 4, 8);
+  Result<GMinimumCover> checker = GMinimumCover::Build(w.keys, w.table);
+  ASSERT_TRUE(checker.ok());
+  for (const Fd& fd : {w.true_fd, w.false_fd}) {
+    Result<bool> direct = CheckPropagation(w.keys, w.table, fd);
+    Result<bool> via = checker->Check(fd);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(via.ok());
+    EXPECT_EQ(*direct, *via) << fd.ToString(w.table.schema());
+  }
+}
+
+}  // namespace
+}  // namespace xmlprop

@@ -1,0 +1,109 @@
+#include "keys/xml_key.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlprop {
+namespace {
+
+XmlKey K(std::string_view text) {
+  Result<XmlKey> k = XmlKey::Parse(text);
+  EXPECT_TRUE(k.ok()) << text << ": " << k.status().ToString();
+  return std::move(k).value();
+}
+
+TEST(XmlKeyParseTest, AbsoluteKey) {
+  XmlKey k = K("(ε, (//book, {@isbn}))");
+  EXPECT_TRUE(k.IsAbsolute());
+  EXPECT_EQ(k.context().ToString(), "ε");
+  EXPECT_EQ(k.target().ToString(), "//book");
+  EXPECT_EQ(k.attributes(), std::vector<std::string>{"isbn"});
+}
+
+TEST(XmlKeyParseTest, RelativeKeyWithName) {
+  XmlKey k = K("K2: (//book, (chapter, {@number}))");
+  EXPECT_EQ(k.name(), "K2");
+  EXPECT_FALSE(k.IsAbsolute());
+  EXPECT_EQ(k.context().ToString(), "//book");
+}
+
+TEST(XmlKeyParseTest, EmptyAttributeSet) {
+  XmlKey k = K("(//book, (title, {}))");
+  EXPECT_TRUE(k.attributes().empty());
+}
+
+TEST(XmlKeyParseTest, EmptyContextMeansEpsilon) {
+  XmlKey k = K("( , (//book, {@isbn}))");
+  EXPECT_TRUE(k.IsAbsolute());
+}
+
+TEST(XmlKeyParseTest, MultipleAttributesSortedAndDeduped) {
+  XmlKey k = K("(ε, (//p, {@b, @a, @a}))");
+  EXPECT_EQ(k.attributes(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(XmlKeyParseTest, MultiStepPaths) {
+  XmlKey k = K("(//book, (author/contact, {}))");
+  EXPECT_EQ(k.target().ToString(), "author/contact");
+}
+
+TEST(XmlKeyParseTest, Errors) {
+  EXPECT_FALSE(XmlKey::Parse("").ok());
+  EXPECT_FALSE(XmlKey::Parse("(a, b)").ok());
+  EXPECT_FALSE(XmlKey::Parse("(a, (b, {x}))").ok());      // attr without @
+  EXPECT_FALSE(XmlKey::Parse("(a, (b, {@1}))").ok());     // bad attr name
+  EXPECT_FALSE(XmlKey::Parse("(a/@x, (b, {@a}))").ok());  // attr in context
+  EXPECT_FALSE(XmlKey::Parse("(a, (b/@x, {@a}))").ok());  // attr in target
+  EXPECT_FALSE(XmlKey::Parse("(a, (b, @a))").ok());       // missing braces
+  EXPECT_FALSE(XmlKey::Parse("a, (b, {@a})").ok());       // missing parens
+}
+
+TEST(XmlKeyTest, ToStringRoundTrip) {
+  for (const char* text :
+       {"(ε, (//book, {@isbn}))", "K2: (//book, (chapter, {@number}))",
+        "(//book, (title, {}))", "(//a/b, (c//d, {@x, @y}))"}) {
+    XmlKey k = K(text);
+    XmlKey again = K(k.ToString());
+    EXPECT_TRUE(k == again) << text;
+    EXPECT_EQ(k.name(), again.name());
+  }
+}
+
+TEST(XmlKeyTest, AttributesSubsetOf) {
+  XmlKey small = K("(ε, (a, {@x}))");
+  XmlKey big = K("(ε, (a, {@x, @y}))");
+  XmlKey empty = K("(ε, (a, {}))");
+  EXPECT_TRUE(small.AttributesSubsetOf(big));
+  EXPECT_FALSE(big.AttributesSubsetOf(small));
+  EXPECT_TRUE(empty.AttributesSubsetOf(small));
+  EXPECT_TRUE(small.AttributesSubsetOf(small));
+}
+
+TEST(XmlKeyTest, SizeCountsAtomsAndAttrs) {
+  EXPECT_EQ(K("(//a, (b/c, {@x}))").size(), 2u + 2u + 1u);
+  EXPECT_EQ(K("(ε, (a, {}))").size(), 1u);
+}
+
+TEST(ParseKeySetTest, MultiLineWithComments) {
+  Result<std::vector<XmlKey>> keys = ParseKeySet(R"(
+    # two keys
+    K1: (ε, (//book, {@isbn}))
+    K2: (//book, (chapter, {@number}))  # relative
+  )");
+  ASSERT_TRUE(keys.ok()) << keys.status().ToString();
+  ASSERT_EQ(keys->size(), 2u);
+  EXPECT_EQ((*keys)[0].name(), "K1");
+  EXPECT_EQ((*keys)[1].name(), "K2");
+}
+
+TEST(ParseKeySetTest, EmptyInput) {
+  Result<std::vector<XmlKey>> keys = ParseKeySet("  \n # nothing\n");
+  ASSERT_TRUE(keys.ok());
+  EXPECT_TRUE(keys->empty());
+}
+
+TEST(ParseKeySetTest, PropagatesErrors) {
+  EXPECT_FALSE(ParseKeySet("K1: (ε, (//book, {@isbn}))\nbroken").ok());
+}
+
+}  // namespace
+}  // namespace xmlprop

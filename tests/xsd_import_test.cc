@@ -1,0 +1,341 @@
+#include "keys/xsd_import.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "keys/satisfaction.h"
+#include "paper_fixtures.h"
+
+namespace xmlprop {
+namespace {
+
+using testing_fixtures::Fig1Tree;
+
+constexpr const char* kBookXsd = R"(<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="r">
+    <xs:key name="bookKey">
+      <xs:selector xpath=".//book"/>
+      <xs:field xpath="@isbn"/>
+    </xs:key>
+  </xs:element>
+  <xs:element name="book">
+    <xs:key name="chapterKey">
+      <xs:selector xpath="chapter"/>
+      <xs:field xpath="@number"/>
+    </xs:key>
+  </xs:element>
+  <xs:element name="chapter">
+    <xs:unique name="sectionUnique">
+      <xs:selector xpath="./section"/>
+      <xs:field xpath="@number"/>
+    </xs:unique>
+  </xs:element>
+</xs:schema>)";
+
+TEST(XsdImportTest, ImportsKeysWithPaperSemantics) {
+  Result<XsdImportResult> imported = ImportXsdKeys(kBookXsd);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  ASSERT_EQ(imported->keys.size(), 3u);
+
+  const XmlKey& book = imported->keys[0];
+  EXPECT_EQ(book.name(), "bookKey");
+  EXPECT_EQ(book.context().ToString(), "//r");
+  EXPECT_EQ(book.target().ToString(), "//book");
+  EXPECT_EQ(book.attributes(), std::vector<std::string>{"isbn"});
+
+  const XmlKey& chapter = imported->keys[1];
+  EXPECT_EQ(chapter.context().ToString(), "//book");
+  EXPECT_EQ(chapter.target().ToString(), "chapter");
+  EXPECT_EQ(chapter.attributes(), std::vector<std::string>{"number"});
+
+  const XmlKey& section = imported->keys[2];
+  EXPECT_EQ(section.name(), "sectionUnique");
+  EXPECT_EQ(section.target().ToString(), "section");
+}
+
+TEST(XsdImportTest, UniqueProducesWarning) {
+  Result<XsdImportResult> imported = ImportXsdKeys(kBookXsd);
+  ASSERT_TRUE(imported.ok());
+  ASSERT_EQ(imported->warnings.size(), 1u);
+  EXPECT_NE(imported->warnings[0].find("sectionUnique"), std::string::npos);
+  EXPECT_NE(imported->warnings[0].find("K⁻"), std::string::npos);
+}
+
+TEST(XsdImportTest, ImportedKeysHoldOnFig1) {
+  // The imported constraints correspond to K1/K2/K6 of the paper and the
+  // Fig. 1 document satisfies them.
+  Result<XsdImportResult> imported = ImportXsdKeys(kBookXsd);
+  ASSERT_TRUE(imported.ok());
+  Tree tree = Fig1Tree();
+  for (const XmlKey& key : imported->keys) {
+    EXPECT_TRUE(Satisfies(tree, key)) << key.ToString();
+  }
+}
+
+TEST(XsdImportTest, RejectsNonSchemaRoot) {
+  Result<XsdImportResult> r = ImportXsdKeys("<html/>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("xs:schema"), std::string::npos);
+}
+
+TEST(XsdImportTest, RejectsElementField) {
+  // K⁻ restricts key paths to attributes (Section 2).
+  Result<XsdImportResult> r = ImportXsdKeys(R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="r">
+        <xs:key name="bad">
+          <xs:selector xpath="book"/>
+          <xs:field xpath="isbn"/>
+        </xs:key>
+      </xs:element>
+    </xs:schema>)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("K⁻"), std::string::npos);
+}
+
+TEST(XsdImportTest, RejectsSelectorUnion) {
+  Result<XsdImportResult> r = ImportXsdKeys(R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="r">
+        <xs:key name="bad">
+          <xs:selector xpath="book|journal"/>
+          <xs:field xpath="@id"/>
+        </xs:key>
+      </xs:element>
+    </xs:schema>)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("union"), std::string::npos);
+}
+
+TEST(XsdImportTest, RejectsOrphanConstraint) {
+  Result<XsdImportResult> r = ImportXsdKeys(R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:key name="orphan">
+        <xs:selector xpath="book"/>
+        <xs:field xpath="@id"/>
+      </xs:key>
+    </xs:schema>)");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(XsdImportTest, RejectsMissingSelector) {
+  Result<XsdImportResult> r = ImportXsdKeys(R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="r">
+        <xs:key name="bad">
+          <xs:field xpath="@id"/>
+        </xs:key>
+      </xs:element>
+    </xs:schema>)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("selector"), std::string::npos);
+}
+
+TEST(XsdImportTest, EmptySchemaYieldsNoKeys) {
+  Result<XsdImportResult> r = ImportXsdKeys(
+      R"(<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"/>)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->keys.empty());
+  EXPECT_TRUE(r->warnings.empty());
+}
+
+constexpr const char* kKeyrefXsd = R"(
+  <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:element name="db">
+      <xs:key name="bookKey">
+        <xs:selector xpath=".//book"/>
+        <xs:field xpath="@isbn"/>
+      </xs:key>
+      <xs:keyref name="citeRef" refer="bookKey">
+        <xs:selector xpath=".//cite"/>
+        <xs:field xpath="@ref"/>
+      </xs:keyref>
+    </xs:element>
+  </xs:schema>)";
+
+TEST(XsdImportTest, KeyrefBecomesForeignKey) {
+  Result<XsdImportResult> imported = ImportXsdKeys(kKeyrefXsd);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  ASSERT_EQ(imported->foreign_keys.size(), 1u);
+  const XmlForeignKey& fk = imported->foreign_keys[0];
+  EXPECT_EQ(fk.name(), "citeRef");
+  EXPECT_EQ(fk.context().ToString(), "//db");
+  EXPECT_EQ(fk.source_target().ToString(), "//cite");
+  EXPECT_EQ(fk.source_attrs(), std::vector<std::string>{"ref"});
+  EXPECT_EQ(fk.ref_target().ToString(), "//book");
+  EXPECT_EQ(fk.ref_attrs(), std::vector<std::string>{"isbn"});
+}
+
+TEST(XsdImportTest, KeyrefToUnknownKeyRejected) {
+  Result<XsdImportResult> r = ImportXsdKeys(R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="db">
+        <xs:keyref name="bad" refer="ghost">
+          <xs:selector xpath="cite"/><xs:field xpath="@ref"/>
+        </xs:keyref>
+      </xs:element>
+    </xs:schema>)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unknown key"), std::string::npos);
+}
+
+TEST(XsdImportTest, KeyrefAcrossElementsRejected) {
+  Result<XsdImportResult> r = ImportXsdKeys(R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="a">
+        <xs:key name="k"><xs:selector xpath="x"/><xs:field xpath="@i"/></xs:key>
+      </xs:element>
+      <xs:element name="b">
+        <xs:keyref name="bad" refer="k">
+          <xs:selector xpath="y"/><xs:field xpath="@r"/>
+        </xs:keyref>
+      </xs:element>
+    </xs:schema>)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("scoping element"), std::string::npos);
+}
+
+TEST(XsdImportTest, KeyrefArityMismatchRejected) {
+  Result<XsdImportResult> r = ImportXsdKeys(R"(
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="db">
+        <xs:key name="k">
+          <xs:selector xpath="x"/>
+          <xs:field xpath="@a"/><xs:field xpath="@b"/>
+        </xs:key>
+        <xs:keyref name="bad" refer="k">
+          <xs:selector xpath="y"/><xs:field xpath="@r"/>
+        </xs:keyref>
+      </xs:element>
+    </xs:schema>)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("field count"), std::string::npos);
+}
+
+TEST(XsdExportTest, RoundTripsThroughImport) {
+  Result<std::vector<XmlKey>> keys = ParseKeySet(R"(
+    K1: (ε, (//book, {@isbn}))
+    K2: (//book, (chapter, {@number}))
+    K6: (//chapter, (section, {@number}))
+    K3: (//book, (title, {}))
+  )");
+  ASSERT_TRUE(keys.ok());
+  Result<std::string> xsd = ExportXsdKeys(*keys, "r");
+  ASSERT_TRUE(xsd.ok()) << xsd.status().ToString();
+  Result<XsdImportResult> back = ImportXsdKeys(*xsd);
+  ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << *xsd;
+  ASSERT_EQ(back->keys.size(), keys->size());
+  // K1's ε context becomes //r (the root element scope); the others are
+  // preserved verbatim. Export groups keys by element, so search by
+  // content rather than position.
+  bool k1_found = false;
+  for (const XmlKey& b : back->keys) {
+    if (b.context().ToString() == "//r" &&
+        b.target().ToString() == "//book") {
+      k1_found = true;
+    }
+  }
+  EXPECT_TRUE(k1_found) << *xsd;
+  for (size_t i = 1; i < keys->size(); ++i) {
+    bool found = false;
+    for (const XmlKey& b : back->keys) {
+      if (b.target() == (*keys)[i].target() &&
+          b.context() == (*keys)[i].context() &&
+          b.attributes() == (*keys)[i].attributes()) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << (*keys)[i].ToString();
+  }
+}
+
+class XsdRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(XsdRoundTripProperty, RandomExpressibleKeySetsRoundTrip) {
+  // Random keys within the exportable fragment (ε or //label contexts,
+  // no interior //): export → import must preserve every key's target
+  // and attributes, with ε contexts rescoped to the root element.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 353 + 11);
+  std::vector<std::string> labels = {"a", "b", "c"};
+  std::vector<XmlKey> keys;
+  int count = rng.UniformInt(1, 6);
+  for (int i = 0; i < count; ++i) {
+    PathExpr context;  // ε
+    if (rng.Bernoulli(0.5)) {
+      Result<PathExpr> c = PathExpr::Parse("//" + rng.Choose(labels));
+      ASSERT_TRUE(c.ok());
+      context = *c;
+    }
+    std::string target_text = rng.Bernoulli(0.3) ? "//" : "";
+    target_text += rng.Choose(labels);
+    if (rng.Bernoulli(0.4)) target_text += "/" + rng.Choose(labels);
+    Result<PathExpr> target = PathExpr::Parse(target_text);
+    ASSERT_TRUE(target.ok());
+    std::vector<std::string> attrs;
+    for (int a = 0; a < rng.UniformInt(0, 2); ++a) {
+      attrs.push_back("k" + std::to_string(a));
+    }
+    keys.emplace_back("K" + std::to_string(i), context, *target, attrs);
+  }
+
+  Result<std::string> xsd = ExportXsdKeys(keys, "root");
+  ASSERT_TRUE(xsd.ok()) << xsd.status().ToString();
+  Result<XsdImportResult> back = ImportXsdKeys(*xsd);
+  ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << *xsd;
+  ASSERT_EQ(back->keys.size(), keys.size());
+  for (const XmlKey& k : keys) {
+    PathExpr expected_context = k.context();
+    if (expected_context.IsEpsilon()) {
+      Result<PathExpr> c = PathExpr::Parse("//root");
+      ASSERT_TRUE(c.ok());
+      expected_context = *c;
+    }
+    bool found = false;
+    for (const XmlKey& b : back->keys) {
+      if (b.name() == k.name()) {
+        EXPECT_TRUE(b.context() == expected_context) << k.ToString();
+        EXPECT_TRUE(b.target() == k.target()) << k.ToString();
+        EXPECT_EQ(b.attributes(), k.attributes()) << k.ToString();
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << k.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XsdRoundTripProperty,
+                         ::testing::Range(0, 10));
+
+TEST(XsdExportTest, RejectsInexpressibleContexts) {
+  Result<std::vector<XmlKey>> keys =
+      ParseKeySet("(//a/b, (c, {@x}))");  // two-step context
+  ASSERT_TRUE(keys.ok());
+  Result<std::string> xsd = ExportXsdKeys(*keys);
+  ASSERT_FALSE(xsd.ok());
+  EXPECT_NE(xsd.status().message().find("scoping"), std::string::npos);
+}
+
+TEST(XsdExportTest, RejectsInteriorDescendantTargets) {
+  Result<std::vector<XmlKey>> keys = ParseKeySet("(ε, (a//b, {@x}))");
+  ASSERT_TRUE(keys.ok());
+  EXPECT_FALSE(ExportXsdKeys(*keys).ok());
+}
+
+TEST(XsdImportTest, UnprefixedSchemaAccepted) {
+  Result<XsdImportResult> r = ImportXsdKeys(R"(
+    <schema>
+      <element name="r">
+        <key name="k">
+          <selector xpath=".//item"/>
+          <field xpath="@sku"/>
+        </key>
+      </element>
+    </schema>)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->keys.size(), 1u);
+  EXPECT_EQ(r->keys[0].target().ToString(), "//item");
+}
+
+}  // namespace
+}  // namespace xmlprop
