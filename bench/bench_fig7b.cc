@@ -13,6 +13,7 @@
 #include "bench_util.h"
 #include "core/gminimum_cover.h"
 #include "core/propagation.h"
+#include "keys/implication_engine.h"
 
 namespace xmlprop {
 namespace {
@@ -54,7 +55,69 @@ BENCHMARK(BM_GminimumCover)
     ->DenseRange(2, 20, 2)
     ->Unit(benchmark::kMicrosecond);
 
+// Engine ablation behind BENCH_fig7b.json: a session of `kChecks`
+// repeated propagation checks of the full-walk FD per depth — the
+// workload Fig. 7(b) models — engine-off vs one persistent engine. The
+// verdicts are asserted equal before a row is emitted.
+void RunAblation(bool quick) {
+  constexpr size_t kChecks = 200;
+  bench::JsonReport report("fig7b_propagation_depth", "BENCH_fig7b.json");
+  const std::vector<size_t> depths =
+      quick ? std::vector<size_t>{4} : std::vector<size_t>{2, 10, 20};
+  for (size_t depth : depths) {
+    SyntheticWorkload w = bench::MustMakeWorkload(kFields, depth, kKeys);
+    Fd fd = bench::FullWalkFd(w);
+
+    PropagationStats off_stats;
+    bool off_verdict = false;
+    bench::WallTimer off_timer;
+    for (size_t i = 0; i < kChecks; ++i) {
+      Result<bool> r = CheckPropagation(w.keys, w.table, fd, &off_stats);
+      if (!r.ok()) std::abort();
+      off_verdict = *r;
+    }
+    const double off_ms = off_timer.Ms();
+
+    PropagationStats on_stats;
+    bool identical = true;
+    bench::WallTimer on_timer;
+    ImplicationEngine engine(w.keys);
+    for (size_t i = 0; i < kChecks; ++i) {
+      Result<bool> r = CheckPropagation(engine, w.table, fd, &on_stats);
+      if (!r.ok()) std::abort();
+      identical = identical && *r == off_verdict;
+    }
+    const double on_ms = on_timer.Ms();
+
+    bench::JsonReport::Row& off = report.AddRow();
+    off.Str("mode", "engine_off").Int("depth", depth).Int("checks", kChecks);
+    bench::FillStats(off, off_ms, off_stats);
+    off.Num("per_check_us", off_ms * 1000.0 / kChecks);
+
+    bench::JsonReport::Row& on = report.AddRow();
+    on.Str("mode", "engine_on").Int("depth", depth).Int("checks", kChecks);
+    bench::FillStats(on, on_ms, on_stats);
+    on.Num("per_check_us", on_ms * 1000.0 / kChecks)
+        .Bool("identical_to_engine_off", identical)
+        .Num("speedup_vs_engine_off", off_ms / on_ms);
+
+    std::cerr << "fig7b depth=" << depth << ": off " << off_ms
+              << " ms, engine " << on_ms << " ms (" << off_ms / on_ms
+              << "x), identical=" << (identical ? "yes" : "NO") << std::endl;
+  }
+  report.Write();
+}
+
 }  // namespace
 }  // namespace xmlprop
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool quick = xmlprop::bench::ConsumeFlag(&argc, argv, "--quick");
+  xmlprop::RunAblation(quick);
+  if (quick) return 0;  // CI smoke: JSON only, skip the full BM_ sweep
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

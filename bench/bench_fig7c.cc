@@ -12,6 +12,7 @@
 #include "bench_util.h"
 #include "core/gminimum_cover.h"
 #include "core/propagation.h"
+#include "keys/implication_engine.h"
 
 namespace xmlprop {
 namespace {
@@ -49,7 +50,127 @@ BENCHMARK(BM_GminimumCover)
     ->DenseRange(10, 100, 10)
     ->Unit(benchmark::kMicrosecond);
 
+// Engine ablation behind BENCH_fig7c.json, varying the key-set size (the
+// engine's split tables and memo keys all scale with |Σ|, so this is the
+// axis that stresses the caches hardest). Two sessions per size:
+// repeated Algorithm-propagation checks, and GminimumCover build+check —
+// each engine-off vs one persistent engine, verdicts asserted equal.
+void RunAblation(bool quick) {
+  constexpr size_t kChecks = 200;
+  bench::JsonReport report("fig7c_propagation_keys", "BENCH_fig7c.json");
+  const std::vector<size_t> key_counts =
+      quick ? std::vector<size_t>{10} : std::vector<size_t>{10, 50, 100};
+  for (size_t keys : key_counts) {
+    SyntheticWorkload w = bench::MustMakeWorkload(kFields, kDepth, keys);
+    Fd fd = bench::FullWalkFd(w);
+
+    PropagationStats off_stats;
+    bool off_verdict = false;
+    bench::WallTimer off_timer;
+    for (size_t i = 0; i < kChecks; ++i) {
+      Result<bool> r = CheckPropagation(w.keys, w.table, fd, &off_stats);
+      if (!r.ok()) std::abort();
+      off_verdict = *r;
+    }
+    const double off_ms = off_timer.Ms();
+
+    PropagationStats on_stats;
+    bool identical = true;
+    bench::WallTimer on_timer;
+    ImplicationEngine engine(w.keys);
+    for (size_t i = 0; i < kChecks; ++i) {
+      Result<bool> r = CheckPropagation(engine, w.table, fd, &on_stats);
+      if (!r.ok()) std::abort();
+      identical = identical && *r == off_verdict;
+    }
+    const double on_ms = on_timer.Ms();
+
+    bench::JsonReport::Row& off = report.AddRow();
+    off.Str("mode", "engine_off")
+        .Str("algorithm", "propagation")
+        .Int("keys", keys)
+        .Int("checks", kChecks);
+    bench::FillStats(off, off_ms, off_stats);
+    off.Num("per_check_us", off_ms * 1000.0 / kChecks);
+
+    bench::JsonReport::Row& on = report.AddRow();
+    on.Str("mode", "engine_on")
+        .Str("algorithm", "propagation")
+        .Int("keys", keys)
+        .Int("checks", kChecks);
+    bench::FillStats(on, on_ms, on_stats);
+    on.Num("per_check_us", on_ms * 1000.0 / kChecks)
+        .Bool("identical_to_engine_off", identical)
+        .Num("speedup_vs_engine_off", off_ms / on_ms);
+
+    // The alternative algorithm: one GminimumCover build + kChecks
+    // Check() calls (cover implication + the exist()-based null check).
+    PropagationStats goff_stats;
+    bool goff_verdict = false;
+    bench::WallTimer goff_timer;
+    {
+      Result<GMinimumCover> checker =
+          GMinimumCover::Build(w.keys, w.table, &goff_stats);
+      if (!checker.ok()) std::abort();
+      for (size_t i = 0; i < kChecks; ++i) {
+        Result<bool> r = checker->Check(fd, &goff_stats);
+        if (!r.ok()) std::abort();
+        goff_verdict = *r;
+      }
+    }
+    const double goff_ms = goff_timer.Ms();
+
+    PropagationStats gon_stats;
+    bool gidentical = true;
+    bench::WallTimer gon_timer;
+    {
+      ImplicationEngine gengine(w.keys);
+      Result<GMinimumCover> checker =
+          GMinimumCover::Build(gengine, w.table, &gon_stats);
+      if (!checker.ok()) std::abort();
+      for (size_t i = 0; i < kChecks; ++i) {
+        Result<bool> r = checker->Check(fd, &gon_stats);
+        if (!r.ok()) std::abort();
+        gidentical = gidentical && *r == goff_verdict;
+      }
+    }
+    const double gon_ms = gon_timer.Ms();
+
+    bench::JsonReport::Row& goff = report.AddRow();
+    goff.Str("mode", "engine_off")
+        .Str("algorithm", "gminimum_cover")
+        .Int("keys", keys)
+        .Int("checks", kChecks);
+    bench::FillStats(goff, goff_ms, goff_stats);
+
+    bench::JsonReport::Row& gon = report.AddRow();
+    gon.Str("mode", "engine_on")
+        .Str("algorithm", "gminimum_cover")
+        .Int("keys", keys)
+        .Int("checks", kChecks);
+    bench::FillStats(gon, gon_ms, gon_stats);
+    gon.Bool("identical_to_engine_off", gidentical)
+        .Num("speedup_vs_engine_off", goff_ms / gon_ms);
+
+    std::cerr << "fig7c keys=" << keys << ": propagation off " << off_ms
+              << " ms vs engine " << on_ms << " ms (" << off_ms / on_ms
+              << "x); gcover off " << goff_ms << " ms vs engine " << gon_ms
+              << " ms (" << goff_ms / gon_ms << "x), identical="
+              << (identical && gidentical ? "yes" : "NO") << std::endl;
+  }
+  report.Write();
+}
+
 }  // namespace
 }  // namespace xmlprop
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool quick = xmlprop::bench::ConsumeFlag(&argc, argv, "--quick");
+  xmlprop::RunAblation(quick);
+  if (quick) return 0;  // CI smoke: JSON only, skip the full BM_ sweep
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include "bench_util.h"
 #include "core/minimum_cover.h"
 #include "keys/implication.h"
+#include "keys/implication_engine.h"
 #include "keys/satisfaction.h"
 #include "relational/cover.h"
 #include "keys/incremental.h"
@@ -195,7 +196,106 @@ BENCHMARK(BM_CoverMinimizeOnly)
     ->Arg(500)
     ->Unit(benchmark::kMillisecond);
 
+// Engine micro-ablation behind BENCH_micro.json (and the CI `--quick`
+// smoke): (a) a hot identification query repeated against |Σ| = 100 —
+// free function vs persistent engine; (b) raw cover generation at a
+// mid-size field count, engine-off vs cold engine. Small enough to run
+// on every CI push; the speedup fields are informational there (the
+// fig7a report carries the acceptance numbers).
+void RunAblation(bool quick) {
+  bench::JsonReport report("micro_engine", "BENCH_micro.json");
+  const size_t reps = quick ? 500 : 5000;
+
+  {
+    SyntheticWorkload w = bench::MustMakeWorkload(15, 10, 100);
+    XmlKey phi("", MustPath("//n1/n2/n3/n4/n5/n6/n7/n8/n9"),
+               MustPath("n10"), {"k10"});
+
+    bool off_verdict = false;
+    bench::WallTimer off_timer;
+    for (size_t i = 0; i < reps; ++i) {
+      off_verdict = ImpliesIdentification(w.keys, phi);
+    }
+    const double off_ms = off_timer.Ms();
+
+    ImplicationEngine engine(w.keys);
+    bool identical = true;
+    bench::WallTimer on_timer;
+    for (size_t i = 0; i < reps; ++i) {
+      identical = identical && engine.ImpliesIdentification(phi) == off_verdict;
+    }
+    const double on_ms = on_timer.Ms();
+
+    report.AddRow()
+        .Str("mode", "engine_off")
+        .Str("workload", "implication_repeat")
+        .Int("queries", reps)
+        .Num("wall_ms", off_ms)
+        .Num("per_query_us", off_ms * 1000.0 / static_cast<double>(reps));
+    report.AddRow()
+        .Str("mode", "engine_on")
+        .Str("workload", "implication_repeat")
+        .Int("queries", reps)
+        .Num("wall_ms", on_ms)
+        .Num("per_query_us", on_ms * 1000.0 / static_cast<double>(reps))
+        .Int("cache_hits", engine.counters().hits())
+        .Int("cache_misses", engine.counters().misses())
+        .Bool("identical_to_engine_off", identical)
+        .Num("speedup_vs_engine_off", off_ms / on_ms);
+    std::cerr << "micro implication: off " << off_ms << " ms vs engine "
+              << on_ms << " ms (" << off_ms / on_ms << "x), identical="
+              << (identical ? "yes" : "NO") << std::endl;
+  }
+
+  {
+    const size_t fields = quick ? 25 : 100;
+    SyntheticWorkload w = bench::MustMakeWorkload(fields, 10, 10);
+
+    PropagationStats off_stats;
+    bench::WallTimer off_timer;
+    Result<FdSet> off_raw = PropagatedCoverRaw(w.keys, w.table, &off_stats);
+    const double off_ms = off_timer.Ms();
+    if (!off_raw.ok()) std::abort();
+
+    PropagationStats on_stats;
+    bench::WallTimer on_timer;
+    ImplicationEngine engine(w.keys);
+    Result<FdSet> on_raw = PropagatedCoverRaw(engine, w.table, &on_stats);
+    const double on_ms = on_timer.Ms();
+    if (!on_raw.ok()) std::abort();
+    const bool identical = on_raw->ToString() == off_raw->ToString();
+
+    bench::JsonReport::Row& off = report.AddRow();
+    off.Str("mode", "engine_off")
+        .Str("workload", "cover_raw_generation")
+        .Int("fields", fields);
+    bench::FillStats(off, off_ms, off_stats);
+
+    bench::JsonReport::Row& on = report.AddRow();
+    on.Str("mode", "engine_on")
+        .Str("workload", "cover_raw_generation")
+        .Int("fields", fields);
+    bench::FillStats(on, on_ms, on_stats);
+    on.Bool("identical_to_engine_off", identical)
+        .Num("speedup_vs_engine_off", off_ms / on_ms);
+    std::cerr << "micro cover_raw fields=" << fields << ": off " << off_ms
+              << " ms vs engine " << on_ms << " ms (" << off_ms / on_ms
+              << "x), identical=" << (identical ? "yes" : "NO") << std::endl;
+  }
+
+  report.Write();
+}
+
 }  // namespace
 }  // namespace xmlprop
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool quick = xmlprop::bench::ConsumeFlag(&argc, argv, "--quick");
+  xmlprop::RunAblation(quick);
+  if (quick) return 0;  // CI smoke: JSON only, skip the full BM_ sweep
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,15 +1,154 @@
 #ifndef XMLPROP_BENCH_BENCH_UTIL_H_
 #define XMLPROP_BENCH_BENCH_UTIL_H_
 
-// Shared helpers for the paper-reproduction benchmarks (Section 6).
+// Shared helpers for the paper-reproduction benchmarks (Section 6):
+// workload construction, and the machine-readable BENCH_*.json reports
+// the engine-on/off ablations emit (EXPERIMENTS.md, "Implication engine
+// ablation"; consumed by the CI artifact upload).
 
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "core/propagation.h"
 #include "synth/workload.h"
 
 namespace xmlprop {
 namespace bench {
+
+/// Removes `flag` from (argc, argv) if present; returns whether it was.
+/// Lets the bench mains strip their own flags (e.g. --quick) before
+/// handing the rest to benchmark::Initialize.
+inline bool ConsumeFlag(int* argc, char** argv, const char* flag) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      found = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return found;
+}
+
+/// Steady-clock stopwatch for the ablation loops (google-benchmark's
+/// timing stays in charge of the BM_* sweeps; this is for the JSON rows).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One benchmark report written as a single JSON object:
+///   {"bench": "...", "rows": [{...}, {...}]}
+/// Rows are flat string/number/bool maps. The writer is deliberately
+/// dependency-free (no JSON library in the image) and only needs to
+/// escape the identifier-ish strings the benches emit.
+class JsonReport {
+ public:
+  /// A fluent row builder. References returned by AddRow are valid until
+  /// the next AddRow call.
+  class Row {
+   public:
+    Row& Str(const char* key, const std::string& v) {
+      return Field(key, "\"" + Escaped(v) + "\"");
+    }
+    Row& Num(const char* key, double v) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      return Field(key, buf);
+    }
+    Row& Int(const char* key, uint64_t v) {
+      return Field(key, std::to_string(v));
+    }
+    Row& Bool(const char* key, bool v) {
+      return Field(key, v ? "true" : "false");
+    }
+
+   private:
+    friend class JsonReport;
+    static std::string Escaped(const std::string& s) {
+      std::string out;
+      for (char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        if (c == '\n') {
+          out += "\\n";
+        } else {
+          out.push_back(c);
+        }
+      }
+      return out;
+    }
+    Row& Field(const char* key, const std::string& rendered) {
+      if (!body_.empty()) body_ += ", ";
+      body_ += "\"" + Escaped(key) + "\": " + rendered;
+      return *this;
+    }
+    std::string body_;
+  };
+
+  JsonReport(std::string bench, std::string path)
+      : bench_(std::move(bench)), path_(std::move(path)) {}
+
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Writes the report; returns false (with a stderr note) on I/O errors
+  /// so a read-only working directory degrades a bench run, not kills it.
+  bool Write() const {
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "cannot write " << path_ << std::endl;
+      return false;
+    }
+    out << "{\"bench\": \"" << Row::Escaped(bench_) << "\", \"rows\": [\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out << "  {" << rows_[i].body_ << "}" << (i + 1 < rows_.size() ? "," : "")
+          << "\n";
+    }
+    out << "]}\n";
+    out.close();
+    std::cerr << "wrote " << path_ << " (" << rows_.size() << " rows)"
+              << std::endl;
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<Row> rows_;
+};
+
+/// The shared ablation-row schema: wall clock plus the implication-call
+/// and engine-cache counters every BENCH_*.json row carries, so the
+/// reports stay comparable across benches.
+inline void FillStats(JsonReport::Row& row, double wall_ms,
+                      const PropagationStats& stats) {
+  row.Num("wall_ms", wall_ms)
+      .Int("implication_calls", stats.implication_calls)
+      .Int("exist_calls", stats.exist_calls)
+      .Int("cache_hits", stats.cache_hits)
+      .Int("cache_misses", stats.cache_misses)
+      .Int("parallel_batches", stats.parallel_batches)
+      .Int("parallel_tasks", stats.parallel_tasks);
+}
 
 /// Builds the Section 6 synthetic workload or aborts (benchmark setup
 /// failures are programming errors, not measurements).

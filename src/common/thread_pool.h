@@ -1,0 +1,58 @@
+#ifndef XMLPROP_COMMON_THREAD_POOL_H_
+#define XMLPROP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xmlprop {
+
+/// A small fixed-size pool of worker threads with a plain shared task
+/// queue — deliberately work-stealing-free: the implication engine only
+/// submits statically partitioned chunks of independent queries, so a
+/// single queue keeps the scheduling deterministic and the code tiny.
+///
+/// ParallelFor blocks the calling thread until every chunk has run, which
+/// is what makes the engine's shard-merge-on-join discipline safe: while
+/// a ParallelFor is in flight the caller cannot touch shared state, and
+/// after it returns the workers are guaranteed idle.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (itself clamped to at least 1).
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return threads_.size(); }
+
+  /// Runs body(begin, end, worker) over a static partition of [0, n) into
+  /// size() contiguous chunks, one per worker slot, and waits for all of
+  /// them. `worker` ∈ [0, size()) identifies the chunk's slot so callers
+  /// can give each chunk private scratch state (the engine's memo
+  /// shards). Chunks may execute on any thread and in any order; callers
+  /// must only rely on the partition itself being deterministic.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t begin, size_t end,
+                                            size_t worker)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_COMMON_THREAD_POOL_H_

@@ -1,6 +1,7 @@
 #include "core/design_advisor.h"
 
 #include "core/propagation.h"
+#include "keys/implication_engine.h"
 #include "transform/table_tree.h"
 
 namespace xmlprop {
@@ -40,8 +41,12 @@ Result<DesignReport> AdviseDesign(const std::vector<XmlKey>& sigma,
   XMLPROP_ASSIGN_OR_RETURN(TableTree table, TableTree::Build(universal_rule));
   DesignReport report;
   report.universal = table.schema();
-  XMLPROP_ASSIGN_OR_RETURN(report.cover, MinimumCover(sigma, table));
-  XMLPROP_ASSIGN_OR_RETURN(report.node_keys, ComputeNodeKeys(sigma, table));
+  // One engine for the whole advisory session: the cover computation and
+  // the node-key pass repeat most of each other's implication queries, so
+  // the second pass runs almost entirely from cache.
+  ImplicationEngine engine(sigma);
+  XMLPROP_ASSIGN_OR_RETURN(report.cover, MinimumCover(engine, table));
+  XMLPROP_ASSIGN_OR_RETURN(report.node_keys, ComputeNodeKeys(engine, table));
   report.bcnf = DecomposeBcnf(report.cover);
   report.third_nf = Synthesize3nf(report.cover);
   return report;
@@ -51,6 +56,9 @@ Result<std::vector<KeyCheckOutcome>> CheckDeclaredKeys(
     const std::vector<XmlKey>& sigma, const Transformation& transformation,
     const std::vector<DeclaredKey>& declared) {
   std::vector<KeyCheckOutcome> outcomes;
+  // Σ is shared across every declared key, so so are the engine's caches
+  // (the tables differ per relation; the memo keys don't care).
+  ImplicationEngine engine(sigma);
   for (const DeclaredKey& dk : declared) {
     XMLPROP_ASSIGN_OR_RETURN(const TableRule* rule,
                              transformation.FindRule(dk.relation));
@@ -65,7 +73,7 @@ Result<std::vector<KeyCheckOutcome>> CheckDeclaredKeys(
       outcome.guaranteed = true;  // key covers all fields
     } else {
       XMLPROP_ASSIGN_OR_RETURN(
-          bool ok, CheckPropagation(sigma, table, Fd(lhs, rhs)));
+          bool ok, CheckPropagation(engine, table, Fd(lhs, rhs)));
       outcome.guaranteed = ok;
     }
     outcomes.push_back(std::move(outcome));

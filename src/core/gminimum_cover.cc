@@ -9,6 +9,13 @@ Result<GMinimumCover> GMinimumCover::Build(const std::vector<XmlKey>& sigma,
   return GMinimumCover(sigma, table, std::move(cover));
 }
 
+Result<GMinimumCover> GMinimumCover::Build(ImplicationEngine& engine,
+                                           const TableTree& table,
+                                           PropagationStats* stats) {
+  XMLPROP_ASSIGN_OR_RETURN(FdSet cover, MinimumCover(engine, table, stats));
+  return GMinimumCover(engine.sigma(), table, std::move(cover), &engine);
+}
+
 Result<bool> GMinimumCover::Check(const Fd& fd,
                                   PropagationStats* stats) const {
   if (fd.lhs.universe_size() != table_.schema().arity() ||
@@ -21,10 +28,12 @@ Result<bool> GMinimumCover::Check(const Fd& fd,
   if (!cover_.Implies(fd)) return false;
   // Condition (2): LHS fields guaranteed non-null when the RHS is
   // present — checked per RHS attribute, like Algorithm propagation.
+  const KeyOracle oracle =
+      engine_ != nullptr ? KeyOracle(*engine_) : KeyOracle(sigma_);
   for (size_t a : fd.rhs.ToVector()) {
     XMLPROP_ASSIGN_OR_RETURN(
         bool non_null,
-        LhsNonNullWhenRhsPresent(sigma_, table_, fd.lhs, a, stats));
+        LhsNonNullWhenRhsPresent(oracle, table_, fd.lhs, a, stats));
     if (!non_null) return false;
   }
   return true;

@@ -28,6 +28,14 @@ class GMinimumCover {
                                      const TableTree& table,
                                      PropagationStats* stats = nullptr);
 
+  /// Engine-backed build: the cover computation and every subsequent
+  /// Check()'s null-condition queries run through the engine's caches.
+  /// The engine must outlive the returned checker (it is the session
+  /// state; this class only borrows it).
+  static Result<GMinimumCover> Build(ImplicationEngine& engine,
+                                     const TableTree& table,
+                                     PropagationStats* stats = nullptr);
+
   /// Checks one FD (conditions 1 and 2 above).
   Result<bool> Check(const Fd& fd, PropagationStats* stats = nullptr) const;
 
@@ -39,14 +47,17 @@ class GMinimumCover {
   const FdSet& cover() const { return cover_; }
 
  private:
-  GMinimumCover(std::vector<XmlKey> sigma, TableTree table, FdSet cover)
+  GMinimumCover(std::vector<XmlKey> sigma, TableTree table, FdSet cover,
+                ImplicationEngine* engine = nullptr)
       : sigma_(std::move(sigma)),
         table_(std::move(table)),
-        cover_(std::move(cover)) {}
+        cover_(std::move(cover)),
+        engine_(engine) {}
 
   std::vector<XmlKey> sigma_;
   TableTree table_;
   FdSet cover_;
+  ImplicationEngine* engine_ = nullptr;  ///< borrowed session engine, or null
 };
 
 /// One-shot convenience: Build + Check. This is what the Fig. 7(b)/(c)

@@ -5,15 +5,20 @@
 #include <set>
 
 #include "keys/implication.h"
+#include "keys/implication_engine.h"
 #include "relational/cover.h"
 
 namespace xmlprop {
 
 namespace {
 
-// Shared state of one minimumCover run.
+// Shared state of one minimumCover run. Runs against a KeyOracle so the
+// same body serves the engine-off (bare Σ) path and the engine path; with
+// an engine, the independent implication checks of CandidatesFor and
+// EmitFieldFds are evaluated as batches (cached + parallel fan-out).
 struct CoverBuilder {
-  const std::vector<XmlKey>& sigma;
+  KeyOracle oracle;
+  ImplicationEngine* engine;  // null on the engine-off path
   const TableTree& table;
   PropagationStats* stats;
 
@@ -23,13 +28,23 @@ struct CoverBuilder {
   std::vector<std::optional<AttrSet>> canonical;
   FdSet gamma;
 
-  CoverBuilder(const std::vector<XmlKey>& s, const TableTree& t,
-               PropagationStats* st)
-      : sigma(s), table(t), stats(st), gamma(t.schema()) {}
+  CoverBuilder(KeyOracle o, const TableTree& t, PropagationStats* st)
+      : oracle(o), engine(o.engine()), table(t), stats(st),
+        gamma(t.schema()) {}
 
-  bool ImpliesCounted(const XmlKey& key) {
-    if (stats != nullptr) ++stats->implication_calls;
-    return ImpliesIdentification(sigma, key);
+  // Evaluates a batch of independent identification queries, in input
+  // order. The call count is the same either way — every query is issued
+  // unconditionally — so the Section 6 implication-call accounting is
+  // unchanged by batching.
+  std::vector<char> ImpliesBatch(const std::vector<XmlKey>& queries) {
+    if (stats != nullptr) stats->implication_calls += queries.size();
+    if (engine != nullptr) return engine->ImpliesIdentificationBatch(queries);
+    std::vector<char> out;
+    out.reserve(queries.size());
+    for (const XmlKey& q : queries) {
+      out.push_back(oracle.ImpliesIdentification(q) ? 1 : 0);
+    }
+    return out;
   }
 
   void CollectAttrFields() {
@@ -61,9 +76,11 @@ struct CoverBuilder {
   }
 
   // Candidate transitive keys of variable v (deduplicated, deterministic
-  // order: by size, then lexicographic).
+  // order: by size, then lexicographic). All candidate implication checks
+  // for v are independent, so they go out as one batch.
   Result<std::vector<AttrSet>> CandidatesFor(int v) {
-    std::set<AttrSet> candidates;
+    std::vector<XmlKey> queries;
+    std::vector<AttrSet> on_success;  // candidate key if query i holds
     std::vector<int> chain = table.AncestorChain(v);
     chain.pop_back();  // proper ancestors only
     for (int u : chain) {
@@ -73,19 +90,22 @@ struct CoverBuilder {
       PathExpr u_path = table.PathFromRoot(u);
 
       // v unique under u: keyed by the ancestor's key alone (S = ∅).
-      if (ImpliesCounted(XmlKey("", u_path, rho, {}))) {
-        candidates.insert(*base);
-      }
+      queries.emplace_back("", u_path, rho, std::vector<std::string>{});
+      on_success.push_back(*base);
       // One candidate per key of Σ whose attributes are all fields of v.
-      for (const XmlKey& k : sigma) {
+      for (const XmlKey& k : oracle.keys()) {
         if (k.attributes().empty()) continue;  // covered by the ∅ case
         std::optional<AttrSet> key_fields = FieldsOfAttrs(
             static_cast<size_t>(v), k.attributes());
         if (!key_fields.has_value()) continue;
-        if (ImpliesCounted(XmlKey("", u_path, rho, k.attributes()))) {
-          candidates.insert(base->Union(*key_fields));
-        }
+        queries.emplace_back("", u_path, rho, k.attributes());
+        on_success.push_back(base->Union(*key_fields));
       }
+    }
+    std::vector<char> verdicts = ImpliesBatch(queries);
+    std::set<AttrSet> candidates;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (verdicts[i] != 0) candidates.insert(on_success[i]);
     }
     std::vector<AttrSet> out(candidates.begin(), candidates.end());
     std::stable_sort(out.begin(), out.end(),
@@ -119,6 +139,11 @@ struct CoverBuilder {
   }
 
   Status EmitFieldFds() {
+    // Every (keyed v, field-populating descendant w) uniqueness check is
+    // independent of the others: collect them all, run one batch, then
+    // emit the FDs in the original deterministic order.
+    std::vector<XmlKey> queries;
+    std::vector<std::pair<size_t, size_t>> emit;  // (variable v, field f)
     for (size_t v = 0; v < table.size(); ++v) {
       if (!canonical[v].has_value()) continue;
       const AttrSet& key = *canonical[v];
@@ -135,26 +160,50 @@ struct CoverBuilder {
         XMLPROP_ASSIGN_OR_RETURN(
             PathExpr rho,
             table.PathBetween(static_cast<int>(v), static_cast<int>(w)));
-        if (ImpliesCounted(
-                XmlKey("", v_path, rho.WithoutTrailingAttribute(), {}))) {
-          gamma.Add(Fd::SingleRhs(key, f));
-        }
+        queries.emplace_back("", v_path, rho.WithoutTrailingAttribute(),
+                             std::vector<std::string>{});
+        emit.emplace_back(v, f);
+      }
+    }
+    std::vector<char> verdicts = ImpliesBatch(queries);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (verdicts[i] != 0) {
+        gamma.Add(Fd::SingleRhs(*canonical[emit[i].first], emit[i].second));
       }
     }
     return Status::OK();
   }
 };
 
+Result<FdSet> RawWith(KeyOracle oracle, const TableTree& table,
+                      PropagationStats* stats) {
+  CoverBuilder builder(oracle, table, stats);
+  builder.CollectAttrFields();
+  XMLPROP_RETURN_NOT_OK(builder.AssignKeys());
+  XMLPROP_RETURN_NOT_OK(builder.EmitFieldFds());
+  return std::move(builder.gamma);
+}
+
+Result<std::vector<NodeKeyAssignment>> NodeKeysWith(KeyOracle oracle,
+                                                    const TableTree& table,
+                                                    PropagationStats* stats) {
+  CoverBuilder builder(oracle, table, stats);
+  builder.CollectAttrFields();
+  XMLPROP_RETURN_NOT_OK(builder.AssignKeys());
+  std::vector<NodeKeyAssignment> out;
+  for (size_t v = 0; v < table.size(); ++v) {
+    out.push_back(NodeKeyAssignment{table.node(static_cast<int>(v)).name,
+                                    builder.canonical[v]});
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<FdSet> PropagatedCoverRaw(const std::vector<XmlKey>& sigma,
                                  const TableTree& table,
                                  PropagationStats* stats) {
-  CoverBuilder builder(sigma, table, stats);
-  builder.CollectAttrFields();
-  XMLPROP_RETURN_NOT_OK(builder.AssignKeys());
-  XMLPROP_RETURN_NOT_OK(builder.EmitFieldFds());
-  return std::move(builder.gamma);
+  return RawWith(KeyOracle(sigma), table, stats);
 }
 
 Result<FdSet> MinimumCover(const std::vector<XmlKey>& sigma,
@@ -167,15 +216,33 @@ Result<FdSet> MinimumCover(const std::vector<XmlKey>& sigma,
 Result<std::vector<NodeKeyAssignment>> ComputeNodeKeys(
     const std::vector<XmlKey>& sigma, const TableTree& table,
     PropagationStats* stats) {
-  CoverBuilder builder(sigma, table, stats);
-  builder.CollectAttrFields();
-  XMLPROP_RETURN_NOT_OK(builder.AssignKeys());
-  std::vector<NodeKeyAssignment> out;
-  for (size_t v = 0; v < table.size(); ++v) {
-    out.push_back(NodeKeyAssignment{table.node(static_cast<int>(v)).name,
-                                    builder.canonical[v]});
-  }
-  return out;
+  return NodeKeysWith(KeyOracle(sigma), table, stats);
+}
+
+Result<FdSet> PropagatedCoverRaw(ImplicationEngine& engine,
+                                 const TableTree& table,
+                                 PropagationStats* stats) {
+  const ImplicationEngine::Counters before = engine.counters();
+  Result<FdSet> raw = RawWith(KeyOracle(engine), table, stats);
+  if (stats != nullptr) stats->AbsorbEngineDelta(before, engine.counters());
+  return raw;
+}
+
+Result<FdSet> MinimumCover(ImplicationEngine& engine, const TableTree& table,
+                           PropagationStats* stats) {
+  XMLPROP_ASSIGN_OR_RETURN(FdSet raw,
+                           PropagatedCoverRaw(engine, table, stats));
+  return Minimize(raw);
+}
+
+Result<std::vector<NodeKeyAssignment>> ComputeNodeKeys(
+    ImplicationEngine& engine, const TableTree& table,
+    PropagationStats* stats) {
+  const ImplicationEngine::Counters before = engine.counters();
+  Result<std::vector<NodeKeyAssignment>> keys =
+      NodeKeysWith(KeyOracle(engine), table, stats);
+  if (stats != nullptr) stats->AbsorbEngineDelta(before, engine.counters());
+  return keys;
 }
 
 }  // namespace xmlprop

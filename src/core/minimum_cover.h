@@ -63,6 +63,20 @@ Result<std::vector<NodeKeyAssignment>> ComputeNodeKeys(
     const std::vector<XmlKey>& sigma, const TableTree& table,
     PropagationStats* stats = nullptr);
 
+/// Engine-backed variants: FD-set-identical output, with the candidate
+/// and field-FD implication checks evaluated as engine batches — cached
+/// across queries (and across repeated covers on the same engine) and
+/// fanned out over the engine's thread pool when batches are large
+/// enough. This is the Fig. 7(a) fast path.
+Result<FdSet> MinimumCover(ImplicationEngine& engine, const TableTree& table,
+                           PropagationStats* stats = nullptr);
+Result<FdSet> PropagatedCoverRaw(ImplicationEngine& engine,
+                                 const TableTree& table,
+                                 PropagationStats* stats = nullptr);
+Result<std::vector<NodeKeyAssignment>> ComputeNodeKeys(
+    ImplicationEngine& engine, const TableTree& table,
+    PropagationStats* stats = nullptr);
+
 }  // namespace xmlprop
 
 #endif  // XMLPROP_CORE_MINIMUM_COVER_H_

@@ -1,13 +1,29 @@
 #include "core/naive_cover.h"
 
+#include <algorithm>
+#include <optional>
+
 #include "relational/cover.h"
 
 namespace xmlprop {
 
-Result<FdSet> AllPropagatedFds(const std::vector<XmlKey>& sigma,
-                               const TableTree& table,
-                               const NaiveOptions& options,
-                               PropagationStats* stats) {
+namespace {
+
+// Builds candidate number `mask` for RHS attribute `a`: the mask bits
+// spread over the positions != a.
+Fd CandidateFd(size_t n, size_t a, uint64_t mask) {
+  AttrSet lhs(n);
+  size_t bit = 0;
+  for (size_t pos = 0; pos < n; ++pos) {
+    if (pos == a) continue;
+    if ((mask >> bit) & 1) lhs.Set(pos);
+    ++bit;
+  }
+  return Fd::SingleRhs(std::move(lhs), a);
+}
+
+Result<FdSet> AllWith(KeyOracle oracle, const TableTree& table,
+                      const NaiveOptions& options, PropagationStats* stats) {
   const size_t n = table.schema().arity();
   if (n > options.max_fields) {
     return Status::InvalidArgument(
@@ -15,34 +31,82 @@ Result<FdSet> AllPropagatedFds(const std::vector<XmlKey>& sigma,
         " fields exceeds max_fields=" + std::to_string(options.max_fields));
   }
 
+  ImplicationEngine* engine = oracle.engine();
+  // Chunked fan-out keeps peak memory bounded while giving the pool
+  // batches big enough to amortize the shard merges.
+  constexpr uint64_t kChunk = 1024;
+
   FdSet all(table.schema());
   // Every candidate X → A with A ∉ X (trivial FDs carry no design
   // information and are dropped, as in the paper).
   for (size_t a = 0; a < n; ++a) {
     const uint64_t masks = uint64_t{1} << (n - 1);
-    for (uint64_t mask = 0; mask < masks; ++mask) {
-      AttrSet lhs(n);
-      // Spread mask bits over positions != a.
-      size_t bit = 0;
-      for (size_t pos = 0; pos < n; ++pos) {
-        if (pos == a) continue;
-        if ((mask >> bit) & 1) lhs.Set(pos);
-        ++bit;
+    if (options.screen_implied || engine == nullptr) {
+      // Sequential: screening makes each keep decision depend on the FDs
+      // kept so far, and the engine-off path stays byte-for-byte the
+      // seed behavior.
+      for (uint64_t mask = 0; mask < masks; ++mask) {
+        Fd fd = CandidateFd(n, a, mask);
+        // Screening: skip candidates the accumulated set already implies —
+        // both the (cheap) relational check before the propagation test
+        // and the insertion after it.
+        if (options.screen_implied && all.Implies(fd)) continue;
+        Result<bool> propagated =
+            options.include_null_condition
+                ? CheckPropagation(oracle, table, fd, stats)
+                : CheckValuePropagation(oracle, table, fd, stats);
+        XMLPROP_RETURN_NOT_OK(propagated.status());
+        if (*propagated) all.Add(std::move(fd));
       }
-      Fd fd = Fd::SingleRhs(std::move(lhs), a);
-      // Screening: skip candidates the accumulated set already implies —
-      // both the (cheap) relational check before the propagation test
-      // and the insertion after it.
-      if (options.screen_implied && all.Implies(fd)) continue;
-      Result<bool> propagated =
-          options.include_null_condition
-              ? CheckPropagation(sigma, table, fd, stats)
-              : CheckValuePropagation(sigma, table, fd, stats);
-      XMLPROP_RETURN_NOT_OK(propagated.status());
-      if (*propagated) all.Add(std::move(fd));
+      continue;
+    }
+
+    // Unscreened + engine: the candidates are independent — check each
+    // chunk in parallel, then insert the kept FDs in enumeration order.
+    for (uint64_t base = 0; base < masks; base += kChunk) {
+      const size_t count = static_cast<size_t>(
+          std::min<uint64_t>(kChunk, masks - base));
+      std::vector<Fd> fds;
+      fds.reserve(count);
+      for (size_t i = 0; i < count; ++i) {
+        fds.push_back(CandidateFd(n, a, base + i));
+      }
+      std::vector<char> keep(count, 0);
+      std::vector<std::optional<Status>> errors(count);
+      std::vector<PropagationStats> task_stats(count);
+      engine->ParallelRun(count, [&](size_t i, MemoShard* shard) {
+        KeyOracle task_oracle(*engine, shard);
+        PropagationStats* ts = stats != nullptr ? &task_stats[i] : nullptr;
+        Result<bool> propagated =
+            options.include_null_condition
+                ? CheckPropagation(task_oracle, table, fds[i], ts)
+                : CheckValuePropagation(task_oracle, table, fds[i], ts);
+        if (!propagated.ok()) {
+          errors[i] = propagated.status();
+        } else if (*propagated) {
+          keep[i] = 1;
+        }
+      });
+      for (size_t i = 0; i < count; ++i) {
+        if (errors[i].has_value()) return *errors[i];
+        if (stats != nullptr) {
+          stats->implication_calls += task_stats[i].implication_calls;
+          stats->exist_calls += task_stats[i].exist_calls;
+        }
+        if (keep[i] != 0) all.Add(std::move(fds[i]));
+      }
     }
   }
   return all;
+}
+
+}  // namespace
+
+Result<FdSet> AllPropagatedFds(const std::vector<XmlKey>& sigma,
+                               const TableTree& table,
+                               const NaiveOptions& options,
+                               PropagationStats* stats) {
+  return AllWith(KeyOracle(sigma), table, options, stats);
 }
 
 Result<FdSet> NaiveMinimumCover(const std::vector<XmlKey>& sigma,
@@ -51,6 +115,25 @@ Result<FdSet> NaiveMinimumCover(const std::vector<XmlKey>& sigma,
                                 PropagationStats* stats) {
   XMLPROP_ASSIGN_OR_RETURN(FdSet all,
                            AllPropagatedFds(sigma, table, options, stats));
+  return Minimize(all);
+}
+
+Result<FdSet> AllPropagatedFds(ImplicationEngine& engine,
+                               const TableTree& table,
+                               const NaiveOptions& options,
+                               PropagationStats* stats) {
+  const ImplicationEngine::Counters before = engine.counters();
+  Result<FdSet> all = AllWith(KeyOracle(engine), table, options, stats);
+  if (stats != nullptr) stats->AbsorbEngineDelta(before, engine.counters());
+  return all;
+}
+
+Result<FdSet> NaiveMinimumCover(ImplicationEngine& engine,
+                                const TableTree& table,
+                                const NaiveOptions& options,
+                                PropagationStats* stats) {
+  XMLPROP_ASSIGN_OR_RETURN(FdSet all,
+                           AllPropagatedFds(engine, table, options, stats));
   return Minimize(all);
 }
 

@@ -48,6 +48,22 @@ Result<FdSet> AllPropagatedFds(const std::vector<XmlKey>& sigma,
                                const NaiveOptions& options = {},
                                PropagationStats* stats = nullptr);
 
+/// Engine-backed variants. Without screening, the candidate enumeration
+/// is embarrassingly parallel: candidates are checked in chunks fanned
+/// out over the engine's pool (per-worker memo shards, merged on join),
+/// and the kept FDs are inserted in enumeration order, so the result is
+/// identical to the sequential path. With screening the loop is
+/// inherently sequential (each keep decision depends on the set so far)
+/// but still benefits from the persistent caches.
+Result<FdSet> NaiveMinimumCover(ImplicationEngine& engine,
+                                const TableTree& table,
+                                const NaiveOptions& options = {},
+                                PropagationStats* stats = nullptr);
+Result<FdSet> AllPropagatedFds(ImplicationEngine& engine,
+                               const TableTree& table,
+                               const NaiveOptions& options = {},
+                               PropagationStats* stats = nullptr);
+
 }  // namespace xmlprop
 
 #endif  // XMLPROP_CORE_NAIVE_COVER_H_

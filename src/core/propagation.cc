@@ -29,21 +29,21 @@ std::vector<AttrField> LhsAttributesOf(const TableTree& table, int target,
   return out;
 }
 
-bool ImpliesCounted(const std::vector<XmlKey>& sigma, const XmlKey& key,
+bool ImpliesCounted(const KeyOracle& oracle, const XmlKey& key,
                     PropagationStats* stats) {
   // The algorithm needs the identification component only; attribute
   // existence is handled separately by the exist() bookkeeping
   // (LhsNonNullWhenRhsPresent).
   if (stats != nullptr) ++stats->implication_calls;
-  return ImpliesIdentification(sigma, key);
+  return oracle.ImpliesIdentification(key);
 }
 
-Result<bool> KeyedAncestorWalk(const std::vector<XmlKey>& sigma,
+Result<bool> KeyedAncestorWalk(const KeyOracle& oracle,
                                const TableTree& table, const AttrSet& lhs,
                                size_t a, PropagationStats* stats);
 
 // Checks propagation of X → a for a single RHS attribute.
-Result<bool> CheckOne(const std::vector<XmlKey>& sigma, const TableTree& table,
+Result<bool> CheckOne(const KeyOracle& oracle, const TableTree& table,
                       const AttrSet& lhs, size_t a, bool check_null_condition,
                       PropagationStats* stats) {
   // Condition (1): trivial FD, or a keyed ancestor with x unique below
@@ -52,14 +52,14 @@ Result<bool> CheckOne(const std::vector<XmlKey>& sigma, const TableTree& table,
   // null-safety pass after — same verdict, and the implication-call
   // count per check stays the quantity the Section 6 analysis tracks.
   XMLPROP_ASSIGN_OR_RETURN(bool key_found,
-                           KeyedAncestorWalk(sigma, table, lhs, a, stats));
+                           KeyedAncestorWalk(oracle, table, lhs, a, stats));
   if (!key_found) return false;
 
   if (check_null_condition) {
     // Condition (2): whenever the RHS is non-null, every LHS field is
     // non-null (the paper's Ycheck / exist bookkeeping).
     XMLPROP_ASSIGN_OR_RETURN(
-        bool non_null, LhsNonNullWhenRhsPresent(sigma, table, lhs, a, stats));
+        bool non_null, LhsNonNullWhenRhsPresent(oracle, table, lhs, a, stats));
     if (!non_null) return false;
   }
   return true;
@@ -67,7 +67,7 @@ Result<bool> CheckOne(const std::vector<XmlKey>& sigma, const TableTree& table,
 
 // The keyed-chain walk of Fig. 5 lines 10-18: some ancestor `target` of x
 // is keyed by attributes populating LHS fields, and x is unique under it.
-Result<bool> KeyedAncestorWalk(const std::vector<XmlKey>& sigma,
+Result<bool> KeyedAncestorWalk(const KeyOracle& oracle,
                                const TableTree& table, const AttrSet& lhs,
                                size_t a, PropagationStats* stats) {
   if (lhs.Test(a)) return true;  // trivial FD
@@ -90,7 +90,7 @@ Result<bool> KeyedAncestorWalk(const std::vector<XmlKey>& sigma,
                              table.PathBetween(context, target));
     XmlKey keyed_check("", table.PathFromRoot(context), ctx_to_target,
                        beta_attrs);
-    if (ImpliesCounted(sigma, keyed_check, stats)) {
+    if (ImpliesCounted(oracle, keyed_check, stats)) {
       context = target;
     }
     if (context == target) {
@@ -101,7 +101,7 @@ Result<bool> KeyedAncestorWalk(const std::vector<XmlKey>& sigma,
                                table.PathBetween(target, x));
       XmlKey unique_check("", table.PathFromRoot(target),
                           target_to_x.WithoutTrailingAttribute(), {});
-      if (ImpliesCounted(sigma, unique_check, stats)) {
+      if (ImpliesCounted(oracle, unique_check, stats)) {
         return true;
       }
     }
@@ -111,7 +111,7 @@ Result<bool> KeyedAncestorWalk(const std::vector<XmlKey>& sigma,
 
 }  // namespace
 
-Result<bool> LhsNonNullWhenRhsPresent(const std::vector<XmlKey>& sigma,
+Result<bool> LhsNonNullWhenRhsPresent(const KeyOracle& oracle,
                                       const TableTree& table,
                                       const AttrSet& lhs, size_t rhs_attr,
                                       PropagationStats* stats) {
@@ -126,16 +126,24 @@ Result<bool> LhsNonNullWhenRhsPresent(const std::vector<XmlKey>& sigma,
     std::vector<std::string> beta_attrs;
     for (const AttrField& af : beta) beta_attrs.push_back(af.attr);
     if (stats != nullptr) ++stats->exist_calls;
-    if (AttributesExist(sigma, table.PathFromRoot(target), beta_attrs)) {
+    if (oracle.AttributesExist(table.PathFromRoot(target), beta_attrs)) {
       for (const AttrField& af : beta) ycheck.Reset(af.field);
     }
   }
   return ycheck.Empty();
 }
 
+Result<bool> LhsNonNullWhenRhsPresent(const std::vector<XmlKey>& sigma,
+                                      const TableTree& table,
+                                      const AttrSet& lhs, size_t rhs_attr,
+                                      PropagationStats* stats) {
+  return LhsNonNullWhenRhsPresent(KeyOracle(sigma), table, lhs, rhs_attr,
+                                  stats);
+}
+
 namespace {
 
-Result<bool> CheckImpl(const std::vector<XmlKey>& sigma,
+Result<bool> CheckImpl(const KeyOracle& oracle,
                        const TableTree& table, const Fd& fd,
                        bool check_null_condition, PropagationStats* stats) {
   if (fd.lhs.universe_size() != table.schema().arity() ||
@@ -150,10 +158,21 @@ Result<bool> CheckImpl(const std::vector<XmlKey>& sigma,
   for (size_t a : fd.rhs.ToVector()) {
     XMLPROP_ASSIGN_OR_RETURN(
         bool ok,
-        CheckOne(sigma, table, fd.lhs, a, check_null_condition, stats));
+        CheckOne(oracle, table, fd.lhs, a, check_null_condition, stats));
     if (!ok) return false;
   }
   return true;
+}
+
+// Wraps an engine call so the stats pick up the cache/parallel movement.
+Result<bool> CheckWithEngine(ImplicationEngine& engine, const TableTree& table,
+                             const Fd& fd, bool check_null_condition,
+                             PropagationStats* stats) {
+  const ImplicationEngine::Counters before = engine.counters();
+  Result<bool> verdict = CheckImpl(KeyOracle(engine), table, fd,
+                                   check_null_condition, stats);
+  if (stats != nullptr) stats->AbsorbEngineDelta(before, engine.counters());
+  return verdict;
 }
 
 }  // namespace
@@ -161,13 +180,40 @@ Result<bool> CheckImpl(const std::vector<XmlKey>& sigma,
 Result<bool> CheckPropagation(const std::vector<XmlKey>& sigma,
                               const TableTree& table, const Fd& fd,
                               PropagationStats* stats) {
-  return CheckImpl(sigma, table, fd, /*check_null_condition=*/true, stats);
+  return CheckImpl(KeyOracle(sigma), table, fd,
+                   /*check_null_condition=*/true, stats);
 }
 
 Result<bool> CheckValuePropagation(const std::vector<XmlKey>& sigma,
                                    const TableTree& table, const Fd& fd,
                                    PropagationStats* stats) {
-  return CheckImpl(sigma, table, fd, /*check_null_condition=*/false, stats);
+  return CheckImpl(KeyOracle(sigma), table, fd,
+                   /*check_null_condition=*/false, stats);
+}
+
+Result<bool> CheckPropagation(ImplicationEngine& engine,
+                              const TableTree& table, const Fd& fd,
+                              PropagationStats* stats) {
+  return CheckWithEngine(engine, table, fd, /*check_null_condition=*/true,
+                         stats);
+}
+
+Result<bool> CheckValuePropagation(ImplicationEngine& engine,
+                                   const TableTree& table, const Fd& fd,
+                                   PropagationStats* stats) {
+  return CheckWithEngine(engine, table, fd, /*check_null_condition=*/false,
+                         stats);
+}
+
+Result<bool> CheckPropagation(const KeyOracle& oracle, const TableTree& table,
+                              const Fd& fd, PropagationStats* stats) {
+  return CheckImpl(oracle, table, fd, /*check_null_condition=*/true, stats);
+}
+
+Result<bool> CheckValuePropagation(const KeyOracle& oracle,
+                                   const TableTree& table, const Fd& fd,
+                                   PropagationStats* stats) {
+  return CheckImpl(oracle, table, fd, /*check_null_condition=*/false, stats);
 }
 
 Result<bool> CheckPropagation(const std::vector<XmlKey>& sigma,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "keys/implication_engine.h"
 #include "keys/xml_key.h"
 #include "relational/fd.h"
 #include "transform/table_tree.h"
@@ -13,10 +14,27 @@ namespace xmlprop {
 
 /// Counters exposed by the algorithms for the paper's Section 6 analysis
 /// (execution time is dominated by calls to Algorithm `implication`, whose
-/// count is governed by the table-tree depth).
+/// count is governed by the table-tree depth). The cache/parallel fields
+/// are filled only on the ImplicationEngine paths — they stay zero on the
+/// engine-off (bare Σ) paths, whose call counts they never change.
 struct PropagationStats {
   size_t implication_calls = 0;
   size_t exist_calls = 0;
+  /// Engine memo hits/misses (identification + containment + exist).
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  /// Batches the engine actually fanned out, and their total task count.
+  size_t parallel_batches = 0;
+  size_t parallel_tasks = 0;
+
+  /// Adds the engine-counter movement between two snapshots.
+  void AbsorbEngineDelta(const ImplicationEngine::Counters& before,
+                         const ImplicationEngine::Counters& after) {
+    cache_hits += after.hits() - before.hits();
+    cache_misses += after.misses() - before.misses();
+    parallel_batches += after.parallel_batches - before.parallel_batches;
+    parallel_tasks += after.parallel_tasks - before.parallel_tasks;
+  }
 };
 
 /// Algorithm `propagation` (Fig. 5): decides whether the FD `fd` on the
@@ -61,6 +79,26 @@ Result<bool> CheckPropagation(const std::vector<XmlKey>& sigma,
                               const std::string& fd_text,
                               PropagationStats* stats = nullptr);
 
+/// Engine-backed variants: identical verdicts, but every implication and
+/// exist() query goes through the persistent ImplicationEngine caches
+/// (the engine must own the same Σ the check is meant against). These are
+/// the session entry points — build one engine per key set and reuse it
+/// across propagation checks, cover computations, and advisor runs.
+Result<bool> CheckPropagation(ImplicationEngine& engine,
+                              const TableTree& table, const Fd& fd,
+                              PropagationStats* stats = nullptr);
+Result<bool> CheckValuePropagation(ImplicationEngine& engine,
+                                   const TableTree& table, const Fd& fd,
+                                   PropagationStats* stats = nullptr);
+
+/// Oracle-level variants used inside engine ParallelRun tasks (the oracle
+/// carries the worker's memo shard). Verdicts match the Σ versions.
+Result<bool> CheckPropagation(const KeyOracle& oracle, const TableTree& table,
+                              const Fd& fd, PropagationStats* stats = nullptr);
+Result<bool> CheckValuePropagation(const KeyOracle& oracle,
+                                   const TableTree& table, const Fd& fd,
+                                   PropagationStats* stats = nullptr);
+
 /// A human-readable account of one propagation check — every keyed-chain
 /// step Fig. 5 performed and the null-safety bookkeeping, per RHS
 /// attribute. Produced by ExplainPropagation; rendered by ToString.
@@ -100,6 +138,10 @@ Result<PropagationTrace> ExplainPropagation(const std::vector<XmlKey>& sigma,
 /// ancestor-or-self of the variable populating `rhs_attr`, and that
 /// attribute is guaranteed to exist by `sigma` (AttributesExist).
 Result<bool> LhsNonNullWhenRhsPresent(const std::vector<XmlKey>& sigma,
+                                      const TableTree& table,
+                                      const AttrSet& lhs, size_t rhs_attr,
+                                      PropagationStats* stats = nullptr);
+Result<bool> LhsNonNullWhenRhsPresent(const KeyOracle& oracle,
                                       const TableTree& table,
                                       const AttrSet& lhs, size_t rhs_attr,
                                       PropagationStats* stats = nullptr);

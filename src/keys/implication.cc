@@ -144,23 +144,38 @@ bool AttributesExist(const std::vector<XmlKey>& sigma,
                      const std::vector<std::string>& attrs) {
   // A key (C, (T, S)) requires every node in [[C/T]] to carry all
   // attributes of S (Definition 2.1 condition 1); if L(node_path) ⊆
-  // L(C/T) this covers the nodes at node_path.
+  // L(C/T) this covers the nodes at node_path. Sorting `needed` once lets
+  // each covering key be consumed by a single merge pass against its
+  // (already sorted) attribute set instead of a quadratic find-and-erase.
   std::vector<std::string> needed = attrs;
+  std::sort(needed.begin(), needed.end());
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+  std::vector<char> have(needed.size(), 0);
+  size_t remaining = needed.size();
   for (const XmlKey& key : sigma) {
-    if (needed.empty()) break;
+    if (remaining == 0) break;
     if (key.attributes().empty()) continue;
     if (!PathContains(key.context().Concat(key.target()), node_path)) {
       continue;
     }
-    needed.erase(std::remove_if(needed.begin(), needed.end(),
-                                [&](const std::string& attr) {
-                                  const auto& s = key.attributes();
-                                  return std::find(s.begin(), s.end(),
-                                                   attr) != s.end();
-                                }),
-                 needed.end());
+    const std::vector<std::string>& s = key.attributes();
+    size_t a = 0, b = 0;
+    while (a < needed.size() && b < s.size()) {
+      if (needed[a] < s[b]) {
+        ++a;
+      } else if (s[b] < needed[a]) {
+        ++b;
+      } else {
+        if (have[a] == 0) {
+          have[a] = 1;
+          --remaining;
+        }
+        ++a;
+        ++b;
+      }
+    }
   }
-  return needed.empty();
+  return remaining == 0;
 }
 
 bool Implies(const std::vector<XmlKey>& sigma, const XmlKey& phi) {
@@ -178,27 +193,39 @@ bool IsTransitiveSet(const std::vector<XmlKey>& keys) {
   const size_t n = keys.size();
   // anchored[i] == true once key i is known to be preceded (transitively)
   // by an absolute key, or is itself absolute.
-  std::vector<bool> anchored(n, false);
-  for (size_t i = 0; i < n; ++i) anchored[i] = keys[i].IsAbsolute();
+  std::vector<char> anchored(n, 0);
+  std::vector<size_t> frontier;
+  for (size_t i = 0; i < n; ++i) {
+    if (keys[i].IsAbsolute()) {
+      anchored[i] = 1;
+      frontier.push_back(i);
+    }
+  }
 
-  // Fixpoint: a relative key becomes anchored when some anchored key
-  // immediately precedes it.
-  bool changed = true;
-  while (changed) {
-    changed = false;
+  // ImmediatelyPrecedes runs the path-equivalence DP, so probing it
+  // inside a fixpoint re-derives the same verdicts O(n) times. Compute
+  // the adjacency matrix once and run a BFS over it: n² DP calls total
+  // instead of the naive fixpoint's n³ worst case.
+  std::vector<char> precedes(n * n, 0);
+  for (size_t j = 0; j < n; ++j) {
     for (size_t i = 0; i < n; ++i) {
-      if (anchored[i]) continue;
-      for (size_t j = 0; j < n; ++j) {
-        if (anchored[j] && ImmediatelyPrecedes(keys[j], keys[i])) {
-          anchored[i] = true;
-          changed = true;
-          break;
-        }
+      if (i != j && ImmediatelyPrecedes(keys[j], keys[i])) {
+        precedes[j * n + i] = 1;
+      }
+    }
+  }
+  while (!frontier.empty()) {
+    const size_t j = frontier.back();
+    frontier.pop_back();
+    for (size_t i = 0; i < n; ++i) {
+      if (anchored[i] == 0 && precedes[j * n + i] != 0) {
+        anchored[i] = 1;
+        frontier.push_back(i);
       }
     }
   }
   return std::all_of(anchored.begin(), anchored.end(),
-                     [](bool b) { return b; });
+                     [](char b) { return b != 0; });
 }
 
 }  // namespace xmlprop

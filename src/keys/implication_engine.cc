@@ -1,0 +1,353 @@
+#include "keys/implication_engine.h"
+
+#include <algorithm>
+
+#include "xml/path.h"
+
+namespace xmlprop {
+
+namespace {
+
+// Canonical byte key of a normalized atom sequence (kind tag + label,
+// NUL-separated — labels cannot contain NUL).
+std::string AtomsKey(const std::vector<PathAtom>& atoms) {
+  std::string key;
+  key.reserve(atoms.size() * 8);
+  for (const PathAtom& a : atoms) {
+    key.push_back(a.is_descendant() ? '\x01' : '\x02');
+    key += a.label;
+    key.push_back('\0');
+  }
+  return key;
+}
+
+uint64_t PackPair(InternId a, InternId b) {
+  return (uint64_t{a} << 32) | uint64_t{b};
+}
+
+}  // namespace
+
+// One candidate witness split of a Σ-key's target, T ≡ T1/T2: the
+// materialized (normalized) C/T1 prefix and T2 suffix with their interned
+// ids. Precomputed once so every query's witness scan is two cache probes
+// per split.
+struct ImplicationEngine::KeySplit {
+  PathExpr prefix;  // C/T[0, cut1)
+  PathExpr suffix;  // T[cut2, n)
+  InternId prefix_id;
+  InternId suffix_id;
+};
+
+struct ImplicationEngine::KeyInfo {
+  std::vector<KeySplit> splits;
+  PathExpr full_path;  // C/T, the exist() containment probe
+  InternId full_path_id;
+};
+
+ImplicationEngine::ImplicationEngine(std::vector<XmlKey> sigma,
+                                     const Options& options)
+    : sigma_(std::move(sigma)), options_(options) {
+  size_t threads = options_.parallelism;
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  empty_attrs_id_ = InternAttrs({});
+
+  // Split tables: enumerate exactly the (cut1, cut2) candidates
+  // FindWitness walks — every atom boundary, plus the self-overlapping
+  // split of each "//" atom (// ≡ ////).
+  key_info_.reserve(sigma_.size());
+  for (const XmlKey& k : sigma_) {
+    KeyInfo info;
+    const std::vector<PathAtom>& t = k.target().atoms();
+    const size_t n = t.size();
+    auto add_split = [&](size_t cut1, size_t cut2) {
+      KeySplit sp;
+      sp.prefix = k.context().Concat(
+          PathExpr::FromAtoms({t.begin(), t.begin() + static_cast<long>(cut1)}));
+      sp.suffix = PathExpr::FromAtoms(
+          {t.begin() + static_cast<long>(cut2), t.end()});
+      sp.prefix_id = InternAtoms(sp.prefix.atoms());
+      sp.suffix_id = InternAtoms(sp.suffix.atoms());
+      info.splits.push_back(std::move(sp));
+    };
+    for (size_t cut = 0; cut <= n; ++cut) {
+      add_split(cut, cut);
+      if (cut < n && t[cut].is_descendant()) add_split(cut + 1, cut);
+    }
+    info.full_path = k.context().Concat(k.target());
+    info.full_path_id = InternAtoms(info.full_path.atoms());
+    key_info_.push_back(std::move(info));
+  }
+}
+
+ImplicationEngine::~ImplicationEngine() = default;
+
+size_t ImplicationEngine::parallelism() const {
+  return pool_ != nullptr ? pool_->size() : 1;
+}
+
+InternId ImplicationEngine::InternAtoms(const std::vector<PathAtom>& atoms) {
+  std::string key = AtomsKey(atoms);
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  auto [it, inserted] =
+      path_ids_.emplace(std::move(key), static_cast<InternId>(path_ids_.size()));
+  return it->second;
+}
+
+InternId ImplicationEngine::InternAttrs(const std::vector<std::string>& attrs) {
+  std::vector<std::string> sorted = attrs;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::string key;
+  for (const std::string& a : sorted) {
+    key += a;
+    key.push_back('\0');
+  }
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  auto [it, inserted] = attrs_ids_.emplace(
+      std::move(key), static_cast<InternId>(attrs_ids_.size()));
+  return it->second;
+}
+
+bool ImplicationEngine::CachedContains(InternId super_id, const PathExpr& super,
+                                       InternId sub_id, const PathExpr& sub,
+                                       MemoShard* shard) {
+  if (shard != nullptr) {
+    ++shard->contains_queries;
+  } else {
+    ++counters_.contains_queries;
+  }
+  const uint64_t key = PackPair(super_id, sub_id);
+  if (options_.caching) {
+    if (shard != nullptr) {
+      auto it = shard->contains.find(key);
+      if (it != shard->contains.end()) {
+        ++shard->contains_hits;
+        return it->second != 0;
+      }
+    }
+    auto it = contains_cache_.find(key);
+    if (it != contains_cache_.end()) {
+      if (shard != nullptr) {
+        ++shard->contains_hits;
+      } else {
+        ++counters_.contains_hits;
+      }
+      return it->second != 0;
+    }
+  }
+  const bool verdict = PathContains(super, sub);
+  if (options_.caching) {
+    (shard != nullptr ? shard->contains : contains_cache_)[key] =
+        verdict ? 1 : 0;
+  }
+  return verdict;
+}
+
+bool ImplicationEngine::WitnessExists(const PathExpr& context,
+                                      InternId context_id,
+                                      const PathExpr& target,
+                                      InternId target_id,
+                                      const std::vector<std::string>& attrs,
+                                      MemoShard* shard) {
+  for (size_t i = 0; i < sigma_.size(); ++i) {
+    const XmlKey& k = sigma_[i];
+    // Superkey rule precondition: S' ⊆ S (both sides sorted).
+    if (!std::includes(attrs.begin(), attrs.end(), k.attributes().begin(),
+                       k.attributes().end())) {
+      continue;
+    }
+    for (const KeySplit& sp : key_info_[i].splits) {
+      if (CachedContains(sp.prefix_id, sp.prefix, context_id, context,
+                         shard) &&
+          CachedContains(sp.suffix_id, sp.suffix, target_id, target, shard)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool ImplicationEngine::IdentRec(const PathExpr& context, InternId context_id,
+                                 const PathExpr& target, InternId target_id,
+                                 const std::vector<std::string>& attrs,
+                                 InternId attrs_id, MemoShard* shard) {
+  if (target.IsEpsilon()) return true;  // epsilon axiom
+
+  if (shard != nullptr) {
+    ++shard->ident_queries;
+  } else {
+    ++counters_.ident_queries;
+  }
+  const IdentState state{context_id, target_id, attrs_id};
+  if (options_.caching) {
+    if (shard != nullptr) {
+      auto it = shard->ident.find(state);
+      if (it != shard->ident.end()) {
+        ++shard->ident_hits;
+        return it->second != 0;
+      }
+    }
+    auto it = ident_cache_.find(state);
+    if (it != ident_cache_.end()) {
+      if (shard != nullptr) {
+        ++shard->ident_hits;
+      } else {
+        ++counters_.ident_hits;
+      }
+      return it->second != 0;
+    }
+  }
+
+  bool result =
+      WitnessExists(context, context_id, target, target_id, attrs, shard);
+
+  // Composition rule: Qt ≡ A/B with at most one A-node per context and B
+  // identified under Qc/A — same recursion as the free procedure.
+  const std::vector<PathAtom>& atoms = target.atoms();
+  static const std::vector<std::string> kNoAttrs;
+  for (size_t cut = 1; !result && cut < atoms.size(); ++cut) {
+    PathExpr a = PathExpr::FromAtoms(
+        {atoms.begin(), atoms.begin() + static_cast<long>(cut)});
+    PathExpr b = PathExpr::FromAtoms(
+        {atoms.begin() + static_cast<long>(cut), atoms.end()});
+    if (!IdentRec(context, context_id, a, InternAtoms(a.atoms()), kNoAttrs,
+                  empty_attrs_id_, shard)) {
+      continue;
+    }
+    PathExpr ctx2 = context.Concat(a);
+    result = IdentRec(ctx2, InternAtoms(ctx2.atoms()), b,
+                      InternAtoms(b.atoms()), attrs, attrs_id, shard);
+  }
+
+  if (options_.caching) {
+    (shard != nullptr ? shard->ident : ident_cache_)[state] = result ? 1 : 0;
+  }
+  return result;
+}
+
+bool ImplicationEngine::ImpliesIdentification(const XmlKey& phi,
+                                              MemoShard* shard) {
+  return IdentRec(phi.context(), InternAtoms(phi.context().atoms()),
+                  phi.target(), InternAtoms(phi.target().atoms()),
+                  phi.attributes(), InternAttrs(phi.attributes()), shard);
+}
+
+bool ImplicationEngine::AttributesExist(const PathExpr& node_path,
+                                        const std::vector<std::string>& attrs,
+                                        MemoShard* shard) {
+  if (shard != nullptr) {
+    ++shard->exist_queries;
+  } else {
+    ++counters_.exist_queries;
+  }
+  const InternId path_id = InternAtoms(node_path.atoms());
+  const InternId attrs_id = InternAttrs(attrs);
+  const uint64_t key = PackPair(path_id, attrs_id);
+  if (options_.caching) {
+    if (shard != nullptr) {
+      auto it = shard->exist.find(key);
+      if (it != shard->exist.end()) {
+        ++shard->exist_hits;
+        return it->second != 0;
+      }
+    }
+    auto it = exist_cache_.find(key);
+    if (it != exist_cache_.end()) {
+      if (shard != nullptr) {
+        ++shard->exist_hits;
+      } else {
+        ++counters_.exist_hits;
+      }
+      return it->second != 0;
+    }
+  }
+
+  // The free AttributesExist, with the per-key L(node_path) ⊆ L(C/T)
+  // probe routed through the containment cache.
+  std::vector<std::string> needed = attrs;
+  std::sort(needed.begin(), needed.end());
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+  std::vector<char> have(needed.size(), 0);
+  size_t remaining = needed.size();
+  for (size_t i = 0; i < sigma_.size() && remaining > 0; ++i) {
+    const XmlKey& k = sigma_[i];
+    if (k.attributes().empty()) continue;
+    if (!CachedContains(key_info_[i].full_path_id, key_info_[i].full_path,
+                        path_id, node_path, shard)) {
+      continue;
+    }
+    // Both sides sorted: one linear merge pass marks covered attributes.
+    const std::vector<std::string>& s = k.attributes();
+    size_t a = 0, b = 0;
+    while (a < needed.size() && b < s.size()) {
+      if (needed[a] < s[b]) {
+        ++a;
+      } else if (s[b] < needed[a]) {
+        ++b;
+      } else {
+        if (have[a] == 0) {
+          have[a] = 1;
+          --remaining;
+        }
+        ++a;
+        ++b;
+      }
+    }
+  }
+  const bool verdict = remaining == 0;
+  if (options_.caching) {
+    (shard != nullptr ? shard->exist : exist_cache_)[key] = verdict ? 1 : 0;
+  }
+  return verdict;
+}
+
+bool ImplicationEngine::Implies(const XmlKey& phi, MemoShard* shard) {
+  if (!ImpliesIdentification(phi, shard)) return false;
+  if (phi.attributes().empty()) return true;
+  return AttributesExist(phi.context().Concat(phi.target()), phi.attributes(),
+                         shard);
+}
+
+std::vector<char> ImplicationEngine::ImpliesIdentificationBatch(
+    const std::vector<XmlKey>& queries) {
+  std::vector<char> out(queries.size(), 0);
+  ParallelRun(queries.size(), [&](size_t i, MemoShard* shard) {
+    out[i] = ImpliesIdentification(queries[i], shard) ? 1 : 0;
+  });
+  return out;
+}
+
+void ImplicationEngine::MergeShard(const MemoShard& shard) {
+  // Duplicate entries across shards hold equal verdicts (pure function of
+  // (Σ, query)), so first-wins insertion is deterministic-by-construction.
+  contains_cache_.insert(shard.contains.begin(), shard.contains.end());
+  ident_cache_.insert(shard.ident.begin(), shard.ident.end());
+  exist_cache_.insert(shard.exist.begin(), shard.exist.end());
+  counters_.ident_queries += shard.ident_queries;
+  counters_.ident_hits += shard.ident_hits;
+  counters_.contains_queries += shard.contains_queries;
+  counters_.contains_hits += shard.contains_hits;
+  counters_.exist_queries += shard.exist_queries;
+  counters_.exist_hits += shard.exist_hits;
+}
+
+void ImplicationEngine::ParallelRun(
+    size_t n, const std::function<void(size_t, MemoShard*)>& body) {
+  if (pool_ == nullptr || pool_->size() <= 1 ||
+      n < options_.parallel_threshold) {
+    for (size_t i = 0; i < n; ++i) body(i, nullptr);
+    return;
+  }
+  ++counters_.parallel_batches;
+  counters_.parallel_tasks += n;
+  std::vector<MemoShard> shards(pool_->size());
+  pool_->ParallelFor(n, [&](size_t begin, size_t end, size_t worker) {
+    for (size_t i = begin; i < end; ++i) body(i, &shards[worker]);
+  });
+  for (const MemoShard& shard : shards) MergeShard(shard);
+}
+
+}  // namespace xmlprop

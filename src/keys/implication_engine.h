@@ -1,0 +1,240 @@
+#ifndef XMLPROP_KEYS_IMPLICATION_ENGINE_H_
+#define XMLPROP_KEYS_IMPLICATION_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "keys/implication.h"
+#include "keys/xml_key.h"
+
+namespace xmlprop {
+
+/// Interned identifier of a normalized path-atom sequence (or of a sorted
+/// attribute set). Ids are dense, starting at 0; equal sequences always
+/// intern to the same id within one engine.
+using InternId = uint32_t;
+
+/// Memo state of the (context, target, attribute-set) identification
+/// recursion. Unlike the per-call memo of the free ImpliesIdentification
+/// (which keys on S-emptiness, valid only while S is fixed), the
+/// persistent engine memo keys on the *full* interned attribute set so
+/// entries stay sound across queries with different S.
+struct IdentState {
+  InternId context;
+  InternId target;
+  InternId attrs;
+
+  friend bool operator==(const IdentState& a, const IdentState& b) {
+    return a.context == b.context && a.target == b.target &&
+           a.attrs == b.attrs;
+  }
+};
+
+struct IdentStateHash {
+  size_t operator()(const IdentState& s) const {
+    uint64_t h = (uint64_t{s.context} << 32) ^ (uint64_t{s.target} << 16) ^
+                 uint64_t{s.attrs};
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<size_t>(h);
+  }
+};
+
+/// A private memo overlay used by one worker during a parallel batch.
+/// Workers read the engine's global caches (frozen for the duration of
+/// the batch) and write only here; the engine merges shards back after
+/// the join. Verdicts are pure functions of (Σ, query), so the merge
+/// order cannot change any result — it only decides which duplicate
+/// entry wins, and duplicates are equal.
+struct MemoShard {
+  std::unordered_map<uint64_t, char> contains;  ///< (super id, sub id)
+  std::unordered_map<IdentState, char, IdentStateHash> ident;
+  std::unordered_map<uint64_t, char> exist;  ///< (path id, attrs id)
+
+  size_t ident_queries = 0, ident_hits = 0;
+  size_t contains_queries = 0, contains_hits = 0;
+  size_t exist_queries = 0, exist_hits = 0;
+};
+
+/// Tuning knobs of an ImplicationEngine.
+struct EngineOptions {
+  /// Master switch for the verdict caches (the engine-off ablation
+  /// still gets split tables and batching, but recomputes verdicts).
+  bool caching = true;
+  /// Worker threads for ParallelRun; 0 = hardware concurrency, 1 =
+  /// never spawn a pool (fully sequential).
+  size_t parallelism = 0;
+  /// Minimum batch size before a ParallelRun actually fans out.
+  size_t parallel_threshold = 8;
+};
+
+/// A persistent, Σ-scoped implication engine (DESIGN.md §4, "Implication
+/// engine"): owns one key set for a session and turns the per-call memo
+/// tables of the free implication functions into shared compute state
+/// that survives across queries — the query-engine playbook of reusable
+/// caches applied to the paper's hot path.
+///
+///   - Path interning: every normalized atom sequence (query contexts and
+///     targets, plus the composition intermediates the identification
+///     recursion creates) gets a dense id; PathContains verdicts are
+///     cached in a flat hash map keyed by the id pair.
+///   - Split tables: each Σ-key's witness splits T ≡ T1/T2 — the
+///     (cut1, cut2) candidates FindWitness enumerates — are materialized
+///     once at construction as interned C/T1 and T2 sequences, so the
+///     per-query witness scan is pure cache lookups after warm-up.
+///   - Persistent identification memo: the recursion's states are cached
+///     on (context id, target id, attribute-set id) for the engine's
+///     lifetime instead of being rebuilt per call.
+///   - Parallel fan-out: independent queries can be evaluated on a small
+///     thread pool; each worker writes to a private MemoShard merged on
+///     join, so the caches never race and results are deterministic.
+///
+/// Verdicts are identical to the free functions' (property-tested): the
+/// caches only memoize a pure function of (Σ, query).
+///
+/// Thread-safety contract: the engine is externally synchronized — call
+/// it from one thread at a time. During ParallelRun the global caches are
+/// frozen (read-only) and workers write to shards; the interner, which
+/// must stay globally consistent, is the one mutex-protected structure.
+class ImplicationEngine {
+ public:
+  using Options = EngineOptions;
+
+  /// Monotonic counters since construction (cache hits/misses and
+  /// parallel fan-out accounting; exposed to PropagationStats).
+  struct Counters {
+    size_t ident_queries = 0, ident_hits = 0;
+    size_t contains_queries = 0, contains_hits = 0;
+    size_t exist_queries = 0, exist_hits = 0;
+    size_t parallel_batches = 0, parallel_tasks = 0;
+
+    size_t hits() const { return ident_hits + contains_hits + exist_hits; }
+    size_t queries() const {
+      return ident_queries + contains_queries + exist_queries;
+    }
+    size_t misses() const { return queries() - hits(); }
+  };
+
+  explicit ImplicationEngine(std::vector<XmlKey> sigma,
+                             const Options& options = Options());
+  ~ImplicationEngine();
+
+  ImplicationEngine(const ImplicationEngine&) = delete;
+  ImplicationEngine& operator=(const ImplicationEngine&) = delete;
+
+  const std::vector<XmlKey>& sigma() const { return sigma_; }
+  const Options& options() const { return options_; }
+  const Counters& counters() const { return counters_; }
+  /// Worker slots a ParallelRun may use (1 when no pool was created).
+  size_t parallelism() const;
+
+  /// Cached equivalents of the free functions (identical verdicts).
+  /// `shard` routes cache writes to a worker-private overlay during
+  /// parallel batches; pass nullptr (the default) outside of one.
+  bool ImpliesIdentification(const XmlKey& phi, MemoShard* shard = nullptr);
+  bool AttributesExist(const PathExpr& node_path,
+                       const std::vector<std::string>& attrs,
+                       MemoShard* shard = nullptr);
+  bool Implies(const XmlKey& phi, MemoShard* shard = nullptr);
+
+  /// Evaluates `queries` (independently) and returns their verdicts in
+  /// input order, fanning out over the pool when the batch is large
+  /// enough. Deterministic: equal to calling ImpliesIdentification on
+  /// each query in order.
+  std::vector<char> ImpliesIdentificationBatch(
+      const std::vector<XmlKey>& queries);
+
+  /// Runs body(task, shard) for every task in [0, n) — sequentially with
+  /// shard == nullptr below the parallel threshold, else on the pool with
+  /// one private shard per worker, merged (in worker order) on join.
+  /// Tasks must be independent and may only touch the engine through the
+  /// shard-taking entry points above.
+  void ParallelRun(size_t n,
+                   const std::function<void(size_t task, MemoShard* shard)>&
+                       body);
+
+ private:
+  struct KeySplit;
+  struct KeyInfo;
+
+  InternId InternAtoms(const std::vector<PathAtom>& atoms);
+  InternId InternAttrs(const std::vector<std::string>& attrs);
+
+  bool CachedContains(InternId super_id, const PathExpr& super,
+                      InternId sub_id, const PathExpr& sub, MemoShard* shard);
+  bool WitnessExists(const PathExpr& context, InternId context_id,
+                     const PathExpr& target, InternId target_id,
+                     const std::vector<std::string>& attrs, MemoShard* shard);
+  bool IdentRec(const PathExpr& context, InternId context_id,
+                const PathExpr& target, InternId target_id,
+                const std::vector<std::string>& attrs, InternId attrs_id,
+                MemoShard* shard);
+  void MergeShard(const MemoShard& shard);
+
+  std::vector<XmlKey> sigma_;
+  Options options_;
+  std::vector<KeyInfo> key_info_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  // Interners: the one piece of state workers mutate during a batch,
+  // guarded by intern_mu_ (ids must be globally consistent or the
+  // id-keyed caches would be meaningless).
+  std::mutex intern_mu_;
+  std::unordered_map<std::string, InternId> path_ids_;
+  std::unordered_map<std::string, InternId> attrs_ids_;
+  InternId empty_attrs_id_ = 0;  ///< id of S = ∅, the recursion's workhorse
+
+  // Global verdict caches. Written only by the owner thread outside of
+  // ParallelRun; frozen (read-only) while a batch is in flight.
+  std::unordered_map<uint64_t, char> contains_cache_;
+  std::unordered_map<IdentState, char, IdentStateHash> ident_cache_;
+  std::unordered_map<uint64_t, char> exist_cache_;
+
+  Counters counters_;
+};
+
+/// A polymorphic handle the propagation/cover algorithms run against:
+/// either a persistent engine (with an optional worker shard, during
+/// parallel fan-out) or a bare Σ (the engine-off ablation path, byte-for-
+/// byte the seed behavior). Keeps the algorithm bodies oblivious to which
+/// mode they run in.
+class KeyOracle {
+ public:
+  /// Engine-off: free-function implication over `sigma`.
+  explicit KeyOracle(const std::vector<XmlKey>& sigma) : sigma_(&sigma) {}
+  /// Engine-on; `shard` non-null only inside an engine ParallelRun task.
+  explicit KeyOracle(ImplicationEngine& engine, MemoShard* shard = nullptr)
+      : engine_(&engine), shard_(shard) {}
+
+  const std::vector<XmlKey>& keys() const {
+    return engine_ != nullptr ? engine_->sigma() : *sigma_;
+  }
+  ImplicationEngine* engine() const { return engine_; }
+  MemoShard* shard() const { return shard_; }
+
+  bool ImpliesIdentification(const XmlKey& phi) const {
+    return engine_ != nullptr ? engine_->ImpliesIdentification(phi, shard_)
+                              : xmlprop::ImpliesIdentification(*sigma_, phi);
+  }
+  bool AttributesExist(const PathExpr& node_path,
+                       const std::vector<std::string>& attrs) const {
+    return engine_ != nullptr
+               ? engine_->AttributesExist(node_path, attrs, shard_)
+               : xmlprop::AttributesExist(keys(), node_path, attrs);
+  }
+
+ private:
+  const std::vector<XmlKey>* sigma_ = nullptr;
+  ImplicationEngine* engine_ = nullptr;
+  MemoShard* shard_ = nullptr;
+};
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_KEYS_IMPLICATION_ENGINE_H_

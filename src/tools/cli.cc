@@ -12,6 +12,7 @@
 #include "keys/discovery.h"
 #include "keys/foreign_key.h"
 #include "keys/implication.h"
+#include "keys/implication_engine.h"
 #include "keys/satisfaction.h"
 #include "keys/xsd_import.h"
 #include "core/publish.h"
@@ -42,10 +43,14 @@ commands:
   propagate  --keys FILE --rules FILE --relation NAME --fd "a, b -> c"
              Is the FD guaranteed for every conforming document?
              (Algorithm propagation; --via-cover uses GminimumCover;
-             --explain prints the keyed-chain derivation.)
+             --explain prints the keyed-chain derivation; --engine routes
+             the check through the persistent implication engine and
+             reports its cache hits.)
   cover      --keys FILE --rules FILE [--relation NAME] [--naive]
+             [--engine]
              Minimum cover of all propagated FDs (Algorithm minimumCover,
-             or the exponential Algorithm naive with --naive).
+             or the exponential Algorithm naive with --naive; --engine
+             uses the cached implication engine — identical cover).
   design     --keys FILE --rules FILE [--relation NAME] [--sql] [--3nf]
              Minimum cover + BCNF (default) or 3NF design; --sql prints
              CREATE TABLE DDL.
@@ -95,7 +100,8 @@ Result<ParsedArgs> ParseArgs(const std::vector<std::string>& args) {
     std::string name = a.substr(2);
     // Boolean flags take no value; everything else consumes the next arg.
     if (name == "sql" || name == "naive" || name == "3nf" ||
-        name == "via-cover" || name == "csv" || name == "explain") {
+        name == "via-cover" || name == "csv" || name == "explain" ||
+        name == "engine") {
       parsed.flags[name] = "true";
     } else {
       if (i + 1 >= args.size()) {
@@ -222,15 +228,31 @@ int CmdPropagate(const ParsedArgs& args, std::ostream& out) {
   if (!fd.ok()) throw fd.status();
 
   PropagationStats stats;
-  Result<bool> verdict =
-      args.Has("via-cover")
-          ? CheckPropagationViaCover(*keys, *table, *fd, &stats)
-          : CheckPropagation(*keys, *table, *fd, &stats);
+  Result<bool> verdict = Status::Internal("unreached");
+  if (args.Has("engine")) {
+    ImplicationEngine engine(*keys);
+    if (args.Has("via-cover")) {
+      Result<GMinimumCover> checker =
+          GMinimumCover::Build(engine, *table, &stats);
+      if (!checker.ok()) throw checker.status();
+      verdict = checker->Check(*fd, &stats);
+    } else {
+      verdict = CheckPropagation(engine, *table, *fd, &stats);
+    }
+  } else {
+    verdict = args.Has("via-cover")
+                  ? CheckPropagationViaCover(*keys, *table, *fd, &stats)
+                  : CheckPropagation(*keys, *table, *fd, &stats);
+  }
   if (!verdict.ok()) throw verdict.status();
   out << (*verdict ? "PROPAGATED" : "NOT PROPAGATED") << ": "
       << fd->ToString(table->schema()) << " on "
       << table->relation_name() << "  (implication calls: "
       << stats.implication_calls << ")\n";
+  if (args.Has("engine")) {
+    out << "engine cache: " << stats.cache_hits << " hits, "
+        << stats.cache_misses << " misses\n";
+  }
   if (args.Has("explain")) {
     Result<PropagationTrace> trace = ExplainPropagation(*keys, *table, *fd);
     if (!trace.ok()) throw trace.status();
@@ -249,9 +271,16 @@ int CmdCover(const ParsedArgs& args, std::ostream& out) {
   Result<TableTree> table = TableTree::Build(**rule);
   if (!table.ok()) throw table.status();
 
-  Result<FdSet> cover = args.Has("naive")
-                            ? NaiveMinimumCover(*keys, *table)
-                            : MinimumCover(*keys, *table);
+  PropagationStats stats;
+  Result<FdSet> cover = Status::Internal("unreached");
+  if (args.Has("engine")) {
+    ImplicationEngine engine(*keys);
+    cover = args.Has("naive") ? NaiveMinimumCover(engine, *table, {}, &stats)
+                              : MinimumCover(engine, *table, &stats);
+  } else {
+    cover = args.Has("naive") ? NaiveMinimumCover(*keys, *table)
+                              : MinimumCover(*keys, *table);
+  }
   if (!cover.ok()) throw cover.status();
   out << "Minimum cover for " << table->schema().ToString() << " ("
       << (args.Has("naive") ? "Algorithm naive" : "Algorithm minimumCover")
@@ -260,6 +289,10 @@ int CmdCover(const ParsedArgs& args, std::ostream& out) {
     out << "  " << fd.ToString(table->schema()) << "\n";
   }
   if (cover->empty()) out << "  (none)\n";
+  if (args.Has("engine")) {
+    out << "engine cache: " << stats.cache_hits << " hits, "
+        << stats.cache_misses << " misses\n";
+  }
   return 0;
 }
 

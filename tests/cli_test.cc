@@ -169,6 +169,32 @@ TEST_F(CliTest, CoverMatchesExample31) {
             std::string::npos);
 }
 
+TEST_F(CliTest, CoverEngineIdenticalPlusCacheLine) {
+  RunResult plain = Run({"cover", "--keys", Path("keys.txt"), "--rules",
+                         Path("universal.txt")});
+  RunResult engine = Run({"cover", "--keys", Path("keys.txt"), "--rules",
+                          Path("universal.txt"), "--engine"});
+  EXPECT_EQ(engine.code, 0) << engine.err;
+  // Same cover, plus the cache-stats trailer.
+  EXPECT_NE(engine.out.find("engine cache:"), std::string::npos);
+  EXPECT_EQ(engine.out.substr(0, engine.out.find("engine cache:")),
+            plain.out);
+}
+
+TEST_F(CliTest, PropagateEngineAgrees) {
+  RunResult r = Run({"propagate", "--keys", Path("keys.txt"), "--rules",
+                     Path("rules.txt"), "--relation", "book", "--fd",
+                     "isbn -> contact", "--engine"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("PROPAGATED"), std::string::npos);
+  EXPECT_NE(r.out.find("engine cache:"), std::string::npos);
+
+  RunResult via = Run({"propagate", "--keys", Path("keys.txt"), "--rules",
+                       Path("rules.txt"), "--relation", "book", "--fd",
+                       "isbn -> title", "--via-cover", "--engine"});
+  EXPECT_EQ(via.code, 0) << via.err;
+}
+
 TEST_F(CliTest, CoverNaiveAgrees) {
   RunResult r = Run({"cover", "--keys", Path("keys.txt"), "--rules",
                      Path("universal.txt"), "--naive"});

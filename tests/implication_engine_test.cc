@@ -1,0 +1,218 @@
+// Property tests for the persistent ImplicationEngine: on random
+// synthetic workloads, every cached/batched/parallel verdict must be
+// identical to the uncached free-function path, and the covers built
+// through the engine must be FD-set identical to the engine-off covers.
+
+#include "keys/implication_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/gminimum_cover.h"
+#include "core/minimum_cover.h"
+#include "core/naive_cover.h"
+#include "core/propagation.h"
+#include "keys/implication.h"
+#include "synth/workload.h"
+
+namespace xmlprop {
+namespace {
+
+SyntheticWorkload MakeWorkloadOrDie(size_t fields, size_t depth, size_t keys,
+                                    uint64_t seed) {
+  WorkloadSpec spec;
+  spec.fields = fields;
+  spec.depth = depth;
+  spec.keys = keys;
+  spec.seed = seed;
+  Result<SyntheticWorkload> w = MakeWorkload(spec);
+  EXPECT_TRUE(w.ok()) << w.status().ToString();
+  return std::move(w).value();
+}
+
+// Random identification queries over the workload's table tree: contexts
+// and targets are root-to-variable / variable-to-descendant paths (the
+// shapes the propagation algorithms issue), attribute sets are drawn from
+// the key attributes — plus mutated variants that exercise negative
+// verdicts and the composition recursion.
+std::vector<XmlKey> RandomQueries(const SyntheticWorkload& w, Rng* rng,
+                                  size_t count) {
+  std::vector<std::string> attr_pool;
+  for (const XmlKey& k : w.keys) {
+    for (const std::string& a : k.attributes()) attr_pool.push_back(a);
+  }
+  attr_pool.push_back("nonexistent");
+
+  std::vector<XmlKey> queries;
+  const int vars = static_cast<int>(w.table.size());
+  while (queries.size() < count) {
+    const int v = static_cast<int>(rng->UniformIndex(
+        static_cast<size_t>(vars)));
+    std::vector<int> chain = w.table.AncestorChain(v);
+    const int u = chain[rng->UniformIndex(chain.size())];
+    Result<PathExpr> rho = w.table.PathBetween(u, v);
+    if (!rho.ok()) continue;
+    std::vector<std::string> attrs;
+    const int n_attrs = rng->UniformInt(0, 2);
+    for (int i = 0; i < n_attrs; ++i) {
+      attrs.push_back(attr_pool[rng->UniformIndex(attr_pool.size())]);
+    }
+    PathExpr context = w.table.PathFromRoot(u);
+    PathExpr target = rho->WithoutTrailingAttribute();
+    if (rng->Bernoulli(0.25)) {
+      // Wildcarded variant: prepend "//" to the target so the witness
+      // containment and composition splits see descendant atoms.
+      target = PathExpr::AnyDescendant().Concat(target);
+    }
+    queries.emplace_back("", context, target, attrs);
+  }
+  return queries;
+}
+
+class EngineSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineSeeds, VerdictsMatchUncachedPath) {
+  const uint64_t seed = GetParam();
+  SyntheticWorkload w = MakeWorkloadOrDie(12, 6, 8, seed);
+  Rng rng(seed * 977 + 1);
+
+  EngineOptions options;
+  options.parallelism = 1;  // sequential: pure cache behavior under test
+  ImplicationEngine engine(w.keys, options);
+
+  std::vector<XmlKey> queries = RandomQueries(w, &rng, 120);
+  for (const XmlKey& phi : queries) {
+    const bool expected = ImpliesIdentification(w.keys, phi);
+    EXPECT_EQ(engine.ImpliesIdentification(phi), expected)
+        << "cold verdict diverged on " << phi.ToString();
+    EXPECT_EQ(engine.ImpliesIdentification(phi), expected)
+        << "warm (cached) verdict diverged on " << phi.ToString();
+    const PathExpr full = phi.context().Concat(phi.target());
+    EXPECT_EQ(engine.AttributesExist(full, phi.attributes()),
+              AttributesExist(w.keys, full, phi.attributes()))
+        << "exist verdict diverged on " << phi.ToString();
+    EXPECT_EQ(engine.Implies(phi), Implies(w.keys, phi))
+        << "full implication diverged on " << phi.ToString();
+  }
+  EXPECT_GT(engine.counters().hits(), 0u) << "cache never hit";
+}
+
+TEST_P(EngineSeeds, BatchMatchesSequentialUnderThreadPool) {
+  const uint64_t seed = GetParam();
+  SyntheticWorkload w = MakeWorkloadOrDie(10, 5, 6, seed);
+  Rng rng(seed * 31 + 7);
+
+  EngineOptions parallel;
+  parallel.parallelism = 4;
+  parallel.parallel_threshold = 2;
+  ImplicationEngine engine(w.keys, parallel);
+
+  std::vector<XmlKey> queries = RandomQueries(w, &rng, 60);
+  std::vector<char> batched = engine.ImpliesIdentificationBatch(queries);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batched[i] != 0, ImpliesIdentification(w.keys, queries[i]))
+        << "batched verdict diverged on " << queries[i].ToString();
+  }
+  EXPECT_GT(engine.counters().parallel_batches, 0u)
+      << "batch never fanned out";
+  // A second, fully-cached batch must agree with the first.
+  EXPECT_EQ(engine.ImpliesIdentificationBatch(queries), batched);
+}
+
+TEST_P(EngineSeeds, MinimumCoverIdenticalAcrossEngineModes) {
+  const uint64_t seed = GetParam();
+  SyntheticWorkload w = MakeWorkloadOrDie(15, 8, 10, seed);
+
+  PropagationStats off_stats;
+  Result<FdSet> off = MinimumCover(w.keys, w.table, &off_stats);
+  ASSERT_TRUE(off.ok());
+
+  // Sequential engine, parallel engine, and a warm re-run on the same
+  // engine must all reproduce the engine-off cover exactly (not just up
+  // to closure — the construction is deterministic).
+  EngineOptions seq;
+  seq.parallelism = 1;
+  ImplicationEngine seq_engine(w.keys, seq);
+  EngineOptions par;
+  par.parallelism = 4;
+  par.parallel_threshold = 2;
+  ImplicationEngine par_engine(w.keys, par);
+
+  PropagationStats on_stats;
+  Result<FdSet> seq_cover = MinimumCover(seq_engine, w.table, &on_stats);
+  Result<FdSet> par_cover = MinimumCover(par_engine, w.table);
+  Result<FdSet> warm_cover = MinimumCover(par_engine, w.table);
+  ASSERT_TRUE(seq_cover.ok());
+  ASSERT_TRUE(par_cover.ok());
+  ASSERT_TRUE(warm_cover.ok());
+
+  EXPECT_EQ(seq_cover->ToString(), off->ToString());
+  EXPECT_EQ(par_cover->ToString(), off->ToString());
+  EXPECT_EQ(warm_cover->ToString(), off->ToString());
+  EXPECT_TRUE(seq_cover->EquivalentTo(*off));
+
+  // The engine changes how queries are answered, never how many are
+  // asked: the Section 6 implication-call accounting must agree.
+  EXPECT_EQ(on_stats.implication_calls, off_stats.implication_calls);
+  EXPECT_GT(on_stats.cache_hits, 0u);
+}
+
+TEST_P(EngineSeeds, NaiveCoverIdenticalUnderParallelFanOut) {
+  const uint64_t seed = GetParam();
+  SyntheticWorkload w = MakeWorkloadOrDie(8, 4, 6, seed);
+
+  NaiveOptions options;
+  options.max_fields = 10;
+  PropagationStats off_stats;
+  Result<FdSet> off = AllPropagatedFds(w.keys, w.table, options, &off_stats);
+  ASSERT_TRUE(off.ok());
+
+  EngineOptions par;
+  par.parallelism = 4;
+  par.parallel_threshold = 2;
+  ImplicationEngine engine(w.keys, par);
+  PropagationStats on_stats;
+  Result<FdSet> on = AllPropagatedFds(engine, w.table, options, &on_stats);
+  ASSERT_TRUE(on.ok());
+
+  EXPECT_EQ(on->ToString(), off->ToString());
+  EXPECT_EQ(on_stats.implication_calls, off_stats.implication_calls);
+  EXPECT_EQ(on_stats.exist_calls, off_stats.exist_calls);
+}
+
+TEST_P(EngineSeeds, GCoverAndPropagationAgreeWithEngineOff) {
+  const uint64_t seed = GetParam();
+  SyntheticWorkload w = MakeWorkloadOrDie(12, 6, 8, seed);
+  ImplicationEngine engine(w.keys);
+
+  for (const Fd& fd : {w.true_fd, w.false_fd}) {
+    Result<bool> off = CheckPropagation(w.keys, w.table, fd);
+    Result<bool> on = CheckPropagation(engine, w.table, fd);
+    ASSERT_TRUE(off.ok());
+    ASSERT_TRUE(on.ok());
+    EXPECT_EQ(*on, *off);
+  }
+
+  Result<GMinimumCover> g_off = GMinimumCover::Build(w.keys, w.table);
+  Result<GMinimumCover> g_on = GMinimumCover::Build(engine, w.table);
+  ASSERT_TRUE(g_off.ok());
+  ASSERT_TRUE(g_on.ok());
+  EXPECT_EQ(g_on->cover().ToString(), g_off->cover().ToString());
+  for (const Fd& fd : {w.true_fd, w.false_fd}) {
+    Result<bool> off = g_off->Check(fd);
+    Result<bool> on = g_on->Check(fd);
+    ASSERT_TRUE(off.ok());
+    ASSERT_TRUE(on.ok());
+    EXPECT_EQ(*on, *off);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineSeeds,
+                         ::testing::Values(1u, 7u, 42u, 1337u, 90210u));
+
+}  // namespace
+}  // namespace xmlprop
