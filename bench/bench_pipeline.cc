@@ -3,15 +3,24 @@
 // relative keys. Measures the end-to-end stages a consumer warehouse
 // would run: parse, key check, shredding, minimum cover + BCNF design,
 // and XML publishing of the shredded instance.
+//
+// The --quick / default ablation behind BENCH_pipeline.json compares the
+// seed node-at-a-time data plane (index_off) against the TreeIndex data
+// plane (index_on: interned labels/values, set-at-a-time path steps,
+// hash-deduplicated columnar shredding, parallel key checking) stage by
+// stage, asserting identical violations and identical shredded tuples.
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "core/design_advisor.h"
+#include "core/minimum_cover.h"
 #include "core/publish.h"
 #include "keys/satisfaction.h"
 #include "transform/eval.h"
 #include "transform/rule_parser.h"
 #include "xml/parser.h"
+#include "xml/tree_index.h"
 #include "xml/writer.h"
 
 namespace xmlprop {
@@ -92,6 +101,17 @@ void BM_PipelineParse(benchmark::State& state) {
 BENCHMARK(BM_PipelineParse)->ArgName("confs")->Arg(50)->Arg(200)
     ->Unit(benchmark::kMillisecond);
 
+void BM_PipelineIndexBuild(benchmark::State& state) {
+  Tree doc = MakeCorpus(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    TreeIndex index(doc);
+    benchmark::DoNotOptimize(index);
+  }
+  state.counters["nodes"] = static_cast<double>(doc.size());
+}
+BENCHMARK(BM_PipelineIndexBuild)->ArgName("confs")->Arg(50)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PipelineCheck(benchmark::State& state) {
   Tree doc = MakeCorpus(static_cast<int>(state.range(0)));
   for (auto _ : state) {
@@ -100,6 +120,20 @@ void BM_PipelineCheck(benchmark::State& state) {
   state.counters["nodes"] = static_cast<double>(doc.size());
 }
 BENCHMARK(BM_PipelineCheck)->ArgName("confs")->Arg(50)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipelineCheckIndexed(benchmark::State& state) {
+  Tree doc = MakeCorpus(static_cast<int>(state.range(0)));
+  TreeIndex index(doc);
+  ThreadPool pool;
+  CheckOptions options;
+  options.pool = &pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckAll(index, Fix().keys, options));
+  }
+  state.counters["nodes"] = static_cast<double>(doc.size());
+}
+BENCHMARK(BM_PipelineCheckIndexed)->ArgName("confs")->Arg(50)->Arg(200)
     ->Unit(benchmark::kMillisecond);
 
 void BM_PipelineShred(benchmark::State& state) {
@@ -113,6 +147,22 @@ void BM_PipelineShred(benchmark::State& state) {
   state.counters["tuples"] = static_cast<double>(tuples);
 }
 BENCHMARK(BM_PipelineShred)->ArgName("confs")->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipelineShredIndexed(benchmark::State& state) {
+  Tree doc = MakeCorpus(static_cast<int>(state.range(0)));
+  TreeIndex index(doc);
+  size_t tuples = 0;
+  for (auto _ : state) {
+    ColumnarInstance instance = EvalTableTreeColumnar(index, Fix().table);
+    tuples = instance.size();
+    benchmark::DoNotOptimize(instance);
+  }
+  state.counters["tuples"] = static_cast<double>(tuples);
+}
+// The indexed shredder stays linear, so it also runs the size the seed
+// enumerator's quadratic duplicate scan makes impractical.
+BENCHMARK(BM_PipelineShredIndexed)->ArgName("confs")->Arg(50)->Arg(200)
     ->Unit(benchmark::kMillisecond);
 
 void BM_PipelineDesign(benchmark::State& state) {
@@ -137,7 +187,168 @@ void BM_PipelinePublish(benchmark::State& state) {
 BENCHMARK(BM_PipelinePublish)->ArgName("confs")->Arg(50)
     ->Unit(benchmark::kMillisecond);
 
+// Renders violations for the identical-output assertion (empty on the
+// conforming corpus, but the comparison does not assume that).
+std::vector<std::string> RenderViolations(
+    const Tree& doc, const std::vector<XmlKey>& keys,
+    const std::vector<TaggedViolation>& violations) {
+  std::vector<std::string> out;
+  out.reserve(violations.size());
+  for (const TaggedViolation& tv : violations) {
+    out.push_back(std::to_string(tv.key_index) + "|" +
+                  tv.violation.Describe(doc, keys[tv.key_index]));
+  }
+  return out;
+}
+
+// The index-on/off pipeline ablation behind BENCH_pipeline.json: per
+// corpus size, best-of-`kReps` wall clock per stage (parse, index build,
+// key check, shred; plus the document-independent minimum-cover stage for
+// context). The index-on check/shred outputs are verified identical to
+// the index-off outputs before any row is emitted.
+void RunAblation(bool quick) {
+  constexpr int kReps = 3;
+  bench::JsonReport report("pipeline_index", "BENCH_pipeline.json");
+  const std::vector<int> sizes =
+      quick ? std::vector<int>{10, 25} : std::vector<int>{50, 200, 400};
+  for (int confs : sizes) {
+    const std::string xml = WriteXml(MakeCorpus(confs));
+
+    // Stage timings, index off. Stages run on the freshly parsed tree of
+    // the same rep, so each rep is one coherent pipeline pass.
+    double off_parse = 0, off_check = 0, off_shred = 0;
+    std::vector<std::string> off_violations;
+    Instance off_instance;
+    size_t nodes = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      bench::WallTimer parse_timer;
+      Result<Tree> doc = ParseXml(xml);
+      const double parse_ms = parse_timer.Ms();
+      if (!doc.ok()) std::abort();
+      nodes = doc->size();
+
+      bench::WallTimer check_timer;
+      std::vector<TaggedViolation> violations = CheckAll(*doc, Fix().keys);
+      const double check_ms = check_timer.Ms();
+
+      bench::WallTimer shred_timer;
+      Instance instance = EvalTableTree(*doc, Fix().table);
+      const double shred_ms = shred_timer.Ms();
+
+      if (rep == 0 || parse_ms + check_ms + shred_ms <
+                          off_parse + off_check + off_shred) {
+        off_parse = parse_ms;
+        off_check = check_ms;
+        off_shred = shred_ms;
+      }
+      off_violations = RenderViolations(*doc, Fix().keys, violations);
+      off_instance = std::move(instance);
+    }
+
+    // Stage timings, index on. The worker pool is created once per size
+    // (a warehouse keeps its pool across documents); everything else —
+    // parse, index build, check, shred — is inside the timed region.
+    ThreadPool pool;
+    double on_parse = 0, on_index = 0, on_check = 0, on_shred = 0;
+    bool identical = true;
+    size_t tuples = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      bench::WallTimer parse_timer;
+      Result<Tree> doc = ParseXml(xml);
+      const double parse_ms = parse_timer.Ms();
+      if (!doc.ok()) std::abort();
+
+      bench::WallTimer index_timer;
+      TreeIndex index(*doc);
+      const double index_ms = index_timer.Ms();
+
+      CheckOptions options;
+      options.pool = &pool;
+      bench::WallTimer check_timer;
+      std::vector<TaggedViolation> violations =
+          CheckAll(index, Fix().keys, options);
+      const double check_ms = check_timer.Ms();
+
+      bench::WallTimer shred_timer;
+      Instance instance = EvalTableTree(index, Fix().table);
+      const double shred_ms = shred_timer.Ms();
+
+      if (rep == 0 || parse_ms + index_ms + check_ms + shred_ms <
+                          on_parse + on_index + on_check + on_shred) {
+        on_parse = parse_ms;
+        on_index = index_ms;
+        on_check = check_ms;
+        on_shred = shred_ms;
+      }
+      identical = identical &&
+                  RenderViolations(*doc, Fix().keys, violations) ==
+                      off_violations &&
+                  instance.tuples() == off_instance.tuples();
+      tuples = instance.size();
+    }
+
+    // The document-independent constraint side, for stage-table context.
+    double cover_ms = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      bench::WallTimer timer;
+      Result<FdSet> cover = MinimumCover(Fix().keys, Fix().table);
+      const double ms = timer.Ms();
+      if (!cover.ok()) std::abort();
+      if (rep == 0 || ms < cover_ms) cover_ms = ms;
+    }
+
+    const double off_e2e = off_parse + off_check + off_shred;
+    const double on_e2e = on_parse + on_index + on_check + on_shred;
+
+    bench::JsonReport::Row& off = report.AddRow();
+    off.Str("mode", "index_off")
+        .Int("confs", static_cast<uint64_t>(confs))
+        .Int("nodes", nodes)
+        .Num("parse_ms", off_parse)
+        .Num("index_ms", 0)
+        .Num("check_ms", off_check)
+        .Num("shred_ms", off_shred)
+        .Num("cover_ms", cover_ms)
+        .Num("end_to_end_ms", off_e2e)
+        .Int("tuples", off_instance.size())
+        .Int("violations", off_violations.size());
+
+    bench::JsonReport::Row& on = report.AddRow();
+    on.Str("mode", "index_on")
+        .Int("confs", static_cast<uint64_t>(confs))
+        .Int("nodes", nodes)
+        .Num("parse_ms", on_parse)
+        .Num("index_ms", on_index)
+        .Num("check_ms", on_check)
+        .Num("shred_ms", on_shred)
+        .Num("cover_ms", cover_ms)
+        .Num("end_to_end_ms", on_e2e)
+        .Int("tuples", tuples)
+        .Int("violations", off_violations.size())
+        .Bool("identical_to_index_off", identical)
+        .Num("speedup_vs_index_off", off_e2e / on_e2e);
+
+    std::cerr << "pipeline confs=" << confs << ": off " << off_e2e
+              << " ms (parse " << off_parse << ", check " << off_check
+              << ", shred " << off_shred << "), on " << on_e2e
+              << " ms (parse " << on_parse << ", index " << on_index
+              << ", check " << on_check << ", shred " << on_shred << "), "
+              << off_e2e / on_e2e << "x, identical="
+              << (identical ? "yes" : "NO") << std::endl;
+  }
+  report.Write();
+}
+
 }  // namespace
 }  // namespace xmlprop
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool quick = xmlprop::bench::ConsumeFlag(&argc, argv, "--quick");
+  xmlprop::RunAblation(quick);
+  if (quick) return 0;  // CI smoke: JSON only, skip the full BM_ sweep
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace xmlprop {
 
 const char* StatusCodeToString(StatusCode code) {
@@ -16,6 +19,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
   }
   return "Unknown";
+}
+
+void CheckOk(const Status& status, const char* context) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "%s: %s\n", context, status.ToString().c_str());
+  std::abort();
 }
 
 std::string Status::ToString() const {

@@ -87,6 +87,13 @@ class Status {
     if (!_st.ok()) return _st;                     \
   } while (false)
 
+/// Aborts the process (printing `context` and the status to stderr) when
+/// `status` is not OK. For call sites whose contract makes failure a
+/// programming error — e.g. arity-checked inserts after Build-time
+/// validation — where discarding the Status (a bare `.ok()`) would
+/// silently swallow bugs.
+void CheckOk(const Status& status, const char* context);
+
 }  // namespace xmlprop
 
 #endif  // XMLPROP_COMMON_STATUS_H_

@@ -1,28 +1,37 @@
 #include "keys/satisfaction.h"
 
+#include <algorithm>
+#include <functional>
 #include <map>
+#include <unordered_map>
+#include <utility>
 
 #include "common/str_util.h"
 
 namespace xmlprop {
 
 std::string KeyViolation::Describe(const Tree& tree, const XmlKey& key) const {
-  std::string out = "key ";
-  out += key.name().empty() ? key.ToString() : key.name();
+  const std::string& name = key.name().empty() ? key.ToString() : key.name();
+  const std::string path1 = Join(tree.PathLabelsFromRoot(node1), "/");
+  const std::string context_path =
+      (context == tree.root())
+          ? std::string("/")
+          : "/" + Join(tree.PathLabelsFromRoot(context), "/");
+  std::string out;
+  out.reserve(name.size() + path1.size() + context_path.size() + 96);
+  out += "key ";
+  out += name;
   if (kind == Kind::kMissingAttribute) {
-    out += ": target node <" + tree.node(node1).label + "> (path /" +
-           Join(tree.PathLabelsFromRoot(node1), "/") + ") lacks @" + attribute;
+    out += ": target node <" + tree.node(node1).label + "> (path /" + path1 +
+           ") lacks @" + attribute;
   } else {
-    out += ": target nodes <" + tree.node(node1).label + "> (path /" +
-           Join(tree.PathLabelsFromRoot(node1), "/") + ") and <" +
-           tree.node(node2).label + "> (path /" +
-           Join(tree.PathLabelsFromRoot(node2), "/") +
+    const std::string path2 = Join(tree.PathLabelsFromRoot(node2), "/");
+    out += ": target nodes <" + tree.node(node1).label + "> (path /" + path1 +
+           ") and <" + tree.node(node2).label + "> (path /" + path2 +
            ") agree on all key attributes";
   }
   out += " under context node ";
-  out += (context == tree.root())
-             ? std::string("/")
-             : "/" + Join(tree.PathLabelsFromRoot(context), "/");
+  out += context_path;
   return out;
 }
 
@@ -91,6 +100,246 @@ std::vector<TaggedViolation> CheckAll(const Tree& tree,
     for (KeyViolation& v : CheckKey(tree, keys[i])) {
       out.push_back(TaggedViolation{i, std::move(v)});
     }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Indexed path.
+
+namespace {
+
+// FNV-1a over a tuple of interned value ids — the dedup key of the
+// indexed condition-(2) check (replacing the seed's ordered map over
+// string vectors).
+struct ValueTupleHash {
+  size_t operator()(const std::vector<ValueId>& v) const noexcept {
+    uint64_t h = 1469598103934665603ULL;
+    for (ValueId id : v) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(id));
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// The key attributes resolved to interned label ids once per key (a
+// kNoLabel entry means the document never uses the attribute name, so
+// every target trivially lacks it).
+std::vector<LabelId> ResolveAttributes(const TreeIndex& index,
+                                       const XmlKey& key) {
+  std::vector<LabelId> labels;
+  labels.reserve(key.attributes().size());
+  for (const std::string& attr : key.attributes()) {
+    labels.push_back(index.FindLabel(attr));
+  }
+  return labels;
+}
+
+// Checks `key` under one context node over pre-evaluated `targets`,
+// appending violations to `out`. Mirrors the loop structure of the
+// tree-walking CheckKey exactly (same order, same witness nodes); only
+// the value comparison changes, from string vectors to interned ids.
+void CheckContext(const TreeIndex& index, const XmlKey& key,
+                  const std::vector<LabelId>& attr_labels, NodeId ctx,
+                  const std::vector<NodeId>& targets,
+                  std::vector<KeyViolation>* out) {
+  const Tree& tree = index.tree();
+  std::unordered_map<std::vector<ValueId>, NodeId, ValueTupleHash> seen;
+  seen.reserve(targets.size());
+  for (NodeId t : targets) {
+    if (tree.node(t).kind != NodeKind::kElement) continue;
+    bool complete = true;
+    std::vector<ValueId> values;
+    values.reserve(attr_labels.size());
+    for (size_t a = 0; a < attr_labels.size(); ++a) {
+      const NodeId attr = index.AttributeWithLabel(t, attr_labels[a]);
+      if (attr == kInvalidNode) {
+        KeyViolation viol;
+        viol.kind = KeyViolation::Kind::kMissingAttribute;
+        viol.context = ctx;
+        viol.node1 = t;
+        viol.attribute = key.attributes()[a];
+        out->push_back(std::move(viol));
+        complete = false;
+      } else {
+        values.push_back(index.attr_value_id(attr));
+      }
+    }
+    if (!complete) continue;
+    auto [it, inserted] = seen.emplace(std::move(values), t);
+    if (!inserted) {
+      KeyViolation viol;
+      viol.kind = KeyViolation::Kind::kDuplicateValues;
+      viol.context = ctx;
+      viol.node1 = it->second;
+      viol.node2 = t;
+      out->push_back(std::move(viol));
+    }
+  }
+}
+
+// Context nodes of `path`, filtered to elements (the indexed checker
+// filters once up front; the tree-walking baseline filters per key).
+std::vector<NodeId> ElementContexts(const TreeIndex& index,
+                                    const PathExpr& path) {
+  std::vector<NodeId> out = path.EvalFromRoot(index);
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&index](NodeId n) {
+                             return index.tree().node(n).kind !=
+                                    NodeKind::kElement;
+                           }),
+            out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<KeyViolation> CheckKey(const TreeIndex& index,
+                                   const XmlKey& key) {
+  std::vector<KeyViolation> violations;
+  const std::vector<LabelId> attr_labels = ResolveAttributes(index, key);
+  for (NodeId ctx : ElementContexts(index, key.context())) {
+    const std::vector<NodeId> targets = key.target().Eval(index, ctx);
+    CheckContext(index, key, attr_labels, ctx, targets, &violations);
+  }
+  return violations;
+}
+
+bool Satisfies(const TreeIndex& index, const XmlKey& key) {
+  return CheckKey(index, key).empty();
+}
+
+bool SatisfiesAll(const TreeIndex& index, const std::vector<XmlKey>& keys) {
+  for (const XmlKey& key : keys) {
+    if (!Satisfies(index, key)) return false;
+  }
+  return true;
+}
+
+std::vector<TaggedViolation> CheckAll(const TreeIndex& index,
+                                      const std::vector<XmlKey>& keys,
+                                      const CheckOptions& options) {
+  // Phase A: evaluate each distinct context path once, shared across keys.
+  std::unordered_map<std::string, size_t> context_ids;
+  std::vector<std::vector<NodeId>> context_sets;
+  std::vector<size_t> key_context(keys.size());
+  for (size_t k = 0; k < keys.size(); ++k) {
+    auto [it, inserted] = context_ids.emplace(keys[k].context().ToString(),
+                                              context_sets.size());
+    if (inserted) {
+      context_sets.push_back(ElementContexts(index, keys[k].context()));
+    }
+    key_context[k] = it->second;
+  }
+
+  // Phase B: evaluate each distinct (context set, target path) pair once.
+  // target_sets[p][c] are the targets of the c-th context node.
+  std::unordered_map<std::string, size_t> target_ids;
+  std::vector<std::vector<std::vector<NodeId>>> target_sets;
+  std::vector<size_t> pair_context_set;
+  std::vector<const PathExpr*> pair_target;
+  std::vector<size_t> key_pair(keys.size());
+  for (size_t k = 0; k < keys.size(); ++k) {
+    std::string id = std::to_string(key_context[k]);
+    id += '|';
+    id += keys[k].target().ToString();
+    auto [it, inserted] = target_ids.emplace(std::move(id),
+                                             target_sets.size());
+    if (inserted) {
+      target_sets.emplace_back(context_sets[key_context[k]].size());
+      pair_context_set.push_back(key_context[k]);
+      pair_target.push_back(&keys[k].target());
+    }
+    key_pair[k] = it->second;
+  }
+
+  // Work items of both parallel phases: contiguous context chunks. A work
+  // item owns its output slot, so workers never contend and the merge
+  // below is deterministic regardless of scheduling.
+  const size_t grain = options.contexts_per_task > 0
+                           ? options.contexts_per_task
+                           : 1;
+  struct Chunk {
+    size_t owner;  // pair index (phase B) or key index (phase C)
+    size_t begin;
+    size_t end;
+  };
+  auto make_chunks = [grain](size_t owners,
+                             const std::function<size_t(size_t)>& size_of) {
+    std::vector<Chunk> chunks;
+    for (size_t o = 0; o < owners; ++o) {
+      const size_t n = size_of(o);
+      for (size_t begin = 0; begin < n; begin += grain) {
+        chunks.push_back(Chunk{o, begin, std::min(begin + grain, n)});
+      }
+    }
+    return chunks;
+  };
+  auto run_chunks = [&options](const std::vector<Chunk>& chunks,
+                               const std::function<void(const Chunk&)>& body) {
+    if (options.pool != nullptr && chunks.size() > 1) {
+      options.pool->ParallelFor(
+          chunks.size(),
+          [&chunks, &body](size_t begin, size_t end, size_t /*worker*/) {
+            for (size_t i = begin; i < end; ++i) body(chunks[i]);
+          });
+    } else {
+      for (const Chunk& chunk : chunks) body(chunk);
+    }
+  };
+
+  const std::vector<Chunk> target_chunks = make_chunks(
+      target_sets.size(), [&](size_t p) {
+        return context_sets[pair_context_set[p]].size();
+      });
+  run_chunks(target_chunks, [&](const Chunk& chunk) {
+    const std::vector<NodeId>& ctxs = context_sets[pair_context_set[chunk.owner]];
+    for (size_t c = chunk.begin; c < chunk.end; ++c) {
+      target_sets[chunk.owner][c] =
+          pair_target[chunk.owner]->Eval(index, ctxs[c]);
+    }
+  });
+
+  // Phase C: per (key, context-partition) attribute/uniqueness checks.
+  std::vector<std::vector<LabelId>> attr_labels;
+  attr_labels.reserve(keys.size());
+  for (const XmlKey& key : keys) {
+    attr_labels.push_back(ResolveAttributes(index, key));
+  }
+  const std::vector<Chunk> check_chunks = make_chunks(
+      keys.size(),
+      [&](size_t k) { return context_sets[key_context[k]].size(); });
+  std::vector<std::vector<KeyViolation>> slots(check_chunks.size());
+  run_chunks(check_chunks, [&](const Chunk& chunk) {
+    const size_t i = static_cast<size_t>(&chunk - check_chunks.data());
+    const std::vector<NodeId>& ctxs = context_sets[key_context[chunk.owner]];
+    const std::vector<std::vector<NodeId>>& targets =
+        target_sets[key_pair[chunk.owner]];
+    for (size_t c = chunk.begin; c < chunk.end; ++c) {
+      CheckContext(index, keys[chunk.owner], attr_labels[chunk.owner],
+                   ctxs[c], targets[c], &slots[i]);
+    }
+  });
+
+  // Deterministic shard merge: chunks were built key-major in context
+  // order, which is exactly the sequential (and tree-walking) order.
+  std::vector<TaggedViolation> out;
+  for (size_t i = 0; i < check_chunks.size(); ++i) {
+    for (KeyViolation& v : slots[i]) {
+      out.push_back(TaggedViolation{check_chunks[i].owner, std::move(v)});
+    }
+  }
+
+  if (options.stats != nullptr) {
+    options.stats->context_sets = context_sets.size();
+    options.stats->target_sets = target_sets.size();
+    size_t contexts = 0;
+    for (size_t k = 0; k < keys.size(); ++k) {
+      contexts += context_sets[key_context[k]].size();
+    }
+    options.stats->contexts = contexts;
+    options.stats->tasks = target_chunks.size() + check_chunks.size();
   }
   return out;
 }

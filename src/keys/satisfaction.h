@@ -4,8 +4,10 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "keys/xml_key.h"
 #include "xml/tree.h"
+#include "xml/tree_index.h"
 
 namespace xmlprop {
 
@@ -49,6 +51,47 @@ struct TaggedViolation {
 };
 std::vector<TaggedViolation> CheckAll(const Tree& tree,
                                       const std::vector<XmlKey>& keys);
+
+/// Observability counters of an indexed CheckAll run (how much path work
+/// the sharing avoided and how the fan-out partitioned it).
+struct CheckStats {
+  size_t context_sets = 0;  ///< distinct context paths evaluated
+  size_t target_sets = 0;   ///< distinct (context set, target path) evals
+  size_t contexts = 0;      ///< total context nodes checked (over all keys)
+  size_t tasks = 0;         ///< (key, context-partition) work items
+};
+
+/// Options of the indexed CheckAll path.
+struct CheckOptions {
+  /// Worker pool for the per-(key, context-partition) fan-out; nullptr
+  /// runs sequentially. Violations are identical and identically ordered
+  /// either way: every work item writes to its own slot and the slots are
+  /// merged in (key, context) order, never in completion order.
+  ThreadPool* pool = nullptr;
+  /// Context nodes per work item (the fan-out grain).
+  size_t contexts_per_task = 64;
+  /// Filled with sharing/fan-out counters when non-null.
+  CheckStats* stats = nullptr;
+};
+
+/// Indexed CheckKey: identical violations to CheckKey(tree, key) (the
+/// index-off ablation baseline), with context/target evaluation running
+/// set-at-a-time against the index and value tuples compared as interned
+/// ids instead of string vectors.
+std::vector<KeyViolation> CheckKey(const TreeIndex& index, const XmlKey& key);
+
+/// Indexed Satisfies / SatisfiesAll (same verdicts as the tree overloads).
+bool Satisfies(const TreeIndex& index, const XmlKey& key);
+bool SatisfiesAll(const TreeIndex& index, const std::vector<XmlKey>& keys);
+
+/// Indexed CheckAll: shares context evaluation across keys with equal
+/// context paths (and target evaluation across keys with equal context
+/// and target paths), then checks per (key, context-partition) — in
+/// parallel when `options.pool` is set. Output is identical to
+/// CheckAll(tree, keys), including order.
+std::vector<TaggedViolation> CheckAll(const TreeIndex& index,
+                                      const std::vector<XmlKey>& keys,
+                                      const CheckOptions& options = {});
 
 }  // namespace xmlprop
 

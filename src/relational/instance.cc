@@ -16,6 +16,16 @@ Status Instance::Add(Tuple tuple) {
   return Status::OK();
 }
 
+Status Instance::AddUnique(Tuple tuple) {
+  if (tuple.size() != schema_.arity()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) + " != schema arity " +
+        std::to_string(schema_.arity()) + " for relation " + schema_.name());
+  }
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
 bool Instance::HasNull(const Tuple& tuple) {
   return std::any_of(tuple.begin(), tuple.end(),
                      [](const Field& f) { return !f.has_value(); });
@@ -31,6 +41,73 @@ std::string Instance::ToString() const {
       out += t[i].has_value() ? *t[i] : std::string("NULL");
     }
     out += ")\n";
+  }
+  return out;
+}
+
+ColumnarInstance::ColumnarInstance(RelationSchema schema)
+    : schema_(std::move(schema)), columns_(schema_.arity()) {}
+
+ColumnarInstance::ValueRef ColumnarInstance::Intern(const std::string& value) {
+  auto [it, inserted] =
+      value_ids_.emplace(value, static_cast<ValueRef>(pool_.size()));
+  if (inserted) pool_.push_back(value);
+  return it->second;
+}
+
+uint64_t ColumnarInstance::HashRow(const std::vector<ValueRef>& row) const {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a over the id tuple
+  for (ValueRef id : row) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(id));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool ColumnarInstance::RowEquals(size_t row,
+                                 const std::vector<ValueRef>& candidate) const {
+  for (size_t f = 0; f < columns_.size(); ++f) {
+    if (columns_[f][row] != candidate[f]) return false;
+  }
+  return true;
+}
+
+Status ColumnarInstance::AddRow(const std::vector<ValueRef>& row) {
+  if (row.size() != schema_.arity()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.arity()) + " for relation " + schema_.name());
+  }
+  for (ValueRef id : row) {
+    if (id != kNull &&
+        (id < 0 || static_cast<size_t>(id) >= pool_.size())) {
+      return Status::InvalidArgument("unknown value id in row for relation " +
+                                     schema_.name());
+    }
+  }
+  std::vector<uint32_t>& bucket = dedup_[HashRow(row)];
+  for (uint32_t existing : bucket) {
+    if (RowEquals(existing, row)) return Status::OK();
+  }
+  bucket.push_back(static_cast<uint32_t>(rows_));
+  for (size_t f = 0; f < columns_.size(); ++f) {
+    columns_[f].push_back(row[f]);
+  }
+  ++rows_;
+  return Status::OK();
+}
+
+Instance ColumnarInstance::ToInstance() const {
+  Instance out(schema_);
+  out.Reserve(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    Tuple tuple(schema_.arity());
+    for (size_t f = 0; f < columns_.size(); ++f) {
+      const ValueRef id = columns_[f][r];
+      if (id != kNull) tuple[f] = pool_[static_cast<size_t>(id)];
+    }
+    // Rows are already unique by construction; skip Add's linear scan.
+    CheckOk(out.AddUnique(std::move(tuple)), "ColumnarInstance::ToInstance");
   }
   return out;
 }

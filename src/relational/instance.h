@@ -1,8 +1,10 @@
 #ifndef XMLPROP_RELATIONAL_INSTANCE_H_
 #define XMLPROP_RELATIONAL_INSTANCE_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -34,6 +36,15 @@ class Instance {
   /// Fails if the arity does not match the schema.
   Status Add(Tuple tuple);
 
+  /// Pre-allocates storage for `n` tuples.
+  void Reserve(size_t n) { tuples_.reserve(n); }
+
+  /// Appends `tuple` without the duplicate scan (same arity check). Only
+  /// for callers that already guarantee uniqueness — e.g. the columnar
+  /// materialization, which deduplicates by hashed value ids and would
+  /// otherwise pay Add's linear scan once per tuple (quadratic overall).
+  Status AddUnique(Tuple tuple);
+
   /// True iff some field of `tuple` is null.
   static bool HasNull(const Tuple& tuple);
 
@@ -43,6 +54,61 @@ class Instance {
  private:
   RelationSchema schema_;
   std::vector<Tuple> tuples_;
+};
+
+/// A column-oriented relation instance over interned values: every
+/// distinct field string is stored once in a value pool and rows are
+/// tuples of dense ValueRef ids (kNull = NULL). The indexed shredder
+/// emits into this representation — id rows hash and compare in O(arity)
+/// integer operations, so duplicate elimination is linear instead of the
+/// row-store's scan-per-insert — and ToInstance() materializes the
+/// classic row Instance with identical tuples in identical order.
+class ColumnarInstance {
+ public:
+  using ValueRef = int32_t;
+  static constexpr ValueRef kNull = -1;
+
+  ColumnarInstance() = default;
+  explicit ColumnarInstance(RelationSchema schema);
+
+  const RelationSchema& schema() const { return schema_; }
+  size_t size() const { return rows_; }
+  size_t pool_size() const { return pool_.size(); }
+
+  /// Interns `value`, returning its dense id (stable for the instance's
+  /// lifetime; equal strings always yield equal ids).
+  ValueRef Intern(const std::string& value);
+
+  /// The pooled string behind `id`.
+  const std::string& ValueString(ValueRef id) const {
+    return pool_[static_cast<size_t>(id)];
+  }
+
+  /// Appends `row` (one ValueRef per schema field) unless an identical
+  /// row is present; fails on arity mismatch or an id that was never
+  /// interned here.
+  Status AddRow(const std::vector<ValueRef>& row);
+
+  /// The column of schema position `field` (size() entries).
+  const std::vector<ValueRef>& Column(size_t field) const {
+    return columns_[field];
+  }
+
+  /// The row-oriented Instance with the same tuples in insertion order.
+  Instance ToInstance() const;
+
+ private:
+  uint64_t HashRow(const std::vector<ValueRef>& row) const;
+  bool RowEquals(size_t row, const std::vector<ValueRef>& candidate) const;
+
+  RelationSchema schema_;
+  std::vector<std::vector<ValueRef>> columns_;
+  size_t rows_ = 0;
+  std::unordered_map<std::string, ValueRef> value_ids_;
+  std::vector<std::string> pool_;
+  /// Hash → row indices with that hash (manual chaining keeps the dedup
+  /// structure trivially movable, unlike a stateful-hasher set).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> dedup_;
 };
 
 }  // namespace xmlprop

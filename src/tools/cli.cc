@@ -1,5 +1,6 @@
 #include "tools/cli.h"
 
+#include <chrono>
 #include <fstream>
 #include <map>
 #include <ostream>
@@ -22,6 +23,7 @@
 #include "transform/eval.h"
 #include "transform/rule_parser.h"
 #include "xml/parser.h"
+#include "xml/tree_index.h"
 #include "xml/writer.h"
 
 namespace xmlprop {
@@ -35,9 +37,12 @@ ICDE 2003)
 usage: xmlprop <command> [--flag value]...
 
 commands:
-  check      --keys FILE --doc FILE [--fkeys FILE]
+  check      --keys FILE --doc FILE [--fkeys FILE] [--index]
              Check the document against XML keys (and, with --fkeys,
-             foreign keys); list violations.
+             foreign keys); list violations. --index routes the key check
+             through the TreeIndex data plane (interned labels/values,
+             set-at-a-time paths, parallel per-context checking — same
+             violations) and prints index statistics.
   implies    --keys FILE --key "(C, (T, {@a,...}))"
              Decide Σ ⊨ φ (Algorithm implication).
   propagate  --keys FILE --rules FILE --relation NAME --fd "a, b -> c"
@@ -54,9 +59,11 @@ commands:
   design     --keys FILE --rules FILE [--relation NAME] [--sql] [--3nf]
              Minimum cover + BCNF (default) or 3NF design; --sql prints
              CREATE TABLE DDL.
-  shred      --rules FILE --doc FILE [--sql | --csv]
+  shred      --rules FILE --doc FILE [--sql | --csv] [--index]
              Evaluate the transformation; --sql prints INSERT statements,
-             --csv prints one CSV block per relation.
+             --csv prints one CSV block per relation. --index shreds
+             through the TreeIndex data plane (identical tuples) and
+             prints index statistics as a comment line.
   publish    --keys FILE --rules FILE --data FILE.csv [--relation NAME]
              [--root LABEL]
              Inverse shredding: reconstruct a canonical XML document from
@@ -101,7 +108,7 @@ Result<ParsedArgs> ParseArgs(const std::vector<std::string>& args) {
     // Boolean flags take no value; everything else consumes the next arg.
     if (name == "sql" || name == "naive" || name == "3nf" ||
         name == "via-cover" || name == "csv" || name == "explain" ||
-        name == "engine") {
+        name == "engine" || name == "index") {
       parsed.flags[name] = "true";
     } else {
       if (i + 1 >= args.size()) {
@@ -143,6 +150,22 @@ Result<Transformation> LoadRules(const ParsedArgs& args) {
   return ParseTransformation(text);
 }
 
+// Builds a TreeIndex over `doc`, timing the build and rendering the
+// "--index" stats line (prefixed per output dialect: "" / "# " / "-- ").
+TreeIndex BuildIndexWithStats(const Tree& doc, const char* prefix,
+                              std::ostream& out) {
+  const auto start = std::chrono::steady_clock::now();
+  TreeIndex index(doc);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  out << prefix << "index: " << doc.size() << " nodes ("
+      << index.element_count() << " elements, " << index.attribute_count()
+      << " attributes), " << index.label_count() << " labels, "
+      << index.value_count() << " attr values, built in " << ms << " ms\n";
+  return index;
+}
+
 // The rule named --relation, or the only rule of the transformation.
 Result<const TableRule*> SelectRule(const Transformation& t,
                                     const ParsedArgs& args) {
@@ -159,8 +182,24 @@ int CmdCheck(const ParsedArgs& args, std::ostream& out) {
   Result<Tree> doc = LoadDoc(args);
   if (!doc.ok()) throw doc.status();
 
+  std::vector<TaggedViolation> violations;
+  if (args.Has("index")) {
+    TreeIndex index = BuildIndexWithStats(*doc, "", out);
+    ThreadPool pool;
+    CheckStats stats;
+    CheckOptions options;
+    options.pool = &pool;
+    options.stats = &stats;
+    violations = CheckAll(index, *keys, options);
+    out << "check: " << stats.contexts << " context nodes ("
+        << stats.context_sets << " shared context sets, " << stats.target_sets
+        << " target sets), " << stats.tasks << " tasks on " << pool.size()
+        << " threads\n";
+  } else {
+    violations = CheckAll(*doc, *keys);
+  }
   size_t total = 0;
-  for (const TaggedViolation& tv : CheckAll(*doc, *keys)) {
+  for (const TaggedViolation& tv : violations) {
     out << "VIOLATION: "
         << tv.violation.Describe(*doc, (*keys)[tv.key_index]) << "\n";
     ++total;
@@ -323,7 +362,15 @@ int CmdShred(const ParsedArgs& args, std::ostream& out) {
   if (!rules.ok()) throw rules.status();
   Result<Tree> doc = LoadDoc(args);
   if (!doc.ok()) throw doc.status();
-  Result<std::vector<Instance>> instances = EvalTransformation(*doc, *rules);
+  Result<std::vector<Instance>> instances = Status::Internal("unreached");
+  if (args.Has("index")) {
+    const char* prefix =
+        args.Has("sql") ? "-- " : (args.Has("csv") ? "# " : "");
+    TreeIndex index = BuildIndexWithStats(*doc, prefix, out);
+    instances = EvalTransformation(index, *rules);
+  } else {
+    instances = EvalTransformation(*doc, *rules);
+  }
   if (!instances.ok()) throw instances.status();
   for (const Instance& instance : *instances) {
     if (args.Has("sql")) {

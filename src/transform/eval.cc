@@ -1,5 +1,8 @@
 #include "transform/eval.h"
 
+#include <unordered_map>
+#include <utility>
+
 namespace xmlprop {
 
 namespace {
@@ -50,14 +53,94 @@ class Enumerator {
       NodeId n = binding_[static_cast<size_t>(var)];
       if (n != kInvalidNode) tuple[f] = tree_.Value(n);
     }
-    // Instance::Add only fails on arity mismatch, which cannot happen here.
-    out_->Add(std::move(tuple)).ok();
+    // Add only fails on arity mismatch, which Build-time validation rules
+    // out — but a discarded Status would hide exactly that class of bug.
+    CheckOk(out_->Add(std::move(tuple)), "EvalTableTree: Instance::Add");
   }
 
   const Tree& tree_;
   const TableTree& table_;
   Instance* out_;
   std::vector<NodeId> binding_;
+};
+
+// The indexed twin of Enumerator: same recursion, same emission order,
+// but node sets come from the set-at-a-time evaluator and are memoized
+// per (variable, parent binding) — the Cartesian product re-enters a
+// variable once per combination of its *unrelated* predecessors, with the
+// parent binding unchanged — and values are interned once per node.
+class IndexedEnumerator {
+ public:
+  IndexedEnumerator(const TreeIndex& index, const TableTree& table,
+                    ColumnarInstance* out)
+      : index_(index), table_(table), out_(out),
+        binding_(table.size(), kInvalidNode),
+        choice_memo_(table.size()),
+        value_of_(index.tree().size(), kUnknown),
+        row_(table.schema().arity(), ColumnarInstance::kNull) {}
+
+  void Run() {
+    binding_[0] = index_.tree().root();
+    Recurse(1);
+  }
+
+ private:
+  static constexpr ColumnarInstance::ValueRef kUnknown = -2;
+
+  const std::vector<NodeId>& Choices(size_t var, NodeId parent_binding) {
+    auto [it, inserted] = choice_memo_[var].try_emplace(parent_binding);
+    if (inserted) {
+      it->second =
+          table_.node(static_cast<int>(var)).step.Eval(index_, parent_binding);
+    }
+    return it->second;
+  }
+
+  ColumnarInstance::ValueRef ValueOf(NodeId n) {
+    ColumnarInstance::ValueRef& slot = value_of_[static_cast<size_t>(n)];
+    if (slot == kUnknown) slot = out_->Intern(index_.tree().Value(n));
+    return slot;
+  }
+
+  void Recurse(size_t var) {
+    if (var == table_.size()) {
+      Emit();
+      return;
+    }
+    NodeId parent_binding =
+        binding_[static_cast<size_t>(table_.node(static_cast<int>(var)).parent)];
+    if (parent_binding == kInvalidNode) {
+      binding_[var] = kInvalidNode;
+      Recurse(var + 1);
+      return;
+    }
+    const std::vector<NodeId>& choices = Choices(var, parent_binding);
+    if (choices.empty()) {
+      binding_[var] = kInvalidNode;
+      Recurse(var + 1);
+      return;
+    }
+    for (NodeId choice : choices) {
+      binding_[var] = choice;
+      Recurse(var + 1);
+    }
+  }
+
+  void Emit() {
+    for (size_t f = 0; f < row_.size(); ++f) {
+      NodeId n = binding_[static_cast<size_t>(table_.VarForField(f))];
+      row_[f] = (n != kInvalidNode) ? ValueOf(n) : ColumnarInstance::kNull;
+    }
+    CheckOk(out_->AddRow(row_), "EvalTableTree: ColumnarInstance::AddRow");
+  }
+
+  const TreeIndex& index_;
+  const TableTree& table_;
+  ColumnarInstance* out_;
+  std::vector<NodeId> binding_;
+  std::vector<std::unordered_map<NodeId, std::vector<NodeId>>> choice_memo_;
+  std::vector<ColumnarInstance::ValueRef> value_of_;
+  std::vector<ColumnarInstance::ValueRef> row_;
 };
 
 }  // namespace
@@ -79,6 +162,33 @@ Result<std::vector<Instance>> EvalTransformation(
   std::vector<Instance> instances;
   for (const TableRule& rule : transformation.rules()) {
     XMLPROP_ASSIGN_OR_RETURN(Instance instance, EvalRule(tree, rule));
+    instances.push_back(std::move(instance));
+  }
+  return instances;
+}
+
+ColumnarInstance EvalTableTreeColumnar(const TreeIndex& index,
+                                       const TableTree& table) {
+  ColumnarInstance instance(table.schema());
+  IndexedEnumerator(index, table, &instance).Run();
+  return instance;
+}
+
+Instance EvalTableTree(const TreeIndex& index, const TableTree& table) {
+  return EvalTableTreeColumnar(index, table).ToInstance();
+}
+
+Result<Instance> EvalRule(const TreeIndex& index, const TableRule& rule) {
+  XMLPROP_ASSIGN_OR_RETURN(TableTree table, TableTree::Build(rule));
+  return EvalTableTree(index, table);
+}
+
+Result<std::vector<Instance>> EvalTransformation(
+    const TreeIndex& index, const Transformation& transformation) {
+  XMLPROP_RETURN_NOT_OK(transformation.Validate());
+  std::vector<Instance> instances;
+  for (const TableRule& rule : transformation.rules()) {
+    XMLPROP_ASSIGN_OR_RETURN(Instance instance, EvalRule(index, rule));
     instances.push_back(std::move(instance));
   }
   return instances;

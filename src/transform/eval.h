@@ -8,6 +8,7 @@
 #include "transform/rule.h"
 #include "transform/table_tree.h"
 #include "xml/tree.h"
+#include "xml/tree_index.h"
 
 namespace xmlprop {
 
@@ -25,6 +26,27 @@ Instance EvalTableTree(const Tree& tree, const TableTree& table);
 /// σ(T): evaluates every table rule of the transformation.
 Result<std::vector<Instance>> EvalTransformation(
     const Tree& tree, const Transformation& transformation);
+
+/// Indexed shredding (the fast data plane; identical tuples, identical
+/// order — property-tested against the tree-walking overloads above):
+/// variable node sets come from the set-at-a-time indexed path evaluator
+/// and are memoized per (variable, parent binding) — the Cartesian
+/// enumeration revisits the same parent binding once per combination of
+/// unrelated variables — and Tree::Value is computed at most once per
+/// node instead of once per tuple the node appears in.
+Instance EvalTableTree(const TreeIndex& index, const TableTree& table);
+
+/// Indexed shredding into the columnar, interned-value representation:
+/// the same tuple set as EvalTableTree, but each distinct value string is
+/// stored once and rows are value-id tuples (deduplicated by hash, not by
+/// the row-store's linear scan).
+ColumnarInstance EvalTableTreeColumnar(const TreeIndex& index,
+                                       const TableTree& table);
+
+/// EvalRule / EvalTransformation over the indexed data plane.
+Result<Instance> EvalRule(const TreeIndex& index, const TableRule& rule);
+Result<std::vector<Instance>> EvalTransformation(
+    const TreeIndex& index, const Transformation& transformation);
 
 }  // namespace xmlprop
 

@@ -1,8 +1,10 @@
 #include "xml/path.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/str_util.h"
+#include "xml/tree_index.h"
 
 namespace xmlprop {
 
@@ -153,6 +155,141 @@ std::vector<NodeId> PathExpr::Eval(const Tree& tree, NodeId from) const {
     if (current.empty()) break;
   }
   return current;
+}
+
+namespace {
+
+// The union of the frontier's element subtree intervals as disjoint
+// [begin, end) pre-order ranges. The frontier is sorted by pre-order, so
+// interval starts arrive sorted and a linear merge suffices; nested
+// frontier nodes (possible after "//") collapse into their ancestor's
+// interval. Non-element nodes carry no interval and are skipped, matching
+// the seed evaluator's per-step kind filter.
+//
+// `include_self` selects the two uses: a bare "//" step produces
+// descendants-or-self ([pre, pre_end)); "//" fused with a following label
+// step selects children of descendants-or-self — i.e. *strict*
+// descendants, ([pre + 1, pre_end)) — a frontier node matching the label
+// is not in its own result.
+std::vector<std::pair<int32_t, int32_t>> MergedIntervals(
+    const TreeIndex& index, const std::vector<NodeId>& frontier,
+    bool include_self) {
+  std::vector<std::pair<int32_t, int32_t>> out;
+  for (NodeId n : frontier) {
+    if (index.tree().node(n).kind != NodeKind::kElement) continue;
+    const int32_t begin = index.pre(n) + (include_self ? 0 : 1);
+    const int32_t end = index.pre_end(n);
+    if (begin >= end) continue;  // leaf in strict mode: empty interval
+    if (!out.empty() && begin < out.back().second) {
+      if (end > out.back().second) out.back().second = end;
+    } else {
+      out.emplace_back(begin, end);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<NodeId> PathExpr::Eval(const TreeIndex& index,
+                                   NodeId from) const {
+  if (atoms_.empty()) return {from};
+  const Tree& tree = index.tree();
+
+  // Fast path for the shredder's workhorse shapes — a single child-label
+  // or attribute step off one node (the table tree binds most variables
+  // through exactly such steps, once per parent binding). Skips the
+  // frontier machinery and its per-call allocations. Within one parent
+  // the label bucket is already in ascending NodeId order (siblings are
+  // created in id order and the bucket sort is stable), so the result
+  // matches the seed contract without a sort.
+  if (atoms_.size() == 1 && !atoms_[0].is_descendant()) {
+    if (tree.node(from).kind != NodeKind::kElement) return {};
+    const PathAtom& atom = atoms_[0];
+    if (atom.is_attribute()) {
+      const NodeId a = index.AttributeWithLabel(
+          from, index.FindLabel(std::string_view(atom.label).substr(1)));
+      if (a == kInvalidNode) return {};
+      return {a};
+    }
+    TreeIndex::NodeSpan children =
+        index.ChildrenWithLabel(from, index.FindLabel(atom.label));
+    return std::vector<NodeId>(children.begin(), children.end());
+  }
+
+  // Invariant: `frontier` is a duplicate-free set of nodes sorted by
+  // pre-order. Label steps emit disjoint per-parent buckets, "//" steps
+  // emit disjoint interval ranges, and attribute steps map injectively,
+  // so no step introduces duplicates — sortedness is restored cheaply
+  // where needed and never via sort+unique over multisets.
+  std::vector<NodeId> frontier = {from};
+  size_t i = 0;
+  while (i < atoms_.size() && !frontier.empty()) {
+    const PathAtom& atom = atoms_[i];
+    std::vector<NodeId> next;
+    if (atom.is_descendant()) {
+      const bool fuse_label = i + 1 < atoms_.size() &&
+                              atoms_[i + 1].kind == PathAtom::Kind::kLabel &&
+                              !atoms_[i + 1].is_attribute();
+      const std::vector<std::pair<int32_t, int32_t>> intervals =
+          MergedIntervals(index, frontier, /*include_self=*/!fuse_label);
+      if (fuse_label) {
+        // "///label": interval-merge join into the label's pre-order list.
+        const std::vector<NodeId>& list =
+            index.ElementsWithLabel(index.FindLabel(atoms_[i + 1].label));
+        auto pre_less = [&index](NodeId e, int32_t p) {
+          return index.pre(e) < p;
+        };
+        for (const auto& [begin, end] : intervals) {
+          auto lo =
+              std::lower_bound(list.begin(), list.end(), begin, pre_less);
+          auto hi = std::lower_bound(lo, list.end(), end, pre_less);
+          next.insert(next.end(), lo, hi);
+        }
+        i += 2;
+      } else {
+        // Bare "//" (trailing, or before an attribute step): every
+        // element in the interval union, straight off the pre-order map.
+        for (const auto& [begin, end] : intervals) {
+          for (int32_t p = begin; p < end; ++p) {
+            next.push_back(index.ElementAtPre(p));
+          }
+        }
+        i += 1;
+      }
+    } else if (atom.is_attribute()) {
+      const LabelId label =
+          index.FindLabel(std::string_view(atom.label).substr(1));
+      for (NodeId n : frontier) {
+        if (tree.node(n).kind != NodeKind::kElement) continue;
+        NodeId a = index.AttributeWithLabel(n, label);
+        if (a != kInvalidNode) next.push_back(a);
+      }
+      i += 1;
+    } else {
+      const LabelId label = index.FindLabel(atom.label);
+      for (NodeId n : frontier) {
+        if (tree.node(n).kind != NodeKind::kElement) continue;
+        TreeIndex::NodeSpan children = index.ChildrenWithLabel(n, label);
+        next.insert(next.end(), children.begin(), children.end());
+      }
+      // Buckets are pre-sorted per parent but interleave globally when the
+      // frontier holds ancestor/descendant pairs; restore the invariant.
+      std::sort(next.begin(), next.end(), [&index](NodeId a, NodeId b) {
+        return index.pre(a) < index.pre(b);
+      });
+      i += 1;
+    }
+    frontier = std::move(next);
+  }
+  // The seed evaluator returns deduplicated NodeIds in ascending id order
+  // (creation order, which can differ from pre-order on hand-built trees).
+  std::sort(frontier.begin(), frontier.end());
+  return frontier;
+}
+
+std::vector<NodeId> PathExpr::EvalFromRoot(const TreeIndex& index) const {
+  return Eval(index, index.tree().root());
 }
 
 bool PathExpr::MatchesWord(const std::vector<std::string>& word) const {

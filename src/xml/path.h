@@ -13,6 +13,8 @@
 
 namespace xmlprop {
 
+class TreeIndex;
+
 /// One step of a path expression in normal form: either a label step
 /// (an element tag, or "@name" for an attribute) or the descendant-or-self
 /// wildcard "//" (written kDescendant here).
@@ -104,6 +106,18 @@ class PathExpr {
   std::vector<NodeId> EvalFromRoot(const Tree& tree) const {
     return Eval(tree, tree.root());
   }
+
+  /// Set-at-a-time Eval against a TreeIndex: identical node sets to the
+  /// tree-walking overload (property-tested), but label steps are bucket
+  /// lookups, "//" steps are Euler-interval unions, and "///label" pairs
+  /// are interval-merge joins into the label's pre-order list. The
+  /// frontier stays sorted (by pre-order internally, by NodeId on return)
+  /// by construction — no per-step sort+unique over materialized
+  /// descendant sets.
+  std::vector<NodeId> Eval(const TreeIndex& index, NodeId from) const;
+
+  /// [[P]] at the root of the indexed document.
+  std::vector<NodeId> EvalFromRoot(const TreeIndex& index) const;
 
   /// True iff the concrete label word (e.g. the labels on a tree path)
   /// belongs to this expression's language. "//" matches any run of

@@ -1,0 +1,188 @@
+#include "xml/tree_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xmlprop {
+
+LabelId TreeIndex::InternLabel(const std::string& name) {
+  auto [it, inserted] =
+      label_ids_.emplace(name, static_cast<LabelId>(label_names_.size()));
+  if (inserted) label_names_.push_back(name);
+  return it->second;
+}
+
+TreeIndex::TreeIndex(const Tree& tree) : tree_(&tree) {
+  const size_t n = tree.size();
+  label_of_.assign(n, kNoLabel);
+  pre_.assign(n, -1);
+  pre_end_.assign(n, -1);
+  attr_value_of_.assign(n, kNoValue);
+
+  // Pass 1: intern labels and attribute values, count elements/attributes.
+  size_t elements = 0;
+  size_t total_children = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Node& node = tree.node(static_cast<NodeId>(i));
+    switch (node.kind) {
+      case NodeKind::kElement:
+        label_of_[i] = InternLabel(node.label);
+        ++elements;
+        for (NodeId c : node.children) {
+          if (tree.node(c).kind == NodeKind::kElement) ++total_children;
+        }
+        break;
+      case NodeKind::kAttribute: {
+        label_of_[i] = InternLabel(node.label);
+        auto [it, inserted] = value_ids_.emplace(
+            node.value, static_cast<ValueId>(value_pool_.size()));
+        if (inserted) value_pool_.push_back(node.value);
+        attr_value_of_[i] = it->second;
+        ++attribute_nodes_;
+        break;
+      }
+      case NodeKind::kText:
+        break;
+    }
+  }
+
+  // Pass 2: iterative pre-order DFS over elements (document order),
+  // assigning Euler intervals. The explicit stack keeps deep documents
+  // from overflowing the call stack.
+  elements_by_pre_.reserve(elements);
+  struct Frame {
+    NodeId id;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({tree.root(), 0});
+  pre_[static_cast<size_t>(tree.root())] =
+      static_cast<int32_t>(elements_by_pre_.size());
+  elements_by_pre_.push_back(tree.root());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const Node& node = tree.node(frame.id);
+    bool descended = false;
+    while (frame.next_child < node.children.size()) {
+      NodeId c = node.children[frame.next_child++];
+      if (tree.node(c).kind != NodeKind::kElement) continue;
+      pre_[static_cast<size_t>(c)] =
+          static_cast<int32_t>(elements_by_pre_.size());
+      elements_by_pre_.push_back(c);
+      stack.push_back({c, 0});
+      descended = true;
+      break;
+    }
+    if (descended) continue;
+    pre_end_[static_cast<size_t>(frame.id)] =
+        static_cast<int32_t>(elements_by_pre_.size());
+    stack.pop_back();
+  }
+
+  // Pass 3: per-label element lists. Iterating in pre-order keeps every
+  // list sorted by pre-order with no extra sort.
+  elements_with_label_.resize(label_names_.size());
+  {
+    std::vector<size_t> counts(label_names_.size(), 0);
+    for (NodeId e : elements_by_pre_) {
+      ++counts[static_cast<size_t>(label_of_[static_cast<size_t>(e)])];
+    }
+    for (size_t l = 0; l < counts.size(); ++l) {
+      elements_with_label_[l].reserve(counts[l]);
+    }
+  }
+  for (NodeId e : elements_by_pre_) {
+    elements_with_label_[static_cast<size_t>(
+                             label_of_[static_cast<size_t>(e)])]
+        .push_back(e);
+  }
+
+  // Pass 4: CSR child adjacency bucketed by label, and attribute entries
+  // sorted by label. Buckets keep document order within a label (stable
+  // sort), which for siblings equals pre-order.
+  bucket_offset_.assign(n + 1, 0);
+  attr_offset_.assign(n + 1, 0);
+  child_array_.reserve(total_children);
+  attr_array_.reserve(attribute_nodes_);
+  std::vector<NodeId> scratch;
+  for (size_t i = 0; i < n; ++i) {
+    bucket_offset_[i] = static_cast<uint32_t>(bucket_array_.size());
+    attr_offset_[i] = static_cast<uint32_t>(attr_array_.size());
+    const Node& node = tree.node(static_cast<NodeId>(i));
+    if (node.kind != NodeKind::kElement) continue;
+
+    scratch.clear();
+    for (NodeId c : node.children) {
+      if (tree.node(c).kind == NodeKind::kElement) scratch.push_back(c);
+    }
+    std::stable_sort(scratch.begin(), scratch.end(),
+                     [this](NodeId a, NodeId b) {
+                       return label_of_[static_cast<size_t>(a)] <
+                              label_of_[static_cast<size_t>(b)];
+                     });
+    size_t k = 0;
+    while (k < scratch.size()) {
+      LabelId label = label_of_[static_cast<size_t>(scratch[k])];
+      Bucket bucket;
+      bucket.label = label;
+      bucket.begin = static_cast<uint32_t>(child_array_.size());
+      while (k < scratch.size() &&
+             label_of_[static_cast<size_t>(scratch[k])] == label) {
+        child_array_.push_back(scratch[k++]);
+      }
+      bucket.end = static_cast<uint32_t>(child_array_.size());
+      bucket_array_.push_back(bucket);
+    }
+
+    for (NodeId a : node.attributes) {
+      attr_array_.push_back(
+          AttrEntry{label_of_[static_cast<size_t>(a)], a});
+    }
+    std::sort(attr_array_.begin() +
+                  static_cast<long>(attr_offset_[i]),
+              attr_array_.end(),
+              [](const AttrEntry& a, const AttrEntry& b) {
+                return a.label < b.label;
+              });
+  }
+  bucket_offset_[n] = static_cast<uint32_t>(bucket_array_.size());
+  attr_offset_[n] = static_cast<uint32_t>(attr_array_.size());
+}
+
+LabelId TreeIndex::FindLabel(std::string_view name) const {
+  // C++17 unordered_map cannot look up by string_view; the callers that
+  // sit in hot loops pre-resolve LabelIds once per path, so a temporary
+  // string here is off the fast path.
+  auto it = label_ids_.find(std::string(name));
+  return it == label_ids_.end() ? kNoLabel : it->second;
+}
+
+TreeIndex::NodeSpan TreeIndex::ChildrenWithLabel(NodeId parent,
+                                                 LabelId label) const {
+  NodeSpan span;
+  if (label < 0) return span;
+  const size_t i = static_cast<size_t>(parent);
+  const Bucket* first = bucket_array_.data() + bucket_offset_[i];
+  const Bucket* last = bucket_array_.data() + bucket_offset_[i + 1];
+  const Bucket* it = std::lower_bound(
+      first, last, label,
+      [](const Bucket& b, LabelId l) { return b.label < l; });
+  if (it != last && it->label == label) {
+    span.begin_ptr = child_array_.data() + it->begin;
+    span.end_ptr = child_array_.data() + it->end;
+  }
+  return span;
+}
+
+NodeId TreeIndex::AttributeWithLabel(NodeId parent, LabelId label) const {
+  if (label < 0) return kInvalidNode;
+  const size_t i = static_cast<size_t>(parent);
+  const AttrEntry* first = attr_array_.data() + attr_offset_[i];
+  const AttrEntry* last = attr_array_.data() + attr_offset_[i + 1];
+  const AttrEntry* it = std::lower_bound(
+      first, last, label,
+      [](const AttrEntry& e, LabelId l) { return e.label < l; });
+  return (it != last && it->label == label) ? it->node : kInvalidNode;
+}
+
+}  // namespace xmlprop

@@ -1,0 +1,167 @@
+#ifndef XMLPROP_XML_TREE_INDEX_H_
+#define XMLPROP_XML_TREE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/node.h"
+#include "xml/tree.h"
+
+namespace xmlprop {
+
+/// Interned identifier of an element label or attribute name within one
+/// TreeIndex. Ids are dense, starting at 0; element tags and attribute
+/// names share one namespace (lookups always say which bucket they mean,
+/// so a document using "id" both as a tag and as an attribute is fine).
+using LabelId = int32_t;
+inline constexpr LabelId kNoLabel = -1;
+
+/// Interned identifier of an attribute value string within one TreeIndex.
+/// Equal strings always intern to the same id, so value-tuple equality
+/// reduces to id-tuple equality (the key checker's hot comparison).
+using ValueId = int32_t;
+inline constexpr ValueId kNoValue = -1;
+
+/// An immutable acceleration structure over one Tree — the "document data
+/// plane" (DESIGN.md §3). Built once after parsing, it turns the
+/// node-at-a-time, string-comparing traversals of the seed path evaluator
+/// into set-at-a-time index operations:
+///
+///   - label/attribute-name interning to dense LabelIds, so label steps
+///     compare integers, never strings;
+///   - pre-order (Euler) intervals per element: the element descendants
+///     of n are exactly the elements with pre ∈ [pre(n), pre_end(n)),
+///     making "//" an interval problem instead of a traversal;
+///   - per-label element lists sorted by pre-order, so "//" followed by a
+///     label step is an interval-merge join (binary searches into the
+///     label's list) instead of materializing every descendant;
+///   - per-parent child adjacency bucketed by label (CSR layout), so a
+///     child step is a bucket lookup;
+///   - attribute values interned to dense ValueIds at build time, so key
+///     satisfaction hashes tuples of ints.
+///
+/// The index never mutates after construction, so concurrent readers are
+/// safe — the parallel key checker relies on this. The owning Tree must
+/// outlive the index and must not grow while the index is in use.
+class TreeIndex {
+ public:
+  explicit TreeIndex(const Tree& tree);
+
+  const Tree& tree() const { return *tree_; }
+
+  /// Id of `name` (element tag or attribute name, no '@'), or kNoLabel if
+  /// the document never uses it — in which case any step on it selects ∅.
+  LabelId FindLabel(std::string_view name) const;
+
+  size_t label_count() const { return label_names_.size(); }
+  size_t value_count() const { return value_pool_.size(); }
+  size_t element_count() const { return elements_by_pre_.size(); }
+  size_t attribute_count() const { return attribute_nodes_; }
+
+  /// Interned label of an element or attribute node (kNoLabel for text).
+  LabelId label_of(NodeId id) const {
+    return label_of_[static_cast<size_t>(id)];
+  }
+
+  /// Pre-order rank of element `id` among elements (root has pre 0).
+  int32_t pre(NodeId id) const { return pre_[static_cast<size_t>(id)]; }
+  /// Exclusive end of the element subtree interval: descendant-or-self
+  /// elements of `id` are those with pre ∈ [pre(id), pre_end(id)).
+  int32_t pre_end(NodeId id) const {
+    return pre_end_[static_cast<size_t>(id)];
+  }
+  /// The element with pre-order rank `pre`.
+  NodeId ElementAtPre(int32_t pre) const {
+    return elements_by_pre_[static_cast<size_t>(pre)];
+  }
+
+  /// O(1) ancestor-or-self test between *element* nodes.
+  bool IsAncestorOrSelf(NodeId ancestor, NodeId descendant) const {
+    return pre(ancestor) <= pre(descendant) &&
+           pre(descendant) < pre_end(ancestor);
+  }
+
+  /// All elements labelled `label`, sorted by pre-order. Empty (and safe)
+  /// for kNoLabel.
+  const std::vector<NodeId>& ElementsWithLabel(LabelId label) const {
+    static const std::vector<NodeId> kEmpty;
+    return label >= 0 ? elements_with_label_[static_cast<size_t>(label)]
+                      : kEmpty;
+  }
+
+  /// Element children of `parent` labelled `label`, in document (= pre)
+  /// order, as a contiguous span into the CSR child array.
+  struct NodeSpan {
+    const NodeId* begin_ptr = nullptr;
+    const NodeId* end_ptr = nullptr;
+    const NodeId* begin() const { return begin_ptr; }
+    const NodeId* end() const { return end_ptr; }
+    size_t size() const { return static_cast<size_t>(end_ptr - begin_ptr); }
+    bool empty() const { return begin_ptr == end_ptr; }
+  };
+  NodeSpan ChildrenWithLabel(NodeId parent, LabelId label) const;
+
+  /// The attribute node `@label` of element `parent`, or kInvalidNode.
+  NodeId AttributeWithLabel(NodeId parent, LabelId label) const;
+
+  /// Interned value id of *attribute* node `attr` (precomputed at build;
+  /// safe to read from any thread). kNoValue for non-attribute nodes.
+  ValueId attr_value_id(NodeId attr) const {
+    return attr_value_of_[static_cast<size_t>(attr)];
+  }
+
+  /// The pooled string behind a ValueId.
+  const std::string& value_string(ValueId id) const {
+    return value_pool_[static_cast<size_t>(id)];
+  }
+
+ private:
+  // One (label, range) bucket of an element's children or attributes.
+  struct Bucket {
+    LabelId label;
+    uint32_t begin;  // index into child_array_ / attr_array_
+    uint32_t end;
+  };
+
+  LabelId InternLabel(const std::string& name);
+
+  const Tree* tree_;
+
+  std::unordered_map<std::string, LabelId> label_ids_;
+  std::vector<std::string> label_names_;
+  std::vector<LabelId> label_of_;  // per node
+
+  std::vector<int32_t> pre_;      // per node; -1 for non-elements
+  std::vector<int32_t> pre_end_;  // per node; -1 for non-elements
+  std::vector<NodeId> elements_by_pre_;
+
+  std::vector<std::vector<NodeId>> elements_with_label_;  // per label, pre order
+
+  // CSR child adjacency: per element a run of Buckets (sorted by label id)
+  // into bucket_array_; each bucket spans child_array_ entries in doc order.
+  std::vector<uint32_t> bucket_offset_;  // per node, +1 sentinel
+  std::vector<Bucket> bucket_array_;
+  std::vector<NodeId> child_array_;
+
+  // Same layout for attributes; every bucket holds exactly one node
+  // (attribute names are unique per element), so attr buckets store the
+  // node directly.
+  std::vector<uint32_t> attr_offset_;  // per node, +1 sentinel
+  struct AttrEntry {
+    LabelId label;
+    NodeId node;
+  };
+  std::vector<AttrEntry> attr_array_;
+
+  std::unordered_map<std::string, ValueId> value_ids_;
+  std::vector<std::string> value_pool_;
+  std::vector<ValueId> attr_value_of_;  // per node; kNoValue for non-attrs
+  size_t attribute_nodes_ = 0;
+};
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_XML_TREE_INDEX_H_

@@ -1,0 +1,257 @@
+// TreeIndex unit tests plus the randomized equivalence properties that
+// pin the indexed data plane to the seed semantics: over random trees
+// and random path expressions, Eval / EvalTableTree / CheckAll must
+// produce bit-identical output with the index on and off — including
+// under a forced multi-threaded key-check fan-out.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "keys/satisfaction.h"
+#include "synth/doc_generator.h"
+#include "transform/eval.h"
+#include "transform/rule_parser.h"
+#include "xml/path.h"
+#include "xml/tree.h"
+#include "xml/tree_index.h"
+
+namespace xmlprop {
+namespace {
+
+// chapter under book under root, a sibling chapter, attributes on both.
+Tree SmallTree() {
+  Tree doc("db");
+  NodeId book = doc.CreateElement(doc.root(), "book");
+  doc.CreateAttribute(book, "isbn", "111").ok();
+  NodeId c1 = doc.CreateElement(book, "chapter");
+  doc.CreateAttribute(c1, "number", "1").ok();
+  NodeId c2 = doc.CreateElement(book, "chapter");
+  doc.CreateAttribute(c2, "number", "2").ok();
+  doc.CreateElement(c1, "section");
+  return doc;
+}
+
+TEST(TreeIndexTest, InternsLabelsAndValues) {
+  Tree doc = SmallTree();
+  TreeIndex index(doc);
+  EXPECT_EQ(index.element_count(), 5u);  // db, book, chapter×2, section
+  EXPECT_EQ(index.attribute_count(), 3u);
+  EXPECT_NE(index.FindLabel("book"), kNoLabel);
+  EXPECT_NE(index.FindLabel("number"), kNoLabel);
+  EXPECT_EQ(index.FindLabel("no-such-label"), kNoLabel);
+  // Equal attribute values intern to equal ids; distinct to distinct.
+  NodeId c1 = index.ElementsWithLabel(index.FindLabel("chapter"))[0];
+  NodeId c2 = index.ElementsWithLabel(index.FindLabel("chapter"))[1];
+  NodeId a1 = index.AttributeWithLabel(c1, index.FindLabel("number"));
+  NodeId a2 = index.AttributeWithLabel(c2, index.FindLabel("number"));
+  ASSERT_NE(a1, kInvalidNode);
+  ASSERT_NE(a2, kInvalidNode);
+  EXPECT_NE(index.attr_value_id(a1), index.attr_value_id(a2));
+  EXPECT_EQ(index.value_string(index.attr_value_id(a1)), "1");
+  EXPECT_EQ(index.value_string(index.attr_value_id(a2)), "2");
+}
+
+TEST(TreeIndexTest, PreOrderIntervalsNestProperly) {
+  Tree doc = SmallTree();
+  TreeIndex index(doc);
+  NodeId root = doc.root();
+  NodeId book = index.ElementsWithLabel(index.FindLabel("book"))[0];
+  NodeId c1 = index.ElementsWithLabel(index.FindLabel("chapter"))[0];
+  NodeId section = index.ElementsWithLabel(index.FindLabel("section"))[0];
+  EXPECT_EQ(index.pre(root), 0);
+  EXPECT_EQ(index.pre_end(root), 5);
+  EXPECT_TRUE(index.IsAncestorOrSelf(root, section));
+  EXPECT_TRUE(index.IsAncestorOrSelf(book, c1));
+  EXPECT_TRUE(index.IsAncestorOrSelf(c1, section));
+  EXPECT_FALSE(index.IsAncestorOrSelf(section, c1));
+  EXPECT_FALSE(index.IsAncestorOrSelf(c1, book));
+  // ElementAtPre inverts pre().
+  for (int32_t p = 0; p < 5; ++p) {
+    EXPECT_EQ(index.pre(index.ElementAtPre(p)), p);
+  }
+}
+
+TEST(TreeIndexTest, ChildBucketsFollowDocumentOrder) {
+  Tree doc = SmallTree();
+  TreeIndex index(doc);
+  NodeId book = index.ElementsWithLabel(index.FindLabel("book"))[0];
+  TreeIndex::NodeSpan chapters =
+      index.ChildrenWithLabel(book, index.FindLabel("chapter"));
+  ASSERT_EQ(chapters.size(), 2u);
+  EXPECT_LT(index.pre(*chapters.begin()), index.pre(*(chapters.begin() + 1)));
+  EXPECT_TRUE(index.ChildrenWithLabel(book, index.FindLabel("section")).empty());
+  EXPECT_TRUE(index.ChildrenWithLabel(book, kNoLabel).empty());
+}
+
+// ----------------------------------------------------------------------
+// Randomized equivalence properties.
+
+// A random path over the RandomTreeSpec alphabet: 1-4 steps, each plain
+// or descendant-prefixed, sometimes an unknown label, optionally ending
+// in a (sometimes unknown) attribute step.
+PathExpr RandomPath(Rng* rng) {
+  static const std::vector<std::string> kLabels = {
+      "book", "chapter", "section", "title", "author", "name", "contact",
+      "unknownlabel"};
+  static const std::vector<std::string> kAttrs = {"isbn", "number", "id",
+                                                  "unknownattr"};
+  std::string text;
+  const int steps = rng->UniformInt(1, 4);
+  for (int s = 0; s < steps; ++s) {
+    if (rng->Bernoulli(0.4)) {
+      text += "//";
+    } else if (!text.empty()) {
+      text += "/";
+    }
+    text += rng->Choose(kLabels);
+  }
+  if (rng->Bernoulli(0.3)) text += "/@" + rng->Choose(kAttrs);
+  Result<PathExpr> path = PathExpr::Parse(text);
+  EXPECT_TRUE(path.ok()) << text;
+  return *path;
+}
+
+class IndexEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndexEquivalence, EvalMatchesTreeEval) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 3);
+  RandomTreeSpec spec;
+  spec.max_depth = 5;
+  Tree doc = RandomTree(spec, &rng);
+  TreeIndex index(doc);
+  for (int trial = 0; trial < 40; ++trial) {
+    PathExpr path = RandomPath(&rng);
+    // From the root and from arbitrary nodes (elements, attributes, text
+    // — the evaluator must agree on all of them).
+    std::vector<NodeId> starts = {doc.root()};
+    for (int s = 0; s < 4; ++s) {
+      starts.push_back(
+          static_cast<NodeId>(rng.UniformIndex(doc.size())));
+    }
+    for (NodeId from : starts) {
+      EXPECT_EQ(path.Eval(doc, from), path.Eval(index, from))
+          << "path " << path.ToString() << " from node " << from << " seed "
+          << GetParam();
+    }
+  }
+}
+
+TEST_P(IndexEquivalence, ShreddingMatchesTreeShredding) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  Result<TableRule> rule = ParseTableRule(R"(
+rule R {
+  isbn:    value(BI)
+  chapter: value(CN)
+  section: value(SI)
+  title:   value(TT)
+  B  := Xr//book
+  BI := B/@isbn
+  C  := Xr//chapter
+  CN := C/@number
+  S  := C/section
+  SI := S/@id
+  T  := B/title
+  TT := T/@id
+}
+)");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  Result<TableTree> table = TableTree::Build(*rule);
+  ASSERT_TRUE(table.ok());
+  RandomTreeSpec spec;
+  spec.max_depth = 5;
+  for (int doc_trial = 0; doc_trial < 5; ++doc_trial) {
+    Tree doc = RandomTree(spec, &rng);
+    TreeIndex index(doc);
+    Instance off = EvalTableTree(doc, *table);
+    Instance on = EvalTableTree(index, *table);
+    // Identical tuples in identical order, not just set equality.
+    EXPECT_EQ(off.tuples(), on.tuples()) << "seed " << GetParam();
+
+    // The columnar form round-trips: every column id resolves to the
+    // row-store field.
+    ColumnarInstance columnar = EvalTableTreeColumnar(index, *table);
+    ASSERT_EQ(columnar.size(), off.size());
+    for (size_t r = 0; r < columnar.size(); ++r) {
+      for (size_t f = 0; f < off.schema().arity(); ++f) {
+        const ColumnarInstance::ValueRef id = columnar.Column(f)[r];
+        const Field& field = off.tuples()[r][f];
+        if (id == ColumnarInstance::kNull) {
+          EXPECT_FALSE(field.has_value());
+        } else {
+          ASSERT_TRUE(field.has_value());
+          EXPECT_EQ(columnar.ValueString(id), *field);
+        }
+      }
+    }
+  }
+}
+
+// Violations flattened for exact sequence comparison.
+std::vector<std::tuple<size_t, int, NodeId, NodeId, NodeId, std::string>>
+Flatten(const std::vector<TaggedViolation>& violations) {
+  std::vector<std::tuple<size_t, int, NodeId, NodeId, NodeId, std::string>>
+      out;
+  out.reserve(violations.size());
+  for (const TaggedViolation& tv : violations) {
+    out.emplace_back(tv.key_index, static_cast<int>(tv.violation.kind),
+                     tv.violation.context, tv.violation.node1,
+                     tv.violation.node2, tv.violation.attribute);
+  }
+  return out;
+}
+
+TEST_P(IndexEquivalence, CheckAllMatchesTreeCheckAll) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761ULL + 13);
+  Result<std::vector<XmlKey>> keys = ParseKeySet(R"(
+K0: (ε, (//book, {@isbn}))
+K1: (//book, (chapter, {@number}))
+K2: (//book//chapter, (section, {@id}))
+K3: (//book, (title, {}))
+K4: (ε, (//book, {@isbn}))
+)");
+  ASSERT_TRUE(keys.ok()) << keys.status().ToString();
+  RandomTreeSpec spec;
+  spec.max_depth = 5;
+  // K4 duplicates K0's paths on purpose: the shared context/target
+  // evaluation must still report per-key violations.
+  for (int doc_trial = 0; doc_trial < 5; ++doc_trial) {
+    Tree doc = RandomTree(spec, &rng);
+    TreeIndex index(doc);
+    std::vector<TaggedViolation> off = CheckAll(doc, *keys);
+    std::vector<TaggedViolation> on = CheckAll(index, *keys);
+    EXPECT_EQ(Flatten(off), Flatten(on)) << "seed " << GetParam();
+
+    // Forced fan-out: tiny partitions over a real pool must not change
+    // the output (or its order).
+    ThreadPool pool(3);
+    CheckOptions options;
+    options.pool = &pool;
+    options.contexts_per_task = 1;
+    CheckStats stats;
+    options.stats = &stats;
+    std::vector<TaggedViolation> pooled = CheckAll(index, *keys, options);
+    EXPECT_EQ(Flatten(off), Flatten(pooled)) << "seed " << GetParam();
+    // K0/K4 share a context set and a target set.
+    EXPECT_LT(stats.context_sets, keys->size());
+    EXPECT_LT(stats.target_sets, keys->size());
+
+    // Per-key agreement of the whole violation list and the verdict.
+    for (const XmlKey& key : *keys) {
+      std::vector<KeyViolation> key_off = CheckKey(doc, key);
+      std::vector<KeyViolation> key_on = CheckKey(index, key);
+      ASSERT_EQ(key_off.size(), key_on.size());
+      EXPECT_EQ(Satisfies(doc, key), Satisfies(index, key));
+    }
+    EXPECT_EQ(SatisfiesAll(doc, *keys), SatisfiesAll(index, *keys));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexEquivalence, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace xmlprop
