@@ -193,6 +193,18 @@ void RunAblation(bool quick) {
       warm_identical = warm_identical && cover->ToString() == off_cover;
     }
 
+    // Per-phase breakdowns: one extra untimed traced pass per mode (the
+    // timed reps above stay trace-free so the overhead claim in
+    // docs/observability.md holds for the headline numbers).
+    const obs::TraceSummary off_trace = bench::TracedPass(
+        [&] { MinimumCover(w.keys, w.table).ok(); });
+    const obs::TraceSummary cold_trace = bench::TracedPass([&] {
+      ImplicationEngine engine(w.keys);
+      MinimumCover(engine, w.table).ok();
+    });
+    const obs::TraceSummary warm_trace = bench::TracedPass(
+        [&] { MinimumCover(warm_engine, w.table).ok(); });
+
     const size_t cover_fds =
         static_cast<size_t>(std::count(off_cover.begin(), off_cover.end(),
                                        '\n'));
@@ -200,6 +212,7 @@ void RunAblation(bool quick) {
     off.Str("mode", "engine_off").Int("fields", fields);
     bench::FillStats(off, off_ms, off_stats);
     off.Int("cover_fds", cover_fds);
+    bench::FillPhases(off, off_trace);
 
     bench::JsonReport::Row& cold = report.AddRow();
     cold.Str("mode", "engine_cold").Int("fields", fields);
@@ -207,6 +220,7 @@ void RunAblation(bool quick) {
     cold.Int("cover_fds", cover_fds)
         .Bool("identical_to_engine_off", cold_identical)
         .Num("speedup_vs_engine_off", off_ms / cold_ms);
+    bench::FillPhases(cold, cold_trace);
 
     bench::JsonReport::Row& warm = report.AddRow();
     warm.Str("mode", "engine_warm").Int("fields", fields);
@@ -214,6 +228,7 @@ void RunAblation(bool quick) {
     warm.Int("cover_fds", cover_fds)
         .Bool("identical_to_engine_off", warm_identical)
         .Num("speedup_vs_engine_off", off_ms / warm_ms);
+    bench::FillPhases(warm, warm_trace);
 
     std::cerr << "fig7a fields=" << fields << ": off " << off_ms
               << " ms, engine cold " << cold_ms << " ms ("

@@ -297,6 +297,22 @@ void RunAblation(bool quick) {
       if (rep == 0 || ms < cover_ms) cover_ms = ms;
     }
 
+    // Per-phase breakdowns from one extra untimed traced pass per mode
+    // (timed reps stay trace-free; see docs/observability.md).
+    const obs::TraceSummary off_trace = bench::TracedPass([&] {
+      Result<Tree> doc = ParseXml(xml);
+      CheckAll(*doc, Fix().keys);
+      EvalTableTree(*doc, Fix().table);
+    });
+    const obs::TraceSummary on_trace = bench::TracedPass([&] {
+      Result<Tree> doc = ParseXml(xml);
+      TreeIndex index(*doc);
+      CheckOptions options;
+      options.pool = &pool;
+      CheckAll(index, Fix().keys, options);
+      EvalTableTree(index, Fix().table);
+    });
+
     const double off_e2e = off_parse + off_check + off_shred;
     const double on_e2e = on_parse + on_index + on_check + on_shred;
 
@@ -312,6 +328,7 @@ void RunAblation(bool quick) {
         .Num("end_to_end_ms", off_e2e)
         .Int("tuples", off_instance.size())
         .Int("violations", off_violations.size());
+    bench::FillPhases(off, off_trace);
 
     bench::JsonReport::Row& on = report.AddRow();
     on.Str("mode", "index_on")
@@ -327,6 +344,7 @@ void RunAblation(bool quick) {
         .Int("violations", off_violations.size())
         .Bool("identical_to_index_off", identical)
         .Num("speedup_vs_index_off", off_e2e / on_e2e);
+    bench::FillPhases(on, on_trace);
 
     std::cerr << "pipeline confs=" << confs << ": off " << off_e2e
               << " ms (parse " << off_parse << ", check " << off_check

@@ -13,10 +13,12 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/propagation.h"
+#include "obs/trace.h"
 #include "synth/workload.h"
 
 namespace xmlprop {
@@ -148,6 +150,41 @@ inline void FillStats(JsonReport::Row& row, double wall_ms,
       .Int("cache_misses", stats.cache_misses)
       .Int("parallel_batches", stats.parallel_batches)
       .Int("parallel_tasks", stats.parallel_tasks);
+}
+
+/// Sums every span's total time by name across the aggregated tree, so
+/// a phase that shows up under several parents (e.g. implication checks
+/// inside both candidate screening and minimization) gets one column.
+inline void AccumulateSpanTotals(const std::vector<obs::SpanNode>& nodes,
+                                 std::map<std::string, double>* totals) {
+  for (const obs::SpanNode& node : nodes) {
+    (*totals)[node.name] += node.total_ms;
+    AccumulateSpanTotals(node.children, totals);
+  }
+}
+
+/// Adds per-phase breakdown columns ("span_<name>_ms") from a traced
+/// pass to a BENCH_*.json row. The benches run one extra untimed pass
+/// under obs::ScopedTrace for these columns so the timed reps stay
+/// trace-free.
+inline void FillPhases(JsonReport::Row& row, const obs::TraceSummary& trace) {
+  std::map<std::string, double> totals;
+  AccumulateSpanTotals(trace.roots, &totals);
+  for (const auto& [name, ms] : totals) {
+    row.Num(("span_" + name + "_ms").c_str(), ms);
+  }
+}
+
+/// Runs `fn` once under a fresh trace and returns the aggregated span
+/// tree — the extra untimed pass FillPhases consumes.
+template <typename Fn>
+inline obs::TraceSummary TracedPass(Fn&& fn) {
+  obs::Trace trace;
+  {
+    obs::ScopedTrace scoped(&trace);
+    fn();
+  }
+  return trace.Finish();
 }
 
 /// Builds the Section 6 synthetic workload or aborts (benchmark setup

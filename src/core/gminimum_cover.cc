@@ -1,10 +1,14 @@
 #include "core/gminimum_cover.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace xmlprop {
 
 Result<GMinimumCover> GMinimumCover::Build(const std::vector<XmlKey>& sigma,
                                            const TableTree& table,
                                            PropagationStats* stats) {
+  obs::Span span("cover.gbuild");
   XMLPROP_ASSIGN_OR_RETURN(FdSet cover, MinimumCover(sigma, table, stats));
   return GMinimumCover(sigma, table, std::move(cover));
 }
@@ -12,12 +16,15 @@ Result<GMinimumCover> GMinimumCover::Build(const std::vector<XmlKey>& sigma,
 Result<GMinimumCover> GMinimumCover::Build(ImplicationEngine& engine,
                                            const TableTree& table,
                                            PropagationStats* stats) {
+  obs::Span span("cover.gbuild");
   XMLPROP_ASSIGN_OR_RETURN(FdSet cover, MinimumCover(engine, table, stats));
   return GMinimumCover(engine.sigma(), table, std::move(cover), &engine);
 }
 
 Result<bool> GMinimumCover::Check(const Fd& fd,
                                   PropagationStats* stats) const {
+  obs::Span span("cover.gcheck");
+  obs::Count("cover.gchecks");
   if (fd.lhs.universe_size() != table_.schema().arity() ||
       fd.rhs.universe_size() != table_.schema().arity()) {
     return Status::InvalidArgument(

@@ -6,6 +6,8 @@
 
 #include "keys/implication.h"
 #include "keys/implication_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/cover.h"
 
 namespace xmlprop {
@@ -37,7 +39,9 @@ struct CoverBuilder {
   // unconditionally — so the Section 6 implication-call accounting is
   // unchanged by batching.
   std::vector<char> ImpliesBatch(const std::vector<XmlKey>& queries) {
-    if (stats != nullptr) stats->implication_calls += queries.size();
+    obs::Span span("cover.implication_checks");
+    obs::CountInto(stats != nullptr ? &stats->implication_calls : nullptr,
+                   "propagation.implication_calls", queries.size());
     if (engine != nullptr) return engine->ImpliesIdentificationBatch(queries);
     std::vector<char> out;
     out.reserve(queries.size());
@@ -81,32 +85,39 @@ struct CoverBuilder {
   Result<std::vector<AttrSet>> CandidatesFor(int v) {
     std::vector<XmlKey> queries;
     std::vector<AttrSet> on_success;  // candidate key if query i holds
-    std::vector<int> chain = table.AncestorChain(v);
-    chain.pop_back();  // proper ancestors only
-    for (int u : chain) {
-      const auto& base = canonical[static_cast<size_t>(u)];
-      if (!base.has_value()) continue;
-      XMLPROP_ASSIGN_OR_RETURN(PathExpr rho, table.PathBetween(u, v));
-      PathExpr u_path = table.PathFromRoot(u);
+    {
+      obs::Span span("cover.candidate_generation");
+      std::vector<int> chain = table.AncestorChain(v);
+      chain.pop_back();  // proper ancestors only
+      for (int u : chain) {
+        const auto& base = canonical[static_cast<size_t>(u)];
+        if (!base.has_value()) continue;
+        XMLPROP_ASSIGN_OR_RETURN(PathExpr rho, table.PathBetween(u, v));
+        PathExpr u_path = table.PathFromRoot(u);
 
-      // v unique under u: keyed by the ancestor's key alone (S = ∅).
-      queries.emplace_back("", u_path, rho, std::vector<std::string>{});
-      on_success.push_back(*base);
-      // One candidate per key of Σ whose attributes are all fields of v.
-      for (const XmlKey& k : oracle.keys()) {
-        if (k.attributes().empty()) continue;  // covered by the ∅ case
-        std::optional<AttrSet> key_fields = FieldsOfAttrs(
-            static_cast<size_t>(v), k.attributes());
-        if (!key_fields.has_value()) continue;
-        queries.emplace_back("", u_path, rho, k.attributes());
-        on_success.push_back(base->Union(*key_fields));
+        // v unique under u: keyed by the ancestor's key alone (S = ∅).
+        queries.emplace_back("", u_path, rho, std::vector<std::string>{});
+        on_success.push_back(*base);
+        // One candidate per key of Σ whose attributes are all fields of v.
+        for (const XmlKey& k : oracle.keys()) {
+          if (k.attributes().empty()) continue;  // covered by the ∅ case
+          std::optional<AttrSet> key_fields = FieldsOfAttrs(
+              static_cast<size_t>(v), k.attributes());
+          if (!key_fields.has_value()) continue;
+          queries.emplace_back("", u_path, rho, k.attributes());
+          on_success.push_back(base->Union(*key_fields));
+        }
       }
+      obs::Count("cover.candidates_generated", queries.size());
     }
     std::vector<char> verdicts = ImpliesBatch(queries);
     std::set<AttrSet> candidates;
     for (size_t i = 0; i < queries.size(); ++i) {
       if (verdicts[i] != 0) candidates.insert(on_success[i]);
     }
+    // Pruned = candidates refuted by the implication check plus implied
+    // ones that collapsed into an already-found key set.
+    obs::Count("cover.candidates_pruned", queries.size() - candidates.size());
     std::vector<AttrSet> out(candidates.begin(), candidates.end());
     std::stable_sort(out.begin(), out.end(),
                      [](const AttrSet& a, const AttrSet& b) {
@@ -117,6 +128,7 @@ struct CoverBuilder {
   }
 
   Status AssignKeys() {
+    obs::Span span("cover.assign_keys");
     canonical.assign(table.size(), std::nullopt);
     canonical[0] = table.schema().EmptySet();  // the root is unique
     for (size_t v = 1; v < table.size(); ++v) {
@@ -139,6 +151,7 @@ struct CoverBuilder {
   }
 
   Status EmitFieldFds() {
+    obs::Span field_span("cover.field_fds");
     // Every (keyed v, field-populating descendant w) uniqueness check is
     // independent of the others: collect them all, run one batch, then
     // emit the FDs in the original deterministic order.
@@ -224,7 +237,7 @@ Result<FdSet> PropagatedCoverRaw(ImplicationEngine& engine,
                                  PropagationStats* stats) {
   const ImplicationEngine::Counters before = engine.counters();
   Result<FdSet> raw = RawWith(KeyOracle(engine), table, stats);
-  if (stats != nullptr) stats->AbsorbEngineDelta(before, engine.counters());
+  AbsorbEngineDelta(stats, before, engine.counters());
   return raw;
 }
 
@@ -241,7 +254,7 @@ Result<std::vector<NodeKeyAssignment>> ComputeNodeKeys(
   const ImplicationEngine::Counters before = engine.counters();
   Result<std::vector<NodeKeyAssignment>> keys =
       NodeKeysWith(KeyOracle(engine), table, stats);
-  if (stats != nullptr) stats->AbsorbEngineDelta(before, engine.counters());
+  AbsorbEngineDelta(stats, before, engine.counters());
   return keys;
 }
 

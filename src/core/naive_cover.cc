@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/cover.h"
 
 namespace xmlprop {
@@ -47,10 +49,14 @@ Result<FdSet> AllWith(KeyOracle oracle, const TableTree& table,
       // seed behavior.
       for (uint64_t mask = 0; mask < masks; ++mask) {
         Fd fd = CandidateFd(n, a, mask);
+        obs::Count("cover.candidates_generated");
         // Screening: skip candidates the accumulated set already implies —
         // both the (cheap) relational check before the propagation test
         // and the insertion after it.
-        if (options.screen_implied && all.Implies(fd)) continue;
+        if (options.screen_implied && all.Implies(fd)) {
+          obs::Count("cover.candidates_pruned");
+          continue;
+        }
         Result<bool> propagated =
             options.include_null_condition
                 ? CheckPropagation(oracle, table, fd, stats)
@@ -68,12 +74,17 @@ Result<FdSet> AllWith(KeyOracle oracle, const TableTree& table,
           std::min<uint64_t>(kChunk, masks - base));
       std::vector<Fd> fds;
       fds.reserve(count);
-      for (size_t i = 0; i < count; ++i) {
-        fds.push_back(CandidateFd(n, a, base + i));
+      {
+        obs::Span span("cover.candidate_generation");
+        for (size_t i = 0; i < count; ++i) {
+          fds.push_back(CandidateFd(n, a, base + i));
+        }
+        obs::Count("cover.candidates_generated", count);
       }
       std::vector<char> keep(count, 0);
       std::vector<std::optional<Status>> errors(count);
       std::vector<PropagationStats> task_stats(count);
+      obs::Span check_span("cover.implication_checks");
       engine->ParallelRun(count, [&](size_t i, MemoShard* shard) {
         KeyOracle task_oracle(*engine, shard);
         PropagationStats* ts = stats != nullptr ? &task_stats[i] : nullptr;
@@ -124,7 +135,7 @@ Result<FdSet> AllPropagatedFds(ImplicationEngine& engine,
                                PropagationStats* stats) {
   const ImplicationEngine::Counters before = engine.counters();
   Result<FdSet> all = AllWith(KeyOracle(engine), table, options, stats);
-  if (stats != nullptr) stats->AbsorbEngineDelta(before, engine.counters());
+  AbsorbEngineDelta(stats, before, engine.counters());
   return all;
 }
 

@@ -3,8 +3,27 @@
 #include <algorithm>
 
 #include "keys/implication.h"
+#include "obs/metrics.h"
 
 namespace xmlprop {
+
+void AbsorbEngineDelta(PropagationStats* stats,
+                       const ImplicationEngine::Counters& before,
+                       const ImplicationEngine::Counters& after) {
+  if (stats != nullptr) stats->AbsorbEngineDelta(before, after);
+  obs::Count("implication.memo_hits", after.hits() - before.hits());
+  obs::Count("implication.memo_misses", after.misses() - before.misses());
+  obs::Count("implication.ident_queries",
+             after.ident_queries - before.ident_queries);
+  obs::Count("implication.contains_queries",
+             after.contains_queries - before.contains_queries);
+  obs::Count("implication.exist_queries",
+             after.exist_queries - before.exist_queries);
+  obs::Count("implication.parallel_batches",
+             after.parallel_batches - before.parallel_batches);
+  obs::Count("implication.parallel_tasks",
+             after.parallel_tasks - before.parallel_tasks);
+}
 
 namespace {
 
@@ -34,7 +53,8 @@ bool ImpliesCounted(const KeyOracle& oracle, const XmlKey& key,
   // The algorithm needs the identification component only; attribute
   // existence is handled separately by the exist() bookkeeping
   // (LhsNonNullWhenRhsPresent).
-  if (stats != nullptr) ++stats->implication_calls;
+  obs::CountInto(stats != nullptr ? &stats->implication_calls : nullptr,
+                 "propagation.implication_calls");
   return oracle.ImpliesIdentification(key);
 }
 
@@ -125,7 +145,8 @@ Result<bool> LhsNonNullWhenRhsPresent(const KeyOracle& oracle,
     if (beta.empty()) continue;
     std::vector<std::string> beta_attrs;
     for (const AttrField& af : beta) beta_attrs.push_back(af.attr);
-    if (stats != nullptr) ++stats->exist_calls;
+    obs::CountInto(stats != nullptr ? &stats->exist_calls : nullptr,
+                   "propagation.exist_calls");
     if (oracle.AttributesExist(table.PathFromRoot(target), beta_attrs)) {
       for (const AttrField& af : beta) ycheck.Reset(af.field);
     }
@@ -171,7 +192,7 @@ Result<bool> CheckWithEngine(ImplicationEngine& engine, const TableTree& table,
   const ImplicationEngine::Counters before = engine.counters();
   Result<bool> verdict = CheckImpl(KeyOracle(engine), table, fd,
                                    check_null_condition, stats);
-  if (stats != nullptr) stats->AbsorbEngineDelta(before, engine.counters());
+  AbsorbEngineDelta(stats, before, engine.counters());
   return verdict;
 }
 

@@ -37,6 +37,14 @@ struct PropagationStats {
   }
 };
 
+/// The single engine-counter emission point: absorbs the movement between
+/// two snapshots into `stats` (when non-null) and into the active metric
+/// registry (always — `implication.memo_hits` etc. land even when the
+/// caller threads no stats struct through).
+void AbsorbEngineDelta(PropagationStats* stats,
+                       const ImplicationEngine::Counters& before,
+                       const ImplicationEngine::Counters& after);
+
 /// Algorithm `propagation` (Fig. 5): decides whether the FD `fd` on the
 /// relation defined by `table` is propagated from the XML keys `sigma`
 /// via the transformation, i.e. Σ ⊨_σ φ — every XML tree satisfying Σ

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "xml/path.h"
 
 namespace xmlprop {
@@ -344,10 +345,22 @@ void ImplicationEngine::ParallelRun(
   ++counters_.parallel_batches;
   counters_.parallel_tasks += n;
   std::vector<MemoShard> shards(pool_->size());
-  pool_->ParallelFor(n, [&](size_t begin, size_t end, size_t worker) {
-    for (size_t i = begin; i < end; ++i) body(i, &shards[worker]);
-  });
-  for (const MemoShard& shard : shards) MergeShard(shard);
+  {
+    obs::Span span("implication.batch");
+    // Worker task time nests under implication.batch no matter which
+    // pool thread runs which slice (identically-named task spans
+    // aggregate into one deterministic node).
+    const obs::SpanToken parent = obs::CurrentSpan();
+    pool_->ParallelFor(n, [&](size_t begin, size_t end, size_t worker) {
+      obs::SpanParent adopt(parent);
+      obs::Span task_span("implication.task_chunk");
+      for (size_t i = begin; i < end; ++i) body(i, &shards[worker]);
+    });
+  }
+  {
+    obs::Span span("implication.merge_shards");
+    for (const MemoShard& shard : shards) MergeShard(shard);
+  }
 }
 
 }  // namespace xmlprop

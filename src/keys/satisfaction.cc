@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace xmlprop {
 
@@ -95,12 +97,15 @@ bool SatisfiesAll(const Tree& tree, const std::vector<XmlKey>& keys) {
 
 std::vector<TaggedViolation> CheckAll(const Tree& tree,
                                       const std::vector<XmlKey>& keys) {
+  obs::Span span("check.run");
   std::vector<TaggedViolation> out;
   for (size_t i = 0; i < keys.size(); ++i) {
     for (KeyViolation& v : CheckKey(tree, keys[i])) {
       out.push_back(TaggedViolation{i, std::move(v)});
     }
   }
+  obs::Count("check.keys", keys.size());
+  obs::Count("check.violations", out.size());
   return out;
 }
 
@@ -220,17 +225,21 @@ bool SatisfiesAll(const TreeIndex& index, const std::vector<XmlKey>& keys) {
 std::vector<TaggedViolation> CheckAll(const TreeIndex& index,
                                       const std::vector<XmlKey>& keys,
                                       const CheckOptions& options) {
+  obs::Span check_span("check.run");
   // Phase A: evaluate each distinct context path once, shared across keys.
   std::unordered_map<std::string, size_t> context_ids;
   std::vector<std::vector<NodeId>> context_sets;
   std::vector<size_t> key_context(keys.size());
-  for (size_t k = 0; k < keys.size(); ++k) {
-    auto [it, inserted] = context_ids.emplace(keys[k].context().ToString(),
-                                              context_sets.size());
-    if (inserted) {
-      context_sets.push_back(ElementContexts(index, keys[k].context()));
+  {
+    obs::Span span("check.contexts");
+    for (size_t k = 0; k < keys.size(); ++k) {
+      auto [it, inserted] = context_ids.emplace(keys[k].context().ToString(),
+                                                context_sets.size());
+      if (inserted) {
+        context_sets.push_back(ElementContexts(index, keys[k].context()));
+      }
+      key_context[k] = it->second;
     }
-    key_context[k] = it->second;
   }
 
   // Phase B: evaluate each distinct (context set, target path) pair once.
@@ -277,14 +286,23 @@ std::vector<TaggedViolation> CheckAll(const TreeIndex& index,
     return chunks;
   };
   auto run_chunks = [&options](const std::vector<Chunk>& chunks,
+                               const char* chunk_span,
                                const std::function<void(const Chunk&)>& body) {
     if (options.pool != nullptr && chunks.size() > 1) {
+      // Workers adopt the caller's span so chunk time nests under the
+      // phase regardless of which pool thread runs which chunk; the
+      // identically-named chunk spans aggregate into one node.
+      const obs::SpanToken parent = obs::CurrentSpan();
       options.pool->ParallelFor(
           chunks.size(),
-          [&chunks, &body](size_t begin, size_t end, size_t /*worker*/) {
+          [&chunks, &body, chunk_span, parent](size_t begin, size_t end,
+                                               size_t /*worker*/) {
+            obs::SpanParent adopt(parent);
+            obs::Span span(chunk_span);
             for (size_t i = begin; i < end; ++i) body(chunks[i]);
           });
     } else {
+      obs::Span span(chunk_span);
       for (const Chunk& chunk : chunks) body(chunk);
     }
   };
@@ -293,13 +311,17 @@ std::vector<TaggedViolation> CheckAll(const TreeIndex& index,
       target_sets.size(), [&](size_t p) {
         return context_sets[pair_context_set[p]].size();
       });
-  run_chunks(target_chunks, [&](const Chunk& chunk) {
-    const std::vector<NodeId>& ctxs = context_sets[pair_context_set[chunk.owner]];
-    for (size_t c = chunk.begin; c < chunk.end; ++c) {
-      target_sets[chunk.owner][c] =
-          pair_target[chunk.owner]->Eval(index, ctxs[c]);
-    }
-  });
+  {
+    obs::Span span("check.targets");
+    run_chunks(target_chunks, "check.target_chunk", [&](const Chunk& chunk) {
+      const std::vector<NodeId>& ctxs =
+          context_sets[pair_context_set[chunk.owner]];
+      for (size_t c = chunk.begin; c < chunk.end; ++c) {
+        target_sets[chunk.owner][c] =
+            pair_target[chunk.owner]->Eval(index, ctxs[c]);
+      }
+    });
+  }
 
   // Phase C: per (key, context-partition) attribute/uniqueness checks.
   std::vector<std::vector<LabelId>> attr_labels;
@@ -311,16 +333,19 @@ std::vector<TaggedViolation> CheckAll(const TreeIndex& index,
       keys.size(),
       [&](size_t k) { return context_sets[key_context[k]].size(); });
   std::vector<std::vector<KeyViolation>> slots(check_chunks.size());
-  run_chunks(check_chunks, [&](const Chunk& chunk) {
-    const size_t i = static_cast<size_t>(&chunk - check_chunks.data());
-    const std::vector<NodeId>& ctxs = context_sets[key_context[chunk.owner]];
-    const std::vector<std::vector<NodeId>>& targets =
-        target_sets[key_pair[chunk.owner]];
-    for (size_t c = chunk.begin; c < chunk.end; ++c) {
-      CheckContext(index, keys[chunk.owner], attr_labels[chunk.owner],
-                   ctxs[c], targets[c], &slots[i]);
-    }
-  });
+  {
+    obs::Span span("check.scan");
+    run_chunks(check_chunks, "check.scan_chunk", [&](const Chunk& chunk) {
+      const size_t i = static_cast<size_t>(&chunk - check_chunks.data());
+      const std::vector<NodeId>& ctxs = context_sets[key_context[chunk.owner]];
+      const std::vector<std::vector<NodeId>>& targets =
+          target_sets[key_pair[chunk.owner]];
+      for (size_t c = chunk.begin; c < chunk.end; ++c) {
+        CheckContext(index, keys[chunk.owner], attr_labels[chunk.owner],
+                     ctxs[c], targets[c], &slots[i]);
+      }
+    });
+  }
 
   // Deterministic shard merge: chunks were built key-major in context
   // order, which is exactly the sequential (and tree-walking) order.
@@ -331,16 +356,26 @@ std::vector<TaggedViolation> CheckAll(const TreeIndex& index,
     }
   }
 
+  // Stats land in the active registry unconditionally (fixing the old
+  // silent loss when no struct was threaded through); the CheckStats
+  // struct stays as a compatibility view for callers that pass one.
+  size_t contexts = 0;
+  for (size_t k = 0; k < keys.size(); ++k) {
+    contexts += context_sets[key_context[k]].size();
+  }
+  const size_t tasks = target_chunks.size() + check_chunks.size();
   if (options.stats != nullptr) {
     options.stats->context_sets = context_sets.size();
     options.stats->target_sets = target_sets.size();
-    size_t contexts = 0;
-    for (size_t k = 0; k < keys.size(); ++k) {
-      contexts += context_sets[key_context[k]].size();
-    }
     options.stats->contexts = contexts;
-    options.stats->tasks = target_chunks.size() + check_chunks.size();
+    options.stats->tasks = tasks;
   }
+  obs::Count("check.context_sets", context_sets.size());
+  obs::Count("check.target_sets", target_sets.size());
+  obs::Count("check.contexts", contexts);
+  obs::Count("check.tasks", tasks);
+  obs::Count("check.keys", keys.size());
+  obs::Count("check.violations", out.size());
   return out;
 }
 

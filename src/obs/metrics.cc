@@ -1,0 +1,100 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace xmlprop {
+namespace obs {
+
+namespace internal {
+std::atomic<MetricRegistry*> g_active_metrics{nullptr};
+}  // namespace internal
+
+uint64_t MetricsSnapshot::Counter(std::string_view name) const {
+  for (const auto& [counter_name, value] : counters) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
+std::atomic<uint64_t>& MetricRegistry::CounterCell(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(std::string(name));
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<std::atomic<uint64_t>>(0))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricRegistry::Add(std::string_view name, uint64_t delta) {
+  CounterCell(name).fetch_add(delta, std::memory_order_relaxed);
+}
+
+uint64_t MetricRegistry::Counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(std::string(name));
+  if (it == counters_.end()) return 0;
+  return it->second->load(std::memory_order_relaxed);
+}
+
+void MetricRegistry::SetGauge(std::string_view name, int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[std::string(name)] = value;
+}
+
+void MetricRegistry::Observe(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramCell& cell = histograms_[std::string(name)];
+  if (cell.count == 0) {
+    cell.min = value;
+    cell.max = value;
+  } else {
+    cell.min = std::min(cell.min, value);
+    cell.max = std::max(cell.max, value);
+  }
+  ++cell.count;
+  cell.sum += value;
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.counters.reserve(counters_.size());
+    for (const auto& [name, cell] : counters_) {
+      snapshot.counters.emplace_back(name,
+                                     cell->load(std::memory_order_relaxed));
+    }
+    snapshot.gauges.reserve(gauges_.size());
+    for (const auto& [name, value] : gauges_) {
+      snapshot.gauges.emplace_back(name, value);
+    }
+    snapshot.histograms.reserve(histograms_.size());
+    for (const auto& [name, cell] : histograms_) {
+      snapshot.histograms.emplace_back(
+          name, HistogramSnapshot{cell.count, cell.sum, cell.min, cell.max});
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  return snapshot;
+}
+
+MetricRegistry* ActiveMetrics() {
+  return internal::g_active_metrics.load(std::memory_order_relaxed);
+}
+
+ScopedMetrics::ScopedMetrics(MetricRegistry* registry)
+    : previous_(internal::g_active_metrics.exchange(
+          registry, std::memory_order_relaxed)) {}
+
+ScopedMetrics::~ScopedMetrics() {
+  internal::g_active_metrics.store(previous_, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace xmlprop

@@ -1,0 +1,145 @@
+#ifndef XMLPROP_OBS_METRICS_H_
+#define XMLPROP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xmlprop {
+namespace obs {
+
+/// Aggregated state of one histogram metric (value distribution summary;
+/// the library keeps moments, not buckets — enough for run reports).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+};
+
+/// Point-in-time copy of a registry, sorted by metric name (deterministic
+/// report order regardless of registration order).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  /// The counter's value, or 0 when absent.
+  uint64_t Counter(std::string_view name) const;
+};
+
+/// A named-metric registry: thread-safe counters (monotonic adds),
+/// gauges (last-write-wins levels) and histograms (moment summaries).
+///
+/// Counter cells are atomics with stable addresses, so concurrent bumps
+/// from pool workers never lose increments and never take the registry
+/// mutex after the cell exists (the mutex only guards name → cell
+/// creation). The registry is the single sink the per-algorithm stats
+/// structs (`PropagationStats`, `CheckStats`) are thin views over: code
+/// paths bump the registry once and the structs mirror the movement.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Adds `delta` to the named counter (creating it at 0).
+  void Add(std::string_view name, uint64_t delta = 1);
+  /// The counter's current value (0 when never bumped).
+  uint64_t Counter(std::string_view name) const;
+
+  /// Sets the named gauge to `value` (last write wins).
+  void SetGauge(std::string_view name, int64_t value);
+
+  /// Folds `value` into the named histogram.
+  void Observe(std::string_view name, double value);
+
+  /// Deterministic (name-sorted) copy of everything recorded so far.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct HistogramCell {
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+  };
+
+  std::atomic<uint64_t>& CounterCell(std::string_view name);
+
+  mutable std::mutex mu_;
+  // unique_ptr cells: stable addresses across rehashes, so Add can write
+  // through a reference obtained before other names were registered.
+  std::unordered_map<std::string, std::unique_ptr<std::atomic<uint64_t>>>
+      counters_;
+  std::unordered_map<std::string, int64_t> gauges_;
+  std::unordered_map<std::string, HistogramCell> histograms_;
+};
+
+/// The process-wide active registry, or nullptr when metrics are off.
+/// Library code never checks a flag — it calls the Count/Gauge/Observe
+/// helpers below, which are a single relaxed atomic load when no registry
+/// is installed (the "disabled overhead below the noise floor" contract).
+MetricRegistry* ActiveMetrics();
+
+/// Installs `registry` as the active one for this scope (RAII; restores
+/// the previous registry on destruction, so scopes nest).
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(MetricRegistry* registry);
+  ~ScopedMetrics();
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+
+ private:
+  MetricRegistry* previous_;
+};
+
+namespace internal {
+extern std::atomic<MetricRegistry*> g_active_metrics;
+}  // namespace internal
+
+/// Bumps the named counter in the active registry, if any.
+inline void Count(const char* name, uint64_t delta = 1) {
+  MetricRegistry* r =
+      internal::g_active_metrics.load(std::memory_order_relaxed);
+  if (r != nullptr) r->Add(name, delta);
+}
+
+/// Sets the named gauge in the active registry, if any.
+inline void Gauge(const char* name, int64_t value) {
+  MetricRegistry* r =
+      internal::g_active_metrics.load(std::memory_order_relaxed);
+  if (r != nullptr) r->SetGauge(name, value);
+}
+
+/// Observes `value` into the named histogram in the active registry.
+inline void Observe(const char* name, double value) {
+  MetricRegistry* r =
+      internal::g_active_metrics.load(std::memory_order_relaxed);
+  if (r != nullptr) r->Observe(name, value);
+}
+
+/// The one bump point for counters that also have a legacy stats-struct
+/// field: increments the struct field when the caller passed one AND the
+/// active registry either way. This is what fixes the silent stat loss of
+/// `stats == nullptr` default parameters deep in call chains — the
+/// registry records the movement even when no struct was threaded
+/// through.
+inline void CountInto(size_t* field, const char* name, uint64_t delta = 1) {
+  if (field != nullptr) *field += delta;
+  Count(name, delta);
+}
+
+}  // namespace obs
+}  // namespace xmlprop
+
+#endif  // XMLPROP_OBS_METRICS_H_

@@ -1,0 +1,135 @@
+#include "obs/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace xmlprop {
+namespace obs {
+
+namespace {
+
+// %.6g keeps durations readable and valid JSON (no trailing garbage,
+// never locale-dependent for these formats).
+std::string Num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+void SpanJson(const SpanNode& node, std::ostringstream& out) {
+  out << "{\"name\":\"" << JsonEscape(node.name) << "\",\"count\":"
+      << node.count << ",\"total_ms\":" << Num(node.total_ms)
+      << ",\"children\":[";
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) out << ",";
+    SpanJson(node.children[i], out);
+  }
+  out << "]}";
+}
+
+void SpanText(const SpanNode& node, int depth, std::ostringstream& out) {
+  for (int i = 0; i < depth; ++i) out << "  ";
+  out << node.name << "  " << Num(node.total_ms) << " ms";
+  if (node.count > 1) out << "  (x" << node.count << ")";
+  out << "\n";
+  for (const SpanNode& child : node.children) {
+    SpanText(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ReportToJson(const RunReport& report) {
+  std::ostringstream out;
+  out << "{\"version\":" << kReportVersion << ",\"command\":\""
+      << JsonEscape(report.command) << "\",\"config\":\""
+      << JsonEscape(report.config) << "\",\"wall_ms\":"
+      << Num(report.trace.wall_ms) << ",\"spans\":[";
+  for (size_t i = 0; i < report.trace.roots.size(); ++i) {
+    if (i > 0) out << ",";
+    SpanJson(report.trace.roots[i], out);
+  }
+  out << "],\"metrics\":{\"counters\":{";
+  for (size_t i = 0; i < report.metrics.counters.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << JsonEscape(report.metrics.counters[i].first)
+        << "\":" << report.metrics.counters[i].second;
+  }
+  out << "},\"gauges\":{";
+  for (size_t i = 0; i < report.metrics.gauges.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << JsonEscape(report.metrics.gauges[i].first)
+        << "\":" << report.metrics.gauges[i].second;
+  }
+  out << "},\"histograms\":{";
+  for (size_t i = 0; i < report.metrics.histograms.size(); ++i) {
+    if (i > 0) out << ",";
+    const auto& [name, h] = report.metrics.histograms[i];
+    out << "\"" << JsonEscape(name) << "\":{\"count\":" << h.count
+        << ",\"sum\":" << Num(h.sum) << ",\"min\":" << Num(h.min)
+        << ",\"max\":" << Num(h.max) << "}";
+  }
+  out << "}}}";
+  return out.str();
+}
+
+std::string ReportToText(const RunReport& report) {
+  std::ostringstream out;
+  out << "trace: " << report.command;
+  if (!report.config.empty()) out << " [" << report.config << "]";
+  out << "  wall " << Num(report.trace.wall_ms) << " ms\n";
+  for (const SpanNode& root : report.trace.roots) {
+    SpanText(root, 1, out);
+  }
+  if (!report.metrics.empty()) {
+    out << "metrics:\n";
+    for (const auto& [name, value] : report.metrics.counters) {
+      out << "  " << name << " = " << value << "\n";
+    }
+    for (const auto& [name, value] : report.metrics.gauges) {
+      out << "  " << name << " = " << value << " (gauge)\n";
+    }
+    for (const auto& [name, h] : report.metrics.histograms) {
+      out << "  " << name << " = count " << h.count << ", sum " << Num(h.sum)
+          << ", min " << Num(h.min) << ", max " << Num(h.max) << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace xmlprop

@@ -1,0 +1,40 @@
+#ifndef XMLPROP_OBS_REPORT_H_
+#define XMLPROP_OBS_REPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xmlprop {
+namespace obs {
+
+/// Everything one traced run produces, ready for serialization. The JSON
+/// schema (see docs/observability.md) is versioned via `kReportVersion`;
+/// CI validates emitted reports against the required top-level keys.
+struct RunReport {
+  std::string command;   ///< e.g. "cover" — the CLI verb or bench name
+  std::string config;    ///< free-form run configuration ("engine=on ...")
+  TraceSummary trace;    ///< aggregated span tree + wall time
+  MetricsSnapshot metrics;
+};
+
+/// Bumped when the JSON layout changes incompatibly.
+inline constexpr int kReportVersion = 1;
+
+/// Serializes `report` as a single JSON object with top-level keys
+/// `version`, `command`, `config`, `wall_ms`, `spans`, `metrics`.
+std::string ReportToJson(const RunReport& report);
+
+/// Renders `report` as a human-readable text tree (spans indented with
+/// per-node count/total, followed by the metric listing). Intended for
+/// stderr, so it composes with machine-consumed stdout.
+std::string ReportToText(const RunReport& report);
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace obs
+}  // namespace xmlprop
+
+#endif  // XMLPROP_OBS_REPORT_H_

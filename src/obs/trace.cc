@@ -1,0 +1,205 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace xmlprop {
+namespace obs {
+
+namespace internal {
+std::atomic<Trace*> g_active_trace{nullptr};
+
+namespace {
+
+// Global start-order sequencer shared by every trace: a total order on
+// span starts is what lets records name their parent across threads.
+std::atomic<uint64_t> g_next_seq{1};
+
+// Innermost open span on this thread (0 = none).
+thread_local uint64_t tls_current_span = 0;
+
+// One-entry (trace → buffer) cache so a thread registers with a trace
+// once and then records lock-free.
+thread_local Trace* tls_buffer_trace = nullptr;
+thread_local ThreadBuffer* tls_buffer = nullptr;
+
+double ElapsedMs(std::chrono::steady_clock::time_point from,
+                 std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+// Groups sibling raw records by name (first-start order) into aggregated
+// SpanNodes, recursing into the union of each group's children.
+std::vector<SpanNode> Aggregate(
+    const std::vector<const SpanRecord*>& siblings,
+    const std::unordered_map<uint64_t, std::vector<const SpanRecord*>>&
+        children_of) {
+  std::vector<SpanNode> nodes;
+  std::vector<std::vector<const SpanRecord*>> members;
+  std::unordered_map<std::string_view, size_t> index_of;
+  for (const SpanRecord* record : siblings) {
+    auto [it, inserted] =
+        index_of.emplace(std::string_view(record->name), nodes.size());
+    if (inserted) {
+      nodes.push_back(SpanNode{record->name, 0, 0, {}});
+      members.emplace_back();
+    }
+    SpanNode& node = nodes[it->second];
+    ++node.count;
+    node.total_ms += record->elapsed_ms;
+    members[it->second].push_back(record);
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    std::vector<const SpanRecord*> child_records;
+    for (const SpanRecord* member : members[i]) {
+      auto it = children_of.find(member->seq);
+      if (it == children_of.end()) continue;
+      child_records.insert(child_records.end(), it->second.begin(),
+                           it->second.end());
+    }
+    std::sort(child_records.begin(), child_records.end(),
+              [](const SpanRecord* a, const SpanRecord* b) {
+                return a->seq < b->seq;
+              });
+    nodes[i].children = Aggregate(child_records, children_of);
+  }
+  return nodes;
+}
+
+}  // namespace
+}  // namespace internal
+
+const SpanNode* SpanNode::Find(std::string_view child_name) const {
+  for (const SpanNode& child : children) {
+    if (child.name == child_name) return &child;
+  }
+  return nullptr;
+}
+
+const SpanNode* TraceSummary::Find(std::string_view slash_path) const {
+  const std::vector<SpanNode>* level = &roots;
+  const SpanNode* found = nullptr;
+  while (!slash_path.empty()) {
+    size_t slash = slash_path.find('/');
+    std::string_view head = slash_path.substr(0, slash);
+    slash_path = (slash == std::string_view::npos)
+                     ? std::string_view()
+                     : slash_path.substr(slash + 1);
+    found = nullptr;
+    for (const SpanNode& node : *level) {
+      if (node.name == head) {
+        found = &node;
+        break;
+      }
+    }
+    if (found == nullptr) return nullptr;
+    level = &found->children;
+  }
+  return found;
+}
+
+double TraceSummary::RootTotalMs() const {
+  double total = 0;
+  for (const SpanNode& root : roots) total += root.total_ms;
+  return total;
+}
+
+Trace::Trace() : start_(std::chrono::steady_clock::now()) {}
+
+Trace::~Trace() {
+  // Invalidate any thread cache pointing at this trace: the caching
+  // thread is this one (other threads' caches are benign — they compare
+  // against the active trace before use, and a dead trace is never
+  // active again because ScopedTrace unwinds before destruction).
+  if (internal::tls_buffer_trace == this) {
+    internal::tls_buffer_trace = nullptr;
+    internal::tls_buffer = nullptr;
+  }
+}
+
+internal::ThreadBuffer* Trace::BufferForThisThread() {
+  if (internal::tls_buffer_trace == this) return internal::tls_buffer;
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<internal::ThreadBuffer>());
+  internal::ThreadBuffer* buffer = buffers_.back().get();
+  internal::tls_buffer_trace = this;
+  internal::tls_buffer = buffer;
+  return buffer;
+}
+
+const TraceSummary& Trace::Finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return summary_;
+  finished_ = true;
+  summary_.wall_ms =
+      internal::ElapsedMs(start_, std::chrono::steady_clock::now());
+
+  std::vector<const internal::SpanRecord*> all;
+  for (const auto& buffer : buffers_) {
+    for (const internal::SpanRecord& record : buffer->records) {
+      all.push_back(&record);
+    }
+  }
+  std::unordered_map<uint64_t, std::vector<const internal::SpanRecord*>>
+      children_of;
+  std::unordered_map<uint64_t, bool> known;
+  known.reserve(all.size());
+  for (const internal::SpanRecord* record : all) known[record->seq] = true;
+  std::vector<const internal::SpanRecord*> roots;
+  for (const internal::SpanRecord* record : all) {
+    // A parent that never recorded (still open at Finish, or outside
+    // this trace) demotes the span to a root rather than dropping it.
+    if (record->parent_seq != 0 && known.count(record->parent_seq) > 0) {
+      children_of[record->parent_seq].push_back(record);
+    } else {
+      roots.push_back(record);
+    }
+  }
+  auto by_seq = [](const internal::SpanRecord* a,
+                   const internal::SpanRecord* b) { return a->seq < b->seq; };
+  std::sort(roots.begin(), roots.end(), by_seq);
+  for (auto& [seq, child_list] : children_of) {
+    std::sort(child_list.begin(), child_list.end(), by_seq);
+  }
+  summary_.roots = internal::Aggregate(roots, children_of);
+  return summary_;
+}
+
+ScopedTrace::ScopedTrace(Trace* trace)
+    : previous_(internal::g_active_trace.exchange(trace,
+                                                  std::memory_order_relaxed)) {}
+
+ScopedTrace::~ScopedTrace() {
+  internal::g_active_trace.store(previous_, std::memory_order_relaxed);
+}
+
+SpanToken CurrentSpan() { return SpanToken{internal::tls_current_span}; }
+
+Span::Span(const char* name)
+    : trace_(internal::g_active_trace.load(std::memory_order_relaxed)),
+      name_(name) {
+  if (trace_ == nullptr) return;
+  seq_ = internal::g_next_seq.fetch_add(1, std::memory_order_relaxed);
+  parent_seq_ = internal::tls_current_span;
+  internal::tls_current_span = seq_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (trace_ == nullptr) return;
+  double elapsed =
+      internal::ElapsedMs(start_, std::chrono::steady_clock::now());
+  internal::tls_current_span = parent_seq_;
+  trace_->BufferForThisThread()->records.push_back(
+      internal::SpanRecord{name_, seq_, parent_seq_, elapsed});
+}
+
+SpanParent::SpanParent(SpanToken parent)
+    : previous_(internal::tls_current_span) {
+  internal::tls_current_span = parent.seq;
+}
+
+SpanParent::~SpanParent() { internal::tls_current_span = previous_; }
+
+}  // namespace obs
+}  // namespace xmlprop

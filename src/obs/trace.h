@@ -1,0 +1,166 @@
+#ifndef XMLPROP_OBS_TRACE_H_
+#define XMLPROP_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xmlprop {
+namespace obs {
+
+/// One node in the aggregated span tree a Trace produces when it
+/// finishes. Spans that ran under the same parent with the same name —
+/// notably identical per-chunk spans fanned out across ThreadPool
+/// workers — collapse into a single node with `count > 1`, which is what
+/// makes the tree's *structure* deterministic even though chunk-to-thread
+/// assignment is not. Children are ordered by the first time any span
+/// with that name started (global start sequence), so sibling order is
+/// the program's phase order, not the scheduler's.
+struct SpanNode {
+  std::string name;
+  uint64_t count = 0;    ///< spans aggregated into this node
+  double total_ms = 0;   ///< summed wall time across those spans
+  std::vector<SpanNode> children;
+
+  /// First child with `name`, or nullptr (one level, not recursive).
+  const SpanNode* Find(std::string_view child_name) const;
+};
+
+/// The finished result of a Trace: the aggregated span tree plus the
+/// trace's own wall time.
+struct TraceSummary {
+  double wall_ms = 0;
+  std::vector<SpanNode> roots;
+
+  /// Depth-first lookup by dotted path, e.g. `Find("cover.run/cover.minimize")`.
+  const SpanNode* Find(std::string_view slash_path) const;
+  /// Sum of `total_ms` over the root spans (the "covered" wall time).
+  double RootTotalMs() const;
+};
+
+class Trace;
+
+namespace internal {
+
+/// Raw record of one completed span, written lock-free to the recording
+/// thread's buffer. `parent_seq` identifies the enclosing span by its
+/// global start sequence (0 = root); sequences are totally ordered by a
+/// global atomic, so parentage is unambiguous across threads.
+struct SpanRecord {
+  const char* name;
+  uint64_t seq;         ///< global start order (1-based)
+  uint64_t parent_seq;  ///< 0 when the span is a root
+  double elapsed_ms;
+};
+
+/// Per-thread span buffer registered with (and merged by) the Trace.
+struct ThreadBuffer {
+  std::vector<SpanRecord> records;
+};
+
+extern std::atomic<Trace*> g_active_trace;
+
+}  // namespace internal
+
+/// A recording session. While active (see ScopedTrace), Span objects
+/// record into per-thread buffers; Finish() merges the buffers and
+/// aggregates them into a deterministic SpanNode tree.
+///
+/// Threading: recording is lock-free per thread (each thread owns its
+/// buffer; the trace-wide mutex is taken only on first record from a new
+/// thread, to register the buffer). Finish() must be called after all
+/// recording threads are quiescent — in practice after ThreadPool
+/// fan-outs returned, which the pool's blocking ParallelFor guarantees.
+class Trace {
+ public:
+  Trace();
+  ~Trace();
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  /// Stops the clock, merges per-thread buffers and builds the tree.
+  /// Idempotent: later calls return the first result.
+  const TraceSummary& Finish();
+
+ private:
+  friend class Span;
+  friend class ScopedTrace;
+
+  internal::ThreadBuffer* BufferForThisThread();
+
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mu_;  // guards buffers_ registration
+  std::vector<std::unique_ptr<internal::ThreadBuffer>> buffers_;
+  bool finished_ = false;
+  TraceSummary summary_;
+};
+
+/// Installs `trace` as the process-wide active trace for this scope
+/// (RAII; restores the previous trace, so traces nest).
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(Trace* trace);
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  Trace* previous_;
+};
+
+/// Opaque handle to the current innermost span on this thread; capture
+/// it before a ThreadPool fan-out and re-establish it inside workers
+/// with SpanParent so worker spans nest under the caller's span.
+struct SpanToken {
+  uint64_t seq = 0;
+};
+
+/// The current thread's innermost open span (0 token = no span / no
+/// active trace). Cheap: one thread-local read.
+SpanToken CurrentSpan();
+
+/// RAII scoped timing span. When no trace is active this is one relaxed
+/// atomic load in the constructor and one branch in the destructor —
+/// cheap enough for hot paths guarded at phase granularity.
+///
+/// `name` must outlive the active Trace; pass string literals.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Trace* trace_;  // nullptr = inactive, destructor is a no-op
+  const char* name_;
+  uint64_t seq_ = 0;
+  uint64_t parent_seq_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII guard that makes `parent` the current span for this thread,
+/// restoring the previous one on destruction. Used inside ThreadPool
+/// worker bodies to adopt the fan-out caller's span as parent. Safe
+/// because ParallelFor blocks the caller, keeping the parent span open
+/// for the guard's whole lifetime.
+class SpanParent {
+ public:
+  explicit SpanParent(SpanToken parent);
+  ~SpanParent();
+  SpanParent(const SpanParent&) = delete;
+  SpanParent& operator=(const SpanParent&) = delete;
+
+ private:
+  uint64_t previous_;
+};
+
+}  // namespace obs
+}  // namespace xmlprop
+
+#endif  // XMLPROP_OBS_TRACE_H_

@@ -1,8 +1,13 @@
 #include "relational/cover.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace xmlprop {
 
 FdSet Minimize(const FdSet& input) {
+  obs::Span span("cover.minimize");
+  obs::Count("cover.minimize_input_fds", input.size());
   FdSet working = input.Normalized();
 
   // Step 1 (Lines 1-4 of the paper's `minimize`): remove extraneous
@@ -40,6 +45,7 @@ FdSet Minimize(const FdSet& input) {
   for (size_t i = 0; i < remaining.size(); ++i) {
     if (!removed[i]) result.Add(std::move(remaining[i]));
   }
+  obs::Count("cover.minimize_output_fds", result.size());
   return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace xmlprop {
 
 Status Instance::Add(Tuple tuple) {
@@ -12,6 +14,8 @@ Status Instance::Add(Tuple tuple) {
   }
   if (std::find(tuples_.begin(), tuples_.end(), tuple) == tuples_.end()) {
     tuples_.push_back(std::move(tuple));
+  } else {
+    obs::Count("shred.rows_deduped");
   }
   return Status::OK();
 }
@@ -87,7 +91,10 @@ Status ColumnarInstance::AddRow(const std::vector<ValueRef>& row) {
   }
   std::vector<uint32_t>& bucket = dedup_[HashRow(row)];
   for (uint32_t existing : bucket) {
-    if (RowEquals(existing, row)) return Status::OK();
+    if (RowEquals(existing, row)) {
+      obs::Count("shred.rows_deduped");
+      return Status::OK();
+    }
   }
   bucket.push_back(static_cast<uint32_t>(rows_));
   for (size_t f = 0; f < columns_.size(); ++f) {

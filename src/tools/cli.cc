@@ -17,6 +17,9 @@
 #include "keys/satisfaction.h"
 #include "keys/xsd_import.h"
 #include "core/publish.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "relational/csv.h"
 #include "relational/sql_ddl.h"
 #include "transform/derive_rule.h"
@@ -34,7 +37,14 @@ constexpr const char* kHelp = R"HELP(xmlprop — XML key propagation toolkit
 (Davidson, Fan, Hara, Qin: "Propagating XML Constraints to Relations",
 ICDE 2003)
 
-usage: xmlprop <command> [--flag value]...
+usage: xmlprop <command> [--flag value]... [--flag=value]...
+
+observability (any command):
+  --trace[=FILE]  Record a span trace of the run. With =FILE, write the
+                  JSON run report (spans + metrics) to FILE; without,
+                  print the human-readable tree to stderr. Never alters
+                  the command's stdout.
+  --metrics       Print the metric counters the run recorded to stderr.
 
 commands:
   check      --keys FILE --doc FILE [--fkeys FILE] [--index]
@@ -105,11 +115,21 @@ Result<ParsedArgs> ParseArgs(const std::vector<std::string>& args) {
                                      "' (flags are --name [value])");
     }
     std::string name = a.substr(2);
-    // Boolean flags take no value; everything else consumes the next arg.
+    // --name=value binds inline for any flag.
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      parsed.flags[name.substr(0, eq)] = name.substr(eq + 1);
+      continue;
+    }
+    // Boolean flags take no value; --trace/--metrics take an optional
+    // =value only (never the next argument); everything else consumes
+    // the next arg.
     if (name == "sql" || name == "naive" || name == "3nf" ||
         name == "via-cover" || name == "csv" || name == "explain" ||
         name == "engine" || name == "index") {
       parsed.flags[name] = "true";
+    } else if (name == "trace" || name == "metrics") {
+      parsed.flags[name] = "";
     } else {
       if (i + 1 >= args.size()) {
         return Status::InvalidArgument("flag --" + name + " needs a value");
@@ -118,6 +138,15 @@ Result<ParsedArgs> ParseArgs(const std::vector<std::string>& args) {
     }
   }
   return parsed;
+}
+
+// The comment prefix of the command's output dialect — the one place the
+// "" / "# " / "-- " stats-line prefixing is decided (SQL comments for
+// --sql, CSV/shell comments for --csv, bare lines otherwise).
+const char* CommentPrefix(const ParsedArgs& args) {
+  if (args.Has("sql")) return "-- ";
+  if (args.Has("csv")) return "# ";
+  return "";
 }
 
 Result<std::string> ReadFile(const std::string& path) {
@@ -151,7 +180,7 @@ Result<Transformation> LoadRules(const ParsedArgs& args) {
 }
 
 // Builds a TreeIndex over `doc`, timing the build and rendering the
-// "--index" stats line (prefixed per output dialect: "" / "# " / "-- ").
+// "--index" stats line (prefix from CommentPrefix).
 TreeIndex BuildIndexWithStats(const Tree& doc, const char* prefix,
                               std::ostream& out) {
   const auto start = std::chrono::steady_clock::now();
@@ -184,7 +213,7 @@ int CmdCheck(const ParsedArgs& args, std::ostream& out) {
 
   std::vector<TaggedViolation> violations;
   if (args.Has("index")) {
-    TreeIndex index = BuildIndexWithStats(*doc, "", out);
+    TreeIndex index = BuildIndexWithStats(*doc, CommentPrefix(args), out);
     ThreadPool pool;
     CheckStats stats;
     CheckOptions options;
@@ -364,9 +393,7 @@ int CmdShred(const ParsedArgs& args, std::ostream& out) {
   if (!doc.ok()) throw doc.status();
   Result<std::vector<Instance>> instances = Status::Internal("unreached");
   if (args.Has("index")) {
-    const char* prefix =
-        args.Has("sql") ? "-- " : (args.Has("csv") ? "# " : "");
-    TreeIndex index = BuildIndexWithStats(*doc, prefix, out);
+    TreeIndex index = BuildIndexWithStats(*doc, CommentPrefix(args), out);
     instances = EvalTransformation(index, *rules);
   } else {
     instances = EvalTransformation(*doc, *rules);
@@ -507,6 +534,88 @@ int CmdImportXsd(const ParsedArgs& args, std::ostream& out) {
   return 0;
 }
 
+// Dispatches to the command implementations; -1 = unknown command.
+int DispatchCommand(const ParsedArgs& parsed, std::ostream& out) {
+  const std::string& cmd = parsed.command;
+  if (cmd == "check") return CmdCheck(parsed, out);
+  if (cmd == "implies") return CmdImplies(parsed, out);
+  if (cmd == "propagate") return CmdPropagate(parsed, out);
+  if (cmd == "cover") return CmdCover(parsed, out);
+  if (cmd == "design") return CmdDesign(parsed, out);
+  if (cmd == "shred") return CmdShred(parsed, out);
+  if (cmd == "publish") return CmdPublish(parsed, out);
+  if (cmd == "discover") return CmdDiscover(parsed, out);
+  if (cmd == "autodesign") return CmdAutoDesign(parsed, out);
+  if (cmd == "import-xsd") return CmdImportXsd(parsed, out);
+  if (cmd == "export-xsd") return CmdExportXsd(parsed, out);
+  return -1;
+}
+
+// The run configuration echoed into the report: every flag except the
+// observability ones, in the map's (sorted, deterministic) order.
+std::string ConfigString(const ParsedArgs& args) {
+  std::string out;
+  for (const auto& [name, value] : args.flags) {
+    if (name == "trace" || name == "metrics") continue;
+    if (!out.empty()) out += ' ';
+    out += name;
+    if (!value.empty() && value != "true") {
+      out += '=';
+      out += value;
+    }
+  }
+  return out;
+}
+
+// Runs the command with a trace + metric registry installed, then emits
+// the run report where --trace[=FILE] / --metrics asked for it. All
+// emission goes to stderr or the given file: the command's primary
+// stdout stays bit-identical to an unobserved run.
+int RunObserved(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  obs::MetricRegistry registry;
+  obs::Trace trace;
+  int code;
+  {
+    obs::ScopedMetrics metrics_scope(&registry);
+    obs::ScopedTrace trace_scope(&trace);
+    obs::Span root(args.command.c_str());
+    code = DispatchCommand(args, out);
+  }
+  if (code == -1) return -1;  // unknown command: no report
+
+  obs::RunReport report;
+  report.command = args.command;
+  report.config = ConfigString(args);
+  report.trace = trace.Finish();
+  report.metrics = registry.Snapshot();
+
+  if (args.Has("trace")) {
+    const std::string file = args.Get("trace");
+    if (file.empty()) {
+      err << obs::ReportToText(report);
+    } else {
+      std::ofstream f(file, std::ios::binary | std::ios::trunc);
+      if (!f) {
+        throw Status::InvalidArgument("cannot write trace report to " + file);
+      }
+      f << obs::ReportToJson(report) << "\n";
+    }
+  }
+  // The bare --trace text tree already lists the metrics; only print
+  // them separately when they would otherwise not reach stderr.
+  if (args.Has("metrics") &&
+      !(args.Has("trace") && args.Get("trace").empty())) {
+    err << "metrics:\n";
+    for (const auto& [name, value] : report.metrics.counters) {
+      err << "  " << name << " = " << value << "\n";
+    }
+    for (const auto& [name, value] : report.metrics.gauges) {
+      err << "  " << name << " = " << value << " (gauge)\n";
+    }
+  }
+  return code;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -523,20 +632,15 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
       out << kHelp;
       return 0;
     }
-    if (cmd == "check") return CmdCheck(*parsed, out);
-    if (cmd == "implies") return CmdImplies(*parsed, out);
-    if (cmd == "propagate") return CmdPropagate(*parsed, out);
-    if (cmd == "cover") return CmdCover(*parsed, out);
-    if (cmd == "design") return CmdDesign(*parsed, out);
-    if (cmd == "shred") return CmdShred(*parsed, out);
-    if (cmd == "publish") return CmdPublish(*parsed, out);
-    if (cmd == "discover") return CmdDiscover(*parsed, out);
-    if (cmd == "autodesign") return CmdAutoDesign(*parsed, out);
-    if (cmd == "import-xsd") return CmdImportXsd(*parsed, out);
-    if (cmd == "export-xsd") return CmdExportXsd(*parsed, out);
-    err << "error: unknown command '" << cmd << "'\n"
-        << "run `xmlprop help` for usage\n";
-    return 1;
+    const int code = (parsed->Has("trace") || parsed->Has("metrics"))
+                         ? RunObserved(*parsed, out, err)
+                         : DispatchCommand(*parsed, out);
+    if (code == -1) {
+      err << "error: unknown command '" << cmd << "'\n"
+          << "run `xmlprop help` for usage\n";
+      return 1;
+    }
+    return code;
   } catch (const Status& status) {
     // Command helpers throw Status for input problems; the library
     // itself never throws (Status/Result error model).

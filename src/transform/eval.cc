@@ -3,6 +3,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace xmlprop {
 
 namespace {
@@ -146,8 +149,10 @@ class IndexedEnumerator {
 }  // namespace
 
 Instance EvalTableTree(const Tree& tree, const TableTree& table) {
+  obs::Span span("shred.eval");
   Instance instance(table.schema());
   Enumerator(tree, table, &instance).Run();
+  obs::Count("shred.rows_emitted", instance.size());
   return instance;
 }
 
@@ -169,8 +174,10 @@ Result<std::vector<Instance>> EvalTransformation(
 
 ColumnarInstance EvalTableTreeColumnar(const TreeIndex& index,
                                        const TableTree& table) {
+  obs::Span span("shred.eval");
   ColumnarInstance instance(table.schema());
   IndexedEnumerator(index, table, &instance).Run();
+  obs::Count("shred.rows_emitted", instance.size());
   return instance;
 }
 

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace xmlprop {
 
@@ -344,8 +346,14 @@ class Parser {
 }  // namespace
 
 Result<Tree> ParseXml(std::string_view input, const ParseOptions& options) {
+  obs::Span span("xml.parse");
+  obs::Count("xml.parse_calls");
   Parser parser(input, options);
-  return parser.Parse();
+  Result<Tree> result = parser.Parse();
+  if (result.ok()) {
+    obs::Count("xml.parsed_nodes", result.value().size());
+  }
+  return result;
 }
 
 }  // namespace xmlprop

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
 #include "xml/tree_index.h"
 
 namespace xmlprop {
@@ -132,6 +133,7 @@ PathExpr PathExpr::Concat(const PathExpr& other) const {
 }
 
 std::vector<NodeId> PathExpr::Eval(const Tree& tree, NodeId from) const {
+  obs::Count("path.evals");
   std::vector<NodeId> current = {from};
   for (const PathAtom& atom : atoms_) {
     std::vector<NodeId> next;
@@ -193,6 +195,7 @@ std::vector<std::pair<int32_t, int32_t>> MergedIntervals(
 
 std::vector<NodeId> PathExpr::Eval(const TreeIndex& index,
                                    NodeId from) const {
+  obs::Count("path.index_evals");
   if (atoms_.empty()) return {from};
   const Tree& tree = index.tree();
 
@@ -240,6 +243,7 @@ std::vector<NodeId> PathExpr::Eval(const TreeIndex& index,
         auto pre_less = [&index](NodeId e, int32_t p) {
           return index.pre(e) < p;
         };
+        obs::Count("index.interval_joins", intervals.size());
         for (const auto& [begin, end] : intervals) {
           auto lo =
               std::lower_bound(list.begin(), list.end(), begin, pre_less);

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace xmlprop {
 
 LabelId TreeIndex::InternLabel(const std::string& name) {
@@ -13,6 +16,8 @@ LabelId TreeIndex::InternLabel(const std::string& name) {
 }
 
 TreeIndex::TreeIndex(const Tree& tree) : tree_(&tree) {
+  obs::Span span("index.build");
+  obs::Count("index.builds");
   const size_t n = tree.size();
   label_of_.assign(n, kNoLabel);
   pre_.assign(n, -1);

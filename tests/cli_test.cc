@@ -337,5 +337,115 @@ TEST_F(CliTest, BadFdTextSurfacesParseError) {
   EXPECT_NE(r.err.find("error"), std::string::npos);
 }
 
+TEST_F(CliTest, EqualsSyntaxBindsFlagValues) {
+  RunResult r = Run({"check", "--keys=" + Path("keys.txt"),
+                     "--doc=" + Path("doc.xml")});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("OK"), std::string::npos);
+}
+
+// Neutralizes the run-to-run timing digits of the --index stats line so
+// observed and unobserved runs compare bit-identical everywhere else.
+std::string StripTimings(const std::string& text) {
+  std::string out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t built = line.find("built in ");
+    if (built != std::string::npos) line.resize(built);
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+// Satellite regression: --trace and --metrics never alter a command's
+// primary stdout (bit-identical to the untraced run; only the stats line
+// timing digits are normalized).
+TEST_F(CliTest, TraceAndMetricsLeaveStdoutIdentical) {
+  const std::string trace_file = Path("run.json");
+  const std::vector<std::vector<std::string>> commands = {
+      {"check", "--keys", Path("keys.txt"), "--doc", Path("doc.xml")},
+      {"check", "--keys", Path("keys.txt"), "--doc", Path("doc.xml"),
+       "--index"},
+      {"propagate", "--keys", Path("keys.txt"), "--rules", Path("rules.txt"),
+       "--relation", "book", "--fd", "isbn -> contact"},
+      {"cover", "--keys", Path("keys.txt"), "--rules", Path("universal.txt")},
+      {"cover", "--keys", Path("keys.txt"), "--rules", Path("universal.txt"),
+       "--engine"},
+      {"shred", "--rules", Path("rules.txt"), "--doc", Path("doc.xml")},
+      {"shred", "--rules", Path("rules.txt"), "--doc", Path("doc.xml"),
+       "--sql", "--index"},
+  };
+  for (const std::vector<std::string>& base : commands) {
+    RunResult plain = Run(base);
+
+    std::vector<std::string> traced = base;
+    traced.push_back("--trace=" + trace_file);
+    RunResult with_trace = Run(traced);
+    EXPECT_EQ(with_trace.code, plain.code) << base[0];
+    EXPECT_EQ(StripTimings(with_trace.out), StripTimings(plain.out))
+        << base[0] << " --trace altered stdout";
+    EXPECT_EQ(with_trace.err, "") << base[0];
+
+    std::vector<std::string> metered = base;
+    metered.push_back("--metrics");
+    RunResult with_metrics = Run(metered);
+    EXPECT_EQ(with_metrics.code, plain.code) << base[0];
+    EXPECT_EQ(StripTimings(with_metrics.out), StripTimings(plain.out))
+        << base[0] << " --metrics altered stdout";
+    EXPECT_NE(with_metrics.err.find("metrics:"), std::string::npos)
+        << base[0];
+  }
+}
+
+TEST_F(CliTest, TraceFileIsAJsonRunReport) {
+  const std::string trace_file = Path("cover_run.json");
+  RunResult r = Run({"cover", "--keys", Path("keys.txt"), "--rules",
+                     Path("universal.txt"), "--engine",
+                     "--trace=" + trace_file});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::ifstream in(trace_file);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  for (const char* key :
+       {"\"version\":", "\"command\":\"cover\"", "\"config\":",
+        "\"wall_ms\":", "\"spans\":", "\"metrics\":", "\"counters\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // The cover phases the acceptance criteria name.
+  for (const char* span :
+       {"cover.candidate_generation", "cover.implication_checks",
+        "cover.minimize"}) {
+    EXPECT_NE(json.find(span), std::string::npos) << span;
+  }
+  EXPECT_NE(json.find("propagation.implication_calls"), std::string::npos);
+}
+
+TEST_F(CliTest, BareTracePrintsTextTreeToStderr) {
+  RunResult r = Run({"check", "--keys", Path("keys.txt"), "--doc",
+                     Path("doc.xml"), "--trace"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.err.find("trace: check"), std::string::npos);
+  EXPECT_NE(r.err.find("xml.parse"), std::string::npos);
+}
+
+TEST_F(CliTest, MetricsAloneListsCounters) {
+  RunResult r = Run({"shred", "--rules", Path("rules.txt"), "--doc",
+                     Path("doc.xml"), "--metrics"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.err.find("metrics:"), std::string::npos);
+  EXPECT_NE(r.err.find("xml.parse_calls = 1"), std::string::npos);
+}
+
+TEST_F(CliTest, UnwritableTraceFileIsAnError) {
+  RunResult r = Run({"check", "--keys", Path("keys.txt"), "--doc",
+                     Path("doc.xml"), "--trace=/nonexistent-dir/run.json"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot write trace report"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace xmlprop

@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace xmlprop {
+namespace {
+
+// --------------------------------------------------------------------------
+// MetricRegistry
+
+TEST(MetricRegistryTest, CountersAccumulate) {
+  obs::MetricRegistry registry;
+  registry.Add("a");
+  registry.Add("a", 4);
+  registry.Add("b", 2);
+  EXPECT_EQ(registry.Counter("a"), 5u);
+  EXPECT_EQ(registry.Counter("b"), 2u);
+  EXPECT_EQ(registry.Counter("never"), 0u);
+}
+
+TEST(MetricRegistryTest, ConcurrentCountsSumExactly) {
+  obs::MetricRegistry registry;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        registry.Add("shared");
+        registry.Add("by_two", 2);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.Counter("shared"), kThreads * kPerThread);
+  EXPECT_EQ(registry.Counter("by_two"), 2 * kThreads * kPerThread);
+}
+
+TEST(MetricRegistryTest, SnapshotIsNameSorted) {
+  obs::MetricRegistry registry;
+  registry.Add("zebra");
+  registry.Add("alpha", 3);
+  registry.Add("middle", 2);
+  registry.SetGauge("g2", 7);
+  registry.SetGauge("g1", -1);
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_EQ(snapshot.counters[0].first, "alpha");
+  EXPECT_EQ(snapshot.counters[1].first, "middle");
+  EXPECT_EQ(snapshot.counters[2].first, "zebra");
+  ASSERT_EQ(snapshot.gauges.size(), 2u);
+  EXPECT_EQ(snapshot.gauges[0].first, "g1");
+  EXPECT_EQ(snapshot.gauges[0].second, -1);
+  EXPECT_EQ(snapshot.Counter("alpha"), 3u);
+  EXPECT_EQ(snapshot.Counter("missing"), 0u);
+}
+
+TEST(MetricRegistryTest, HistogramsTrackMoments) {
+  obs::MetricRegistry registry;
+  registry.Observe("h", 2.0);
+  registry.Observe("h", -1.0);
+  registry.Observe("h", 5.0);
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const obs::HistogramSnapshot& h = snapshot.histograms[0].second;
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.sum, 6.0);
+  EXPECT_DOUBLE_EQ(h.min, -1.0);
+  EXPECT_DOUBLE_EQ(h.max, 5.0);
+}
+
+TEST(MetricRegistryTest, GlobalHelpersNoOpWhenInactive) {
+  ASSERT_EQ(obs::ActiveMetrics(), nullptr);
+  obs::Count("ignored");       // must not crash, must not observe anywhere
+  obs::Gauge("ignored", 1);
+  obs::Observe("ignored", 1.0);
+  size_t field = 0;
+  obs::CountInto(&field, "ignored", 3);
+  EXPECT_EQ(field, 3u);  // the legacy struct still sees the movement
+}
+
+TEST(MetricRegistryTest, ScopedMetricsInstallsAndRestores) {
+  obs::MetricRegistry outer;
+  obs::MetricRegistry inner;
+  EXPECT_EQ(obs::ActiveMetrics(), nullptr);
+  {
+    obs::ScopedMetrics outer_scope(&outer);
+    EXPECT_EQ(obs::ActiveMetrics(), &outer);
+    obs::Count("x");
+    {
+      obs::ScopedMetrics inner_scope(&inner);
+      EXPECT_EQ(obs::ActiveMetrics(), &inner);
+      obs::Count("x", 10);
+    }
+    EXPECT_EQ(obs::ActiveMetrics(), &outer);
+    obs::Count("x");
+  }
+  EXPECT_EQ(obs::ActiveMetrics(), nullptr);
+  EXPECT_EQ(outer.Counter("x"), 2u);
+  EXPECT_EQ(inner.Counter("x"), 10u);
+}
+
+TEST(MetricRegistryTest, CountIntoBumpsBothStructAndRegistry) {
+  obs::MetricRegistry registry;
+  obs::ScopedMetrics scope(&registry);
+  size_t field = 0;
+  obs::CountInto(&field, "both", 2);
+  obs::CountInto(nullptr, "both", 5);  // nullptr struct: registry only
+  EXPECT_EQ(field, 2u);
+  EXPECT_EQ(registry.Counter("both"), 7u);
+}
+
+// --------------------------------------------------------------------------
+// Trace / Span
+
+TEST(TraceTest, SpansAreNoOpsWithoutActiveTrace) {
+  obs::Span span("orphan");  // must not crash or record anywhere
+  EXPECT_EQ(obs::CurrentSpan().seq, 0u);
+}
+
+TEST(TraceTest, NestingProducesParentChildTree) {
+  obs::Trace trace;
+  {
+    obs::ScopedTrace scope(&trace);
+    obs::Span root("root");
+    {
+      obs::Span child("child_a");
+      obs::Span grand("grandchild");
+    }
+    obs::Span child_b("child_b");
+  }
+  const obs::TraceSummary& summary = trace.Finish();
+  ASSERT_EQ(summary.roots.size(), 1u);
+  const obs::SpanNode& root = summary.roots[0];
+  EXPECT_EQ(root.name, "root");
+  EXPECT_EQ(root.count, 1u);
+  ASSERT_EQ(root.children.size(), 2u);
+  // Sibling order is start order, not completion order.
+  EXPECT_EQ(root.children[0].name, "child_a");
+  EXPECT_EQ(root.children[1].name, "child_b");
+  ASSERT_EQ(root.children[0].children.size(), 1u);
+  EXPECT_EQ(root.children[0].children[0].name, "grandchild");
+  EXPECT_NE(summary.Find("root/child_a/grandchild"), nullptr);
+  EXPECT_EQ(summary.Find("root/nope"), nullptr);
+}
+
+TEST(TraceTest, SameNameSiblingsAggregate) {
+  obs::Trace trace;
+  {
+    obs::ScopedTrace scope(&trace);
+    obs::Span root("root");
+    for (int i = 0; i < 5; ++i) {
+      obs::Span repeated("phase");
+    }
+  }
+  const obs::TraceSummary& summary = trace.Finish();
+  ASSERT_EQ(summary.roots.size(), 1u);
+  ASSERT_EQ(summary.roots[0].children.size(), 1u);
+  EXPECT_EQ(summary.roots[0].children[0].name, "phase");
+  EXPECT_EQ(summary.roots[0].children[0].count, 5u);
+}
+
+TEST(TraceTest, FinishIsIdempotent) {
+  obs::Trace trace;
+  {
+    obs::ScopedTrace scope(&trace);
+    obs::Span span("only");
+  }
+  const obs::TraceSummary& first = trace.Finish();
+  const obs::TraceSummary& second = trace.Finish();
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(first.roots.size(), 1u);
+}
+
+// The structural signature of a span tree: names, counts and nesting —
+// everything except the (nondeterministic) durations.
+std::string Shape(const std::vector<obs::SpanNode>& nodes) {
+  std::string out;
+  for (const obs::SpanNode& node : nodes) {
+    out += node.name;
+    out += ':';
+    out += std::to_string(node.count);
+    out += '(';
+    out += Shape(node.children);
+    out += ')';
+  }
+  return out;
+}
+
+// Mirrors tree_index_test.cc's fan-out determinism test: a forced
+// 3-thread pool runs identically-named spans that adopt the fan-out
+// caller's span; the aggregated tree's structure must be identical on
+// every run regardless of which thread ran which chunk.
+TEST(TraceTest, PoolFanOutAggregatesDeterministically) {
+  std::string first_shape;
+  for (int run = 0; run < 5; ++run) {
+    ThreadPool pool(3);
+    obs::Trace trace;
+    {
+      obs::ScopedTrace scope(&trace);
+      obs::Span root("fanout");
+      const obs::SpanToken parent = obs::CurrentSpan();
+      pool.ParallelFor(64, [&](size_t begin, size_t end, size_t /*worker*/) {
+        obs::SpanParent adopt(parent);
+        obs::Span chunk("chunk");
+        for (size_t i = begin; i < end; ++i) {
+          obs::Span item("item");
+        }
+      });
+    }
+    const obs::TraceSummary& summary = trace.Finish();
+    ASSERT_EQ(summary.roots.size(), 1u);
+    const obs::SpanNode* chunk = summary.Find("fanout/chunk");
+    ASSERT_NE(chunk, nullptr);
+    EXPECT_EQ(chunk->count, 3u);  // one chunk span per pool slot
+    const obs::SpanNode* item = summary.Find("fanout/chunk/item");
+    ASSERT_NE(item, nullptr);
+    EXPECT_EQ(item->count, 64u);  // all items nest under the merged chunk
+    const std::string shape = Shape(summary.roots);
+    if (run == 0) {
+      first_shape = shape;
+    } else {
+      EXPECT_EQ(shape, first_shape) << "run " << run;
+    }
+  }
+}
+
+TEST(TraceTest, WorkerRecordsWithoutAdoptionBecomeRoots) {
+  ThreadPool pool(2);
+  obs::Trace trace;
+  {
+    obs::ScopedTrace scope(&trace);
+    obs::Span root("main");
+    pool.ParallelFor(8, [&](size_t begin, size_t end, size_t /*worker*/) {
+      // No SpanParent: worker spans have no parent on their thread.
+      obs::Span chunk("detached");
+      (void)begin;
+      (void)end;
+    });
+  }
+  const obs::TraceSummary& summary = trace.Finish();
+  // "main" and the aggregated "detached" both surface as roots.
+  EXPECT_NE(summary.Find("main"), nullptr);
+  const obs::SpanNode* detached = summary.Find("detached");
+  ASSERT_NE(detached, nullptr);
+  EXPECT_EQ(detached->count, 2u);
+}
+
+// --------------------------------------------------------------------------
+// Report
+
+obs::RunReport MakeReport() {
+  obs::MetricRegistry registry;
+  obs::Trace trace;
+  {
+    obs::ScopedMetrics metrics_scope(&registry);
+    obs::ScopedTrace trace_scope(&trace);
+    obs::Span root("cmd");
+    obs::Span child("phase");
+    obs::Count("some.counter", 42);
+    registry.SetGauge("some.gauge", -3);
+    registry.Observe("some.histogram", 1.5);
+  }
+  obs::RunReport report;
+  report.command = "cmd";
+  report.config = "flag=value";
+  report.trace = trace.Finish();
+  report.metrics = registry.Snapshot();
+  return report;
+}
+
+TEST(ReportTest, JsonHasGoldenShape) {
+  const std::string json = obs::ReportToJson(MakeReport());
+  // Required top-level keys, in the documented order.
+  EXPECT_NE(json.find("\"version\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"command\":\"cmd\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"config\":\"flag=value\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"spans\":[{\"name\":\"cmd\""), std::string::npos);
+  EXPECT_NE(json.find("\"children\":[{\"name\":\"phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":{\"counters\":{\"some.counter\":42}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"some.gauge\":-3}"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{\"some.histogram\":{\"count\":1"),
+            std::string::npos);
+  // Balanced braces/brackets — cheap structural sanity (no nested quotes
+  // in this fixture, so counting is exact).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ReportTest, TextTreeListsSpansAndMetrics) {
+  const std::string text = obs::ReportToText(MakeReport());
+  EXPECT_NE(text.find("trace: cmd [flag=value]"), std::string::npos);
+  EXPECT_NE(text.find("  cmd"), std::string::npos);
+  EXPECT_NE(text.find("    phase"), std::string::npos);
+  EXPECT_NE(text.find("some.counter = 42"), std::string::npos);
+  EXPECT_NE(text.find("some.gauge = -3 (gauge)"), std::string::npos);
+}
+
+TEST(ReportTest, JsonEscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(obs::JsonEscape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(obs::JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(ReportTest, TraceCoversWallTime) {
+  // The root span is opened immediately after the trace starts, so its
+  // total must cover (almost) all of the trace's wall time — the
+  // acceptance bar for per-phase reports.
+  obs::Trace trace;
+  {
+    obs::ScopedTrace scope(&trace);
+    obs::Span root("root");
+    // A little real work so wall_ms is not pure noise.
+    volatile uint64_t x = 0;
+    for (int i = 0; i < 200000; ++i) x = x + static_cast<uint64_t>(i);
+  }
+  const obs::TraceSummary& summary = trace.Finish();
+  EXPECT_GE(summary.RootTotalMs(), 0.5 * summary.wall_ms);
+}
+
+}  // namespace
+}  // namespace xmlprop
