@@ -137,7 +137,7 @@ BENCHMARK(BM_MinimumCoverEngine)
 // the same engine (the cross-query session case the engine exists for).
 // Every engine cover is checked textually identical to the engine-off
 // cover before the row is emitted.
-void RunAblation(bool quick) {
+void RunAblation(bool quick, bool perfetto) {
   constexpr int kReps = 3;
   bench::JsonReport report("fig7a_minimum_cover", "BENCH_fig7a.json");
   const std::vector<size_t> sizes =
@@ -195,15 +195,25 @@ void RunAblation(bool quick) {
 
     // Per-phase breakdowns: one extra untimed traced pass per mode (the
     // timed reps above stay trace-free so the overhead claim in
-    // docs/observability.md holds for the headline numbers).
-    const obs::TraceSummary off_trace = bench::TracedPass(
-        [&] { MinimumCover(w.keys, w.table).ok(); });
-    const obs::TraceSummary cold_trace = bench::TracedPass([&] {
+    // docs/observability.md holds for the headline numbers). With
+    // --perfetto, the largest size also dumps each mode's pass as a
+    // Chrome/Perfetto trace.
+    const bool emit_perfetto = perfetto && fields == sizes.back();
+    auto traced = [&](const char* mode, auto&& fn) {
+      if (emit_perfetto) {
+        return bench::TracedPassTo(
+            std::string("BENCH_fig7a_") + mode + ".perfetto.json", fn);
+      }
+      return bench::TracedPass(fn);
+    };
+    const obs::TraceSummary off_trace = traced(
+        "engine_off", [&] { MinimumCover(w.keys, w.table).ok(); });
+    const obs::TraceSummary cold_trace = traced("engine_cold", [&] {
       ImplicationEngine engine(w.keys);
       MinimumCover(engine, w.table).ok();
     });
-    const obs::TraceSummary warm_trace = bench::TracedPass(
-        [&] { MinimumCover(warm_engine, w.table).ok(); });
+    const obs::TraceSummary warm_trace = traced(
+        "engine_warm", [&] { MinimumCover(warm_engine, w.table).ok(); });
 
     const size_t cover_fds =
         static_cast<size_t>(std::count(off_cover.begin(), off_cover.end(),
@@ -245,7 +255,8 @@ void RunAblation(bool quick) {
 
 int main(int argc, char** argv) {
   const bool quick = xmlprop::bench::ConsumeFlag(&argc, argv, "--quick");
-  xmlprop::RunAblation(quick);
+  const bool perfetto = xmlprop::bench::ConsumeFlag(&argc, argv, "--perfetto");
+  xmlprop::RunAblation(quick, perfetto);
   if (quick) return 0;  // CI smoke: JSON only, skip the full BM_ sweep
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

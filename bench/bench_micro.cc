@@ -231,12 +231,14 @@ void RunAblation(bool quick) {
         .Str("workload", "implication_repeat")
         .Int("queries", reps)
         .Num("wall_ms", off_ms)
+        .Int("max_rss_kb", static_cast<uint64_t>(obs::ReadPeakRssKb()))
         .Num("per_query_us", off_ms * 1000.0 / static_cast<double>(reps));
     report.AddRow()
         .Str("mode", "engine_on")
         .Str("workload", "implication_repeat")
         .Int("queries", reps)
         .Num("wall_ms", on_ms)
+        .Int("max_rss_kb", static_cast<uint64_t>(obs::ReadPeakRssKb()))
         .Num("per_query_us", on_ms * 1000.0 / static_cast<double>(reps))
         .Int("cache_hits", engine.counters().hits())
         .Int("cache_misses", engine.counters().misses())

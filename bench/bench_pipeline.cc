@@ -206,7 +206,7 @@ std::vector<std::string> RenderViolations(
 // key check, shred; plus the document-independent minimum-cover stage for
 // context). The index-on check/shred outputs are verified identical to
 // the index-off outputs before any row is emitted.
-void RunAblation(bool quick) {
+void RunAblation(bool quick, bool perfetto) {
   constexpr int kReps = 3;
   bench::JsonReport report("pipeline_index", "BENCH_pipeline.json");
   const std::vector<int> sizes =
@@ -298,13 +298,24 @@ void RunAblation(bool quick) {
     }
 
     // Per-phase breakdowns from one extra untimed traced pass per mode
-    // (timed reps stay trace-free; see docs/observability.md).
-    const obs::TraceSummary off_trace = bench::TracedPass([&] {
+    // (timed reps stay trace-free; see docs/observability.md). With
+    // --perfetto, the largest size also dumps each mode's pass as a
+    // Chrome/Perfetto trace — the index-on pass shows the pool workers'
+    // named tracks.
+    const bool emit_perfetto = perfetto && confs == sizes.back();
+    auto traced = [&](const char* mode, auto&& fn) {
+      if (emit_perfetto) {
+        return bench::TracedPassTo(
+            std::string("BENCH_pipeline_") + mode + ".perfetto.json", fn);
+      }
+      return bench::TracedPass(fn);
+    };
+    const obs::TraceSummary off_trace = traced("index_off", [&] {
       Result<Tree> doc = ParseXml(xml);
       CheckAll(*doc, Fix().keys);
       EvalTableTree(*doc, Fix().table);
     });
-    const obs::TraceSummary on_trace = bench::TracedPass([&] {
+    const obs::TraceSummary on_trace = traced("index_on", [&] {
       Result<Tree> doc = ParseXml(xml);
       TreeIndex index(*doc);
       CheckOptions options;
@@ -326,6 +337,8 @@ void RunAblation(bool quick) {
         .Num("shred_ms", off_shred)
         .Num("cover_ms", cover_ms)
         .Num("end_to_end_ms", off_e2e)
+        .Num("wall_ms", off_e2e)
+        .Int("max_rss_kb", static_cast<uint64_t>(obs::ReadPeakRssKb()))
         .Int("tuples", off_instance.size())
         .Int("violations", off_violations.size());
     bench::FillPhases(off, off_trace);
@@ -340,6 +353,8 @@ void RunAblation(bool quick) {
         .Num("shred_ms", on_shred)
         .Num("cover_ms", cover_ms)
         .Num("end_to_end_ms", on_e2e)
+        .Num("wall_ms", on_e2e)
+        .Int("max_rss_kb", static_cast<uint64_t>(obs::ReadPeakRssKb()))
         .Int("tuples", tuples)
         .Int("violations", off_violations.size())
         .Bool("identical_to_index_off", identical)
@@ -362,7 +377,8 @@ void RunAblation(bool quick) {
 
 int main(int argc, char** argv) {
   const bool quick = xmlprop::bench::ConsumeFlag(&argc, argv, "--quick");
-  xmlprop::RunAblation(quick);
+  const bool perfetto = xmlprop::bench::ConsumeFlag(&argc, argv, "--perfetto");
+  xmlprop::RunAblation(quick, perfetto);
   if (quick) return 0;  // CI smoke: JSON only, skip the full BM_ sweep
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "core/propagation.h"
+#include "obs/chrome_trace.h"
+#include "obs/mem_stats.h"
 #include "obs/trace.h"
 #include "synth/workload.h"
 
@@ -138,12 +140,14 @@ class JsonReport {
   std::vector<Row> rows_;
 };
 
-/// The shared ablation-row schema: wall clock plus the implication-call
-/// and engine-cache counters every BENCH_*.json row carries, so the
-/// reports stay comparable across benches.
+/// The shared ablation-row schema: wall clock, peak RSS, plus the
+/// implication-call and engine-cache counters every BENCH_*.json row
+/// carries, so the reports stay comparable across benches (and so the
+/// bench_diff gate sees the same gated/identity columns everywhere).
 inline void FillStats(JsonReport::Row& row, double wall_ms,
                       const PropagationStats& stats) {
   row.Num("wall_ms", wall_ms)
+      .Int("max_rss_kb", static_cast<uint64_t>(obs::ReadPeakRssKb()))
       .Int("implication_calls", stats.implication_calls)
       .Int("exist_calls", stats.exist_calls)
       .Int("cache_hits", stats.cache_hits)
@@ -185,6 +189,18 @@ inline obs::TraceSummary TracedPass(Fn&& fn) {
     fn();
   }
   return trace.Finish();
+}
+
+/// Like TracedPass, but also writes the pass as a Perfetto/Chrome trace
+/// to `path` (one track per thread) — the bench mains expose this via
+/// their --perfetto flag so a regression flagged by bench_diff can be
+/// inspected in ui.perfetto.dev without re-running anything.
+template <typename Fn>
+inline obs::TraceSummary TracedPassTo(const std::string& path, Fn&& fn) {
+  obs::TraceSummary summary = TracedPass(std::forward<Fn>(fn));
+  obs::WriteChromeTrace(summary, path);
+  std::cerr << "wrote " << path << std::endl;
+  return summary;
 }
 
 /// Builds the Section 6 synthetic workload or aborts (benchmark setup

@@ -1,8 +1,21 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
 
 namespace xmlprop {
+
+std::string ThreadPool::WorkerName(size_t worker) {
+  // Linux thread names are capped at 15 chars + NUL; this fits to
+  // 9999 workers.
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "xmlprop-wk-%zu", worker);
+  return buf;
+}
 
 ThreadPool::ThreadPool(size_t threads) {
   if (threads == 0) {
@@ -10,7 +23,12 @@ ThreadPool::ThreadPool(size_t threads) {
   }
   threads_.reserve(threads);
   for (size_t i = 0; i < threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] {
+#if defined(__linux__)
+      pthread_setname_np(pthread_self(), WorkerName(i).c_str());
+#endif
+      WorkerLoop();
+    });
   }
 }
 

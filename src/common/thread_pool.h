@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -30,6 +31,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   size_t size() const { return threads_.size(); }
+
+  /// The OS-visible name of worker slot `worker` ("xmlprop-wk-3") — the
+  /// same string pthread_setname_np published, so trace thread tracks and
+  /// external tools (top -H, perf) agree on naming.
+  static std::string WorkerName(size_t worker);
 
   /// Runs body(begin, end, worker) over a static partition of [0, n) into
   /// size() contiguous chunks, one per worker slot, and waits for all of

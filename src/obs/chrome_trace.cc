@@ -1,0 +1,71 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/report.h"
+
+namespace xmlprop {
+namespace obs {
+
+namespace {
+
+// Chrome Trace timestamps are microseconds; %.3f keeps nanosecond
+// precision without scientific notation (ts must be a plain number).
+std::string Us(double ms) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms * 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const TraceSummary& summary,
+                              const std::string& process_name) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out << ",";
+    first = false;
+  };
+  comma();
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\""
+      << JsonEscape(process_name) << "\"}}";
+  for (const ThreadTrack& track : summary.tracks) {
+    comma();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << track.tid << ",\"args\":{\"name\":\""
+        << JsonEscape(track.thread_name) << "\"}}";
+  }
+  for (const ThreadTrack& track : summary.tracks) {
+    for (const TraceEvent& event : track.events) {
+      comma();
+      out << "{\"name\":\"" << JsonEscape(event.name)
+          << "\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+          << track.tid << ",\"ts\":" << Us(event.start_ms)
+          << ",\"dur\":" << Us(event.dur_ms) << ",\"args\":{\"seq\":"
+          << event.seq << "}}";
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+bool WriteChromeTrace(const TraceSummary& summary, const std::string& path,
+                      const std::string& process_name) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "cannot write " << path << std::endl;
+    return false;
+  }
+  out << ExportChromeTrace(summary, process_name) << "\n";
+  out.close();
+  return static_cast<bool>(out);
+}
+
+}  // namespace obs
+}  // namespace xmlprop

@@ -1,0 +1,27 @@
+#ifndef XMLPROP_OBS_CHROME_TRACE_H_
+#define XMLPROP_OBS_CHROME_TRACE_H_
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace xmlprop {
+namespace obs {
+
+/// Serializes a finished trace as Chrome Trace Event JSON (the format
+/// ui.perfetto.dev and chrome://tracing load directly): one complete
+/// ("ph":"X") event per span occurrence, one track per recording thread,
+/// with thread_name/process_name metadata so ThreadPool workers show up
+/// as `xmlprop-wk-N`. Timestamps are microseconds from the trace start.
+std::string ExportChromeTrace(const TraceSummary& summary,
+                              const std::string& process_name = "xmlprop");
+
+/// Writes ExportChromeTrace(summary) to `path`; false (with a stderr
+/// note) on I/O error.
+bool WriteChromeTrace(const TraceSummary& summary, const std::string& path,
+                      const std::string& process_name = "xmlprop");
+
+}  // namespace obs
+}  // namespace xmlprop
+
+#endif  // XMLPROP_OBS_CHROME_TRACE_H_

@@ -1,0 +1,305 @@
+#include "obs/mem_stats.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "obs/trace.h"
+
+#if defined(__linux__)
+#include <malloc.h>
+#include <sys/resource.h>
+#endif
+
+namespace xmlprop {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Global allocation counters. Everything here must be usable from inside
+// operator new/delete: constant-initialized atomics, no allocation, no
+// locks. The per-span table is a fixed-size open-addressed map keyed by
+// span-name pointer (names are string literals, so pointer identity is
+// name identity).
+
+std::atomic<bool> g_mem_hooks_enabled{false};
+
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+std::atomic<uint64_t> g_free_count{0};
+std::atomic<int64_t> g_live_bytes{0};
+std::atomic<uint64_t> g_peak_live_bytes{0};
+
+constexpr size_t kSpanSlots = 256;  // power of two
+struct SpanSlot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> bytes{0};
+};
+SpanSlot g_span_slots[kSpanSlots];
+// Allocations that hit a full table or carry no open span.
+std::atomic<uint64_t> g_unattributed_count{0};
+std::atomic<uint64_t> g_unattributed_bytes{0};
+
+size_t UsableSize(void* p) {
+#if defined(__linux__)
+  return malloc_usable_size(p);
+#else
+  return 0;
+#endif
+}
+
+void NoteSpanAlloc(const char* span, size_t bytes) {
+  size_t index =
+      (reinterpret_cast<uintptr_t>(span) >> 4) & (kSpanSlots - 1);
+  for (size_t probe = 0; probe < 16; ++probe) {
+    SpanSlot& slot = g_span_slots[(index + probe) & (kSpanSlots - 1)];
+    const char* current = slot.name.load(std::memory_order_acquire);
+    if (current == nullptr) {
+      const char* expected = nullptr;
+      if (!slot.name.compare_exchange_strong(expected, span,
+                                             std::memory_order_acq_rel)) {
+        current = expected;
+      } else {
+        current = span;
+      }
+    }
+    if (current == span) {
+      slot.count.fetch_add(1, std::memory_order_relaxed);
+      slot.bytes.fetch_add(bytes, std::memory_order_relaxed);
+      return;
+    }
+  }
+  g_unattributed_count.fetch_add(1, std::memory_order_relaxed);
+  g_unattributed_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void NoteAlloc(void* p) {
+  const size_t bytes = UsableSize(p);
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  const int64_t live =
+      g_live_bytes.fetch_add(static_cast<int64_t>(bytes),
+                             std::memory_order_relaxed) +
+      static_cast<int64_t>(bytes);
+  uint64_t peak = g_peak_live_bytes.load(std::memory_order_relaxed);
+  while (live > 0 && static_cast<uint64_t>(live) > peak &&
+         !g_peak_live_bytes.compare_exchange_weak(
+             peak, static_cast<uint64_t>(live), std::memory_order_relaxed)) {
+  }
+
+  const int depth = std::min(internal::tls_span_depth,
+                             internal::kMaxSpanStack);
+  if (depth > 0) {
+    NoteSpanAlloc(internal::tls_span_stack[depth - 1], bytes);
+  } else {
+    g_unattributed_count.fetch_add(1, std::memory_order_relaxed);
+    g_unattributed_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+}
+
+void NoteFree(void* p) {
+  g_free_count.fetch_add(1, std::memory_order_relaxed);
+  g_live_bytes.fetch_sub(static_cast<int64_t>(UsableSize(p)),
+                         std::memory_order_relaxed);
+}
+
+void ResetCounters() {
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_alloc_bytes.store(0, std::memory_order_relaxed);
+  g_free_count.store(0, std::memory_order_relaxed);
+  g_live_bytes.store(0, std::memory_order_relaxed);
+  g_peak_live_bytes.store(0, std::memory_order_relaxed);
+  g_unattributed_count.store(0, std::memory_order_relaxed);
+  g_unattributed_bytes.store(0, std::memory_order_relaxed);
+  for (SpanSlot& slot : g_span_slots) {
+    slot.name.store(nullptr, std::memory_order_relaxed);
+    slot.count.store(0, std::memory_order_relaxed);
+    slot.bytes.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+namespace internal_mem {
+
+// The allocation entry points the replaced global operators call.
+// Defined here (same TU as the operators) so any binary that uses
+// mem_stats pulls the replacements in with it.
+
+bool HooksEnabled() {
+  return g_mem_hooks_enabled.load(std::memory_order_relaxed);
+}
+
+void* AllocateOrThrow(size_t size, size_t align) {
+  for (;;) {
+    void* p;
+    if (align <= alignof(std::max_align_t)) {
+      p = std::malloc(size);
+    } else {
+      // aligned_alloc wants size to be a multiple of the alignment.
+      const size_t rounded = (size + align - 1) / align * align;
+      p = std::aligned_alloc(align, rounded);
+    }
+    if (p != nullptr) {
+      if (HooksEnabled()) NoteAlloc(p);
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void* AllocateNoThrow(size_t size, size_t align) noexcept {
+  try {
+    return AllocateOrThrow(size, align);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void Deallocate(void* p) noexcept {
+  if (p == nullptr) return;
+  if (HooksEnabled()) NoteFree(p);
+  std::free(p);
+}
+
+}  // namespace internal_mem
+
+int64_t ReadPeakRssKb() {
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::strncmp(line, "VmHWM:", 6) == 0) {
+        std::fclose(f);
+        return std::atoll(line + 6);
+      }
+    }
+    std::fclose(f);
+  }
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) return usage.ru_maxrss;
+#endif
+  return 0;
+}
+
+MemorySummary CurrentMemorySummary() {
+  MemorySummary summary;
+  summary.max_rss_kb = ReadPeakRssKb();
+  if (!internal_mem::HooksEnabled()) return summary;
+  summary.hooks_enabled = true;
+  summary.alloc_count = g_alloc_count.load(std::memory_order_relaxed);
+  summary.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  summary.free_count = g_free_count.load(std::memory_order_relaxed);
+  summary.live_bytes = g_live_bytes.load(std::memory_order_relaxed);
+  summary.peak_live_bytes =
+      g_peak_live_bytes.load(std::memory_order_relaxed);
+  for (const SpanSlot& slot : g_span_slots) {
+    const char* name = slot.name.load(std::memory_order_acquire);
+    if (name == nullptr) continue;
+    summary.by_span.push_back(
+        MemSpanAlloc{name, slot.count.load(std::memory_order_relaxed),
+                     slot.bytes.load(std::memory_order_relaxed)});
+  }
+  const uint64_t other = g_unattributed_count.load(std::memory_order_relaxed);
+  if (other > 0) {
+    summary.by_span.push_back(MemSpanAlloc{
+        "(no span)", other,
+        g_unattributed_bytes.load(std::memory_order_relaxed)});
+  }
+  std::sort(summary.by_span.begin(), summary.by_span.end(),
+            [](const MemSpanAlloc& a, const MemSpanAlloc& b) {
+              return a.span < b.span;
+            });
+  return summary;
+}
+
+ScopedMemAccounting::ScopedMemAccounting() {
+  ResetCounters();
+  internal::g_span_stack_refs.fetch_add(1, std::memory_order_relaxed);
+  g_mem_hooks_enabled.store(true, std::memory_order_relaxed);
+}
+
+ScopedMemAccounting::~ScopedMemAccounting() {
+  g_mem_hooks_enabled.store(false, std::memory_order_relaxed);
+  internal::g_span_stack_refs.fetch_sub(1, std::memory_order_relaxed);
+}
+
+MemorySummary ScopedMemAccounting::Snapshot() const {
+  return CurrentMemorySummary();
+}
+
+}  // namespace obs
+}  // namespace xmlprop
+
+// ---------------------------------------------------------------------------
+// Global operator new/delete replacements. Malloc-backed, standard
+// conforming (new-handler loop, nothrow variants, aligned variants);
+// when no ScopedMemAccounting is active the only extra work over plain
+// malloc is one relaxed atomic load.
+
+namespace mem = xmlprop::obs::internal_mem;
+
+void* operator new(std::size_t size) {
+  return mem::AllocateOrThrow(size, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t size) {
+  return mem::AllocateOrThrow(size, alignof(std::max_align_t));
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return mem::AllocateOrThrow(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return mem::AllocateOrThrow(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return mem::AllocateNoThrow(size, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return mem::AllocateNoThrow(size, alignof(std::max_align_t));
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return mem::AllocateNoThrow(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return mem::AllocateNoThrow(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { mem::Deallocate(p); }
+void operator delete[](void* p) noexcept { mem::Deallocate(p); }
+void operator delete(void* p, std::size_t) noexcept { mem::Deallocate(p); }
+void operator delete[](void* p, std::size_t) noexcept { mem::Deallocate(p); }
+void operator delete(void* p, std::align_val_t) noexcept {
+  mem::Deallocate(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  mem::Deallocate(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  mem::Deallocate(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  mem::Deallocate(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  mem::Deallocate(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  mem::Deallocate(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  mem::Deallocate(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  mem::Deallocate(p);
+}

@@ -1,0 +1,64 @@
+#ifndef XMLPROP_OBS_MEM_STATS_H_
+#define XMLPROP_OBS_MEM_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xmlprop {
+namespace obs {
+
+/// Allocations attributed to one span name (cumulative over the
+/// accounting scope; frees are not attributable without per-block
+/// headers, so live bytes are tracked globally only).
+struct MemSpanAlloc {
+  std::string span;
+  uint64_t count = 0;
+  uint64_t bytes = 0;
+};
+
+/// Memory readout for one run: process peak RSS (always available) plus
+/// the opt-in operator new/delete counters when a ScopedMemAccounting
+/// was active.
+struct MemorySummary {
+  int64_t max_rss_kb = 0;      ///< VmHWM — process-lifetime peak RSS
+  bool hooks_enabled = false;  ///< the counters below were recorded
+  uint64_t alloc_count = 0;
+  uint64_t alloc_bytes = 0;    ///< cumulative, by usable block size
+  uint64_t free_count = 0;
+  int64_t live_bytes = 0;      ///< allocs minus frees inside the scope
+  uint64_t peak_live_bytes = 0;
+  std::vector<MemSpanAlloc> by_span;  ///< name-sorted
+};
+
+/// The process's peak resident set size in KiB, from /proc/self/status
+/// VmHWM (getrusage fallback). 0 when unavailable.
+int64_t ReadPeakRssKb();
+
+/// Enables the global operator new/delete counting hooks for its
+/// lifetime (resetting the counters on entry). Allocations are
+/// attributed to the innermost open obs::Span via the same thread-local
+/// span cursor the profiler uses. One scope at a time; nesting is a
+/// programming error (the inner scope resets the outer's counts).
+///
+/// Disabled cost: the replaced operators add one relaxed atomic load per
+/// new/delete when no scope is active.
+class ScopedMemAccounting {
+ public:
+  ScopedMemAccounting();
+  ~ScopedMemAccounting();
+  ScopedMemAccounting(const ScopedMemAccounting&) = delete;
+  ScopedMemAccounting& operator=(const ScopedMemAccounting&) = delete;
+
+  /// Counters recorded so far in this scope (max_rss_kb filled too).
+  MemorySummary Snapshot() const;
+};
+
+/// Fills a MemorySummary with the current peak RSS and, when a
+/// ScopedMemAccounting is active, its counters.
+MemorySummary CurrentMemorySummary();
+
+}  // namespace obs
+}  // namespace xmlprop
+
+#endif  // XMLPROP_OBS_MEM_STATS_H_

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace xmlprop {
 namespace obs {
@@ -8,6 +9,41 @@ namespace obs {
 namespace internal {
 std::atomic<MetricRegistry*> g_active_metrics{nullptr};
 }  // namespace internal
+
+int HistogramSnapshot::BucketIndex(double value) {
+  if (!(value > 0)) return 0;
+  const int index =
+      static_cast<int>(std::ceil(std::log2(value))) + kBucketShift;
+  return std::clamp(index, 0, kNumBuckets - 1);
+}
+
+double HistogramSnapshot::BucketUpperBound(int index) {
+  return std::ldexp(1.0, index - kBucketShift);
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t next = cumulative + buckets[i];
+    if (static_cast<double>(next) >= rank) {
+      // Interpolate within the bucket's [lower, upper] range by how far
+      // the rank sits among the bucket's observations.
+      const double lower = i == 0 ? 0.0 : BucketUpperBound(i - 1);
+      const double upper = BucketUpperBound(i);
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[i]);
+      const double estimate = lower + (upper - lower) * fraction;
+      return std::clamp(estimate, min, max);
+    }
+    cumulative = next;
+  }
+  return max;
+}
 
 uint64_t MetricsSnapshot::Counter(std::string_view name) const {
   for (const auto& [counter_name, value] : counters) {
@@ -56,6 +92,7 @@ void MetricRegistry::Observe(std::string_view name, double value) {
   }
   ++cell.count;
   cell.sum += value;
+  ++cell.buckets[HistogramSnapshot::BucketIndex(value)];
 }
 
 MetricsSnapshot MetricRegistry::Snapshot() const {
@@ -74,7 +111,8 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
     snapshot.histograms.reserve(histograms_.size());
     for (const auto& [name, cell] : histograms_) {
       snapshot.histograms.emplace_back(
-          name, HistogramSnapshot{cell.count, cell.sum, cell.min, cell.max});
+          name, HistogramSnapshot{cell.count, cell.sum, cell.min, cell.max,
+                                  cell.buckets});
     }
   }
   auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };

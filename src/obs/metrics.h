@@ -1,6 +1,7 @@
 #ifndef XMLPROP_OBS_METRICS_H_
 #define XMLPROP_OBS_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -13,13 +14,30 @@
 namespace xmlprop {
 namespace obs {
 
-/// Aggregated state of one histogram metric (value distribution summary;
-/// the library keeps moments, not buckets — enough for run reports).
+/// Aggregated state of one histogram metric: moments plus fixed
+/// log2-scale buckets, so reports can quote p50/p95/p99 without storing
+/// raw observations. Bucket `i` covers values up to 2^(i - kBucketShift)
+/// — ~15 ns to ~137 s when observing milliseconds — and the last bucket
+/// absorbs everything above.
 struct HistogramSnapshot {
+  static constexpr int kNumBuckets = 64;
+  static constexpr int kBucketShift = 26;
+
   uint64_t count = 0;
   double sum = 0;
   double min = 0;
   double max = 0;
+  std::array<uint64_t, kNumBuckets> buckets{};
+
+  /// The bucket a value folds into (values ≤ 0 go to bucket 0).
+  static int BucketIndex(double value);
+  /// The inclusive upper bound of bucket `index`.
+  static double BucketUpperBound(int index);
+
+  /// The `p`-th percentile (p in [0,100]) estimated by linear
+  /// interpolation inside the containing bucket, clamped to [min,max].
+  /// 0 when the histogram is empty.
+  double Percentile(double p) const;
 };
 
 /// Point-in-time copy of a registry, sorted by metric name (deterministic
@@ -71,6 +89,7 @@ class MetricRegistry {
     double sum = 0;
     double min = 0;
     double max = 0;
+    std::array<uint64_t, HistogramSnapshot::kNumBuckets> buckets{};
   };
 
   std::atomic<uint64_t>& CounterCell(std::string_view name);

@@ -1,0 +1,281 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "obs/trace.h"
+
+#if defined(__linux__)
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <sys/time.h>
+#include <unistd.h>
+#endif
+
+namespace xmlprop {
+namespace obs {
+
+// One captured sample: the interrupted thread's program counters
+// (leaf-first, as backtrace() returns them) plus a snapshot of its
+// open-span stack (outermost-first). Fixed-size so the signal handler
+// writes into preallocated storage and never allocates.
+struct Profiler::Sample {
+  static constexpr int kMaxFrames = 40;
+  static constexpr int kMaxSpans = 16;
+  uint32_t tid;
+  uint16_t num_frames;
+  uint16_t num_spans;
+  void* frames[kMaxFrames];
+  const char* spans[kMaxSpans];
+};
+
+namespace {
+
+std::atomic<Profiler*> g_active_profiler{nullptr};
+
+#if defined(__linux__)
+struct sigaction g_old_action;
+struct itimerval g_old_timer;
+
+void SigprofTrampoline(int /*sig*/, siginfo_t* /*info*/, void* /*ctx*/) {
+  const int saved_errno = errno;
+  ProfilerSignalDispatch();
+  errno = saved_errno;
+}
+
+// Resolves a return address to a demangled symbol name (falling back to
+// the module basename, then the raw address). Cached per Fold run.
+std::string Symbolize(void* pc,
+                      std::unordered_map<void*, std::string>* cache) {
+  auto it = cache->find(pc);
+  if (it != cache->end()) return it->second;
+  std::string name;
+  Dl_info info;
+  // pc - 1: backtrace records return addresses; step back into the call
+  // instruction so calls at function boundaries attribute correctly.
+  void* lookup = static_cast<char*>(pc) - 1;
+  if (dladdr(lookup, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      name = demangled;
+    } else {
+      name = info.dli_sname;
+    }
+    std::free(demangled);
+  } else if (dladdr(lookup, &info) != 0 && info.dli_fname != nullptr) {
+    const char* base = std::strrchr(info.dli_fname, '/');
+    name = std::string("[") + (base ? base + 1 : info.dli_fname) + "]";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "[%p]", pc);
+    name = buf;
+  }
+  // ';' is the collapsed-stack frame separator; never let a symbol
+  // smuggle one in.
+  std::replace(name.begin(), name.end(), ';', ':');
+  cache->emplace(pc, name);
+  return name;
+}
+
+// The handler's own frames sit at the leaf of every backtrace (Record,
+// the trampoline, and the kernel's signal return stub). Returns how many
+// leading frames to drop: one past the last marker frame found near the
+// leaf.
+size_t HandlerFrameSkip(const std::vector<std::string>& leaf_first) {
+  static constexpr const char* kMarkers[] = {
+      "ProfilerSignalDispatch", "SigprofTrampoline", "Profiler",
+      "__restore_rt", "killpg"};
+  size_t skip = 0;
+  const size_t scan = std::min<size_t>(leaf_first.size(), 8);
+  for (size_t i = 0; i < scan; ++i) {
+    for (const char* marker : kMarkers) {
+      if (leaf_first[i].find(marker) != std::string::npos) {
+        skip = i + 1;
+        break;
+      }
+    }
+  }
+  return skip;
+}
+#endif  // defined(__linux__)
+
+}  // namespace
+
+std::string ProfileSummary::ToCollapsed() const {
+  std::ostringstream out;
+  for (const auto& [stack, count] : folded) {
+    out << stack << " " << count << "\n";
+  }
+  return out.str();
+}
+
+Profiler::Profiler(const ProfilerOptions& options) : options_(options) {}
+
+Profiler::~Profiler() {
+  if (running_) Stop();
+}
+
+bool Profiler::Supported() {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void ProfilerSignalDispatch() {
+  Profiler* profiler = g_active_profiler.load(std::memory_order_acquire);
+  if (profiler != nullptr) profiler->Record();
+}
+
+void Profiler::Record() {
+#if defined(__linux__)
+  const uint64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+  if (i >= samples_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Sample& s = samples_[i];
+  s.tid = static_cast<uint32_t>(::syscall(SYS_gettid));
+  int depth = internal::tls_span_depth;
+  std::atomic_signal_fence(std::memory_order_acquire);
+  if (depth > internal::kMaxSpanStack) depth = internal::kMaxSpanStack;
+  int spans = std::min(depth, static_cast<int>(Sample::kMaxSpans));
+  for (int k = 0; k < spans; ++k) {
+    // Keep the innermost kMaxSpans entries — self attribution needs the
+    // top of the stack.
+    s.spans[k] = internal::tls_span_stack[depth - spans + k];
+  }
+  s.num_spans = static_cast<uint16_t>(spans);
+  const int frames = backtrace(s.frames, Sample::kMaxFrames);
+  s.num_frames = static_cast<uint16_t>(frames < 0 ? 0 : frames);
+#endif
+}
+
+bool Profiler::Start() {
+#if defined(__linux__)
+  if (running_ || stopped_) return false;
+  Profiler* expected = nullptr;
+  if (!g_active_profiler.compare_exchange_strong(expected, this)) {
+    return false;  // another profiler is running
+  }
+  samples_.resize(options_.max_samples);
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  // Force libgcc's unwinder to load outside signal context (its lazy
+  // first-call initialization is not async-signal-safe).
+  void* warmup[4];
+  backtrace(warmup, 4);
+  internal::g_span_stack_refs.fetch_add(1, std::memory_order_relaxed);
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = &SigprofTrampoline;
+  sa.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  if (sigaction(SIGPROF, &sa, &g_old_action) != 0) {
+    internal::g_span_stack_refs.fetch_sub(1, std::memory_order_relaxed);
+    g_active_profiler.store(nullptr, std::memory_order_release);
+    return false;
+  }
+  struct itimerval timer;
+  std::memset(&timer, 0, sizeof(timer));
+  timer.it_interval.tv_sec = options_.period_us / 1000000;
+  timer.it_interval.tv_usec = options_.period_us % 1000000;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, &g_old_timer) != 0) {
+    sigaction(SIGPROF, &g_old_action, nullptr);
+    internal::g_span_stack_refs.fetch_sub(1, std::memory_order_relaxed);
+    g_active_profiler.store(nullptr, std::memory_order_release);
+    return false;
+  }
+  running_ = true;
+  return true;
+#else
+  return false;
+#endif
+}
+
+const ProfileSummary& Profiler::Stop() {
+  if (stopped_) return summary_;
+  stopped_ = true;
+  summary_.period_us = options_.period_us;
+  if (!running_) return summary_;
+  running_ = false;
+#if defined(__linux__)
+  struct itimerval disarm;
+  std::memset(&disarm, 0, sizeof(disarm));
+  setitimer(ITIMER_PROF, &disarm, nullptr);
+  g_active_profiler.store(nullptr, std::memory_order_release);
+  // A signal raised just before the disarm may still be executing the
+  // handler on another thread; give it two periods to drain before the
+  // fold reads the sample buffer.
+  ::usleep(static_cast<useconds_t>(options_.period_us) * 2 + 1000);
+  sigaction(SIGPROF, &g_old_action, nullptr);
+  setitimer(ITIMER_PROF, &g_old_timer, nullptr);
+  internal::g_span_stack_refs.fetch_sub(1, std::memory_order_relaxed);
+  Fold();
+#endif
+  return summary_;
+}
+
+void Profiler::Fold() {
+#if defined(__linux__)
+  const uint64_t captured =
+      std::min<uint64_t>(next_.load(std::memory_order_relaxed),
+                         samples_.size());
+  summary_.samples = captured;
+  summary_.dropped = dropped_.load(std::memory_order_relaxed);
+
+  std::unordered_map<void*, std::string> symbol_cache;
+  std::map<std::string, std::pair<uint64_t, uint64_t>> by_span;  // self,total
+  std::map<std::string, uint64_t> folded;
+  std::vector<std::string> names;
+  for (uint64_t i = 0; i < captured; ++i) {
+    const Sample& s = samples_[i];
+
+    // Span attribution: self for the innermost, total for every
+    // distinct span on the stack.
+    const char* innermost =
+        s.num_spans > 0 ? s.spans[s.num_spans - 1] : nullptr;
+    if (innermost != nullptr) ++by_span[innermost].first;
+    std::unordered_set<const char*> seen;
+    for (int k = 0; k < s.num_spans; ++k) {
+      if (seen.insert(s.spans[k]).second) ++by_span[s.spans[k]].second;
+    }
+
+    // Collapsed stack, rooted at the innermost span name.
+    names.clear();
+    for (int f = 0; f < s.num_frames; ++f) {
+      names.push_back(Symbolize(s.frames[f], &symbol_cache));
+    }
+    const size_t skip = HandlerFrameSkip(names);
+    std::string line = innermost != nullptr ? innermost : "(no span)";
+    for (size_t f = names.size(); f > skip; --f) {
+      line += ';';
+      line += names[f - 1];
+    }
+    ++folded[line];
+  }
+
+  summary_.span_counts.reserve(by_span.size());
+  for (const auto& [name, counts] : by_span) {
+    summary_.span_counts.push_back(
+        ProfileSpanCount{name, counts.first, counts.second});
+  }
+  summary_.folded.assign(folded.begin(), folded.end());
+#endif
+}
+
+}  // namespace obs
+}  // namespace xmlprop

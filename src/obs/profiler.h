@@ -1,0 +1,100 @@
+#ifndef XMLPROP_OBS_PROFILER_H_
+#define XMLPROP_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xmlprop {
+namespace obs {
+
+/// CPU samples attributed to one span name: `self` counts samples whose
+/// innermost open span was this one, `total` counts samples with the
+/// span anywhere on the open-span stack.
+struct ProfileSpanCount {
+  std::string name;
+  uint64_t self = 0;
+  uint64_t total = 0;
+};
+
+/// The folded result of one profiling session.
+struct ProfileSummary {
+  uint64_t samples = 0;  ///< samples captured (0 when never started)
+  uint64_t dropped = 0;  ///< samples lost to buffer exhaustion
+  int period_us = 0;     ///< sampling period (CPU time between signals)
+  /// Per-span sample counts, name-sorted (merged into the run report).
+  std::vector<ProfileSpanCount> span_counts;
+  /// Collapsed call stacks: `span;outermost;...;innermost` → count,
+  /// sorted by stack string. Feed ToCollapsed() to flamegraph.pl.
+  std::vector<std::pair<std::string, uint64_t>> folded;
+
+  bool empty() const { return samples == 0 && dropped == 0; }
+  /// flamegraph.pl-compatible text: one `stack count` line per entry.
+  std::string ToCollapsed() const;
+};
+
+struct ProfilerOptions {
+  /// CPU-time sampling period in microseconds (ITIMER_PROF). 2 ms
+  /// ≈ 500 samples per CPU-second — cheap enough to leave on for any
+  /// CLI run, dense enough for the Fig. 7 workloads.
+  int period_us = 2000;
+  /// Preallocated sample capacity; samples past it are counted as
+  /// dropped (the handler never allocates).
+  size_t max_samples = 1 << 15;
+};
+
+/// A Linux SIGPROF sampling profiler. While running, a process-wide
+/// CPU-time timer interrupts whichever thread is executing; the handler
+/// captures that thread's backtrace and its open-span stack (the
+/// thread-local span cursor obs::Span maintains) into a preallocated
+/// buffer — no locks, no allocation, async-signal-safe. Stop() folds the
+/// samples into collapsed stacks plus per-span self/total counts.
+///
+/// One profiler may run at a time (Start fails otherwise). On non-Linux
+/// builds Supported() is false and Start() fails cleanly.
+class Profiler {
+ public:
+  explicit Profiler(const ProfilerOptions& options = {});
+  ~Profiler();
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Whether this platform has the timer/SIGPROF machinery.
+  static bool Supported();
+
+  /// Installs the SIGPROF handler and arms the timer. False if another
+  /// profiler is running or the platform lacks support.
+  bool Start();
+
+  /// Disarms the timer, restores the previous handler, folds the
+  /// samples. Idempotent; returns the same summary on later calls.
+  const ProfileSummary& Stop();
+
+  bool running() const { return running_; }
+
+ private:
+  struct Sample;
+  friend void ProfilerSignalDispatch();
+
+  void Record();
+  void Fold();
+
+  ProfilerOptions options_;
+  std::vector<Sample> samples_;
+  std::atomic<uint64_t> next_{0};
+  std::atomic<uint64_t> dropped_{0};
+  bool running_ = false;
+  bool stopped_ = false;
+  ProfileSummary summary_;
+};
+
+/// Called by the SIGPROF handler; records into the running profiler, if
+/// any (internal — exposed only for the signal trampoline).
+void ProfilerSignalDispatch();
+
+}  // namespace obs
+}  // namespace xmlprop
+
+#endif  // XMLPROP_OBS_PROFILER_H_

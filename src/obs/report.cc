@@ -101,9 +101,40 @@ std::string ReportToJson(const RunReport& report) {
     const auto& [name, h] = report.metrics.histograms[i];
     out << "\"" << JsonEscape(name) << "\":{\"count\":" << h.count
         << ",\"sum\":" << Num(h.sum) << ",\"min\":" << Num(h.min)
-        << ",\"max\":" << Num(h.max) << "}";
+        << ",\"max\":" << Num(h.max) << ",\"p50\":" << Num(h.Percentile(50))
+        << ",\"p95\":" << Num(h.Percentile(95))
+        << ",\"p99\":" << Num(h.Percentile(99)) << "}";
   }
-  out << "}}}";
+  out << "}},\"memory\":{\"max_rss_kb\":" << report.memory.max_rss_kb;
+  if (report.memory.hooks_enabled) {
+    out << ",\"alloc_count\":" << report.memory.alloc_count
+        << ",\"alloc_bytes\":" << report.memory.alloc_bytes
+        << ",\"free_count\":" << report.memory.free_count
+        << ",\"live_bytes\":" << report.memory.live_bytes
+        << ",\"peak_live_bytes\":" << report.memory.peak_live_bytes
+        << ",\"by_span\":{";
+    for (size_t i = 0; i < report.memory.by_span.size(); ++i) {
+      if (i > 0) out << ",";
+      const MemSpanAlloc& row = report.memory.by_span[i];
+      out << "\"" << JsonEscape(row.span) << "\":{\"count\":" << row.count
+          << ",\"bytes\":" << row.bytes << "}";
+    }
+    out << "}";
+  }
+  out << "}";
+  if (!report.profile.empty()) {
+    out << ",\"profile\":{\"samples\":" << report.profile.samples
+        << ",\"dropped\":" << report.profile.dropped
+        << ",\"period_us\":" << report.profile.period_us << ",\"spans\":{";
+    for (size_t i = 0; i < report.profile.span_counts.size(); ++i) {
+      if (i > 0) out << ",";
+      const ProfileSpanCount& row = report.profile.span_counts[i];
+      out << "\"" << JsonEscape(row.name) << "\":{\"self\":" << row.self
+          << ",\"total\":" << row.total << "}";
+    }
+    out << "}}";
+  }
+  out << "}";
   return out.str();
 }
 
@@ -125,7 +156,31 @@ std::string ReportToText(const RunReport& report) {
     }
     for (const auto& [name, h] : report.metrics.histograms) {
       out << "  " << name << " = count " << h.count << ", sum " << Num(h.sum)
-          << ", min " << Num(h.min) << ", max " << Num(h.max) << "\n";
+          << ", min " << Num(h.min) << ", max " << Num(h.max) << ", p50 "
+          << Num(h.Percentile(50)) << ", p95 " << Num(h.Percentile(95))
+          << ", p99 " << Num(h.Percentile(99)) << "\n";
+    }
+  }
+  if (!report.profile.empty()) {
+    out << "profile: " << report.profile.samples << " samples ("
+        << report.profile.dropped << " dropped, period "
+        << report.profile.period_us << " us)\n";
+    for (const ProfileSpanCount& row : report.profile.span_counts) {
+      out << "  " << row.name << "  self " << row.self << "  total "
+          << row.total << "\n";
+    }
+  }
+  out << "memory: max_rss " << report.memory.max_rss_kb << " kb";
+  if (report.memory.hooks_enabled) {
+    out << ", allocs " << report.memory.alloc_count << " ("
+        << report.memory.alloc_bytes << " bytes), peak_live "
+        << report.memory.peak_live_bytes << " bytes";
+  }
+  out << "\n";
+  if (report.memory.hooks_enabled) {
+    for (const MemSpanAlloc& row : report.memory.by_span) {
+      out << "  " << row.span << "  allocs " << row.count << "  bytes "
+          << row.bytes << "\n";
     }
   }
   return out.str();

@@ -3,7 +3,9 @@
 
 #include <string>
 
+#include "obs/mem_stats.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace xmlprop {
@@ -17,13 +19,18 @@ struct RunReport {
   std::string config;    ///< free-form run configuration ("engine=on ...")
   TraceSummary trace;    ///< aggregated span tree + wall time
   MetricsSnapshot metrics;
+  ProfileSummary profile;  ///< per-span sample counts (empty when off)
+  MemorySummary memory;    ///< peak RSS always; counters when hooked
 };
 
-/// Bumped when the JSON layout changes incompatibly.
-inline constexpr int kReportVersion = 1;
+/// Bumped when the JSON layout changes incompatibly. Version 2 added
+/// histogram percentiles, the `memory` object and the optional `profile`
+/// object.
+inline constexpr int kReportVersion = 2;
 
 /// Serializes `report` as a single JSON object with top-level keys
-/// `version`, `command`, `config`, `wall_ms`, `spans`, `metrics`.
+/// `version`, `command`, `config`, `wall_ms`, `spans`, `metrics`,
+/// `memory`, and — when profiling ran — `profile`.
 std::string ReportToJson(const RunReport& report);
 
 /// Renders `report` as a human-readable text tree (spans indented with

@@ -1,13 +1,25 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <functional>
+#include <thread>
 #include <unordered_map>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
 
 namespace xmlprop {
 namespace obs {
 
 namespace internal {
 std::atomic<Trace*> g_active_trace{nullptr};
+
+thread_local const char* tls_span_stack[kMaxSpanStack] = {};
+thread_local int tls_span_depth = 0;
+std::atomic<int> g_span_stack_refs{0};
 
 namespace {
 
@@ -26,6 +38,26 @@ thread_local ThreadBuffer* tls_buffer = nullptr;
 double ElapsedMs(std::chrono::steady_clock::time_point from,
                  std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+uint64_t CurrentTid() {
+#if defined(__linux__)
+  return static_cast<uint64_t>(::syscall(SYS_gettid));
+#else
+  return static_cast<uint64_t>(
+      std::hash<std::thread::id>()(std::this_thread::get_id()));
+#endif
+}
+
+std::string CurrentThreadName() {
+#if defined(__linux__)
+  char buf[32] = {};
+  if (pthread_getname_np(pthread_self(), buf, sizeof(buf)) == 0 &&
+      buf[0] != '\0') {
+    return buf;
+  }
+#endif
+  return "thread";
 }
 
 // Groups sibling raw records by name (first-start order) into aggregated
@@ -122,6 +154,8 @@ internal::ThreadBuffer* Trace::BufferForThisThread() {
   std::lock_guard<std::mutex> lock(mu_);
   buffers_.push_back(std::make_unique<internal::ThreadBuffer>());
   internal::ThreadBuffer* buffer = buffers_.back().get();
+  buffer->tid = internal::CurrentTid();
+  buffer->thread_name = internal::CurrentThreadName();
   internal::tls_buffer_trace = this;
   internal::tls_buffer = buffer;
   return buffer;
@@ -162,6 +196,29 @@ const TraceSummary& Trace::Finish() {
     std::sort(child_list.begin(), child_list.end(), by_seq);
   }
   summary_.roots = internal::Aggregate(roots, children_of);
+
+  // Per-thread raw timelines for the Chrome Trace / Perfetto exporter.
+  for (const auto& buffer : buffers_) {
+    if (buffer->records.empty()) continue;
+    ThreadTrack track;
+    track.tid = buffer->tid;
+    track.thread_name = buffer->thread_name;
+    track.events.reserve(buffer->records.size());
+    for (const internal::SpanRecord& record : buffer->records) {
+      track.events.push_back(TraceEvent{record.name, record.seq,
+                                        record.parent_seq, record.start_ms,
+                                        record.elapsed_ms});
+    }
+    std::sort(track.events.begin(), track.events.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                return a.start_ms < b.start_ms;
+              });
+    summary_.tracks.push_back(std::move(track));
+  }
+  std::sort(summary_.tracks.begin(), summary_.tracks.end(),
+            [](const ThreadTrack& a, const ThreadTrack& b) {
+              return a.events.front().seq < b.events.front().seq;
+            });
   return summary_;
 }
 
@@ -178,7 +235,19 @@ SpanToken CurrentSpan() { return SpanToken{internal::tls_current_span}; }
 Span::Span(const char* name)
     : trace_(internal::g_active_trace.load(std::memory_order_relaxed)),
       name_(name) {
-  if (trace_ == nullptr) return;
+  const bool cursor_wanted =
+      internal::g_span_stack_refs.load(std::memory_order_relaxed) > 0;
+  if (trace_ == nullptr && !cursor_wanted) return;
+  // Publish the name before the depth so a signal handler interrupting
+  // between the two stores never reads a stale slot.
+  const int depth = internal::tls_span_depth;
+  if (depth < internal::kMaxSpanStack) {
+    internal::tls_span_stack[depth] = name_;
+  }
+  std::atomic_signal_fence(std::memory_order_release);
+  internal::tls_span_depth = depth + 1;
+  pushed_ = true;
+  if (trace_ == nullptr) return;  // cursor-only (profiler / mem hooks)
   seq_ = internal::g_next_seq.fetch_add(1, std::memory_order_relaxed);
   parent_seq_ = internal::tls_current_span;
   internal::tls_current_span = seq_;
@@ -186,12 +255,17 @@ Span::Span(const char* name)
 }
 
 Span::~Span() {
-  if (trace_ == nullptr) return;
+  if (pushed_) {
+    internal::tls_span_depth -= 1;
+    std::atomic_signal_fence(std::memory_order_release);
+  }
+  if (trace_ == nullptr || seq_ == 0) return;
   double elapsed =
       internal::ElapsedMs(start_, std::chrono::steady_clock::now());
   internal::tls_current_span = parent_seq_;
-  trace_->BufferForThisThread()->records.push_back(
-      internal::SpanRecord{name_, seq_, parent_seq_, elapsed});
+  trace_->BufferForThisThread()->records.push_back(internal::SpanRecord{
+      name_, seq_, parent_seq_, internal::ElapsedMs(trace_->start_, start_),
+      elapsed});
 }
 
 SpanParent::SpanParent(SpanToken parent)

@@ -31,11 +31,35 @@ struct SpanNode {
   const SpanNode* Find(std::string_view child_name) const;
 };
 
+/// One raw span occurrence on a thread's timeline, with its start offset
+/// from the trace's start. Unlike SpanNode this is *not* aggregated —
+/// it is the event stream the Chrome Trace / Perfetto exporter needs.
+/// `name` points at the span's string literal.
+struct TraceEvent {
+  const char* name;
+  uint64_t seq;
+  uint64_t parent_seq;
+  double start_ms;  ///< offset from the trace's start
+  double dur_ms;
+};
+
+/// All events one thread recorded, plus the thread's identity (kernel
+/// tid and pthread name, both captured when the thread first recorded
+/// into the trace — after ThreadPool named its workers).
+struct ThreadTrack {
+  uint64_t tid = 0;
+  std::string thread_name;
+  std::vector<TraceEvent> events;  ///< sorted by start_ms
+};
+
 /// The finished result of a Trace: the aggregated span tree plus the
 /// trace's own wall time.
 struct TraceSummary {
   double wall_ms = 0;
   std::vector<SpanNode> roots;
+  /// Per-thread raw event timelines (ordered by each track's first
+  /// event), feeding obs::ExportChromeTrace. Empty iff no span recorded.
+  std::vector<ThreadTrack> tracks;
 
   /// Depth-first lookup by dotted path, e.g. `Find("cover.run/cover.minimize")`.
   const SpanNode* Find(std::string_view slash_path) const;
@@ -55,15 +79,39 @@ struct SpanRecord {
   const char* name;
   uint64_t seq;         ///< global start order (1-based)
   uint64_t parent_seq;  ///< 0 when the span is a root
+  double start_ms;      ///< offset from the trace's start
   double elapsed_ms;
 };
 
 /// Per-thread span buffer registered with (and merged by) the Trace.
+/// Thread identity is captured at registration time (first record).
 struct ThreadBuffer {
+  uint64_t tid = 0;
+  std::string thread_name;
   std::vector<SpanRecord> records;
 };
 
 extern std::atomic<Trace*> g_active_trace;
+
+// ---------------------------------------------------------------------------
+// Span-name cursor for sample attribution.
+//
+// The profiler's SIGPROF handler and the memory-accounting hooks need to
+// know, from *inside* an interrupt or an allocation on any thread, which
+// span that thread is currently executing. They read this thread-local
+// stack of open span names. Span only maintains it while somebody wants
+// it (a trace is active, or g_span_stack_refs > 0 — bumped by
+// Profiler/ScopedMemAccounting), so the disabled cost of a Span stays
+// two relaxed atomic loads.
+//
+// Signal safety: the writer (Span ctor/dtor on the same thread) stores
+// the name *before* publishing the new depth, separated by a signal
+// fence, so an interrupting reader never sees an uninitialized slot.
+
+inline constexpr int kMaxSpanStack = 64;
+extern thread_local const char* tls_span_stack[kMaxSpanStack];
+extern thread_local int tls_span_depth;
+extern std::atomic<int> g_span_stack_refs;
 
 }  // namespace internal
 
@@ -137,8 +185,9 @@ class Span {
   Span& operator=(const Span&) = delete;
 
  private:
-  Trace* trace_;  // nullptr = inactive, destructor is a no-op
+  Trace* trace_;  // nullptr = inactive, destructor skips recording
   const char* name_;
+  bool pushed_ = false;  // name is on this thread's span-name stack
   uint64_t seq_ = 0;
   uint64_t parent_seq_ = 0;
   std::chrono::steady_clock::time_point start_;

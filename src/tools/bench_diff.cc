@@ -1,0 +1,433 @@
+#include "tools/bench_diff.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <unordered_set>
+
+namespace xmlprop {
+namespace benchdiff {
+
+namespace {
+
+// Column classification. Numeric names not listed anywhere are
+// informational by default — new counters never silently gate.
+const std::unordered_set<std::string>& IdentityNumbers() {
+  static const auto* names = new std::unordered_set<std::string>{
+      "fields", "depth",   "keys",       "confs",   "nodes",
+      "tuples", "violations", "checks", "queries", "cover_fds",
+  };
+  return *names;
+}
+
+constexpr const char* kToleranceKey = "tolerance";
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for the BENCH report shape. Not a general parser:
+// values are strings, numbers, booleans; nesting beyond the fixed
+// {"bench": ..., "rows": [{...}]} frame is rejected.
+
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : text_(text) {}
+
+  Result<BenchReport> Parse() {
+    BenchReport report;
+    XMLPROP_RETURN_NOT_OK(Expect('{'));
+    bool first = true;
+    while (true) {
+      SkipWs();
+      if (Peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first) XMLPROP_RETURN_NOT_OK(Expect(','));
+      first = false;
+      std::string key;
+      XMLPROP_RETURN_NOT_OK(ParseString(&key));
+      XMLPROP_RETURN_NOT_OK(Expect(':'));
+      if (key == "bench") {
+        XMLPROP_RETURN_NOT_OK(ParseString(&report.bench));
+      } else if (key == "rows") {
+        XMLPROP_RETURN_NOT_OK(ParseRows(&report.rows));
+      } else {
+        return Error("unexpected top-level key '" + key + "'");
+      }
+    }
+    SkipWs();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return report;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("bench json: " + message + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipWs();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  Status Expect(char c) {
+    if (Peek() != c) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    XMLPROP_RETURN_NOT_OK(Expect('"'));
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          case '"':
+          case '\\':
+          case '/':
+            c = esc;
+            break;
+          default:
+            return Error("unsupported escape");
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= text_.size()) return Error("unterminated string");
+    ++pos_;  // closing quote
+    return Status::OK();
+  }
+
+  Status ParseValue(Value* out) {
+    const char c = Peek();
+    if (c == '"') {
+      out->kind = Value::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't' || c == 'f') {
+      const char* word = c == 't' ? "true" : "false";
+      if (text_.compare(pos_, std::strlen(word), word) != 0) {
+        return Error("bad literal");
+      }
+      pos_ += std::strlen(word);
+      out->kind = Value::Kind::kBool;
+      out->boolean = c == 't';
+      return Status::OK();
+    }
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    out->kind = Value::Kind::kNumber;
+    out->num = std::strtod(text_.c_str() + start, nullptr);
+    return Status::OK();
+  }
+
+  Status ParseRow(BenchRow* row) {
+    XMLPROP_RETURN_NOT_OK(Expect('{'));
+    bool first = true;
+    while (true) {
+      if (Peek() == '}') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (!first) XMLPROP_RETURN_NOT_OK(Expect(','));
+      first = false;
+      std::string key;
+      XMLPROP_RETURN_NOT_OK(ParseString(&key));
+      XMLPROP_RETURN_NOT_OK(Expect(':'));
+      Value value;
+      XMLPROP_RETURN_NOT_OK(ParseValue(&value));
+      row->fields.emplace_back(std::move(key), std::move(value));
+    }
+  }
+
+  Status ParseRows(std::vector<BenchRow>* rows) {
+    XMLPROP_RETURN_NOT_OK(Expect('['));
+    bool first = true;
+    while (true) {
+      if (Peek() == ']') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (!first) XMLPROP_RETURN_NOT_OK(Expect(','));
+      first = false;
+      BenchRow row;
+      XMLPROP_RETURN_NOT_OK(ParseRow(&row));
+      rows->push_back(std::move(row));
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::string FormatNum(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool Value::Equals(const Value& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case Kind::kString:
+      return str == other.str;
+    case Kind::kBool:
+      return boolean == other.boolean;
+    case Kind::kNumber:
+      return num == other.num;
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (kind) {
+    case Kind::kString:
+      return str;
+    case Kind::kBool:
+      return boolean ? "true" : "false";
+    case Kind::kNumber:
+      return FormatNum(num);
+  }
+  return "";
+}
+
+const Value* BenchRow::Find(const std::string& key) const {
+  for (const auto& [name, value] : fields) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string BenchRow::Label() const {
+  std::string out;
+  for (const auto& [name, value] : fields) {
+    const bool identifies = value.kind == Value::Kind::kString ||
+                            (value.kind == Value::Kind::kNumber &&
+                             IdentityNumbers().count(name) > 0);
+    if (!identifies) continue;
+    if (!out.empty()) out += ' ';
+    out += name + "=" + value.ToString();
+  }
+  return out.empty() ? "(unlabelled row)" : out;
+}
+
+Result<BenchReport> ParseBenchJson(const std::string& text) {
+  return Reader(text).Parse();
+}
+
+DiffResult DiffReports(const BenchReport& baseline, const BenchReport& current,
+                       const DiffOptions& options) {
+  DiffResult result;
+  result.bench = current.bench;
+
+  auto add = [&result](DiffLine line) {
+    switch (line.kind) {
+      case DiffLine::Kind::kRegression:
+        ++result.regressions;
+        break;
+      case DiffLine::Kind::kImprovement:
+        ++result.improvements;
+        break;
+      case DiffLine::Kind::kError:
+        ++result.errors;
+        break;
+      default:
+        break;
+    }
+    result.lines.push_back(std::move(line));
+  };
+
+  if (baseline.bench != current.bench) {
+    add({DiffLine::Kind::kError, "", "",
+         "bench name mismatch: baseline '" + baseline.bench +
+             "' vs current '" + current.bench + "'"});
+    return result;
+  }
+  if (baseline.rows.size() != current.rows.size()) {
+    add({DiffLine::Kind::kError, "", "",
+         "row count mismatch: baseline has " +
+             std::to_string(baseline.rows.size()) + ", current has " +
+             std::to_string(current.rows.size()) +
+             " (stale baseline? re-seed bench/baselines/)"});
+    return result;
+  }
+
+  const std::unordered_set<std::string> gated(options.gated.begin(),
+                                              options.gated.end());
+  for (size_t i = 0; i < baseline.rows.size(); ++i) {
+    const BenchRow& base = baseline.rows[i];
+    const BenchRow& cur = current.rows[i];
+    const std::string row_label = base.Label();
+
+    double tolerance = options.tolerance;
+    if (const Value* t = base.Find(kToleranceKey);
+        t != nullptr && t->kind == Value::Kind::kNumber) {
+      tolerance = t->num;
+    }
+
+    for (const auto& [name, base_value] : base.fields) {
+      if (name == kToleranceKey) continue;
+      const Value* cur_value = cur.Find(name);
+
+      const bool is_gated = base_value.kind == Value::Kind::kNumber &&
+                            gated.count(name) > 0;
+      const bool is_identity =
+          base_value.kind == Value::Kind::kString ||
+          base_value.kind == Value::Kind::kBool ||
+          (base_value.kind == Value::Kind::kNumber &&
+           IdentityNumbers().count(name) > 0);
+
+      if (cur_value == nullptr) {
+        if (is_gated || is_identity) {
+          add({DiffLine::Kind::kError, row_label, name,
+               "column missing from current report"});
+        }
+        continue;
+      }
+      if (is_identity) {
+        if (!base_value.Equals(*cur_value)) {
+          add({DiffLine::Kind::kError, row_label, name,
+               "identity mismatch: baseline " + base_value.ToString() +
+                   " vs current " + cur_value->ToString()});
+        }
+        continue;
+      }
+      if (!is_gated) continue;
+
+      const double base_num = base_value.num;
+      const double cur_num = cur_value->num;
+      const double ratio = base_num > 0 ? cur_num / base_num : 0;
+      DiffLine line;
+      line.row = row_label;
+      line.column = name;
+      line.baseline = base_num;
+      line.current = cur_num;
+      line.ratio = ratio;
+      if (base_num > 0 && cur_num > base_num * (1.0 + tolerance)) {
+        line.kind = DiffLine::Kind::kRegression;
+        line.message = name + " regressed: " + FormatNum(base_num) + " -> " +
+                       FormatNum(cur_num) + " (" + FormatNum(ratio) +
+                       "x, tolerance +" + FormatNum(tolerance * 100) + "%)";
+      } else if (base_num > 0 && cur_num < base_num * (1.0 - tolerance)) {
+        line.kind = DiffLine::Kind::kImprovement;
+        line.message = name + " improved: " + FormatNum(base_num) + " -> " +
+                       FormatNum(cur_num) + " (" + FormatNum(ratio) + "x)";
+      } else {
+        line.kind = DiffLine::Kind::kPass;
+        line.message = name + ": " + FormatNum(base_num) + " -> " +
+                       FormatNum(cur_num) + " (within +" +
+                       FormatNum(tolerance * 100) + "%)";
+      }
+      add(std::move(line));
+    }
+  }
+  return result;
+}
+
+std::string DiffToText(const std::vector<DiffResult>& results, bool verbose) {
+  std::ostringstream out;
+  for (const DiffResult& result : results) {
+    out << result.bench << ": "
+        << (result.ok() ? "OK" : result.errors > 0 ? "ERROR" : "REGRESSED")
+        << " (" << result.regressions << " regression(s), "
+        << result.improvements << " improvement(s), " << result.errors
+        << " error(s))\n";
+    for (const DiffLine& line : result.lines) {
+      if (!verbose && line.kind == DiffLine::Kind::kPass) continue;
+      const char* tag = "";
+      switch (line.kind) {
+        case DiffLine::Kind::kRegression:
+          tag = "REGRESSION";
+          break;
+        case DiffLine::Kind::kImprovement:
+          tag = "improved";
+          break;
+        case DiffLine::Kind::kError:
+          tag = "ERROR";
+          break;
+        case DiffLine::Kind::kPass:
+          tag = "ok";
+          break;
+        case DiffLine::Kind::kInfo:
+          tag = "info";
+          break;
+      }
+      out << "  [" << tag << "] ";
+      if (!line.row.empty()) out << line.row << ": ";
+      out << line.message << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string DiffToMarkdown(const std::vector<DiffResult>& results) {
+  std::ostringstream out;
+  out << "## Bench regression gate\n\n";
+  out << "| bench | row | column | baseline | current | ratio | verdict |\n";
+  out << "|---|---|---|---|---|---|---|\n";
+  bool any = false;
+  for (const DiffResult& result : results) {
+    for (const DiffLine& line : result.lines) {
+      const char* verdict = nullptr;
+      switch (line.kind) {
+        case DiffLine::Kind::kRegression:
+          verdict = "❌ regression";
+          break;
+        case DiffLine::Kind::kImprovement:
+          verdict = "🚀 improved";
+          break;
+        case DiffLine::Kind::kPass:
+          verdict = "✅ ok";
+          break;
+        case DiffLine::Kind::kError:
+          verdict = "⚠️ error";
+          break;
+        case DiffLine::Kind::kInfo:
+          continue;
+      }
+      any = true;
+      out << "| " << result.bench << " | " << line.row << " | " << line.column
+          << " | " << FormatNum(line.baseline) << " | "
+          << FormatNum(line.current) << " | "
+          << (line.ratio > 0 ? FormatNum(line.ratio) + "x" : std::string("—"))
+          << " | " << verdict;
+      if (line.kind == DiffLine::Kind::kError) out << " — " << line.message;
+      out << " |\n";
+    }
+  }
+  if (!any) out << "| — | — | — | — | — | — | nothing compared |\n";
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace benchdiff
+}  // namespace xmlprop

@@ -1,0 +1,106 @@
+#ifndef XMLPROP_TOOLS_BENCH_DIFF_H_
+#define XMLPROP_TOOLS_BENCH_DIFF_H_
+
+// The bench-regression gate: parses the BENCH_*.json reports the bench
+// mains emit, diffs a fresh report against a committed baseline
+// (bench/baselines/), and classifies every column:
+//
+//   identity  — workload shape and correctness columns (mode, fields,
+//               tuples, identical_to_*…). Any mismatch is an error: the
+//               baseline is stale or the run is broken, not "slower".
+//   gated     — timing columns (wall_ms by default). current >
+//               baseline * (1 + tolerance) is a regression.
+//   info      — everything else (cache counters, span breakdowns,
+//               max_rss_kb): reported, never gating — they move with
+//               implementation details.
+//
+// A baseline row may carry a "tolerance": 0.30 field to widen the gate
+// for that row alone (noisy small workloads).
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace xmlprop {
+namespace benchdiff {
+
+/// One scalar cell of a bench row (the BENCH format is flat).
+struct Value {
+  enum class Kind { kString, kNumber, kBool };
+  Kind kind = Kind::kNumber;
+  std::string str;
+  double num = 0;
+  bool boolean = false;
+
+  bool Equals(const Value& other) const;
+  std::string ToString() const;
+};
+
+/// One row: ordered key/value pairs as they appear in the file.
+struct BenchRow {
+  std::vector<std::pair<std::string, Value>> fields;
+  const Value* Find(const std::string& key) const;
+  /// "mode=engine_off fields=50" — the identity-ish label used in diff
+  /// output (string columns plus the shape columns, in file order).
+  std::string Label() const;
+};
+
+/// A parsed BENCH_*.json report.
+struct BenchReport {
+  std::string bench;
+  std::vector<BenchRow> rows;
+};
+
+/// Parses the constrained BENCH report JSON ({"bench": ..., "rows":
+/// [{flat}, ...]}). Rejects anything deeper than one level of nesting.
+Result<BenchReport> ParseBenchJson(const std::string& text);
+
+struct DiffOptions {
+  /// Relative slowdown a gated column may show before it regresses
+  /// (0.15 = +15%). Overridden per row by a baseline "tolerance" field.
+  double tolerance = 0.15;
+  /// Column names gated by the tolerance.
+  std::vector<std::string> gated = {"wall_ms"};
+};
+
+/// One finding of the diff.
+struct DiffLine {
+  enum class Kind { kPass, kRegression, kImprovement, kInfo, kError };
+  Kind kind = Kind::kInfo;
+  std::string row;      ///< BenchRow::Label() of the affected row
+  std::string column;   ///< column name ("" for file-level errors)
+  std::string message;  ///< human-readable one-liner
+  double baseline = 0;
+  double current = 0;
+  double ratio = 0;  ///< current / baseline (0 when not meaningful)
+};
+
+/// The verdict for one baseline/current report pair.
+struct DiffResult {
+  std::string bench;  ///< report name (from the current file)
+  std::vector<DiffLine> lines;
+  int regressions = 0;
+  int improvements = 0;
+  int errors = 0;
+  bool ok() const { return regressions == 0 && errors == 0; }
+};
+
+/// Diffs `current` against `baseline` row by row (rows are matched by
+/// position; identity columns are then required to agree, so a reordered
+/// or reshaped report surfaces as an error, not a silent mismatch).
+DiffResult DiffReports(const BenchReport& baseline, const BenchReport& current,
+                       const DiffOptions& options);
+
+/// Renders results as plain text (one line per finding, pass lines
+/// elided unless `verbose`).
+std::string DiffToText(const std::vector<DiffResult>& results, bool verbose);
+
+/// Renders results as a GitHub-flavoured markdown summary table.
+std::string DiffToMarkdown(const std::vector<DiffResult>& results);
+
+}  // namespace benchdiff
+}  // namespace xmlprop
+
+#endif  // XMLPROP_TOOLS_BENCH_DIFF_H_

@@ -1,0 +1,149 @@
+// bench_diff — the CI bench-regression gate.
+//
+//   bench_diff [--tolerance=F] [--warn-only] [--verbose]
+//              [--markdown=FILE] BASELINE CURRENT [BASELINE CURRENT]...
+//
+// Compares each fresh BENCH_*.json against its committed baseline
+// (bench/baselines/). Exit codes: 0 pass (or --warn-only), 2 at least
+// one gated column regressed beyond tolerance, 1 usage/parse/shape
+// errors (missing baseline, stale row set) — errors stay hard even
+// under --warn-only, because they mean the comparison itself is invalid.
+//
+// When $GITHUB_STEP_SUMMARY is set the markdown table is appended there
+// too, so the verdict shows up on the workflow run page.
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/bench_diff.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool AppendFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+int Usage() {
+  std::cerr << "usage: bench_diff [--tolerance=F] [--warn-only] [--verbose]\n"
+               "                  [--markdown=FILE] BASELINE CURRENT "
+               "[BASELINE CURRENT]...\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using xmlprop::benchdiff::BenchReport;
+  using xmlprop::benchdiff::DiffOptions;
+  using xmlprop::benchdiff::DiffResult;
+
+  DiffOptions options;
+  bool warn_only = false;
+  bool verbose = false;
+  std::string markdown_path;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--tolerance=", 0) == 0) {
+      options.tolerance = std::strtod(arg.c_str() + 12, nullptr);
+      if (options.tolerance <= 0) {
+        std::cerr << "bench_diff: bad --tolerance '" << arg << "'\n";
+        return 1;
+      }
+    } else if (arg == "--warn-only") {
+      warn_only = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg.rfind("--markdown=", 0) == 0) {
+      markdown_path = arg.substr(11);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "bench_diff: unknown flag '" << arg << "'\n";
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty() || files.size() % 2 != 0) return Usage();
+
+  std::vector<DiffResult> results;
+  int errors = 0;
+  for (size_t i = 0; i < files.size(); i += 2) {
+    const std::string& baseline_path = files[i];
+    const std::string& current_path = files[i + 1];
+    std::string baseline_text, current_text;
+    if (!ReadFile(baseline_path, &baseline_text)) {
+      std::cerr << "bench_diff: missing baseline " << baseline_path
+                << " (seed it from a trusted run)\n";
+      ++errors;
+      continue;
+    }
+    if (!ReadFile(current_path, &current_text)) {
+      std::cerr << "bench_diff: missing current report " << current_path
+                << "\n";
+      ++errors;
+      continue;
+    }
+    auto baseline = xmlprop::benchdiff::ParseBenchJson(baseline_text);
+    if (!baseline.ok()) {
+      std::cerr << "bench_diff: " << baseline_path << ": "
+                << baseline.status().ToString() << "\n";
+      ++errors;
+      continue;
+    }
+    auto current = xmlprop::benchdiff::ParseBenchJson(current_text);
+    if (!current.ok()) {
+      std::cerr << "bench_diff: " << current_path << ": "
+                << current.status().ToString() << "\n";
+      ++errors;
+      continue;
+    }
+    results.push_back(
+        xmlprop::benchdiff::DiffReports(*baseline, *current, options));
+  }
+
+  std::cout << xmlprop::benchdiff::DiffToText(results, verbose);
+
+  const std::string markdown = xmlprop::benchdiff::DiffToMarkdown(results);
+  if (!markdown_path.empty() && !AppendFile(markdown_path, markdown)) {
+    std::cerr << "bench_diff: cannot write " << markdown_path << "\n";
+    ++errors;
+  }
+  if (const char* summary = std::getenv("GITHUB_STEP_SUMMARY");
+      summary != nullptr && summary[0] != '\0') {
+    AppendFile(summary, markdown);
+  }
+
+  int regressions = 0;
+  for (const DiffResult& result : results) {
+    regressions += result.regressions;
+    errors += result.errors;
+  }
+  if (errors > 0) return 1;
+  if (regressions > 0) {
+    if (warn_only) {
+      std::cerr << "bench_diff: " << regressions
+                << " regression(s) (warn-only: not failing)\n";
+      return 0;
+    }
+    return 2;
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -17,7 +18,10 @@
 #include "keys/satisfaction.h"
 #include "keys/xsd_import.h"
 #include "core/publish.h"
+#include "obs/chrome_trace.h"
+#include "obs/mem_stats.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "relational/csv.h"
@@ -45,6 +49,19 @@ observability (any command):
                   print the human-readable tree to stderr. Never alters
                   the command's stdout.
   --metrics       Print the metric counters the run recorded to stderr.
+  --trace-format=FORMAT
+                  Trace output format: `json` (the run report, default)
+                  or `perfetto` (Chrome Trace Event JSON with one track
+                  per thread — load at ui.perfetto.dev). With perfetto
+                  the trace goes to the --trace FILE, or to
+                  TRACE_<command>.perfetto.json when --trace has no file.
+  --profile[=FILE]
+                  Sample the run with the CPU profiler and count
+                  allocations. Writes collapsed stacks (flamegraph.pl
+                  input) to FILE (default PROFILE_<command>.folded) and
+                  prints the full run report — per-span samples, memory,
+                  histogram percentiles — to stderr. Never alters the
+                  command's stdout.
 
 commands:
   check      --keys FILE --doc FILE [--fkeys FILE] [--index]
@@ -121,14 +138,14 @@ Result<ParsedArgs> ParseArgs(const std::vector<std::string>& args) {
       parsed.flags[name.substr(0, eq)] = name.substr(eq + 1);
       continue;
     }
-    // Boolean flags take no value; --trace/--metrics take an optional
-    // =value only (never the next argument); everything else consumes
-    // the next arg.
+    // Boolean flags take no value; --trace/--metrics/--profile take an
+    // optional =value only (never the next argument); everything else
+    // consumes the next arg.
     if (name == "sql" || name == "naive" || name == "3nf" ||
         name == "via-cover" || name == "csv" || name == "explain" ||
         name == "engine" || name == "index") {
       parsed.flags[name] = "true";
-    } else if (name == "trace" || name == "metrics") {
+    } else if (name == "trace" || name == "metrics" || name == "profile") {
       parsed.flags[name] = "";
     } else {
       if (i + 1 >= args.size()) {
@@ -556,7 +573,10 @@ int DispatchCommand(const ParsedArgs& parsed, std::ostream& out) {
 std::string ConfigString(const ParsedArgs& args) {
   std::string out;
   for (const auto& [name, value] : args.flags) {
-    if (name == "trace" || name == "metrics") continue;
+    if (name == "trace" || name == "metrics" || name == "profile" ||
+        name == "trace-format") {
+      continue;
+    }
     if (!out.empty()) out += ' ';
     out += name;
     if (!value.empty() && value != "true") {
@@ -567,20 +587,36 @@ std::string ConfigString(const ParsedArgs& args) {
   return out;
 }
 
-// Runs the command with a trace + metric registry installed, then emits
-// the run report where --trace[=FILE] / --metrics asked for it. All
-// emission goes to stderr or the given file: the command's primary
-// stdout stays bit-identical to an unobserved run.
+// Runs the command with a trace + metric registry installed (plus the
+// profiler and allocation hooks under --profile), then emits the run
+// report where --trace[=FILE] / --metrics / --profile / --trace-format
+// asked for it. All emission goes to stderr or the named files: the
+// command's primary stdout stays bit-identical to an unobserved run.
 int RunObserved(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  const std::string trace_format =
+      args.Has("trace-format") ? args.Get("trace-format") : "json";
+  if (trace_format != "json" && trace_format != "perfetto") {
+    throw Status::InvalidArgument("unknown --trace-format '" + trace_format +
+                                  "' (expected json or perfetto)");
+  }
+  const bool profiling = args.Has("profile");
+
   obs::MetricRegistry registry;
   obs::Trace trace;
+  obs::Profiler profiler;
+  std::optional<obs::ScopedMemAccounting> mem_scope;
   int code;
   {
     obs::ScopedMetrics metrics_scope(&registry);
     obs::ScopedTrace trace_scope(&trace);
+    if (profiling) {
+      mem_scope.emplace();
+      profiler.Start();
+    }
     obs::Span root(args.command.c_str());
     code = DispatchCommand(args, out);
   }
+  if (profiling) profiler.Stop();
   if (code == -1) return -1;  // unknown command: no report
 
   obs::RunReport report;
@@ -588,11 +624,30 @@ int RunObserved(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   report.config = ConfigString(args);
   report.trace = trace.Finish();
   report.metrics = registry.Snapshot();
+  if (profiling) {
+    report.profile = profiler.Stop();
+    report.memory = mem_scope->Snapshot();
+    mem_scope.reset();
+  } else {
+    report.memory = obs::CurrentMemorySummary();
+  }
 
-  if (args.Has("trace")) {
+  bool text_report_emitted = false;
+  if (trace_format == "perfetto") {
+    std::string file = args.Get("trace");
+    if (file.empty()) file = "TRACE_" + args.command + ".perfetto.json";
+    if (!obs::WriteChromeTrace(report.trace, file)) {
+      throw Status::InvalidArgument("cannot write perfetto trace to " + file);
+    }
+    if (args.Has("trace") && args.Get("trace").empty()) {
+      err << obs::ReportToText(report);
+      text_report_emitted = true;
+    }
+  } else if (args.Has("trace")) {
     const std::string file = args.Get("trace");
     if (file.empty()) {
       err << obs::ReportToText(report);
+      text_report_emitted = true;
     } else {
       std::ofstream f(file, std::ios::binary | std::ios::trunc);
       if (!f) {
@@ -601,10 +656,22 @@ int RunObserved(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
       f << obs::ReportToJson(report) << "\n";
     }
   }
-  // The bare --trace text tree already lists the metrics; only print
-  // them separately when they would otherwise not reach stderr.
-  if (args.Has("metrics") &&
-      !(args.Has("trace") && args.Get("trace").empty())) {
+  if (profiling) {
+    std::string file = args.Get("profile");
+    if (file.empty()) file = "PROFILE_" + args.command + ".folded";
+    std::ofstream f(file, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      throw Status::InvalidArgument("cannot write profile to " + file);
+    }
+    f << report.profile.ToCollapsed();
+    if (!text_report_emitted) {
+      err << obs::ReportToText(report);
+      text_report_emitted = true;
+    }
+  }
+  // The text report already lists the metrics; only print them
+  // separately when they would otherwise not reach stderr.
+  if (args.Has("metrics") && !text_report_emitted) {
     err << "metrics:\n";
     for (const auto& [name, value] : report.metrics.counters) {
       err << "  " << name << " = " << value << "\n";
@@ -632,7 +699,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
       out << kHelp;
       return 0;
     }
-    const int code = (parsed->Has("trace") || parsed->Has("metrics"))
+    const int code = (parsed->Has("trace") || parsed->Has("metrics") ||
+                      parsed->Has("profile") || parsed->Has("trace-format"))
                          ? RunObserved(*parsed, out, err)
                          : DispatchCommand(*parsed, out);
     if (code == -1) {

@@ -1,0 +1,191 @@
+// Tests for the bench-regression gate: BENCH report parsing, verdict
+// classification (pass / regression / improvement / identity error),
+// per-row tolerance overrides, and the rendered summaries.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tools/bench_diff.h"
+
+namespace xmlprop {
+namespace benchdiff {
+namespace {
+
+// A two-row report in the exact shape bench_util.h emits.
+constexpr const char* kBaselineJson = R"({"bench":"fig7a","rows":[
+{"mode":"engine_off","fields":50,"wall_ms":100.0,"checks":1275},
+{"mode":"engine_warm","fields":50,"wall_ms":10.0,"checks":1275}
+]})";
+
+std::string WithWallMs(double off_ms, double warm_ms) {
+  return std::string("{\"bench\":\"fig7a\",\"rows\":[") +
+         "{\"mode\":\"engine_off\",\"fields\":50,\"wall_ms\":" +
+         std::to_string(off_ms) + ",\"checks\":1275}," +
+         "{\"mode\":\"engine_warm\",\"fields\":50,\"wall_ms\":" +
+         std::to_string(warm_ms) + ",\"checks\":1275}]}";
+}
+
+BenchReport Parse(const std::string& text) {
+  Result<BenchReport> result = ParseBenchJson(text);
+  EXPECT_TRUE(result.ok()) << result.status().message();
+  return *result;
+}
+
+TEST(BenchDiffParseTest, RoundTripsReportShape) {
+  const BenchReport report = Parse(kBaselineJson);
+  EXPECT_EQ(report.bench, "fig7a");
+  ASSERT_EQ(report.rows.size(), 2u);
+
+  const BenchRow& row = report.rows[0];
+  const Value* mode = row.Find("mode");
+  ASSERT_NE(mode, nullptr);
+  EXPECT_EQ(mode->kind, Value::Kind::kString);
+  EXPECT_EQ(mode->str, "engine_off");
+  const Value* wall = row.Find("wall_ms");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_EQ(wall->kind, Value::Kind::kNumber);
+  EXPECT_DOUBLE_EQ(wall->num, 100.0);
+  EXPECT_EQ(row.Find("nope"), nullptr);
+
+  // Label carries the string and shape columns, in file order.
+  EXPECT_EQ(row.Label(), "mode=engine_off fields=50 checks=1275");
+}
+
+TEST(BenchDiffParseTest, ParsesEscapesAndBools) {
+  const BenchReport report = Parse(
+      R"({"bench":"x","rows":[{"mode":"a\"b\\c","hit":true,"miss":false}]})");
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_EQ(report.rows[0].Find("mode")->str, "a\"b\\c");
+  EXPECT_TRUE(report.rows[0].Find("hit")->boolean);
+  EXPECT_FALSE(report.rows[0].Find("miss")->boolean);
+}
+
+TEST(BenchDiffParseTest, RejectsMalformedJson) {
+  EXPECT_FALSE(ParseBenchJson("").ok());
+  EXPECT_FALSE(ParseBenchJson("{\"bogus\":1}").ok());  // unknown key
+  EXPECT_FALSE(ParseBenchJson("{\"bench\":\"x\",\"rows\":[{").ok());
+  // Nested objects are outside the BENCH format.
+  EXPECT_FALSE(
+      ParseBenchJson(R"({"bench":"x","rows":[{"a":{"b":1}}]})").ok());
+}
+
+TEST(BenchDiffTest, IdenticalReportsPass) {
+  const BenchReport base = Parse(kBaselineJson);
+  const DiffResult result = DiffReports(base, base, DiffOptions{});
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.regressions, 0);
+  EXPECT_EQ(result.errors, 0);
+  EXPECT_EQ(result.improvements, 0);
+}
+
+TEST(BenchDiffTest, WithinToleranceIsAPass) {
+  const BenchReport base = Parse(kBaselineJson);
+  // +10% on both rows: inside the default ±15% gate.
+  const BenchReport current = Parse(WithWallMs(110.0, 11.0));
+  EXPECT_TRUE(DiffReports(base, current, DiffOptions{}).ok());
+}
+
+TEST(BenchDiffTest, FlagsInjectedSlowdown) {
+  const BenchReport base = Parse(kBaselineJson);
+  // 2x on the warm row only — the acceptance scenario.
+  const BenchReport current = Parse(WithWallMs(100.0, 20.0));
+  const DiffResult result = DiffReports(base, current, DiffOptions{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.regressions, 1);
+  EXPECT_EQ(result.errors, 0);
+
+  bool found = false;
+  for (const DiffLine& line : result.lines) {
+    if (line.kind != DiffLine::Kind::kRegression) continue;
+    found = true;
+    EXPECT_EQ(line.column, "wall_ms");
+    EXPECT_EQ(line.row, "mode=engine_warm fields=50 checks=1275");
+    EXPECT_DOUBLE_EQ(line.baseline, 10.0);
+    EXPECT_DOUBLE_EQ(line.current, 20.0);
+    EXPECT_DOUBLE_EQ(line.ratio, 2.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchDiffTest, ReportsImprovements) {
+  const BenchReport base = Parse(kBaselineJson);
+  const BenchReport current = Parse(WithWallMs(50.0, 10.0));
+  const DiffResult result = DiffReports(base, current, DiffOptions{});
+  EXPECT_TRUE(result.ok()) << "improvements must not fail the gate";
+  EXPECT_EQ(result.improvements, 1);
+}
+
+TEST(BenchDiffTest, PerRowToleranceOverridesDefault) {
+  // The warm row declares tolerance 1.5, so its 2x stays a pass while
+  // the same 2x on the off row (default 0.15) regresses.
+  const BenchReport base = Parse(R"({"bench":"fig7a","rows":[
+{"mode":"engine_off","fields":50,"wall_ms":100.0},
+{"mode":"engine_warm","fields":50,"wall_ms":10.0,"tolerance":1.5}
+]})");
+  const BenchReport current = Parse(WithWallMs(100.0, 20.0));
+  EXPECT_TRUE(DiffReports(base, current, DiffOptions{}).ok());
+
+  const BenchReport doubled = Parse(WithWallMs(200.0, 20.0));
+  const DiffResult result = DiffReports(base, doubled, DiffOptions{});
+  EXPECT_EQ(result.regressions, 1);
+}
+
+TEST(BenchDiffTest, IdentityMismatchIsAnError) {
+  const BenchReport base = Parse(kBaselineJson);
+  // Same timing, different workload shape: checks changed.
+  const BenchReport current = Parse(R"({"bench":"fig7a","rows":[
+{"mode":"engine_off","fields":50,"wall_ms":100.0,"checks":9999},
+{"mode":"engine_warm","fields":50,"wall_ms":10.0,"checks":1275}
+]})");
+  const DiffResult result = DiffReports(base, current, DiffOptions{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_GE(result.errors, 1);
+  EXPECT_EQ(result.regressions, 0);
+}
+
+TEST(BenchDiffTest, BenchNameAndRowCountMismatchesAreErrors) {
+  const BenchReport base = Parse(kBaselineJson);
+
+  BenchReport renamed = base;
+  renamed.bench = "fig7b";
+  EXPECT_GE(DiffReports(base, renamed, DiffOptions{}).errors, 1);
+
+  BenchReport truncated = base;
+  truncated.rows.pop_back();
+  EXPECT_GE(DiffReports(base, truncated, DiffOptions{}).errors, 1);
+}
+
+TEST(BenchDiffTest, MissingGatedColumnIsAnError) {
+  const BenchReport base = Parse(kBaselineJson);
+  const BenchReport current = Parse(R"({"bench":"fig7a","rows":[
+{"mode":"engine_off","fields":50,"checks":1275},
+{"mode":"engine_warm","fields":50,"wall_ms":10.0,"checks":1275}
+]})");
+  EXPECT_GE(DiffReports(base, current, DiffOptions{}).errors, 1);
+}
+
+TEST(BenchDiffRenderTest, TextAndMarkdownCarryTheVerdicts) {
+  const BenchReport base = Parse(kBaselineJson);
+  const BenchReport current = Parse(WithWallMs(100.0, 20.0));
+  const std::vector<DiffResult> results = {
+      DiffReports(base, current, DiffOptions{})};
+
+  const std::string text = DiffToText(results, /*verbose=*/false);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos) << text;
+  EXPECT_NE(text.find("wall_ms"), std::string::npos) << text;
+  EXPECT_NE(text.find("engine_warm"), std::string::npos) << text;
+
+  const std::string verbose = DiffToText(results, /*verbose=*/true);
+  EXPECT_GT(verbose.size(), text.size()) << "verbose shows pass lines";
+
+  const std::string markdown = DiffToMarkdown(results);
+  EXPECT_NE(markdown.find("|"), std::string::npos);
+  EXPECT_NE(markdown.find("fig7a"), std::string::npos);
+  EXPECT_NE(markdown.find("engine_warm"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace benchdiff
+}  // namespace xmlprop

@@ -447,5 +447,64 @@ TEST_F(CliTest, UnwritableTraceFileIsAnError) {
   EXPECT_NE(r.err.find("cannot write trace report"), std::string::npos);
 }
 
+// The PR acceptance command: profiling plus Perfetto export leaves the
+// primary stdout bit-identical and drops both artifacts next to it.
+TEST_F(CliTest, ProfileAndPerfettoLeaveStdoutIdentical) {
+  const std::vector<std::string> base = {"cover", "--keys", Path("keys.txt"),
+                                         "--rules", Path("universal.txt"),
+                                         "--engine"};
+  RunResult plain = Run(base);
+  ASSERT_EQ(plain.code, 0) << plain.err;
+
+  const std::string folded = Path("cover.folded");
+  const std::string perfetto = Path("cover.perfetto.json");
+  std::vector<std::string> observed = base;
+  observed.push_back("--profile=" + folded);
+  observed.push_back("--trace=" + perfetto);
+  observed.push_back("--trace-format=perfetto");
+  RunResult r = Run(observed);
+  EXPECT_EQ(r.code, plain.code) << r.err;
+  EXPECT_EQ(StripTimings(r.out), StripTimings(plain.out))
+      << "--profile/--trace-format altered stdout";
+
+  // Both artifacts exist; the Perfetto file is a Chrome Trace JSON.
+  EXPECT_TRUE(fs::exists(folded));
+  std::ifstream in(perfetto);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+
+  // The text run report lands on stderr and includes the memory readout
+  // the profiling plane added.
+  EXPECT_NE(r.err.find("trace: cover"), std::string::npos);
+  EXPECT_NE(r.err.find("memory: max_rss"), std::string::npos);
+}
+
+TEST_F(CliTest, ProfileAloneWritesDefaultCollapsedFile) {
+  // Run inside the test dir so the default PROFILE_<command>.folded
+  // artifact lands there.
+  const fs::path cwd = fs::current_path();
+  fs::current_path(dir_);
+  RunResult r = Run({"check", "--keys", Path("keys.txt"), "--doc",
+                     Path("doc.xml"), "--profile"});
+  fs::current_path(cwd);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(fs::exists(dir_ / "PROFILE_check.folded"));
+  // --profile implies the text run report on stderr.
+  EXPECT_NE(r.err.find("trace: check"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownTraceFormatIsAnError) {
+  RunResult r = Run({"check", "--keys", Path("keys.txt"), "--doc",
+                     Path("doc.xml"), "--trace-format=xml"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown --trace-format"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace xmlprop

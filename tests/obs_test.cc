@@ -76,6 +76,52 @@ TEST(MetricRegistryTest, HistogramsTrackMoments) {
   EXPECT_DOUBLE_EQ(h.max, 5.0);
 }
 
+TEST(MetricRegistryTest, HistogramBucketsAreMonotoneAndClamped) {
+  using H = obs::HistogramSnapshot;
+  // Non-positive values land in bucket 0; indices grow with the value
+  // and saturate at the last bucket.
+  EXPECT_EQ(H::BucketIndex(0.0), 0);
+  EXPECT_EQ(H::BucketIndex(-5.0), 0);
+  int prev = 0;
+  for (double v = 1e-9; v < 1e12; v *= 4) {
+    const int index = H::BucketIndex(v);
+    EXPECT_GE(index, prev);
+    EXPECT_LT(index, H::kNumBuckets);
+    // Each value is within its bucket's inclusive upper bound, except
+    // when it saturated into the last bucket (which is open-ended).
+    if (index < H::kNumBuckets - 1) {
+      EXPECT_LE(v, H::BucketUpperBound(index));
+    }
+    prev = index;
+  }
+  EXPECT_EQ(H::BucketIndex(1e300), H::kNumBuckets - 1);
+}
+
+TEST(MetricRegistryTest, PercentilesBracketTheDistribution) {
+  obs::MetricRegistry registry;
+  // 100 observations of 1ms and one slow 1000ms outlier: p50 must stay
+  // near the bulk, p99+ must reach for the tail.
+  for (int i = 0; i < 100; ++i) registry.Observe("lat", 1.0);
+  registry.Observe("lat", 1000.0);
+  const obs::HistogramSnapshot& h =
+      registry.Snapshot().histograms[0].second;
+  EXPECT_EQ(h.count, 101u);
+  EXPECT_LE(h.Percentile(50), 2.0);
+  EXPECT_GE(h.Percentile(50), h.min);
+  EXPECT_GE(h.Percentile(99.9), 500.0);
+  EXPECT_LE(h.Percentile(99.9), h.max);
+  // Percentiles are monotone in p and clamped to [min, max].
+  EXPECT_LE(h.Percentile(50), h.Percentile(95));
+  EXPECT_LE(h.Percentile(95), h.Percentile(99));
+  EXPECT_EQ(h.Percentile(0), h.min);
+  EXPECT_EQ(h.Percentile(100), h.max);
+}
+
+TEST(MetricRegistryTest, PercentileOfEmptyHistogramIsZero) {
+  obs::HistogramSnapshot h;
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
 TEST(MetricRegistryTest, GlobalHelpersNoOpWhenInactive) {
   ASSERT_EQ(obs::ActiveMetrics(), nullptr);
   obs::Count("ignored");       // must not crash, must not observe anywhere
@@ -279,7 +325,7 @@ obs::RunReport MakeReport() {
 TEST(ReportTest, JsonHasGoldenShape) {
   const std::string json = obs::ReportToJson(MakeReport());
   // Required top-level keys, in the documented order.
-  EXPECT_NE(json.find("\"version\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"version\":2"), std::string::npos) << json;
   EXPECT_NE(json.find("\"command\":\"cmd\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"config\":\"flag=value\""), std::string::npos);
   EXPECT_NE(json.find("\"wall_ms\":"), std::string::npos);
@@ -288,8 +334,16 @@ TEST(ReportTest, JsonHasGoldenShape) {
   EXPECT_NE(json.find("\"metrics\":{\"counters\":{\"some.counter\":42}"),
             std::string::npos);
   EXPECT_NE(json.find("\"gauges\":{\"some.gauge\":-3}"), std::string::npos);
+  // Histogram rows carry the bucket-estimated percentiles since v2.
   EXPECT_NE(json.find("\"histograms\":{\"some.histogram\":{\"count\":1"),
             std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  // The memory object is always present (peak RSS needs no hooks); the
+  // profile object only appears when the profiler ran.
+  EXPECT_NE(json.find("\"memory\":{\"max_rss_kb\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"profile\":"), std::string::npos);
   // Balanced braces/brackets — cheap structural sanity (no nested quotes
   // in this fixture, so counting is exact).
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),

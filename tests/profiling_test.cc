@@ -1,0 +1,265 @@
+// Tests for the deep-profiling plane: Perfetto/Chrome trace export over
+// per-thread tracks, the SIGPROF sampling profiler, and the allocation
+// accounting hooks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/chrome_trace.h"
+#include "obs/mem_stats.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+
+namespace xmlprop {
+namespace {
+
+// Burns CPU until at least `ms` of wall time passed (the spin is
+// CPU-bound, so ITIMER_PROF's CPU clock advances too).
+void SpinFor(double ms) {
+  const auto start = std::chrono::steady_clock::now();
+  volatile uint64_t sink = 0;
+  while (std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+             .count() < ms) {
+    for (int i = 0; i < 1000; ++i) sink = sink + static_cast<uint64_t>(i);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Per-thread tracks + Perfetto export
+
+// Runs a trace whose fan-out provably lands on 3 distinct pool workers:
+// each chunk spin-waits until all 3 chunks have started, which can only
+// happen when every chunk holds its own thread.
+obs::TraceSummary ThreeWorkerTrace() {
+  ThreadPool pool(3);
+  obs::Trace trace;
+  {
+    obs::ScopedTrace scope(&trace);
+    obs::Span root("main-phase");
+    const obs::SpanToken parent = obs::CurrentSpan();
+    std::atomic<int> arrived{0};
+    pool.ParallelFor(3, [&](size_t begin, size_t end, size_t /*worker*/) {
+      obs::SpanParent adopt(parent);
+      obs::Span chunk("worker-chunk");
+      arrived.fetch_add(1);
+      while (arrived.load() < 3) {
+      }
+      (void)begin;
+      (void)end;
+    });
+  }
+  return trace.Finish();
+}
+
+TEST(ThreadTrackTest, FanOutProducesOneTrackPerThread) {
+  const obs::TraceSummary summary = ThreeWorkerTrace();
+  // Main thread + 3 workers.
+  ASSERT_EQ(summary.tracks.size(), 4u);
+  int worker_tracks = 0;
+  for (const obs::ThreadTrack& track : summary.tracks) {
+    EXPECT_NE(track.tid, 0u);
+    ASSERT_FALSE(track.events.empty());
+    // Events within a track are sorted by start time.
+    for (size_t i = 1; i < track.events.size(); ++i) {
+      EXPECT_LE(track.events[i - 1].start_ms, track.events[i].start_ms);
+    }
+    if (track.thread_name.rfind("xmlprop-wk-", 0) == 0) ++worker_tracks;
+  }
+  // The pool named its workers and the trace captured those names.
+  EXPECT_EQ(worker_tracks, 3);
+}
+
+TEST(ThreadTrackTest, WorkerNameIsStable) {
+  EXPECT_EQ(ThreadPool::WorkerName(0), "xmlprop-wk-0");
+  EXPECT_EQ(ThreadPool::WorkerName(3), "xmlprop-wk-3");
+}
+
+TEST(ChromeTraceTest, ExportRoundTripsThreeThreadTrace) {
+  const obs::TraceSummary summary = ThreeWorkerTrace();
+  const std::string json = obs::ExportChromeTrace(summary, "unit-test");
+
+  // Frame of the Chrome Trace Event format.
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  EXPECT_EQ(json.substr(json.size() - 2), "]}");
+
+  // Process + one thread_name metadata record per track.
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"unit-test\"}"),
+            std::string::npos);
+  size_t thread_meta = 0;
+  for (size_t at = json.find("\"name\":\"thread_name\"");
+       at != std::string::npos;
+       at = json.find("\"name\":\"thread_name\"", at + 1)) {
+    ++thread_meta;
+  }
+  EXPECT_EQ(thread_meta, summary.tracks.size());
+  EXPECT_NE(json.find("xmlprop-wk-"), std::string::npos);
+
+  // One complete event per recorded span, each carrying ts and dur.
+  size_t complete_events = 0;
+  for (size_t at = json.find("\"ph\":\"X\""); at != std::string::npos;
+       at = json.find("\"ph\":\"X\"", at + 1)) {
+    ++complete_events;
+  }
+  size_t recorded_spans = 0;
+  for (const obs::ThreadTrack& track : summary.tracks) {
+    recorded_spans += track.events.size();
+  }
+  EXPECT_EQ(complete_events, recorded_spans);
+  EXPECT_NE(json.find("\"name\":\"main-phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"worker-chunk\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+
+  // Structural sanity: balanced braces/brackets (no string in this
+  // fixture contains either).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+// --------------------------------------------------------------------------
+// Sampling profiler
+
+TEST(ProfilerTest, CapturesSamplesInBusySpan) {
+  if (!obs::Profiler::Supported()) GTEST_SKIP() << "no SIGPROF here";
+  obs::ProfilerOptions options;
+  options.period_us = 1000;
+  obs::Profiler profiler(options);
+  ASSERT_TRUE(profiler.Start());
+  {
+    obs::Span busy("busy-span");
+    SpinFor(200.0);
+  }
+  const obs::ProfileSummary& summary = profiler.Stop();
+  ASSERT_GE(summary.samples, 1u) << "no SIGPROF sample in 200ms of spin";
+  EXPECT_EQ(summary.period_us, 1000);
+
+  // At least one sample attributed to the busy span, self and total.
+  const auto it = std::find_if(
+      summary.span_counts.begin(), summary.span_counts.end(),
+      [](const obs::ProfileSpanCount& c) { return c.name == "busy-span"; });
+  ASSERT_NE(it, summary.span_counts.end())
+      << "busy-span missing from span_counts";
+  EXPECT_GE(it->self, 1u);
+  EXPECT_GE(it->total, it->self);
+
+  // Collapsed output: every line is "stack count", and the busy span
+  // roots at least one stack.
+  const std::string collapsed = summary.ToCollapsed();
+  EXPECT_NE(collapsed.find("busy-span"), std::string::npos) << collapsed;
+  for (size_t start = 0; start < collapsed.size();) {
+    const size_t end = collapsed.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    const std::string line = collapsed.substr(start, end - start);
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(std::stoull(line.substr(space + 1)), 0u) << line;
+    start = end + 1;
+  }
+}
+
+TEST(ProfilerTest, StopIsIdempotentAndSecondProfilerIsRejected) {
+  if (!obs::Profiler::Supported()) GTEST_SKIP() << "no SIGPROF here";
+  obs::Profiler first;
+  ASSERT_TRUE(first.Start());
+  obs::Profiler second;
+  EXPECT_FALSE(second.Start()) << "two profilers may not run at once";
+  const obs::ProfileSummary& a = first.Stop();
+  const obs::ProfileSummary& b = first.Stop();
+  EXPECT_EQ(&a, &b);
+  // With `first` gone, a new profiler can start again.
+  obs::Profiler third;
+  EXPECT_TRUE(third.Start());
+  third.Stop();
+}
+
+TEST(ProfilerTest, NeverStartedProfilerReportsEmpty) {
+  obs::Profiler profiler;
+  const obs::ProfileSummary& summary = profiler.Stop();
+  EXPECT_TRUE(summary.empty());
+  EXPECT_TRUE(summary.span_counts.empty());
+  EXPECT_TRUE(summary.ToCollapsed().empty());
+}
+
+// The disabled-cost contract: with no profiler or accounting scope
+// active, Span does not even maintain the span-name cursor.
+TEST(ProfilerTest, SpanCursorInactiveWhenNothingWantsIt) {
+  ASSERT_EQ(obs::internal::g_span_stack_refs.load(), 0);
+  const int depth_before = obs::internal::tls_span_depth;
+  {
+    obs::Span span("untracked");
+    EXPECT_EQ(obs::internal::tls_span_depth, depth_before);
+  }
+  EXPECT_EQ(obs::internal::tls_span_depth, depth_before);
+}
+
+// --------------------------------------------------------------------------
+// Memory accounting
+
+TEST(MemStatsTest, PeakRssIsPositiveOnLinux) {
+#if defined(__linux__)
+  EXPECT_GT(obs::ReadPeakRssKb(), 0);
+#else
+  GTEST_SKIP();
+#endif
+}
+
+TEST(MemStatsTest, ScopeCountsAndAttributesAllocations) {
+  constexpr int kAllocs = 64;
+  obs::MemorySummary summary;
+  {
+    obs::ScopedMemAccounting accounting;
+    {
+      obs::Span span("alloc-span");
+      std::vector<std::unique_ptr<int[]>> blocks;
+      blocks.reserve(kAllocs);
+      for (int i = 0; i < kAllocs; ++i) {
+        blocks.push_back(std::make_unique<int[]>(256));
+      }
+    }
+    summary = accounting.Snapshot();
+  }
+  EXPECT_TRUE(summary.hooks_enabled);
+  EXPECT_GE(summary.alloc_count, static_cast<uint64_t>(kAllocs));
+  EXPECT_GE(summary.alloc_bytes,
+            static_cast<uint64_t>(kAllocs) * 256 * sizeof(int));
+  EXPECT_GE(summary.peak_live_bytes,
+            static_cast<uint64_t>(kAllocs) * 256 * sizeof(int));
+  EXPECT_GT(summary.max_rss_kb, 0);
+
+  const auto it = std::find_if(
+      summary.by_span.begin(), summary.by_span.end(),
+      [](const obs::MemSpanAlloc& row) { return row.span == "alloc-span"; });
+  ASSERT_NE(it, summary.by_span.end()) << "alloc-span missing from by_span";
+  EXPECT_GE(it->count, static_cast<uint64_t>(kAllocs));
+
+  // Outside the scope the hooks are off again.
+  EXPECT_FALSE(obs::CurrentMemorySummary().hooks_enabled);
+}
+
+TEST(MemStatsTest, FreesBalanceLiveBytes) {
+  obs::ScopedMemAccounting accounting;
+  {
+    // Allocate and free inside the scope; live bytes should return to
+    // (near) the pre-allocation level.
+    auto block = std::make_unique<char[]>(1 << 20);
+    block[0] = 1;
+  }
+  const obs::MemorySummary summary = accounting.Snapshot();
+  EXPECT_GE(summary.free_count, 1u);
+  EXPECT_LT(summary.live_bytes, 1 << 20);
+}
+
+}  // namespace
+}  // namespace xmlprop
