@@ -31,7 +31,9 @@ Result<bool> GMinimumCover::Check(const Fd& fd,
         "FD attribute universe does not match relation " +
         table_.relation_name());
   }
-  // Condition (1): relational implication from the minimum cover.
+  // Condition (1): relational implication from the minimum cover — served
+  // by the cover's cached LinClosure index, compiled once at Build time
+  // and reused across every Check.
   if (!cover_.Implies(fd)) return false;
   // Condition (2): LHS fields guaranteed non-null when the RHS is
   // present — checked per RHS attribute, like Algorithm propagation.

@@ -245,7 +245,9 @@ Result<FdSet> MinimumCover(ImplicationEngine& engine, const TableTree& table,
                            PropagationStats* stats) {
   XMLPROP_ASSIGN_OR_RETURN(FdSet raw,
                            PropagatedCoverRaw(engine, table, stats));
-  return Minimize(raw);
+  // The engine's pool batches minimize's independent per-FD checks;
+  // output order is bit-identical to the sequential path.
+  return Minimize(raw, engine.pool());
 }
 
 Result<std::vector<NodeKeyAssignment>> ComputeNodeKeys(

@@ -145,7 +145,9 @@ Result<FdSet> NaiveMinimumCover(ImplicationEngine& engine,
                                 PropagationStats* stats) {
   XMLPROP_ASSIGN_OR_RETURN(FdSet all,
                            AllPropagatedFds(engine, table, options, stats));
-  return Minimize(all);
+  // The engine's pool batches minimize's independent per-FD checks;
+  // output order is bit-identical to the sequential path.
+  return Minimize(all, engine.pool());
 }
 
 }  // namespace xmlprop

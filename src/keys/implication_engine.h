@@ -134,6 +134,11 @@ class ImplicationEngine {
   /// Worker slots a ParallelRun may use (1 when no pool was created).
   size_t parallelism() const;
 
+  /// The engine's worker pool, for callers that batch their own
+  /// independent work (e.g. Minimize's per-FD checks); nullptr when the
+  /// engine runs single-threaded.
+  ThreadPool* pool() const { return pool_.get(); }
+
   /// Cached equivalents of the free functions (identical verdicts).
   /// `shard` routes cache writes to a worker-private overlay during
   /// parallel batches; pass nullptr (the default) outside of one.

@@ -1,6 +1,7 @@
 #ifndef XMLPROP_RELATIONAL_ATTRIBUTE_SET_H_
 #define XMLPROP_RELATIONAL_ATTRIBUTE_SET_H_
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
@@ -31,6 +32,21 @@ class AttrSet {
 
   /// Membership list in increasing order.
   std::vector<size_t> ToVector() const;
+
+  /// Invokes fn(position) for every member, in increasing order —
+  /// word-wise countr_zero iteration, no vector allocation. The hot-loop
+  /// replacement for ToVector(); `fn` must not mutate this set while the
+  /// iteration runs (copy first when reducing in place).
+  template <typename Fn>
+  void ForEachMember(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        fn(wi * 64 + static_cast<size_t>(std::countr_zero(w)));
+        w &= w - 1;
+      }
+    }
+  }
 
   bool IsSubsetOf(const AttrSet& other) const;
   bool Intersects(const AttrSet& other) const;

@@ -1,0 +1,374 @@
+#include "relational/closure_index.h"
+
+#include <bit>
+#include <cassert>
+#include <map>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xmlprop {
+
+namespace internal {
+std::atomic<bool> g_closure_index_enabled{true};
+}  // namespace internal
+
+ClosureIndex::ClosureIndex(const std::vector<Fd>& fds, size_t universe_size,
+                           const ClosureIndexOptions& options)
+    : universe_(universe_size),
+      fd_count_(fds.size()),
+      words_per_set_((universe_size + 63) / 64),
+      merged_(options.merge_same_lhs) {
+  obs::Count("closure.index_compiles");
+  node_of_fd_.resize(fds.size());
+
+  // Node assignment: one node per FD, or — merged — one per distinct LHS
+  // in first-occurrence order (deterministic; merging only unions RHS
+  // bitsets, which cannot change any closure).
+  if (merged_) {
+    std::map<AttrSet, uint32_t> node_of_lhs;
+    for (size_t f = 0; f < fds.size(); ++f) {
+      auto [it, inserted] = node_of_lhs.emplace(
+          fds[f].lhs, static_cast<uint32_t>(lhs_count_.size()));
+      if (inserted) {
+        lhs_count_.push_back(static_cast<uint32_t>(fds[f].lhs.Count()));
+        rhs_.push_back(fds[f].rhs);
+      } else {
+        rhs_[it->second].UnionInPlace(fds[f].rhs);
+      }
+      node_of_fd_[f] = it->second;
+    }
+  } else {
+    lhs_count_.reserve(fds.size());
+    rhs_.reserve(fds.size());
+    for (size_t f = 0; f < fds.size(); ++f) {
+      node_of_fd_[f] = static_cast<uint32_t>(f);
+      lhs_count_.push_back(static_cast<uint32_t>(fds[f].lhs.Count()));
+      rhs_.push_back(fds[f].rhs);
+    }
+  }
+  dead_.assign(node_count(), 0);
+  for (uint32_t n = 0; n < node_count(); ++n) {
+    if (lhs_count_[n] == 0) empty_lhs_nodes_.push_back(n);
+  }
+
+  // CSR build over attribute positions: degree count, prefix sum, fill.
+  // Each attribute's entry list ends up sorted by node id (fill walks
+  // nodes in order), so traversal order — and with it every counter
+  // decrement — is deterministic.
+  offsets_.assign(universe_ + 1, 0);
+  if (merged_) {
+    // Count degrees from distinct nodes only: walk FDs, crediting the
+    // node the first time it appears.
+    std::vector<char> seen(node_count(), 0);
+    for (size_t f = 0; f < fds.size(); ++f) {
+      const uint32_t n = node_of_fd_[f];
+      if (seen[n]) continue;
+      seen[n] = 1;
+      fds[f].lhs.ForEachMember([&](size_t a) { ++offsets_[a + 1]; });
+    }
+    for (size_t a = 0; a < universe_; ++a) offsets_[a + 1] += offsets_[a];
+    entries_.assign(offsets_[universe_], 0);
+    std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    std::fill(seen.begin(), seen.end(), 0);
+    for (size_t f = 0; f < fds.size(); ++f) {
+      const uint32_t n = node_of_fd_[f];
+      if (seen[n]) continue;
+      seen[n] = 1;
+      fds[f].lhs.ForEachMember(
+          [&](size_t a) { entries_[cursor[a]++] = n; });
+    }
+  } else {
+    for (const Fd& fd : fds) {
+      fd.lhs.ForEachMember([&](size_t a) { ++offsets_[a + 1]; });
+    }
+    for (size_t a = 0; a < universe_; ++a) offsets_[a + 1] += offsets_[a];
+    entries_.assign(offsets_[universe_], 0);
+    std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (size_t f = 0; f < fds.size(); ++f) {
+      fds[f].lhs.ForEachMember([&](size_t a) {
+        entries_[cursor[a]++] = static_cast<uint32_t>(f);
+      });
+    }
+  }
+
+  // Plan selection. The counter plan's query cost tracks the adjacency
+  // (one random counter touch per reached (FD, attr) incidence); the
+  // dense plan's tracks the word plane (one streaming subset test per
+  // live node per round). When the adjacency outweighs the plane the
+  // closures are firing most of the FD list anyway, and streaming wins.
+  dense_ = !entries_.empty() && entries_.size() > node_count() * words_per_set_;
+  if (dense_) {
+    const size_t W = words_per_set_;
+    lhs_words_.assign(node_count() * W, 0);
+    rhs_words_.assign(node_count() * W, 0);
+    // The LHS plane falls straight out of the CSR (works for both merged
+    // and unmerged compiles); the RHS plane out of the node RHS sets.
+    for (size_t a = 0; a < universe_; ++a) {
+      for (uint32_t e = offsets_[a]; e < offsets_[a + 1]; ++e) {
+        lhs_words_[entries_[e] * W + a / 64] |= uint64_t{1} << (a % 64);
+      }
+    }
+    for (uint32_t n = 0; n < node_count(); ++n) {
+      rhs_[n].ForEachMember([&](size_t b) {
+        rhs_words_[n * W + b / 64] |= uint64_t{1} << (b % 64);
+      });
+    }
+  }
+  live_nodes_.resize(node_count());
+  for (uint32_t n = 0; n < node_count(); ++n) live_nodes_[n] = n;
+  // Visit small-LHS nodes first: they fire earliest, so the closure
+  // cascades within a single pass and membership queries meet their
+  // witness FDs sooner. Pure scheduling — the fixpoint set is visit-order
+  // independent.
+  std::stable_sort(live_nodes_.begin(), live_nodes_.end(),
+                   [this](uint32_t a, uint32_t b) {
+                     return lhs_count_[a] < lhs_count_[b];
+                   });
+}
+
+void ClosureIndex::Fire(uint32_t node, AttrSet* closure,
+                        ClosureScratch* scratch) const {
+  rhs_[node].ForEachMember([&](size_t b) {
+    if (!closure->Test(b)) {
+      closure->Set(b);
+      scratch->queue_.push_back(static_cast<uint32_t>(b));
+    }
+  });
+}
+
+uint32_t ClosureIndex::ResolveSkipNode(size_t skip_index) const {
+  return skip_index == kNoSkip || skip_index >= fd_count_
+             ? kTombstone
+             : node_of_fd_[skip_index];
+}
+
+AttrSet ClosureIndex::CounterClosure(const AttrSet& start,
+                                     ClosureScratch* scratch,
+                                     uint32_t skip_node) const {
+  AttrSet closure = start;
+  scratch->Begin(node_count());
+  const uint32_t epoch = scratch->epoch_;
+  start.ForEachMember(
+      [&](size_t a) { scratch->queue_.push_back(static_cast<uint32_t>(a)); });
+  for (uint32_t n : empty_lhs_nodes_) {
+    if (n == skip_node || dead_[n] != 0) continue;
+    Fire(n, &closure, scratch);
+  }
+
+  size_t touches = 0;
+  for (size_t head = 0; head < scratch->queue_.size(); ++head) {
+    const uint32_t a = scratch->queue_[head];
+    const uint32_t end = offsets_[a + 1];
+    for (uint32_t e = offsets_[a]; e < end; ++e) {
+      const uint32_t n = entries_[e];
+      if (n == kTombstone || n == skip_node || dead_[n] != 0) continue;
+      ++touches;
+      uint32_t remaining =
+          scratch->stamp_[n] == epoch ? scratch->remaining_[n] : lhs_count_[n];
+      scratch->stamp_[n] = epoch;
+      scratch->remaining_[n] = --remaining;
+      if (remaining == 0) Fire(n, &closure, scratch);
+    }
+  }
+  obs::Count("closure.counter_touches", touches);
+  return closure;
+}
+
+bool ClosureIndex::CounterReaches(const AttrSet& start, const AttrSet& target,
+                                  ClosureScratch* scratch,
+                                  uint32_t skip_node) const {
+  AttrSet closure = start;
+  scratch->Begin(node_count());
+  const uint32_t epoch = scratch->epoch_;
+  start.ForEachMember(
+      [&](size_t a) { scratch->queue_.push_back(static_cast<uint32_t>(a)); });
+  size_t touches = 0;
+  bool reached = false;
+  for (uint32_t n : empty_lhs_nodes_) {
+    if (n == skip_node || dead_[n] != 0) continue;
+    Fire(n, &closure, scratch);
+    if (target.IsSubsetOf(closure)) {
+      reached = true;
+      break;
+    }
+  }
+  for (size_t head = 0; !reached && head < scratch->queue_.size(); ++head) {
+    const uint32_t a = scratch->queue_[head];
+    const uint32_t end = offsets_[a + 1];
+    for (uint32_t e = offsets_[a]; e < end; ++e) {
+      const uint32_t n = entries_[e];
+      if (n == kTombstone || n == skip_node || dead_[n] != 0) continue;
+      ++touches;
+      uint32_t remaining =
+          scratch->stamp_[n] == epoch ? scratch->remaining_[n] : lhs_count_[n];
+      scratch->stamp_[n] = epoch;
+      scratch->remaining_[n] = --remaining;
+      if (remaining == 0) {
+        Fire(n, &closure, scratch);
+        if (target.IsSubsetOf(closure)) {
+          reached = true;
+          break;
+        }
+      }
+    }
+  }
+  obs::Count("closure.counter_touches", touches);
+  return reached;
+}
+
+bool ClosureIndex::DenseRun(ClosureScratch* scratch, uint32_t skip_node,
+                            bool has_target) const {
+  const size_t W = words_per_set_;
+  uint64_t* C = scratch->closure_words_.data();
+  const uint64_t* T = scratch->target_words_.data();
+  auto target_covered = [&]() {
+    for (size_t w = 0; w < W; ++w) {
+      if (T[w] & ~C[w]) return false;
+    }
+    return true;
+  };
+
+  size_t touches = 0;
+  bool changed = false;
+  auto visit = [&](uint32_t n) -> int {  // -1 survive, 0 fired, 1 target hit
+    ++touches;
+    const uint64_t* L = lhs_words_.data() + size_t{n} * W;
+    for (size_t w = 0; w < W; ++w) {
+      if (L[w] & ~C[w]) return -1;
+    }
+    // Fire: union the RHS in and retire the node. The closure is a set,
+    // so visit order never shows in the result — only in the pass count.
+    const uint64_t* R = rhs_words_.data() + size_t{n} * W;
+    uint64_t diff = 0;
+    for (size_t w = 0; w < W; ++w) {
+      const uint64_t next = C[w] | R[w];
+      diff |= next ^ C[w];
+      C[w] = next;
+    }
+    if (diff != 0) {
+      changed = true;
+      if (has_target && target_covered()) return 1;
+    }
+    return 0;
+  };
+
+  // Pass 1 streams the compiled live list directly and collects the
+  // survivors; later passes swap-compact the survivor list in place.
+  scratch->active_.clear();
+  for (uint32_t n : live_nodes_) {
+    if (n == skip_node) continue;
+    const int v = visit(n);
+    if (v == 1) {
+      obs::Count("closure.counter_touches", touches);
+      return true;
+    }
+    if (v == -1) scratch->active_.push_back(n);
+  }
+  uint32_t* active = scratch->active_.data();
+  size_t m = scratch->active_.size();
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < m;) {
+      const int v = visit(active[i]);
+      if (v == 1) {
+        obs::Count("closure.counter_touches", touches);
+        return true;
+      }
+      if (v == -1) {
+        ++i;
+      } else {
+        active[i] = active[--m];
+      }
+    }
+  }
+  obs::Count("closure.counter_touches", touches);
+  return false;
+}
+
+AttrSet ClosureIndex::Closure(const AttrSet& start, ClosureScratch* scratch,
+                              size_t skip_index) const {
+  obs::Span span("closure");
+  obs::Count("closure.queries");
+  assert(start.universe_size() == universe_);
+  assert(skip_index == kNoSkip || !merged_);
+  const uint32_t skip_node = ResolveSkipNode(skip_index);
+  if (!dense_) return CounterClosure(start, scratch, skip_node);
+
+  const size_t W = words_per_set_;
+  scratch->closure_words_.assign(W, 0);
+  start.ForEachMember([&](size_t a) {
+    scratch->closure_words_[a / 64] |= uint64_t{1} << (a % 64);
+  });
+  DenseRun(scratch, skip_node, /*has_target=*/false);
+  AttrSet closure(universe_);
+  for (size_t w = 0; w < W; ++w) {
+    uint64_t bits = scratch->closure_words_[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      closure.Set(w * 64 + static_cast<size_t>(b));
+    }
+  }
+  return closure;
+}
+
+bool ClosureIndex::Reaches(const AttrSet& start, const AttrSet& target,
+                           ClosureScratch* scratch,
+                           size_t skip_index) const {
+  obs::Span span("closure");
+  obs::Count("closure.queries");
+  assert(start.universe_size() == universe_);
+  assert(skip_index == kNoSkip || !merged_);
+  if (target.IsSubsetOf(start)) return true;
+  const uint32_t skip_node = ResolveSkipNode(skip_index);
+  if (!dense_) return CounterReaches(start, target, scratch, skip_node);
+
+  const size_t W = words_per_set_;
+  scratch->closure_words_.assign(W, 0);
+  start.ForEachMember([&](size_t a) {
+    scratch->closure_words_[a / 64] |= uint64_t{1} << (a % 64);
+  });
+  scratch->target_words_.assign(W, 0);
+  target.ForEachMember([&](size_t b) {
+    scratch->target_words_[b / 64] |= uint64_t{1} << (b % 64);
+  });
+  return DenseRun(scratch, skip_node, /*has_target=*/true);
+}
+
+void ClosureIndex::ShrinkLhs(size_t fd_index, size_t attr) {
+  assert(!merged_);
+  assert(fd_index < fd_count_);
+  obs::Count("closure.index_patches");
+  const uint32_t node = node_of_fd_[fd_index];
+  if (dense_) {
+    lhs_words_[node * words_per_set_ + attr / 64] &=
+        ~(uint64_t{1} << (attr % 64));
+  }
+  const uint32_t end = offsets_[attr + 1];
+  for (uint32_t e = offsets_[attr]; e < end; ++e) {
+    if (entries_[e] == node) {
+      entries_[e] = kTombstone;
+      if (--lhs_count_[node] == 0) empty_lhs_nodes_.push_back(node);
+      return;
+    }
+  }
+  assert(false && "attr was not on the FD's compiled LHS");
+}
+
+void ClosureIndex::Deactivate(size_t fd_index) {
+  assert(!merged_);
+  assert(fd_index < fd_count_);
+  obs::Count("closure.index_patches");
+  const uint32_t node = node_of_fd_[fd_index];
+  dead_[node] = 1;
+  for (size_t i = 0; i < live_nodes_.size(); ++i) {
+    if (live_nodes_[i] == node) {
+      live_nodes_[i] = live_nodes_.back();
+      live_nodes_.pop_back();
+      break;
+    }
+  }
+}
+
+}  // namespace xmlprop

@@ -1,0 +1,222 @@
+#ifndef XMLPROP_RELATIONAL_CLOSURE_INDEX_H_
+#define XMLPROP_RELATIONAL_CLOSURE_INDEX_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "relational/attribute_set.h"
+#include "relational/fd.h"
+
+namespace xmlprop {
+
+/// Sentinel for closure queries: skip no FD.
+inline constexpr size_t kNoSkip = static_cast<size_t>(-1);
+
+/// Per-caller scratch state of a LinClosure query: the unsatisfied-LHS
+/// counters plus the attribute worklist. Counters are epoch-stamped so a
+/// new query "resets" them in O(1) — a counter whose stamp is not the
+/// current epoch reads as the FD's full LHS size. The scratch is what
+/// makes one compiled ClosureIndex shareable across threads: the index
+/// is immutable during queries, every mutable word lives here, so each
+/// pool worker owns a private scratch and queries race-free.
+class ClosureScratch {
+ public:
+  ClosureScratch() = default;
+
+  /// Test hook: jump the epoch counter (e.g. next to the uint32 wrap
+  /// point, to exercise the wraparound path).
+  void SetEpochForTesting(uint32_t epoch) { epoch_ = epoch; }
+  uint32_t epoch_for_testing() const { return epoch_; }
+
+ private:
+  friend class ClosureIndex;
+
+  /// Starts a query over `nodes` FD nodes: sizes the arrays, bumps the
+  /// epoch, and — on the (once per 2^32 queries) wrap — falls back to the
+  /// O(nodes) full stamp clear that the epoch trick normally avoids.
+  void Begin(size_t nodes) {
+    if (stamp_.size() < nodes) {
+      stamp_.resize(nodes, 0);
+      remaining_.resize(nodes, 0);
+    }
+    if (++epoch_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+    queue_.clear();
+  }
+
+  std::vector<uint32_t> remaining_;  ///< LHS attrs not yet in the closure
+  std::vector<uint32_t> stamp_;      ///< epoch at which remaining_ is valid
+  std::vector<uint32_t> queue_;      ///< attribute-position worklist
+  uint32_t epoch_ = 0;               ///< 0 = "no query ran yet"
+  // Dense-plane state: the closure accumulator as raw words plus the
+  // surviving-node worklist (fired nodes are swap-compacted away).
+  std::vector<uint64_t> closure_words_;
+  std::vector<uint64_t> target_words_;
+  std::vector<uint32_t> active_;
+};
+
+/// Options for compiling a ClosureIndex.
+struct ClosureIndexOptions {
+  /// Merge FDs with identical LHS into one node (one counter, one merged
+  /// RHS bitset). Closures are unchanged — X → Y and X → Z fire exactly
+  /// when X → YZ fires — but the counter plane shrinks, which is the form
+  /// `FdSet` feeds its whole-set queries through. Incompatible with
+  /// `skip_index` queries and with patching, both of which address
+  /// individual source FDs.
+  bool merge_same_lhs = false;
+};
+
+/// A compiled, reusable view of one FD list, replacing the seed's
+/// O(|F|²) fired-flag fixpoint with one of two execution plans picked at
+/// compile time:
+///
+///  - **Counter plan** (LinClosure, [Beeri & Bernstein]): compilation
+///    lays the attribute → FD adjacency out as a CSR over attribute
+///    positions; a query seeds the worklist with the start set,
+///    decrements each reachable FD's unsatisfied-LHS counter, and fires
+///    the FD the moment its counter hits zero — O(|F| + counter touches)
+///    per query. Wins when closures fire a small slice of the FD list
+///    (sparse reachability, wide universes).
+///
+///  - **Dense plan**: compilation packs every LHS/RHS into one flat
+///    node-major word plane; a query runs a subset-test fixpoint over it
+///    with fired-node compaction. Each round streams contiguous words —
+///    no per-FD pointer chase (AttrSet stores its words on the heap) and
+///    no random counter traffic — which wins when closures saturate a
+///    dense FD list, the regime the naive cover algorithm's minimize
+///    step lives in.
+///
+/// The plan only changes the traversal; the computed closure is the same
+/// set either way, so callers (and the bit-identity property tests) never
+/// observe which plan ran. Selection: dense when the adjacency is heavier
+/// than the word plane (Σ|LHS| > nodes × words), counters otherwise.
+/// Queries are allocation-free after the first query on a scratch.
+///
+/// The index stays valid across the two in-place rewrites `minimize`
+/// performs: `ShrinkLhs` patches one adjacency entry when left-reduction
+/// drops an extraneous attribute, and `Deactivate` retires a redundant FD
+/// — both O(degree), no recompilation.
+///
+/// Thread-safety: queries are const and touch only the caller's scratch,
+/// so one index serves many threads concurrently; patching is a mutation
+/// and must be externally synchronized (the cover algorithms patch only
+/// from their sequential passes).
+class ClosureIndex {
+ public:
+  ClosureIndex() = default;
+  /// Compiles `fds` over a universe of `universe_size` attribute
+  /// positions. Every member attribute of every FD must lie below
+  /// `universe_size`.
+  ClosureIndex(const std::vector<Fd>& fds, size_t universe_size,
+               const ClosureIndexOptions& options = {});
+
+  size_t universe_size() const { return universe_; }
+  /// Source FDs the index was compiled from.
+  size_t fd_count() const { return fd_count_; }
+  /// Counter nodes after merging (== fd_count() unless merge_same_lhs).
+  size_t node_count() const { return lhs_count_.size(); }
+  /// Which execution plan the compile selected (observable for tests and
+  /// bench labels only — query results are plan-independent).
+  bool dense_plan() const { return dense_; }
+
+  /// The attribute closure of `start` under the compiled FDs, optionally
+  /// ignoring the source FD at `skip_index` (redundancy elimination's
+  /// "(F − φ) ⊨ φ" test; requires an unmerged compile). Identical to
+  /// `ClosureOver(fds, start, skip_index)` on the FDs as patched so far.
+  AttrSet Closure(const AttrSet& start, ClosureScratch* scratch,
+                  size_t skip_index = kNoSkip) const;
+
+  /// Decides `target ⊆ Closure(start)` — the membership form every
+  /// minimize/implication check actually needs — terminating as soon as
+  /// the target is covered instead of saturating the closure. Identical
+  /// verdict to computing the full closure; on positive queries (an
+  /// extraneous-attribute hit, an implied FD) it typically fires a small
+  /// fraction of the counter plane.
+  bool Reaches(const AttrSet& start, const AttrSet& target,
+               ClosureScratch* scratch, size_t skip_index = kNoSkip) const;
+
+  /// Patches the index for "source FD `fd_index` lost LHS attribute
+  /// `attr`" (left-reduction accepted the shrink). Unmerged compiles
+  /// only.
+  void ShrinkLhs(size_t fd_index, size_t attr);
+
+  /// Permanently removes source FD `fd_index` from closure computation
+  /// (redundancy elimination accepted the drop). Unmerged compiles only.
+  void Deactivate(size_t fd_index);
+
+ private:
+  static constexpr uint32_t kTombstone = static_cast<uint32_t>(-1);
+
+  void Fire(uint32_t node, AttrSet* closure, ClosureScratch* scratch) const;
+  uint32_t ResolveSkipNode(size_t skip_index) const;
+  AttrSet CounterClosure(const AttrSet& start, ClosureScratch* scratch,
+                         uint32_t skip_node) const;
+  bool CounterReaches(const AttrSet& start, const AttrSet& target,
+                      ClosureScratch* scratch, uint32_t skip_node) const;
+  /// Runs the dense fixpoint over scratch->closure_words_ (already seeded
+  /// with the start set). With a target, returns as soon as it is
+  /// covered; otherwise saturates. Returns whether the target was hit.
+  bool DenseRun(ClosureScratch* scratch, uint32_t skip_node,
+                bool has_target) const;
+
+  size_t universe_ = 0;
+  size_t fd_count_ = 0;
+  size_t words_per_set_ = 0;
+  bool merged_ = false;
+  bool dense_ = false;
+  // CSR: node ids of the FDs whose LHS contains attribute a live in
+  // entries_[offsets_[a] .. offsets_[a + 1]). ShrinkLhs tombstones
+  // entries in place.
+  std::vector<uint32_t> offsets_;
+  std::vector<uint32_t> entries_;
+  std::vector<uint32_t> lhs_count_;       ///< per node: |LHS| after patches
+  std::vector<AttrSet> rhs_;              ///< per node: (merged) RHS
+  std::vector<char> dead_;                ///< per node: deactivated
+  std::vector<uint32_t> node_of_fd_;      ///< source FD index → node id
+  std::vector<uint32_t> empty_lhs_nodes_; ///< fire unconditionally
+  // Dense plan: node-major flat word plane (words_per_set_ words per
+  // node) plus the live-node list Deactivate compacts.
+  std::vector<uint64_t> lhs_words_;
+  std::vector<uint64_t> rhs_words_;
+  std::vector<uint32_t> live_nodes_;
+};
+
+/// Process-wide ablation switch for the compiled closure kernel — the
+/// `--no-closure-index` escape hatch (mirroring the data plane's
+/// `--index`). When off, `FdSet::Closure` and `Minimize` run the seed's
+/// fired-flag fixpoint byte-for-byte.
+namespace internal {
+extern std::atomic<bool> g_closure_index_enabled;
+}  // namespace internal
+
+inline bool ClosureIndexEnabled() {
+  return internal::g_closure_index_enabled.load(std::memory_order_relaxed);
+}
+inline void SetClosureIndexEnabled(bool enabled) {
+  internal::g_closure_index_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+/// RAII guard: disables the closure kernel for a scope (CLI flag, the
+/// bench ablations' "off" arm, property tests' reference arm).
+class ScopedClosureIndexDisable {
+ public:
+  ScopedClosureIndexDisable() : previous_(ClosureIndexEnabled()) {
+    SetClosureIndexEnabled(false);
+  }
+  ~ScopedClosureIndexDisable() { SetClosureIndexEnabled(previous_); }
+  ScopedClosureIndexDisable(const ScopedClosureIndexDisable&) = delete;
+  ScopedClosureIndexDisable& operator=(const ScopedClosureIndexDisable&) =
+      delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_RELATIONAL_CLOSURE_INDEX_H_

@@ -1,18 +1,103 @@
 #include "relational/cover.h"
 
+#include <utility>
+
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "relational/closure_index.h"
 
 namespace xmlprop {
 
-FdSet Minimize(const FdSet& input) {
-  obs::Span span("cover.minimize");
-  obs::Count("cover.minimize_input_fds", input.size());
-  FdSet working = input.Normalized();
+namespace {
 
-  // Step 1 (Lines 1-4 of the paper's `minimize`): remove extraneous
-  // attributes. B ∈ X is extraneous in X → A when F ⊨ (X − B) → A.
-  // Checked against the full set F, which preserves equivalence.
+/// Below this many FDs the pool fan-out costs more than the checks.
+constexpr size_t kParallelMinimizeThreshold = 32;
+
+/// Step 1 (Lines 1-4 of the paper's `minimize`): remove extraneous LHS
+/// attributes. B ∈ X is extraneous in X → A when F ⊨ (X − B) → A.
+///
+/// Bit-identity with the seed loop: every accepted drop preserves
+/// equivalence of F as a theory, so the closure *function* is the same
+/// whether queried against the patched set (sequential arm) or the
+/// original compile (parallel arm) — and each FD's chain of drop
+/// decisions depends only on that function and its own LHS, never on
+/// other FDs' mutations. Hence both arms reproduce the seed's decisions
+/// exactly, in the seed's attribute order.
+void LeftReduce(std::vector<Fd>* fds, size_t arity, ThreadPool* pool) {
+  obs::Span span("cover.lhs_reduce");
+  ClosureIndex index(*fds, arity);
+  auto reduce_fd = [&index](Fd* fd, size_t fd_index, ClosureScratch* scratch,
+                            bool patch) {
+    const AttrSet snapshot = fd->lhs;
+    snapshot.ForEachMember([&](size_t b) {
+      AttrSet reduced = fd->lhs;
+      reduced.Reset(b);
+      if (index.Reaches(reduced, fd->rhs, scratch)) {
+        fd->lhs = std::move(reduced);
+        if (patch) index.ShrinkLhs(fd_index, b);
+      }
+    });
+  };
+  if (pool != nullptr) {
+    std::vector<ClosureScratch> scratches(pool->size());
+    pool->ParallelFor(fds->size(),
+                      [&](size_t begin, size_t end, size_t worker) {
+                        for (size_t i = begin; i < end; ++i) {
+                          reduce_fd(&(*fds)[i], i, &scratches[worker],
+                                    /*patch=*/false);
+                        }
+                      });
+  } else {
+    ClosureScratch scratch;
+    for (size_t i = 0; i < fds->size(); ++i) {
+      reduce_fd(&(*fds)[i], i, &scratch, /*patch=*/true);
+    }
+  }
+}
+
+/// Step 2 (Lines 5-8): remove redundant FDs. φ_i is redundant when the
+/// FDs surviving so far, minus φ_i, still imply it. The surviving set is
+/// prefix-dependent, so removal decisions must run in the seed's order —
+/// the parallel arm only *prechecks* each φ_i against the full set F − φ_i
+/// (a superset of every later surviving set): an FD that survives the
+/// precheck survives the sequential pass too, by monotonicity of closure
+/// in the FD set. The sequential confirm then revisits only precheck
+/// casualties, deactivating accepted removals in the index, which
+/// reproduces the seed's decisions exactly.
+std::vector<char> DropRedundant(const std::vector<Fd>& fds, size_t arity,
+                                ThreadPool* pool) {
+  obs::Span span("cover.redundancy");
+  ClosureIndex index(fds, arity);
+  std::vector<char> candidate(fds.size(), 1);
+  if (pool != nullptr) {
+    std::vector<ClosureScratch> scratches(pool->size());
+    pool->ParallelFor(
+        fds.size(), [&](size_t begin, size_t end, size_t worker) {
+          for (size_t i = begin; i < end; ++i) {
+            candidate[i] =
+                index.Reaches(fds[i].lhs, fds[i].rhs, &scratches[worker], i)
+                    ? 1
+                    : 0;
+          }
+        });
+  }
+  std::vector<char> removed(fds.size(), 0);
+  ClosureScratch scratch;
+  for (size_t i = 0; i < fds.size(); ++i) {
+    if (candidate[i] == 0) continue;
+    if (index.Reaches(fds[i].lhs, fds[i].rhs, &scratch, i)) {
+      removed[i] = 1;
+      index.Deactivate(i);
+    }
+  }
+  return removed;
+}
+
+/// Seed fallback, kept verbatim for `--no-closure-index` runs and as the
+/// reference arm of the cover bit-identity tests.
+FdSet MinimizeSeed(const FdSet& input) {
+  FdSet working = input.Normalized();
   for (Fd& fd : working.mutable_fds()) {
     for (size_t b : fd.lhs.ToVector()) {
       AttrSet reduced = fd.lhs;
@@ -22,16 +107,7 @@ FdSet Minimize(const FdSet& input) {
       }
     }
   }
-
-  // Left-reduction typically collapses many FDs onto the same reduced
-  // form; dropping exact duplicates here keeps the quadratic redundancy
-  // pass tractable for the naive algorithm's exponential inputs.
   working = working.Normalized();
-
-  // Step 2 (Lines 5-8): remove redundant FDs. φ is redundant when the
-  // remaining FDs still imply it — tested by a closure that skips φ
-  // in place (no per-candidate set copies). Removed FDs are masked by
-  // emptying them: an FD with Y ⊆ X never fires nor contributes.
   FdSet result(working.schema());
   std::vector<Fd> remaining = working.fds();
   std::vector<char> removed(remaining.size(), 0);
@@ -44,6 +120,55 @@ FdSet Minimize(const FdSet& input) {
   }
   for (size_t i = 0; i < remaining.size(); ++i) {
     if (!removed[i]) result.Add(std::move(remaining[i]));
+  }
+  return result;
+}
+
+/// The compiled kernel indexes FDs by attribute position, so it needs
+/// every member bitset sized to the schema. Degenerate inputs (foreign
+/// universes from hand-built test sets) take the seed path instead.
+bool UniverseConsistent(const FdSet& input) {
+  const size_t arity = input.schema().arity();
+  for (const Fd& fd : input.fds()) {
+    if (fd.lhs.universe_size() != arity || fd.rhs.universe_size() != arity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+FdSet Minimize(const FdSet& input, ThreadPool* pool) {
+  obs::Span span("cover.minimize");
+  obs::Count("cover.minimize_input_fds", input.size());
+  if (!ClosureIndexEnabled() || !UniverseConsistent(input)) {
+    FdSet result = MinimizeSeed(input);
+    obs::Count("cover.minimize_output_fds", result.size());
+    return result;
+  }
+
+  FdSet working = input.Normalized();
+  const size_t arity = working.schema().arity();
+  auto pool_for = [pool](size_t n) -> ThreadPool* {
+    return pool != nullptr && pool->size() > 1 &&
+                   n >= kParallelMinimizeThreshold
+               ? pool
+               : nullptr;
+  };
+
+  LeftReduce(&working.mutable_fds(), arity, pool_for(working.size()));
+
+  // Left-reduction typically collapses many FDs onto the same reduced
+  // form; dropping exact duplicates here keeps the quadratic redundancy
+  // pass tractable for the naive algorithm's exponential inputs.
+  working = working.Normalized();
+
+  std::vector<char> removed =
+      DropRedundant(working.fds(), arity, pool_for(working.size()));
+  FdSet result(working.schema());
+  for (size_t i = 0; i < working.fds().size(); ++i) {
+    if (!removed[i]) result.Add(working.fds()[i]);
   }
   obs::Count("cover.minimize_output_fds", result.size());
   return result;

@@ -5,16 +5,24 @@
 
 namespace xmlprop {
 
+class ThreadPool;
+
 /// The paper's `minimize` function (Section 5, after [Beeri & Bernstein]):
 /// given a set F of FDs, produces a non-redundant cover by
 ///   1. eliminating extraneous LHS attributes: for each X → Y and B ∈ X,
 ///      drop B when F ⊨ (X − B) → Y; then
 ///   2. eliminating redundant FDs: drop φ when (G − φ) ⊨ φ.
-/// Quadratic in |F| (each step is a linear-time closure).
 /// Input is normalized to single-attribute RHS first, so the result is a
 /// *minimum cover* in the sense of [Maier'80]: non-redundant, left-reduced,
 /// single-RHS.
-FdSet Minimize(const FdSet& input);
+///
+/// Runs on the compiled LinClosure kernel (`ClosureIndex`) unless
+/// `--no-closure-index` disabled it, patching the index in place as FDs
+/// shrink or drop. With `pool` (and enough FDs to amortize the fan-out)
+/// the independent per-FD checks of both passes run batched across the
+/// pool's workers; output is bit-identical to the sequential seed path in
+/// every mode — the same FDs in the same order.
+FdSet Minimize(const FdSet& input, ThreadPool* pool = nullptr);
 
 /// True iff `cover` is non-redundant (no FD implied by the others) and
 /// left-reduced (no extraneous LHS attribute). Used by tests.

@@ -1,12 +1,14 @@
 #include "relational/fd_set.h"
 
 #include <algorithm>
-#include <deque>
+
+#include "obs/metrics.h"
 
 namespace xmlprop {
 
 bool FdSet::AddIfNew(const Fd& fd) {
   if (Implies(fd)) return false;
+  InvalidateIndex();
   fds_.push_back(fd);
   return true;
 }
@@ -19,12 +21,10 @@ Status FdSet::AddParsed(std::string_view text) {
 
 AttrSet ClosureOver(const std::vector<Fd>& fds, const AttrSet& start,
                     size_t skip_index) {
-  // Fixpoint with a fired-flag per FD. Worst case O(|fds|²) subset tests,
-  // but each test is a handful of word operations on the attribute
-  // bitsets and the loop allocates nothing beyond one flag vector — in
-  // practice far faster than index-based closures for the set sizes the
-  // cover algorithms produce (profiled; this is the hottest path of
-  // Algorithm naive's minimize step).
+  // Fixpoint with a fired-flag per FD. Worst case O(|fds|²) subset tests;
+  // kept verbatim as the `--no-closure-index` reference path and as the
+  // oracle the ClosureIndex property tests compare against.
+  obs::Count("closure.legacy_queries");
   AttrSet closure = start;
   std::vector<char> fired(fds.size(), 0);
   bool changed = true;
@@ -44,12 +44,33 @@ AttrSet ClosureOver(const std::vector<Fd>& fds, const AttrSet& start,
   return closure;
 }
 
+const ClosureIndex& FdSet::Index() const {
+  if (index_ == nullptr) {
+    // Merged-LHS compile: whole-set queries never skip individual FDs,
+    // so the smaller counter plane is always admissible here.
+    ClosureIndexOptions options;
+    options.merge_same_lhs = true;
+    index_ = std::make_unique<ClosureIndex>(fds_, schema_.arity(), options);
+  }
+  return *index_;
+}
+
 AttrSet FdSet::Closure(const AttrSet& start) const {
-  return ClosureOver(fds_, start, kNoSkip);
+  if (!ClosureIndexEnabled() || start.universe_size() != schema_.arity()) {
+    // Degenerate callers (default-constructed sets queried with foreign
+    // universes) keep the seed fixpoint, which never indexes by position.
+    return ClosureOver(fds_, start, kNoSkip);
+  }
+  return Index().Closure(start, &scratch_);
 }
 
 bool FdSet::Implies(const Fd& fd) const {
-  return fd.rhs.IsSubsetOf(Closure(fd.lhs));
+  if (!ClosureIndexEnabled() || fd.lhs.universe_size() != schema_.arity() ||
+      fd.rhs.universe_size() != schema_.arity()) {
+    return fd.rhs.IsSubsetOf(Closure(fd.lhs));
+  }
+  // Membership form: stops as soon as the RHS is covered.
+  return Index().Reaches(fd.lhs, fd.rhs, &scratch_);
 }
 
 bool FdSet::ImpliesAll(const FdSet& other) const {
@@ -62,10 +83,14 @@ bool FdSet::EquivalentTo(const FdSet& other) const {
 }
 
 bool FdSet::IsSuperkey(const AttrSet& candidate_key) const {
-  return schema_.FullSet().IsSubsetOf(Closure(candidate_key));
+  if (!ClosureIndexEnabled() ||
+      candidate_key.universe_size() != schema_.arity()) {
+    return schema_.FullSet().IsSubsetOf(Closure(candidate_key));
+  }
+  return Index().Reaches(candidate_key, schema_.FullSet(), &scratch_);
 }
 
-FdSet FdSet::Normalized() const {
+FdSet FdSet::Normalized(bool merge_same_lhs) const {
   FdSet out(schema_);
   for (const Fd& fd : fds_) {
     for (Fd& piece : SplitRhs(fd)) {
@@ -77,6 +102,20 @@ FdSet FdSet::Normalized() const {
   std::sort(out.fds_.begin(), out.fds_.end());
   out.fds_.erase(std::unique(out.fds_.begin(), out.fds_.end()),
                  out.fds_.end());
+  if (merge_same_lhs && !out.fds_.empty()) {
+    // Adjacent runs share an LHS after the sort; fold each run into one
+    // FD with the union RHS. Order stays the sorted order of run heads.
+    std::vector<Fd> merged;
+    merged.reserve(out.fds_.size());
+    for (Fd& fd : out.fds_) {
+      if (!merged.empty() && merged.back().lhs == fd.lhs) {
+        merged.back().rhs.UnionInPlace(fd.rhs);
+      } else {
+        merged.push_back(std::move(fd));
+      }
+    }
+    out.fds_ = std::move(merged);
+  }
   return out;
 }
 

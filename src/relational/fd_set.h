@@ -1,43 +1,69 @@
 #ifndef XMLPROP_RELATIONAL_FD_SET_H_
 #define XMLPROP_RELATIONAL_FD_SET_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
+#include "relational/closure_index.h"
 #include "relational/fd.h"
 #include "relational/schema.h"
 
 namespace xmlprop {
 
-/// Sentinel for ClosureOver: skip no FD.
-inline constexpr size_t kNoSkip = static_cast<size_t>(-1);
-
 /// The attribute closure of `start` under `fds`, optionally ignoring the
 /// FD at `skip_index` (used by redundancy elimination to test
 /// "(F − φ) ⊨ φ" without copying the set). Allocation-light bitset
-/// fixpoint — the hot path of the cover algorithms.
+/// fixpoint — the seed reference path; the cover algorithms and FdSet
+/// route through the compiled `ClosureIndex` kernel instead unless
+/// `--no-closure-index` turns it off.
 AttrSet ClosureOver(const std::vector<Fd>& fds, const AttrSet& start,
                     size_t skip_index = kNoSkip);
 
 /// A set of FDs over one relation schema, with the closure/implication
 /// machinery of Armstrong's axioms — the foundation both of `minimize`
 /// (Section 5) and of GminimumCover's relational FD implication step.
+///
+/// Closure queries lazily compile a `ClosureIndex` over the current FDs
+/// (merged-LHS form) and reuse it until the set is mutated; the cached
+/// index and its scratch make the const query methods non-reentrant, so
+/// share one FdSet across threads only behind external synchronization.
 class FdSet {
  public:
   FdSet() = default;
   explicit FdSet(RelationSchema schema) : schema_(std::move(schema)) {}
 
+  // The cached closure index is per-object state, not value state: copies
+  // recompile lazily on first query.
+  FdSet(const FdSet& other) : schema_(other.schema_), fds_(other.fds_) {}
+  FdSet& operator=(const FdSet& other) {
+    if (this != &other) {
+      schema_ = other.schema_;
+      fds_ = other.fds_;
+      InvalidateIndex();
+    }
+    return *this;
+  }
+  FdSet(FdSet&&) = default;
+  FdSet& operator=(FdSet&&) = default;
+
   const RelationSchema& schema() const { return schema_; }
   const std::vector<Fd>& fds() const { return fds_; }
   /// Mutable access for in-place rewriting (cover algorithms).
-  std::vector<Fd>& mutable_fds() { return fds_; }
+  std::vector<Fd>& mutable_fds() {
+    InvalidateIndex();
+    return fds_;
+  }
   size_t size() const { return fds_.size(); }
   bool empty() const { return fds_.empty(); }
 
   /// Appends an FD (no dedup — covers handle redundancy).
-  void Add(Fd fd) { fds_.push_back(std::move(fd)); }
+  void Add(Fd fd) {
+    InvalidateIndex();
+    fds_.push_back(std::move(fd));
+  }
 
   /// Appends an FD only if it is not already implied; returns whether it
   /// was added. Keeps incrementally-built sets lean.
@@ -62,15 +88,26 @@ class FdSet {
   bool IsSuperkey(const AttrSet& candidate_key) const;
 
   /// Rewrites to single-attribute RHS form, dropping trivial FDs and
-  /// exact duplicates. Preserves equivalence.
-  FdSet Normalized() const;
+  /// exact duplicates. Preserves equivalence. With `merge_same_lhs`, FDs
+  /// sharing an LHS are merged back into one FD with the union RHS
+  /// (still sorted / deterministic) — sound wherever only the implied
+  /// closure matters, but NOT inside `Minimize`, whose removal decisions
+  /// are sensitive to how RHS attributes are grouped into FDs.
+  FdSet Normalized(bool merge_same_lhs = false) const;
 
   /// One FD per line.
   std::string ToString() const;
 
  private:
+  void InvalidateIndex() { index_.reset(); }
+  /// The compiled closure kernel over the current FDs (merged-LHS form),
+  /// built on first query after a mutation.
+  const ClosureIndex& Index() const;
+
   RelationSchema schema_;
   std::vector<Fd> fds_;
+  mutable std::unique_ptr<ClosureIndex> index_;
+  mutable ClosureScratch scratch_;
 };
 
 }  // namespace xmlprop

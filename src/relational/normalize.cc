@@ -5,6 +5,7 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <utility>
 
 namespace xmlprop {
 
@@ -154,12 +155,13 @@ std::vector<SubRelation> Synthesize3nf(const FdSet& cover) {
       [&](const SubRelation& f) { return cover.IsSuperkey(f.attrs); });
   if (!has_key) {
     // Shrink the full attribute set to a minimal key greedily.
-    AttrSet key = universal.FullSet();
-    for (size_t a : universal.FullSet().ToVector()) {
+    const AttrSet full = universal.FullSet();
+    AttrSet key = full;
+    full.ForEachMember([&](size_t a) {
       AttrSet reduced = key;
       reduced.Reset(a);
-      if (cover.IsSuperkey(reduced)) key = reduced;
-    }
+      if (cover.IsSuperkey(reduced)) key = std::move(reduced);
+    });
     fragments.push_back(SubRelation{"", key});
   }
 
@@ -197,11 +199,13 @@ bool Is3nf(const AttrSet& attrs, const FdSet& fds) {
                   AttrSet gain = closure.Intersect(attrs).Minus(x);
                   if (gain.Empty()) return true;
                   if (attrs.IsSubsetOf(closure)) return true;  // superkey
-                  for (size_t a : gain.ToVector()) {
-                    if (!prime.Test(a)) {
-                      ok = false;
-                      return false;
-                    }
+                  bool all_prime = true;
+                  gain.ForEachMember([&](size_t a) {
+                    if (!prime.Test(a)) all_prime = false;
+                  });
+                  if (!all_prime) {
+                    ok = false;
+                    return false;
                   }
                   return true;
                 });
@@ -224,7 +228,10 @@ bool IsLosslessJoin(const std::vector<SubRelation>& decomposition,
     }
   }
 
-  FdSet norm = fds.Normalized();
+  // Merged-LHS form: the chase is confluent, so folding X → Y and X → Z
+  // into one X → YZ rule changes neither the fixpoint nor the verdict,
+  // and halves the row-pair scans on split-heavy inputs.
+  FdSet norm = fds.Normalized(/*merge_same_lhs=*/true);
   bool changed = true;
   while (changed) {
     changed = false;

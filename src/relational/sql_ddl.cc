@@ -12,11 +12,11 @@ namespace {
 // all of `attrs` — greedy shrink from the full fragment.
 AttrSet MinimalFragmentKey(const AttrSet& attrs, const FdSet& cover) {
   AttrSet key = attrs;
-  for (size_t a : attrs.ToVector()) {
+  attrs.ForEachMember([&](size_t a) {
     AttrSet reduced = key;
     reduced.Reset(a);
-    if (attrs.IsSubsetOf(cover.Closure(reduced))) key = reduced;
-  }
+    if (attrs.IsSubsetOf(cover.Closure(reduced))) key = std::move(reduced);
+  });
   return key;
 }
 
@@ -86,13 +86,13 @@ Result<std::vector<TableDdl>> GenerateDdl(
     }
     TableDdl table;
     table.name = fragment.name;
-    for (size_t a : fragment.attrs.ToVector()) {
+    fragment.attrs.ForEachMember([&](size_t a) {
       table.columns.push_back(universal.attributes()[a]);
-    }
+    });
     AttrSet key = MinimalFragmentKey(fragment.attrs, cover);
-    for (size_t a : key.ToVector()) {
+    key.ForEachMember([&](size_t a) {
       table.primary_key.push_back(universal.attributes()[a]);
-    }
+    });
     keys.push_back(std::move(key));
     tables.push_back(std::move(table));
   }
@@ -126,9 +126,9 @@ Result<std::vector<TableDdl>> GenerateDdl(
         continue;
       }
       std::vector<std::string> cols;
-      for (size_t a : keys[j].ToVector()) {
+      keys[j].ForEachMember([&](size_t a) {
         cols.push_back(cover.schema().attributes()[a]);
-      }
+      });
       tables[i].foreign_keys.push_back(
           "FOREIGN KEY (" + Join(cols, ", ") + ") REFERENCES " +
           decomposition[j].name + "(" + Join(cols, ", ") + ")");

@@ -24,6 +24,7 @@
 #include "obs/profiler.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "relational/closure_index.h"
 #include "relational/csv.h"
 #include "relational/sql_ddl.h"
 #include "transform/derive_rule.h"
@@ -62,6 +63,11 @@ observability (any command):
                   prints the full run report — per-span samples, memory,
                   histogram percentiles — to stderr. Never alters the
                   command's stdout.
+  --no-closure-index
+                  Run FD closures on the legacy fired-flag fixpoint
+                  instead of the compiled LinClosure kernel (ablation;
+                  identical output, covers and designs are bit-for-bit
+                  the same either way).
 
 commands:
   check      --keys FILE --doc FILE [--fkeys FILE] [--index]
@@ -143,7 +149,7 @@ Result<ParsedArgs> ParseArgs(const std::vector<std::string>& args) {
     // consumes the next arg.
     if (name == "sql" || name == "naive" || name == "3nf" ||
         name == "via-cover" || name == "csv" || name == "explain" ||
-        name == "engine" || name == "index") {
+        name == "engine" || name == "index" || name == "no-closure-index") {
       parsed.flags[name] = "true";
     } else if (name == "trace" || name == "metrics" || name == "profile") {
       parsed.flags[name] = "";
@@ -553,6 +559,8 @@ int CmdImportXsd(const ParsedArgs& args, std::ostream& out) {
 
 // Dispatches to the command implementations; -1 = unknown command.
 int DispatchCommand(const ParsedArgs& parsed, std::ostream& out) {
+  std::optional<ScopedClosureIndexDisable> no_closure_index;
+  if (parsed.Has("no-closure-index")) no_closure_index.emplace();
   const std::string& cmd = parsed.command;
   if (cmd == "check") return CmdCheck(parsed, out);
   if (cmd == "implies") return CmdImplies(parsed, out);

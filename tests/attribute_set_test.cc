@@ -65,6 +65,17 @@ TEST(AttrSetTest, EqualityAndOrdering) {
   EXPECT_FALSE(a < b);
 }
 
+TEST(AttrSetTest, ForEachMemberMatchesToVector) {
+  for (size_t universe : {0ul, 1ul, 63ul, 64ul, 65ul, 130ul, 1000ul}) {
+    AttrSet s(universe);
+    for (size_t i = 0; i < universe; i += 3) s.Set(i);
+    if (universe > 0) s.Set(universe - 1);
+    std::vector<size_t> seen;
+    s.ForEachMember([&](size_t i) { seen.push_back(i); });
+    EXPECT_EQ(seen, s.ToVector()) << "universe " << universe;
+  }
+}
+
 TEST(AttrSetTest, LargeUniverse1000) {
   // The Oracle column-limit scale of Section 6.
   AttrSet s(1000);

@@ -195,6 +195,26 @@ TEST_F(CliTest, PropagateEngineAgrees) {
   EXPECT_EQ(via.code, 0) << via.err;
 }
 
+TEST_F(CliTest, NoClosureIndexLeavesStdoutIdentical) {
+  // The LinClosure-kernel ablation: covers and designs are bit-for-bit
+  // the same with the compiled index off.
+  for (const std::vector<std::string>& base :
+       {std::vector<std::string>{"cover", "--keys", Path("keys.txt"),
+                                 "--rules", Path("universal.txt")},
+        std::vector<std::string>{"cover", "--keys", Path("keys.txt"),
+                                 "--rules", Path("universal.txt"), "--naive"},
+        std::vector<std::string>{"design", "--keys", Path("keys.txt"),
+                                 "--rules", Path("universal.txt"), "--sql"}}) {
+    RunResult on = Run(base);
+    std::vector<std::string> off_args = base;
+    off_args.push_back("--no-closure-index");
+    RunResult off = Run(off_args);
+    EXPECT_EQ(on.code, 0) << on.err;
+    EXPECT_EQ(off.code, on.code) << base[0];
+    EXPECT_EQ(off.out, on.out) << base[0];
+  }
+}
+
 TEST_F(CliTest, CoverNaiveAgrees) {
   RunResult r = Run({"cover", "--keys", Path("keys.txt"), "--rules",
                      Path("universal.txt"), "--naive"});

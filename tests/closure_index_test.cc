@@ -1,0 +1,285 @@
+#include "relational/closure_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "relational/cover.h"
+#include "relational/fd_set.h"
+#include "relational/schema.h"
+
+namespace xmlprop {
+namespace {
+
+AttrSet RandomSet(Rng& rng, size_t universe, int max_members) {
+  AttrSet s(universe);
+  if (universe == 0) return s;
+  const int k = rng.UniformInt(0, max_members);
+  for (int i = 0; i < k; ++i) s.Set(rng.UniformIndex(universe));
+  return s;
+}
+
+std::vector<Fd> RandomFds(Rng& rng, size_t universe, size_t count) {
+  std::vector<Fd> fds;
+  fds.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    // Small LHS keeps closures non-trivial; an occasional empty LHS
+    // exercises the constant-FD firing path.
+    fds.emplace_back(RandomSet(rng, universe, 3), RandomSet(rng, universe, 2));
+  }
+  return fds;
+}
+
+RelationSchema WideSchema(size_t arity) {
+  std::vector<std::string> attrs;
+  attrs.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) attrs.push_back("a" + std::to_string(i));
+  return RelationSchema("R", std::move(attrs));
+}
+
+// The tentpole property: on 1k random FD sets — spanning universes around
+// the bitset word boundaries, empty universes, empty and full start sets,
+// and skip_index queries — the compiled kernel computes exactly the seed
+// fixpoint's closure.
+TEST(ClosureIndexPropertyTest, MatchesSeedClosureOnRandomFdSets) {
+  const std::vector<size_t> universes = {0, 1, 2, 7, 64, 65, 130};
+  Rng rng(20030411);  // deterministic: the paper's ICDE year + month + day
+  ClosureScratch scratch;
+  ClosureScratch merged_scratch;
+  for (int round = 0; round < 1000; ++round) {
+    const size_t universe = universes[rng.UniformIndex(universes.size())];
+    const size_t count = static_cast<size_t>(rng.UniformInt(0, 24));
+    std::vector<Fd> fds = RandomFds(rng, universe, count);
+    ClosureIndex index(fds, universe);
+    ClosureIndexOptions merged_options;
+    merged_options.merge_same_lhs = true;
+    ClosureIndex merged(fds, universe, merged_options);
+
+    std::vector<AttrSet> starts = {AttrSet(universe),
+                                   RandomSet(rng, universe, 4)};
+    AttrSet full(universe);
+    for (size_t a = 0; a < universe; ++a) full.Set(a);
+    starts.push_back(full);
+
+    for (const AttrSet& start : starts) {
+      const AttrSet expected = ClosureOver(fds, start);
+      EXPECT_EQ(index.Closure(start, &scratch), expected);
+      EXPECT_EQ(merged.Closure(start, &merged_scratch), expected);
+      const AttrSet target = RandomSet(rng, universe, 3);
+      EXPECT_EQ(index.Reaches(start, target, &scratch),
+                target.IsSubsetOf(expected));
+      EXPECT_EQ(merged.Reaches(start, target, &merged_scratch),
+                target.IsSubsetOf(expected));
+      if (!fds.empty()) {
+        const size_t skip = rng.UniformIndex(fds.size());
+        EXPECT_EQ(index.Closure(start, &scratch, skip),
+                  ClosureOver(fds, start, skip));
+        EXPECT_EQ(index.Reaches(start, target, &scratch, skip),
+                  target.IsSubsetOf(ClosureOver(fds, start, skip)));
+      }
+    }
+  }
+}
+
+// The compile-time plan split: a heavy adjacency (many multi-attribute
+// LHSs over a narrow universe) must select the dense word-plane plan, a
+// light one over a wide universe the counter plan — and the two must be
+// observationally identical to the seed fixpoint either way, including
+// under skip queries and incremental patches.
+TEST(ClosureIndexPropertyTest, BothPlansMatchSeedOnPlanExtremes) {
+  Rng rng(42);
+  for (int round = 0; round < 50; ++round) {
+    // Dense-selecting shape: Σ|LHS| ≈ 4×count over a one-word universe.
+    const size_t universe = 24;
+    std::vector<Fd> fds;
+    for (size_t i = 0; i < 40; ++i) {
+      AttrSet lhs = RandomSet(rng, universe, 6);
+      lhs.Set(rng.UniformIndex(universe));  // never empty: keep Σ|LHS| high
+      fds.emplace_back(std::move(lhs), RandomSet(rng, universe, 2));
+    }
+    ClosureIndex dense(fds, universe);
+    ASSERT_TRUE(dense.dense_plan());
+    // Counter-selecting shape: the same FDs spread over a universe whose
+    // word plane outweighs the adjacency.
+    std::vector<Fd> sparse_fds = RandomFds(rng, 600, 40);
+    ClosureIndex counters(sparse_fds, 600);
+    ASSERT_FALSE(counters.dense_plan());
+
+    ClosureScratch scratch;
+    for (int q = 0; q < 10; ++q) {
+      const AttrSet start = RandomSet(rng, universe, 4);
+      const size_t skip = rng.UniformIndex(fds.size());
+      EXPECT_EQ(dense.Closure(start, &scratch, skip),
+                ClosureOver(fds, start, skip));
+      const AttrSet target = RandomSet(rng, universe, 2);
+      EXPECT_EQ(dense.Reaches(start, target, &scratch, skip),
+                target.IsSubsetOf(ClosureOver(fds, start, skip)));
+
+      const AttrSet sparse_start = RandomSet(rng, 600, 4);
+      EXPECT_EQ(counters.Closure(sparse_start, &scratch),
+                ClosureOver(sparse_fds, sparse_start));
+    }
+
+    // Patches must keep the dense word plane in sync too.
+    const size_t f = rng.UniformIndex(fds.size());
+    const std::vector<size_t> members = fds[f].lhs.ToVector();
+    dense.ShrinkLhs(f, members[0]);
+    fds[f].lhs.Reset(members[0]);
+    const size_t g = rng.UniformIndex(fds.size());
+    dense.Deactivate(g);
+    fds[g].lhs = AttrSet(universe);
+    fds[g].rhs = AttrSet(universe);
+    for (int q = 0; q < 5; ++q) {
+      const AttrSet start = RandomSet(rng, universe, 4);
+      EXPECT_EQ(dense.Closure(start, &scratch), ClosureOver(fds, start));
+    }
+  }
+}
+
+// Epoch wraparound: park the scratch epoch just below the uint32 wrap and
+// run queries across it. The wrap resets stamps wholesale; a stale counter
+// leaking through would surface as a wrong closure.
+TEST(ClosureIndexTest, EpochWraparoundKeepsQueriesCorrect) {
+  Rng rng(7);
+  // Wide universe so the compile picks the counter plan — the epoch
+  // machinery belongs to it alone (the dense plan carries no cross-query
+  // state at all).
+  const size_t universe = 600;
+  std::vector<Fd> fds = RandomFds(rng, universe, 30);
+  ClosureIndex index(fds, universe);
+  ASSERT_FALSE(index.dense_plan());
+  ClosureScratch scratch;
+  scratch.SetEpochForTesting(UINT32_MAX - 2);
+  for (int q = 0; q < 8; ++q) {
+    AttrSet start = RandomSet(rng, universe, 5);
+    EXPECT_EQ(index.Closure(start, &scratch), ClosureOver(fds, start))
+        << "query " << q << " around the epoch wrap";
+  }
+  // The wrap happened (epoch restarted from 1 and kept counting).
+  EXPECT_LT(scratch.epoch_for_testing(), 16u);
+  EXPECT_GE(scratch.epoch_for_testing(), 1u);
+}
+
+// Incremental patching: ShrinkLhs / Deactivate keep the index equal to a
+// fresh compile of the mutated FD list.
+TEST(ClosureIndexTest, PatchingMatchesRecompile) {
+  Rng rng(99);
+  const size_t universe = 32;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Fd> fds = RandomFds(rng, universe, 12);
+    ClosureIndex index(fds, universe);
+    ClosureScratch scratch;
+    for (int patch = 0; patch < 6; ++patch) {
+      const size_t f = rng.UniformIndex(fds.size());
+      if (rng.Bernoulli(0.3)) {
+        // Deactivate == delete from the source list's perspective.
+        index.Deactivate(f);
+        fds[f].lhs = AttrSet(universe);
+        fds[f].rhs = AttrSet(universe);  // trivial: never contributes
+      } else {
+        const std::vector<size_t> members = fds[f].lhs.ToVector();
+        if (members.empty()) continue;
+        const size_t attr = members[rng.UniformIndex(members.size())];
+        index.ShrinkLhs(f, attr);
+        fds[f].lhs.Reset(attr);
+      }
+      for (int q = 0; q < 4; ++q) {
+        AttrSet start = RandomSet(rng, universe, 4);
+        EXPECT_EQ(index.Closure(start, &scratch), ClosureOver(fds, start));
+      }
+    }
+  }
+}
+
+// One scratch may serve many indexes (of no larger node count) without
+// clearing: the epoch bump invalidates everything between queries.
+TEST(ClosureIndexTest, ScratchIsReusableAcrossIndexes) {
+  Rng rng(4242);
+  const size_t universe = 20;
+  ClosureScratch scratch;
+  for (int round = 0; round < 30; ++round) {
+    std::vector<Fd> fds = RandomFds(rng, universe, 15);
+    ClosureIndex index(fds, universe);
+    AttrSet start = RandomSet(rng, universe, 3);
+    EXPECT_EQ(index.Closure(start, &scratch), ClosureOver(fds, start));
+  }
+}
+
+FdSet RandomFdSet(Rng& rng, const RelationSchema& schema, size_t count) {
+  FdSet set(schema);
+  for (Fd& fd : RandomFds(rng, schema.arity(), count)) {
+    if (fd.rhs.Empty()) continue;  // parseable FDs have non-empty RHS
+    set.Add(std::move(fd));
+  }
+  return set;
+}
+
+// The acceptance property: Minimize is bit-identical with the kernel on,
+// off, and parallel — same FDs, same order — and the result is minimal.
+TEST(MinimizePropertyTest, IndexOnOffAndParallelAreBitIdentical) {
+  Rng rng(51);
+  ThreadPool pool(3);  // forced 3-thread determinism check
+  const RelationSchema schema = WideSchema(24);
+  for (int round = 0; round < 60; ++round) {
+    // 40–120 FDs crosses the parallel threshold with room to spare.
+    const size_t count = 40 + static_cast<size_t>(rng.UniformInt(0, 80));
+    FdSet input = RandomFdSet(rng, schema, count);
+
+    FdSet seed_cover(schema);
+    {
+      ScopedClosureIndexDisable off;
+      seed_cover = Minimize(input);
+    }
+    const FdSet indexed = Minimize(input);
+    const FdSet parallel = Minimize(input, &pool);
+
+    EXPECT_EQ(indexed.ToString(), seed_cover.ToString());
+    EXPECT_EQ(parallel.ToString(), seed_cover.ToString());
+    EXPECT_TRUE(IsMinimal(indexed));
+    EXPECT_TRUE(input.EquivalentTo(indexed));
+  }
+}
+
+// FdSet's cached index must not outlive mutations.
+TEST(FdSetIndexTest, MutationInvalidatesCachedIndex) {
+  const RelationSchema schema = WideSchema(4);
+  FdSet set(schema);
+  ASSERT_TRUE(set.AddParsed("a0 -> a1").ok());
+  AttrSet a0(4, {0});
+  EXPECT_EQ(set.Closure(a0).Count(), 2u);  // compiled {a0 -> a1}
+
+  ASSERT_TRUE(set.AddParsed("a1 -> a2").ok());  // Add: invalidates
+  EXPECT_EQ(set.Closure(a0).Count(), 3u);
+
+  set.mutable_fds().push_back(
+      Fd(AttrSet(4, {2}), AttrSet(4, {3})));  // mutable_fds: invalidates
+  EXPECT_EQ(set.Closure(a0).Count(), 4u);
+
+  FdSet copy = set;  // copies recompile lazily, independently
+  ASSERT_TRUE(copy.AddParsed("a1 -> a0").ok());
+  EXPECT_EQ(set.Closure(AttrSet(4, {1})).Count(), 3u);
+  EXPECT_EQ(copy.Closure(AttrSet(4, {1})).Count(), 4u);
+}
+
+TEST(FdSetNormalizedTest, MergeSameLhsFoldsRhsDeterministically) {
+  const RelationSchema schema = WideSchema(5);
+  FdSet set(schema);
+  ASSERT_TRUE(set.AddParsed("a0 -> a2").ok());
+  ASSERT_TRUE(set.AddParsed("a0 -> a1").ok());
+  ASSERT_TRUE(set.AddParsed("a1, a3 -> a4, a0").ok());
+  ASSERT_TRUE(set.AddParsed("a0 -> a1").ok());  // duplicate
+
+  const FdSet split = set.Normalized();
+  EXPECT_EQ(split.size(), 4u);  // a0->a1, a0->a2, a1a3->a0, a1a3->a4
+
+  const FdSet merged = set.Normalized(/*merge_same_lhs=*/true);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.ToString(), "a0 -> a1, a2\na1, a3 -> a0, a4\n");
+  EXPECT_TRUE(merged.EquivalentTo(split));
+}
+
+}  // namespace
+}  // namespace xmlprop
