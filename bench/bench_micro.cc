@@ -422,6 +422,78 @@ void RunAblation(bool quick) {
               << (identical ? "yes" : "NO") << std::endl;
   }
 
+  // (e) flat-tree core hot paths at three document sizes: raw parse
+  // throughput (MB/s over the input bytes) and whole-document Value()
+  // serialization through the reused-buffer AppendValue path. Sizes are
+  // deterministic (fixed RNG seeds), so `nodes` is an identity column;
+  // the rows carry a widened tolerance because sub-millisecond parses
+  // are scheduler-noisy.
+  {
+    struct DocSpec {
+      const char* doc;
+      int max_depth;
+    };
+    for (const DocSpec& d : {DocSpec{"small", 4}, DocSpec{"medium", 6},
+                             DocSpec{"large", 8}}) {
+      Rng rng(13);
+      RandomTreeSpec spec;
+      spec.max_depth = d.max_depth;
+      spec.max_children = 4;
+      const std::string xml = WriteXml(RandomTree(spec, &rng));
+      const size_t reps = quick ? 20 : 200;
+
+      size_t nodes = 0;
+      bench::WallTimer parse_timer;
+      for (size_t i = 0; i < reps; ++i) {
+        Result<Tree> t = ParseXml(xml);
+        if (!t.ok()) std::abort();
+        nodes = t->size();
+      }
+      const double parse_ms = parse_timer.Ms();
+      const double parse_mb_s =
+          static_cast<double>(xml.size() * reps) / 1e6 / (parse_ms / 1e3);
+
+      Result<Tree> tree = ParseXml(xml);
+      if (!tree.ok()) std::abort();
+      std::string value_buf;
+      bench::WallTimer value_timer;
+      for (size_t i = 0; i < reps; ++i) {
+        value_buf.clear();
+        tree->AppendValue(tree->root(), &value_buf);
+      }
+      const double value_ms = value_timer.Ms();
+      const double value_mb_s =
+          static_cast<double>(value_buf.size() * reps) / 1e6 /
+          (value_ms / 1e3);
+
+      report.AddRow()
+          .Str("mode", "flat")
+          .Str("workload", "xml_parse")
+          .Str("doc", d.doc)
+          .Int("nodes", nodes)
+          .Int("xml_bytes", xml.size())
+          .Int("reps", reps)
+          .Num("wall_ms", parse_ms)
+          .Num("mb_per_s", parse_mb_s)
+          .Num("tolerance", 0.35)
+          .Int("max_rss_kb", static_cast<uint64_t>(obs::ReadPeakRssKb()));
+      report.AddRow()
+          .Str("mode", "flat")
+          .Str("workload", "tree_value")
+          .Str("doc", d.doc)
+          .Int("nodes", nodes)
+          .Int("value_bytes", value_buf.size())
+          .Int("reps", reps)
+          .Num("wall_ms", value_ms)
+          .Num("mb_per_s", value_mb_s)
+          .Num("tolerance", 0.35)
+          .Int("max_rss_kb", static_cast<uint64_t>(obs::ReadPeakRssKb()));
+      std::cerr << "micro flat doc=" << d.doc << " (" << xml.size()
+                << " bytes, " << nodes << " nodes): parse " << parse_mb_s
+                << " MB/s, value " << value_mb_s << " MB/s" << std::endl;
+    }
+  }
+
   report.Write();
 }
 

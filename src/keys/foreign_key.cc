@@ -187,10 +187,11 @@ std::string ForeignKeyViolation::Describe(const Tree& tree,
   out += fk.name().empty() ? fk.ToString() : fk.name();
   switch (kind) {
     case Kind::kMissingSourceAttribute:
-      out += ": source node <" + tree.node(node).label + "> lacks " + detail;
+      out += ": source node <" + std::string(tree.node(node).label) +
+             "> lacks " + detail;
       break;
     case Kind::kDanglingReference:
-      out += ": source node <" + tree.node(node).label +
+      out += ": source node <" + std::string(tree.node(node).label) +
              "> references missing tuple " + detail;
       break;
     case Kind::kReferencedNotKey:

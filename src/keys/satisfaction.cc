@@ -1,6 +1,7 @@
 #include "keys/satisfaction.h"
 
 #include <algorithm>
+#include <cstring>
 #include <functional>
 #include <map>
 #include <unordered_map>
@@ -24,12 +25,13 @@ std::string KeyViolation::Describe(const Tree& tree, const XmlKey& key) const {
   out += "key ";
   out += name;
   if (kind == Kind::kMissingAttribute) {
-    out += ": target node <" + tree.node(node1).label + "> (path /" + path1 +
-           ") lacks @" + attribute;
+    out += ": target node <" + std::string(tree.node(node1).label) +
+           "> (path /" + path1 + ") lacks @" + attribute;
   } else {
     const std::string path2 = Join(tree.PathLabelsFromRoot(node2), "/");
-    out += ": target nodes <" + tree.node(node1).label + "> (path /" + path1 +
-           ") and <" + tree.node(node2).label + "> (path /" + path2 +
+    out += ": target nodes <" + std::string(tree.node(node1).label) +
+           "> (path /" + path1 + ") and <" +
+           std::string(tree.node(node2).label) + "> (path /" + path2 +
            ") agree on all key attributes";
   }
   out += " under context node ";
@@ -114,18 +116,59 @@ std::vector<TaggedViolation> CheckAll(const Tree& tree,
 
 namespace {
 
-// FNV-1a over a tuple of interned value ids — the dedup key of the
-// indexed condition-(2) check (replacing the seed's ordered map over
-// string vectors).
-struct ValueTupleHash {
-  size_t operator()(const std::vector<ValueId>& v) const noexcept {
+// Flat open-addressing dedup over fixed-arity tuples of interned value
+// ids — the condition-(2) check. Tuples live in one contiguous arity-
+// strided array, hashed with FNV-1a over the raw id bytes, so the hot
+// loop is a bulk hash + one memcmp per probe with no per-tuple
+// allocation. A zero-arity key degenerates correctly: every target
+// carries the same (empty) tuple, so the first one seen owns it.
+// Reusable across contexts: Reset() re-sizes for the next target set
+// (capacity is sized so the table never rehashes mid-scan).
+class TupleDedup {
+ public:
+  void Reset(size_t arity, size_t max_tuples) {
+    arity_ = arity;
+    tuples_.clear();
+    owners_.clear();
+    size_t want = 16;
+    while (want < (max_tuples + 1) * 2) want <<= 1;
+    if (slots_.size() != want) slots_.resize(want);
+    std::fill(slots_.begin(), slots_.end(), -1);
+  }
+
+  // Inserts `tuple` (arity_ ids) owned by `owner` if unseen; returns the
+  // owning node (== `owner` iff this tuple is new).
+  NodeId FindOrInsert(const ValueId* tuple, NodeId owner) {
     uint64_t h = 1469598103934665603ULL;
-    for (ValueId id : v) {
-      h ^= static_cast<uint64_t>(static_cast<uint32_t>(id));
+    for (size_t a = 0; a < arity_; ++a) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(tuple[a]));
       h *= 1099511628211ULL;
     }
-    return static_cast<size_t>(h);
+    const size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(h) & mask;
+    while (slots_[i] >= 0) {
+      const size_t t = static_cast<size_t>(slots_[i]);
+      if (arity_ == 0 ||
+          std::memcmp(tuples_.data() + t * arity_, tuple,
+                      arity_ * sizeof(ValueId)) == 0) {
+        return owners_[t];
+      }
+      i = (i + 1) & mask;
+    }
+    slots_[i] = static_cast<int32_t>(owners_.size());
+    tuples_.insert(tuples_.end(), tuple, tuple + arity_);
+    owners_.push_back(owner);
+    return owner;
   }
+
+  std::vector<ValueId>* scratch_tuple() { return &tmp_; }
+
+ private:
+  size_t arity_ = 0;
+  std::vector<ValueId> tuples_;
+  std::vector<NodeId> owners_;
+  std::vector<int32_t> slots_;
+  std::vector<ValueId> tmp_;
 };
 
 // The key attributes resolved to interned label ids once per key (a
@@ -147,16 +190,15 @@ std::vector<LabelId> ResolveAttributes(const TreeIndex& index,
 // the value comparison changes, from string vectors to interned ids.
 void CheckContext(const TreeIndex& index, const XmlKey& key,
                   const std::vector<LabelId>& attr_labels, NodeId ctx,
-                  const std::vector<NodeId>& targets,
+                  const std::vector<NodeId>& targets, TupleDedup* dedup,
                   std::vector<KeyViolation>* out) {
-  const Tree& tree = index.tree();
-  std::unordered_map<std::vector<ValueId>, NodeId, ValueTupleHash> seen;
-  seen.reserve(targets.size());
+  const NodeKind* kind = index.tree().kind_data();
+  dedup->Reset(attr_labels.size(), targets.size());
+  std::vector<ValueId>& values = *dedup->scratch_tuple();
   for (NodeId t : targets) {
-    if (tree.node(t).kind != NodeKind::kElement) continue;
+    if (kind[static_cast<size_t>(t)] != NodeKind::kElement) continue;
     bool complete = true;
-    std::vector<ValueId> values;
-    values.reserve(attr_labels.size());
+    values.clear();
     for (size_t a = 0; a < attr_labels.size(); ++a) {
       const NodeId attr = index.AttributeWithLabel(t, attr_labels[a]);
       if (attr == kInvalidNode) {
@@ -172,12 +214,12 @@ void CheckContext(const TreeIndex& index, const XmlKey& key,
       }
     }
     if (!complete) continue;
-    auto [it, inserted] = seen.emplace(std::move(values), t);
-    if (!inserted) {
+    const NodeId first = dedup->FindOrInsert(values.data(), t);
+    if (first != t) {
       KeyViolation viol;
       viol.kind = KeyViolation::Kind::kDuplicateValues;
       viol.context = ctx;
-      viol.node1 = it->second;
+      viol.node1 = first;
       viol.node2 = t;
       out->push_back(std::move(viol));
     }
@@ -204,9 +246,10 @@ std::vector<KeyViolation> CheckKey(const TreeIndex& index,
                                    const XmlKey& key) {
   std::vector<KeyViolation> violations;
   const std::vector<LabelId> attr_labels = ResolveAttributes(index, key);
+  TupleDedup dedup;
   for (NodeId ctx : ElementContexts(index, key.context())) {
     const std::vector<NodeId> targets = key.target().Eval(index, ctx);
-    CheckContext(index, key, attr_labels, ctx, targets, &violations);
+    CheckContext(index, key, attr_labels, ctx, targets, &dedup, &violations);
   }
   return violations;
 }
@@ -340,9 +383,10 @@ std::vector<TaggedViolation> CheckAll(const TreeIndex& index,
       const std::vector<NodeId>& ctxs = context_sets[key_context[chunk.owner]];
       const std::vector<std::vector<NodeId>>& targets =
           target_sets[key_pair[chunk.owner]];
+      TupleDedup dedup;
       for (size_t c = chunk.begin; c < chunk.end; ++c) {
         CheckContext(index, keys[chunk.owner], attr_labels[chunk.owner],
-                     ctxs[c], targets[c], &slots[i]);
+                     ctxs[c], targets[c], &dedup, &slots[i]);
       }
     });
   }

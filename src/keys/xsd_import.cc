@@ -142,7 +142,8 @@ Result<XsdImportResult> ImportXsdKeys(std::string_view xsd_text) {
   if (LocalName(tree.node(tree.root()).label) != "schema") {
     return Status::InvalidArgument(
         "not an XML Schema document (root is <" +
-        tree.node(tree.root()).label + ">, expected xs:schema)");
+        std::string(tree.node(tree.root()).label) +
+        ">, expected xs:schema)");
   }
 
   XsdImportResult result;

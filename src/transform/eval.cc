@@ -101,7 +101,11 @@ class IndexedEnumerator {
 
   ColumnarInstance::ValueRef ValueOf(NodeId n) {
     ColumnarInstance::ValueRef& slot = value_of_[static_cast<size_t>(n)];
-    if (slot == kUnknown) slot = out_->Intern(index_.tree().Value(n));
+    if (slot == kUnknown) {
+      value_buf_.clear();
+      index_.tree().AppendValue(n, &value_buf_);
+      slot = out_->Intern(value_buf_);
+    }
     return slot;
   }
 
@@ -144,6 +148,7 @@ class IndexedEnumerator {
   std::vector<std::unordered_map<NodeId, std::vector<NodeId>>> choice_memo_;
   std::vector<ColumnarInstance::ValueRef> value_of_;
   std::vector<ColumnarInstance::ValueRef> row_;
+  std::string value_buf_;
 };
 
 }  // namespace

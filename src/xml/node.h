@@ -1,9 +1,11 @@
 #ifndef XMLPROP_XML_NODE_H_
 #define XMLPROP_XML_NODE_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <string>
-#include <vector>
+#include <string_view>
 
 namespace xmlprop {
 
@@ -13,6 +15,19 @@ using NodeId = int32_t;
 
 /// Sentinel id meaning "no node" (e.g. the parent of the root).
 inline constexpr NodeId kInvalidNode = -1;
+
+/// Interned identifier of an element label or attribute name within one
+/// Tree (and hence within any TreeIndex over it). Ids are dense, starting
+/// at 0, assigned in first-use order; element tags and attribute names
+/// share one namespace.
+using LabelId = int32_t;
+inline constexpr LabelId kNoLabel = -1;
+
+/// Interned identifier of an attribute value string within one Tree.
+/// Equal strings always intern to the same id, so value-tuple equality
+/// reduces to id-tuple equality (the key checker's hot comparison).
+using ValueId = int32_t;
+inline constexpr ValueId kNoValue = -1;
 
 /// The three node kinds of the paper's XML tree model (Fig. 1): elements
 /// (E), attributes (A), and text (S). The document root is an element.
@@ -25,19 +40,133 @@ enum class NodeKind : uint8_t {
 /// Returns "element" / "attribute" / "text".
 const char* NodeKindToString(NodeKind kind);
 
-/// One node of an XML tree. Plain data; owned and linked by Tree.
+/// A borrowed string slice into a Tree's text arena. Behaves like a
+/// std::string_view everywhere (comparisons, hashing via conversion,
+/// stream output) and additionally converts implicitly to std::string so
+/// the pre-flat-tree call sites that copied `node.label` into owning
+/// strings keep compiling unchanged.
+class Str : public std::string_view {
+ public:
+  constexpr Str() = default;
+  constexpr Str(std::string_view v) : std::string_view(v) {}  // NOLINT
+  operator std::string() const {  // NOLINT: intentional implicit copy
+    return empty() ? std::string() : std::string(data(), size());
+  }
+};
+
+/// A forward/backward-iterable list of sibling nodes, expressed over the
+/// owning Tree's structure-of-arrays sibling links. This is what
+/// `Node::children` and `Node::attributes` are: a view, not an owning
+/// vector. size()/empty() are O(1); operator[] walks i links and is meant
+/// for the small fixed indices the call sites use (typically [0]).
+class NodeList {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = NodeId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const NodeId*;
+    using reference = NodeId;
+
+    iterator() = default;
+    iterator(const NodeId* next, NodeId cur) : next_(next), cur_(cur) {}
+    NodeId operator*() const { return cur_; }
+    iterator& operator++() {
+      cur_ = next_[static_cast<size_t>(cur_)];
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    bool operator==(const iterator& o) const { return cur_ == o.cur_; }
+    bool operator!=(const iterator& o) const { return cur_ != o.cur_; }
+
+   private:
+    const NodeId* next_ = nullptr;
+    NodeId cur_ = kInvalidNode;
+  };
+
+  class reverse_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = NodeId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const NodeId*;
+    using reference = NodeId;
+
+    reverse_iterator() = default;
+    reverse_iterator(const NodeId* prev, NodeId cur)
+        : prev_(prev), cur_(cur) {}
+    NodeId operator*() const { return cur_; }
+    reverse_iterator& operator++() {
+      cur_ = prev_[static_cast<size_t>(cur_)];
+      return *this;
+    }
+    reverse_iterator operator++(int) {
+      reverse_iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    bool operator==(const reverse_iterator& o) const { return cur_ == o.cur_; }
+    bool operator!=(const reverse_iterator& o) const { return cur_ != o.cur_; }
+
+   private:
+    const NodeId* prev_ = nullptr;
+    NodeId cur_ = kInvalidNode;
+  };
+
+  NodeList() = default;
+  NodeList(const NodeId* next, const NodeId* prev, NodeId first, NodeId last,
+           uint32_t count)
+      : next_(next), prev_(prev), first_(first), last_(last), count_(count) {}
+
+  iterator begin() const { return iterator(next_, first_); }
+  iterator end() const { return iterator(next_, kInvalidNode); }
+  reverse_iterator rbegin() const { return reverse_iterator(prev_, last_); }
+  reverse_iterator rend() const {
+    return reverse_iterator(prev_, kInvalidNode);
+  }
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  NodeId front() const { return first_; }
+  NodeId back() const { return last_; }
+  NodeId operator[](size_t i) const {
+    NodeId cur = first_;
+    while (i-- > 0) cur = next_[static_cast<size_t>(cur)];
+    return cur;
+  }
+
+ private:
+  const NodeId* next_ = nullptr;
+  const NodeId* prev_ = nullptr;
+  NodeId first_ = kInvalidNode;
+  NodeId last_ = kInvalidNode;
+  uint32_t count_ = 0;
+};
+
+/// One node of an XML tree, as a lightweight *view* into the owning
+/// Tree's structure-of-arrays storage (DESIGN.md "Flat tree core").
+/// Field names and semantics match the historical owning struct — `label`
+/// and `value` read like strings, `children`/`attributes` iterate NodeIds
+/// in document/declaration order — but copying a Node copies ~64 bytes of
+/// view state, never node text. Views are snapshots: like the references
+/// the old `Tree::node()` returned, they are invalidated by mutating the
+/// owning tree.
 struct Node {
   NodeId id = kInvalidNode;
   NodeKind kind = NodeKind::kElement;
   /// Element tag or attribute name (without '@'); empty for text nodes.
-  std::string label;
+  Str label;
   /// Attribute value or text content; empty for elements.
-  std::string value;
+  Str value;
   NodeId parent = kInvalidNode;
   /// Element and text children in document order (elements only).
-  std::vector<NodeId> children;
+  NodeList children;
   /// Attribute nodes in declaration order (elements only).
-  std::vector<NodeId> attributes;
+  NodeList attributes;
 };
 
 }  // namespace xmlprop

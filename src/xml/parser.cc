@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -13,8 +14,32 @@ namespace xmlprop {
 
 namespace {
 
-// Recursive-descent XML parser with position tracking. The grammar subset
-// is documented on ParseXml in parser.h.
+// Byte-class tables so the scanning loops test one array load per byte
+// instead of calling the out-of-line character predicates.
+struct CharTables {
+  bool name_start[256];
+  bool name[256];
+  bool ws[256];
+};
+
+const CharTables& Tables() {
+  static const CharTables tables = [] {
+    CharTables t{};
+    for (int c = 0; c < 256; ++c) {
+      t.name_start[c] = IsNameStartChar(static_cast<char>(c));
+      t.name[c] = IsNameChar(static_cast<char>(c));
+      t.ws[c] = std::isspace(c) != 0;
+    }
+    return t;
+  }();
+  return tables;
+}
+
+// Non-recursive XML parser emitting directly into the flat Tree core.
+// Text runs, attribute values and skipped sections advance by memchr/find
+// over the raw bytes; line/column positions are only computed when an
+// error is actually reported. The grammar subset is documented on
+// ParseXml in parser.h.
 class Parser {
  public:
   Parser(std::string_view input, const ParseOptions& options)
@@ -22,19 +47,18 @@ class Parser {
 
   Result<Tree> Parse() {
     SkipProlog();
-    if (AtEnd() || Peek() != '<') {
+    if (AtEnd() || input_[pos_] != '<') {
       return Error("expected root element");
     }
-    // Parse the root start tag ourselves so the Tree root gets its label.
-    XMLPROP_ASSIGN_OR_RETURN(StartTag root_tag, ParseStartTag());
-    Tree tree(root_tag.name);
-    for (auto& [name, value] : root_tag.attributes) {
-      Result<NodeId> r =
-          tree.CreateAttribute(tree.root(), std::move(name), std::move(value));
-      if (!r.ok()) return PositionedError(r.status().message());
-    }
-    if (!root_tag.self_closing) {
-      XMLPROP_RETURN_NOT_OK(ParseContent(&tree, tree.root(), root_tag.name));
+    ++pos_;
+    XMLPROP_ASSIGN_OR_RETURN(std::string_view root_name, ScanName());
+    Tree tree(root_name);
+    tree.Reserve(input_.size() / 16 + 8, input_.size());
+    bool self_closing = false;
+    XMLPROP_RETURN_NOT_OK(
+        ParseTagRest(&tree, tree.root(), root_name, &self_closing));
+    if (!self_closing) {
+      XMLPROP_RETURN_NOT_OK(ParseContent(&tree, tree.root(), root_name));
     }
     SkipMisc();
     if (!AtEnd()) {
@@ -44,45 +68,76 @@ class Parser {
   }
 
  private:
-  struct StartTag {
-    std::string name;
-    std::vector<std::pair<std::string, std::string>> attributes;
-    bool self_closing = false;
-  };
-
   bool AtEnd() const { return pos_ >= input_.size(); }
-  char Peek(size_t ahead = 0) const {
-    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
-  }
-  void Advance() {
-    if (input_[pos_] == '\n') {
-      ++line_;
-      col_ = 1;
-    } else {
-      ++col_;
-    }
-    ++pos_;
-  }
-  void AdvanceBy(size_t n) {
-    for (size_t i = 0; i < n && !AtEnd(); ++i) Advance();
-  }
-  bool ConsumePrefix(std::string_view prefix) {
-    if (input_.substr(pos_).substr(0, prefix.size()) != prefix) return false;
-    AdvanceBy(prefix.size());
-    return true;
-  }
-  void SkipWhitespace() {
-    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
-      Advance();
-    }
-  }
 
+  // 1-based line:column derived lazily from pos_ — exactly what the
+  // incremental counter the char-at-a-time parser maintained would say.
   Status Error(std::string_view what) const {
-    return Status::ParseError("XML parse error at " + std::to_string(line_) +
-                              ":" + std::to_string(col_) + ": " +
+    size_t line = 1;
+    size_t last_nl = std::string_view::npos;
+    const char* data = input_.data();
+    const char* p = data;
+    const char* limit = data + pos_;
+    while (p < limit) {
+      const void* nl = std::memchr(p, '\n', static_cast<size_t>(limit - p));
+      if (nl == nullptr) break;
+      ++line;
+      last_nl = static_cast<size_t>(static_cast<const char*>(nl) - data);
+      p = static_cast<const char*>(nl) + 1;
+    }
+    const size_t col =
+        (last_nl == std::string_view::npos) ? pos_ + 1 : pos_ - last_nl;
+    return Status::ParseError("XML parse error at " + std::to_string(line) +
+                              ":" + std::to_string(col) + ": " +
                               std::string(what));
   }
-  Status PositionedError(std::string_view what) const { return Error(what); }
+
+  // Index of `c` in input_[from, to), or `to` when absent.
+  size_t FindByte(char c, size_t from, size_t to) const {
+    const void* p = std::memchr(input_.data() + from, c, to - from);
+    return p == nullptr
+               ? to
+               : static_cast<size_t>(static_cast<const char*>(p) -
+                                     input_.data());
+  }
+
+  bool ConsumePrefix(std::string_view prefix) {
+    if (input_.compare(pos_, prefix.size(), prefix) != 0) return false;
+    pos_ += prefix.size();
+    return true;
+  }
+
+  void SkipWhitespace() {
+    const bool* ws = Tables().ws;
+    while (pos_ < input_.size() &&
+           ws[static_cast<unsigned char>(input_[pos_])]) {
+      ++pos_;
+    }
+  }
+
+  void SkipUntil(std::string_view terminator) {
+    const size_t found = input_.find(terminator, pos_);
+    pos_ = (found == std::string_view::npos) ? input_.size()
+                                             : found + terminator.size();
+  }
+
+  // Consumes a DOCTYPE body up to its closing '>', skipping over a
+  // bracketed internal subset if present.
+  void SkipDoctype() {
+    int bracket_depth = 0;
+    while (!AtEnd()) {
+      const char c = input_[pos_];
+      if (c == '[') {
+        ++bracket_depth;
+      } else if (c == ']') {
+        --bracket_depth;
+      } else if (c == '>' && bracket_depth <= 0) {
+        ++pos_;
+        return;
+      }
+      ++pos_;
+    }
+  }
 
   // Skips the XML declaration, DOCTYPE, comments, PIs and whitespace
   // before the root element.
@@ -115,60 +170,71 @@ class Parser {
     }
   }
 
-  void SkipUntil(std::string_view terminator) {
-    while (!AtEnd()) {
-      if (ConsumePrefix(terminator)) return;
-      Advance();
-    }
-  }
-
-  // Consumes a DOCTYPE body up to its closing '>', skipping over a
-  // bracketed internal subset if present.
-  void SkipDoctype() {
-    int bracket_depth = 0;
-    while (!AtEnd()) {
-      char c = Peek();
-      if (c == '[') {
-        ++bracket_depth;
-      } else if (c == ']') {
-        --bracket_depth;
-      } else if (c == '>' && bracket_depth <= 0) {
-        Advance();
-        return;
-      }
-      Advance();
-    }
-  }
-
-  Result<std::string> ParseName() {
-    if (AtEnd() || !IsNameStartChar(Peek())) {
+  Result<std::string_view> ScanName() {
+    const CharTables& t = Tables();
+    if (AtEnd() ||
+        !t.name_start[static_cast<unsigned char>(input_[pos_])]) {
       return Error("expected a name");
     }
-    std::string name;
-    while (!AtEnd() && IsNameChar(Peek())) {
-      name.push_back(Peek());
-      Advance();
+    const size_t start = pos_;
+    while (pos_ < input_.size() &&
+           t.name[static_cast<unsigned char>(input_[pos_])]) {
+      ++pos_;
     }
-    return name;
+    return input_.substr(start, pos_ - start);
   }
 
-  // Decodes one entity/char reference after the '&' has been consumed.
-  Result<std::string> ParseReference() {
-    size_t semi = input_.find(';', pos_);
+  static void EncodeUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  // Decodes one entity/char reference after the '&' has been consumed,
+  // appending the decoded bytes to `out`.
+  Status ParseReference(std::string* out) {
+    const size_t semi = input_.find(';', pos_);
     if (semi == std::string_view::npos || semi - pos_ > 10) {
       return Error("unterminated entity reference");
     }
-    std::string_view body = input_.substr(pos_, semi - pos_);
-    AdvanceBy(body.size() + 1);
-    if (body == "lt") return std::string("<");
-    if (body == "gt") return std::string(">");
-    if (body == "amp") return std::string("&");
-    if (body == "apos") return std::string("'");
-    if (body == "quot") return std::string("\"");
+    const std::string_view body = input_.substr(pos_, semi - pos_);
+    pos_ = semi + 1;
+    if (body == "lt") {
+      out->push_back('<');
+      return Status::OK();
+    }
+    if (body == "gt") {
+      out->push_back('>');
+      return Status::OK();
+    }
+    if (body == "amp") {
+      out->push_back('&');
+      return Status::OK();
+    }
+    if (body == "apos") {
+      out->push_back('\'');
+      return Status::OK();
+    }
+    if (body == "quot") {
+      out->push_back('"');
+      return Status::OK();
+    }
     if (!body.empty() && body[0] == '#') {
       uint32_t code = 0;
-      bool hex = body.size() > 1 && (body[1] == 'x' || body[1] == 'X');
-      std::string_view digits = body.substr(hex ? 2 : 1);
+      const bool hex = body.size() > 1 && (body[1] == 'x' || body[1] == 'X');
+      const std::string_view digits = body.substr(hex ? 2 : 1);
       if (digits.empty()) return Error("empty character reference");
       for (char c : digits) {
         uint32_t d;
@@ -187,160 +253,219 @@ class Parser {
           return Error("character reference out of range");
         }
       }
-      return EncodeUtf8(code);
+      EncodeUtf8(code, out);
+      return Status::OK();
     }
     return Error("unknown entity &" + std::string(body) + ";");
   }
 
-  static std::string EncodeUtf8(uint32_t code) {
-    std::string out;
-    if (code < 0x80) {
-      out.push_back(static_cast<char>(code));
-    } else if (code < 0x800) {
-      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
-      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    } else if (code < 0x10000) {
-      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
-      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    } else {
-      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
-      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
-      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    }
-    return out;
-  }
-
-  Result<std::string> ParseAttributeValue() {
-    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+  // Parses a quoted attribute value. Entity-free values are returned as a
+  // zero-copy slice of the input; decoding falls back to the reused
+  // scratch buffer. The returned view is valid until the next call.
+  Result<std::string_view> ParseAttributeValue() {
+    if (AtEnd() || (input_[pos_] != '"' && input_[pos_] != '\'')) {
       return Error("expected quoted attribute value");
     }
-    char quote = Peek();
-    Advance();
-    std::string value;
-    while (!AtEnd() && Peek() != quote) {
-      if (Peek() == '<') return Error("'<' in attribute value");
-      if (Peek() == '&') {
-        Advance();
-        XMLPROP_ASSIGN_OR_RETURN(std::string decoded, ParseReference());
-        value += decoded;
-      } else {
-        value.push_back(Peek());
-        Advance();
+    const char quote = input_[pos_];
+    ++pos_;
+    const size_t start = pos_;
+    bool buffered = false;
+    while (true) {
+      const size_t q = FindByte(quote, pos_, input_.size());
+      const size_t lt = FindByte('<', pos_, q);
+      const size_t amp = FindByte('&', pos_, lt);
+      if (amp < lt) {
+        if (!buffered) {
+          attr_buf_.assign(input_.data() + start, pos_ - start);
+          buffered = true;
+        }
+        attr_buf_.append(input_.data() + pos_, amp - pos_);
+        pos_ = amp + 1;
+        XMLPROP_RETURN_NOT_OK(ParseReference(&attr_buf_));
+        continue;
       }
+      if (lt < q) {
+        pos_ = lt;
+        return Error("'<' in attribute value");
+      }
+      if (q == input_.size()) {
+        pos_ = input_.size();
+        return Error("unterminated attribute value");
+      }
+      std::string_view value;
+      if (buffered) {
+        attr_buf_.append(input_.data() + pos_, q - pos_);
+        value = attr_buf_;
+      } else {
+        value = input_.substr(start, q - start);
+      }
+      pos_ = q + 1;
+      return value;
     }
-    if (AtEnd()) return Error("unterminated attribute value");
-    Advance();  // closing quote
-    return value;
   }
 
-  // Parses "<name attr=... (/)>" — the leading '<' is still pending.
-  Result<StartTag> ParseStartTag() {
-    if (!ConsumePrefix("<")) return Error("expected '<'");
-    StartTag tag;
-    XMLPROP_ASSIGN_OR_RETURN(tag.name, ParseName());
+  // Parses the remainder of a start tag (attributes and the closing '>'
+  // or '/>'); the element already exists so attributes go straight into
+  // the tree.
+  Status ParseTagRest(Tree* tree, NodeId elem, std::string_view name,
+                      bool* self_closing) {
     while (true) {
       SkipWhitespace();
-      if (AtEnd()) return Error("unterminated start tag <" + tag.name);
-      if (ConsumePrefix("/>")) {
-        tag.self_closing = true;
-        return tag;
+      if (AtEnd()) {
+        return Error("unterminated start tag <" + std::string(name));
       }
-      if (ConsumePrefix(">")) return tag;
-      XMLPROP_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+      if (ConsumePrefix("/>")) {
+        *self_closing = true;
+        return Status::OK();
+      }
+      if (ConsumePrefix(">")) {
+        *self_closing = false;
+        return Status::OK();
+      }
+      XMLPROP_ASSIGN_OR_RETURN(std::string_view attr_name, ScanName());
       SkipWhitespace();
       if (!ConsumePrefix("=")) {
-        return Error("expected '=' after attribute " + attr_name);
+        return Error("expected '=' after attribute " + std::string(attr_name));
       }
       SkipWhitespace();
-      XMLPROP_ASSIGN_OR_RETURN(std::string attr_value, ParseAttributeValue());
-      for (const auto& [existing, unused] : tag.attributes) {
-        if (existing == attr_name) {
-          return Error("duplicate attribute @" + attr_name + " on <" +
-                       tag.name + ">");
-        }
+      XMLPROP_ASSIGN_OR_RETURN(std::string_view value, ParseAttributeValue());
+      if (tree->FindAttribute(elem, attr_name).has_value()) {
+        return Error("duplicate attribute @" + std::string(attr_name) +
+                     " on <" + std::string(name) + ">");
       }
-      tag.attributes.emplace_back(std::move(attr_name), std::move(attr_value));
+      Result<NodeId> r = tree->CreateAttribute(elem, attr_name, value);
+      if (!r.ok()) return Error(r.status().message());
     }
   }
 
-  // Parses element content up to and including "</expected_name>".
-  Status ParseContent(Tree* tree, NodeId element,
-                      const std::string& expected_name) {
-    std::string text;
-    auto flush_text = [&]() {
-      if (text.empty()) return;
-      if (options_.keep_whitespace_text ||
-          !TrimWhitespace(text).empty()) {
-        tree->CreateText(element, text);
+  // --- Text-run accumulation. ------------------------------------------
+  // A run is everything between two element boundaries (start or end
+  // tags); comments, PIs and CDATA sections do not break it. The common
+  // case — one contiguous chunk of raw input — stays a zero-copy slice;
+  // entity decodes and split segments fall back to the scratch buffer.
+
+  void AddRaw(size_t begin, size_t end) {
+    if (begin == end) return;
+    if (!text_buffered_) {
+      if (slice_len_ == 0) {
+        slice_start_ = begin;
+        slice_len_ = end - begin;
+        return;
       }
-      text.clear();
+      if (slice_start_ + slice_len_ == begin) {
+        slice_len_ += end - begin;
+        return;
+      }
+      text_buf_.assign(input_.data() + slice_start_, slice_len_);
+      text_buffered_ = true;
+    }
+    text_buf_.append(input_.data() + begin, end - begin);
+  }
+
+  std::string* DecodeTarget() {
+    if (!text_buffered_) {
+      text_buf_.assign(input_.data() + slice_start_, slice_len_);
+      text_buffered_ = true;
+    }
+    return &text_buf_;
+  }
+
+  void FlushText(Tree* tree, NodeId elem) {
+    const std::string_view text =
+        text_buffered_ ? std::string_view(text_buf_)
+                       : input_.substr(slice_start_, slice_len_);
+    if (!text.empty()) {
+      if (options_.keep_whitespace_text || !TrimWhitespace(text).empty()) {
+        tree->CreateText(elem, text);
+      }
+    }
+    text_buffered_ = false;
+    text_buf_.clear();
+    slice_start_ = 0;
+    slice_len_ = 0;
+  }
+
+  // Parses element content with an explicit open-element stack; depth is
+  // bounded by memory, not the call stack.
+  Status ParseContent(Tree* tree, NodeId root_elem,
+                      std::string_view root_name) {
+    struct Open {
+      NodeId elem;
+      std::string_view name;
     };
+    std::vector<Open> stack;
+    stack.push_back(Open{root_elem, root_name});
     while (true) {
-      if (AtEnd()) {
-        return Error("unterminated element <" + expected_name + ">");
-      }
-      if (Peek() == '<') {
-        if (ConsumePrefix("</")) {
-          flush_text();
-          XMLPROP_ASSIGN_OR_RETURN(std::string name, ParseName());
-          SkipWhitespace();
-          if (!ConsumePrefix(">")) {
-            return Error("malformed end tag </" + name);
-          }
-          if (name != expected_name) {
-            return Error("mismatched end tag: expected </" + expected_name +
-                         ">, found </" + name + ">");
-          }
-          return Status::OK();
-        }
-        if (ConsumePrefix("<!--")) {
-          SkipUntil("-->");
-          continue;
-        }
-        if (ConsumePrefix("<![CDATA[")) {
-          size_t end = input_.find("]]>", pos_);
-          if (end == std::string_view::npos) {
-            return Error("unterminated CDATA section");
-          }
-          text += input_.substr(pos_, end - pos_);
-          AdvanceBy(end - pos_ + 3);
-          continue;
-        }
-        if (ConsumePrefix("<?")) {
-          SkipUntil("?>");
-          continue;
-        }
-        flush_text();
-        XMLPROP_ASSIGN_OR_RETURN(StartTag tag, ParseStartTag());
-        NodeId child = tree->CreateElement(element, tag.name);
-        for (auto& [name, value] : tag.attributes) {
-          Result<NodeId> r =
-              tree->CreateAttribute(child, std::move(name), std::move(value));
-          if (!r.ok()) return PositionedError(r.status().message());
-        }
-        if (!tag.self_closing) {
-          XMLPROP_RETURN_NOT_OK(ParseContent(tree, child, tag.name));
-        }
+      Open& top = stack.back();
+      // Bulk-scan the text run: everything up to the next '<', minus any
+      // entity references on the way.
+      const size_t lt = FindByte('<', pos_, input_.size());
+      const size_t amp = FindByte('&', pos_, lt);
+      if (amp < lt) {
+        AddRaw(pos_, amp);
+        pos_ = amp + 1;
+        XMLPROP_RETURN_NOT_OK(ParseReference(DecodeTarget()));
         continue;
       }
-      if (Peek() == '&') {
-        Advance();
-        XMLPROP_ASSIGN_OR_RETURN(std::string decoded, ParseReference());
-        text += decoded;
+      if (lt == input_.size()) {
+        pos_ = input_.size();
+        return Error("unterminated element <" + std::string(top.name) + ">");
+      }
+      AddRaw(pos_, lt);
+      pos_ = lt;
+      if (ConsumePrefix("</")) {
+        FlushText(tree, top.elem);
+        XMLPROP_ASSIGN_OR_RETURN(std::string_view name, ScanName());
+        SkipWhitespace();
+        if (!ConsumePrefix(">")) {
+          return Error("malformed end tag </" + std::string(name));
+        }
+        if (name != top.name) {
+          return Error("mismatched end tag: expected </" +
+                       std::string(top.name) + ">, found </" +
+                       std::string(name) + ">");
+        }
+        stack.pop_back();
+        if (stack.empty()) return Status::OK();
         continue;
       }
-      text.push_back(Peek());
-      Advance();
+      if (ConsumePrefix("<!--")) {
+        SkipUntil("-->");
+        continue;
+      }
+      if (ConsumePrefix("<![CDATA[")) {
+        const size_t end = input_.find("]]>", pos_);
+        if (end == std::string_view::npos) {
+          return Error("unterminated CDATA section");
+        }
+        AddRaw(pos_, end);
+        pos_ = end + 3;
+        continue;
+      }
+      if (ConsumePrefix("<?")) {
+        SkipUntil("?>");
+        continue;
+      }
+      // Start tag of a child element.
+      FlushText(tree, top.elem);
+      ++pos_;  // '<'
+      XMLPROP_ASSIGN_OR_RETURN(std::string_view name, ScanName());
+      const NodeId child = tree->CreateElement(top.elem, name);
+      bool self_closing = false;
+      XMLPROP_RETURN_NOT_OK(ParseTagRest(tree, child, name, &self_closing));
+      if (!self_closing) stack.push_back(Open{child, name});
     }
   }
 
   std::string_view input_;
   ParseOptions options_;
   size_t pos_ = 0;
-  size_t line_ = 1;
-  size_t col_ = 1;
+
+  std::string attr_buf_;
+  std::string text_buf_;
+  bool text_buffered_ = false;
+  size_t slice_start_ = 0;
+  size_t slice_len_ = 0;
 };
 
 }  // namespace
@@ -352,6 +477,7 @@ Result<Tree> ParseXml(std::string_view input, const ParseOptions& options) {
   Result<Tree> result = parser.Parse();
   if (result.ok()) {
     obs::Count("xml.parsed_nodes", result.value().size());
+    obs::Count("xml.arena_bytes", result.value().arena_bytes());
   }
   return result;
 }

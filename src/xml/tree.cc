@@ -2,73 +2,319 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace xmlprop {
 
-Tree::Tree(std::string root_label) {
-  Node root;
-  root.id = 0;
-  root.kind = NodeKind::kElement;
-  root.label = std::move(root_label);
-  nodes_.push_back(std::move(root));
+namespace {
+
+// FNV-1a over the slice bytes — the intern tables' hash. Labels and
+// attribute values are short, so a simple byte loop beats setup-heavy
+// hashes here.
+uint64_t HashBytes(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
 }
 
-NodeId Tree::CreateElement(NodeId parent, std::string label) {
-  assert(IsValid(parent) && node(parent).kind == NodeKind::kElement);
-  NodeId id = static_cast<NodeId>(nodes_.size());
-  Node n;
-  n.id = id;
-  n.kind = NodeKind::kElement;
-  n.label = std::move(label);
-  n.parent = parent;
-  nodes_.push_back(std::move(n));
-  nodes_[static_cast<size_t>(parent)].children.push_back(id);
+}  // namespace
+
+Tree::Tree(std::string_view root_label) {
+  const LabelId lid = InternLabel(root_label);
+  AppendNode(NodeKind::kElement);
+  label_id_[0] = lid;
+  label_off_[0] = label_ref_[static_cast<size_t>(lid)].off;
+  label_len_[0] = label_ref_[static_cast<size_t>(lid)].len;
+  pre_[0] = 0;
+  element_count_ = 1;
+  open_path_.push_back(0);
+}
+
+void Tree::Reserve(size_t nodes, size_t text_bytes) {
+  arena_.reserve(arena_.size() + text_bytes);
+  kind_.reserve(nodes);
+  flags_.reserve(nodes);
+  parent_.reserve(nodes);
+  first_child_.reserve(nodes);
+  last_child_.reserve(nodes);
+  first_attr_.reserve(nodes);
+  last_attr_.reserve(nodes);
+  next_sibling_.reserve(nodes);
+  prev_sibling_.reserve(nodes);
+  child_count_.reserve(nodes);
+  attr_count_.reserve(nodes);
+  label_off_.reserve(nodes);
+  label_len_.reserve(nodes);
+  value_off_.reserve(nodes);
+  value_len_.reserve(nodes);
+  label_id_.reserve(nodes);
+  value_id_.reserve(nodes);
+  pre_.reserve(nodes);
+}
+
+Tree::TextRef Tree::AddText(std::string_view text) {
+  TextRef ref;
+  ref.len = static_cast<uint32_t>(text.size());
+  if (text.empty()) return ref;
+  // A slice that already lives in the arena (grafts and attribute
+  // rewrites within the same tree) is reused in place — the arena is
+  // append-only, so existing bytes never move logically.
+  const char* base = arena_.data();
+  if (text.data() >= base && text.data() < base + arena_.size()) {
+    ref.off = static_cast<uint32_t>(text.data() - base);
+    return ref;
+  }
+  ref.off = static_cast<uint32_t>(arena_.size());
+  arena_.append(text.data(), text.size());
+  return ref;
+}
+
+LabelId Tree::InternLabel(std::string_view name) {
+  if (label_slots_.empty()) label_slots_.assign(64, -1);
+  size_t mask = label_slots_.size() - 1;
+  size_t i = static_cast<size_t>(HashBytes(name)) & mask;
+  while (label_slots_[i] >= 0) {
+    const TextRef& r = label_ref_[static_cast<size_t>(label_slots_[i])];
+    if (r.len == name.size() &&
+        std::memcmp(arena_.data() + r.off, name.data(), r.len) == 0) {
+      return label_slots_[i];
+    }
+    i = (i + 1) & mask;
+  }
+  const TextRef ref = AddText(name);
+  const LabelId id = static_cast<LabelId>(label_ref_.size());
+  label_ref_.push_back(ref);
+  label_slots_[i] = id;
+  if (label_ref_.size() * 10 > label_slots_.size() * 7) {
+    std::vector<int32_t> slots(label_slots_.size() * 2, -1);
+    mask = slots.size() - 1;
+    for (size_t k = 0; k < label_ref_.size(); ++k) {
+      const TextRef& r = label_ref_[k];
+      size_t j = static_cast<size_t>(HashBytes(
+                     std::string_view(arena_.data() + r.off, r.len))) &
+                 mask;
+      while (slots[j] >= 0) j = (j + 1) & mask;
+      slots[j] = static_cast<int32_t>(k);
+    }
+    label_slots_.swap(slots);
+  }
   return id;
 }
 
-NodeId Tree::CreateText(NodeId parent, std::string text) {
-  assert(IsValid(parent) && node(parent).kind == NodeKind::kElement);
-  NodeId id = static_cast<NodeId>(nodes_.size());
-  Node n;
-  n.id = id;
-  n.kind = NodeKind::kText;
-  n.value = std::move(text);
-  n.parent = parent;
-  nodes_.push_back(std::move(n));
-  nodes_[static_cast<size_t>(parent)].children.push_back(id);
+ValueId Tree::InternValue(std::string_view value) {
+  if (value_slots_.empty()) value_slots_.assign(64, -1);
+  size_t mask = value_slots_.size() - 1;
+  size_t i = static_cast<size_t>(HashBytes(value)) & mask;
+  while (value_slots_[i] >= 0) {
+    const TextRef& r = value_ref_[static_cast<size_t>(value_slots_[i])];
+    if (r.len == value.size() &&
+        std::memcmp(arena_.data() + r.off, value.data(), r.len) == 0) {
+      return value_slots_[i];
+    }
+    i = (i + 1) & mask;
+  }
+  const TextRef ref = AddText(value);
+  const ValueId id = static_cast<ValueId>(value_ref_.size());
+  value_ref_.push_back(ref);
+  value_slots_[i] = id;
+  if (value_ref_.size() * 10 > value_slots_.size() * 7) {
+    std::vector<int32_t> slots(value_slots_.size() * 2, -1);
+    mask = slots.size() - 1;
+    for (size_t k = 0; k < value_ref_.size(); ++k) {
+      const TextRef& r = value_ref_[k];
+      size_t j = static_cast<size_t>(HashBytes(
+                     std::string_view(arena_.data() + r.off, r.len))) &
+                 mask;
+      while (slots[j] >= 0) j = (j + 1) & mask;
+      slots[j] = static_cast<int32_t>(k);
+    }
+    value_slots_.swap(slots);
+  }
   return id;
 }
 
-Result<NodeId> Tree::CreateAttribute(NodeId parent, std::string name,
-                                     std::string value) {
-  if (!IsValid(parent) || node(parent).kind != NodeKind::kElement) {
+LabelId Tree::FindLabelId(std::string_view name) const {
+  if (label_slots_.empty()) return kNoLabel;
+  const size_t mask = label_slots_.size() - 1;
+  size_t i = static_cast<size_t>(HashBytes(name)) & mask;
+  while (label_slots_[i] >= 0) {
+    const TextRef& r = label_ref_[static_cast<size_t>(label_slots_[i])];
+    if (r.len == name.size() &&
+        std::memcmp(arena_.data() + r.off, name.data(), r.len) == 0) {
+      return label_slots_[i];
+    }
+    i = (i + 1) & mask;
+  }
+  return kNoLabel;
+}
+
+NodeId Tree::AppendNode(NodeKind kind) {
+  const NodeId id = static_cast<NodeId>(kind_.size());
+  kind_.push_back(kind);
+  flags_.push_back(0);
+  parent_.push_back(kInvalidNode);
+  first_child_.push_back(kInvalidNode);
+  last_child_.push_back(kInvalidNode);
+  first_attr_.push_back(kInvalidNode);
+  last_attr_.push_back(kInvalidNode);
+  next_sibling_.push_back(kInvalidNode);
+  prev_sibling_.push_back(kInvalidNode);
+  child_count_.push_back(0);
+  attr_count_.push_back(0);
+  label_off_.push_back(0);
+  label_len_.push_back(0);
+  value_off_.push_back(0);
+  value_len_.push_back(0);
+  label_id_.push_back(kNoLabel);
+  value_id_.push_back(kNoValue);
+  pre_.push_back(-1);
+  return id;
+}
+
+void Tree::LinkChild(NodeId parent, NodeId child) {
+  const size_t p = static_cast<size_t>(parent);
+  const NodeId last = last_child_[p];
+  if (last == kInvalidNode) {
+    first_child_[p] = child;
+  } else {
+    next_sibling_[static_cast<size_t>(last)] = child;
+    prev_sibling_[static_cast<size_t>(child)] = last;
+  }
+  last_child_[p] = child;
+  ++child_count_[p];
+}
+
+void Tree::LinkAttribute(NodeId parent, NodeId attr) {
+  const size_t p = static_cast<size_t>(parent);
+  const NodeId last = last_attr_[p];
+  if (last == kInvalidNode) {
+    first_attr_[p] = attr;
+  } else {
+    next_sibling_[static_cast<size_t>(last)] = attr;
+    prev_sibling_[static_cast<size_t>(attr)] = last;
+  }
+  last_attr_[p] = attr;
+  ++attr_count_[p];
+}
+
+void Tree::NoteElementCreated(NodeId parent, NodeId elem) {
+  if (euler_valid_) {
+    // Creation stays in pre-order iff the parent is still "open", i.e. on
+    // the rightmost path. Each element is pushed and popped at most once,
+    // so the maintenance is amortized O(1) per creation.
+    while (!open_path_.empty() && open_path_.back() != parent) {
+      open_path_.pop_back();
+    }
+    if (open_path_.empty()) {
+      euler_valid_ = false;
+    } else {
+      pre_[static_cast<size_t>(elem)] = static_cast<int32_t>(element_count_);
+      open_path_.push_back(elem);
+    }
+  }
+  ++element_count_;
+  euler_final_ = false;
+}
+
+NodeId Tree::CreateElement(NodeId parent, std::string_view label) {
+  assert(IsValid(parent) &&
+         kind_[static_cast<size_t>(parent)] == NodeKind::kElement);
+  const LabelId lid = InternLabel(label);
+  const NodeId id = AppendNode(NodeKind::kElement);
+  const size_t i = static_cast<size_t>(id);
+  const TextRef& ref = label_ref_[static_cast<size_t>(lid)];
+  label_id_[i] = lid;
+  label_off_[i] = ref.off;
+  label_len_[i] = ref.len;
+  parent_[i] = parent;
+  LinkChild(parent, id);
+  flags_[static_cast<size_t>(parent)] |= kHasElemChild;
+  NoteElementCreated(parent, id);
+  return id;
+}
+
+NodeId Tree::CreateText(NodeId parent, std::string_view text) {
+  assert(IsValid(parent) &&
+         kind_[static_cast<size_t>(parent)] == NodeKind::kElement);
+  const TextRef ref = AddText(text);
+  const NodeId id = AppendNode(NodeKind::kText);
+  const size_t i = static_cast<size_t>(id);
+  value_off_[i] = ref.off;
+  value_len_[i] = ref.len;
+  parent_[i] = parent;
+  LinkChild(parent, id);
+  flags_[static_cast<size_t>(parent)] |= kHasTextChild;
+  return id;
+}
+
+Result<NodeId> Tree::CreateAttribute(NodeId parent, std::string_view name,
+                                     std::string_view value) {
+  if (!IsValid(parent) ||
+      kind_[static_cast<size_t>(parent)] != NodeKind::kElement) {
     return Status::InvalidArgument("attribute parent must be an element");
   }
   if (FindAttribute(parent, name).has_value()) {
-    return Status::InvalidArgument("duplicate attribute @" + name +
-                                   " on element <" + node(parent).label + ">");
+    return Status::InvalidArgument(
+        "duplicate attribute @" + std::string(name) + " on element <" +
+        std::string(node(parent).label) + ">");
   }
-  NodeId id = static_cast<NodeId>(nodes_.size());
-  Node n;
-  n.id = id;
-  n.kind = NodeKind::kAttribute;
-  n.label = std::move(name);
-  n.value = std::move(value);
-  n.parent = parent;
-  nodes_.push_back(std::move(n));
-  nodes_[static_cast<size_t>(parent)].attributes.push_back(id);
+  const LabelId lid = InternLabel(name);
+  const ValueId vid = InternValue(value);
+  const NodeId id = AppendNode(NodeKind::kAttribute);
+  const size_t i = static_cast<size_t>(id);
+  const TextRef& lref = label_ref_[static_cast<size_t>(lid)];
+  const TextRef& vref = value_ref_[static_cast<size_t>(vid)];
+  label_id_[i] = lid;
+  label_off_[i] = lref.off;
+  label_len_[i] = lref.len;
+  value_id_[i] = vid;
+  value_off_[i] = vref.off;
+  value_len_[i] = vref.len;
+  parent_[i] = parent;
+  LinkAttribute(parent, id);
+  ++attribute_count_;
   return id;
 }
 
 Result<NodeId> Tree::Graft(NodeId parent, const Tree& src, NodeId src_node) {
-  if (!IsValid(parent) || node(parent).kind != NodeKind::kElement) {
+  if (!IsValid(parent) ||
+      kind_[static_cast<size_t>(parent)] != NodeKind::kElement) {
     return Status::InvalidArgument("graft parent must be an element");
   }
   if (!src.IsValid(src_node) ||
       src.node(src_node).kind != NodeKind::kElement) {
     return Status::InvalidArgument("graft source must be an element");
   }
+  // Self-grafts mutate the arrays the source views point into, so the
+  // source's link lists are materialized first in that case.
+  const bool self = (&src == this);
+  std::vector<NodeId> own_attrs;
+  std::vector<NodeId> own_kids;
+  if (self) {
+    const Node sn = src.node(src_node);
+    own_attrs.assign(sn.attributes.begin(), sn.attributes.end());
+    own_kids.assign(sn.children.begin(), sn.children.end());
+  }
+
   NodeId copy = CreateElement(parent, src.node(src_node).label);
+  if (self) {
+    for (NodeId attr : own_attrs) {
+      XMLPROP_RETURN_NOT_OK(
+          CreateAttribute(copy, src.node(attr).label, src.node(attr).value)
+              .status());
+    }
+    for (NodeId child : own_kids) {
+      if (src.node(child).kind == NodeKind::kText) {
+        CreateText(copy, src.node(child).value);
+      } else {
+        XMLPROP_RETURN_NOT_OK(Graft(copy, src, child).status());
+      }
+    }
+    return copy;
+  }
   for (NodeId attr : src.node(src_node).attributes) {
     XMLPROP_RETURN_NOT_OK(
         CreateAttribute(copy, src.node(attr).label, src.node(attr).value)
@@ -84,21 +330,32 @@ Result<NodeId> Tree::Graft(NodeId parent, const Tree& src, NodeId src_node) {
   return copy;
 }
 
-Status Tree::SetAttributeValue(NodeId id, std::string name,
-                               std::string value) {
+Status Tree::SetAttributeValue(NodeId id, std::string_view name,
+                               std::string_view value) {
   std::optional<NodeId> attr = FindAttribute(id, name);
   if (attr.has_value()) {
-    nodes_[static_cast<size_t>(*attr)].value = std::move(value);
+    const ValueId vid = InternValue(value);
+    const size_t i = static_cast<size_t>(*attr);
+    const TextRef& vref = value_ref_[static_cast<size_t>(vid)];
+    value_id_[i] = vid;
+    value_off_[i] = vref.off;
+    value_len_[i] = vref.len;
     return Status::OK();
   }
-  return CreateAttribute(id, std::move(name), std::move(value)).status();
+  return CreateAttribute(id, name, value).status();
 }
 
 std::optional<NodeId> Tree::FindAttribute(NodeId id,
                                           std::string_view name) const {
   if (!IsValid(id)) return std::nullopt;
-  for (NodeId attr : node(id).attributes) {
-    if (node(attr).label == name) return attr;
+  for (NodeId a = first_attr_[static_cast<size_t>(id)]; a != kInvalidNode;
+       a = next_sibling_[static_cast<size_t>(a)]) {
+    const size_t i = static_cast<size_t>(a);
+    if (label_len_[i] == name.size() &&
+        std::memcmp(arena_.data() + label_off_[i], name.data(),
+                    name.size()) == 0) {
+      return a;
+    }
   }
   return std::nullopt;
 }
@@ -107,70 +364,140 @@ std::optional<std::string> Tree::AttributeValue(NodeId id,
                                                 std::string_view name) const {
   std::optional<NodeId> attr = FindAttribute(id, name);
   if (!attr.has_value()) return std::nullopt;
-  return node(*attr).value;
+  const size_t i = static_cast<size_t>(*attr);
+  return std::string(arena_.data() + value_off_[i], value_len_[i]);
 }
 
-void Tree::ValueRec(NodeId id, std::string* out) const {
-  const Node& n = node(id);
-  switch (n.kind) {
-    case NodeKind::kAttribute:
-    case NodeKind::kText:
-      *out += n.value;
-      return;
-    case NodeKind::kElement:
-      break;
-  }
-  // Element: text-only elements flatten to their text.
-  bool text_only = n.attributes.empty() &&
-                   std::all_of(n.children.begin(), n.children.end(),
-                               [this](NodeId c) {
-                                 return node(c).kind == NodeKind::kText;
-                               });
-  if (text_only) {
-    for (NodeId c : n.children) *out += node(c).value;
+void Tree::AppendValue(NodeId id, std::string* out) const {
+  assert(IsValid(id));
+  const char* base = arena_.data();
+  auto append_value = [&](NodeId n) {
+    const size_t i = static_cast<size_t>(n);
+    out->append(base + value_off_[i], value_len_[i]);
+  };
+  auto append_label = [&](NodeId n) {
+    const size_t i = static_cast<size_t>(n);
+    out->append(base + label_off_[i], label_len_[i]);
+  };
+  if (kind_[static_cast<size_t>(id)] != NodeKind::kElement) {
+    append_value(id);
     return;
   }
-  *out += '(';
-  bool first = true;
-  for (NodeId attr : n.attributes) {
-    if (!first) *out += ", ";
-    first = false;
-    *out += '@';
-    *out += node(attr).label;
-    *out += ": ";
-    *out += node(attr).value;
-  }
-  for (NodeId c : n.children) {
-    if (!first) *out += ", ";
-    first = false;
-    if (node(c).kind == NodeKind::kElement) {
-      *out += node(c).label;
-      *out += ": ";
+  // Text-only elements (no attributes, no element children) flatten to
+  // their concatenated text; composites render the "(@a: v, c: ...)"
+  // pre-order form. The explicit frame stack replaces the recursion, so
+  // one reused output buffer serves the whole subtree.
+  auto text_only = [&](NodeId e) {
+    const size_t i = static_cast<size_t>(e);
+    return attr_count_[i] == 0 && (flags_[i] & kHasElemChild) == 0;
+  };
+  auto append_text_children = [&](NodeId e) {
+    for (NodeId c = first_child_[static_cast<size_t>(e)]; c != kInvalidNode;
+         c = next_sibling_[static_cast<size_t>(c)]) {
+      append_value(c);
     }
-    ValueRec(c, out);
+  };
+  struct Frame {
+    NodeId next;
+    bool first;
+  };
+  std::vector<Frame> stack;
+  auto open = [&](NodeId e) {
+    if (text_only(e)) {
+      append_text_children(e);
+      return;
+    }
+    out->push_back('(');
+    bool first = true;
+    for (NodeId a = first_attr_[static_cast<size_t>(e)]; a != kInvalidNode;
+         a = next_sibling_[static_cast<size_t>(a)]) {
+      if (!first) out->append(", ");
+      first = false;
+      out->push_back('@');
+      append_label(a);
+      out->append(": ");
+      append_value(a);
+    }
+    stack.push_back(Frame{first_child_[static_cast<size_t>(e)], first});
+  };
+  open(id);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next == kInvalidNode) {
+      out->push_back(')');
+      stack.pop_back();
+      continue;
+    }
+    const NodeId c = f.next;
+    f.next = next_sibling_[static_cast<size_t>(c)];
+    if (!f.first) out->append(", ");
+    f.first = false;
+    if (kind_[static_cast<size_t>(c)] == NodeKind::kText) {
+      append_value(c);
+    } else {
+      append_label(c);
+      out->append(": ");
+      open(c);  // may invalidate f; not used again this iteration
+    }
   }
-  *out += ')';
 }
 
 std::string Tree::Value(NodeId id) const {
-  assert(IsValid(id));
   std::string out;
-  ValueRec(id, &out);
+  AppendValue(id, &out);
   return out;
 }
 
+void Tree::FinalizeEuler() const {
+  assert(euler_valid_);
+  if (euler_final_) return;
+  const size_t n = kind_.size();
+  pre_end_.assign(n, -1);
+  elements_by_pre_.clear();
+  elements_by_pre_.reserve(element_count_);
+  for (size_t i = 0; i < n; ++i) {
+    if (kind_[i] == NodeKind::kElement) {
+      // In-pre-order construction means element ids ascend with pre rank.
+      elements_by_pre_.push_back(static_cast<NodeId>(i));
+      pre_end_[i] = pre_[i] + 1;
+    }
+  }
+  // Children always have larger ids than parents, so one reverse sweep
+  // propagates subtree ends bottom-up.
+  for (size_t i = n; i-- > 1;) {
+    if (kind_[i] != NodeKind::kElement) continue;
+    const size_t p = static_cast<size_t>(parent_[i]);
+    if (pre_end_[i] > pre_end_[p]) pre_end_[p] = pre_end_[i];
+  }
+  euler_final_ = true;
+}
+
 std::vector<NodeId> Tree::DescendantsOrSelf(NodeId id) const {
-  assert(IsValid(id) && node(id).kind == NodeKind::kElement);
+  assert(IsValid(id) &&
+         kind_[static_cast<size_t>(id)] == NodeKind::kElement);
+  if (euler_valid_) {
+    FinalizeEuler();
+    const size_t i = static_cast<size_t>(id);
+    const auto begin =
+        elements_by_pre_.begin() + static_cast<ptrdiff_t>(pre_[i]);
+    const auto end =
+        elements_by_pre_.begin() + static_cast<ptrdiff_t>(pre_end_[i]);
+    return std::vector<NodeId>(begin, end);
+  }
   std::vector<NodeId> out;
+  out.reserve(16);
   std::vector<NodeId> stack = {id};
   while (!stack.empty()) {
     NodeId cur = stack.back();
     stack.pop_back();
     out.push_back(cur);
-    const Node& n = node(cur);
-    // Push element children in reverse so output stays in document order.
-    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
-      if (node(*it).kind == NodeKind::kElement) stack.push_back(*it);
+    // Push element children in reverse (via the prev links) so output
+    // stays in document order.
+    for (NodeId c = last_child_[static_cast<size_t>(cur)]; c != kInvalidNode;
+         c = prev_sibling_[static_cast<size_t>(c)]) {
+      if (kind_[static_cast<size_t>(c)] == NodeKind::kElement) {
+        stack.push_back(c);
+      }
     }
   }
   return out;
@@ -180,9 +507,13 @@ std::vector<NodeId> Tree::ChildElements(NodeId id,
                                         std::string_view label) const {
   assert(IsValid(id));
   std::vector<NodeId> out;
-  if (node(id).kind != NodeKind::kElement) return out;
-  for (NodeId c : node(id).children) {
-    if (node(c).kind == NodeKind::kElement && node(c).label == label) {
+  if (kind_[static_cast<size_t>(id)] != NodeKind::kElement) return out;
+  for (NodeId c = first_child_[static_cast<size_t>(id)]; c != kInvalidNode;
+       c = next_sibling_[static_cast<size_t>(c)]) {
+    const size_t i = static_cast<size_t>(c);
+    if (kind_[i] == NodeKind::kElement && label_len_[i] == label.size() &&
+        std::memcmp(arena_.data() + label_off_[i], label.data(),
+                    label.size()) == 0) {
       out.push_back(c);
     }
   }
@@ -193,7 +524,7 @@ bool Tree::IsAncestorOrSelf(NodeId ancestor, NodeId descendant) const {
   NodeId cur = descendant;
   while (cur != kInvalidNode) {
     if (cur == ancestor) return true;
-    cur = node(cur).parent;
+    cur = parent_[static_cast<size_t>(cur)];
   }
   return false;
 }
@@ -203,8 +534,9 @@ std::vector<std::string> Tree::PathLabelsFromRoot(NodeId id) const {
   std::vector<std::string> labels;
   NodeId cur = id;
   while (cur != root()) {
-    labels.push_back(node(cur).label);
-    cur = node(cur).parent;
+    const size_t i = static_cast<size_t>(cur);
+    labels.emplace_back(arena_.data() + label_off_[i], label_len_[i]);
+    cur = parent_[i];
   }
   std::reverse(labels.begin(), labels.end());
   return labels;

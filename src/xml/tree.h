@@ -1,6 +1,7 @@
 #ifndef XMLPROP_XML_TREE_H_
 #define XMLPROP_XML_TREE_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -15,13 +16,24 @@ namespace xmlprop {
 /// An XML document as a node-labelled tree (the model of Section 2 /
 /// Fig. 1 of the paper): element nodes with attribute and text children.
 ///
-/// The tree owns all nodes in a flat vector indexed by NodeId; node 0 is
-/// always the document root element. Trees are built through the CreateX
-/// mutators and never shrink, so NodeIds remain valid.
+/// Storage is a structure-of-arrays flat core (DESIGN.md "Flat tree
+/// core"): one contiguous text arena holds every distinct label and
+/// attribute value plus all text content, nodes are parallel arrays of
+/// POD fields addressed by NodeId, and child/attribute lists are sibling
+/// links through two shared NodeId arrays. Labels and attribute values
+/// are interned at creation time into dense LabelId/ValueId spaces — the
+/// ids TreeIndex used to rebuild by re-hashing every string are now a
+/// free by-product of construction.
+///
+/// Node 0 is always the document root element. Trees are built through
+/// the CreateX mutators and never shrink, so NodeIds remain valid.
+/// `node(id)` returns a cheap view (see Node in node.h); like the
+/// references the vector-of-structs representation handed out, views are
+/// invalidated by mutation.
 class Tree {
  public:
   /// Creates a tree whose root element is labelled `root_label`.
-  explicit Tree(std::string root_label = "r");
+  explicit Tree(std::string_view root_label = "r");
 
   Tree(const Tree&) = default;
   Tree& operator=(const Tree&) = default;
@@ -29,25 +41,42 @@ class Tree {
   Tree& operator=(Tree&&) = default;
 
   NodeId root() const { return 0; }
-  size_t size() const { return nodes_.size(); }
+  size_t size() const { return kind_.size(); }
 
-  const Node& node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
+  /// Capacity hint (node rows / arena bytes); the parser sizes both from
+  /// the input length so construction does not re-grow the columns.
+  void Reserve(size_t nodes, size_t text_bytes);
+
+  Node node(NodeId id) const {
+    const size_t i = static_cast<size_t>(id);
+    Node n;
+    n.id = id;
+    n.kind = kind_[i];
+    n.label = TextAt(label_off_[i], label_len_[i]);
+    n.value = TextAt(value_off_[i], value_len_[i]);
+    n.parent = parent_[i];
+    n.children = NodeList(next_sibling_.data(), prev_sibling_.data(),
+                          first_child_[i], last_child_[i], child_count_[i]);
+    n.attributes = NodeList(next_sibling_.data(), prev_sibling_.data(),
+                            first_attr_[i], last_attr_[i], attr_count_[i]);
+    return n;
+  }
   bool IsValid(NodeId id) const {
-    return id >= 0 && static_cast<size_t>(id) < nodes_.size();
+    return id >= 0 && static_cast<size_t>(id) < kind_.size();
   }
 
   /// Appends a new element child labelled `label` under `parent` and
   /// returns its id. `parent` must be an element.
-  NodeId CreateElement(NodeId parent, std::string label);
+  NodeId CreateElement(NodeId parent, std::string_view label);
 
   /// Appends a text child with content `text` under `parent`.
-  NodeId CreateText(NodeId parent, std::string text);
+  NodeId CreateText(NodeId parent, std::string_view text);
 
   /// Adds attribute `name`=`value` on element `parent` and returns the
   /// attribute node id. Fails if `parent` already has an attribute `name`
   /// (XML well-formedness) or is not an element.
-  Result<NodeId> CreateAttribute(NodeId parent, std::string name,
-                                 std::string value);
+  Result<NodeId> CreateAttribute(NodeId parent, std::string_view name,
+                                 std::string_view value);
 
   /// Deep-copies the subtree of `src` rooted at `src_node` (an element)
   /// as a new child of `parent`, returning the id of the copy's root.
@@ -57,7 +86,8 @@ class Tree {
 
   /// Sets attribute `name` of element `id` to `value`, creating the
   /// attribute when absent. Used by the document repair loop.
-  Status SetAttributeValue(NodeId id, std::string name, std::string value);
+  Status SetAttributeValue(NodeId id, std::string_view name,
+                           std::string_view value);
 
   /// The attribute node `@name` of element `id`, or nullopt if absent.
   std::optional<NodeId> FindAttribute(NodeId id, std::string_view name) const;
@@ -79,6 +109,11 @@ class Tree {
   ///                        "(@number: 1, name: Fundamentals)")
   std::string Value(NodeId id) const;
 
+  /// Value(), appended to `*out` — the allocation-free form for callers
+  /// that serialize many nodes into a reused buffer (the shredder's value
+  /// loop). Non-recursive; safe on arbitrarily deep documents.
+  void AppendValue(NodeId id, std::string* out) const;
+
   /// All element descendants of `id` including `id` itself, in document
   /// order ("//" = descendant-or-self, elements only).
   std::vector<NodeId> DescendantsOrSelf(NodeId id) const;
@@ -94,10 +129,156 @@ class Tree {
   /// element. Used in diagnostics.
   std::vector<std::string> PathLabelsFromRoot(NodeId id) const;
 
- private:
-  void ValueRec(NodeId id, std::string* out) const;
+  // --- Flat-core accessors (interning, Euler order, raw columns). ------
+  // These expose the by-products of construction that TreeIndex and the
+  // key/shredding kernels consume directly; ordinary tree consumers can
+  // ignore them.
 
-  std::vector<Node> nodes_;
+  /// Interned label of an element or attribute node (kNoLabel for text).
+  LabelId label_id_of(NodeId id) const {
+    return label_id_[static_cast<size_t>(id)];
+  }
+  /// Interned value of an attribute node (kNoValue otherwise).
+  ValueId value_id_of(NodeId id) const {
+    return value_id_[static_cast<size_t>(id)];
+  }
+  /// Id of `name` among interned labels, or kNoLabel if never used.
+  LabelId FindLabelId(std::string_view name) const;
+  /// The text behind a LabelId / ValueId.
+  Str label_text(LabelId id) const {
+    return TextAt(label_ref_[static_cast<size_t>(id)].off,
+                  label_ref_[static_cast<size_t>(id)].len);
+  }
+  Str value_text(ValueId id) const {
+    return TextAt(value_ref_[static_cast<size_t>(id)].off,
+                  value_ref_[static_cast<size_t>(id)].len);
+  }
+  size_t label_count() const { return label_ref_.size(); }
+  size_t value_count() const { return value_ref_.size(); }
+  size_t element_count() const { return element_count_; }
+  size_t attribute_count() const { return attribute_count_; }
+  /// Bytes held by the shared text arena (for memory accounting).
+  size_t arena_bytes() const { return arena_.size(); }
+
+  /// True while nodes have only ever been appended in document (pre-)
+  /// order — the parser, Graft, and the synthetic corpus builders all
+  /// construct this way — in which case the tree itself carries the Euler
+  /// numbering and TreeIndex needs no DFS pass. Out-of-pre-order mutation
+  /// (e.g. grafting under an already-closed element) clears it for the
+  /// lifetime of the tree and index builds fall back to a traversal.
+  bool euler_valid() const { return euler_valid_; }
+  /// Finalizes pre_end / elements-by-pre (lazily, after mutations).
+  /// Requires euler_valid(). Not thread-safe against itself; call once
+  /// before sharing the tree across threads.
+  void FinalizeEuler() const;
+  /// Pre-order rank among elements (root is 0); valid after
+  /// FinalizeEuler. -1 for non-elements.
+  const int32_t* pre_data() const { return pre_.data(); }
+  const int32_t* pre_end_data() const { return pre_end_.data(); }
+  const std::vector<NodeId>& elements_by_pre() const {
+    return elements_by_pre_;
+  }
+
+  // Raw SoA columns for index construction (hot: avoids building Node
+  // views per node).
+  const NodeKind* kind_data() const { return kind_.data(); }
+  const NodeId* parent_data() const { return parent_.data(); }
+  const NodeId* first_child_data() const { return first_child_.data(); }
+  const NodeId* first_attr_data() const { return first_attr_.data(); }
+  const NodeId* next_sibling_data() const { return next_sibling_.data(); }
+  const uint32_t* child_count_data() const { return child_count_.data(); }
+  const uint32_t* attr_count_data() const { return attr_count_.data(); }
+  const LabelId* label_id_data() const { return label_id_.data(); }
+  const ValueId* value_id_data() const { return value_id_.data(); }
+
+  /// Per-node flag: the element has at least one text child. O(1) form
+  /// of the writer's mixed-content test.
+  bool HasTextChild(NodeId id) const {
+    return (flags_[static_cast<size_t>(id)] & kHasTextChild) != 0;
+  }
+  /// Per-node flag: the element has at least one element child.
+  bool HasElementChild(NodeId id) const {
+    return (flags_[static_cast<size_t>(id)] & kHasElemChild) != 0;
+  }
+
+ private:
+  struct TextRef {
+    uint32_t off = 0;
+    uint32_t len = 0;
+  };
+
+  static constexpr uint8_t kHasElemChild = 1;
+  static constexpr uint8_t kHasTextChild = 2;
+
+  Str TextAt(uint32_t off, uint32_t len) const {
+    return Str(std::string_view(arena_.data() + off, len));
+  }
+
+  /// Copies `text` into the arena (no-op when `text` already aliases
+  /// arena bytes) and returns its slice.
+  TextRef AddText(std::string_view text);
+
+  /// Interns into the label / value pools. Open-addressing tables keyed
+  /// by the pooled bytes; ids are dense in first-use order, which for
+  /// creation-time interning equals the node-id scan order the historical
+  /// TreeIndex pass used — so ids come out identical.
+  LabelId InternLabel(std::string_view name);
+  ValueId InternValue(std::string_view value);
+
+  /// Appends a fresh node row; returns its id. Links are set by callers.
+  NodeId AppendNode(NodeKind kind);
+
+  /// Splices node `child` (already appended) into `parent`'s child or
+  /// attribute chain and maintains Euler validity bookkeeping.
+  void LinkChild(NodeId parent, NodeId child);
+  void LinkAttribute(NodeId parent, NodeId attr);
+
+  void NoteElementCreated(NodeId parent, NodeId elem);
+
+  // Shared text arena. Contiguous std::string so copying a Tree stays
+  // `= default`; slices are (offset, len) so reallocation during growth
+  // is harmless to stored state (only outstanding views go stale, the
+  // same contract the vector-of-structs core had).
+  std::string arena_;
+
+  // Per-node columns (SoA). All indexed by NodeId.
+  std::vector<NodeKind> kind_;
+  std::vector<uint8_t> flags_;
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> first_child_;
+  std::vector<NodeId> last_child_;
+  std::vector<NodeId> first_attr_;
+  std::vector<NodeId> last_attr_;
+  std::vector<NodeId> next_sibling_;
+  std::vector<NodeId> prev_sibling_;
+  std::vector<uint32_t> child_count_;
+  std::vector<uint32_t> attr_count_;
+  std::vector<uint32_t> label_off_;
+  std::vector<uint32_t> label_len_;
+  std::vector<uint32_t> value_off_;
+  std::vector<uint32_t> value_len_;
+  std::vector<LabelId> label_id_;
+  std::vector<ValueId> value_id_;
+
+  // Interning pools + open-addressing slot tables (power-of-two sized,
+  // slot -> id, -1 empty). Rebuilt on growth; copyable by default.
+  std::vector<TextRef> label_ref_;
+  std::vector<int32_t> label_slots_;
+  std::vector<TextRef> value_ref_;
+  std::vector<int32_t> value_slots_;
+
+  size_t element_count_ = 0;
+  size_t attribute_count_ = 0;
+
+  // Euler (element pre-order) state. pre_ is assigned eagerly while
+  // construction stays in pre-order; pre_end_/elements_by_pre_ are
+  // derived lazily by FinalizeEuler.
+  std::vector<int32_t> pre_;
+  std::vector<NodeId> open_path_;  // rightmost element path during build
+  bool euler_valid_ = true;
+  mutable bool euler_final_ = false;
+  mutable std::vector<int32_t> pre_end_;
+  mutable std::vector<NodeId> elements_by_pre_;
 };
 
 }  // namespace xmlprop

@@ -8,117 +8,114 @@
 
 namespace xmlprop {
 
-LabelId TreeIndex::InternLabel(const std::string& name) {
-  auto [it, inserted] =
-      label_ids_.emplace(name, static_cast<LabelId>(label_names_.size()));
-  if (inserted) label_names_.push_back(name);
-  return it->second;
-}
-
 TreeIndex::TreeIndex(const Tree& tree) : tree_(&tree) {
   obs::Span span("index.build");
   obs::Count("index.builds");
   const size_t n = tree.size();
-  label_of_.assign(n, kNoLabel);
-  pre_.assign(n, -1);
-  pre_end_.assign(n, -1);
-  attr_value_of_.assign(n, kNoValue);
+  const NodeKind* kind = tree.kind_data();
+  const NodeId* first_child = tree.first_child_data();
+  const NodeId* first_attr = tree.first_attr_data();
+  const NodeId* next_sibling = tree.next_sibling_data();
+  label_of_ = tree.label_id_data();
+  attr_value_of_ = tree.value_id_data();
 
-  // Pass 1: intern labels and attribute values, count elements/attributes.
-  size_t elements = 0;
-  size_t total_children = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const Node& node = tree.node(static_cast<NodeId>(i));
-    switch (node.kind) {
-      case NodeKind::kElement:
-        label_of_[i] = InternLabel(node.label);
-        ++elements;
-        for (NodeId c : node.children) {
-          if (tree.node(c).kind == NodeKind::kElement) ++total_children;
-        }
-        break;
-      case NodeKind::kAttribute: {
-        label_of_[i] = InternLabel(node.label);
-        auto [it, inserted] = value_ids_.emplace(
-            node.value, static_cast<ValueId>(value_pool_.size()));
-        if (inserted) value_pool_.push_back(node.value);
-        attr_value_of_[i] = it->second;
-        ++attribute_nodes_;
+  // Euler numbering: borrowed from the tree when construction stayed in
+  // document order (the parser, Graft and the corpus builders), else one
+  // iterative DFS — the historical pass 2 — over the flat arrays.
+  if (tree.euler_valid()) {
+    tree.FinalizeEuler();
+    pre_ = tree.pre_data();
+    pre_end_ = tree.pre_end_data();
+    elements_by_pre_ = &tree.elements_by_pre();
+  } else {
+    own_pre_.assign(n, -1);
+    own_pre_end_.assign(n, -1);
+    own_elements_by_pre_.reserve(tree.element_count());
+    struct Frame {
+      NodeId id;
+      NodeId next_child;
+    };
+    std::vector<Frame> stack;
+    own_pre_[static_cast<size_t>(tree.root())] = 0;
+    own_elements_by_pre_.push_back(tree.root());
+    stack.push_back(Frame{tree.root(), first_child[0]});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      bool descended = false;
+      while (frame.next_child != kInvalidNode) {
+        const NodeId c = frame.next_child;
+        frame.next_child = next_sibling[static_cast<size_t>(c)];
+        if (kind[static_cast<size_t>(c)] != NodeKind::kElement) continue;
+        own_pre_[static_cast<size_t>(c)] =
+            static_cast<int32_t>(own_elements_by_pre_.size());
+        own_elements_by_pre_.push_back(c);
+        stack.push_back(Frame{c, first_child[static_cast<size_t>(c)]});
+        descended = true;
         break;
       }
-      case NodeKind::kText:
-        break;
+      if (descended) continue;
+      own_pre_end_[static_cast<size_t>(frame.id)] =
+          static_cast<int32_t>(own_elements_by_pre_.size());
+      stack.pop_back();
     }
+    pre_ = own_pre_.data();
+    pre_end_ = own_pre_end_.data();
+    elements_by_pre_ = &own_elements_by_pre_;
   }
+  const std::vector<NodeId>& by_pre = *elements_by_pre_;
 
-  // Pass 2: iterative pre-order DFS over elements (document order),
-  // assigning Euler intervals. The explicit stack keeps deep documents
-  // from overflowing the call stack.
-  elements_by_pre_.reserve(elements);
-  struct Frame {
-    NodeId id;
-    size_t next_child;
-  };
-  std::vector<Frame> stack;
-  stack.push_back({tree.root(), 0});
-  pre_[static_cast<size_t>(tree.root())] =
-      static_cast<int32_t>(elements_by_pre_.size());
-  elements_by_pre_.push_back(tree.root());
-  while (!stack.empty()) {
-    Frame& frame = stack.back();
-    const Node& node = tree.node(frame.id);
-    bool descended = false;
-    while (frame.next_child < node.children.size()) {
-      NodeId c = node.children[frame.next_child++];
-      if (tree.node(c).kind != NodeKind::kElement) continue;
-      pre_[static_cast<size_t>(c)] =
-          static_cast<int32_t>(elements_by_pre_.size());
-      elements_by_pre_.push_back(c);
-      stack.push_back({c, 0});
-      descended = true;
-      break;
-    }
-    if (descended) continue;
-    pre_end_[static_cast<size_t>(frame.id)] =
-        static_cast<int32_t>(elements_by_pre_.size());
-    stack.pop_back();
-  }
-
-  // Pass 3: per-label element lists. Iterating in pre-order keeps every
-  // list sorted by pre-order with no extra sort.
-  elements_with_label_.resize(label_names_.size());
+  // Distinct attribute values in use (the tree pool may carry values an
+  // attribute rewrite displaced).
   {
-    std::vector<size_t> counts(label_names_.size(), 0);
-    for (NodeId e : elements_by_pre_) {
+    std::vector<uint8_t> used(tree.value_count(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const ValueId v = attr_value_of_[i];
+      if (v >= 0 && used[static_cast<size_t>(v)] == 0) {
+        used[static_cast<size_t>(v)] = 1;
+        ++value_count_;
+      }
+    }
+  }
+
+  // Per-label element lists. Iterating in pre-order keeps every list
+  // sorted by pre-order with no extra sort.
+  elements_with_label_.resize(tree.label_count());
+  {
+    std::vector<size_t> counts(tree.label_count(), 0);
+    for (NodeId e : by_pre) {
       ++counts[static_cast<size_t>(label_of_[static_cast<size_t>(e)])];
     }
     for (size_t l = 0; l < counts.size(); ++l) {
       elements_with_label_[l].reserve(counts[l]);
     }
   }
-  for (NodeId e : elements_by_pre_) {
+  for (NodeId e : by_pre) {
     elements_with_label_[static_cast<size_t>(
                              label_of_[static_cast<size_t>(e)])]
         .push_back(e);
   }
 
-  // Pass 4: CSR child adjacency bucketed by label, and attribute entries
-  // sorted by label. Buckets keep document order within a label (stable
-  // sort), which for siblings equals pre-order.
+  // CSR child adjacency bucketed by label, and attribute entries sorted
+  // by label. Buckets keep document order within a label (stable sort),
+  // which for siblings equals pre-order. Every non-root element is an
+  // element child of exactly one parent, so the child array size is
+  // known exactly up front.
   bucket_offset_.assign(n + 1, 0);
   attr_offset_.assign(n + 1, 0);
-  child_array_.reserve(total_children);
-  attr_array_.reserve(attribute_nodes_);
+  child_array_.reserve(by_pre.size() - 1);
+  attr_array_.reserve(tree.attribute_count());
   std::vector<NodeId> scratch;
   for (size_t i = 0; i < n; ++i) {
     bucket_offset_[i] = static_cast<uint32_t>(bucket_array_.size());
     attr_offset_[i] = static_cast<uint32_t>(attr_array_.size());
-    const Node& node = tree.node(static_cast<NodeId>(i));
-    if (node.kind != NodeKind::kElement) continue;
+    if (kind[i] != NodeKind::kElement) continue;
 
     scratch.clear();
-    for (NodeId c : node.children) {
-      if (tree.node(c).kind == NodeKind::kElement) scratch.push_back(c);
+    for (NodeId c = first_child[i]; c != kInvalidNode;
+         c = next_sibling[static_cast<size_t>(c)]) {
+      if (kind[static_cast<size_t>(c)] == NodeKind::kElement) {
+        scratch.push_back(c);
+      }
     }
     std::stable_sort(scratch.begin(), scratch.end(),
                      [this](NodeId a, NodeId b) {
@@ -127,7 +124,7 @@ TreeIndex::TreeIndex(const Tree& tree) : tree_(&tree) {
                      });
     size_t k = 0;
     while (k < scratch.size()) {
-      LabelId label = label_of_[static_cast<size_t>(scratch[k])];
+      const LabelId label = label_of_[static_cast<size_t>(scratch[k])];
       Bucket bucket;
       bucket.label = label;
       bucket.begin = static_cast<uint32_t>(child_array_.size());
@@ -139,12 +136,11 @@ TreeIndex::TreeIndex(const Tree& tree) : tree_(&tree) {
       bucket_array_.push_back(bucket);
     }
 
-    for (NodeId a : node.attributes) {
-      attr_array_.push_back(
-          AttrEntry{label_of_[static_cast<size_t>(a)], a});
+    for (NodeId a = first_attr[i]; a != kInvalidNode;
+         a = next_sibling[static_cast<size_t>(a)]) {
+      attr_array_.push_back(AttrEntry{label_of_[static_cast<size_t>(a)], a});
     }
-    std::sort(attr_array_.begin() +
-                  static_cast<long>(attr_offset_[i]),
+    std::sort(attr_array_.begin() + static_cast<long>(attr_offset_[i]),
               attr_array_.end(),
               [](const AttrEntry& a, const AttrEntry& b) {
                 return a.label < b.label;
@@ -152,14 +148,6 @@ TreeIndex::TreeIndex(const Tree& tree) : tree_(&tree) {
   }
   bucket_offset_[n] = static_cast<uint32_t>(bucket_array_.size());
   attr_offset_[n] = static_cast<uint32_t>(attr_array_.size());
-}
-
-LabelId TreeIndex::FindLabel(std::string_view name) const {
-  // C++17 unordered_map cannot look up by string_view; the callers that
-  // sit in hot loops pre-resolve LabelIds once per path, so a temporary
-  // string here is off the fast path.
-  auto it = label_ids_.find(std::string(name));
-  return it == label_ids_.end() ? kNoLabel : it->second;
 }
 
 TreeIndex::NodeSpan TreeIndex::ChildrenWithLabel(NodeId parent,

@@ -4,26 +4,12 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "xml/node.h"
 #include "xml/tree.h"
 
 namespace xmlprop {
-
-/// Interned identifier of an element label or attribute name within one
-/// TreeIndex. Ids are dense, starting at 0; element tags and attribute
-/// names share one namespace (lookups always say which bucket they mean,
-/// so a document using "id" both as a tag and as an attribute is fine).
-using LabelId = int32_t;
-inline constexpr LabelId kNoLabel = -1;
-
-/// Interned identifier of an attribute value string within one TreeIndex.
-/// Equal strings always intern to the same id, so value-tuple equality
-/// reduces to id-tuple equality (the key checker's hot comparison).
-using ValueId = int32_t;
-inline constexpr ValueId kNoValue = -1;
 
 /// An immutable acceleration structure over one Tree — the "document data
 /// plane" (DESIGN.md §3). Built once after parsing, it turns the
@@ -40,8 +26,14 @@ inline constexpr ValueId kNoValue = -1;
 ///     label's list) instead of materializing every descendant;
 ///   - per-parent child adjacency bucketed by label (CSR layout), so a
 ///     child step is a bucket lookup;
-///   - attribute values interned to dense ValueIds at build time, so key
-///     satisfaction hashes tuples of ints.
+///   - attribute values interned to dense ValueIds, so key satisfaction
+///     hashes tuples of ints.
+///
+/// Since the flat-tree core landed, interning and (for trees built in
+/// document order, i.e. everything the parser or Graft produces) the
+/// Euler numbering are by-products of Tree construction, so building the
+/// index is mostly a matter of borrowing the tree's columns; only the
+/// per-label lists and CSR adjacency are materialized here.
 ///
 /// The index never mutates after construction, so concurrent readers are
 /// safe — the parallel key checker relies on this. The owning Tree must
@@ -54,12 +46,14 @@ class TreeIndex {
 
   /// Id of `name` (element tag or attribute name, no '@'), or kNoLabel if
   /// the document never uses it — in which case any step on it selects ∅.
-  LabelId FindLabel(std::string_view name) const;
+  LabelId FindLabel(std::string_view name) const {
+    return tree_->FindLabelId(name);
+  }
 
-  size_t label_count() const { return label_names_.size(); }
-  size_t value_count() const { return value_pool_.size(); }
-  size_t element_count() const { return elements_by_pre_.size(); }
-  size_t attribute_count() const { return attribute_nodes_; }
+  size_t label_count() const { return tree_->label_count(); }
+  size_t value_count() const { return value_count_; }
+  size_t element_count() const { return elements_by_pre_->size(); }
+  size_t attribute_count() const { return tree_->attribute_count(); }
 
   /// Interned label of an element or attribute node (kNoLabel for text).
   LabelId label_of(NodeId id) const {
@@ -75,7 +69,7 @@ class TreeIndex {
   }
   /// The element with pre-order rank `pre`.
   NodeId ElementAtPre(int32_t pre) const {
-    return elements_by_pre_[static_cast<size_t>(pre)];
+    return (*elements_by_pre_)[static_cast<size_t>(pre)];
   }
 
   /// O(1) ancestor-or-self test between *element* nodes.
@@ -107,36 +101,38 @@ class TreeIndex {
   /// The attribute node `@label` of element `parent`, or kInvalidNode.
   NodeId AttributeWithLabel(NodeId parent, LabelId label) const;
 
-  /// Interned value id of *attribute* node `attr` (precomputed at build;
-  /// safe to read from any thread). kNoValue for non-attribute nodes.
+  /// Interned value id of *attribute* node `attr` (interned by the tree
+  /// at creation; safe to read from any thread). kNoValue for
+  /// non-attribute nodes.
   ValueId attr_value_id(NodeId attr) const {
     return attr_value_of_[static_cast<size_t>(attr)];
   }
 
-  /// The pooled string behind a ValueId.
-  const std::string& value_string(ValueId id) const {
-    return value_pool_[static_cast<size_t>(id)];
-  }
+  /// The pooled text behind a ValueId.
+  Str value_string(ValueId id) const { return tree_->value_text(id); }
 
  private:
-  // One (label, range) bucket of an element's children or attributes.
+  // One (label, range) bucket of an element's children.
   struct Bucket {
     LabelId label;
-    uint32_t begin;  // index into child_array_ / attr_array_
+    uint32_t begin;  // index into child_array_
     uint32_t end;
   };
 
-  LabelId InternLabel(const std::string& name);
-
   const Tree* tree_;
 
-  std::unordered_map<std::string, LabelId> label_ids_;
-  std::vector<std::string> label_names_;
-  std::vector<LabelId> label_of_;  // per node
+  // Borrowed per-node columns (owned by the tree).
+  const LabelId* label_of_;
+  const ValueId* attr_value_of_;
 
-  std::vector<int32_t> pre_;      // per node; -1 for non-elements
-  std::vector<int32_t> pre_end_;  // per node; -1 for non-elements
-  std::vector<NodeId> elements_by_pre_;
+  // Euler views: the tree's own numbering when it was built in document
+  // order, otherwise the locally computed fallback below.
+  const int32_t* pre_;
+  const int32_t* pre_end_;
+  const std::vector<NodeId>* elements_by_pre_;
+  std::vector<int32_t> own_pre_;
+  std::vector<int32_t> own_pre_end_;
+  std::vector<NodeId> own_elements_by_pre_;
 
   std::vector<std::vector<NodeId>> elements_with_label_;  // per label, pre order
 
@@ -156,10 +152,10 @@ class TreeIndex {
   };
   std::vector<AttrEntry> attr_array_;
 
-  std::unordered_map<std::string, ValueId> value_ids_;
-  std::vector<std::string> value_pool_;
-  std::vector<ValueId> attr_value_of_;  // per node; kNoValue for non-attrs
-  size_t attribute_nodes_ = 0;
+  // Distinct attribute values actually referenced by this tree's nodes
+  // (the tree's pool can additionally hold values displaced by attribute
+  // rewrites).
+  size_t value_count_ = 0;
 };
 
 }  // namespace xmlprop

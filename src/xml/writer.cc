@@ -1,100 +1,136 @@
 #include "xml/writer.h"
 
-#include <algorithm>
+#include <vector>
 
 namespace xmlprop {
 
 namespace {
 
-bool HasTextChild(const Tree& tree, NodeId id) {
-  const Node& n = tree.node(id);
-  return std::any_of(n.children.begin(), n.children.end(), [&](NodeId c) {
-    return tree.node(c).kind == NodeKind::kText;
-  });
+// Appends `text` with XML specials escaped, copying unescaped runs in
+// bulk instead of byte-at-a-time.
+void EscapeAppend(std::string_view text, bool for_attribute,
+                  std::string* out) {
+  size_t run = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char* rep = nullptr;
+    switch (text[i]) {
+      case '&':
+        rep = "&amp;";
+        break;
+      case '<':
+        rep = "&lt;";
+        break;
+      case '>':
+        rep = "&gt;";
+        break;
+      case '"':
+        if (for_attribute) rep = "&quot;";
+        break;
+      default:
+        break;
+    }
+    if (rep == nullptr) continue;
+    out->append(text.data() + run, i - run);
+    out->append(rep);
+    run = i + 1;
+  }
+  out->append(text.data() + run, text.size() - run);
 }
 
-void WriteElement(const Tree& tree, NodeId id, const WriteOptions& options,
-                  int depth, bool inline_mode, std::string* out) {
-  const Node& n = tree.node(id);
-  const bool pretty = options.indent > 0 && !inline_mode;
-  auto pad = [&](int d) {
-    if (pretty) out->append(static_cast<size_t>(d * options.indent), ' ');
+// Iterative element writer: one explicit frame per open element, so
+// serialization is flat appends with no recursion (deep documents write
+// without touching the call stack).
+void WriteElementTree(const Tree& tree, NodeId root_id,
+                      const WriteOptions& options, std::string* out) {
+  const NodeId* next_sibling = tree.next_sibling_data();
+  struct Frame {
+    NodeId id;
+    NodeId next_child;
+    int depth;
+    bool pretty;           // this element's own pretty mode
+    bool children_inline;  // mode the children are written under
+  };
+  std::vector<Frame> stack;
+
+  auto pad = [&](int depth) {
+    out->append(static_cast<size_t>(depth * options.indent), ' ');
   };
 
-  pad(depth);
-  *out += '<';
-  *out += n.label;
-  for (NodeId attr : n.attributes) {
-    *out += ' ';
-    *out += tree.node(attr).label;
-    *out += "=\"";
-    *out += EscapeXml(tree.node(attr).value, /*for_attribute=*/true);
-    *out += '"';
-  }
-  if (n.children.empty()) {
-    *out += "/>";
-    if (pretty) *out += '\n';
-    return;
-  }
-  *out += '>';
+  // Emits the start tag of `id`; pushes a frame unless the element is
+  // empty (self-closing).
+  auto open = [&](NodeId id, int depth, bool inline_mode) {
+    const Node n = tree.node(id);
+    const bool pretty = options.indent > 0 && !inline_mode;
+    if (pretty) pad(depth);
+    out->push_back('<');
+    out->append(n.label);
+    for (NodeId attr : n.attributes) {
+      const Node a = tree.node(attr);
+      out->push_back(' ');
+      out->append(a.label);
+      out->append("=\"");
+      EscapeAppend(a.value, /*for_attribute=*/true, out);
+      out->push_back('"');
+    }
+    if (n.children.empty()) {
+      out->append("/>");
+      if (pretty) out->push_back('\n');
+      return;
+    }
+    out->push_back('>');
+    // Mixed/text content is written inline so whitespace survives the
+    // round trip; element-only content is pretty-printed.
+    const bool children_inline =
+        inline_mode || tree.HasTextChild(id) || options.indent == 0;
+    if (!children_inline) out->push_back('\n');
+    stack.push_back(
+        Frame{id, n.children.front(), depth, pretty, children_inline});
+  };
 
-  // Mixed/text content is written inline so whitespace survives the
-  // round trip; element-only content is pretty-printed.
-  const bool children_inline = inline_mode || HasTextChild(tree, id) ||
-                               options.indent == 0;
-  if (!children_inline) *out += '\n';
-  for (NodeId c : n.children) {
-    const Node& child = tree.node(c);
+  open(root_id, 0, /*inline_mode=*/false);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child == kInvalidNode) {
+      // !children_inline implies this element's own mode is pretty, so
+      // the closing-tag indent is unconditional here.
+      if (!f.children_inline) pad(f.depth);
+      out->append("</");
+      out->append(tree.node(f.id).label);
+      out->push_back('>');
+      if (f.pretty) out->push_back('\n');
+      stack.pop_back();
+      continue;
+    }
+    const NodeId c = f.next_child;
+    f.next_child = next_sibling[static_cast<size_t>(c)];
+    const int depth = f.depth;
+    const bool inline_mode = f.children_inline;
+    const Node child = tree.node(c);
     if (child.kind == NodeKind::kText) {
-      *out += EscapeXml(child.value, /*for_attribute=*/false);
+      EscapeAppend(child.value, /*for_attribute=*/false, out);
     } else {
-      WriteElement(tree, c, options, depth + 1, children_inline, out);
+      open(c, depth + 1, inline_mode);  // may invalidate f; re-fetched next loop
     }
   }
-  if (!children_inline) pad(depth);
-  *out += "</";
-  *out += n.label;
-  *out += '>';
-  if (pretty) *out += '\n';
 }
 
 }  // namespace
 
-std::string EscapeXml(const std::string& text, bool for_attribute) {
+std::string EscapeXml(std::string_view text, bool for_attribute) {
   std::string out;
   out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '&':
-        out += "&amp;";
-        break;
-      case '<':
-        out += "&lt;";
-        break;
-      case '>':
-        out += "&gt;";
-        break;
-      case '"':
-        if (for_attribute) {
-          out += "&quot;";
-        } else {
-          out.push_back(c);
-        }
-        break;
-      default:
-        out.push_back(c);
-    }
-  }
+  EscapeAppend(text, for_attribute, &out);
   return out;
 }
 
 std::string WriteXml(const Tree& tree, const WriteOptions& options) {
   std::string out;
+  out.reserve(tree.arena_bytes() + tree.size() * 8 + 32);
   if (options.declaration) {
     out += "<?xml version=\"1.0\"?>";
     if (options.indent > 0) out += '\n';
   }
-  WriteElement(tree, tree.root(), options, 0, /*inline_mode=*/false, &out);
+  WriteElementTree(tree, tree.root(), options, &out);
   return out;
 }
 

@@ -2,6 +2,7 @@
 #define XMLPROP_XML_WRITER_H_
 
 #include <string>
+#include <string_view>
 
 #include "xml/tree.h"
 
@@ -23,7 +24,7 @@ std::string WriteXml(const Tree& tree, const WriteOptions& options = {});
 
 /// Escapes &, <, > (and, when `for_attribute`, the double quote) for
 /// inclusion in XML text.
-std::string EscapeXml(const std::string& text, bool for_attribute);
+std::string EscapeXml(std::string_view text, bool for_attribute);
 
 }  // namespace xmlprop
 

@@ -103,8 +103,8 @@ TEST(MetricRegistryTest, PercentilesBracketTheDistribution) {
   // near the bulk, p99+ must reach for the tail.
   for (int i = 0; i < 100; ++i) registry.Observe("lat", 1.0);
   registry.Observe("lat", 1000.0);
-  const obs::HistogramSnapshot& h =
-      registry.Snapshot().histograms[0].second;
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  const obs::HistogramSnapshot& h = snapshot.histograms[0].second;
   EXPECT_EQ(h.count, 101u);
   EXPECT_LE(h.Percentile(50), 2.0);
   EXPECT_GE(h.Percentile(50), h.min);

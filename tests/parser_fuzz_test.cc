@@ -2,6 +2,11 @@
 // documents must either parse or return a Status — never crash, hang or
 // produce an invalid tree. (Deterministic seeds; a cheap sanitizer-style
 // harness that runs in every test invocation.)
+//
+// Also differential-tests the flat-core hot paths: reference
+// implementations below re-state the historical recursive, node-at-a-time
+// Value() and writer semantics through the public Node view API, and
+// every fuzzed document must produce byte-identical output on both.
 
 #include <gtest/gtest.h>
 
@@ -36,6 +41,110 @@ void ExpectWellFormedTree(const Tree& tree) {
     }
   }
   EXPECT_EQ(visited, tree.size());
+}
+
+// Reference Value(): the pre-flat-core recursive definition, one
+// temporary string per node, driven entirely by the Node view facade.
+std::string ReferenceValue(const Tree& tree, NodeId id) {
+  const Node n = tree.node(id);
+  if (n.kind != NodeKind::kElement) return std::string(n.value);
+  bool text_only = n.attributes.empty();
+  for (NodeId c : n.children) {
+    if (tree.node(c).kind == NodeKind::kElement) text_only = false;
+  }
+  if (text_only) {
+    std::string out;
+    for (NodeId c : n.children) out += std::string(tree.node(c).value);
+    return out;
+  }
+  std::string out = "(";
+  bool first = true;
+  for (NodeId a : n.attributes) {
+    if (!first) out += ", ";
+    first = false;
+    out += "@" + std::string(tree.node(a).label) + ": " +
+           std::string(tree.node(a).value);
+  }
+  for (NodeId c : n.children) {
+    if (!first) out += ", ";
+    first = false;
+    const Node child = tree.node(c);
+    if (child.kind == NodeKind::kText) {
+      out += std::string(child.value);
+    } else {
+      out += std::string(child.label) + ": " + ReferenceValue(tree, c);
+    }
+  }
+  return out + ")";
+}
+
+// Reference writer: the pre-flat-core recursive serializer.
+void ReferenceWriteElement(const Tree& tree, NodeId id, int depth,
+                           bool inline_mode, const WriteOptions& options,
+                           std::string* out) {
+  const Node n = tree.node(id);
+  const bool pretty = options.indent > 0 && !inline_mode;
+  if (pretty) out->append(static_cast<size_t>(depth * options.indent), ' ');
+  *out += "<" + std::string(n.label);
+  for (NodeId attr : n.attributes) {
+    const Node a = tree.node(attr);
+    *out += " " + std::string(a.label) + "=\"" +
+            EscapeXml(a.value, /*for_attribute=*/true) + "\"";
+  }
+  if (n.children.empty()) {
+    *out += "/>";
+    if (pretty) *out += "\n";
+    return;
+  }
+  *out += ">";
+  bool has_text = false;
+  for (NodeId c : n.children) {
+    if (tree.node(c).kind == NodeKind::kText) has_text = true;
+  }
+  const bool children_inline = inline_mode || has_text || options.indent == 0;
+  if (!children_inline) *out += "\n";
+  for (NodeId c : n.children) {
+    const Node child = tree.node(c);
+    if (child.kind == NodeKind::kText) {
+      *out += EscapeXml(child.value, /*for_attribute=*/false);
+    } else {
+      ReferenceWriteElement(tree, c, depth + 1, children_inline, options,
+                            out);
+    }
+  }
+  if (!children_inline) {
+    out->append(static_cast<size_t>(depth * options.indent), ' ');
+  }
+  *out += "</" + std::string(n.label) + ">";
+  if (pretty) *out += "\n";
+}
+
+std::string ReferenceWrite(const Tree& tree, const WriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out += "<?xml version=\"1.0\"?>";
+    if (options.indent > 0) out += '\n';
+  }
+  ReferenceWriteElement(tree, tree.root(), 0, /*inline_mode=*/false,
+                        options, &out);
+  return out;
+}
+
+// Byte-identity of the flat hot paths against the references, plus a
+// writer→parser round trip that must reproduce the same bytes again.
+void ExpectFlatPathsMatchReference(const Tree& tree) {
+  for (NodeId id = 0; id < static_cast<NodeId>(tree.size()); ++id) {
+    ASSERT_EQ(tree.Value(id), ReferenceValue(tree, id)) << "node " << id;
+  }
+  for (int indent : {0, 2}) {
+    WriteOptions options;
+    options.indent = indent;
+    const std::string flat = WriteXml(tree, options);
+    ASSERT_EQ(flat, ReferenceWrite(tree, options)) << "indent " << indent;
+    Result<Tree> again = ParseXml(flat);
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    ASSERT_EQ(WriteXml(*again, options), flat) << "indent " << indent;
+  }
 }
 
 std::string Mutate(std::string xml, Rng* rng) {
@@ -85,6 +194,61 @@ TEST_P(ParserFuzz, MutatedDocumentsNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0, 10));
+
+// Differential mode: random documents round-tripped through the parser
+// must serialize and flatten byte-identically on the flat core and on
+// the recursive reference paths.
+class ParserDifferentialFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserDifferentialFuzz, FlatPathsMatchRecursiveReference) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 69621 + 7);
+  RandomTreeSpec spec;
+  spec.max_depth = 5;
+  spec.max_children = 4;
+  for (int doc = 0; doc < 10; ++doc) {
+    Tree built = RandomTree(spec, &rng);
+    ExpectFlatPathsMatchReference(built);
+    Result<Tree> parsed = ParseXml(WriteXml(built));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    ExpectFlatPathsMatchReference(*parsed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserDifferentialFuzz,
+                         ::testing::Range(0, 5));
+
+TEST(ParserDifferentialFixed, AdversarialInputs) {
+  std::vector<std::string> inputs;
+
+  // Deeply nested (balanced) document.
+  std::string deep;
+  for (int i = 0; i < 400; ++i) deep += "<a x=\"1\">";
+  deep += "leaf";
+  for (int i = 0; i < 400; ++i) deep += "</a>";
+  inputs.push_back(deep);
+
+  // Huge attribute values, with and without escapes.
+  std::string huge(64 * 1024, 'v');
+  inputs.push_back("<r a=\"" + huge + "\" b=\"&lt;" + huge + "&amp;\"/>");
+
+  // Entity-heavy text: every other character is a reference.
+  std::string entities = "<r>";
+  for (int i = 0; i < 2000; ++i) entities += "x&amp;&#65;&lt;";
+  entities += "</r>";
+  inputs.push_back(entities);
+
+  // Empty text runs: comments, PIs and CDATA separating nothing.
+  inputs.push_back(
+      "<r><a><!-- c --><?pi d?><![CDATA[]]></a><b></b>"
+      "<c>  <!-- only whitespace around me -->  </c></r>");
+
+  for (const std::string& input : inputs) {
+    Result<Tree> parsed = ParseXml(input);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    ExpectWellFormedTree(*parsed);
+    ExpectFlatPathsMatchReference(*parsed);
+  }
+}
 
 TEST(ParserFuzzFixed, PathologicalInputs) {
   // Hand-picked nasties: deep nesting, unterminated constructs, stray
