@@ -20,6 +20,8 @@
 #include "synth/doc_generator.h"
 #include "transform/eval.h"
 #include "xml/parser.h"
+#include "xml/stream_parser.h"
+#include "xml/tree_index.h"
 #include "xml/writer.h"
 
 namespace xmlprop {
@@ -453,6 +455,27 @@ void RunAblation(bool quick) {
       const double parse_mb_s =
           static_cast<double>(xml.size() * reps) / 1e6 / (parse_ms / 1e3);
 
+      // The fused streaming parse-to-index against the two-pass
+      // parse-then-TreeIndex it replaces (same input, same reps).
+      bench::WallTimer two_pass_timer;
+      for (size_t i = 0; i < reps; ++i) {
+        Result<Tree> t = ParseXml(xml);
+        if (!t.ok()) std::abort();
+        TreeIndex index(*t);
+        benchmark::DoNotOptimize(index);
+      }
+      const double two_pass_ms = two_pass_timer.Ms();
+
+      bench::WallTimer stream_timer;
+      for (size_t i = 0; i < reps; ++i) {
+        Result<IndexedDoc> d = ParseXmlIndexed(xml);
+        if (!d.ok()) std::abort();
+        benchmark::DoNotOptimize(d);
+      }
+      const double stream_ms = stream_timer.Ms();
+      const double stream_mb_s =
+          static_cast<double>(xml.size() * reps) / 1e6 / (stream_ms / 1e3);
+
       Result<Tree> tree = ParseXml(xml);
       if (!tree.ok()) std::abort();
       std::string value_buf;
@@ -478,6 +501,19 @@ void RunAblation(bool quick) {
           .Num("tolerance", 0.35)
           .Int("max_rss_kb", static_cast<uint64_t>(obs::ReadPeakRssKb()));
       report.AddRow()
+          .Str("mode", "stream")
+          .Str("workload", "xml_parse_stream")
+          .Str("doc", d.doc)
+          .Int("nodes", nodes)
+          .Int("xml_bytes", xml.size())
+          .Int("reps", reps)
+          .Num("wall_ms", stream_ms)
+          .Num("mb_per_s", stream_mb_s)
+          .Num("two_pass_ms", two_pass_ms)
+          .Num("speedup_vs_two_pass", two_pass_ms / stream_ms)
+          .Num("tolerance", 0.35)
+          .Int("max_rss_kb", static_cast<uint64_t>(obs::ReadPeakRssKb()));
+      report.AddRow()
           .Str("mode", "flat")
           .Str("workload", "tree_value")
           .Str("doc", d.doc)
@@ -490,7 +526,9 @@ void RunAblation(bool quick) {
           .Int("max_rss_kb", static_cast<uint64_t>(obs::ReadPeakRssKb()));
       std::cerr << "micro flat doc=" << d.doc << " (" << xml.size()
                 << " bytes, " << nodes << " nodes): parse " << parse_mb_s
-                << " MB/s, value " << value_mb_s << " MB/s" << std::endl;
+                << " MB/s, stream parse+index " << stream_mb_s << " MB/s ("
+                << two_pass_ms / stream_ms << "x two-pass), value "
+                << value_mb_s << " MB/s" << std::endl;
     }
   }
 

@@ -7,8 +7,12 @@
 // The --quick / default ablation behind BENCH_pipeline.json compares the
 // seed node-at-a-time data plane (index_off) against the TreeIndex data
 // plane (index_on: interned labels/values, set-at-a-time path steps,
-// hash-deduplicated columnar shredding, parallel key checking) stage by
-// stage, asserting identical violations and identical shredded tuples.
+// hash-deduplicated columnar shredding, parallel key checking) and the
+// fused streaming parse-to-index plane (stream: one pass from bytes to
+// tree + index) stage by stage, asserting identical violations and
+// identical shredded tuples. An edit_recheck row measures the delta
+// plane (keys/delta.h): a 10-node edit patched and re-checked in place
+// versus a full index rebuild + re-check of the mutated corpus.
 
 #include <benchmark/benchmark.h>
 
@@ -16,10 +20,12 @@
 #include "core/design_advisor.h"
 #include "core/minimum_cover.h"
 #include "core/publish.h"
+#include "keys/delta.h"
 #include "keys/satisfaction.h"
 #include "transform/eval.h"
 #include "transform/rule_parser.h"
 #include "xml/parser.h"
+#include "xml/stream_parser.h"
 #include "xml/tree_index.h"
 #include "xml/writer.h"
 
@@ -201,6 +207,111 @@ std::vector<std::string> RenderViolations(
   return out;
 }
 
+// The incremental-plane ablation: a 10-node edit against a large indexed
+// corpus. The comparator is what a consumer without the delta plane pays
+// per edit — rebuild the TreeIndex over the mutated tree and re-run the
+// full key check; the delta plane patches the index in place (Euler
+// shift of the dirty suffix) and re-checks only the (key, context) pairs
+// the dirty range can affect. Verdict identity is asserted per rep
+// (tests/delta_test.cc property-tests it; here it is re-checked on the
+// corpus itself).
+void AddEditRecheckRows(bool quick, bench::JsonReport* report) {
+  constexpr int kReps = 3;
+  // 138 tree nodes per conference: ~1M nodes at 7250 (the acceptance
+  // scale), a CI-sized corpus under --quick.
+  const int confs = quick ? 200 : 7250;
+  Tree corpus = MakeCorpus(confs);
+  const size_t nodes = corpus.size();
+
+  // The 10-node edit: a fresh year (2 rows) with two papers (4) holding
+  // two titles (4), grafted under the last conference — the append-style
+  // import of the paper's Example 1.1. Attribute values are unique per
+  // rep so the corpus stays conforming.
+  auto make_fragment = [](int rep) {
+    Tree frag("year");
+    frag.CreateAttribute(frag.root(), "y", "21" + std::to_string(rep)).ok();
+    for (int p = 0; p < 2; ++p) {
+      NodeId paper = frag.CreateElement(frag.root(), "paper");
+      frag.CreateAttribute(paper, "no", "n" + std::to_string(rep * 2 + p))
+          .ok();
+      NodeId title = frag.CreateElement(paper, "title");
+      frag.CreateAttribute(title, "text", "t" + std::to_string(rep * 2 + p))
+          .ok();
+    }
+    return frag;
+  };
+
+  ThreadPool pool;
+  CheckOptions options;
+  options.pool = &pool;
+
+  // Seeding the delta document runs the one full check every consumer
+  // pays up front; only the per-edit costs are compared below.
+  DeltaDoc doc(std::move(corpus), Fix().keys);
+
+  double delta_insert_ms = 0, delta_delete_ms = 0, full_ms = 0;
+  size_t pairs_total = 0, pairs_rechecked = 0, edit_nodes = 0;
+  bool identical = true;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Tree fragment = make_fragment(rep);
+    edit_nodes = fragment.size();
+    const NodeId last_conf =
+        doc.tree().node(doc.tree().root()).children.back();
+
+    bench::WallTimer insert_timer;
+    Result<EditDelta> edit = doc.InsertSubtree(last_conf, fragment);
+    const double insert_ms = insert_timer.Ms();
+    if (!edit.ok()) std::abort();
+    pairs_total = edit->pairs_total;
+    pairs_rechecked = edit->pairs_rechecked;
+
+    // The comparator runs on the identical post-edit document.
+    bench::WallTimer full_timer;
+    TreeIndex fresh(doc.tree());
+    std::vector<TaggedViolation> batch =
+        CheckAll(fresh, Fix().keys, options);
+    const double rebuild_ms = full_timer.Ms();
+
+    identical =
+        identical &&
+        RenderViolations(doc.tree(), Fix().keys, doc.Violations()) ==
+            RenderViolations(doc.tree(), Fix().keys, batch);
+
+    // Undo the insert so every rep edits the same document; the delete
+    // is itself a timed delta edit.
+    bench::WallTimer delete_timer;
+    Result<EditDelta> undo = doc.DeleteSubtree(edit->subtree_root);
+    const double delete_ms = delete_timer.Ms();
+    if (!undo.ok()) std::abort();
+
+    if (rep == 0 || insert_ms < delta_insert_ms) delta_insert_ms = insert_ms;
+    if (rep == 0 || delete_ms < delta_delete_ms) delta_delete_ms = delete_ms;
+    if (rep == 0 || rebuild_ms < full_ms) full_ms = rebuild_ms;
+  }
+
+  report->AddRow()
+      .Str("mode", "edit_recheck")
+      .Int("confs", static_cast<uint64_t>(confs))
+      .Int("nodes", nodes)
+      .Int("edit_nodes", edit_nodes)
+      .Int("pairs_total", pairs_total)
+      .Int("pairs_rechecked", pairs_rechecked)
+      .Num("delta_insert_ms", delta_insert_ms)
+      .Num("delta_delete_ms", delta_delete_ms)
+      .Num("full_recheck_ms", full_ms)
+      .Num("wall_ms", delta_insert_ms)
+      .Num("tolerance", 0.35)
+      .Int("max_rss_kb", static_cast<uint64_t>(obs::ReadPeakRssKb()))
+      .Bool("identical_to_full_check", identical)
+      .Num("speedup_vs_full", full_ms / delta_insert_ms);
+  std::cerr << "edit_recheck nodes=" << nodes << ": delta insert "
+            << delta_insert_ms << " ms (delete " << delta_delete_ms
+            << " ms, " << pairs_rechecked << "/" << pairs_total
+            << " pairs) vs full rebuild+check " << full_ms << " ms — "
+            << full_ms / delta_insert_ms << "x, identical="
+            << (identical ? "yes" : "NO") << std::endl;
+}
+
 // The index-on/off pipeline ablation behind BENCH_pipeline.json: per
 // corpus size, best-of-`kReps` wall clock per stage (parse, index build,
 // key check, shred; plus the document-independent minimum-cover stage for
@@ -287,6 +398,42 @@ void RunAblation(bool quick, bool perfetto) {
       tuples = instance.size();
     }
 
+    // Stage timings, streaming: the fused single-pass parse-to-index
+    // plane (ParseXmlIndexed) replaces the parse stage and the index
+    // build; check and shred run on the streamed index unchanged.
+    double st_parse_index = 0, st_check = 0, st_shred = 0;
+    bool st_identical = true;
+    size_t st_tuples = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      bench::WallTimer parse_timer;
+      Result<IndexedDoc> doc = ParseXmlIndexed(xml);
+      const double parse_ms = parse_timer.Ms();
+      if (!doc.ok()) std::abort();
+
+      CheckOptions options;
+      options.pool = &pool;
+      bench::WallTimer check_timer;
+      std::vector<TaggedViolation> violations =
+          CheckAll(*doc->index, Fix().keys, options);
+      const double check_ms = check_timer.Ms();
+
+      bench::WallTimer shred_timer;
+      Instance instance = EvalTableTree(*doc->index, Fix().table);
+      const double shred_ms = shred_timer.Ms();
+
+      if (rep == 0 || parse_ms + check_ms + shred_ms <
+                          st_parse_index + st_check + st_shred) {
+        st_parse_index = parse_ms;
+        st_check = check_ms;
+        st_shred = shred_ms;
+      }
+      st_identical = st_identical &&
+                     RenderViolations(*doc->tree, Fix().keys, violations) ==
+                         off_violations &&
+                     instance.tuples() == off_instance.tuples();
+      st_tuples = instance.size();
+    }
+
     // The document-independent constraint side, for stage-table context.
     double cover_ms = 0;
     for (int rep = 0; rep < kReps; ++rep) {
@@ -310,18 +457,31 @@ void RunAblation(bool quick, bool perfetto) {
       }
       return bench::TracedPass(fn);
     };
+    // One parse is shared by the two classic traced passes (each pass
+    // used to re-parse the corpus, doubling the untimed trace work and
+    // skewing the off/on span comparison with a duplicated parse phase).
+    // The streaming pass necessarily keeps its own parse: the fused
+    // plane IS its parse+index phase.
+    Result<Tree> traced_doc = ParseXml(xml);
+    if (!traced_doc.ok()) std::abort();
     const obs::TraceSummary off_trace = traced("index_off", [&] {
-      Result<Tree> doc = ParseXml(xml);
-      CheckAll(*doc, Fix().keys);
-      EvalTableTree(*doc, Fix().table);
+      CheckAll(*traced_doc, Fix().keys);
+      EvalTableTree(*traced_doc, Fix().table);
     });
     const obs::TraceSummary on_trace = traced("index_on", [&] {
-      Result<Tree> doc = ParseXml(xml);
-      TreeIndex index(*doc);
+      TreeIndex index(*traced_doc);
       CheckOptions options;
       options.pool = &pool;
       CheckAll(index, Fix().keys, options);
       EvalTableTree(index, Fix().table);
+    });
+    const obs::TraceSummary stream_trace = traced("stream", [&] {
+      Result<IndexedDoc> doc = ParseXmlIndexed(xml);
+      if (!doc.ok()) std::abort();
+      CheckOptions options;
+      options.pool = &pool;
+      CheckAll(*doc->index, Fix().keys, options);
+      EvalTableTree(*doc->index, Fix().table);
     });
 
     const double off_e2e = off_parse + off_check + off_shred;
@@ -361,14 +521,42 @@ void RunAblation(bool quick, bool perfetto) {
         .Num("speedup_vs_index_off", off_e2e / on_e2e);
     bench::FillPhases(on, on_trace);
 
+    const double st_e2e = st_parse_index + st_check + st_shred;
+    bench::JsonReport::Row& stream = report.AddRow();
+    stream.Str("mode", "stream")
+        .Int("confs", static_cast<uint64_t>(confs))
+        .Int("nodes", nodes)
+        .Num("parse_ms", st_parse_index)
+        .Num("index_ms", 0)
+        .Num("check_ms", st_check)
+        .Num("shred_ms", st_shred)
+        .Num("cover_ms", cover_ms)
+        .Num("end_to_end_ms", st_e2e)
+        .Num("wall_ms", st_e2e)
+        .Int("max_rss_kb", static_cast<uint64_t>(obs::ReadPeakRssKb()))
+        .Int("tuples", st_tuples)
+        .Int("violations", off_violations.size())
+        .Bool("identical_to_index_off", st_identical)
+        .Num("speedup_vs_index_off", off_e2e / st_e2e)
+        // The tentpole ratio: fused parse+index against the two-pass
+        // parse-then-index of the index_on rows (same corpus, same rep
+        // discipline).
+        .Num("speedup_parse_index", (on_parse + on_index) / st_parse_index);
+    bench::FillPhases(stream, stream_trace);
+
     std::cerr << "pipeline confs=" << confs << ": off " << off_e2e
               << " ms (parse " << off_parse << ", check " << off_check
               << ", shred " << off_shred << "), on " << on_e2e
               << " ms (parse " << on_parse << ", index " << on_index
-              << ", check " << on_check << ", shred " << on_shred << "), "
-              << off_e2e / on_e2e << "x, identical="
-              << (identical ? "yes" : "NO") << std::endl;
+              << ", check " << on_check << ", shred " << on_shred
+              << "), stream " << st_e2e << " ms (parse+index "
+              << st_parse_index << " = "
+              << (on_parse + on_index) / st_parse_index
+              << "x two-pass, check " << st_check << ", shred " << st_shred
+              << "), identical=" << (identical && st_identical ? "yes" : "NO")
+              << std::endl;
   }
+  AddEditRecheckRows(quick, &report);
   report.Write();
 }
 

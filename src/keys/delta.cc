@@ -1,0 +1,539 @@
+#include "keys/delta.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xmlprop {
+
+namespace {
+
+// True iff `id` is reachable from the root via parent links (i.e. not a
+// row detached by an earlier DeleteSubtree).
+bool Attached(const Tree& tree, NodeId id) {
+  const NodeId* parent = tree.parent_data();
+  for (NodeId a = id; a != tree.root();) {
+    const NodeId up = parent[static_cast<size_t>(a)];
+    if (up == kInvalidNode) return false;
+    a = up;
+  }
+  return true;
+}
+
+bool SameViolation(const KeyViolation& a, const KeyViolation& b) {
+  return a.kind == b.kind && a.context == b.context && a.node1 == b.node1 &&
+         a.node2 == b.node2 && a.attribute == b.attribute;
+}
+
+}  // namespace
+
+struct DeltaDoc::EditSite {
+  NodeId parent = kInvalidNode;
+  std::vector<NodeId> chain;  // root .. parent, top-down
+  std::vector<std::string> parent_word;  // labels root -> parent (excl. root)
+  std::vector<NodeId> elems;  // edited elements, document order
+  std::vector<std::vector<std::string>> words;  // full word per elems[i]
+};
+
+DeltaDoc::EditSite DeltaDoc::MakeSite(NodeId parent,
+                                      std::vector<NodeId> elems) const {
+  EditSite site;
+  site.parent = parent;
+  site.elems = std::move(elems);
+  const NodeId* parent_of = tree_.parent_data();
+  for (NodeId a = parent;; a = parent_of[static_cast<size_t>(a)]) {
+    site.chain.push_back(a);
+    if (a == tree_.root()) break;
+  }
+  std::reverse(site.chain.begin(), site.chain.end());
+  site.parent_word = tree_.PathLabelsFromRoot(parent);
+
+  // Edited elements come parents-before-children, so each word extends
+  // an already computed one.
+  std::unordered_map<NodeId, size_t> pos;
+  pos.reserve(site.elems.size());
+  for (size_t i = 0; i < site.elems.size(); ++i) pos.emplace(site.elems[i], i);
+  site.words.resize(site.elems.size());
+  for (size_t i = 0; i < site.elems.size(); ++i) {
+    const NodeId m = site.elems[i];
+    const NodeId up = parent_of[static_cast<size_t>(m)];
+    const std::vector<std::string>& base =
+        up == parent ? site.parent_word : site.words[pos.at(up)];
+    site.words[i] = base;
+    site.words[i].emplace_back(tree_.label_text(tree_.label_id_of(m)));
+  }
+  return site;
+}
+
+DeltaDoc::DeltaDoc(Tree tree, std::vector<XmlKey> keys)
+    : tree_(std::move(tree)), keys_(std::move(keys)), index_(tree_) {
+  obs::Span span("delta.seed");
+  index_.AdoptOwnedEuler();
+  // Reference counts for the index's distinct-value tally, which counts
+  // values reachable through attributes only (text nodes may share pool
+  // entries without contributing).
+  value_refs_.assign(tree_.value_count(), 0);
+  const ValueId* vid = tree_.value_id_data();
+  const NodeKind* kind = tree_.kind_data();
+  for (size_t i = 0; i < tree_.size(); ++i) {
+    if (kind[i] == NodeKind::kAttribute && vid[i] >= 0) {
+      ++value_refs_[static_cast<size_t>(vid[i])];
+    }
+  }
+  // One full check seeds the per-context verdict cache.
+  caches_.resize(keys_.size());
+  for (size_t k = 0; k < keys_.size(); ++k) {
+    for (NodeId ctx : ContextNodes(keys_[k])) {
+      ++pair_count_;
+      std::vector<KeyViolation> v = CheckKeyAtContext(index_, keys_[k], ctx);
+      if (!v.empty()) caches_[k].emplace(ctx, std::move(v));
+    }
+  }
+}
+
+std::vector<NodeId> DeltaDoc::ContextNodes(const XmlKey& key) const {
+  std::vector<NodeId> out = key.context().EvalFromRoot(index_);
+  const NodeKind* kind = tree_.kind_data();
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [kind](NodeId n) {
+                             return kind[static_cast<size_t>(n)] !=
+                                    NodeKind::kElement;
+                           }),
+            out.end());
+  return out;
+}
+
+Result<EditDelta> DeltaDoc::InsertSubtree(NodeId parent, const Tree& fragment,
+                                          NodeId fragment_root) {
+  if (!tree_.IsValid(parent) ||
+      tree_.kind_data()[static_cast<size_t>(parent)] != NodeKind::kElement) {
+    return Status::InvalidArgument("insert parent must be an element");
+  }
+  if (!Attached(tree_, parent)) {
+    return Status::InvalidArgument("insert parent is detached");
+  }
+
+  EditDelta out;
+  std::vector<NodeId> new_elems;
+  NodeId child = kInvalidNode;
+  {
+    obs::Span span("delta.patch");
+    const NodeId first_new = static_cast<NodeId>(tree_.size());
+    Result<NodeId> grafted = tree_.Graft(parent, fragment, fragment_root);
+    if (!grafted.ok()) return grafted.status();
+    child = grafted.value();
+    index_.RefreshColumns();
+
+    // New rows were appended in document order; pick out the elements.
+    const NodeKind* kind = tree_.kind_data();
+    for (NodeId i = first_new; i < static_cast<NodeId>(tree_.size()); ++i) {
+      if (kind[static_cast<size_t>(i)] == NodeKind::kElement) {
+        new_elems.push_back(i);
+      }
+    }
+    const int32_t k = static_cast<int32_t>(new_elems.size());
+    std::vector<int32_t>& pre = index_.own_pre_;
+    std::vector<int32_t>& pre_end = index_.own_pre_end_;
+    std::vector<NodeId>& by_pre = index_.own_elements_by_pre_;
+    const int32_t insert_at = pre_end[static_cast<size_t>(parent)];
+
+    // Euler shift of the suffix: every element at or after the insertion
+    // point moves k slots right; ancestors-or-self of the graft parent
+    // (whose intervals gain the new subtree) extend by k. All other
+    // intervals are disjoint from the dirty range and stay put.
+    for (size_t p = static_cast<size_t>(insert_at); p < by_pre.size(); ++p) {
+      const size_t e = static_cast<size_t>(by_pre[p]);
+      pre[e] += k;
+      pre_end[e] += k;
+    }
+    const NodeId* parent_of = tree_.parent_data();
+    for (NodeId a = parent;; a = parent_of[static_cast<size_t>(a)]) {
+      pre_end[static_cast<size_t>(a)] += k;
+      if (a == tree_.root()) break;
+    }
+
+    // New rows: pre by rank, pre_end by a reverse sweep (graft rows come
+    // parents-before-children).
+    pre.resize(tree_.size(), -1);
+    pre_end.resize(tree_.size(), -1);
+    for (int32_t r = 0; r < k; ++r) {
+      const size_t e = static_cast<size_t>(new_elems[static_cast<size_t>(r)]);
+      pre[e] = insert_at + r;
+      pre_end[e] = insert_at + r + 1;
+    }
+    for (int32_t r = k - 1; r > 0; --r) {
+      const size_t e = static_cast<size_t>(new_elems[static_cast<size_t>(r)]);
+      const NodeId up = parent_of[e];
+      if (up >= first_new) {
+        pre_end[static_cast<size_t>(up)] =
+            std::max(pre_end[static_cast<size_t>(up)], pre_end[e]);
+      }
+    }
+    by_pre.insert(by_pre.begin() + insert_at, new_elems.begin(),
+                  new_elems.end());
+    index_.pre_ = pre.data();
+    index_.pre_end_ = pre_end.data();
+
+    // Per-label lists: the new elements form one contiguous pre run per
+    // label — a single range-insert each, at the lower_bound position.
+    index_.elements_with_label_.resize(tree_.label_count());
+    {
+      std::unordered_map<LabelId, std::vector<NodeId>> by_label;
+      for (NodeId e : new_elems) {
+        by_label[index_.label_of_[static_cast<size_t>(e)]].push_back(e);
+      }
+      for (auto& [label, elems] : by_label) {
+        std::vector<NodeId>& list =
+            index_.elements_with_label_[static_cast<size_t>(label)];
+        auto it = std::lower_bound(
+            list.begin(), list.end(), insert_at,
+            [&pre](NodeId e, int32_t p) {
+              return pre[static_cast<size_t>(e)] < p;
+            });
+        list.insert(it, elems.begin(), elems.end());
+      }
+    }
+
+    // CSR runs of the new elements, appended at the array tails.
+    index_.bucket_span_.resize(tree_.size());
+    index_.attr_span_.resize(tree_.size());
+    {
+      std::vector<NodeId> scratch;
+      for (NodeId e : new_elems) index_.AppendNodeRuns(e, &scratch);
+    }
+
+    // The graft parent gained one last child: relocate the affected run
+    // to the tail (the old slots become dead space — compacting would
+    // mean rewriting every other node's spans, defeating the point).
+    {
+      const LabelId clabel = index_.label_of_[static_cast<size_t>(child)];
+      TreeIndex::SpanRef& bspan =
+          index_.bucket_span_[static_cast<size_t>(parent)];
+      const uint32_t lo = bspan.begin;
+      const uint32_t hi = bspan.begin + bspan.count;
+      uint32_t pos = hi;
+      bool found = false;
+      for (uint32_t b = lo; b < hi; ++b) {
+        if (index_.bucket_array_[b].label == clabel) {
+          pos = b;
+          found = true;
+          break;
+        }
+        if (index_.bucket_array_[b].label > clabel) {
+          pos = b;
+          break;
+        }
+      }
+      if (found) {
+        // Existing bucket: its child run grows by one at the end (the
+        // grafted root is the parent's last child in document order).
+        TreeIndex::Bucket& bk = index_.bucket_array_[pos];
+        const uint32_t nb = static_cast<uint32_t>(index_.child_array_.size());
+        index_.child_array_.reserve(index_.child_array_.size() +
+                                    (bk.end - bk.begin) + 1);
+        for (uint32_t c = bk.begin; c < bk.end; ++c) {
+          index_.child_array_.push_back(index_.child_array_[c]);
+        }
+        index_.child_array_.push_back(child);
+        bk.begin = nb;
+        bk.end = static_cast<uint32_t>(index_.child_array_.size());
+      } else {
+        // New label among the parent's children: relocate the whole
+        // bucket run with a singleton bucket spliced at its sorted slot.
+        const uint32_t cb = static_cast<uint32_t>(index_.child_array_.size());
+        index_.child_array_.push_back(child);
+        const uint32_t nb = static_cast<uint32_t>(index_.bucket_array_.size());
+        index_.bucket_array_.reserve(nb + bspan.count + 1);
+        for (uint32_t b = lo; b < hi; ++b) {
+          if (b == pos) {
+            index_.bucket_array_.push_back(
+                TreeIndex::Bucket{clabel, cb, cb + 1});
+          }
+          index_.bucket_array_.push_back(index_.bucket_array_[b]);
+        }
+        if (pos == hi) {
+          index_.bucket_array_.push_back(TreeIndex::Bucket{clabel, cb, cb + 1});
+        }
+        bspan.begin = nb;
+        bspan.count += 1;
+      }
+    }
+
+    // Interned-value reuse: only genuinely new attribute values bump the
+    // distinct count.
+    value_refs_.resize(tree_.value_count(), 0);
+    const ValueId* vid = tree_.value_id_data();
+    const NodeKind* row_kind = tree_.kind_data();
+    for (NodeId i = first_new; i < static_cast<NodeId>(tree_.size()); ++i) {
+      if (row_kind[static_cast<size_t>(i)] != NodeKind::kAttribute) continue;
+      const ValueId v = vid[static_cast<size_t>(i)];
+      if (v >= 0 && value_refs_[static_cast<size_t>(v)]++ == 0) {
+        ++index_.value_count_;
+      }
+    }
+
+    out.subtree_root = child;
+    out.dirty_begin = insert_at;
+    out.dirty_end = insert_at + k;
+    out.elements_added = static_cast<size_t>(k);
+  }
+
+  const EditSite site = MakeSite(parent, std::move(new_elems));
+  RecheckAfterEdit(site, /*deleting=*/false, &out);
+  return out;
+}
+
+Result<EditDelta> DeltaDoc::DeleteSubtree(NodeId node) {
+  if (!tree_.IsValid(node) ||
+      tree_.kind_data()[static_cast<size_t>(node)] != NodeKind::kElement) {
+    return Status::InvalidArgument("delete target must be an element");
+  }
+  if (node == tree_.root()) {
+    return Status::InvalidArgument("cannot delete the document root");
+  }
+  if (!Attached(tree_, node)) {
+    return Status::InvalidArgument("delete target is already detached");
+  }
+
+  std::vector<int32_t>& pre = index_.own_pre_;
+  std::vector<int32_t>& pre_end = index_.own_pre_end_;
+  std::vector<NodeId>& by_pre = index_.own_elements_by_pre_;
+  const int32_t begin = pre[static_cast<size_t>(node)];
+  const int32_t end = pre_end[static_cast<size_t>(node)];
+  const int32_t k = end - begin;
+  const NodeId parent = tree_.parent_data()[static_cast<size_t>(node)];
+
+  // The doomed elements are exactly the dirty Euler slice; capture them
+  // (and their label words) while still attached.
+  std::vector<NodeId> doomed(by_pre.begin() + begin, by_pre.begin() + end);
+  const EditSite site = MakeSite(parent, doomed);
+
+  EditDelta out;
+  out.subtree_root = node;
+  out.dirty_begin = begin;
+  out.dirty_end = end;
+  out.elements_removed = static_cast<size_t>(k);
+  {
+    obs::Span span("delta.patch");
+    const NodeId* first_attr = tree_.first_attr_data();
+    const NodeId* next_sibling = tree_.next_sibling_data();
+    const ValueId* vid = tree_.value_id_data();
+
+    // Distinct-value bookkeeping before the rows go unreachable.
+    for (NodeId e : doomed) {
+      for (NodeId a = first_attr[static_cast<size_t>(e)]; a != kInvalidNode;
+           a = next_sibling[static_cast<size_t>(a)]) {
+        const ValueId v = vid[static_cast<size_t>(a)];
+        if (v >= 0 && --value_refs_[static_cast<size_t>(v)] == 0) {
+          --index_.value_count_;
+        }
+      }
+    }
+
+    // Per-label lists: within one label the doomed entries are a single
+    // contiguous pre run — one range-erase each (old pre values).
+    {
+      std::vector<LabelId> labels;
+      for (NodeId e : doomed) {
+        labels.push_back(index_.label_of_[static_cast<size_t>(e)]);
+      }
+      std::sort(labels.begin(), labels.end());
+      labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+      for (LabelId label : labels) {
+        std::vector<NodeId>& list =
+            index_.elements_with_label_[static_cast<size_t>(label)];
+        const auto cmp = [&pre](NodeId e, int32_t p) {
+          return pre[static_cast<size_t>(e)] < p;
+        };
+        auto lo = std::lower_bound(list.begin(), list.end(), begin, cmp);
+        auto hi = std::lower_bound(lo, list.end(), end, cmp);
+        list.erase(lo, hi);
+      }
+    }
+
+    // Euler shift: close the gap.
+    by_pre.erase(by_pre.begin() + begin, by_pre.begin() + end);
+    for (size_t p = static_cast<size_t>(begin); p < by_pre.size(); ++p) {
+      const size_t e = static_cast<size_t>(by_pre[p]);
+      pre[e] -= k;
+      pre_end[e] -= k;
+    }
+    const NodeId* parent_of = tree_.parent_data();
+    for (NodeId a = parent;; a = parent_of[static_cast<size_t>(a)]) {
+      pre_end[static_cast<size_t>(a)] -= k;
+      if (a == tree_.root()) break;
+    }
+
+    // Remove `node` from its parent's bucket (in place: the run only
+    // shrinks, so no relocation is needed).
+    {
+      const LabelId clabel = index_.label_of_[static_cast<size_t>(node)];
+      TreeIndex::SpanRef& bspan =
+          index_.bucket_span_[static_cast<size_t>(parent)];
+      const uint32_t lo = bspan.begin;
+      const uint32_t hi = bspan.begin + bspan.count;
+      for (uint32_t b = lo; b < hi; ++b) {
+        TreeIndex::Bucket& bk = index_.bucket_array_[b];
+        if (bk.label != clabel) continue;
+        for (uint32_t c = bk.begin; c < bk.end; ++c) {
+          if (index_.child_array_[c] != node) continue;
+          for (uint32_t m = c; m + 1 < bk.end; ++m) {
+            index_.child_array_[m] = index_.child_array_[m + 1];
+          }
+          --bk.end;
+          break;
+        }
+        if (bk.begin == bk.end) {
+          for (uint32_t m = b; m + 1 < hi; ++m) {
+            index_.bucket_array_[m] = index_.bucket_array_[m + 1];
+          }
+          --bspan.count;
+        }
+        break;
+      }
+    }
+
+    // Zombie rows: dead Euler slots and empty spans, so a stale NodeId
+    // queries to nothing rather than to garbage.
+    for (NodeId e : doomed) {
+      pre[static_cast<size_t>(e)] = -1;
+      pre_end[static_cast<size_t>(e)] = -1;
+      index_.bucket_span_[static_cast<size_t>(e)] = TreeIndex::SpanRef{};
+      index_.attr_span_[static_cast<size_t>(e)] = TreeIndex::SpanRef{};
+    }
+
+    const Status detached = tree_.DetachSubtree(node);
+    if (!detached.ok()) return detached;
+  }
+
+  RecheckAfterEdit(site, /*deleting=*/true, &out);
+  return out;
+}
+
+void DeltaDoc::RecheckContext(size_t key_index, NodeId ctx, EditDelta* out) {
+  ++out->pairs_rechecked;
+  std::vector<KeyViolation> after = CheckKeyAtContext(index_, keys_[key_index], ctx);
+  auto& cache = caches_[key_index];
+  const auto it = cache.find(ctx);
+  if (it != cache.end()) {
+    const std::vector<KeyViolation>& before = it->second;
+    for (const KeyViolation& v : after) {
+      if (std::none_of(before.begin(), before.end(), [&v](const KeyViolation& b) {
+            return SameViolation(v, b);
+          })) {
+        out->added.push_back(TaggedViolation{key_index, v});
+      }
+    }
+    for (const KeyViolation& v : before) {
+      if (std::none_of(after.begin(), after.end(), [&v](const KeyViolation& a) {
+            return SameViolation(v, a);
+          })) {
+        out->removed.push_back(TaggedViolation{key_index, v});
+      }
+    }
+  } else {
+    for (const KeyViolation& v : after) {
+      out->added.push_back(TaggedViolation{key_index, v});
+    }
+  }
+  if (after.empty()) {
+    if (it != cache.end()) cache.erase(it);
+  } else if (it != cache.end()) {
+    it->second = std::move(after);
+  } else {
+    cache.emplace(ctx, std::move(after));
+  }
+}
+
+void DeltaDoc::RecheckAfterEdit(const EditSite& site, bool deleting,
+                                EditDelta* out) {
+  obs::Span span("delta.recheck");
+  for (size_t k = 0; k < keys_.size(); ++k) {
+    const XmlKey& key = keys_[k];
+
+    // Ancestor-chain contexts: the only old contexts whose target sets
+    // can reach the dirty range — and only those for which some edited
+    // element's label word actually matches the target path.
+    std::vector<std::string> prefix;
+    prefix.reserve(site.parent_word.size());
+    for (size_t i = 0; i < site.chain.size(); ++i) {
+      if (i > 0) prefix.push_back(site.parent_word[i - 1]);
+      if (!key.context().MatchesWord(prefix)) continue;
+      bool reaches = false;
+      for (const std::vector<std::string>& word : site.words) {
+        const std::vector<std::string> sub(word.begin() + static_cast<long>(i),
+                                           word.end());
+        if (key.target().MatchesWord(sub)) {
+          reaches = true;
+          break;
+        }
+      }
+      if (!reaches) continue;
+      RecheckContext(k, site.chain[i], out);
+    }
+
+    // Contexts inside the edited subtree: new ones are checked from
+    // scratch, deleted ones just drop their cached verdicts.
+    for (size_t m = 0; m < site.elems.size(); ++m) {
+      if (!key.context().MatchesWord(site.words[m])) continue;
+      if (deleting) {
+        --pair_count_;
+        auto& cache = caches_[k];
+        const auto it = cache.find(site.elems[m]);
+        if (it != cache.end()) {
+          for (const KeyViolation& v : it->second) {
+            out->removed.push_back(TaggedViolation{k, v});
+          }
+          cache.erase(it);
+        }
+      } else {
+        ++pair_count_;
+        RecheckContext(k, site.elems[m], out);
+      }
+    }
+  }
+  out->pairs_total = pair_count_;
+
+  obs::Count("incremental.edits");
+  obs::Count("incremental.contexts_rechecked", out->pairs_rechecked);
+  // Parts-per-million of live (key, context) pairs this edit re-checked —
+  // the dirty-range saving over a full check.
+  const int64_t ppm =
+      pair_count_ == 0
+          ? 0
+          : static_cast<int64_t>(out->pairs_rechecked * 1000000 / pair_count_);
+  obs::Gauge("incremental.recheck_ratio", ppm);
+}
+
+std::vector<TaggedViolation> DeltaDoc::Violations() const {
+  std::vector<TaggedViolation> out;
+  for (size_t k = 0; k < keys_.size(); ++k) {
+    std::vector<std::pair<int32_t, const std::vector<KeyViolation>*>> ctxs;
+    ctxs.reserve(caches_[k].size());
+    for (const auto& [ctx, v] : caches_[k]) {
+      ctxs.emplace_back(index_.pre(ctx), &v);
+    }
+    std::sort(ctxs.begin(), ctxs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [p, v] : ctxs) {
+      for (const KeyViolation& viol : *v) {
+        out.push_back(TaggedViolation{k, viol});
+      }
+    }
+  }
+  return out;
+}
+
+size_t DeltaDoc::violation_count() const {
+  size_t n = 0;
+  for (const auto& cache : caches_) {
+    for (const auto& [ctx, v] : cache) n += v.size();
+  }
+  return n;
+}
+
+}  // namespace xmlprop

@@ -1,0 +1,136 @@
+#ifndef XMLPROP_KEYS_DELTA_H_
+#define XMLPROP_KEYS_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "keys/satisfaction.h"
+#include "keys/xml_key.h"
+#include "xml/tree.h"
+#include "xml/tree_index.h"
+
+namespace xmlprop {
+
+/// Summary of one structural edit applied through DeltaDoc: the patched
+/// Euler range and the localized re-check it triggered.
+struct EditDelta {
+  /// Root of the inserted (new id) or deleted (now detached) subtree.
+  NodeId subtree_root = kInvalidNode;
+  /// The dirty Euler range [dirty_begin, dirty_end): the pre-order slots
+  /// the edit occupied (insert: of the new elements; delete: of the
+  /// removed ones, in pre-edit coordinates).
+  int32_t dirty_begin = 0;
+  int32_t dirty_end = 0;
+  size_t elements_added = 0;
+  size_t elements_removed = 0;
+
+  /// Live (key, context) pairs after the edit, and how many of them the
+  /// dirty-range intersection test actually re-checked. The ratio is the
+  /// saving over a full re-check.
+  size_t pairs_total = 0;
+  size_t pairs_rechecked = 0;
+
+  /// Violations the edit introduced / retired, relative to the cached
+  /// verdicts before the edit. Ordered per key index ascending; within a
+  /// key, contexts in document order; within a context, check order.
+  std::vector<TaggedViolation> added;
+  std::vector<TaggedViolation> removed;
+};
+
+/// A mutable checked document — the incremental plane (DESIGN.md
+/// "Streaming + incremental plane"). DeltaDoc owns a Tree, a TreeIndex
+/// over it, and per-(key, context) violation verdicts. Subtree inserts
+/// and deletes patch the index columns in place (an Euler shift of the
+/// suffix, per-label list splices, relocated CSR runs) instead of
+/// rebuilding, and re-run key satisfaction only for (key, context) pairs
+/// whose target sets can intersect the dirty Euler range:
+///
+///   - a context node strictly outside the edited subtree reaches into it
+///     only if it is an ancestor of the edit site (target paths navigate
+///     downward), and only matters if some edited element's label word
+///     actually matches the key's target path from that context;
+///   - context nodes inside an inserted subtree are new and are checked
+///     from scratch; ones inside a deleted subtree just drop their cache.
+///
+/// Every other (key, context) verdict provably cannot change, so after
+/// each edit Violations() equals a full CheckAll over the current
+/// document — the differential property the delta tests enforce — at a
+/// cost proportional to the edit, not the document.
+class DeltaDoc {
+ public:
+  /// Takes ownership of `tree` and runs one full check to seed the
+  /// per-context verdict cache. `keys` may be empty (pure structural
+  /// edits, no checking).
+  DeltaDoc(Tree tree, std::vector<XmlKey> keys);
+
+  // The index borrows the tree's columns and the cache holds NodeIds;
+  // neither survives a copy of the underlying tree.
+  DeltaDoc(const DeltaDoc&) = delete;
+  DeltaDoc& operator=(const DeltaDoc&) = delete;
+
+  const Tree& tree() const { return tree_; }
+  const TreeIndex& index() const { return index_; }
+  const std::vector<XmlKey>& keys() const { return keys_; }
+
+  /// Grafts a deep copy of `fragment`'s subtree at `fragment_root` as the
+  /// last child of `parent` (an attached element), patches the index, and
+  /// re-checks the affected (key, context) pairs. Fails without side
+  /// effects if `parent` is invalid or detached.
+  Result<EditDelta> InsertSubtree(NodeId parent, const Tree& fragment,
+                                  NodeId fragment_root);
+  Result<EditDelta> InsertSubtree(NodeId parent, const Tree& fragment) {
+    return InsertSubtree(parent, fragment, fragment.root());
+  }
+
+  /// Detaches the subtree rooted at `node` (an attached element, not the
+  /// root), patches the index, and re-checks the affected pairs. The rows
+  /// stay allocated (NodeIds never recycle) but become unreachable.
+  Result<EditDelta> DeleteSubtree(NodeId node);
+
+  /// Current violations, identical in content and order to
+  /// CheckAll(tree(), keys()) over the current document.
+  std::vector<TaggedViolation> Violations() const;
+  size_t violation_count() const;
+
+ private:
+  struct EditSite;
+
+  // Captures everything the re-check needs about an edit: the attachment
+  // parent, its ancestor chain, and the edited elements with their full
+  // root-to-element label words. Built while the subtree is attached.
+  EditSite MakeSite(NodeId parent, std::vector<NodeId> elems) const;
+
+  // Shared re-check driver: walks the ancestor chain of the edit site and
+  // the edited elements' label words, re-checks the intersecting pairs,
+  // and fills the delta's added/removed/pair counters.
+  void RecheckAfterEdit(const EditSite& site, bool deleting, EditDelta* out);
+
+  // Re-checks one (key, context) pair against the patched index, diffs it
+  // against the cached verdict, and updates cache + delta.
+  void RecheckContext(size_t key_index, NodeId ctx, EditDelta* out);
+
+  // Context nodes of `key` in document order (the indexed evaluator
+  // restricted to elements).
+  std::vector<NodeId> ContextNodes(const XmlKey& key) const;
+
+  Tree tree_;
+  std::vector<XmlKey> keys_;
+  TreeIndex index_;
+
+  // Per key: context node -> its current violations (only contexts with
+  // at least one violation are present).
+  std::vector<std::unordered_map<NodeId, std::vector<KeyViolation>>> caches_;
+  size_t pair_count_ = 0;  // live (key, context) pairs
+
+  // Attribute rows per interned value, so deletes know when a distinct
+  // value goes out of use (and inserts when one is genuinely new).
+  std::vector<uint32_t> value_refs_;
+};
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_KEYS_DELTA_H_

@@ -1,6 +1,7 @@
 #include "keys/incremental.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace xmlprop {
 
@@ -24,19 +25,19 @@ std::vector<std::string> LabelsBetween(const Tree& tree, NodeId from,
 
 IncrementalChecker::IncrementalChecker(std::vector<XmlKey> keys,
                                        std::string root_label)
-    : keys_(std::move(keys)),
-      document_(std::move(root_label)),
-      index_(keys_.size()) {}
+    : delta_(new DeltaDoc(Tree(root_label), std::move(keys))),
+      index_(delta_->keys().size()) {}
 
 void IncrementalChecker::CheckNewTarget(size_t key_index, NodeId context,
                                         NodeId target,
                                         std::vector<TaggedViolation>* out) {
-  const XmlKey& key = keys_[key_index];
+  const Tree& document = delta_->tree();
+  const XmlKey& key = delta_->keys()[key_index];
   bool complete = true;
   std::vector<std::string> values;
   values.reserve(key.attributes().size());
   for (const std::string& attr : key.attributes()) {
-    std::optional<std::string> v = document_.AttributeValue(target, attr);
+    std::optional<std::string> v = document.AttributeValue(target, attr);
     if (!v.has_value()) {
       KeyViolation viol;
       viol.kind = KeyViolation::Kind::kMissingAttribute;
@@ -65,20 +66,22 @@ void IncrementalChecker::CheckNewTarget(size_t key_index, NodeId context,
 
 Result<std::vector<TaggedViolation>> IncrementalChecker::Append(
     NodeId parent, const Tree& fragment) {
-  XMLPROP_ASSIGN_OR_RETURN(NodeId new_root,
-                           document_.Graft(parent, fragment,
-                                           fragment.root()));
-  std::vector<NodeId> new_elements = document_.DescendantsOrSelf(new_root);
+  XMLPROP_ASSIGN_OR_RETURN(EditDelta delta,
+                           delta_->InsertSubtree(parent, fragment));
+  const Tree& document = delta_->tree();
+  const NodeId new_root = delta.subtree_root;
+  std::vector<NodeId> new_elements = document.DescendantsOrSelf(new_root);
 
   std::vector<TaggedViolation> violations;
-  for (size_t ki = 0; ki < keys_.size(); ++ki) {
-    const XmlKey& key = keys_[ki];
+  const std::vector<XmlKey>& keys = delta_->keys();
+  for (size_t ki = 0; ki < keys.size(); ++ki) {
+    const XmlKey& key = keys[ki];
 
     // (a) Existing contexts that can reach the new subtree: the
     // ancestor-or-self chain of the graft parent.
     std::vector<NodeId> contexts;
-    for (NodeId n = parent; n != kInvalidNode; n = document_.node(n).parent) {
-      if (key.context().MatchesWord(document_.PathLabelsFromRoot(n))) {
+    for (NodeId n = parent; n != kInvalidNode; n = document.node(n).parent) {
+      if (key.context().MatchesWord(document.PathLabelsFromRoot(n))) {
         contexts.push_back(n);
       }
     }
@@ -86,15 +89,15 @@ Result<std::vector<TaggedViolation>> IncrementalChecker::Append(
 
     // (b) Contexts inside the new subtree.
     for (NodeId n : new_elements) {
-      if (key.context().MatchesWord(document_.PathLabelsFromRoot(n))) {
+      if (key.context().MatchesWord(document.PathLabelsFromRoot(n))) {
         contexts.push_back(n);
       }
     }
 
     for (NodeId ctx : contexts) {
       for (NodeId m : new_elements) {
-        if (!document_.IsAncestorOrSelf(ctx, m)) continue;
-        if (key.target().MatchesWord(LabelsBetween(document_, ctx, m))) {
+        if (!document.IsAncestorOrSelf(ctx, m)) continue;
+        if (key.target().MatchesWord(LabelsBetween(document, ctx, m))) {
           CheckNewTarget(ki, ctx, m, &violations);
         }
       }

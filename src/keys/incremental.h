@@ -2,10 +2,12 @@
 #define XMLPROP_KEYS_INCREMENTAL_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "keys/delta.h"
 #include "keys/satisfaction.h"
 #include "keys/xml_key.h"
 #include "xml/tree.h"
@@ -16,9 +18,13 @@ namespace xmlprop {
 /// scenario ("while importing this XML data, violations of the key are
 /// detected") without re-scanning the whole document per fragment.
 ///
-/// The checker owns a growing document. Each Append grafts one fragment
-/// under a chosen parent and checks only what the new subtree can
-/// affect:
+/// The checker owns a growing document through the delta plane
+/// (keys/delta.h): each Append is a DeltaDoc::InsertSubtree, which grafts
+/// the fragment, patches the query index in place (Euler shift of the
+/// suffix, interned-value reuse) and re-checks only the (key, context)
+/// pairs whose intervals intersect the dirty Euler range. On top of the
+/// patched document this class reports each violation once, at the append
+/// that introduces it:
 ///   - context nodes *inside* the new subtree (all their targets are
 ///     new), and
 ///   - existing context nodes on the ancestor chain of the graft point
@@ -34,8 +40,8 @@ class IncrementalChecker {
   explicit IncrementalChecker(std::vector<XmlKey> keys,
                               std::string root_label = "r");
 
-  const Tree& document() const { return document_; }
-  const std::vector<XmlKey>& keys() const { return keys_; }
+  const Tree& document() const { return delta_->tree(); }
+  const std::vector<XmlKey>& keys() const { return delta_->keys(); }
 
   /// Grafts `fragment` (its root element becomes a child of `parent`)
   /// and returns the violations this append introduces. The fragment is
@@ -48,7 +54,7 @@ class IncrementalChecker {
 
   /// Convenience: append under the document root.
   Result<std::vector<TaggedViolation>> Append(const Tree& fragment) {
-    return Append(document_.root(), fragment);
+    return Append(document().root(), fragment);
   }
 
   /// Total violations reported so far.
@@ -63,9 +69,8 @@ class IncrementalChecker {
   void CheckNewTarget(size_t key_index, NodeId context, NodeId target,
                       std::vector<TaggedViolation>* out);
 
-  std::vector<XmlKey> keys_;
-  Tree document_;
-  std::vector<TargetIndex> index_;  // one per key
+  std::unique_ptr<DeltaDoc> delta_;  // non-movable: holds the document
+  std::vector<TargetIndex> index_;   // one per key
   size_t violation_count_ = 0;
 };
 

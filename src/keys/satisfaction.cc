@@ -254,6 +254,16 @@ std::vector<KeyViolation> CheckKey(const TreeIndex& index,
   return violations;
 }
 
+std::vector<KeyViolation> CheckKeyAtContext(const TreeIndex& index,
+                                            const XmlKey& key, NodeId ctx) {
+  std::vector<KeyViolation> violations;
+  const std::vector<LabelId> attr_labels = ResolveAttributes(index, key);
+  TupleDedup dedup;
+  const std::vector<NodeId> targets = key.target().Eval(index, ctx);
+  CheckContext(index, key, attr_labels, ctx, targets, &dedup, &violations);
+  return violations;
+}
+
 bool Satisfies(const TreeIndex& index, const XmlKey& key) {
   return CheckKey(index, key).empty();
 }

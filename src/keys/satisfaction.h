@@ -80,6 +80,15 @@ struct CheckOptions {
 /// ids instead of string vectors.
 std::vector<KeyViolation> CheckKey(const TreeIndex& index, const XmlKey& key);
 
+/// One iteration of the indexed CheckKey loop: checks `key` under the
+/// single context node `ctx` (missing-attribute violations in key-attribute
+/// order, then duplicate-tuple violations in target document order). The
+/// delta plane's localized re-check primitive: concatenating the results
+/// over a key's context nodes in document order reproduces
+/// CheckKey(index, key) exactly.
+std::vector<KeyViolation> CheckKeyAtContext(const TreeIndex& index,
+                                            const XmlKey& key, NodeId ctx);
+
 /// Indexed Satisfies / SatisfiesAll (same verdicts as the tree overloads).
 bool Satisfies(const TreeIndex& index, const XmlKey& key);
 bool SatisfiesAll(const TreeIndex& index, const std::vector<XmlKey>& keys);

@@ -11,6 +11,7 @@
 #include "core/gminimum_cover.h"
 #include "core/naive_cover.h"
 #include "core/propagation.h"
+#include "keys/delta.h"
 #include "keys/discovery.h"
 #include "keys/foreign_key.h"
 #include "keys/implication.h"
@@ -31,6 +32,7 @@
 #include "transform/eval.h"
 #include "transform/rule_parser.h"
 #include "xml/parser.h"
+#include "xml/stream_parser.h"
 #include "xml/tree_index.h"
 #include "xml/writer.h"
 
@@ -70,12 +72,22 @@ observability (any command):
                   the same either way).
 
 commands:
-  check      --keys FILE --doc FILE [--fkeys FILE] [--index]
+  check      --keys FILE --doc FILE [--fkeys FILE] [--index] [--streaming]
              Check the document against XML keys (and, with --fkeys,
              foreign keys); list violations. --index routes the key check
              through the TreeIndex data plane (interned labels/values,
              set-at-a-time paths, parallel per-context checking — same
-             violations) and prints index statistics.
+             violations) and prints index statistics. --streaming builds
+             that index with the fused single-pass parser (implies
+             --index; identical output, the stats line times the fused
+             parse+index).
+  edit-check --keys FILE --doc FILE --fragment FILE [--under LABEL]
+             The import scenario, incrementally: check the document once,
+             graft the fragment's root under the first element labelled
+             LABEL (default: the document root), and re-check only the
+             (key, context) pairs the edit's dirty Euler range can
+             affect. Reports the recheck ratio, resolved and new
+             violations, and both timings.
   implies    --keys FILE --key "(C, (T, {@a,...}))"
              Decide Σ ⊨ φ (Algorithm implication).
   propagate  --keys FILE --rules FILE --relation NAME --fd "a, b -> c"
@@ -92,11 +104,12 @@ commands:
   design     --keys FILE --rules FILE [--relation NAME] [--sql] [--3nf]
              Minimum cover + BCNF (default) or 3NF design; --sql prints
              CREATE TABLE DDL.
-  shred      --rules FILE --doc FILE [--sql | --csv] [--index]
+  shred      --rules FILE --doc FILE [--sql | --csv] [--index] [--streaming]
              Evaluate the transformation; --sql prints INSERT statements,
              --csv prints one CSV block per relation. --index shreds
              through the TreeIndex data plane (identical tuples) and
-             prints index statistics as a comment line.
+             prints index statistics as a comment line; --streaming
+             builds that index with the fused single-pass parser.
   publish    --keys FILE --rules FILE --data FILE.csv [--relation NAME]
              [--root LABEL]
              Inverse shredding: reconstruct a canonical XML document from
@@ -149,7 +162,8 @@ Result<ParsedArgs> ParseArgs(const std::vector<std::string>& args) {
     // consumes the next arg.
     if (name == "sql" || name == "naive" || name == "3nf" ||
         name == "via-cover" || name == "csv" || name == "explain" ||
-        name == "engine" || name == "index" || name == "no-closure-index") {
+        name == "engine" || name == "index" || name == "no-closure-index" ||
+        name == "streaming") {
       parsed.flags[name] = "true";
     } else if (name == "trace" || name == "metrics" || name == "profile") {
       parsed.flags[name] = "";
@@ -202,20 +216,39 @@ Result<Transformation> LoadRules(const ParsedArgs& args) {
   return ParseTransformation(text);
 }
 
-// Builds a TreeIndex over `doc`, timing the build and rendering the
-// "--index" stats line (prefix from CommentPrefix).
-TreeIndex BuildIndexWithStats(const Tree& doc, const char* prefix,
-                              std::ostream& out) {
-  const auto start = std::chrono::steady_clock::now();
-  TreeIndex index(doc);
-  const double ms = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
-  out << prefix << "index: " << doc.size() << " nodes ("
-      << index.element_count() << " elements, " << index.attribute_count()
-      << " attributes), " << index.label_count() << " labels, "
-      << index.value_count() << " attr values, built in " << ms << " ms\n";
-  return index;
+// Loads --doc and builds its TreeIndex: by default the classic
+// parse-then-index two-pass, with --streaming through the fused
+// single-pass plane (ParseXmlIndexed). Either way the same stats line is
+// printed; for the two-pass path the timing covers the index build only
+// (matching the historical --index output), for streaming it is the
+// whole fused parse+index.
+Result<IndexedDoc> LoadIndexedDoc(const ParsedArgs& args, const char* prefix,
+                                  std::ostream& out) {
+  if (!args.Has("doc")) return Status::InvalidArgument("missing --doc FILE");
+  XMLPROP_ASSIGN_OR_RETURN(std::string text, ReadFile(args.Get("doc")));
+  IndexedDoc doc;
+  double ms = 0;
+  if (args.Has("streaming")) {
+    const auto start = std::chrono::steady_clock::now();
+    XMLPROP_ASSIGN_OR_RETURN(doc, ParseXmlIndexed(text));
+    ms = std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+             .count();
+  } else {
+    XMLPROP_ASSIGN_OR_RETURN(Tree tree, ParseXml(text));
+    doc.tree = std::make_unique<Tree>(std::move(tree));
+    const auto start = std::chrono::steady_clock::now();
+    doc.index = std::make_unique<TreeIndex>(*doc.tree);
+    ms = std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+             .count();
+  }
+  out << prefix << "index: " << doc.tree->size() << " nodes ("
+      << doc.index->element_count() << " elements, "
+      << doc.index->attribute_count() << " attributes), "
+      << doc.index->label_count() << " labels, " << doc.index->value_count()
+      << " attr values, built in " << ms << " ms\n";
+  return doc;
 }
 
 // The rule named --relation, or the only rule of the transformation.
@@ -231,29 +264,36 @@ Result<const TableRule*> SelectRule(const Transformation& t,
 int CmdCheck(const ParsedArgs& args, std::ostream& out) {
   Result<std::vector<XmlKey>> keys = LoadKeys(args);
   if (!keys.ok()) throw keys.status();
-  Result<Tree> doc = LoadDoc(args);
-  if (!doc.ok()) throw doc.status();
 
+  // --streaming implies the index plane (the fused parser produces it).
+  const bool use_index = args.Has("index") || args.Has("streaming");
+  IndexedDoc indexed;
+  Result<Tree> plain = Status::Internal("unused");
   std::vector<TaggedViolation> violations;
-  if (args.Has("index")) {
-    TreeIndex index = BuildIndexWithStats(*doc, CommentPrefix(args), out);
+  if (use_index) {
+    Result<IndexedDoc> loaded = LoadIndexedDoc(args, CommentPrefix(args), out);
+    if (!loaded.ok()) throw loaded.status();
+    indexed = std::move(*loaded);
     ThreadPool pool;
     CheckStats stats;
     CheckOptions options;
     options.pool = &pool;
     options.stats = &stats;
-    violations = CheckAll(index, *keys, options);
+    violations = CheckAll(*indexed.index, *keys, options);
     out << "check: " << stats.contexts << " context nodes ("
         << stats.context_sets << " shared context sets, " << stats.target_sets
         << " target sets), " << stats.tasks << " tasks on " << pool.size()
         << " threads\n";
   } else {
-    violations = CheckAll(*doc, *keys);
+    plain = LoadDoc(args);
+    if (!plain.ok()) throw plain.status();
+    violations = CheckAll(*plain, *keys);
   }
+  const Tree& doc = use_index ? *indexed.tree : *plain;
   size_t total = 0;
   for (const TaggedViolation& tv : violations) {
     out << "VIOLATION: "
-        << tv.violation.Describe(*doc, (*keys)[tv.key_index]) << "\n";
+        << tv.violation.Describe(doc, (*keys)[tv.key_index]) << "\n";
     ++total;
   }
 
@@ -265,8 +305,8 @@ int CmdCheck(const ParsedArgs& args, std::ostream& out) {
     if (!fks.ok()) throw fks.status();
     constraint_count += fks->size();
     for (const XmlForeignKey& fk : *fks) {
-      for (const ForeignKeyViolation& v : CheckForeignKey(*doc, fk)) {
-        out << "VIOLATION: " << v.Describe(*doc, fk) << "\n";
+      for (const ForeignKeyViolation& v : CheckForeignKey(doc, fk)) {
+        out << "VIOLATION: " << v.Describe(doc, fk) << "\n";
         ++total;
       }
     }
@@ -278,6 +318,83 @@ int CmdCheck(const ParsedArgs& args, std::ostream& out) {
     return 0;
   }
   out << total << " violation(s)\n";
+  return 2;
+}
+
+// edit-check: the paper's import scenario measured end to end — one full
+// check of the document, then a fragment graft whose re-check is scoped
+// by the delta plane (keys/delta.h) to the (key, context) pairs the
+// dirty Euler range can affect.
+int CmdEditCheck(const ParsedArgs& args, std::ostream& out) {
+  Result<std::vector<XmlKey>> keys = LoadKeys(args);
+  if (!keys.ok()) throw keys.status();
+  Result<Tree> doc = LoadDoc(args);
+  if (!doc.ok()) throw doc.status();
+  if (!args.Has("fragment")) {
+    throw Status::InvalidArgument("missing --fragment FILE");
+  }
+  Result<std::string> fragment_text = ReadFile(args.Get("fragment"));
+  if (!fragment_text.ok()) throw fragment_text.status();
+  Result<Tree> fragment = ParseXml(*fragment_text);
+  if (!fragment.ok()) throw fragment.status();
+
+  // Seed: index the document and run the one full check that builds the
+  // per-context verdict cache.
+  const size_t key_count = keys->size();
+  const auto seed_start = std::chrono::steady_clock::now();
+  DeltaDoc delta(std::move(*doc), std::move(*keys));
+  const double seed_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - seed_start)
+                             .count();
+  out << "seed: " << delta.tree().size() << " nodes, " << key_count
+      << " key(s), full check in " << seed_ms << " ms, "
+      << delta.violation_count() << " violation(s)\n";
+
+  // Insertion point: the first element labelled --under in document
+  // order, or the root.
+  NodeId parent = delta.tree().root();
+  if (args.Has("under")) {
+    const std::string& label = args.Get("under");
+    bool found = false;
+    for (NodeId id : delta.tree().DescendantsOrSelf(delta.tree().root())) {
+      if (delta.tree().node(id).label == label) {
+        parent = id;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw Status::NotFound("no element labelled <" + label + "> in --doc");
+    }
+  }
+
+  const auto edit_start = std::chrono::steady_clock::now();
+  Result<EditDelta> edit = delta.InsertSubtree(parent, *fragment);
+  if (!edit.ok()) throw edit.status();
+  const double edit_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - edit_start)
+                             .count();
+  out << "edit: +" << edit->elements_added << " element(s) under <"
+      << delta.tree().node(parent).label << ">, dirty euler range ["
+      << edit->dirty_begin << ", " << edit->dirty_end
+      << "), patched and re-checked in " << edit_ms << " ms\n";
+  out << "recheck: " << edit->pairs_rechecked << " of " << edit->pairs_total
+      << " (key, context) pair(s)\n";
+  for (const TaggedViolation& tv : edit->removed) {
+    out << "RESOLVED: "
+        << tv.violation.Describe(delta.tree(), delta.keys()[tv.key_index])
+        << "\n";
+  }
+  for (const TaggedViolation& tv : edit->added) {
+    out << "NEW VIOLATION: "
+        << tv.violation.Describe(delta.tree(), delta.keys()[tv.key_index])
+        << "\n";
+  }
+  if (delta.violation_count() == 0) {
+    out << "OK: edited document satisfies all " << key_count << " key(s)\n";
+    return 0;
+  }
+  out << delta.violation_count() << " violation(s) after edit\n";
   return 2;
 }
 
@@ -412,13 +529,14 @@ int CmdDesign(const ParsedArgs& args, std::ostream& out) {
 int CmdShred(const ParsedArgs& args, std::ostream& out) {
   Result<Transformation> rules = LoadRules(args);
   if (!rules.ok()) throw rules.status();
-  Result<Tree> doc = LoadDoc(args);
-  if (!doc.ok()) throw doc.status();
   Result<std::vector<Instance>> instances = Status::Internal("unreached");
-  if (args.Has("index")) {
-    TreeIndex index = BuildIndexWithStats(*doc, CommentPrefix(args), out);
-    instances = EvalTransformation(index, *rules);
+  if (args.Has("index") || args.Has("streaming")) {
+    Result<IndexedDoc> loaded = LoadIndexedDoc(args, CommentPrefix(args), out);
+    if (!loaded.ok()) throw loaded.status();
+    instances = EvalTransformation(*loaded->index, *rules);
   } else {
+    Result<Tree> doc = LoadDoc(args);
+    if (!doc.ok()) throw doc.status();
     instances = EvalTransformation(*doc, *rules);
   }
   if (!instances.ok()) throw instances.status();
@@ -563,6 +681,7 @@ int DispatchCommand(const ParsedArgs& parsed, std::ostream& out) {
   if (parsed.Has("no-closure-index")) no_closure_index.emplace();
   const std::string& cmd = parsed.command;
   if (cmd == "check") return CmdCheck(parsed, out);
+  if (cmd == "edit-check") return CmdEditCheck(parsed, out);
   if (cmd == "implies") return CmdImplies(parsed, out);
   if (cmd == "propagate") return CmdPropagate(parsed, out);
   if (cmd == "cover") return CmdCover(parsed, out);

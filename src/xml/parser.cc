@@ -1,471 +1,56 @@
 #include "xml/parser.h"
 
-#include <cctype>
-#include <cstdint>
-#include <cstring>
+#include <chrono>
+#include <optional>
 #include <string>
-#include <vector>
+#include <utility>
 
-#include "common/str_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "xml/parser_core.h"
 
 namespace xmlprop {
 
 namespace {
 
-// Byte-class tables so the scanning loops test one array load per byte
-// instead of calling the out-of-line character predicates.
-struct CharTables {
-  bool name_start[256];
-  bool name[256];
-  bool ws[256];
-};
-
-const CharTables& Tables() {
-  static const CharTables tables = [] {
-    CharTables t{};
-    for (int c = 0; c < 256; ++c) {
-      t.name_start[c] = IsNameStartChar(static_cast<char>(c));
-      t.name[c] = IsNameChar(static_cast<char>(c));
-      t.ws[c] = std::isspace(c) != 0;
-    }
-    return t;
-  }();
-  return tables;
-}
-
-// Non-recursive XML parser emitting directly into the flat Tree core.
-// Text runs, attribute values and skipped sections advance by memchr/find
-// over the raw bytes; line/column positions are only computed when an
-// error is actually reported. The grammar subset is documented on
-// ParseXml in parser.h.
-class Parser {
+// DOM-building sink for the shared ParserCore grammar: every event maps
+// onto the public Tree mutators the pre-core parser called, in the same
+// order, so the produced trees are bit-identical to that parser's.
+class TreeSink {
  public:
-  Parser(std::string_view input, const ParseOptions& options)
-      : input_(input), options_(options) {}
+  explicit TreeSink(const ParseOptions& /*options*/) {}
 
-  Result<Tree> Parse() {
-    SkipProlog();
-    if (AtEnd() || input_[pos_] != '<') {
-      return Error("expected root element");
-    }
-    ++pos_;
-    XMLPROP_ASSIGN_OR_RETURN(std::string_view root_name, ScanName());
-    Tree tree(root_name);
-    tree.Reserve(input_.size() / 16 + 8, input_.size());
-    bool self_closing = false;
-    XMLPROP_RETURN_NOT_OK(
-        ParseTagRest(&tree, tree.root(), root_name, &self_closing));
-    if (!self_closing) {
-      XMLPROP_RETURN_NOT_OK(ParseContent(&tree, tree.root(), root_name));
-    }
-    SkipMisc();
-    if (!AtEnd()) {
-      return Error("content after document element");
-    }
-    return tree;
+  void BeginDocument(std::string_view root_name, size_t size_hint) {
+    tree_.emplace(root_name);
+    tree_->Reserve(size_hint / 16 + 8, size_hint);
   }
+
+  NodeId root() const { return tree_->root(); }
+
+  NodeId CreateElement(NodeId parent, std::string_view label) {
+    return tree_->CreateElement(parent, label);
+  }
+
+  bool HasAttribute(NodeId elem, std::string_view name) const {
+    return tree_->FindAttribute(elem, name).has_value();
+  }
+
+  Status AddAttribute(NodeId elem, std::string_view name,
+                      std::string_view value) {
+    Result<NodeId> r = tree_->CreateAttribute(elem, name, value);
+    return r.ok() ? Status::OK() : r.status();
+  }
+
+  void AddText(NodeId elem, std::string_view text) {
+    tree_->CreateText(elem, text);
+  }
+
+  void CloseElement(NodeId /*elem*/) {}
+
+  Tree TakeTree() { return std::move(*tree_); }
 
  private:
-  bool AtEnd() const { return pos_ >= input_.size(); }
-
-  // 1-based line:column derived lazily from pos_ — exactly what the
-  // incremental counter the char-at-a-time parser maintained would say.
-  Status Error(std::string_view what) const {
-    size_t line = 1;
-    size_t last_nl = std::string_view::npos;
-    const char* data = input_.data();
-    const char* p = data;
-    const char* limit = data + pos_;
-    while (p < limit) {
-      const void* nl = std::memchr(p, '\n', static_cast<size_t>(limit - p));
-      if (nl == nullptr) break;
-      ++line;
-      last_nl = static_cast<size_t>(static_cast<const char*>(nl) - data);
-      p = static_cast<const char*>(nl) + 1;
-    }
-    const size_t col =
-        (last_nl == std::string_view::npos) ? pos_ + 1 : pos_ - last_nl;
-    return Status::ParseError("XML parse error at " + std::to_string(line) +
-                              ":" + std::to_string(col) + ": " +
-                              std::string(what));
-  }
-
-  // Index of `c` in input_[from, to), or `to` when absent.
-  size_t FindByte(char c, size_t from, size_t to) const {
-    const void* p = std::memchr(input_.data() + from, c, to - from);
-    return p == nullptr
-               ? to
-               : static_cast<size_t>(static_cast<const char*>(p) -
-                                     input_.data());
-  }
-
-  bool ConsumePrefix(std::string_view prefix) {
-    if (input_.compare(pos_, prefix.size(), prefix) != 0) return false;
-    pos_ += prefix.size();
-    return true;
-  }
-
-  void SkipWhitespace() {
-    const bool* ws = Tables().ws;
-    while (pos_ < input_.size() &&
-           ws[static_cast<unsigned char>(input_[pos_])]) {
-      ++pos_;
-    }
-  }
-
-  void SkipUntil(std::string_view terminator) {
-    const size_t found = input_.find(terminator, pos_);
-    pos_ = (found == std::string_view::npos) ? input_.size()
-                                             : found + terminator.size();
-  }
-
-  // Consumes a DOCTYPE body up to its closing '>', skipping over a
-  // bracketed internal subset if present.
-  void SkipDoctype() {
-    int bracket_depth = 0;
-    while (!AtEnd()) {
-      const char c = input_[pos_];
-      if (c == '[') {
-        ++bracket_depth;
-      } else if (c == ']') {
-        --bracket_depth;
-      } else if (c == '>' && bracket_depth <= 0) {
-        ++pos_;
-        return;
-      }
-      ++pos_;
-    }
-  }
-
-  // Skips the XML declaration, DOCTYPE, comments, PIs and whitespace
-  // before the root element.
-  void SkipProlog() {
-    while (!AtEnd()) {
-      SkipWhitespace();
-      if (ConsumePrefix("<?")) {
-        SkipUntil("?>");
-      } else if (ConsumePrefix("<!--")) {
-        SkipUntil("-->");
-      } else if (ConsumePrefix("<!DOCTYPE")) {
-        SkipDoctype();
-      } else {
-        return;
-      }
-    }
-  }
-
-  // Skips comments, PIs and whitespace after the document element.
-  void SkipMisc() {
-    while (!AtEnd()) {
-      SkipWhitespace();
-      if (ConsumePrefix("<!--")) {
-        SkipUntil("-->");
-      } else if (ConsumePrefix("<?")) {
-        SkipUntil("?>");
-      } else {
-        return;
-      }
-    }
-  }
-
-  Result<std::string_view> ScanName() {
-    const CharTables& t = Tables();
-    if (AtEnd() ||
-        !t.name_start[static_cast<unsigned char>(input_[pos_])]) {
-      return Error("expected a name");
-    }
-    const size_t start = pos_;
-    while (pos_ < input_.size() &&
-           t.name[static_cast<unsigned char>(input_[pos_])]) {
-      ++pos_;
-    }
-    return input_.substr(start, pos_ - start);
-  }
-
-  static void EncodeUtf8(uint32_t code, std::string* out) {
-    if (code < 0x80) {
-      out->push_back(static_cast<char>(code));
-    } else if (code < 0x800) {
-      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
-      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    } else if (code < 0x10000) {
-      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
-      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    } else {
-      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
-      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
-      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    }
-  }
-
-  // Decodes one entity/char reference after the '&' has been consumed,
-  // appending the decoded bytes to `out`.
-  Status ParseReference(std::string* out) {
-    const size_t semi = input_.find(';', pos_);
-    if (semi == std::string_view::npos || semi - pos_ > 10) {
-      return Error("unterminated entity reference");
-    }
-    const std::string_view body = input_.substr(pos_, semi - pos_);
-    pos_ = semi + 1;
-    if (body == "lt") {
-      out->push_back('<');
-      return Status::OK();
-    }
-    if (body == "gt") {
-      out->push_back('>');
-      return Status::OK();
-    }
-    if (body == "amp") {
-      out->push_back('&');
-      return Status::OK();
-    }
-    if (body == "apos") {
-      out->push_back('\'');
-      return Status::OK();
-    }
-    if (body == "quot") {
-      out->push_back('"');
-      return Status::OK();
-    }
-    if (!body.empty() && body[0] == '#') {
-      uint32_t code = 0;
-      const bool hex = body.size() > 1 && (body[1] == 'x' || body[1] == 'X');
-      const std::string_view digits = body.substr(hex ? 2 : 1);
-      if (digits.empty()) return Error("empty character reference");
-      for (char c : digits) {
-        uint32_t d;
-        if (c >= '0' && c <= '9') {
-          d = static_cast<uint32_t>(c - '0');
-        } else if (hex && c >= 'a' && c <= 'f') {
-          d = static_cast<uint32_t>(c - 'a' + 10);
-        } else if (hex && c >= 'A' && c <= 'F') {
-          d = static_cast<uint32_t>(c - 'A' + 10);
-        } else {
-          return Error("malformed character reference &" + std::string(body) +
-                       ";");
-        }
-        code = code * (hex ? 16 : 10) + d;
-        if (code > 0x10FFFF) {
-          return Error("character reference out of range");
-        }
-      }
-      EncodeUtf8(code, out);
-      return Status::OK();
-    }
-    return Error("unknown entity &" + std::string(body) + ";");
-  }
-
-  // Parses a quoted attribute value. Entity-free values are returned as a
-  // zero-copy slice of the input; decoding falls back to the reused
-  // scratch buffer. The returned view is valid until the next call.
-  Result<std::string_view> ParseAttributeValue() {
-    if (AtEnd() || (input_[pos_] != '"' && input_[pos_] != '\'')) {
-      return Error("expected quoted attribute value");
-    }
-    const char quote = input_[pos_];
-    ++pos_;
-    const size_t start = pos_;
-    bool buffered = false;
-    while (true) {
-      const size_t q = FindByte(quote, pos_, input_.size());
-      const size_t lt = FindByte('<', pos_, q);
-      const size_t amp = FindByte('&', pos_, lt);
-      if (amp < lt) {
-        if (!buffered) {
-          attr_buf_.assign(input_.data() + start, pos_ - start);
-          buffered = true;
-        }
-        attr_buf_.append(input_.data() + pos_, amp - pos_);
-        pos_ = amp + 1;
-        XMLPROP_RETURN_NOT_OK(ParseReference(&attr_buf_));
-        continue;
-      }
-      if (lt < q) {
-        pos_ = lt;
-        return Error("'<' in attribute value");
-      }
-      if (q == input_.size()) {
-        pos_ = input_.size();
-        return Error("unterminated attribute value");
-      }
-      std::string_view value;
-      if (buffered) {
-        attr_buf_.append(input_.data() + pos_, q - pos_);
-        value = attr_buf_;
-      } else {
-        value = input_.substr(start, q - start);
-      }
-      pos_ = q + 1;
-      return value;
-    }
-  }
-
-  // Parses the remainder of a start tag (attributes and the closing '>'
-  // or '/>'); the element already exists so attributes go straight into
-  // the tree.
-  Status ParseTagRest(Tree* tree, NodeId elem, std::string_view name,
-                      bool* self_closing) {
-    while (true) {
-      SkipWhitespace();
-      if (AtEnd()) {
-        return Error("unterminated start tag <" + std::string(name));
-      }
-      if (ConsumePrefix("/>")) {
-        *self_closing = true;
-        return Status::OK();
-      }
-      if (ConsumePrefix(">")) {
-        *self_closing = false;
-        return Status::OK();
-      }
-      XMLPROP_ASSIGN_OR_RETURN(std::string_view attr_name, ScanName());
-      SkipWhitespace();
-      if (!ConsumePrefix("=")) {
-        return Error("expected '=' after attribute " + std::string(attr_name));
-      }
-      SkipWhitespace();
-      XMLPROP_ASSIGN_OR_RETURN(std::string_view value, ParseAttributeValue());
-      if (tree->FindAttribute(elem, attr_name).has_value()) {
-        return Error("duplicate attribute @" + std::string(attr_name) +
-                     " on <" + std::string(name) + ">");
-      }
-      Result<NodeId> r = tree->CreateAttribute(elem, attr_name, value);
-      if (!r.ok()) return Error(r.status().message());
-    }
-  }
-
-  // --- Text-run accumulation. ------------------------------------------
-  // A run is everything between two element boundaries (start or end
-  // tags); comments, PIs and CDATA sections do not break it. The common
-  // case — one contiguous chunk of raw input — stays a zero-copy slice;
-  // entity decodes and split segments fall back to the scratch buffer.
-
-  void AddRaw(size_t begin, size_t end) {
-    if (begin == end) return;
-    if (!text_buffered_) {
-      if (slice_len_ == 0) {
-        slice_start_ = begin;
-        slice_len_ = end - begin;
-        return;
-      }
-      if (slice_start_ + slice_len_ == begin) {
-        slice_len_ += end - begin;
-        return;
-      }
-      text_buf_.assign(input_.data() + slice_start_, slice_len_);
-      text_buffered_ = true;
-    }
-    text_buf_.append(input_.data() + begin, end - begin);
-  }
-
-  std::string* DecodeTarget() {
-    if (!text_buffered_) {
-      text_buf_.assign(input_.data() + slice_start_, slice_len_);
-      text_buffered_ = true;
-    }
-    return &text_buf_;
-  }
-
-  void FlushText(Tree* tree, NodeId elem) {
-    const std::string_view text =
-        text_buffered_ ? std::string_view(text_buf_)
-                       : input_.substr(slice_start_, slice_len_);
-    if (!text.empty()) {
-      if (options_.keep_whitespace_text || !TrimWhitespace(text).empty()) {
-        tree->CreateText(elem, text);
-      }
-    }
-    text_buffered_ = false;
-    text_buf_.clear();
-    slice_start_ = 0;
-    slice_len_ = 0;
-  }
-
-  // Parses element content with an explicit open-element stack; depth is
-  // bounded by memory, not the call stack.
-  Status ParseContent(Tree* tree, NodeId root_elem,
-                      std::string_view root_name) {
-    struct Open {
-      NodeId elem;
-      std::string_view name;
-    };
-    std::vector<Open> stack;
-    stack.push_back(Open{root_elem, root_name});
-    while (true) {
-      Open& top = stack.back();
-      // Bulk-scan the text run: everything up to the next '<', minus any
-      // entity references on the way.
-      const size_t lt = FindByte('<', pos_, input_.size());
-      const size_t amp = FindByte('&', pos_, lt);
-      if (amp < lt) {
-        AddRaw(pos_, amp);
-        pos_ = amp + 1;
-        XMLPROP_RETURN_NOT_OK(ParseReference(DecodeTarget()));
-        continue;
-      }
-      if (lt == input_.size()) {
-        pos_ = input_.size();
-        return Error("unterminated element <" + std::string(top.name) + ">");
-      }
-      AddRaw(pos_, lt);
-      pos_ = lt;
-      if (ConsumePrefix("</")) {
-        FlushText(tree, top.elem);
-        XMLPROP_ASSIGN_OR_RETURN(std::string_view name, ScanName());
-        SkipWhitespace();
-        if (!ConsumePrefix(">")) {
-          return Error("malformed end tag </" + std::string(name));
-        }
-        if (name != top.name) {
-          return Error("mismatched end tag: expected </" +
-                       std::string(top.name) + ">, found </" +
-                       std::string(name) + ">");
-        }
-        stack.pop_back();
-        if (stack.empty()) return Status::OK();
-        continue;
-      }
-      if (ConsumePrefix("<!--")) {
-        SkipUntil("-->");
-        continue;
-      }
-      if (ConsumePrefix("<![CDATA[")) {
-        const size_t end = input_.find("]]>", pos_);
-        if (end == std::string_view::npos) {
-          return Error("unterminated CDATA section");
-        }
-        AddRaw(pos_, end);
-        pos_ = end + 3;
-        continue;
-      }
-      if (ConsumePrefix("<?")) {
-        SkipUntil("?>");
-        continue;
-      }
-      // Start tag of a child element.
-      FlushText(tree, top.elem);
-      ++pos_;  // '<'
-      XMLPROP_ASSIGN_OR_RETURN(std::string_view name, ScanName());
-      const NodeId child = tree->CreateElement(top.elem, name);
-      bool self_closing = false;
-      XMLPROP_RETURN_NOT_OK(ParseTagRest(tree, child, name, &self_closing));
-      if (!self_closing) stack.push_back(Open{child, name});
-    }
-  }
-
-  std::string_view input_;
-  ParseOptions options_;
-  size_t pos_ = 0;
-
-  std::string attr_buf_;
-  std::string text_buf_;
-  bool text_buffered_ = false;
-  size_t slice_start_ = 0;
-  size_t slice_len_ = 0;
+  std::optional<Tree> tree_;
 };
 
 }  // namespace
@@ -473,13 +58,23 @@ class Parser {
 Result<Tree> ParseXml(std::string_view input, const ParseOptions& options) {
   obs::Span span("xml.parse");
   obs::Count("xml.parse_calls");
-  Parser parser(input, options);
-  Result<Tree> result = parser.Parse();
-  if (result.ok()) {
-    obs::Count("xml.parsed_nodes", result.value().size());
-    obs::Count("xml.arena_bytes", result.value().arena_bytes());
+  const auto start = std::chrono::steady_clock::now();
+  TreeSink sink(options);
+  xml_internal::ParserCore<TreeSink> core(&sink, options);
+  Result<bool> done = core.Pump(input, /*final=*/true);
+  if (!done.ok()) return done.status();
+  Tree tree = sink.TakeTree();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (seconds > 0) {
+    obs::Gauge("xml.parse_mb_per_s",
+               static_cast<int64_t>(
+                   static_cast<double>(input.size()) / 1048576.0 / seconds));
   }
-  return result;
+  obs::Count("xml.parsed_nodes", tree.size());
+  obs::Count("xml.arena_bytes", tree.arena_bytes());
+  return tree;
 }
 
 }  // namespace xmlprop

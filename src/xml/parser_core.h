@@ -1,0 +1,750 @@
+#ifndef XMLPROP_XML_PARSER_CORE_H_
+#define XMLPROP_XML_PARSER_CORE_H_
+
+// The XML tokenizer/grammar shared by the two parse planes (DESIGN.md
+// "Streaming + incremental plane"): ParseXml's DOM-building sink and the
+// streaming parse-to-index sink both instantiate ParserCore with their
+// builder, so there is exactly one grammar, one entity decoder and one
+// error formatter. The scanning loops advance by memchr over the raw
+// bytes (the flat-core parser's vectorized form); builders only see
+// structural events:
+//
+//   BeginDocument(root_name, size_hint)   once, at the root start tag
+//   CreateElement(parent, label) -> id    child start tag
+//   HasAttribute(elem, name)              well-formedness dup check
+//   AddAttribute(elem, name, value)       -> Status
+//   AddText(elem, text)                   one coalesced text run
+//   CloseElement(elem)                    end tag / self-close, post-order
+//
+// The core is resumable: Pump(input, final=false) parses as many
+// *complete* constructs as the buffer holds and suspends (returning
+// false) at a construct that may continue in the next chunk, so a
+// chunked caller never needs builder rollback. Single-shot callers pass
+// final=true and pay none of the completeness pre-scans.
+
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "xml/node.h"
+#include "xml/parser.h"
+
+namespace xmlprop {
+namespace xml_internal {
+
+// Byte-class tables so the scanning loops test one array load per byte
+// instead of calling the out-of-line character predicates.
+struct CharTables {
+  bool name_start[256];
+  bool name[256];
+  bool ws[256];
+};
+
+inline const CharTables& Tables() {
+  static const CharTables tables = [] {
+    CharTables t{};
+    for (int c = 0; c < 256; ++c) {
+      t.name_start[c] = IsNameStartChar(static_cast<char>(c));
+      t.name[c] = IsNameChar(static_cast<char>(c));
+      t.ws[c] = std::isspace(c) != 0;
+    }
+    return t;
+  }();
+  return tables;
+}
+
+template <class Builder>
+class ParserCore {
+ public:
+  ParserCore(Builder* builder, const ParseOptions& options)
+      : builder_(builder), options_(options) {}
+
+  /// Parses as far as `input` allows. Returns true when the document is
+  /// complete, false when more input is required (only with
+  /// final=false), or an error Status. On a false return, consumed()
+  /// bytes of `input` are done with; the caller re-Pumps with the
+  /// unconsumed tail prepended to the next chunk (positions rebase via
+  /// DiscardedPrefix).
+  Result<bool> Pump(std::string_view input, bool final) {
+    input_ = input;
+    final_ = final;
+    if (stage_ == Stage::kProlog) {
+      // The root start tag is parsed in one piece, so kProlog only
+      // advances to kContent/kMisc once the whole tag is buffered.
+      if (!SkipProlog()) return Suspend();
+      if (AtEnd() || input_[pos_] != '<') {
+        if (AtEnd() && !final_) return Suspend();
+        return Error("expected root element");
+      }
+      if (!final_ && !StartTagComplete(pos_)) return Suspend();
+      ++pos_;
+      XMLPROP_ASSIGN_OR_RETURN(std::string_view root_name, ScanName());
+      builder_->BeginDocument(root_name, input_.size());
+      bool self_closing = false;
+      XMLPROP_RETURN_NOT_OK(
+          ParseTagRest(builder_->root(), root_name, &self_closing));
+      if (self_closing) {
+        builder_->CloseElement(builder_->root());
+        stage_ = Stage::kMisc;
+      } else {
+        stack_.push_back(Open{builder_->root(), std::string(root_name)});
+        stage_ = Stage::kContent;
+      }
+    }
+    if (stage_ == Stage::kContent) {
+      XMLPROP_ASSIGN_OR_RETURN(bool done, ParseContent());
+      if (!done) return Suspend();
+      stage_ = Stage::kMisc;
+    }
+    if (stage_ == Stage::kMisc) {
+      XMLPROP_ASSIGN_OR_RETURN(bool done, SkipMisc());
+      if (!done) return Suspend();
+      if (!AtEnd()) return Error("content after document element");
+      stage_ = Stage::kDone;
+    }
+    return true;
+  }
+
+  /// Bytes of the last Pump input that are fully consumed; the caller
+  /// drops them and calls DiscardedPrefix so error positions stay
+  /// global.
+  size_t consumed() const { return pos_; }
+
+  /// Rebase after the caller dropped `prefix` (the consumed bytes).
+  void DiscardedPrefix(std::string_view prefix) {
+    const char* p = prefix.data();
+    const char* limit = p + prefix.size();
+    size_t last_nl = std::string_view::npos;
+    while (p < limit) {
+      const void* nl = std::memchr(p, '\n', static_cast<size_t>(limit - p));
+      if (nl == nullptr) break;
+      ++pre_lines_;
+      last_nl = static_cast<size_t>(static_cast<const char*>(nl) -
+                                    prefix.data());
+      p = static_cast<const char*>(nl) + 1;
+    }
+    if (last_nl == std::string_view::npos) {
+      pre_chars_since_nl_ += prefix.size();
+    } else {
+      pre_chars_since_nl_ = prefix.size() - (last_nl + 1);
+    }
+    pos_ = 0;
+  }
+
+ private:
+  enum class Stage { kProlog, kContent, kMisc, kDone };
+  struct Open {
+    NodeId elem;
+    // Owned: in chunked mode the buffer bytes move between pumps.
+    std::string name;
+  };
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+
+  // Suspension point: buffer any pending zero-copy text slice (the
+  // backing bytes move before the next Pump) and report "need more".
+  Result<bool> Suspend() {
+    if (slice_len_ != 0 && !text_buffered_) DecodeTarget();
+    return false;
+  }
+
+  // 1-based line:column derived lazily from pos_ — exactly what the
+  // incremental counter the char-at-a-time parser maintained would say.
+  // pre_lines_/pre_chars_since_nl_ fold in chunks already discarded.
+  Status Error(std::string_view what) const {
+    size_t line = 1 + pre_lines_;
+    size_t last_nl = std::string_view::npos;
+    const char* data = input_.data();
+    const char* p = data;
+    const char* limit = data + pos_;
+    while (p < limit) {
+      const void* nl = std::memchr(p, '\n', static_cast<size_t>(limit - p));
+      if (nl == nullptr) break;
+      ++line;
+      last_nl = static_cast<size_t>(static_cast<const char*>(nl) - data);
+      p = static_cast<const char*>(nl) + 1;
+    }
+    const size_t col = (last_nl == std::string_view::npos)
+                           ? pre_chars_since_nl_ + pos_ + 1
+                           : pos_ - last_nl;
+    return Status::ParseError("XML parse error at " + std::to_string(line) +
+                              ":" + std::to_string(col) + ": " +
+                              std::string(what));
+  }
+
+  // Index of `c` in input_[from, to), or `to` when absent.
+  size_t FindByte(char c, size_t from, size_t to) const {
+    const void* p = std::memchr(input_.data() + from, c, to - from);
+    return p == nullptr
+               ? to
+               : static_cast<size_t>(static_cast<const char*>(p) -
+                                     input_.data());
+  }
+
+  bool ConsumePrefix(std::string_view prefix) {
+    if (input_.compare(pos_, prefix.size(), prefix) != 0) return false;
+    pos_ += prefix.size();
+    return true;
+  }
+
+  // True iff input_[at..] is a proper prefix of `construct` (so the next
+  // chunk could still complete it).
+  bool TruncatedPrefixOf(size_t at, std::string_view construct) const {
+    const size_t have = input_.size() - at;
+    return have < construct.size() &&
+           input_.compare(at, have, construct.substr(0, have)) == 0;
+  }
+
+  // --- Completeness pre-scans (chunked mode only). ----------------------
+  // Each answers "is the construct starting at `at` fully buffered?"
+  // without moving pos_ or touching the builder.
+
+  // A start/root tag: quote-aware scan for the closing '>'.
+  bool StartTagComplete(size_t at) const {
+    size_t i = at + 1;
+    while (i < input_.size()) {
+      const char c = input_[i];
+      if (c == '>') return true;
+      if (c == '"' || c == '\'') {
+        const size_t q = FindByte(c, i + 1, input_.size());
+        if (q == input_.size()) return false;
+        i = q + 1;
+        continue;
+      }
+      ++i;
+    }
+    return false;
+  }
+
+  bool DoctypeComplete(size_t at) const {
+    int bracket_depth = 0;
+    for (size_t i = at; i < input_.size(); ++i) {
+      const char c = input_[i];
+      if (c == '[') ++bracket_depth;
+      else if (c == ']') --bracket_depth;
+      else if (c == '>' && bracket_depth <= 0) return true;
+    }
+    return false;
+  }
+
+  // Classifies the construct at pos_ (which holds '<') in *content* and
+  // reports whether it is fully buffered. kTruncated = cannot classify
+  // yet.
+  enum class Construct {
+    kTruncated,
+    kEndTag,
+    kComment,
+    kCdata,
+    kPi,
+    kStartTag
+  };
+  Construct ClassifyContent(bool* complete) const {
+    const size_t at = pos_;
+    if (TruncatedPrefixOf(at, "<![CDATA[") || TruncatedPrefixOf(at, "<!--")) {
+      return Construct::kTruncated;
+    }
+    if (input_.compare(at, 2, "</") == 0) {
+      *complete = FindByte('>', at, input_.size()) != input_.size();
+      return Construct::kEndTag;
+    }
+    if (input_.compare(at, 4, "<!--") == 0) {
+      *complete = input_.find("-->", at + 4) != std::string_view::npos;
+      return Construct::kComment;
+    }
+    if (input_.compare(at, 9, "<![CDATA[") == 0) {
+      *complete = input_.find("]]>", at + 9) != std::string_view::npos;
+      return Construct::kCdata;
+    }
+    if (input_.compare(at, 2, "<?") == 0) {
+      *complete = input_.find("?>", at + 2) != std::string_view::npos;
+      return Construct::kPi;
+    }
+    if (at + 1 >= input_.size()) return Construct::kTruncated;
+    *complete = StartTagComplete(at);
+    return Construct::kStartTag;
+  }
+
+  void SkipWhitespace() {
+    const bool* ws = Tables().ws;
+    while (pos_ < input_.size() &&
+           ws[static_cast<unsigned char>(input_[pos_])]) {
+      ++pos_;
+    }
+  }
+
+  void SkipUntil(std::string_view terminator) {
+    const size_t found = input_.find(terminator, pos_);
+    pos_ = (found == std::string_view::npos) ? input_.size()
+                                             : found + terminator.size();
+  }
+
+  // Consumes a DOCTYPE body up to its closing '>', skipping over a
+  // bracketed internal subset if present.
+  void SkipDoctype() {
+    int bracket_depth = 0;
+    while (!AtEnd()) {
+      const char c = input_[pos_];
+      if (c == '[') {
+        ++bracket_depth;
+      } else if (c == ']') {
+        --bracket_depth;
+      } else if (c == '>' && bracket_depth <= 0) {
+        ++pos_;
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  // Skips the XML declaration, DOCTYPE, comments, PIs and whitespace
+  // before the root element. Returns false to suspend (chunked mode,
+  // construct not fully buffered).
+  bool SkipProlog() {
+    while (!AtEnd()) {
+      SkipWhitespace();
+      if (!final_ && !AtEnd() && input_[pos_] == '<') {
+        if (TruncatedPrefixOf(pos_, "<!DOCTYPE") ||
+            TruncatedPrefixOf(pos_, "<!--")) {
+          return false;
+        }
+        if (input_.compare(pos_, 2, "<?") == 0 &&
+            input_.find("?>", pos_ + 2) == std::string_view::npos) {
+          return false;
+        }
+        if (input_.compare(pos_, 4, "<!--") == 0 &&
+            input_.find("-->", pos_ + 4) == std::string_view::npos) {
+          return false;
+        }
+        if (input_.compare(pos_, 9, "<!DOCTYPE") == 0 &&
+            !DoctypeComplete(pos_ + 9)) {
+          return false;
+        }
+      }
+      if (ConsumePrefix("<?")) {
+        SkipUntil("?>");
+      } else if (ConsumePrefix("<!--")) {
+        SkipUntil("-->");
+      } else if (ConsumePrefix("<!DOCTYPE")) {
+        SkipDoctype();
+      } else {
+        return true;
+      }
+    }
+    return final_;
+  }
+
+  // Skips comments, PIs and whitespace after the document element.
+  // Returns false to suspend.
+  Result<bool> SkipMisc() {
+    while (!AtEnd()) {
+      SkipWhitespace();
+      if (!final_ && !AtEnd() && input_[pos_] == '<') {
+        if (TruncatedPrefixOf(pos_, "<!--")) return false;
+        if (input_.compare(pos_, 2, "<?") == 0 &&
+            input_.find("?>", pos_ + 2) == std::string_view::npos) {
+          return false;
+        }
+        if (input_.compare(pos_, 4, "<!--") == 0 &&
+            input_.find("-->", pos_ + 4) == std::string_view::npos) {
+          return false;
+        }
+      }
+      if (ConsumePrefix("<!--")) {
+        SkipUntil("-->");
+      } else if (ConsumePrefix("<?")) {
+        SkipUntil("?>");
+      } else {
+        return true;
+      }
+    }
+    return final_ ? Result<bool>(true) : Result<bool>(false);
+  }
+
+  Result<std::string_view> ScanName() {
+    const CharTables& t = Tables();
+    if (AtEnd() ||
+        !t.name_start[static_cast<unsigned char>(input_[pos_])]) {
+      return Error("expected a name");
+    }
+    const size_t start = pos_;
+    while (pos_ < input_.size() &&
+           t.name[static_cast<unsigned char>(input_[pos_])]) {
+      ++pos_;
+    }
+    return input_.substr(start, pos_ - start);
+  }
+
+  static void EncodeUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  // Decodes one entity/char reference after the '&' has been consumed,
+  // appending the decoded bytes to `out`.
+  Status ParseReference(std::string* out) {
+    const size_t semi = input_.find(';', pos_);
+    if (semi == std::string_view::npos || semi - pos_ > 10) {
+      return Error("unterminated entity reference");
+    }
+    const std::string_view body = input_.substr(pos_, semi - pos_);
+    pos_ = semi + 1;
+    if (body == "lt") {
+      out->push_back('<');
+      return Status::OK();
+    }
+    if (body == "gt") {
+      out->push_back('>');
+      return Status::OK();
+    }
+    if (body == "amp") {
+      out->push_back('&');
+      return Status::OK();
+    }
+    if (body == "apos") {
+      out->push_back('\'');
+      return Status::OK();
+    }
+    if (body == "quot") {
+      out->push_back('"');
+      return Status::OK();
+    }
+    if (!body.empty() && body[0] == '#') {
+      uint32_t code = 0;
+      const bool hex = body.size() > 1 && (body[1] == 'x' || body[1] == 'X');
+      const std::string_view digits = body.substr(hex ? 2 : 1);
+      if (digits.empty()) return Error("empty character reference");
+      for (char c : digits) {
+        uint32_t d;
+        if (c >= '0' && c <= '9') {
+          d = static_cast<uint32_t>(c - '0');
+        } else if (hex && c >= 'a' && c <= 'f') {
+          d = static_cast<uint32_t>(c - 'a' + 10);
+        } else if (hex && c >= 'A' && c <= 'F') {
+          d = static_cast<uint32_t>(c - 'A' + 10);
+        } else {
+          return Error("malformed character reference &" + std::string(body) +
+                       ";");
+        }
+        code = code * (hex ? 16 : 10) + d;
+        if (code > 0x10FFFF) {
+          return Error("character reference out of range");
+        }
+      }
+      EncodeUtf8(code, out);
+      return Status::OK();
+    }
+    return Error("unknown entity &" + std::string(body) + ";");
+  }
+
+  // Parses a quoted attribute value. Entity-free values are returned as a
+  // zero-copy slice of the input; decoding falls back to the reused
+  // scratch buffer. The returned view is valid until the next call.
+  Result<std::string_view> ParseAttributeValue() {
+    if (AtEnd() || (input_[pos_] != '"' && input_[pos_] != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    const char quote = input_[pos_];
+    ++pos_;
+    const size_t start = pos_;
+    // Fast path: attribute values are short, so one byte loop to the
+    // closing quote beats three memchr passes (quote, '<', '&'). Anything
+    // unusual — an entity, a stray '<', a 64+ byte value — falls through
+    // to the general loop below, which re-scans from `start`.
+    {
+      const char* base = input_.data();
+      const size_t fast = std::min(input_.size(), pos_ + 64);
+      size_t i = pos_;
+      while (i < fast && base[i] != quote && base[i] != '<' &&
+             base[i] != '&') {
+        ++i;
+      }
+      if (i < fast && base[i] == quote) {
+        pos_ = i + 1;
+        return input_.substr(start, i - start);
+      }
+    }
+    bool buffered = false;
+    while (true) {
+      const size_t q = FindByte(quote, pos_, input_.size());
+      const size_t lt = FindByte('<', pos_, q);
+      const size_t amp = FindByte('&', pos_, lt);
+      if (amp < lt) {
+        if (!buffered) {
+          attr_buf_.assign(input_.data() + start, pos_ - start);
+          buffered = true;
+        }
+        attr_buf_.append(input_.data() + pos_, amp - pos_);
+        pos_ = amp + 1;
+        XMLPROP_RETURN_NOT_OK(ParseReference(&attr_buf_));
+        continue;
+      }
+      if (lt < q) {
+        pos_ = lt;
+        return Error("'<' in attribute value");
+      }
+      if (q == input_.size()) {
+        pos_ = input_.size();
+        return Error("unterminated attribute value");
+      }
+      std::string_view value;
+      if (buffered) {
+        attr_buf_.append(input_.data() + pos_, q - pos_);
+        value = attr_buf_;
+      } else {
+        value = input_.substr(start, q - start);
+      }
+      pos_ = q + 1;
+      return value;
+    }
+  }
+
+  // Parses the remainder of a start tag (attributes and the closing '>'
+  // or '/>'); the element already exists so attributes go straight to
+  // the builder.
+  Status ParseTagRest(NodeId elem, std::string_view name,
+                      bool* self_closing) {
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) {
+        return Error("unterminated start tag <" + std::string(name));
+      }
+      const char tag_c = input_[pos_];
+      if (tag_c == '>') {
+        ++pos_;
+        *self_closing = false;
+        return Status::OK();
+      }
+      if (tag_c == '/' && pos_ + 1 < input_.size() &&
+          input_[pos_ + 1] == '>') {
+        pos_ += 2;
+        *self_closing = true;
+        return Status::OK();
+      }
+      XMLPROP_ASSIGN_OR_RETURN(std::string_view attr_name, ScanName());
+      SkipWhitespace();
+      if (!ConsumePrefix("=")) {
+        return Error("expected '=' after attribute " + std::string(attr_name));
+      }
+      SkipWhitespace();
+      XMLPROP_ASSIGN_OR_RETURN(std::string_view value, ParseAttributeValue());
+      if (builder_->HasAttribute(elem, attr_name)) {
+        return Error("duplicate attribute @" + std::string(attr_name) +
+                     " on <" + std::string(name) + ">");
+      }
+      Status s = builder_->AddAttribute(elem, attr_name, value);
+      if (!s.ok()) return Error(s.message());
+    }
+  }
+
+  // --- Text-run accumulation. ------------------------------------------
+  // A run is everything between two element boundaries (start or end
+  // tags); comments, PIs and CDATA sections do not break it. The common
+  // case — one contiguous chunk of raw input — stays a zero-copy slice;
+  // entity decodes, split segments and chunk suspensions fall back to
+  // the scratch buffer.
+
+  void AddRaw(size_t begin, size_t end) {
+    if (begin == end) return;
+    if (!text_buffered_) {
+      if (slice_len_ == 0) {
+        slice_start_ = begin;
+        slice_len_ = end - begin;
+        return;
+      }
+      if (slice_start_ + slice_len_ == begin) {
+        slice_len_ += end - begin;
+        return;
+      }
+      text_buf_.assign(input_.data() + slice_start_, slice_len_);
+      text_buffered_ = true;
+    }
+    text_buf_.append(input_.data() + begin, end - begin);
+  }
+
+  std::string* DecodeTarget() {
+    if (!text_buffered_) {
+      text_buf_.assign(input_.data() + slice_start_, slice_len_);
+      text_buffered_ = true;
+    }
+    return &text_buf_;
+  }
+
+  void FlushText(NodeId elem) {
+    const std::string_view text =
+        text_buffered_ ? std::string_view(text_buf_)
+                       : input_.substr(slice_start_, slice_len_);
+    if (!text.empty()) {
+      if (options_.keep_whitespace_text || !TrimWhitespace(text).empty()) {
+        builder_->AddText(elem, text);
+      }
+    }
+    text_buffered_ = false;
+    text_buf_.clear();
+    slice_start_ = 0;
+    slice_len_ = 0;
+  }
+
+  // Parses element content with an explicit open-element stack; depth is
+  // bounded by memory, not the call stack. Returns true when the root
+  // closed, false to suspend for more input.
+  Result<bool> ParseContent() {
+    while (true) {
+      Open& top = stack_.back();
+      // Bulk-scan the text run: everything up to the next '<', minus any
+      // entity references on the way. Runs are typically short (inter-tag
+      // whitespace, a line of text), so one byte loop stopping at the
+      // first of '<' / '&' beats two memchr passes; runs past 64 bytes
+      // fall back to memchr.
+      size_t lt, amp;
+      {
+        const char* base = input_.data();
+        const size_t n = input_.size();
+        const size_t fast = std::min(n, pos_ + 64);
+        size_t i = pos_;
+        while (i < fast && base[i] != '<' && base[i] != '&') ++i;
+        if (i < fast) {
+          if (base[i] == '<') {
+            lt = i;
+            amp = i;
+          } else {
+            amp = i;
+            lt = FindByte('<', i, n);
+          }
+        } else if (i == n) {
+          lt = n;
+          amp = n;
+        } else {
+          lt = FindByte('<', i, n);
+          amp = FindByte('&', i, lt);
+        }
+      }
+      if (amp < lt) {
+        // A reference truncated by the chunk boundary (its ';' must land
+        // within 10 bytes of the '&') waits for more input.
+        if (!final_ && input_.size() - amp <= 11 &&
+            FindByte(';', amp + 1, input_.size()) == input_.size()) {
+          AddRaw(pos_, amp);
+          pos_ = amp;
+          return false;
+        }
+        AddRaw(pos_, amp);
+        pos_ = amp + 1;
+        XMLPROP_RETURN_NOT_OK(ParseReference(DecodeTarget()));
+        continue;
+      }
+      if (lt == input_.size()) {
+        if (!final_) {
+          AddRaw(pos_, lt);
+          pos_ = lt;
+          return false;
+        }
+        pos_ = input_.size();
+        return Error("unterminated element <" + top.name + ">");
+      }
+      if (!final_) {
+        bool complete = false;
+        if (ClassifyContent(&complete) == Construct::kTruncated ||
+            !complete) {
+          AddRaw(pos_, lt);
+          pos_ = lt;
+          return false;
+        }
+      }
+      AddRaw(pos_, lt);
+      pos_ = lt;
+      // Dispatch on the byte after '<' instead of trying each prefix in
+      // turn; "<!..." that is neither a comment nor CDATA falls through
+      // to the start-tag path and fails in ScanName, as before.
+      const char next_c = pos_ + 1 < input_.size() ? input_[pos_ + 1] : '\0';
+      if (next_c == '/') {
+        pos_ += 2;
+        FlushText(top.elem);
+        XMLPROP_ASSIGN_OR_RETURN(std::string_view name, ScanName());
+        SkipWhitespace();
+        if (!ConsumePrefix(">")) {
+          return Error("malformed end tag </" + std::string(name));
+        }
+        if (name != top.name) {
+          return Error("mismatched end tag: expected </" + top.name +
+                       ">, found </" + std::string(name) + ">");
+        }
+        builder_->CloseElement(top.elem);
+        stack_.pop_back();
+        if (stack_.empty()) return true;
+        continue;
+      }
+      if (next_c == '!') {
+        if (ConsumePrefix("<!--")) {
+          SkipUntil("-->");
+          continue;
+        }
+        if (ConsumePrefix("<![CDATA[")) {
+          const size_t end = input_.find("]]>", pos_);
+          if (end == std::string_view::npos) {
+            return Error("unterminated CDATA section");
+          }
+          AddRaw(pos_, end);
+          pos_ = end + 3;
+          continue;
+        }
+      } else if (next_c == '?') {
+        pos_ += 2;
+        SkipUntil("?>");
+        continue;
+      }
+      // Start tag of a child element.
+      FlushText(top.elem);
+      ++pos_;  // '<'
+      XMLPROP_ASSIGN_OR_RETURN(std::string_view name, ScanName());
+      const NodeId child = builder_->CreateElement(top.elem, name);
+      bool self_closing = false;
+      XMLPROP_RETURN_NOT_OK(ParseTagRest(child, name, &self_closing));
+      if (self_closing) {
+        builder_->CloseElement(child);
+      } else {
+        stack_.push_back(Open{child, std::string(name)});
+      }
+    }
+  }
+
+  Builder* builder_;
+  ParseOptions options_;
+  std::string_view input_;
+  bool final_ = true;
+  size_t pos_ = 0;
+  Stage stage_ = Stage::kProlog;
+  std::vector<Open> stack_;
+
+  // Error-position bases for chunks already discarded.
+  size_t pre_lines_ = 0;
+  size_t pre_chars_since_nl_ = 0;
+
+  std::string attr_buf_;
+  std::string text_buf_;
+  bool text_buffered_ = false;
+  size_t slice_start_ = 0;
+  size_t slice_len_ = 0;
+};
+
+}  // namespace xml_internal
+}  // namespace xmlprop
+
+#endif  // XMLPROP_XML_PARSER_CORE_H_

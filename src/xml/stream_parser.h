@@ -1,0 +1,68 @@
+#ifndef XMLPROP_XML_STREAM_PARSER_H_
+#define XMLPROP_XML_STREAM_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "xml/parser.h"
+#include "xml/tree.h"
+#include "xml/tree_index.h"
+
+namespace xmlprop {
+
+/// A parsed document together with its query index, produced in one pass
+/// by the streaming parse plane. The Tree is heap-allocated so the
+/// index's borrowed column pointers survive moves of the IndexedDoc.
+struct IndexedDoc {
+  std::unique_ptr<Tree> tree;
+  std::unique_ptr<TreeIndex> index;
+};
+
+/// Single-pass parse straight to tree + index (DESIGN.md "Streaming +
+/// incremental plane"): the SAX-style event stream from the shared
+/// tokenizer (parser_core.h) is consumed by a column builder that
+/// appends rows directly into the flat-tree arrays — each cell written
+/// once with its final value, duplicate-attribute checks done on interned
+/// ids, the value intern table pre-sized from the input length — and the
+/// TreeIndex side structures (per-label lists, CSR child buckets, sorted
+/// attribute runs) are assembled the moment the last byte is consumed,
+/// over columns still warm in cache and borrowing the Euler numbering the
+/// parse maintained.
+///
+/// The resulting tree is identical to ParseXml's (same rows, arena,
+/// intern pools, Euler numbering) and the index answers every query
+/// identically to TreeIndex(tree); errors match ParseXml byte for byte.
+Result<IndexedDoc> ParseXmlIndexed(std::string_view input,
+                                   const ParseOptions& options = {});
+
+/// Chunked front-end to the same plane: feed the document in arbitrary
+/// pieces (a socket, a file read loop) and finish to an IndexedDoc.
+/// Only the unconsumed tail of the input — bounded by the largest single
+/// tag/comment/CDATA construct, not the document — is buffered, so a
+/// multi-GB document streams through bounded transient memory on top of
+/// the tree being built.
+class StreamParser {
+ public:
+  explicit StreamParser(const ParseOptions& options = {});
+  ~StreamParser();
+  StreamParser(StreamParser&&) noexcept;
+  StreamParser& operator=(StreamParser&&) noexcept;
+
+  /// Consumes the next chunk. A parse error is sticky: it is returned
+  /// here and again from Finish.
+  Status Feed(std::string_view chunk);
+
+  /// Declares end of input and returns the finished document + index.
+  Result<IndexedDoc> Finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace xmlprop
+
+#endif  // XMLPROP_XML_STREAM_PARSER_H_

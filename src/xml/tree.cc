@@ -345,6 +345,69 @@ Status Tree::SetAttributeValue(NodeId id, std::string_view name,
   return CreateAttribute(id, name, value).status();
 }
 
+Status Tree::DetachSubtree(NodeId id) {
+  if (!IsValid(id) ||
+      kind_[static_cast<size_t>(id)] != NodeKind::kElement) {
+    return Status::InvalidArgument("detach target must be an element");
+  }
+  if (id == root()) {
+    return Status::InvalidArgument("cannot detach the document root");
+  }
+  const size_t i = static_cast<size_t>(id);
+  const NodeId parent = parent_[i];
+  const NodeId prev = prev_sibling_[i];
+  const NodeId next = next_sibling_[i];
+  if (prev == kInvalidNode) {
+    first_child_[static_cast<size_t>(parent)] = next;
+  } else {
+    next_sibling_[static_cast<size_t>(prev)] = next;
+  }
+  if (next == kInvalidNode) {
+    last_child_[static_cast<size_t>(parent)] = prev;
+  } else {
+    prev_sibling_[static_cast<size_t>(next)] = prev;
+  }
+  --child_count_[static_cast<size_t>(parent)];
+  parent_[i] = kInvalidNode;
+  prev_sibling_[i] = kInvalidNode;
+  next_sibling_[i] = kInvalidNode;
+  bool has_elem_child = false;
+  for (NodeId c = first_child_[static_cast<size_t>(parent)];
+       c != kInvalidNode; c = next_sibling_[static_cast<size_t>(c)]) {
+    if (kind_[static_cast<size_t>(c)] == NodeKind::kElement) {
+      has_elem_child = true;
+      break;
+    }
+  }
+  if (!has_elem_child) {
+    flags_[static_cast<size_t>(parent)] &=
+        static_cast<uint8_t>(~kHasElemChild);
+  }
+  // Count what left the document. The rows themselves stay put: ids are
+  // never recycled, so stale NodeIds held by callers fail by becoming
+  // unreachable rather than by aliasing a new node.
+  size_t elems = 0;
+  size_t attrs = 0;
+  std::vector<NodeId> stack = {id};
+  while (!stack.empty()) {
+    const size_t cur = static_cast<size_t>(stack.back());
+    stack.pop_back();
+    ++elems;
+    attrs += attr_count_[cur];
+    for (NodeId c = first_child_[cur]; c != kInvalidNode;
+         c = next_sibling_[static_cast<size_t>(c)]) {
+      if (kind_[static_cast<size_t>(c)] == NodeKind::kElement) {
+        stack.push_back(c);
+      }
+    }
+  }
+  element_count_ -= elems;
+  attribute_count_ -= attrs;
+  euler_valid_ = false;
+  euler_final_ = false;
+  return Status::OK();
+}
+
 std::optional<NodeId> Tree::FindAttribute(NodeId id,
                                           std::string_view name) const {
   if (!IsValid(id)) return std::nullopt;

@@ -13,6 +13,10 @@
 
 namespace xmlprop {
 
+namespace xml_internal {
+class StreamSink;
+}  // namespace xml_internal
+
 /// An XML document as a node-labelled tree (the model of Section 2 /
 /// Fig. 1 of the paper): element nodes with attribute and text children.
 ///
@@ -88,6 +92,14 @@ class Tree {
   /// attribute when absent. Used by the document repair loop.
   Status SetAttributeValue(NodeId id, std::string_view name,
                            std::string_view value);
+
+  /// Unlinks the element subtree rooted at `id` (not the root) from its
+  /// parent. The rows stay allocated — NodeIds never recycle — but the
+  /// subtree becomes unreachable from the root and element/attribute
+  /// counts drop accordingly. Clears euler_valid(): detached documents
+  /// index via the traversal fallback. Used by the delta plane's
+  /// subtree-delete edit.
+  Status DetachSubtree(NodeId id);
 
   /// The attribute node `@name` of element `id`, or nullopt if absent.
   std::optional<NodeId> FindAttribute(NodeId id, std::string_view name) const;
@@ -202,6 +214,11 @@ class Tree {
   }
 
  private:
+  // The streaming parse-to-index sink writes rows into the columns
+  // directly — one final-value store per cell, no mutator validation —
+  // and maintains the Euler numbering during the parse itself.
+  friend class xml_internal::StreamSink;
+
   struct TextRef {
     uint32_t off = 0;
     uint32_t len = 0;

@@ -22,7 +22,8 @@ TreeIndex::TreeIndex(const Tree& tree) : tree_(&tree) {
   // Euler numbering: borrowed from the tree when construction stayed in
   // document order (the parser, Graft and the corpus builders), else one
   // iterative DFS — the historical pass 2 — over the flat arrays.
-  if (tree.euler_valid()) {
+  const bool doc_order = tree.euler_valid();
+  if (doc_order) {
     tree.FinalizeEuler();
     pre_ = tree.pre_data();
     pre_end_ = tree.pre_end_data();
@@ -64,15 +65,32 @@ TreeIndex::TreeIndex(const Tree& tree) : tree_(&tree) {
   }
   const std::vector<NodeId>& by_pre = *elements_by_pre_;
 
-  // Distinct attribute values in use (the tree pool may carry values an
-  // attribute rewrite displaced).
-  {
+  // Distinct attribute values in use. For document-order trees every
+  // row is reachable (only DetachSubtree strands rows, and it clears
+  // euler_valid), so one columnar sweep over the value-id column
+  // suffices. Otherwise count via the attribute chains of reachable
+  // elements (the pool may carry values an attribute rewrite displaced,
+  // and a detached subtree's rows keep theirs).
+  if (doc_order) {
     std::vector<uint8_t> used(tree.value_count(), 0);
     for (size_t i = 0; i < n; ++i) {
+      if (kind[i] != NodeKind::kAttribute) continue;
       const ValueId v = attr_value_of_[i];
       if (v >= 0 && used[static_cast<size_t>(v)] == 0) {
         used[static_cast<size_t>(v)] = 1;
         ++value_count_;
+      }
+    }
+  } else {
+    std::vector<uint8_t> used(tree.value_count(), 0);
+    for (NodeId e : by_pre) {
+      for (NodeId a = first_attr[static_cast<size_t>(e)]; a != kInvalidNode;
+           a = next_sibling[static_cast<size_t>(a)]) {
+        const ValueId v = attr_value_of_[static_cast<size_t>(a)];
+        if (v >= 0 && used[static_cast<size_t>(v)] == 0) {
+          used[static_cast<size_t>(v)] = 1;
+          ++value_count_;
+        }
       }
     }
   }
@@ -100,63 +118,96 @@ TreeIndex::TreeIndex(const Tree& tree) : tree_(&tree) {
   // which for siblings equals pre-order. Every non-root element is an
   // element child of exactly one parent, so the child array size is
   // known exactly up front.
-  bucket_offset_.assign(n + 1, 0);
-  attr_offset_.assign(n + 1, 0);
+  bucket_span_.assign(n, SpanRef{});
+  attr_span_.assign(n, SpanRef{});
   child_array_.reserve(by_pre.size() - 1);
   attr_array_.reserve(tree.attribute_count());
   std::vector<NodeId> scratch;
   for (size_t i = 0; i < n; ++i) {
-    bucket_offset_[i] = static_cast<uint32_t>(bucket_array_.size());
-    attr_offset_[i] = static_cast<uint32_t>(attr_array_.size());
     if (kind[i] != NodeKind::kElement) continue;
-
-    scratch.clear();
-    for (NodeId c = first_child[i]; c != kInvalidNode;
-         c = next_sibling[static_cast<size_t>(c)]) {
-      if (kind[static_cast<size_t>(c)] == NodeKind::kElement) {
-        scratch.push_back(c);
-      }
-    }
-    std::stable_sort(scratch.begin(), scratch.end(),
-                     [this](NodeId a, NodeId b) {
-                       return label_of_[static_cast<size_t>(a)] <
-                              label_of_[static_cast<size_t>(b)];
-                     });
-    size_t k = 0;
-    while (k < scratch.size()) {
-      const LabelId label = label_of_[static_cast<size_t>(scratch[k])];
-      Bucket bucket;
-      bucket.label = label;
-      bucket.begin = static_cast<uint32_t>(child_array_.size());
-      while (k < scratch.size() &&
-             label_of_[static_cast<size_t>(scratch[k])] == label) {
-        child_array_.push_back(scratch[k++]);
-      }
-      bucket.end = static_cast<uint32_t>(child_array_.size());
-      bucket_array_.push_back(bucket);
-    }
-
-    for (NodeId a = first_attr[i]; a != kInvalidNode;
-         a = next_sibling[static_cast<size_t>(a)]) {
-      attr_array_.push_back(AttrEntry{label_of_[static_cast<size_t>(a)], a});
-    }
-    std::sort(attr_array_.begin() + static_cast<long>(attr_offset_[i]),
-              attr_array_.end(),
-              [](const AttrEntry& a, const AttrEntry& b) {
-                return a.label < b.label;
-              });
+    AppendNodeRuns(static_cast<NodeId>(i), &scratch);
   }
-  bucket_offset_[n] = static_cast<uint32_t>(bucket_array_.size());
-  attr_offset_[n] = static_cast<uint32_t>(attr_array_.size());
+}
+
+void TreeIndex::AppendNodeRuns(NodeId id, std::vector<NodeId>* scratch) {
+  const size_t i = static_cast<size_t>(id);
+  const NodeKind* kind = tree_->kind_data();
+  const NodeId* first_child = tree_->first_child_data();
+  const NodeId* next_sibling = tree_->next_sibling_data();
+
+  scratch->clear();
+  for (NodeId c = first_child[i]; c != kInvalidNode;
+       c = next_sibling[static_cast<size_t>(c)]) {
+    if (kind[static_cast<size_t>(c)] == NodeKind::kElement) {
+      scratch->push_back(c);
+    }
+  }
+  EmitNodeRuns(id, scratch->data(), scratch->size());
+}
+
+void TreeIndex::EmitNodeRuns(NodeId id, NodeId* kids, size_t kid_count) {
+  const size_t i = static_cast<size_t>(id);
+  const NodeId* first_attr = tree_->first_attr_data();
+  const NodeId* next_sibling = tree_->next_sibling_data();
+
+  std::stable_sort(kids, kids + kid_count, [this](NodeId a, NodeId b) {
+    return label_of_[static_cast<size_t>(a)] <
+           label_of_[static_cast<size_t>(b)];
+  });
+  bucket_span_[i].begin = static_cast<uint32_t>(bucket_array_.size());
+  size_t k = 0;
+  while (k < kid_count) {
+    const LabelId label = label_of_[static_cast<size_t>(kids[k])];
+    Bucket bucket;
+    bucket.label = label;
+    bucket.begin = static_cast<uint32_t>(child_array_.size());
+    while (k < kid_count &&
+           label_of_[static_cast<size_t>(kids[k])] == label) {
+      child_array_.push_back(kids[k++]);
+    }
+    bucket.end = static_cast<uint32_t>(child_array_.size());
+    bucket_array_.push_back(bucket);
+  }
+  bucket_span_[i].count = static_cast<uint32_t>(bucket_array_.size()) -
+                          bucket_span_[i].begin;
+
+  attr_span_[i].begin = static_cast<uint32_t>(attr_array_.size());
+  for (NodeId a = first_attr[i]; a != kInvalidNode;
+       a = next_sibling[static_cast<size_t>(a)]) {
+    attr_array_.push_back(AttrEntry{label_of_[static_cast<size_t>(a)], a});
+  }
+  attr_span_[i].count = static_cast<uint32_t>(attr_array_.size()) -
+                        attr_span_[i].begin;
+  std::sort(attr_array_.begin() + static_cast<long>(attr_span_[i].begin),
+            attr_array_.end(),
+            [](const AttrEntry& a, const AttrEntry& b) {
+              return a.label < b.label;
+            });
+}
+
+void TreeIndex::RefreshColumns() {
+  label_of_ = tree_->label_id_data();
+  attr_value_of_ = tree_->value_id_data();
+}
+
+void TreeIndex::AdoptOwnedEuler() {
+  if (elements_by_pre_ == &own_elements_by_pre_) return;
+  const size_t n = tree_->size();
+  own_pre_.assign(pre_, pre_ + n);
+  own_pre_end_.assign(pre_end_, pre_end_ + n);
+  own_elements_by_pre_ = *elements_by_pre_;
+  pre_ = own_pre_.data();
+  pre_end_ = own_pre_end_.data();
+  elements_by_pre_ = &own_elements_by_pre_;
 }
 
 TreeIndex::NodeSpan TreeIndex::ChildrenWithLabel(NodeId parent,
                                                  LabelId label) const {
   NodeSpan span;
   if (label < 0) return span;
-  const size_t i = static_cast<size_t>(parent);
-  const Bucket* first = bucket_array_.data() + bucket_offset_[i];
-  const Bucket* last = bucket_array_.data() + bucket_offset_[i + 1];
+  const SpanRef run = bucket_span_[static_cast<size_t>(parent)];
+  const Bucket* first = bucket_array_.data() + run.begin;
+  const Bucket* last = first + run.count;
   const Bucket* it = std::lower_bound(
       first, last, label,
       [](const Bucket& b, LabelId l) { return b.label < l; });
@@ -167,11 +218,106 @@ TreeIndex::NodeSpan TreeIndex::ChildrenWithLabel(NodeId parent,
   return span;
 }
 
+TreeIndex::TreeIndex(const Tree& tree, Assembler&& parts) : tree_(&tree) {
+  obs::Span span("index.build");
+  obs::Count("index.builds");
+  assert(tree.euler_valid());
+  assert(parts.frame_begin_.empty());
+  label_of_ = tree.label_id_data();
+  attr_value_of_ = tree.value_id_data();
+  tree.FinalizeEuler();
+  pre_ = tree.pre_data();
+  pre_end_ = tree.pre_end_data();
+  elements_by_pre_ = &tree.elements_by_pre();
+  // Assembler contract: the pool holds exactly the referenced values.
+  value_count_ = tree.value_count();
+  elements_with_label_ = std::move(parts.elements_with_label_);
+  // Labels interned after the last element (attribute names) have no
+  // slot yet; give them their empty lists.
+  elements_with_label_.resize(tree.label_count());
+  bucket_span_ = std::move(parts.bucket_span_);
+  bucket_span_.resize(tree.size());
+  attr_span_ = std::move(parts.attr_span_);
+  attr_span_.resize(tree.size());
+  bucket_array_ = std::move(parts.bucket_array_);
+  child_array_ = std::move(parts.child_array_);
+  attr_array_ = std::move(parts.attr_array_);
+}
+
+TreeIndex::Assembler::Assembler(NodeId root, LabelId root_label) {
+  elements_with_label_.resize(static_cast<size_t>(root_label) + 1);
+  elements_with_label_[static_cast<size_t>(root_label)].push_back(root);
+  frame_begin_.push_back(0);
+}
+
+void TreeIndex::Assembler::ReserveRows(size_t expected_nodes) {
+  bucket_span_.reserve(expected_nodes);
+  attr_span_.reserve(expected_nodes);
+  // The emission arrays hold about one entry per row (child_array_ one
+  // per element, attr_array_ one per attribute, buckets somewhat fewer);
+  // reserving them here keeps multi-MB doubling reallocs out of the
+  // parse loop at large document scale.
+  bucket_array_.reserve(expected_nodes / 2);
+  child_array_.reserve(expected_nodes / 2);
+  attr_array_.reserve(expected_nodes / 2);
+}
+
+void TreeIndex::Assembler::OnElementClosed(NodeId elem) {
+  const uint32_t begin = frame_begin_.back();
+  frame_begin_.pop_back();
+  const size_t count = kids_.size() - begin;
+  if (count == 0) return;
+  if (static_cast<size_t>(elem) >= bucket_span_.size()) {
+    bucket_span_.resize(static_cast<size_t>(elem) + 1);
+  }
+  std::pair<NodeId, LabelId>* kid = kids_.data() + begin;
+  if (count < 16) {
+    // Insertion sort (stable): child lists are almost always tiny, and
+    // this runs once per element inside the parse loop.
+    for (size_t k = 1; k < count; ++k) {
+      const std::pair<NodeId, LabelId> entry = kid[k];
+      size_t at = k;
+      while (at > 0 && kid[at - 1].second > entry.second) {
+        kid[at] = kid[at - 1];
+        --at;
+      }
+      kid[at] = entry;
+    }
+  } else {
+    std::stable_sort(kid, kid + count,
+                     [](const std::pair<NodeId, LabelId>& a,
+                        const std::pair<NodeId, LabelId>& b) {
+                       return a.second < b.second;
+                     });
+  }
+  SpanRef& span = bucket_span_[static_cast<size_t>(elem)];
+  span.begin = static_cast<uint32_t>(bucket_array_.size());
+  size_t k = 0;
+  while (k < count) {
+    const LabelId label = kid[k].second;
+    Bucket bucket;
+    bucket.label = label;
+    bucket.begin = static_cast<uint32_t>(child_array_.size());
+    while (k < count && kid[k].second == label) {
+      child_array_.push_back(kid[k++].first);
+    }
+    bucket.end = static_cast<uint32_t>(child_array_.size());
+    bucket_array_.push_back(bucket);
+  }
+  span.count =
+      static_cast<uint32_t>(bucket_array_.size()) - span.begin;
+  kids_.resize(begin);
+}
+
+std::unique_ptr<TreeIndex> TreeIndex::Assembler::Finish(const Tree& tree) {
+  return std::unique_ptr<TreeIndex>(new TreeIndex(tree, std::move(*this)));
+}
+
 NodeId TreeIndex::AttributeWithLabel(NodeId parent, LabelId label) const {
   if (label < 0) return kInvalidNode;
-  const size_t i = static_cast<size_t>(parent);
-  const AttrEntry* first = attr_array_.data() + attr_offset_[i];
-  const AttrEntry* last = attr_array_.data() + attr_offset_[i + 1];
+  const SpanRef run = attr_span_[static_cast<size_t>(parent)];
+  const AttrEntry* first = attr_array_.data() + run.begin;
+  const AttrEntry* last = first + run.count;
   const AttrEntry* it = std::lower_bound(
       first, last, label,
       [](const AttrEntry& e, LabelId l) { return e.label < l; });

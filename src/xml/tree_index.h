@@ -2,14 +2,18 @@
 #define XMLPROP_XML_TREE_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "xml/node.h"
 #include "xml/tree.h"
 
 namespace xmlprop {
+
+class DeltaDoc;
 
 /// An immutable acceleration structure over one Tree — the "document data
 /// plane" (DESIGN.md §3). Built once after parsing, it turns the
@@ -33,14 +37,34 @@ namespace xmlprop {
 /// document order, i.e. everything the parser or Graft produces) the
 /// Euler numbering are by-products of Tree construction, so building the
 /// index is mostly a matter of borrowing the tree's columns; only the
-/// per-label lists and CSR adjacency are materialized here.
+/// per-label lists and CSR adjacency are materialized here. The streaming
+/// parse plane (stream_parser.h) runs this assembly immediately after the
+/// last input byte, while the columns it scans are still cache-hot.
 ///
 /// The index never mutates after construction, so concurrent readers are
 /// safe — the parallel key checker relies on this. The owning Tree must
-/// outlive the index and must not grow while the index is in use.
+/// outlive the index and must not grow while the index is in use. (The
+/// delta plane in keys/delta.h patches an index it privately owns through
+/// the friend hooks below; that index is single-writer by construction.)
 class TreeIndex {
  public:
   explicit TreeIndex(const Tree& tree);
+
+  /// Incremental assembly of the side structures by a document-order
+  /// builder (the streaming parse plane, stream_parser.cc): per-label
+  /// lists fill as elements are created, an element's attribute run is
+  /// emitted the moment its start tag is sealed, and its child buckets
+  /// the moment it closes — all while the rows involved are still hot
+  /// from being appended. Finish() then just borrows the tree's Euler
+  /// numbering and moves the finished arrays into a TreeIndex; unlike
+  /// the constructor above, no pass over the tree remains.
+  ///
+  /// Contract (what a parser-driven build produces, asserted where
+  /// cheap): events arrive in document order over a tree whose rows are
+  /// appended in document order, each element's attribute rows sit
+  /// contiguously right after its own row, every element is closed
+  /// before Finish, and the value pool holds no unreferenced values.
+  class Assembler;
 
   const Tree& tree() const { return *tree_; }
 
@@ -112,12 +136,50 @@ class TreeIndex {
   Str value_string(ValueId id) const { return tree_->value_text(id); }
 
  private:
+  // The delta plane patches an index in place after subtree edits.
+  friend class DeltaDoc;
+
+  // Per-node run descriptor into bucket_array_ / attr_array_. Unlike the
+  // historical offset[n]+1 CSR sentinel form, a (begin, count) pair lets
+  // a single node's run be relocated (e.g. to the array tail after an
+  // insert grows it) without rewriting every other node's offsets.
+  struct SpanRef {
+    uint32_t begin = 0;
+    uint32_t count = 0;
+  };
+
   // One (label, range) bucket of an element's children.
   struct Bucket {
     LabelId label;
     uint32_t begin;  // index into child_array_
     uint32_t end;
   };
+
+  struct AttrEntry {
+    LabelId label;
+    NodeId node;
+  };
+
+  // Re-borrow per-node columns after the underlying tree grew (its
+  // vectors may have reallocated). Delta-plane use only.
+  void RefreshColumns();
+
+  // Copy borrowed Euler views into the owned arrays so the delta plane
+  // can patch them. No-op when already owned.
+  void AdoptOwnedEuler();
+
+  // Builds element `id`'s child buckets and sorted attribute run by
+  // walking its links in the tree, appending at the tails of
+  // bucket_array_ / child_array_ / attr_array_ and setting its spans.
+  // `scratch` is reused storage for the child sort.
+  void AppendNodeRuns(NodeId id, std::vector<NodeId>* scratch);
+
+  // The emission half of AppendNodeRuns: `kids` holds element `id`'s
+  // element children in document order (sorted by label in place here).
+  void EmitNodeRuns(NodeId id, NodeId* kids, size_t kid_count);
+
+  // Adopts the arrays an Assembler built during the parse.
+  TreeIndex(const Tree& tree, Assembler&& parts);
 
   const Tree* tree_;
 
@@ -136,26 +198,95 @@ class TreeIndex {
 
   std::vector<std::vector<NodeId>> elements_with_label_;  // per label, pre order
 
-  // CSR child adjacency: per element a run of Buckets (sorted by label id)
-  // into bucket_array_; each bucket spans child_array_ entries in doc order.
-  std::vector<uint32_t> bucket_offset_;  // per node, +1 sentinel
+  // CSR child adjacency bucketed by label: per element a SpanRef run of
+  // Buckets (sorted by label id) into bucket_array_; each bucket spans
+  // child_array_ entries in doc order.
+  std::vector<SpanRef> bucket_span_;  // per node
   std::vector<Bucket> bucket_array_;
   std::vector<NodeId> child_array_;
 
   // Same layout for attributes; every bucket holds exactly one node
-  // (attribute names are unique per element), so attr buckets store the
-  // node directly.
-  std::vector<uint32_t> attr_offset_;  // per node, +1 sentinel
-  struct AttrEntry {
-    LabelId label;
-    NodeId node;
-  };
+  // (attribute names are unique per element), so attr entries store the
+  // node directly, sorted by label per element.
+  std::vector<SpanRef> attr_span_;  // per node
   std::vector<AttrEntry> attr_array_;
 
   // Distinct attribute values actually referenced by this tree's nodes
   // (the tree's pool can additionally hold values displaced by attribute
   // rewrites).
   size_t value_count_ = 0;
+};
+
+class TreeIndex::Assembler {
+ public:
+  /// The root element exists before any event fires (the Tree
+  /// constructor makes it), so it is registered here.
+  Assembler(NodeId root, LabelId root_label);
+
+  /// Pre-sizes the per-row span tables for an expected node count.
+  void ReserveRows(size_t expected_nodes);
+
+  /// A new element row `id` labelled `label` was appended (document
+  /// order). Opens its child frame. Inline: this runs per element
+  /// inside the parse loop.
+  void OnElementCreated(NodeId id, LabelId label) {
+    if (static_cast<size_t>(label) >= elements_with_label_.size()) {
+      elements_with_label_.resize(static_cast<size_t>(label) + 1);
+    }
+    elements_with_label_[static_cast<size_t>(label)].push_back(id);
+    kids_.emplace_back(id, label);
+    frame_begin_.push_back(static_cast<uint32_t>(kids_.size()));
+  }
+
+  /// `elem`'s start tag is complete: its `count` attribute rows are
+  /// `elem + 1 .. elem + count` with interned names `labels`, in
+  /// document order. Runs are tiny (a handful of attributes), so the
+  /// per-label sort is a manual insertion sort.
+  void OnAttributesSealed(NodeId elem, const LabelId* labels,
+                          size_t count) {
+    if (count == 0) return;
+    if (static_cast<size_t>(elem) >= attr_span_.size()) {
+      attr_span_.resize(static_cast<size_t>(elem) + 1);
+    }
+    SpanRef& span = attr_span_[static_cast<size_t>(elem)];
+    span.begin = static_cast<uint32_t>(attr_array_.size());
+    span.count = static_cast<uint32_t>(count);
+    for (size_t k = 0; k < count; ++k) {
+      const AttrEntry entry{labels[k], elem + 1 + static_cast<NodeId>(k)};
+      attr_array_.push_back(entry);
+      AttrEntry* run = attr_array_.data() + span.begin;
+      size_t at = k;
+      while (at > 0 && run[at - 1].label > entry.label) {
+        run[at] = run[at - 1];
+        --at;
+      }
+      run[at] = entry;
+    }
+  }
+
+  /// `elem`'s end tag (or self-closing tag) was consumed: its child
+  /// frame becomes its label-bucketed CSR run.
+  void OnElementClosed(NodeId elem);
+
+  /// Moves the assembled arrays into an index over `tree`, which must be
+  /// the (euler-valid) tree the events described.
+  std::unique_ptr<TreeIndex> Finish(const Tree& tree);
+
+ private:
+  friend class TreeIndex;
+
+  std::vector<std::vector<NodeId>> elements_with_label_;
+  std::vector<SpanRef> bucket_span_;
+  std::vector<SpanRef> attr_span_;
+  std::vector<Bucket> bucket_array_;
+  std::vector<NodeId> child_array_;
+  std::vector<AttrEntry> attr_array_;
+
+  // Open-element child stack: the children of the element at depth d
+  // are kids_[frame_begin_[d]..]. Labels ride along so the close-time
+  // sort never touches the tree's columns.
+  std::vector<std::pair<NodeId, LabelId>> kids_;
+  std::vector<uint32_t> frame_begin_;
 };
 
 }  // namespace xmlprop

@@ -379,6 +379,57 @@ std::string StripTimings(const std::string& text) {
   return out;
 }
 
+// The streaming ablation: --streaming must reproduce the --index plane's
+// stdout bit-identically (modulo the stats line's timing digits), for a
+// clean and a violating document, and for shred in every output dialect.
+TEST_F(CliTest, StreamingAblationMatchesIndexPlane) {
+  Write("bad.xml", R"(<r><book isbn="1"/><book isbn="1"/></r>)");
+  const std::vector<std::vector<std::string>> commands = {
+      {"check", "--keys", Path("keys.txt"), "--doc", Path("doc.xml"),
+       "--index"},
+      {"check", "--keys", Path("keys.txt"), "--doc", Path("bad.xml"),
+       "--index"},
+      {"shred", "--rules", Path("rules.txt"), "--doc", Path("doc.xml"),
+       "--index"},
+      {"shred", "--rules", Path("rules.txt"), "--doc", Path("doc.xml"),
+       "--sql", "--index"},
+      {"shred", "--rules", Path("universal.txt"), "--doc", Path("doc.xml"),
+       "--csv", "--index"},
+  };
+  for (const std::vector<std::string>& base : commands) {
+    RunResult indexed = Run(base);
+    std::vector<std::string> streaming = base;
+    streaming.back() = "--streaming";
+    RunResult streamed = Run(streaming);
+    EXPECT_EQ(streamed.code, indexed.code) << base[0];
+    EXPECT_EQ(StripTimings(streamed.out), StripTimings(indexed.out))
+        << base[0] << " --streaming altered stdout";
+    EXPECT_EQ(streamed.err, indexed.err) << base[0];
+  }
+}
+
+TEST_F(CliTest, EditCheckReportsIncrementalRecheck) {
+  Write("frag.xml", R"(<book isbn="123"><title>T</title></book>)");
+  RunResult r = Run({"edit-check", "--keys", Path("keys.txt"), "--doc",
+                     Path("doc.xml"), "--fragment", Path("frag.xml")});
+  EXPECT_EQ(r.code, 2) << r.err;
+  EXPECT_NE(r.out.find("seed:"), std::string::npos);
+  EXPECT_NE(r.out.find("recheck:"), std::string::npos);
+  EXPECT_NE(r.out.find("NEW VIOLATION"), std::string::npos);
+
+  Write("fresh.xml", R"(<book isbn="new-isbn"><title>T</title></book>)");
+  RunResult ok = Run({"edit-check", "--keys", Path("keys.txt"), "--doc",
+                      Path("doc.xml"), "--fragment", Path("fresh.xml")});
+  EXPECT_EQ(ok.code, 0) << ok.out << ok.err;
+  EXPECT_NE(ok.out.find("OK"), std::string::npos);
+
+  RunResult missing = Run({"edit-check", "--keys", Path("keys.txt"), "--doc",
+                           Path("doc.xml"), "--fragment", Path("fresh.xml"),
+                           "--under", "no-such-label"});
+  EXPECT_EQ(missing.code, 1);
+  EXPECT_NE(missing.err.find("no element labelled"), std::string::npos);
+}
+
 // Satellite regression: --trace and --metrics never alter a command's
 // primary stdout (bit-identical to the untraced run; only the stats line
 // timing digits are normalized).

@@ -1,0 +1,234 @@
+// Differential tests of the incremental plane: after any sequence of
+// subtree inserts and deletes, a DeltaDoc's patched index must answer
+// queries identically to an index built from scratch, and Violations()
+// must equal a full CheckAll over the current document — including under
+// a forced multi-thread fan-out.
+
+#include "keys/delta.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "paper_fixtures.h"
+#include "synth/doc_generator.h"
+#include "xml/parser.h"
+#include "xml/tree_index.h"
+
+namespace xmlprop {
+namespace {
+
+using testing_fixtures::PaperKeys;
+
+Tree Doc(std::string_view xml) {
+  Result<Tree> t = ParseXml(xml);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return std::move(t).value();
+}
+
+std::vector<XmlKey> Keys(std::initializer_list<const char*> texts) {
+  std::vector<XmlKey> out;
+  for (const char* t : texts) {
+    Result<XmlKey> k = XmlKey::Parse(t);
+    EXPECT_TRUE(k.ok()) << k.status().ToString();
+    out.push_back(std::move(k).value());
+  }
+  return out;
+}
+
+void ExpectSameViolations(const std::vector<TaggedViolation>& got,
+                          const std::vector<TaggedViolation>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].key_index, want[i].key_index) << "violation " << i;
+    EXPECT_EQ(got[i].violation.kind, want[i].violation.kind) << i;
+    EXPECT_EQ(got[i].violation.context, want[i].violation.context) << i;
+    EXPECT_EQ(got[i].violation.node1, want[i].violation.node1) << i;
+    EXPECT_EQ(got[i].violation.node2, want[i].violation.node2) << i;
+    EXPECT_EQ(got[i].violation.attribute, want[i].violation.attribute) << i;
+  }
+}
+
+// The ground truth: a from-scratch index over the current tree, checked
+// sequentially and with a forced thread fan-out (grain 1 so even tiny
+// documents split into many tasks).
+void ExpectMatchesFullCheck(const DeltaDoc& doc) {
+  TreeIndex fresh(doc.tree());
+  const std::vector<TaggedViolation> batch = CheckAll(fresh, doc.keys());
+  ExpectSameViolations(doc.Violations(), batch);
+  EXPECT_EQ(doc.violation_count(), batch.size());
+
+  ThreadPool pool(3);
+  CheckOptions options;
+  options.pool = &pool;
+  options.contexts_per_task = 1;
+  ExpectSameViolations(CheckAll(fresh, doc.keys(), options), batch);
+}
+
+// The patched index must agree with a from-scratch one on every query
+// about attached elements.
+void ExpectIndexMatchesFresh(const DeltaDoc& doc) {
+  TreeIndex fresh(doc.tree());
+  const TreeIndex& patched = doc.index();
+  EXPECT_EQ(patched.value_count(), fresh.value_count());
+  EXPECT_EQ(patched.element_count(), fresh.element_count());
+  EXPECT_EQ(patched.attribute_count(), fresh.attribute_count());
+  const size_t labels = fresh.label_count();
+  for (size_t l = 0; l < labels; ++l) {
+    EXPECT_EQ(patched.ElementsWithLabel(static_cast<LabelId>(l)),
+              fresh.ElementsWithLabel(static_cast<LabelId>(l)))
+        << "label " << l;
+  }
+  for (NodeId id : doc.tree().DescendantsOrSelf(doc.tree().root())) {
+    EXPECT_EQ(patched.pre(id), fresh.pre(id)) << "pre of " << id;
+    EXPECT_EQ(patched.pre_end(id), fresh.pre_end(id)) << "pre_end of " << id;
+    for (size_t l = 0; l < labels; ++l) {
+      const LabelId label = static_cast<LabelId>(l);
+      const TreeIndex::NodeSpan sp = patched.ChildrenWithLabel(id, label);
+      const TreeIndex::NodeSpan sf = fresh.ChildrenWithLabel(id, label);
+      EXPECT_EQ(std::vector<NodeId>(sp.begin(), sp.end()),
+                std::vector<NodeId>(sf.begin(), sf.end()))
+          << "children of " << id << " label " << l;
+      EXPECT_EQ(patched.AttributeWithLabel(id, label),
+                fresh.AttributeWithLabel(id, label))
+          << "attr of " << id << " label " << l;
+    }
+  }
+}
+
+TEST(DeltaDocTest, SeedCheckMatchesBatch) {
+  DeltaDoc doc(testing_fixtures::Fig1Tree(), PaperKeys());
+  ExpectMatchesFullCheck(doc);
+  ExpectIndexMatchesFresh(doc);
+}
+
+TEST(DeltaDocTest, InsertIntroducingDuplicateIsReported) {
+  DeltaDoc doc(Doc(R"(<r><book isbn="1"/></r>)"),
+               Keys({"(ε, (//book, {@isbn}))"}));
+  EXPECT_EQ(doc.violation_count(), 0u);
+
+  Result<EditDelta> d =
+      doc.InsertSubtree(doc.tree().root(), Doc(R"(<book isbn="1"/>)"));
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->elements_added, 1u);
+  ASSERT_EQ(d->added.size(), 1u);
+  EXPECT_EQ(d->added[0].violation.kind, KeyViolation::Kind::kDuplicateValues);
+  EXPECT_TRUE(d->removed.empty());
+  ExpectMatchesFullCheck(doc);
+  ExpectIndexMatchesFresh(doc);
+}
+
+TEST(DeltaDocTest, DeleteRetiresViolation) {
+  DeltaDoc doc(Doc(R"(<r><book isbn="1"/><book isbn="1"/><book isbn="2"/></r>)"),
+               Keys({"(ε, (//book, {@isbn}))"}));
+  EXPECT_EQ(doc.violation_count(), 1u);
+
+  const NodeId second = doc.tree().node(doc.tree().root()).children[1];
+  Result<EditDelta> d = doc.DeleteSubtree(second);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->elements_removed, 1u);
+  ASSERT_EQ(d->removed.size(), 1u);
+  EXPECT_EQ(d->removed[0].violation.kind, KeyViolation::Kind::kDuplicateValues);
+  EXPECT_EQ(doc.violation_count(), 0u);
+  ExpectMatchesFullCheck(doc);
+  ExpectIndexMatchesFresh(doc);
+}
+
+TEST(DeltaDocTest, RecheckIsLocalizedToDirtyRange) {
+  // Many books, each with chapters; inserting one chapter into one book
+  // re-checks only that book's (key, context) pair — not every book.
+  std::string xml = "<r>";
+  for (int b = 0; b < 50; ++b) {
+    xml += "<book isbn=\"" + std::to_string(b) + "\">";
+    xml += "<chapter number=\"1\"/><chapter number=\"2\"/>";
+    xml += "</book>";
+  }
+  xml += "</r>";
+  DeltaDoc doc(Doc(xml), Keys({"(ε, (//book, {@isbn}))",
+                               "(//book, (chapter, {@number}))"}));
+
+  const NodeId book7 = doc.tree().node(doc.tree().root()).children[7];
+  Result<EditDelta> d =
+      doc.InsertSubtree(book7, Doc(R"(<chapter number="3"/>)"));
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  // 51 live pairs for the book key's root context + 50 chapter contexts;
+  // the chapter insert re-checks exactly one of them (the edited book; no
+  // new book appeared, so the root context is skipped).
+  EXPECT_EQ(d->pairs_total, 51u);
+  EXPECT_EQ(d->pairs_rechecked, 1u);
+  EXPECT_TRUE(d->added.empty());
+  ExpectMatchesFullCheck(doc);
+}
+
+TEST(DeltaDocTest, InsertRejectsInvalidAndDetachedParents) {
+  DeltaDoc doc(Doc(R"(<r><a/><b/></r>)"), {});
+  EXPECT_FALSE(doc.InsertSubtree(999, Doc("<x/>")).ok());
+
+  const NodeId a = doc.tree().node(doc.tree().root()).children[0];
+  ASSERT_TRUE(doc.DeleteSubtree(a).ok());
+  EXPECT_FALSE(doc.InsertSubtree(a, Doc("<x/>")).ok());
+  EXPECT_FALSE(doc.DeleteSubtree(a).ok());
+  EXPECT_FALSE(doc.DeleteSubtree(doc.tree().root()).ok());
+  ExpectIndexMatchesFresh(doc);
+}
+
+// Random edit sequences: after every insert/delete the patched state must
+// agree with a from-scratch check, sequential and threaded.
+class DeltaDocProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeltaDocProperty, RandomEditSequencesMatchFullCheck) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7129 + 5);
+  RandomTreeSpec spec;
+  spec.max_depth = 3;
+  spec.max_children = 3;
+
+  DeltaDoc doc(RandomTree(spec, &rng), PaperKeys());
+  RandomTreeSpec frag_spec = spec;
+  frag_spec.max_depth = 2;
+
+  for (int step = 0; step < 8; ++step) {
+    std::vector<NodeId> attached =
+        doc.tree().DescendantsOrSelf(doc.tree().root());
+    if (attached.size() > 1 && rng.Bernoulli(0.35)) {
+      // Delete a random non-root attached subtree.
+      const NodeId victim =
+          attached[1 + rng.UniformIndex(attached.size() - 1)];
+      Result<EditDelta> d = doc.DeleteSubtree(victim);
+      ASSERT_TRUE(d.ok()) << d.status().ToString();
+      EXPECT_EQ(d->elements_removed,
+                static_cast<size_t>(d->dirty_end - d->dirty_begin));
+    } else {
+      // Insert a random fragment (relabeled root) at a random element.
+      Tree fragment = RandomTree(frag_spec, &rng);
+      Tree relabeled(rng.Choose(spec.labels));
+      for (NodeId a : fragment.node(fragment.root()).attributes) {
+        relabeled
+            .CreateAttribute(relabeled.root(), fragment.node(a).label,
+                             fragment.node(a).value)
+            .ok();
+      }
+      for (NodeId c : fragment.node(fragment.root()).children) {
+        if (fragment.node(c).kind == NodeKind::kText) {
+          relabeled.CreateText(relabeled.root(), fragment.node(c).value);
+        } else {
+          EXPECT_TRUE(relabeled.Graft(relabeled.root(), fragment, c).ok());
+        }
+      }
+      const NodeId parent = attached[rng.UniformIndex(attached.size())];
+      Result<EditDelta> d = doc.InsertSubtree(parent, relabeled);
+      ASSERT_TRUE(d.ok()) << d.status().ToString();
+      EXPECT_EQ(d->elements_added,
+                static_cast<size_t>(d->dirty_end - d->dirty_begin));
+    }
+    ExpectMatchesFullCheck(doc);
+    ExpectIndexMatchesFresh(doc);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaDocProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace xmlprop

@@ -1,0 +1,265 @@
+// Differential tests of the streaming parse-to-index plane: for every
+// input, ParseXmlIndexed must produce a tree bit-identical to ParseXml
+// (rows, intern pools, Euler numbering, arena) and an index that answers
+// every query identically to TreeIndex built over that tree — and errors
+// must match byte for byte, including positions reported across chunk
+// boundaries of the incremental StreamParser front-end.
+
+#include "xml/stream_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "synth/doc_generator.h"
+#include "xml/parser.h"
+#include "xml/tree_index.h"
+#include "xml/writer.h"
+
+namespace xmlprop {
+namespace {
+
+// Column-level identity of two trees through the public accessors: same
+// rows in the same order, same intern pools, same Euler numbering, same
+// arena size.
+void ExpectTreesIdentical(const Tree& a, const Tree& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.element_count(), b.element_count());
+  EXPECT_EQ(a.attribute_count(), b.attribute_count());
+  EXPECT_EQ(a.arena_bytes(), b.arena_bytes());
+  ASSERT_EQ(a.label_count(), b.label_count());
+  ASSERT_EQ(a.value_count(), b.value_count());
+  for (size_t l = 0; l < a.label_count(); ++l) {
+    EXPECT_EQ(a.label_text(static_cast<LabelId>(l)),
+              b.label_text(static_cast<LabelId>(l)))
+        << "label " << l;
+  }
+  for (size_t v = 0; v < a.value_count(); ++v) {
+    EXPECT_EQ(a.value_text(static_cast<ValueId>(v)),
+              b.value_text(static_cast<ValueId>(v)))
+        << "value " << v;
+  }
+  for (NodeId id = 0; id < static_cast<NodeId>(a.size()); ++id) {
+    const Node na = a.node(id);
+    const Node nb = b.node(id);
+    ASSERT_EQ(na.kind, nb.kind) << "node " << id;
+    EXPECT_EQ(na.label, nb.label) << "node " << id;
+    EXPECT_EQ(na.value, nb.value) << "node " << id;
+    EXPECT_EQ(na.parent, nb.parent) << "node " << id;
+    EXPECT_EQ(a.label_id_of(id), b.label_id_of(id)) << "node " << id;
+    EXPECT_EQ(a.value_id_of(id), b.value_id_of(id)) << "node " << id;
+    std::vector<NodeId> ca(na.children.begin(), na.children.end());
+    std::vector<NodeId> cb(nb.children.begin(), nb.children.end());
+    EXPECT_EQ(ca, cb) << "children of " << id;
+    std::vector<NodeId> aa(na.attributes.begin(), na.attributes.end());
+    std::vector<NodeId> ab(nb.attributes.begin(), nb.attributes.end());
+    EXPECT_EQ(aa, ab) << "attributes of " << id;
+  }
+  ASSERT_TRUE(a.euler_valid());
+  ASSERT_TRUE(b.euler_valid());
+  a.FinalizeEuler();
+  b.FinalizeEuler();
+  EXPECT_EQ(a.elements_by_pre(), b.elements_by_pre());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.pre_data()[i], b.pre_data()[i]) << "pre of " << i;
+    EXPECT_EQ(a.pre_end_data()[i], b.pre_end_data()[i]) << "pre_end of " << i;
+  }
+  EXPECT_EQ(WriteXml(a), WriteXml(b));
+}
+
+// Query-level identity of two indexes over identical trees.
+void ExpectIndexesEquivalent(const TreeIndex& a, const TreeIndex& b) {
+  ASSERT_EQ(a.label_count(), b.label_count());
+  EXPECT_EQ(a.value_count(), b.value_count());
+  ASSERT_EQ(a.element_count(), b.element_count());
+  EXPECT_EQ(a.attribute_count(), b.attribute_count());
+  const size_t n = a.tree().size();
+  const size_t labels = a.label_count();
+  for (size_t l = 0; l < labels; ++l) {
+    EXPECT_EQ(a.ElementsWithLabel(static_cast<LabelId>(l)),
+              b.ElementsWithLabel(static_cast<LabelId>(l)))
+        << "label " << l;
+  }
+  for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+    if (a.tree().node(id).kind != NodeKind::kElement) continue;
+    EXPECT_EQ(a.pre(id), b.pre(id)) << "pre of " << id;
+    EXPECT_EQ(a.pre_end(id), b.pre_end(id)) << "pre_end of " << id;
+    EXPECT_EQ(a.label_of(id), b.label_of(id)) << "label_of " << id;
+    for (size_t l = 0; l < labels; ++l) {
+      const LabelId label = static_cast<LabelId>(l);
+      const TreeIndex::NodeSpan sa = a.ChildrenWithLabel(id, label);
+      const TreeIndex::NodeSpan sb = b.ChildrenWithLabel(id, label);
+      const std::vector<NodeId> va(sa.begin(), sa.end());
+      const std::vector<NodeId> vb(sb.begin(), sb.end());
+      EXPECT_EQ(va, vb) << "children of " << id << " label " << l;
+      EXPECT_EQ(a.AttributeWithLabel(id, label),
+                b.AttributeWithLabel(id, label))
+          << "attr of " << id << " label " << l;
+    }
+  }
+}
+
+// The core differential: both parse paths on one input, with agreement on
+// success, tree content, index answers, and error bytes.
+void ExpectStreamingMatchesFlat(const std::string& input) {
+  Result<Tree> flat = ParseXml(input);
+  Result<IndexedDoc> stream = ParseXmlIndexed(input);
+  ASSERT_EQ(flat.ok(), stream.ok())
+      << "flat: " << flat.status().ToString()
+      << " stream: " << stream.status().ToString();
+  if (!flat.ok()) {
+    EXPECT_EQ(flat.status().ToString(), stream.status().ToString());
+    return;
+  }
+  ExpectTreesIdentical(*flat, *stream->tree);
+  TreeIndex reference(*stream->tree);
+  ExpectIndexesEquivalent(reference, *stream->index);
+}
+
+// Chunked front-end: arbitrary chunking must reproduce the single-shot
+// result (or the single-shot error, with the same global position).
+void ExpectChunkedMatchesSingleShot(const std::string& input, Rng* rng) {
+  StreamParser parser;
+  Status fed = Status::OK();
+  size_t pos = 0;
+  while (pos < input.size()) {
+    const size_t len =
+        1 + rng->UniformIndex(rng->Bernoulli(0.5) ? 7 : 97);
+    const size_t take = std::min(len, input.size() - pos);
+    fed = parser.Feed(std::string_view(input).substr(pos, take));
+    if (!fed.ok()) break;
+    pos += take;
+  }
+  Result<IndexedDoc> chunked = parser.Finish();
+  Result<Tree> flat = ParseXml(input);
+  ASSERT_EQ(flat.ok(), chunked.ok())
+      << "flat: " << flat.status().ToString()
+      << " chunked: " << chunked.status().ToString();
+  if (!flat.ok()) {
+    EXPECT_EQ(flat.status().ToString(), chunked.status().ToString());
+    if (!fed.ok()) {
+      // A mid-stream error must be the same error, sticky.
+      EXPECT_EQ(fed.ToString(), flat.status().ToString());
+    }
+    return;
+  }
+  ExpectTreesIdentical(*flat, *chunked->tree);
+}
+
+std::vector<std::string> FixedDocuments() {
+  std::vector<std::string> inputs;
+  inputs.push_back("<r/>");
+  inputs.push_back("<r a=\"1\"/>");
+  inputs.push_back(
+      "<?xml version=\"1.0\"?>\n<!DOCTYPE r>\n<r>\n  <a x=\"1\" y=\"2\">text"
+      "</a>\n  <!-- note --><b/><?pi data?>\n  <a x=\"1\">again</a>\n</r>\n");
+  inputs.push_back(
+      "<bib><conf id=\"c1\"><year y=\"03\"><paper id=\"p1\"><title>T1"
+      "</title></paper><paper id=\"p2\"/></year></conf>"
+      "<conf id=\"c2\"/></bib>");
+  inputs.push_back("<r>&lt;&amp;&gt;&quot;&apos;&#65;&#x42;</r>");
+  inputs.push_back("<r><![CDATA[raw <>&\"' bytes]]>tail</r>");
+
+  std::string deep;
+  for (int i = 0; i < 300; ++i) deep += "<a x=\"1\">";
+  deep += "leaf";
+  for (int i = 0; i < 300; ++i) deep += "</a>";
+  inputs.push_back(deep);
+
+  std::string huge(16 * 1024, 'v');
+  inputs.push_back("<r a=\"" + huge + "\" b=\"&lt;" + huge + "&amp;\"/>");
+
+  std::string entities = "<r>";
+  for (int i = 0; i < 500; ++i) entities += "x&amp;&#65;&lt;";
+  entities += "</r>";
+  inputs.push_back(entities);
+
+  inputs.push_back(
+      "<r><a><!-- c --><?pi d?><![CDATA[]]></a><b></b>"
+      "<c>  <!-- only whitespace around me -->  </c></r>");
+  return inputs;
+}
+
+std::vector<std::string> FixedErrors() {
+  return {
+      "", "   ", "<", "<!", "<!--", "<!DOCTYPE", "<?xml",
+      "<r><![CDATA[", "<r>&#xFFFFFFFFF;</r>", "<r>&#;</r>",
+      "<r a=>", "<r a", "<r 1a=\"x\"/>", "<r/><r/>", "</r>",
+      "<r>\nsome text\n  <a b=\"1\" b=\"2\"/></r>",
+      "<r><a></b></r>", "<r>&unknown;</r>", "<r", "<r><a>",
+      "\xff\xfe\x00\x01", "<r>\x01\x02</r>",
+  };
+}
+
+TEST(StreamParserTest, FixedDocumentsMatchFlatParse) {
+  for (const std::string& input : FixedDocuments()) {
+    SCOPED_TRACE(input.substr(0, 60));
+    ExpectStreamingMatchesFlat(input);
+  }
+}
+
+TEST(StreamParserTest, FixedErrorsMatchFlatParse) {
+  for (const std::string& input : FixedErrors()) {
+    SCOPED_TRACE(input.substr(0, 60));
+    ExpectStreamingMatchesFlat(input);
+  }
+}
+
+TEST(StreamParserTest, ChunkedFixedInputs) {
+  Rng rng(4242);
+  for (const std::string& input : FixedDocuments()) {
+    SCOPED_TRACE(input.substr(0, 60));
+    for (int round = 0; round < 3; ++round) {
+      ExpectChunkedMatchesSingleShot(input, &rng);
+    }
+  }
+  for (const std::string& input : FixedErrors()) {
+    SCOPED_TRACE(input.substr(0, 60));
+    for (int round = 0; round < 3; ++round) {
+      ExpectChunkedMatchesSingleShot(input, &rng);
+    }
+  }
+}
+
+class StreamParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(StreamParserFuzz, RandomDocumentsAndMutations) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 92821 + 31);
+  RandomTreeSpec spec;
+  spec.max_depth = 4;
+  spec.max_children = 3;
+  for (int doc = 0; doc < 8; ++doc) {
+    WriteOptions options;
+    options.indent = rng.Bernoulli(0.5) ? 2 : 0;
+    std::string xml = WriteXml(RandomTree(spec, &rng), options);
+    ExpectStreamingMatchesFlat(xml);
+    ExpectChunkedMatchesSingleShot(xml, &rng);
+    // Mutations: agreement on accept/reject and on the bytes either way.
+    for (int round = 0; round < 6; ++round) {
+      std::string mutated = xml;
+      const size_t pos = rng.UniformIndex(mutated.size());
+      switch (rng.UniformInt(0, 2)) {
+        case 0:
+          mutated[pos] = "<>&\"'/= abc!["[rng.UniformIndex(12)];
+          break;
+        case 1:
+          mutated.erase(pos, 1 + rng.UniformIndex(3));
+          break;
+        case 2:
+          mutated.insert(pos, rng.Bernoulli(0.5) ? "<![CDATA[" : "&#x41;<x>");
+          break;
+      }
+      ExpectStreamingMatchesFlat(mutated);
+      ExpectChunkedMatchesSingleShot(mutated, &rng);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamParserFuzz, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace xmlprop
