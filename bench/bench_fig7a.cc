@@ -16,6 +16,8 @@
 #include "core/minimum_cover.h"
 #include "core/naive_cover.h"
 #include "keys/implication_engine.h"
+#include "obs/log.h"
+#include <sstream>
 
 namespace xmlprop {
 namespace {
@@ -240,12 +242,13 @@ void RunAblation(bool quick, bool perfetto) {
         .Num("speedup_vs_engine_off", off_ms / warm_ms);
     bench::FillPhases(warm, warm_trace);
 
-    std::cerr << "fig7a fields=" << fields << ": off " << off_ms
-              << " ms, engine cold " << cold_ms << " ms ("
-              << off_ms / cold_ms << "x), warm " << warm_ms << " ms ("
-              << off_ms / warm_ms << "x), identical="
-              << (cold_identical && warm_identical ? "yes" : "NO")
-              << std::endl;
+    std::ostringstream note;
+    note << "fig7a fields=" << fields << ": off " << off_ms
+         << " ms, engine cold " << cold_ms << " ms (" << off_ms / cold_ms
+         << "x), warm " << warm_ms << " ms (" << off_ms / warm_ms
+         << "x), identical="
+         << (cold_identical && warm_identical ? "yes" : "NO");
+    obs::LogInfo("bench", note.str());
   }
   report.Write();
 }
@@ -254,6 +257,8 @@ void RunAblation(bool quick, bool perfetto) {
 }  // namespace xmlprop
 
 int main(int argc, char** argv) {
+  // Bench progress notes log at info; lift the default warn threshold.
+  xmlprop::obs::SetLogLevel(xmlprop::obs::LogLevel::kInfo);
   const bool quick = xmlprop::bench::ConsumeFlag(&argc, argv, "--quick");
   const bool perfetto = xmlprop::bench::ConsumeFlag(&argc, argv, "--perfetto");
   xmlprop::RunAblation(quick, perfetto);

@@ -14,6 +14,8 @@
 #include "core/gminimum_cover.h"
 #include "core/propagation.h"
 #include "keys/implication_engine.h"
+#include "obs/log.h"
+#include <sstream>
 
 namespace xmlprop {
 namespace {
@@ -101,9 +103,11 @@ void RunAblation(bool quick) {
         .Bool("identical_to_engine_off", identical)
         .Num("speedup_vs_engine_off", off_ms / on_ms);
 
-    std::cerr << "fig7b depth=" << depth << ": off " << off_ms
-              << " ms, engine " << on_ms << " ms (" << off_ms / on_ms
-              << "x), identical=" << (identical ? "yes" : "NO") << std::endl;
+    std::ostringstream note;
+    note << "fig7b depth=" << depth << ": off " << off_ms << " ms, engine "
+         << on_ms << " ms (" << off_ms / on_ms << "x), identical="
+         << (identical ? "yes" : "NO");
+    obs::LogInfo("bench", note.str());
   }
   report.Write();
 }
@@ -112,6 +116,8 @@ void RunAblation(bool quick) {
 }  // namespace xmlprop
 
 int main(int argc, char** argv) {
+  // Bench progress notes log at info; lift the default warn threshold.
+  xmlprop::obs::SetLogLevel(xmlprop::obs::LogLevel::kInfo);
   const bool quick = xmlprop::bench::ConsumeFlag(&argc, argv, "--quick");
   xmlprop::RunAblation(quick);
   if (quick) return 0;  // CI smoke: JSON only, skip the full BM_ sweep

@@ -13,6 +13,8 @@
 #include "core/gminimum_cover.h"
 #include "core/propagation.h"
 #include "keys/implication_engine.h"
+#include "obs/log.h"
+#include <sstream>
 
 namespace xmlprop {
 namespace {
@@ -152,11 +154,13 @@ void RunAblation(bool quick) {
     gon.Bool("identical_to_engine_off", gidentical)
         .Num("speedup_vs_engine_off", goff_ms / gon_ms);
 
-    std::cerr << "fig7c keys=" << keys << ": propagation off " << off_ms
-              << " ms vs engine " << on_ms << " ms (" << off_ms / on_ms
-              << "x); gcover off " << goff_ms << " ms vs engine " << gon_ms
-              << " ms (" << goff_ms / gon_ms << "x), identical="
-              << (identical && gidentical ? "yes" : "NO") << std::endl;
+    std::ostringstream note;
+    note << "fig7c keys=" << keys << ": propagation off " << off_ms
+         << " ms vs engine " << on_ms << " ms (" << off_ms / on_ms
+         << "x); gcover off " << goff_ms << " ms vs engine " << gon_ms
+         << " ms (" << goff_ms / gon_ms << "x), identical="
+         << (identical && gidentical ? "yes" : "NO");
+    obs::LogInfo("bench", note.str());
   }
   report.Write();
 }
@@ -165,6 +169,8 @@ void RunAblation(bool quick) {
 }  // namespace xmlprop
 
 int main(int argc, char** argv) {
+  // Bench progress notes log at info; lift the default warn threshold.
+  xmlprop::obs::SetLogLevel(xmlprop::obs::LogLevel::kInfo);
   const bool quick = xmlprop::bench::ConsumeFlag(&argc, argv, "--quick");
   xmlprop::RunAblation(quick);
   if (quick) return 0;  // CI smoke: JSON only, skip the full BM_ sweep

@@ -23,6 +23,8 @@
 #include "xml/stream_parser.h"
 #include "xml/tree_index.h"
 #include "xml/writer.h"
+#include "obs/log.h"
+#include <sstream>
 
 namespace xmlprop {
 namespace {
@@ -249,9 +251,11 @@ void RunAblation(bool quick) {
         .Int("cache_misses", engine.counters().misses())
         .Bool("identical_to_engine_off", identical)
         .Num("speedup_vs_engine_off", off_ms / on_ms);
-    std::cerr << "micro implication: off " << off_ms << " ms vs engine "
-              << on_ms << " ms (" << off_ms / on_ms << "x), identical="
-              << (identical ? "yes" : "NO") << std::endl;
+    std::ostringstream note;
+    note << "micro implication: off " << off_ms << " ms vs engine " << on_ms
+         << " ms (" << off_ms / on_ms << "x), identical="
+         << (identical ? "yes" : "NO");
+    obs::LogInfo("bench", note.str());
   }
 
   {
@@ -285,9 +289,11 @@ void RunAblation(bool quick) {
     bench::FillStats(on, on_ms, on_stats);
     on.Bool("identical_to_engine_off", identical)
         .Num("speedup_vs_engine_off", off_ms / on_ms);
-    std::cerr << "micro cover_raw fields=" << fields << ": off " << off_ms
-              << " ms vs engine " << on_ms << " ms (" << off_ms / on_ms
-              << "x), identical=" << (identical ? "yes" : "NO") << std::endl;
+    std::ostringstream note;
+    note << "micro cover_raw fields=" << fields << ": off " << off_ms
+         << " ms vs engine " << on_ms << " ms (" << off_ms / on_ms
+         << "x), identical=" << (identical ? "yes" : "NO");
+    obs::LogInfo("bench", note.str());
   }
 
   // (c) the LinClosure kernel vs the seed fired-flag fixpoint, pure
@@ -350,9 +356,11 @@ void RunAblation(bool quick) {
         .Num("per_query_us", on_ms * 1000.0 / static_cast<double>(queries))
         .Bool("identical_to_index_off", identical)
         .Num("speedup_vs_index_off", off_ms / on_ms);
-    std::cerr << "micro attr_closure attrs=" << attrs << ": off " << off_ms
-              << " ms vs index " << on_ms << " ms (" << off_ms / on_ms
-              << "x), identical=" << (identical ? "yes" : "NO") << std::endl;
+    std::ostringstream note;
+    note << "micro attr_closure attrs=" << attrs << ": off " << off_ms
+         << " ms vs index " << on_ms << " ms (" << off_ms / on_ms
+         << "x), identical=" << (identical ? "yes" : "NO");
+    obs::LogInfo("bench", note.str());
   }
 
   // (d) the acceptance row: Algorithm naive's minimize step at 200
@@ -418,10 +426,11 @@ void RunAblation(bool quick) {
         .Num("per_pass_ms", on_ms / static_cast<double>(passes))
         .Bool("identical_to_index_off", identical)
         .Num("speedup_vs_index_off", off_ms / on_ms);
-    std::cerr << "micro naive_minimize fields=" << fields << ": off "
-              << off_ms << " ms vs index " << on_ms << " ms ("
-              << off_ms / on_ms << "x), identical="
-              << (identical ? "yes" : "NO") << std::endl;
+    std::ostringstream note;
+    note << "micro naive_minimize fields=" << fields << ": off " << off_ms
+         << " ms vs index " << on_ms << " ms (" << off_ms / on_ms
+         << "x), identical=" << (identical ? "yes" : "NO");
+    obs::LogInfo("bench", note.str());
   }
 
   // (e) flat-tree core hot paths at three document sizes: raw parse
@@ -524,11 +533,13 @@ void RunAblation(bool quick) {
           .Num("mb_per_s", value_mb_s)
           .Num("tolerance", 0.35)
           .Int("max_rss_kb", static_cast<uint64_t>(obs::ReadPeakRssKb()));
-      std::cerr << "micro flat doc=" << d.doc << " (" << xml.size()
-                << " bytes, " << nodes << " nodes): parse " << parse_mb_s
-                << " MB/s, stream parse+index " << stream_mb_s << " MB/s ("
-                << two_pass_ms / stream_ms << "x two-pass), value "
-                << value_mb_s << " MB/s" << std::endl;
+      std::ostringstream note;
+      note << "micro flat doc=" << d.doc << " (" << xml.size() << " bytes, "
+           << nodes << " nodes): parse " << parse_mb_s
+           << " MB/s, stream parse+index " << stream_mb_s << " MB/s ("
+           << two_pass_ms / stream_ms << "x two-pass), value " << value_mb_s
+           << " MB/s";
+      obs::LogInfo("bench", note.str());
     }
   }
 
@@ -539,6 +550,8 @@ void RunAblation(bool quick) {
 }  // namespace xmlprop
 
 int main(int argc, char** argv) {
+  // Bench progress notes log at info; lift the default warn threshold.
+  xmlprop::obs::SetLogLevel(xmlprop::obs::LogLevel::kInfo);
   const bool quick = xmlprop::bench::ConsumeFlag(&argc, argv, "--quick");
   xmlprop::RunAblation(quick);
   if (quick) return 0;  // CI smoke: JSON only, skip the full BM_ sweep

@@ -28,6 +28,8 @@
 #include "xml/stream_parser.h"
 #include "xml/tree_index.h"
 #include "xml/writer.h"
+#include "obs/log.h"
+#include <sstream>
 
 namespace xmlprop {
 namespace {
@@ -304,12 +306,14 @@ void AddEditRecheckRows(bool quick, bench::JsonReport* report) {
       .Int("max_rss_kb", static_cast<uint64_t>(obs::ReadPeakRssKb()))
       .Bool("identical_to_full_check", identical)
       .Num("speedup_vs_full", full_ms / delta_insert_ms);
-  std::cerr << "edit_recheck nodes=" << nodes << ": delta insert "
-            << delta_insert_ms << " ms (delete " << delta_delete_ms
-            << " ms, " << pairs_rechecked << "/" << pairs_total
-            << " pairs) vs full rebuild+check " << full_ms << " ms — "
-            << full_ms / delta_insert_ms << "x, identical="
-            << (identical ? "yes" : "NO") << std::endl;
+  std::ostringstream note;
+  note << "edit_recheck nodes=" << nodes << ": delta insert "
+       << delta_insert_ms << " ms (delete " << delta_delete_ms << " ms, "
+       << pairs_rechecked << "/" << pairs_total
+       << " pairs) vs full rebuild+check " << full_ms << " ms — "
+       << full_ms / delta_insert_ms << "x, identical="
+       << (identical ? "yes" : "NO");
+  obs::LogInfo("bench", note.str());
 }
 
 // The index-on/off pipeline ablation behind BENCH_pipeline.json: per
@@ -544,17 +548,16 @@ void RunAblation(bool quick, bool perfetto) {
         .Num("speedup_parse_index", (on_parse + on_index) / st_parse_index);
     bench::FillPhases(stream, stream_trace);
 
-    std::cerr << "pipeline confs=" << confs << ": off " << off_e2e
-              << " ms (parse " << off_parse << ", check " << off_check
-              << ", shred " << off_shred << "), on " << on_e2e
-              << " ms (parse " << on_parse << ", index " << on_index
-              << ", check " << on_check << ", shred " << on_shred
-              << "), stream " << st_e2e << " ms (parse+index "
-              << st_parse_index << " = "
-              << (on_parse + on_index) / st_parse_index
-              << "x two-pass, check " << st_check << ", shred " << st_shred
-              << "), identical=" << (identical && st_identical ? "yes" : "NO")
-              << std::endl;
+    std::ostringstream note;
+    note << "pipeline confs=" << confs << ": off " << off_e2e << " ms (parse "
+         << off_parse << ", check " << off_check << ", shred " << off_shred
+         << "), on " << on_e2e << " ms (parse " << on_parse << ", index "
+         << on_index << ", check " << on_check << ", shred " << on_shred
+         << "), stream " << st_e2e << " ms (parse+index " << st_parse_index
+         << " = " << (on_parse + on_index) / st_parse_index
+         << "x two-pass, check " << st_check << ", shred " << st_shred
+         << "), identical=" << (identical && st_identical ? "yes" : "NO");
+    obs::LogInfo("bench", note.str());
   }
   AddEditRecheckRows(quick, &report);
   report.Write();
@@ -564,6 +567,8 @@ void RunAblation(bool quick, bool perfetto) {
 }  // namespace xmlprop
 
 int main(int argc, char** argv) {
+  // Bench progress notes log at info; lift the default warn threshold.
+  xmlprop::obs::SetLogLevel(xmlprop::obs::LogLevel::kInfo);
   const bool quick = xmlprop::bench::ConsumeFlag(&argc, argv, "--quick");
   const bool perfetto = xmlprop::bench::ConsumeFlag(&argc, argv, "--perfetto");
   xmlprop::RunAblation(quick, perfetto);

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/propagation.h"
+#include "obs/log.h"
 #include "obs/chrome_trace.h"
 #include "obs/mem_stats.h"
 #include "obs/trace.h"
@@ -119,7 +120,7 @@ class JsonReport {
   bool Write() const {
     std::ofstream out(path_);
     if (!out) {
-      std::cerr << "cannot write " << path_ << std::endl;
+      obs::LogError("bench", "cannot write " + path_);
       return false;
     }
     out << "{\"bench\": \"" << Row::Escaped(bench_) << "\", \"rows\": [\n";
@@ -129,8 +130,8 @@ class JsonReport {
     }
     out << "]}\n";
     out.close();
-    std::cerr << "wrote " << path_ << " (" << rows_.size() << " rows)"
-              << std::endl;
+    obs::LogInfo("bench", "wrote " + path_,
+                 {obs::F("rows", static_cast<uint64_t>(rows_.size()))});
     return static_cast<bool>(out);
   }
 
@@ -199,7 +200,7 @@ template <typename Fn>
 inline obs::TraceSummary TracedPassTo(const std::string& path, Fn&& fn) {
   obs::TraceSummary summary = TracedPass(std::forward<Fn>(fn));
   obs::WriteChromeTrace(summary, path);
-  std::cerr << "wrote " << path << std::endl;
+  obs::LogInfo("bench", "wrote " + path);
   return summary;
 }
 
@@ -214,8 +215,8 @@ inline SyntheticWorkload MustMakeWorkload(size_t fields, size_t depth,
   spec.seed = seed;
   Result<SyntheticWorkload> w = MakeWorkload(spec);
   if (!w.ok()) {
-    std::cerr << "workload generation failed: " << w.status().ToString()
-              << std::endl;
+    obs::LogError("bench",
+                  "workload generation failed: " + w.status().ToString());
     std::abort();
   }
   return std::move(w).value();

@@ -1,7 +1,9 @@
 #include "common/status.h"
 
-#include <cstdio>
 #include <cstdlib>
+#include <string>
+
+#include "obs/log.h"
 
 namespace xmlprop {
 
@@ -23,7 +25,7 @@ const char* StatusCodeToString(StatusCode code) {
 
 void CheckOk(const Status& status, const char* context) {
   if (status.ok()) return;
-  std::fprintf(stderr, "%s: %s\n", context, status.ToString().c_str());
+  obs::LogError("status", std::string(context) + ": " + status.ToString());
   std::abort();
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "keys/implication.h"
+#include "obs/cost_attribution.h"
 #include "obs/metrics.h"
 
 namespace xmlprop {
@@ -55,6 +56,7 @@ bool ImpliesCounted(const KeyOracle& oracle, const XmlKey& key,
   // (LhsNonNullWhenRhsPresent).
   obs::CountInto(stats != nullptr ? &stats->implication_calls : nullptr,
                  "propagation.implication_calls");
+  obs::CostAdd(obs::CostKind::kImplicationCalls);
   return oracle.ImpliesIdentification(key);
 }
 

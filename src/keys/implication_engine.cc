@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/cost_attribution.h"
 #include "obs/trace.h"
 #include "xml/path.h"
 
@@ -126,6 +127,7 @@ bool ImplicationEngine::CachedContains(InternId super_id, const PathExpr& super,
       auto it = shard->contains.find(key);
       if (it != shard->contains.end()) {
         ++shard->contains_hits;
+        obs::CostAdd(obs::CostKind::kMemoHits);
         return it->second != 0;
       }
     }
@@ -136,6 +138,7 @@ bool ImplicationEngine::CachedContains(InternId super_id, const PathExpr& super,
       } else {
         ++counters_.contains_hits;
       }
+      obs::CostAdd(obs::CostKind::kMemoHits);
       return it->second != 0;
     }
   }
@@ -188,6 +191,7 @@ bool ImplicationEngine::IdentRec(const PathExpr& context, InternId context_id,
       auto it = shard->ident.find(state);
       if (it != shard->ident.end()) {
         ++shard->ident_hits;
+        obs::CostAdd(obs::CostKind::kMemoHits);
         return it->second != 0;
       }
     }
@@ -198,6 +202,7 @@ bool ImplicationEngine::IdentRec(const PathExpr& context, InternId context_id,
       } else {
         ++counters_.ident_hits;
       }
+      obs::CostAdd(obs::CostKind::kMemoHits);
       return it->second != 0;
     }
   }
@@ -252,6 +257,7 @@ bool ImplicationEngine::AttributesExist(const PathExpr& node_path,
       auto it = shard->exist.find(key);
       if (it != shard->exist.end()) {
         ++shard->exist_hits;
+        obs::CostAdd(obs::CostKind::kMemoHits);
         return it->second != 0;
       }
     }
@@ -262,6 +268,7 @@ bool ImplicationEngine::AttributesExist(const PathExpr& node_path,
       } else {
         ++counters_.exist_hits;
       }
+      obs::CostAdd(obs::CostKind::kMemoHits);
       return it->second != 0;
     }
   }

@@ -7,7 +7,10 @@
 #include <unordered_map>
 #include <utility>
 
+#include <atomic>
+
 #include "common/str_util.h"
+#include "obs/cost_attribution.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -41,8 +44,11 @@ std::string KeyViolation::Describe(const Tree& tree, const XmlKey& key) const {
 
 std::vector<KeyViolation> CheckKey(const Tree& tree, const XmlKey& key) {
   std::vector<KeyViolation> violations;
+  size_t contexts = 0;
+  size_t tuples_hashed = 0;
   for (NodeId ctx : key.context().EvalFromRoot(tree)) {
     if (tree.node(ctx).kind != NodeKind::kElement) continue;
+    ++contexts;
     std::vector<NodeId> targets = key.target().Eval(tree, ctx);
 
     // Condition (1): every target node carries every key attribute.
@@ -70,6 +76,7 @@ std::vector<KeyViolation> CheckKey(const Tree& tree, const XmlKey& key) {
         }
       }
       if (!complete) continue;
+      ++tuples_hashed;
 
       // Condition (2): equal key values imply the same node.
       auto [it, inserted] = seen.emplace(std::move(values), t);
@@ -83,6 +90,10 @@ std::vector<KeyViolation> CheckKey(const Tree& tree, const XmlKey& key) {
       }
     }
   }
+  obs::Count("check.contexts", contexts);
+  obs::Count("check.tuples_hashed", tuples_hashed);
+  obs::CostAdd(obs::CostKind::kContexts, contexts);
+  obs::CostAdd(obs::CostKind::kTuplesHashed, tuples_hashed);
   return violations;
 }
 
@@ -97,12 +108,31 @@ bool SatisfiesAll(const Tree& tree, const std::vector<XmlKey>& keys) {
   return true;
 }
 
+namespace {
+
+// The label a key's costs are attributed under (--explain-cost rows).
+std::string CostLabel(const XmlKey& key) {
+  return key.name().empty() ? key.ToString() : key.name();
+}
+
+}  // namespace
+
 std::vector<TaggedViolation> CheckAll(const Tree& tree,
                                       const std::vector<XmlKey>& keys) {
   obs::Span span("check.run");
+  obs::CostAttribution* costs = obs::ActiveCosts();
   std::vector<TaggedViolation> out;
   for (size_t i = 0; i < keys.size(); ++i) {
-    for (KeyViolation& v : CheckKey(tree, keys[i])) {
+    const uint32_t cost_id = costs != nullptr
+                                 ? costs->Intern(CostLabel(keys[i]))
+                                 : obs::CostAttribution::kNoConstraint;
+    obs::CostScope scope(cost_id);
+    obs::ScopedCostTimer timer(cost_id);
+    std::vector<KeyViolation> violations = CheckKey(tree, keys[i]);
+    if (costs != nullptr) {
+      costs->Add(cost_id, obs::CostKind::kViolations, violations.size());
+    }
+    for (KeyViolation& v : violations) {
       out.push_back(TaggedViolation{i, std::move(v)});
     }
   }
@@ -188,13 +218,16 @@ std::vector<LabelId> ResolveAttributes(const TreeIndex& index,
 // appending violations to `out`. Mirrors the loop structure of the
 // tree-walking CheckKey exactly (same order, same witness nodes); only
 // the value comparison changes, from string vectors to interned ids.
-void CheckContext(const TreeIndex& index, const XmlKey& key,
-                  const std::vector<LabelId>& attr_labels, NodeId ctx,
-                  const std::vector<NodeId>& targets, TupleDedup* dedup,
-                  std::vector<KeyViolation>* out) {
+// Returns the number of complete tuples folded into the dedup table
+// (the check.tuples_hashed / per-key cost accounting unit).
+size_t CheckContext(const TreeIndex& index, const XmlKey& key,
+                    const std::vector<LabelId>& attr_labels, NodeId ctx,
+                    const std::vector<NodeId>& targets, TupleDedup* dedup,
+                    std::vector<KeyViolation>* out) {
   const NodeKind* kind = index.tree().kind_data();
   dedup->Reset(attr_labels.size(), targets.size());
   std::vector<ValueId>& values = *dedup->scratch_tuple();
+  size_t tuples_hashed = 0;
   for (NodeId t : targets) {
     if (kind[static_cast<size_t>(t)] != NodeKind::kElement) continue;
     bool complete = true;
@@ -214,6 +247,7 @@ void CheckContext(const TreeIndex& index, const XmlKey& key,
       }
     }
     if (!complete) continue;
+    ++tuples_hashed;
     const NodeId first = dedup->FindOrInsert(values.data(), t);
     if (first != t) {
       KeyViolation viol;
@@ -224,6 +258,7 @@ void CheckContext(const TreeIndex& index, const XmlKey& key,
       out->push_back(std::move(viol));
     }
   }
+  return tuples_hashed;
 }
 
 // Context nodes of `path`, filtered to elements (the indexed checker
@@ -247,10 +282,17 @@ std::vector<KeyViolation> CheckKey(const TreeIndex& index,
   std::vector<KeyViolation> violations;
   const std::vector<LabelId> attr_labels = ResolveAttributes(index, key);
   TupleDedup dedup;
-  for (NodeId ctx : ElementContexts(index, key.context())) {
+  size_t tuples_hashed = 0;
+  const std::vector<NodeId> ctxs = ElementContexts(index, key.context());
+  for (NodeId ctx : ctxs) {
     const std::vector<NodeId> targets = key.target().Eval(index, ctx);
-    CheckContext(index, key, attr_labels, ctx, targets, &dedup, &violations);
+    tuples_hashed += CheckContext(index, key, attr_labels, ctx, targets,
+                                  &dedup, &violations);
   }
+  obs::Count("check.contexts", ctxs.size());
+  obs::Count("check.tuples_hashed", tuples_hashed);
+  obs::CostAdd(obs::CostKind::kContexts, ctxs.size());
+  obs::CostAdd(obs::CostKind::kTuplesHashed, tuples_hashed);
   return violations;
 }
 
@@ -260,7 +302,12 @@ std::vector<KeyViolation> CheckKeyAtContext(const TreeIndex& index,
   const std::vector<LabelId> attr_labels = ResolveAttributes(index, key);
   TupleDedup dedup;
   const std::vector<NodeId> targets = key.target().Eval(index, ctx);
-  CheckContext(index, key, attr_labels, ctx, targets, &dedup, &violations);
+  const size_t tuples_hashed = CheckContext(index, key, attr_labels, ctx,
+                                            targets, &dedup, &violations);
+  obs::Count("check.contexts", 1);
+  obs::Count("check.tuples_hashed", tuples_hashed);
+  obs::CostAdd(obs::CostKind::kContexts);
+  obs::CostAdd(obs::CostKind::kTuplesHashed, tuples_hashed);
   return violations;
 }
 
@@ -382,21 +429,47 @@ std::vector<TaggedViolation> CheckAll(const TreeIndex& index,
   for (const XmlKey& key : keys) {
     attr_labels.push_back(ResolveAttributes(index, key));
   }
+  // Per-key cost attribution (--explain-cost): intern each key's label
+  // once up front; chunks then charge contexts/tuples/violations/wall
+  // time to their owning key. Chunks own disjoint work, so the per-key
+  // sums reconcile exactly with the aggregate counters below.
+  obs::CostAttribution* costs = obs::ActiveCosts();
+  std::vector<uint32_t> cost_ids;
+  if (costs != nullptr) {
+    cost_ids.reserve(keys.size());
+    for (const XmlKey& key : keys) {
+      cost_ids.push_back(costs->Intern(CostLabel(key)));
+    }
+  }
   const std::vector<Chunk> check_chunks = make_chunks(
       keys.size(),
       [&](size_t k) { return context_sets[key_context[k]].size(); });
   std::vector<std::vector<KeyViolation>> slots(check_chunks.size());
+  std::atomic<size_t> tuples_hashed_total{0};
   {
     obs::Span span("check.scan");
     run_chunks(check_chunks, "check.scan_chunk", [&](const Chunk& chunk) {
       const size_t i = static_cast<size_t>(&chunk - check_chunks.data());
+      const uint32_t cost_id = cost_ids.empty()
+                                   ? obs::CostAttribution::kNoConstraint
+                                   : cost_ids[chunk.owner];
+      obs::CostScope scope(cost_id);
+      obs::ScopedCostTimer timer(cost_id);
       const std::vector<NodeId>& ctxs = context_sets[key_context[chunk.owner]];
       const std::vector<std::vector<NodeId>>& targets =
           target_sets[key_pair[chunk.owner]];
       TupleDedup dedup;
+      size_t tuples_hashed = 0;
       for (size_t c = chunk.begin; c < chunk.end; ++c) {
-        CheckContext(index, keys[chunk.owner], attr_labels[chunk.owner],
-                     ctxs[c], targets[c], &dedup, &slots[i]);
+        tuples_hashed += CheckContext(index, keys[chunk.owner],
+                                      attr_labels[chunk.owner], ctxs[c],
+                                      targets[c], &dedup, &slots[i]);
+      }
+      tuples_hashed_total.fetch_add(tuples_hashed, std::memory_order_relaxed);
+      if (costs != nullptr) {
+        costs->Add(cost_id, obs::CostKind::kContexts,
+                   chunk.end - chunk.begin);
+        costs->Add(cost_id, obs::CostKind::kTuplesHashed, tuples_hashed);
       }
     });
   }
@@ -405,6 +478,10 @@ std::vector<TaggedViolation> CheckAll(const TreeIndex& index,
   // order, which is exactly the sequential (and tree-walking) order.
   std::vector<TaggedViolation> out;
   for (size_t i = 0; i < check_chunks.size(); ++i) {
+    if (costs != nullptr && !slots[i].empty()) {
+      costs->Add(cost_ids[check_chunks[i].owner],
+                 obs::CostKind::kViolations, slots[i].size());
+    }
     for (KeyViolation& v : slots[i]) {
       out.push_back(TaggedViolation{check_chunks[i].owner, std::move(v)});
     }
@@ -427,6 +504,8 @@ std::vector<TaggedViolation> CheckAll(const TreeIndex& index,
   obs::Count("check.context_sets", context_sets.size());
   obs::Count("check.target_sets", target_sets.size());
   obs::Count("check.contexts", contexts);
+  obs::Count("check.tuples_hashed",
+             tuples_hashed_total.load(std::memory_order_relaxed));
   obs::Count("check.tasks", tasks);
   obs::Count("check.keys", keys.size());
   obs::Count("check.violations", out.size());

@@ -2,9 +2,9 @@
 
 #include <cstdio>
 #include <fstream>
-#include <iostream>
 #include <sstream>
 
+#include "obs/log.h"
 #include "obs/report.h"
 
 namespace xmlprop {
@@ -59,7 +59,7 @@ bool WriteChromeTrace(const TraceSummary& summary, const std::string& path,
                       const std::string& process_name) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
-    std::cerr << "cannot write " << path << std::endl;
+    LogError("trace", "cannot write " + path);
     return false;
   }
   out << ExportChromeTrace(summary, process_name) << "\n";

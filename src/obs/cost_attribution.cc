@@ -1,0 +1,118 @@
+#include "obs/cost_attribution.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace xmlprop {
+namespace obs {
+
+namespace internal {
+std::atomic<CostAttribution*> g_active_costs{nullptr};
+thread_local uint32_t tls_cost_id = CostAttribution::kNoConstraint;
+}  // namespace internal
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+CostAttribution::CostAttribution() : rows_(new Row[kMaxConstraints]) {
+  for (uint32_t r = 0; r < kMaxConstraints; ++r) {
+    for (int k = 0; k < kNumCostKinds; ++k) {
+      rows_[r].values[k].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+uint32_t CostAttribution::Intern(std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(std::string(label));
+  if (it != ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(labels_.size());
+  if (id >= kMaxConstraints) return kNoConstraint;
+  labels_.emplace_back(label);
+  ids_.emplace(labels_.back(), id);
+  // Publish the new count after the label exists, so Snapshot never
+  // reads past the labels it can name.
+  count_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+void CostAttribution::Add(uint32_t id, CostKind kind, uint64_t delta) {
+  if (id >= kMaxConstraints) return;
+  rows_[id].values[static_cast<int>(kind)].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+std::vector<ConstraintCostRow> CostAttribution::Snapshot() const {
+  std::vector<std::string> labels;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    labels = labels_;
+  }
+  std::vector<ConstraintCostRow> rows(labels.size());
+  for (size_t r = 0; r < labels.size(); ++r) {
+    rows[r].label = std::move(labels[r]);
+    for (int k = 0; k < kNumCostKinds; ++k) {
+      rows[r].values[k] = rows_[r].values[k].load(std::memory_order_relaxed);
+    }
+  }
+  return rows;
+}
+
+uint32_t CostAttribution::size() const {
+  return count_.load(std::memory_order_acquire);
+}
+
+void SortHotFirst(std::vector<ConstraintCostRow>* rows) {
+  std::stable_sort(rows->begin(), rows->end(),
+                   [](const ConstraintCostRow& a, const ConstraintCostRow& b) {
+                     if (a.Get(CostKind::kWallNs) != b.Get(CostKind::kWallNs)) {
+                       return a.Get(CostKind::kWallNs) >
+                              b.Get(CostKind::kWallNs);
+                     }
+                     if (a.Get(CostKind::kViolations) !=
+                         b.Get(CostKind::kViolations)) {
+                       return a.Get(CostKind::kViolations) >
+                              b.Get(CostKind::kViolations);
+                     }
+                     if (a.Get(CostKind::kContexts) !=
+                         b.Get(CostKind::kContexts)) {
+                       return a.Get(CostKind::kContexts) >
+                              b.Get(CostKind::kContexts);
+                     }
+                     return a.label < b.label;
+                   });
+}
+
+ScopedCostAttribution::ScopedCostAttribution(CostAttribution* costs)
+    : previous_(internal::g_active_costs.exchange(
+          costs, std::memory_order_relaxed)) {}
+
+ScopedCostAttribution::~ScopedCostAttribution() {
+  internal::g_active_costs.store(previous_, std::memory_order_relaxed);
+}
+
+ScopedCostTimer::ScopedCostTimer(uint32_t id)
+    : costs_(ActiveCosts()), id_(id) {
+  if (costs_ != nullptr && id_ != CostAttribution::kNoConstraint) {
+    start_ns_ = NowNs();
+  } else {
+    costs_ = nullptr;
+  }
+}
+
+ScopedCostTimer::~ScopedCostTimer() {
+  if (costs_ != nullptr) {
+    costs_->Add(id_, CostKind::kWallNs, NowNs() - start_ns_);
+  }
+}
+
+}  // namespace obs
+}  // namespace xmlprop

@@ -1,0 +1,178 @@
+#ifndef XMLPROP_OBS_COST_ATTRIBUTION_H_
+#define XMLPROP_OBS_COST_ATTRIBUTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xmlprop {
+namespace obs {
+
+/// Per-constraint cost attribution: which key / FD burned the cycles and
+/// produced the violations. Constraint labels are interned once into
+/// small ids; every hot-path charge is then one relaxed atomic add into a
+/// preallocated row — no locks, no allocation, no label hashing after the
+/// intern. Deep code (closure counter touches, implication memo hits)
+/// charges the *current* constraint through a thread-local scope, so the
+/// kernels stay ignorant of which key is being checked.
+///
+/// This is the accounting a repair planner ranks on (cf. cardinality
+/// repair for FDs): hot-first per-constraint tables in `--explain-cost`
+/// and the v3 run report, reconciling exactly with the aggregate
+/// MetricRegistry counters.
+
+/// The charge kinds one constraint accumulates. Order is the column
+/// order of the rendered table.
+enum class CostKind : int {
+  kContexts = 0,      ///< context sets scanned (key checking)
+  kTuplesHashed,      ///< flat tuples folded into dedup tables
+  kClosureTouches,    ///< LinClosure counter/word touches
+  kMemoHits,          ///< implication-engine memo hits
+  kImplicationCalls,  ///< implication queries issued
+  kViolations,        ///< violations attributed to this constraint
+  kWallNs,            ///< wall time spent, nanoseconds
+  kNumKinds,
+};
+
+inline constexpr int kNumCostKinds = static_cast<int>(CostKind::kNumKinds);
+
+/// One constraint's totals, labelled. `values` is indexed by CostKind.
+struct ConstraintCostRow {
+  std::string label;
+  uint64_t values[kNumCostKinds] = {};
+
+  uint64_t Get(CostKind kind) const {
+    return values[static_cast<int>(kind)];
+  }
+  double WallMs() const {
+    return static_cast<double>(Get(CostKind::kWallNs)) / 1e6;
+  }
+};
+
+/// The attribution table for one run. Thread-safe: Intern takes a mutex
+/// (once per constraint), Add is lock-free on the preallocated rows.
+class CostAttribution {
+ public:
+  /// Rows preallocated up front; constraints interned beyond this many
+  /// are dropped (charged to nothing) rather than reallocating under
+  /// concurrent writers.
+  static constexpr uint32_t kMaxConstraints = 4096;
+  /// Id meaning "no constraint in scope"; charges to it are dropped.
+  static constexpr uint32_t kNoConstraint = ~uint32_t{0};
+
+  CostAttribution();
+  CostAttribution(const CostAttribution&) = delete;
+  CostAttribution& operator=(const CostAttribution&) = delete;
+
+  /// The id for `label`, interning it on first sight. Stable for the
+  /// table's lifetime. Returns kNoConstraint once kMaxConstraints labels
+  /// exist.
+  uint32_t Intern(std::string_view label);
+
+  /// Charges `delta` of `kind` to `id` (no-op for kNoConstraint).
+  void Add(uint32_t id, CostKind kind, uint64_t delta);
+
+  /// Labelled totals in intern order. Concurrent adds may or may not be
+  /// visible; call after the charged work joined.
+  std::vector<ConstraintCostRow> Snapshot() const;
+
+  /// Number of constraints interned so far.
+  uint32_t size() const;
+
+ private:
+  struct Row {
+    std::atomic<uint64_t> values[kNumCostKinds];
+  };
+
+  std::unique_ptr<Row[]> rows_;
+  std::atomic<uint32_t> count_{0};
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> labels_;
+};
+
+/// Sorts rows hot-first: wall time, then violations, then contexts
+/// descending; label ascending as the deterministic tie-break.
+void SortHotFirst(std::vector<ConstraintCostRow>* rows);
+
+namespace internal {
+extern std::atomic<CostAttribution*> g_active_costs;
+extern thread_local uint32_t tls_cost_id;
+}  // namespace internal
+
+/// The process-wide active table, or nullptr when attribution is off
+/// (the default: every helper below is then one relaxed load).
+inline CostAttribution* ActiveCosts() {
+  return internal::g_active_costs.load(std::memory_order_relaxed);
+}
+
+/// Installs `costs` as the active table for this scope (RAII, nests).
+class ScopedCostAttribution {
+ public:
+  explicit ScopedCostAttribution(CostAttribution* costs);
+  ~ScopedCostAttribution();
+  ScopedCostAttribution(const ScopedCostAttribution&) = delete;
+  ScopedCostAttribution& operator=(const ScopedCostAttribution&) = delete;
+
+ private:
+  CostAttribution* previous_;
+};
+
+/// Declares "this thread is now working for constraint `id`" (RAII,
+/// nests; restores the enclosing constraint on destruction). Deep code
+/// then charges via CostAdd without knowing the constraint.
+class CostScope {
+ public:
+  explicit CostScope(uint32_t id) : previous_(internal::tls_cost_id) {
+    internal::tls_cost_id = id;
+  }
+  ~CostScope() { internal::tls_cost_id = previous_; }
+  CostScope(const CostScope&) = delete;
+  CostScope& operator=(const CostScope&) = delete;
+
+ private:
+  uint32_t previous_;
+};
+
+/// Charges `delta` of `kind` to the current thread's constraint in the
+/// active table. One relaxed load + TLS read when attribution is off or
+/// no constraint is in scope.
+inline void CostAdd(CostKind kind, uint64_t delta = 1) {
+  CostAttribution* costs = ActiveCosts();
+  if (costs == nullptr) return;
+  const uint32_t id = internal::tls_cost_id;
+  if (id == CostAttribution::kNoConstraint) return;
+  costs->Add(id, kind, delta);
+}
+
+/// True when a table is installed AND a constraint is in scope — guard
+/// for charges whose delta itself is expensive to compute.
+inline bool CostActive() {
+  return ActiveCosts() != nullptr &&
+         internal::tls_cost_id != CostAttribution::kNoConstraint;
+}
+
+/// Charges wall time (kWallNs) for `id` over its lifetime. Measures only
+/// when a table is active at construction.
+class ScopedCostTimer {
+ public:
+  explicit ScopedCostTimer(uint32_t id);
+  ~ScopedCostTimer();
+  ScopedCostTimer(const ScopedCostTimer&) = delete;
+  ScopedCostTimer& operator=(const ScopedCostTimer&) = delete;
+
+ private:
+  CostAttribution* costs_;
+  uint32_t id_;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace obs
+}  // namespace xmlprop
+
+#endif  // XMLPROP_OBS_COST_ATTRIBUTION_H_

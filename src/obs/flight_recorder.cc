@@ -1,0 +1,469 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sys/syscall.h>
+#endif
+
+#include "obs/trace.h"
+
+namespace xmlprop {
+namespace obs {
+
+namespace internal {
+std::atomic<int> g_flight_enabled{-1};
+}  // namespace internal
+
+namespace {
+
+using internal::g_flight_enabled;
+
+// One thread's ring. All state a crash-time reader touches is either
+// atomic or plain POD written before the head advance; a torn in-flight
+// record at worst shows stale text (every slot keeps a terminating NUL).
+struct ThreadRing {
+  std::atomic<uint64_t> head{0};  ///< monotonic count of records written
+  std::atomic<int> state{0};      ///< 0 free, 1 active, 2 retired
+  uint64_t tid = 0;
+  char name[16] = {};
+  // The owning thread's open-span stack (obs/trace.h span cursor),
+  // cleared at thread exit so the crash dump never chases dead TLS.
+  std::atomic<const char* const*> span_stack{nullptr};
+  std::atomic<const int*> span_depth{nullptr};
+  FlightEvent events[kFlightRingCapacity];
+};
+
+ThreadRing g_rings[kFlightMaxThreads];
+std::atomic<uint32_t> g_ring_count{0};
+std::atomic<uint64_t> g_seq{0};
+std::atomic<uint64_t> g_clock_epoch_ns{0};
+std::atomic<uint64_t> g_dropped_thread_events{0};
+// Bumped by ResetFlightRecorderForTest so stale thread-local ring
+// pointers from before a reset re-register instead of scribbling on a
+// reclaimed slot.
+std::atomic<uint64_t> g_registration_epoch{1};
+
+char g_crash_path[512] = {};
+std::atomic<int> g_crash_in_progress{0};
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t CurrentTid() {
+#if defined(__linux__)
+  return static_cast<uint64_t>(::syscall(SYS_gettid));
+#else
+  return 0;
+#endif
+}
+
+// Registered ring of the calling thread; the destructor retires the slot
+// (events stay readable for the black box, the TLS pointers do not).
+struct TlsRing {
+  ThreadRing* ring = nullptr;
+  uint64_t epoch = 0;
+  bool dropped = false;
+
+  ~TlsRing() {
+    if (ring != nullptr &&
+        epoch == g_registration_epoch.load(std::memory_order_relaxed)) {
+      ring->span_stack.store(nullptr, std::memory_order_relaxed);
+      ring->span_depth.store(nullptr, std::memory_order_relaxed);
+      ring->state.store(2, std::memory_order_release);
+    }
+    ring = nullptr;
+  }
+};
+
+thread_local TlsRing tls_ring;
+
+ThreadRing* RingForThisThread() {
+  const uint64_t epoch = g_registration_epoch.load(std::memory_order_relaxed);
+  if (tls_ring.epoch == epoch) {
+    if (tls_ring.dropped) {
+      g_dropped_thread_events.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    return tls_ring.ring;
+  }
+  const uint32_t slot = g_ring_count.fetch_add(1, std::memory_order_relaxed);
+  tls_ring.epoch = epoch;
+  if (slot >= kFlightMaxThreads) {
+    tls_ring.ring = nullptr;
+    tls_ring.dropped = true;
+    g_dropped_thread_events.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  ThreadRing* ring = &g_rings[slot];
+  ring->tid = CurrentTid();
+#if defined(__linux__)
+  if (pthread_getname_np(pthread_self(), ring->name, sizeof(ring->name)) != 0 ||
+      ring->name[0] == '\0') {
+    std::memcpy(ring->name, "thread", 7);
+  }
+#else
+  std::memcpy(ring->name, "thread", 7);
+#endif
+  ring->span_stack.store(xmlprop::obs::internal::tls_span_stack,
+                         std::memory_order_relaxed);
+  ring->span_depth.store(&xmlprop::obs::internal::tls_span_depth,
+                         std::memory_order_relaxed);
+  ring->state.store(1, std::memory_order_release);
+  tls_ring.ring = ring;
+  tls_ring.dropped = false;
+  return ring;
+}
+
+// ---------------------------------------------------------------------------
+// Async-signal-safe dump rendering. Everything below formats into a
+// caller-provided sink without allocating; the only library calls are
+// memcpy/strlen and (for the fd sink) write(2).
+
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  virtual void Append(const char* data, size_t len) = 0;
+};
+
+class FdSink : public ByteSink {
+ public:
+  explicit FdSink(int fd) : fd_(fd) {}
+  void Append(const char* data, size_t len) override {
+    while (len > 0) {
+      const ssize_t n = ::write(fd_, data, len);
+      if (n <= 0) return;
+      data += static_cast<size_t>(n);
+      len -= static_cast<size_t>(n);
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+class StringSink : public ByteSink {
+ public:
+  void Append(const char* data, size_t len) override { out.append(data, len); }
+  std::string out;
+};
+
+void PutStr(ByteSink* sink, const char* s) { sink->Append(s, std::strlen(s)); }
+
+void PutU64(ByteSink* sink, uint64_t v) {
+  char buf[24];
+  char* p = buf + sizeof(buf);
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v > 0);
+  sink->Append(p, static_cast<size_t>(buf + sizeof(buf) - p));
+}
+
+void PutI64(ByteSink* sink, int64_t v) {
+  if (v < 0) {
+    PutStr(sink, "-");
+    PutU64(sink, static_cast<uint64_t>(-(v + 1)) + 1);
+  } else {
+    PutU64(sink, static_cast<uint64_t>(v));
+  }
+}
+
+const char* KindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kSpanBegin:
+      return "span_begin";
+    case FlightEventKind::kSpanEnd:
+      return "span_end";
+    case FlightEventKind::kMetric:
+      return "metric";
+    case FlightEventKind::kLog:
+      return "log";
+    case FlightEventKind::kNone:
+      break;
+  }
+  return "none";
+}
+
+const char* SignalName(int sig) {
+  switch (sig) {
+    case SIGSEGV:
+      return "SIGSEGV";
+    case SIGABRT:
+      return "SIGABRT";
+    case SIGBUS:
+      return "SIGBUS";
+    case SIGFPE:
+      return "SIGFPE";
+    case SIGILL:
+      return "SIGILL";
+  }
+  return "signal";
+}
+
+// Peak RSS in KiB from /proc/self/status VmHWM, with open/read only
+// (the mem_stats reader uses iostreams, which are not signal-safe).
+int64_t SignalSafePeakRssKb() {
+  const int fd = ::open("/proc/self/status", O_RDONLY);
+  if (fd < 0) return 0;
+  char buf[8192];
+  ssize_t total = 0;
+  ssize_t n;
+  while (total < static_cast<ssize_t>(sizeof(buf)) - 1 &&
+         (n = ::read(fd, buf + total, sizeof(buf) - 1 -
+                                          static_cast<size_t>(total))) > 0) {
+    total += n;
+  }
+  ::close(fd);
+  buf[total] = '\0';
+  const char* line = std::strstr(buf, "VmHWM:");
+  if (line == nullptr) return 0;
+  line += 6;
+  while (*line == ' ' || *line == '\t') ++line;
+  int64_t kb = 0;
+  while (*line >= '0' && *line <= '9') {
+    kb = kb * 10 + (*line - '0');
+    ++line;
+  }
+  return kb;
+}
+
+void DumpRing(ByteSink* sink, const ThreadRing& ring) {
+  PutStr(sink, "thread tid=");
+  PutU64(sink, ring.tid);
+  PutStr(sink, " name=");
+  PutStr(sink, ring.name[0] != '\0' ? ring.name : "thread");
+  PutStr(sink, " events=");
+  PutU64(sink, ring.head.load(std::memory_order_acquire));
+  PutStr(sink, ring.state.load(std::memory_order_relaxed) == 2
+                   ? " state=retired"
+                   : " state=active");
+  const char* const* stack = ring.span_stack.load(std::memory_order_relaxed);
+  const int* depth_ptr = ring.span_depth.load(std::memory_order_relaxed);
+  if (stack != nullptr && depth_ptr != nullptr) {
+    int depth = *depth_ptr;
+    if (depth < 0) depth = 0;
+    if (depth > xmlprop::obs::internal::kMaxSpanStack) {
+      depth = xmlprop::obs::internal::kMaxSpanStack;
+    }
+    PutStr(sink, " span_stack:");
+    if (depth == 0) PutStr(sink, " (empty)");
+    for (int i = 0; i < depth; ++i) {
+      PutStr(sink, i == 0 ? " " : " > ");
+      const char* name = stack[i];
+      PutStr(sink, name != nullptr ? name : "?");
+    }
+  }
+  PutStr(sink, "\n");
+}
+
+void DumpCore(ByteSink* sink, int sig) {
+  PutStr(sink, "xmlprop flight recorder dump\n");
+  if (sig > 0) {
+    PutStr(sink, "signal: ");
+    PutU64(sink, static_cast<uint64_t>(sig));
+    PutStr(sink, " (");
+    PutStr(sink, SignalName(sig));
+    PutStr(sink, ")\n");
+  }
+  PutStr(sink, "vm_hwm_kb: ");
+  PutI64(sink, SignalSafePeakRssKb());
+  PutStr(sink, "\ndropped_thread_events: ");
+  PutU64(sink, g_dropped_thread_events.load(std::memory_order_relaxed));
+  PutStr(sink, "\n");
+
+  uint32_t rings = g_ring_count.load(std::memory_order_acquire);
+  if (rings > kFlightMaxThreads) rings = kFlightMaxThreads;
+  PutStr(sink, "threads: ");
+  PutU64(sink, rings);
+  PutStr(sink, "\n");
+  for (uint32_t r = 0; r < rings; ++r) DumpRing(sink, g_rings[r]);
+
+  // Merge the per-ring windows by global sequence. Each ring is already
+  // seq-ordered (one writer, monotonic head), so a k-way cursor merge is
+  // linear and needs no extra storage.
+  uint64_t cursor[kFlightMaxThreads];
+  uint64_t end[kFlightMaxThreads];
+  size_t total = 0;
+  for (uint32_t r = 0; r < rings; ++r) {
+    const uint64_t head = g_rings[r].head.load(std::memory_order_acquire);
+    const uint64_t window =
+        head < kFlightRingCapacity ? head : kFlightRingCapacity;
+    cursor[r] = head - window;
+    end[r] = head;
+    total += window;
+  }
+  PutStr(sink, "events: ");
+  PutU64(sink, total);
+  PutStr(sink, " (merged, oldest first)\n");
+  for (;;) {
+    uint32_t best = kFlightMaxThreads;
+    uint64_t best_seq = ~uint64_t{0};
+    for (uint32_t r = 0; r < rings; ++r) {
+      if (cursor[r] >= end[r]) continue;
+      const FlightEvent& e =
+          g_rings[r].events[cursor[r] % kFlightRingCapacity];
+      if (e.seq < best_seq) {
+        best_seq = e.seq;
+        best = r;
+      }
+    }
+    if (best == kFlightMaxThreads) break;
+    const FlightEvent& e =
+        g_rings[best].events[cursor[best] % kFlightRingCapacity];
+    ++cursor[best];
+    if (e.kind == FlightEventKind::kNone) continue;
+    PutStr(sink, "  seq=");
+    PutU64(sink, e.seq);
+    PutStr(sink, " t_us=");
+    PutU64(sink, e.ts_ns / 1000);
+    PutStr(sink, " tid=");
+    PutU64(sink, g_rings[best].tid);
+    PutStr(sink, " ");
+    PutStr(sink, KindName(e.kind));
+    PutStr(sink, " ");
+    // The text field always carries a NUL inside its fixed bounds.
+    sink->Append(e.text, ::strnlen(e.text, FlightEvent::kTextCapacity));
+    if (e.kind == FlightEventKind::kMetric ||
+        e.kind == FlightEventKind::kLog) {
+      PutStr(sink, " value=");
+      PutI64(sink, e.value);
+    }
+    PutStr(sink, "\n");
+  }
+  PutStr(sink, "end of flight recorder dump\n");
+}
+
+extern "C" void XmlpropCrashHandler(int sig) {
+  // First thread in wins; a second fatal signal (or a crash inside the
+  // dump) falls through to the default action immediately.
+  if (g_crash_in_progress.exchange(1) == 0 && g_crash_path[0] != '\0') {
+    const int fd =
+        ::open(g_crash_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      DumpFlightRecorderToFd(fd, sig);
+      ::close(fd);
+    }
+    FdSink err(2);
+    PutStr(&err, "xmlprop: fatal ");
+    PutStr(&err, SignalName(sig));
+    PutStr(&err, ", flight recorder dump written to ");
+    PutStr(&err, g_crash_path);
+    PutStr(&err, "\n");
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+namespace internal {
+
+bool FlightDecideEnabled() {
+  const char* env = std::getenv("XMLPROP_FLIGHT_RECORDER");
+  const bool off = env != nullptr &&
+                   (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+                    std::strcmp(env, "false") == 0);
+  int expected = -1;
+  g_flight_enabled.compare_exchange_strong(expected, off ? 0 : 1,
+                                           std::memory_order_relaxed);
+  return g_flight_enabled.load(std::memory_order_relaxed) > 0;
+}
+
+void FlightRecord(FlightEventKind kind, const char* text, size_t text_len,
+                  int64_t value) {
+  ThreadRing* ring = RingForThisThread();
+  if (ring == nullptr) return;
+  uint64_t epoch = g_clock_epoch_ns.load(std::memory_order_relaxed);
+  const uint64_t now = NowNs();
+  if (epoch == 0) {
+    uint64_t expected = 0;
+    g_clock_epoch_ns.compare_exchange_strong(expected, now,
+                                             std::memory_order_relaxed);
+    epoch = g_clock_epoch_ns.load(std::memory_order_relaxed);
+  }
+  const uint64_t head = ring->head.load(std::memory_order_relaxed);
+  FlightEvent& e = ring->events[head % kFlightRingCapacity];
+  e.seq = g_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  e.ts_ns = now - epoch;
+  e.value = value;
+  e.kind = kind;
+  if (text_len > FlightEvent::kTextCapacity) {
+    text_len = FlightEvent::kTextCapacity;
+  }
+  if (text != nullptr && text_len > 0) std::memcpy(e.text, text, text_len);
+  e.text[text_len] = '\0';
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+void ResetFlightRecorderForTest() {
+  g_registration_epoch.fetch_add(1, std::memory_order_relaxed);
+  const uint32_t rings =
+      std::min<uint32_t>(g_ring_count.load(std::memory_order_relaxed),
+                         kFlightMaxThreads);
+  for (uint32_t r = 0; r < rings; ++r) {
+    g_rings[r].head.store(0, std::memory_order_relaxed);
+    g_rings[r].state.store(0, std::memory_order_relaxed);
+    g_rings[r].span_stack.store(nullptr, std::memory_order_relaxed);
+    g_rings[r].span_depth.store(nullptr, std::memory_order_relaxed);
+    std::memset(static_cast<void*>(g_rings[r].events), 0,
+                sizeof(g_rings[r].events));
+  }
+  g_ring_count.store(0, std::memory_order_relaxed);
+  g_seq.store(0, std::memory_order_relaxed);
+  g_dropped_thread_events.store(0, std::memory_order_relaxed);
+}
+
+uint64_t FlightDroppedThreads() {
+  return g_dropped_thread_events.load(std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+void SetFlightRecorderEnabled(bool enabled) {
+  internal::g_flight_enabled.store(enabled ? 1 : 0,
+                                   std::memory_order_relaxed);
+}
+
+bool FlightRecorderEnabled() { return internal::FlightEnabled(); }
+
+void InstallCrashHandler(const char* path) {
+  if (path == nullptr) return;
+  const size_t len = std::strlen(path);
+  if (len == 0 || len >= sizeof(g_crash_path)) return;
+  std::memcpy(g_crash_path, path, len + 1);
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &XmlpropCrashHandler;
+  sigemptyset(&action.sa_mask);
+  for (int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+    ::sigaction(sig, &action, nullptr);
+  }
+}
+
+const char* CrashDumpPath() { return g_crash_path; }
+
+std::string DumpFlightRecorderToString() {
+  StringSink sink;
+  DumpCore(&sink, 0);
+  return std::move(sink.out);
+}
+
+void DumpFlightRecorderToFd(int fd, int signal) {
+  FdSink sink(fd);
+  DumpCore(&sink, signal);
+}
+
+}  // namespace obs
+}  // namespace xmlprop

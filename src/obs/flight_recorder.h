@@ -1,0 +1,142 @@
+#ifndef XMLPROP_OBS_FLIGHT_RECORDER_H_
+#define XMLPROP_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xmlprop {
+namespace obs {
+
+/// The flight recorder is the process black box for the live-service
+/// story: an always-on, lock-free, allocation-free ring of the last N
+/// span-begin/end, metric-delta and log events per thread, plus an
+/// async-signal-safe crash handler that dumps the merged ring, every
+/// registered thread's open-span stack and the peak RSS to a file before
+/// re-raising the fatal signal. Unlike Trace (opt-in, buffered until
+/// Finish) the recorder is on from process start and survives crashes —
+/// it answers "what was the process doing right before it died" for a
+/// daemon that never reaches a clean report path.
+///
+/// Hot-path contract: recording one event is one relaxed enabled-check,
+/// one thread-local ring lookup (registration on a thread's first event
+/// takes a spinlock-free slot claim), one global sequence fetch_add, a
+/// steady_clock read and a ≤ 48-byte copy into preallocated storage. No
+/// locks, no allocation, no syscalls.
+
+/// What one ring entry records.
+enum class FlightEventKind : uint8_t {
+  kNone = 0,
+  kSpanBegin = 1,
+  kSpanEnd = 2,
+  kMetric = 3,  ///< counter/gauge/histogram movement; value = delta
+  kLog = 4,     ///< value = log level
+};
+
+/// One fixed-size POD ring record. `text` holds the (possibly truncated)
+/// span/metric name or log message — copied, never referenced, so the
+/// dump can never chase a dangling pointer.
+struct FlightEvent {
+  static constexpr size_t kTextCapacity = 47;  ///< + NUL = 48 bytes
+
+  uint64_t seq = 0;    ///< global record order (1-based; 0 = empty slot)
+  uint64_t ts_ns = 0;  ///< steady-clock nanoseconds since recorder epoch
+  int64_t value = 0;   ///< metric delta, or log level
+  FlightEventKind kind = FlightEventKind::kNone;
+  char text[kTextCapacity + 1] = {};
+};
+
+/// Events kept per thread. Power of two; the ring keeps the most recent
+/// kRingCapacity events a thread recorded.
+inline constexpr size_t kFlightRingCapacity = 256;
+/// Threads the recorder can register; later threads drop their events
+/// (counted in `dropped_threads` of the dump header).
+inline constexpr size_t kFlightMaxThreads = 64;
+
+namespace internal {
+
+/// -1 = undecided (consult XMLPROP_FLIGHT_RECORDER once), 0 = off, 1 = on.
+extern std::atomic<int> g_flight_enabled;
+
+/// Outlined slow paths: record one event / decide enablement from the
+/// environment. Never call directly — use the Record* wrappers.
+void FlightRecord(FlightEventKind kind, const char* text, size_t text_len,
+                  int64_t value);
+bool FlightDecideEnabled();
+
+inline bool FlightEnabled() {
+  const int state = g_flight_enabled.load(std::memory_order_relaxed);
+  if (state > 0) return true;
+  if (state == 0) return false;
+  return FlightDecideEnabled();
+}
+
+}  // namespace internal
+
+/// Records a span start/end. `name` is copied (truncated to 47 bytes).
+inline void RecordSpanBegin(const char* name) {
+  if (!internal::FlightEnabled()) return;
+  internal::FlightRecord(FlightEventKind::kSpanBegin, name,
+                         std::string_view(name).size(), 0);
+}
+inline void RecordSpanEnd(const char* name) {
+  if (!internal::FlightEnabled()) return;
+  internal::FlightRecord(FlightEventKind::kSpanEnd, name,
+                         std::string_view(name).size(), 0);
+}
+
+/// Records a metric movement (counter add, gauge set, histogram observe).
+inline void RecordMetricDelta(std::string_view name, int64_t value) {
+  if (!internal::FlightEnabled()) return;
+  internal::FlightRecord(FlightEventKind::kMetric, name.data(), name.size(),
+                         value);
+}
+
+/// Records an emitted log line (message truncated; `level` is the
+/// LogLevel's integer value).
+inline void RecordLogEvent(int level, std::string_view message) {
+  if (!internal::FlightEnabled()) return;
+  internal::FlightRecord(FlightEventKind::kLog, message.data(),
+                         message.size(), level);
+}
+
+/// Master switch, overriding the XMLPROP_FLIGHT_RECORDER environment
+/// variable (set "0" to disable from the environment). Used by the A/B
+/// overhead bench and the --no-flight-recorder CLI escape hatch.
+void SetFlightRecorderEnabled(bool enabled);
+bool FlightRecorderEnabled();
+
+/// Installs the async-signal-safe crash handler for SIGSEGV, SIGABRT,
+/// SIGBUS, SIGFPE and SIGILL. On a fatal signal the handler writes the
+/// dump to `path` (copied into static storage; keep it short), notes the
+/// dump location on stderr, restores the default handler and re-raises,
+/// so the exit status still reflects the signal. Idempotent; the last
+/// path wins.
+void InstallCrashHandler(const char* path);
+
+/// The path the crash handler would write to ("" when not installed).
+const char* CrashDumpPath();
+
+/// Renders the current recorder state — the dump the crash handler would
+/// write, minus the signal line — into a string. Not async-signal-safe;
+/// for tests, debugging and operator tooling.
+std::string DumpFlightRecorderToString();
+
+/// Async-signal-safe dump to an open file descriptor. `signal` > 0 adds
+/// the fatal-signal header line. This is the crash handler's body,
+/// exposed so tests can exercise the exact signal-path code.
+void DumpFlightRecorderToFd(int fd, int signal);
+
+namespace internal {
+/// Test-only: forgets every registered ring and resets the sequence
+/// counter. Callers must guarantee no other thread records concurrently.
+void ResetFlightRecorderForTest();
+/// Events dropped because more than kFlightMaxThreads threads recorded.
+uint64_t FlightDroppedThreads();
+}  // namespace internal
+
+}  // namespace obs
+}  // namespace xmlprop
+
+#endif  // XMLPROP_OBS_FLIGHT_RECORDER_H_

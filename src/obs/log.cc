@@ -1,0 +1,294 @@
+#include "obs/log.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <chrono>
+#include <mutex>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+#include "obs/flight_recorder.h"
+#include "obs/report.h"
+
+namespace xmlprop {
+namespace obs {
+
+namespace internal {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+}  // namespace internal
+
+namespace {
+
+std::atomic<int> g_log_format{static_cast<int>(LogFormat::kText)};
+
+// Sink state. The mutex serializes whole-line writes (level/format are
+// lock-free switches; only emission and sink swaps take it).
+std::mutex g_sink_mu;
+FILE* g_sink_file = nullptr;  // owned when non-null; nullptr = stderr
+void (*g_sink_fn)(std::string_view, void*) = nullptr;
+void* g_sink_ctx = nullptr;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      break;
+  }
+  return "OFF";
+}
+
+const char* ThreadName() {
+  thread_local char name[32] = {};
+  if (name[0] == '\0') {
+#if defined(__linux__)
+    if (pthread_getname_np(pthread_self(), name, sizeof(name)) != 0 ||
+        name[0] == '\0') {
+      std::snprintf(name, sizeof(name), "thread");
+    }
+#else
+    std::snprintf(name, sizeof(name), "thread");
+#endif
+  }
+  return name;
+}
+
+int64_t WallClockMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendTimestamp(std::string* out, int64_t wall_ms) {
+  const std::time_t secs = static_cast<std::time_t>(wall_ms / 1000);
+  std::tm tm_utc;
+  gmtime_r(&secs, &tm_utc);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                static_cast<int>(wall_ms % 1000));
+  out->append(buf);
+}
+
+std::string RenderText(LogLevel level, std::string_view component,
+                       std::string_view message,
+                       std::initializer_list<LogField> fields,
+                       int64_t wall_ms) {
+  std::string line;
+  line.reserve(64 + message.size());
+  AppendTimestamp(&line, wall_ms);
+  line.push_back(' ');
+  line.append(LevelTag(level));
+  line.push_back(' ');
+  line.append(ThreadName());
+  line.push_back(' ');
+  line.append(component);
+  line.append(": ");
+  line.append(message);
+  for (const LogField& field : fields) {
+    line.push_back(' ');
+    line.append(field.key);
+    line.push_back('=');
+    line.append(field.value);
+  }
+  line.push_back('\n');
+  return line;
+}
+
+std::string RenderNdjson(LogLevel level, std::string_view component,
+                         std::string_view message,
+                         std::initializer_list<LogField> fields,
+                         int64_t wall_ms) {
+  std::string line;
+  line.reserve(96 + message.size());
+  line.append("{\"ts_ms\":");
+  line.append(std::to_string(wall_ms));
+  line.append(",\"level\":\"");
+  line.append(LogLevelName(level));
+  line.append("\",\"thread\":\"");
+  line.append(JsonEscape(ThreadName()));
+  line.append("\",\"component\":\"");
+  line.append(JsonEscape(component));
+  line.append("\",\"msg\":\"");
+  line.append(JsonEscape(message));
+  line.push_back('"');
+  if (fields.size() > 0) {
+    line.append(",\"fields\":{");
+    bool first = true;
+    for (const LogField& field : fields) {
+      if (!first) line.push_back(',');
+      first = false;
+      line.push_back('"');
+      line.append(JsonEscape(field.key));
+      line.append("\":");
+      if (field.quoted) {
+        line.push_back('"');
+        line.append(JsonEscape(field.value));
+        line.push_back('"');
+      } else {
+        line.append(field.value);
+      }
+    }
+    line.push_back('}');
+  }
+  line.append("}\n");
+  return line;
+}
+
+}  // namespace
+
+LogField F(std::string_view key, std::string_view value) {
+  return LogField{key, std::string(value), true};
+}
+LogField F(std::string_view key, const char* value) {
+  return LogField{key, std::string(value != nullptr ? value : ""), true};
+}
+LogField F(std::string_view key, const std::string& value) {
+  return LogField{key, value, true};
+}
+LogField F(std::string_view key, bool value) {
+  return LogField{key, value ? "true" : "false", false};
+}
+LogField F(std::string_view key, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return LogField{key, buf, false};
+}
+LogField F(std::string_view key, int64_t value) {
+  return LogField{key, std::to_string(value), false};
+}
+LogField F(std::string_view key, uint64_t value) {
+  return LogField{key, std::to_string(value), false};
+}
+
+namespace internal {
+
+void LogEmit(LogLevel level, std::string_view component,
+             std::string_view message,
+             std::initializer_list<LogField> fields) {
+  const int64_t wall_ms = WallClockMs();
+  const std::string line =
+      g_log_format.load(std::memory_order_relaxed) ==
+              static_cast<int>(LogFormat::kNdjson)
+          ? RenderNdjson(level, component, message, fields, wall_ms)
+          : RenderText(level, component, message, fields, wall_ms);
+  // The black box keeps the message even when the sink is a file that
+  // later rotates away.
+  RecordLogEvent(static_cast<int>(level), message);
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  // Precedence: an explicit log file beats the capture callback beats
+  // stderr — so `--log-file` still works under a test harness that has
+  // bound the callback to its captured error stream.
+  if (g_sink_file != nullptr) {
+    std::fwrite(line.data(), 1, line.size(), g_sink_file);
+    std::fflush(g_sink_file);
+    return;
+  }
+  if (g_sink_fn != nullptr) {
+    g_sink_fn(line, g_sink_ctx);
+    return;
+  }
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace internal
+
+void SetLogLevel(LogLevel level) {
+  internal::g_log_level.store(static_cast<int>(level),
+                              std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(
+      internal::g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogFormat(LogFormat format) {
+  g_log_format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+LogFormat GetLogFormat() {
+  return static_cast<LogFormat>(
+      g_log_format.load(std::memory_order_relaxed));
+}
+
+bool SetLogFile(const std::string& path) {
+  FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) return false;
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_sink_file != nullptr) std::fclose(g_sink_file);
+  g_sink_file = file;
+  return true;
+}
+
+void SetLogSinkStderr() {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_sink_file != nullptr) std::fclose(g_sink_file);
+  g_sink_file = nullptr;
+}
+
+void SetLogSinkCallback(void (*fn)(std::string_view line, void* ctx),
+                        void* ctx) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink_fn = fn;
+  g_sink_ctx = ctx;
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  if (text == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (text == "info") {
+    *out = LogLevel::kInfo;
+  } else if (text == "warn" || text == "warning") {
+    *out = LogLevel::kWarn;
+  } else if (text == "error") {
+    *out = LogLevel::kError;
+  } else if (text == "off") {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseLogFormat(std::string_view text, LogFormat* out) {
+  if (text == "text") {
+    *out = LogFormat::kText;
+  } else if (text == "ndjson" || text == "json") {
+    *out = LogFormat::kNdjson;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      break;
+  }
+  return "off";
+}
+
+}  // namespace obs
+}  // namespace xmlprop

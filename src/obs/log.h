@@ -1,0 +1,135 @@
+#ifndef XMLPROP_OBS_LOG_H_
+#define XMLPROP_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace xmlprop {
+namespace obs {
+
+/// Structured, leveled event log — the service-facing diagnostics channel.
+/// Every record carries a level, the originating thread's name, a short
+/// component tag, a message, and optional key=value fields, rendered as
+/// human text or NDJSON (one JSON object per line) to a pluggable sink
+/// (stderr by default, or a file / test-capture callback). A global
+/// atomic level switch makes disabled levels a single relaxed load, so
+/// debug logging can stay in hot-adjacent code.
+///
+/// The CLI wires `--log-level` / `--log-format` / `--quiet` through this
+/// switch on every command; the default level is `warn`, which keeps all
+/// success paths silent on stderr (cli_test asserts stdout/stderr
+/// bit-identity against that contract). Emitted records are also copied
+/// into the flight recorder ring, so the crash dump carries the last
+/// warnings even when the sink was a rotated-away file.
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,  ///< level switch value only — records cannot be kOff
+};
+
+enum class LogFormat : int {
+  kText = 0,    ///< `ts LEVEL thread component: message key=value ...`
+  kNdjson = 1,  ///< `{"ts_ms":...,"level":"...","fields":{...}}` per line
+};
+
+/// One pre-rendered key=value attachment. Build with the `F(...)`
+/// overloads below; `quoted` records whether NDJSON should emit the value
+/// as a JSON string (true) or raw number/bool literal (false).
+struct LogField {
+  std::string_view key;
+  std::string value;
+  bool quoted = true;
+};
+
+/// Field constructors: strings stay strings, arithmetic values render
+/// unquoted so NDJSON consumers get real numbers.
+LogField F(std::string_view key, std::string_view value);
+LogField F(std::string_view key, const char* value);
+LogField F(std::string_view key, const std::string& value);
+LogField F(std::string_view key, bool value);
+LogField F(std::string_view key, double value);
+LogField F(std::string_view key, int64_t value);
+LogField F(std::string_view key, uint64_t value);
+inline LogField F(std::string_view key, int value) {
+  return F(key, static_cast<int64_t>(value));
+}
+inline LogField F(std::string_view key, unsigned value) {
+  return F(key, static_cast<uint64_t>(value));
+}
+
+namespace internal {
+extern std::atomic<int> g_log_level;
+/// Outlined emission: renders and writes one record. Only called when
+/// the level passed the switch.
+void LogEmit(LogLevel level, std::string_view component,
+             std::string_view message,
+             std::initializer_list<LogField> fields);
+}  // namespace internal
+
+/// True when records at `level` currently reach the sink. Guard expensive
+/// message formatting with this.
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         internal::g_log_level.load(std::memory_order_relaxed);
+}
+
+/// Emits one record (no-op below the global level).
+inline void LogEvent(LogLevel level, std::string_view component,
+                     std::string_view message,
+                     std::initializer_list<LogField> fields = {}) {
+  if (!LogEnabled(level)) return;
+  internal::LogEmit(level, component, message, fields);
+}
+
+/// Level-named conveniences.
+inline void LogDebug(std::string_view component, std::string_view message,
+                     std::initializer_list<LogField> fields = {}) {
+  LogEvent(LogLevel::kDebug, component, message, fields);
+}
+inline void LogInfo(std::string_view component, std::string_view message,
+                    std::initializer_list<LogField> fields = {}) {
+  LogEvent(LogLevel::kInfo, component, message, fields);
+}
+inline void LogWarn(std::string_view component, std::string_view message,
+                    std::initializer_list<LogField> fields = {}) {
+  LogEvent(LogLevel::kWarn, component, message, fields);
+}
+inline void LogError(std::string_view component, std::string_view message,
+                     std::initializer_list<LogField> fields = {}) {
+  LogEvent(LogLevel::kError, component, message, fields);
+}
+
+/// Global switches. The defaults are kWarn / kText / stderr.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+void SetLogFormat(LogFormat format);
+LogFormat GetLogFormat();
+
+/// Redirects the sink to `path` (append mode). Returns false (and leaves
+/// the current sink in place) when the file cannot be opened.
+bool SetLogFile(const std::string& path);
+/// Restores the default stderr sink (closing any owned file).
+void SetLogSinkStderr();
+/// Test hook: every rendered line (including '\n') is handed to `fn`
+/// instead of being written. Pass nullptr to restore the previous
+/// file/stderr sink.
+void SetLogSinkCallback(void (*fn)(std::string_view line, void* ctx),
+                        void* ctx);
+
+/// Parses "debug|info|warn|error|off" / "text|ndjson" (case-sensitive).
+/// Returns false on unknown names, leaving `*out` untouched.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
+bool ParseLogFormat(std::string_view text, LogFormat* out);
+/// The canonical spelling of `level` ("debug", ..., "off").
+std::string_view LogLevelName(LogLevel level);
+
+}  // namespace obs
+}  // namespace xmlprop
+
+#endif  // XMLPROP_OBS_LOG_H_

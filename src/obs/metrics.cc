@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/flight_recorder.h"
+
 namespace xmlprop {
 namespace obs {
 
@@ -12,8 +14,14 @@ std::atomic<MetricRegistry*> g_active_metrics{nullptr};
 
 int HistogramSnapshot::BucketIndex(double value) {
   if (!(value > 0)) return 0;
-  const int index =
-      static_cast<int>(std::ceil(std::log2(value))) + kBucketShift;
+  const double raw = std::ceil(std::log2(value));
+  // Guard the cast: +inf or anything past the last bucket's bound would
+  // be UB to convert to int (and NaN cannot reach here — !(value > 0)
+  // already routed it to bucket 0).
+  if (raw >= static_cast<double>(kNumBuckets - kBucketShift)) {
+    return kNumBuckets - 1;
+  }
+  const int index = static_cast<int>(raw) + kBucketShift;
   return std::clamp(index, 0, kNumBuckets - 1);
 }
 
@@ -66,6 +74,7 @@ std::atomic<uint64_t>& MetricRegistry::CounterCell(std::string_view name) {
 
 void MetricRegistry::Add(std::string_view name, uint64_t delta) {
   CounterCell(name).fetch_add(delta, std::memory_order_relaxed);
+  RecordMetricDelta(name, static_cast<int64_t>(delta));
 }
 
 uint64_t MetricRegistry::Counter(std::string_view name) const {
@@ -76,12 +85,15 @@ uint64_t MetricRegistry::Counter(std::string_view name) const {
 }
 
 void MetricRegistry::SetGauge(std::string_view name, int64_t value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  gauges_[std::string(name)] = value;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    gauges_[std::string(name)] = value;
+  }
+  RecordMetricDelta(name, value);
 }
 
 void MetricRegistry::Observe(std::string_view name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   HistogramCell& cell = histograms_[std::string(name)];
   if (cell.count == 0) {
     cell.min = value;
@@ -93,6 +105,8 @@ void MetricRegistry::Observe(std::string_view name, double value) {
   ++cell.count;
   cell.sum += value;
   ++cell.buckets[HistogramSnapshot::BucketIndex(value)];
+  lock.unlock();
+  RecordMetricDelta(name, static_cast<int64_t>(value));
 }
 
 MetricsSnapshot MetricRegistry::Snapshot() const {

@@ -1,0 +1,145 @@
+#include "obs/openmetrics.h"
+
+#include <cstdio>
+#include <chrono>
+
+namespace xmlprop {
+namespace obs {
+
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out->append(buf);
+}
+
+void AppendHistogram(std::string* out, const std::string& name,
+                     const HistogramSnapshot& hist) {
+  out->append("# TYPE ").append(name).append(" histogram\n");
+  uint64_t cumulative = 0;
+  for (int i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+    if (hist.buckets[i] == 0) continue;
+    cumulative += hist.buckets[i];
+    out->append(name).append("_bucket{le=\"");
+    if (i == HistogramSnapshot::kNumBuckets - 1) {
+      out->append("+Inf");
+    } else {
+      AppendDouble(out, HistogramSnapshot::BucketUpperBound(i));
+    }
+    out->append("\"} ");
+    out->append(std::to_string(cumulative));
+    out->push_back('\n');
+  }
+  // The +Inf bucket is mandatory even when the last cell is empty.
+  if (hist.buckets[HistogramSnapshot::kNumBuckets - 1] == 0) {
+    out->append(name).append("_bucket{le=\"+Inf\"} ");
+    out->append(std::to_string(cumulative));
+    out->push_back('\n');
+  }
+  out->append(name).append("_sum ");
+  AppendDouble(out, hist.sum);
+  out->push_back('\n');
+  out->append(name).append("_count ");
+  out->append(std::to_string(hist.count));
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string OpenMetricsName(std::string_view name) {
+  std::string out = "xmlprop_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string RenderOpenMetrics(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string om = OpenMetricsName(name);
+    out.append("# TYPE ").append(om).append(" counter\n");
+    out.append(om).append("_total ").append(std::to_string(value));
+    out.push_back('\n');
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string om = OpenMetricsName(name);
+    out.append("# TYPE ").append(om).append(" gauge\n");
+    out.append(om).append(" ").append(std::to_string(value));
+    out.push_back('\n');
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    AppendHistogram(&out, OpenMetricsName(name), hist);
+  }
+  out.append("# EOF\n");
+  return out;
+}
+
+bool WriteOpenMetricsFile(const MetricsSnapshot& snapshot,
+                          const std::string& path) {
+  const std::string body = RenderOpenMetrics(snapshot);
+  const std::string tmp = path + ".tmp";
+  FILE* file = std::fopen(tmp.c_str(), "w");
+  if (file == nullptr) return false;
+  const bool wrote =
+      std::fwrite(body.data(), 1, body.size(), file) == body.size();
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+PeriodicMetricsWriter::PeriodicMetricsWriter(const MetricRegistry* registry,
+                                             std::string path,
+                                             int interval_ms)
+    : registry_(registry),
+      path_(std::move(path)),
+      interval_ms_(interval_ms > 0 ? interval_ms : 1000),
+      thread_([this] { Run(); }) {}
+
+PeriodicMetricsWriter::~PeriodicMetricsWriter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  // Final snapshot, so even runs shorter than one interval leave the
+  // exposition on disk.
+  if (WriteOpenMetricsFile(registry_->Snapshot(), path_)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++writes_;
+  }
+}
+
+int PeriodicMetricsWriter::writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_;
+}
+
+void PeriodicMetricsWriter::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                     [this] { return stop_; })) {
+      return;
+    }
+    lock.unlock();
+    const bool ok = WriteOpenMetricsFile(registry_->Snapshot(), path_);
+    lock.lock();
+    if (ok) ++writes_;
+  }
+}
+
+}  // namespace obs
+}  // namespace xmlprop

@@ -1,0 +1,68 @@
+#ifndef XMLPROP_OBS_OPENMETRICS_H_
+#define XMLPROP_OBS_OPENMETRICS_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace xmlprop {
+namespace obs {
+
+/// OpenMetrics / Prometheus text exposition of a MetricsSnapshot.
+///
+/// Mapping: every metric name is prefixed `xmlprop_` and sanitized to
+/// `[a-zA-Z_][a-zA-Z0-9_]*` (dots and dashes become underscores).
+/// Counters render as `<name>_total`, gauges as `<name>`, histograms as
+/// the standard cumulative `<name>_bucket{le="..."}` series (only the
+/// buckets where the cumulative count moves, plus the mandatory
+/// `le="+Inf"`) with `<name>_sum` and `<name>_count`. Output ends with
+/// the OpenMetrics `# EOF` terminator, so a scraper (or the CI lint) can
+/// detect truncation.
+std::string RenderOpenMetrics(const MetricsSnapshot& snapshot);
+
+/// `name` after prefixing and sanitization — exposed for tests and the
+/// exposition itself.
+std::string OpenMetricsName(std::string_view name);
+
+/// Writes `RenderOpenMetrics(snapshot)` to `path` via a `<path>.tmp` +
+/// rename, so a scraper never reads a half-written exposition. Returns
+/// false when the file cannot be written.
+bool WriteOpenMetricsFile(const MetricsSnapshot& snapshot,
+                          const std::string& path);
+
+/// Periodic snapshot-to-file mode for long runs: a background thread
+/// writes the registry's exposition to `path` every `interval_ms`
+/// milliseconds (and once on destruction, so short runs still leave a
+/// final snapshot). The registry must outlive the writer.
+class PeriodicMetricsWriter {
+ public:
+  PeriodicMetricsWriter(const MetricRegistry* registry, std::string path,
+                        int interval_ms);
+  ~PeriodicMetricsWriter();
+  PeriodicMetricsWriter(const PeriodicMetricsWriter&) = delete;
+  PeriodicMetricsWriter& operator=(const PeriodicMetricsWriter&) = delete;
+
+  /// Snapshots written so far (for tests; the destructor's final write
+  /// counts too).
+  int writes() const;
+
+ private:
+  void Run();
+
+  const MetricRegistry* registry_;
+  std::string path_;
+  int interval_ms_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  int writes_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace xmlprop
+
+#endif  // XMLPROP_OBS_OPENMETRICS_H_

@@ -1,5 +1,6 @@
 #include "obs/report.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <sstream>
@@ -134,7 +135,52 @@ std::string ReportToJson(const RunReport& report) {
     }
     out << "}}";
   }
+  if (!report.constraint_costs.empty()) {
+    out << ",\"constraint_costs\":[";
+    for (size_t i = 0; i < report.constraint_costs.size(); ++i) {
+      if (i > 0) out << ",";
+      const ConstraintCostRow& row = report.constraint_costs[i];
+      out << "{\"constraint\":\"" << JsonEscape(row.label)
+          << "\",\"contexts\":" << row.Get(CostKind::kContexts)
+          << ",\"tuples_hashed\":" << row.Get(CostKind::kTuplesHashed)
+          << ",\"closure_touches\":" << row.Get(CostKind::kClosureTouches)
+          << ",\"memo_hits\":" << row.Get(CostKind::kMemoHits)
+          << ",\"implication_calls\":" << row.Get(CostKind::kImplicationCalls)
+          << ",\"violations\":" << row.Get(CostKind::kViolations)
+          << ",\"wall_ms\":" << Num(row.WallMs()) << "}";
+    }
+    out << "]";
+  }
   out << "}";
+  return out.str();
+}
+
+std::string CostTableToText(const std::vector<ConstraintCostRow>& rows) {
+  std::ostringstream out;
+  size_t label_width = 10;
+  for (const ConstraintCostRow& row : rows) {
+    label_width = std::max(label_width, row.label.size());
+  }
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%-*s %10s %12s %14s %10s %10s %10s %10s\n",
+                static_cast<int>(label_width), "constraint", "contexts",
+                "tuples", "closure", "memo", "implies", "violations",
+                "wall_ms");
+  out << line;
+  for (const ConstraintCostRow& row : rows) {
+    std::snprintf(line, sizeof(line),
+                  "%-*s %10" PRIu64 " %12" PRIu64 " %14" PRIu64 " %10" PRIu64
+                  " %10" PRIu64 " %10" PRIu64 " %10.3f\n",
+                  static_cast<int>(label_width), row.label.c_str(),
+                  row.Get(CostKind::kContexts),
+                  row.Get(CostKind::kTuplesHashed),
+                  row.Get(CostKind::kClosureTouches),
+                  row.Get(CostKind::kMemoHits),
+                  row.Get(CostKind::kImplicationCalls),
+                  row.Get(CostKind::kViolations), row.WallMs());
+    out << line;
+  }
   return out.str();
 }
 
@@ -169,6 +215,10 @@ std::string ReportToText(const RunReport& report) {
       out << "  " << row.name << "  self " << row.self << "  total "
           << row.total << "\n";
     }
+  }
+  if (!report.constraint_costs.empty()) {
+    out << "constraint costs (hot first):\n"
+        << CostTableToText(report.constraint_costs);
   }
   out << "memory: max_rss " << report.memory.max_rss_kb << " kb";
   if (report.memory.hooks_enabled) {

@@ -2,7 +2,9 @@
 #define XMLPROP_OBS_REPORT_H_
 
 #include <string>
+#include <vector>
 
+#include "obs/cost_attribution.h"
 #include "obs/mem_stats.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -21,17 +23,26 @@ struct RunReport {
   MetricsSnapshot metrics;
   ProfileSummary profile;  ///< per-span sample counts (empty when off)
   MemorySummary memory;    ///< peak RSS always; counters when hooked
+  /// Per-constraint cost rows (hot-first), filled when the run was
+  /// attributed (`--explain-cost`); empty otherwise.
+  std::vector<ConstraintCostRow> constraint_costs;
 };
 
 /// Bumped when the JSON layout changes incompatibly. Version 2 added
 /// histogram percentiles, the `memory` object and the optional `profile`
-/// object.
-inline constexpr int kReportVersion = 2;
+/// object. Version 3 added the optional `constraint_costs` array
+/// (per-key/FD cost attribution).
+inline constexpr int kReportVersion = 3;
 
 /// Serializes `report` as a single JSON object with top-level keys
 /// `version`, `command`, `config`, `wall_ms`, `spans`, `metrics`,
-/// `memory`, and — when profiling ran — `profile`.
+/// `memory`, and — when the respective planes ran — `profile` and
+/// `constraint_costs`.
 std::string ReportToJson(const RunReport& report);
+
+/// Renders the hot-first per-constraint cost table as aligned text (the
+/// `--explain-cost` stdout block; also embedded by ReportToText).
+std::string CostTableToText(const std::vector<ConstraintCostRow>& rows);
 
 /// Renders `report` as a human-readable text tree (spans indented with
 /// per-node count/total, followed by the metric listing). Intended for

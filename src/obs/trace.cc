@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include "obs/flight_recorder.h"
+
 #include <algorithm>
 #include <functional>
 #include <thread>
@@ -235,6 +237,9 @@ SpanToken CurrentSpan() { return SpanToken{internal::tls_current_span}; }
 Span::Span(const char* name)
     : trace_(internal::g_active_trace.load(std::memory_order_relaxed)),
       name_(name) {
+  // The flight recorder sees every span, traced or not — it is the
+  // always-on black box, independent of the opt-in Trace plane.
+  RecordSpanBegin(name_);
   const bool cursor_wanted =
       internal::g_span_stack_refs.load(std::memory_order_relaxed) > 0;
   if (trace_ == nullptr && !cursor_wanted) return;
@@ -255,6 +260,7 @@ Span::Span(const char* name)
 }
 
 Span::~Span() {
+  RecordSpanEnd(name_);
   if (pushed_) {
     internal::tls_span_depth -= 1;
     std::atomic_signal_fence(std::memory_order_release);

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <map>
 
+#include "obs/cost_attribution.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -172,6 +173,7 @@ AttrSet ClosureIndex::CounterClosure(const AttrSet& start,
     }
   }
   obs::Count("closure.counter_touches", touches);
+  obs::CostAdd(obs::CostKind::kClosureTouches, touches);
   return closure;
 }
 
@@ -214,6 +216,7 @@ bool ClosureIndex::CounterReaches(const AttrSet& start, const AttrSet& target,
     }
   }
   obs::Count("closure.counter_touches", touches);
+  obs::CostAdd(obs::CostKind::kClosureTouches, touches);
   return reached;
 }
 
@@ -261,6 +264,7 @@ bool ClosureIndex::DenseRun(ClosureScratch* scratch, uint32_t skip_node,
     const int v = visit(n);
     if (v == 1) {
       obs::Count("closure.counter_touches", touches);
+      obs::CostAdd(obs::CostKind::kClosureTouches, touches);
       return true;
     }
     if (v == -1) scratch->active_.push_back(n);
@@ -273,6 +277,7 @@ bool ClosureIndex::DenseRun(ClosureScratch* scratch, uint32_t skip_node,
       const int v = visit(active[i]);
       if (v == 1) {
         obs::Count("closure.counter_touches", touches);
+      obs::CostAdd(obs::CostKind::kClosureTouches, touches);
         return true;
       }
       if (v == -1) {
@@ -283,6 +288,7 @@ bool ClosureIndex::DenseRun(ClosureScratch* scratch, uint32_t skip_node,
     }
   }
   obs::Count("closure.counter_touches", touches);
+  obs::CostAdd(obs::CostKind::kClosureTouches, touches);
   return false;
 }
 

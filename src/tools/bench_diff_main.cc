@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/log.h"
 #include "tools/bench_diff.h"
 
 namespace {
@@ -65,7 +66,8 @@ int main(int argc, char** argv) {
     if (arg.rfind("--tolerance=", 0) == 0) {
       options.tolerance = std::strtod(arg.c_str() + 12, nullptr);
       if (options.tolerance <= 0) {
-        std::cerr << "bench_diff: bad --tolerance '" << arg << "'\n";
+        xmlprop::obs::LogError("bench_diff",
+                               "bad --tolerance '" + arg + "'");
         return 1;
       }
     } else if (arg == "--warn-only") {
@@ -75,7 +77,7 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--markdown=", 0) == 0) {
       markdown_path = arg.substr(11);
     } else if (arg.rfind("--", 0) == 0) {
-      std::cerr << "bench_diff: unknown flag '" << arg << "'\n";
+      xmlprop::obs::LogError("bench_diff", "unknown flag '" + arg + "'");
       return Usage();
     } else {
       files.push_back(arg);
@@ -90,28 +92,29 @@ int main(int argc, char** argv) {
     const std::string& current_path = files[i + 1];
     std::string baseline_text, current_text;
     if (!ReadFile(baseline_path, &baseline_text)) {
-      std::cerr << "bench_diff: missing baseline " << baseline_path
-                << " (seed it from a trusted run)\n";
+      xmlprop::obs::LogError(
+          "bench_diff", "missing baseline " + baseline_path,
+          {xmlprop::obs::F("hint", "seed it from a trusted run")});
       ++errors;
       continue;
     }
     if (!ReadFile(current_path, &current_text)) {
-      std::cerr << "bench_diff: missing current report " << current_path
-                << "\n";
+      xmlprop::obs::LogError("bench_diff",
+                             "missing current report " + current_path);
       ++errors;
       continue;
     }
     auto baseline = xmlprop::benchdiff::ParseBenchJson(baseline_text);
     if (!baseline.ok()) {
-      std::cerr << "bench_diff: " << baseline_path << ": "
-                << baseline.status().ToString() << "\n";
+      xmlprop::obs::LogError(
+          "bench_diff", baseline_path + ": " + baseline.status().ToString());
       ++errors;
       continue;
     }
     auto current = xmlprop::benchdiff::ParseBenchJson(current_text);
     if (!current.ok()) {
-      std::cerr << "bench_diff: " << current_path << ": "
-                << current.status().ToString() << "\n";
+      xmlprop::obs::LogError(
+          "bench_diff", current_path + ": " + current.status().ToString());
       ++errors;
       continue;
     }
@@ -123,7 +126,8 @@ int main(int argc, char** argv) {
 
   const std::string markdown = xmlprop::benchdiff::DiffToMarkdown(results);
   if (!markdown_path.empty() && !AppendFile(markdown_path, markdown)) {
-    std::cerr << "bench_diff: cannot write " << markdown_path << "\n";
+    xmlprop::obs::LogError("bench_diff",
+                           "cannot write " + markdown_path);
     ++errors;
   }
   if (const char* summary = std::getenv("GITHUB_STEP_SUMMARY");
@@ -139,8 +143,10 @@ int main(int argc, char** argv) {
   if (errors > 0) return 1;
   if (regressions > 0) {
     if (warn_only) {
-      std::cerr << "bench_diff: " << regressions
-                << " regression(s) (warn-only: not failing)\n";
+      xmlprop::obs::LogWarn(
+          "bench_diff",
+          std::to_string(regressions) +
+              " regression(s) (warn-only: not failing)");
       return 0;
     }
     return 2;

@@ -1,6 +1,7 @@
 #include "tools/cli.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -20,8 +21,12 @@
 #include "keys/xsd_import.h"
 #include "core/publish.h"
 #include "obs/chrome_trace.h"
+#include "obs/cost_attribution.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/mem_stats.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
 #include "obs/profiler.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -70,6 +75,40 @@ observability (any command):
                   instead of the compiled LinClosure kernel (ablation;
                   identical output, covers and designs are bit-for-bit
                   the same either way).
+  --log-level=LEVEL
+                  Structured-log threshold: debug, info, warn (default),
+                  error, or off. Diagnostics below the threshold are
+                  dropped before formatting.
+  --log-format=FORMAT
+                  Structured-log rendering: `text` (default) or `ndjson`
+                  (one JSON object per line, machine-ingestible).
+  --log-file=FILE Append structured log records to FILE instead of
+                  stderr.
+  --quiet         Alias for --log-level=error.
+  --metrics-format=FORMAT
+                  Metric exposition format for --metrics/--metrics-out:
+                  `text` (default) or `openmetrics` (Prometheus text
+                  format, `# EOF`-terminated).
+  --metrics-out=FILE
+                  Write the OpenMetrics exposition to FILE (atomically,
+                  via FILE.tmp + rename). With --metrics-interval-ms=N a
+                  background thread rewrites it every N ms for the whole
+                  run — the scrape file for long runs.
+  --explain-cost  Attribute work to individual keys/FDs and print the
+                  per-constraint cost table (contexts scanned, tuples
+                  hashed, closure counter touches, memo hits, wall time,
+                  violations), hot-first, to stderr; with --trace=FILE
+                  the same rows land in the JSON run report
+                  (constraint_costs, schema v3).
+  --crash-dump=FILE
+                  Install the crash handler: on SIGSEGV/SIGABRT/SIGBUS/
+                  SIGFPE/SIGILL write the flight-recorder black box
+                  (last-N events, open span stacks, peak RSS) to FILE,
+                  then re-raise. XMLPROP_CRASH_DUMP=FILE does the same
+                  from the environment.
+  --no-flight-recorder
+                  Disable the always-on flight recorder for this run
+                  (XMLPROP_FLIGHT_RECORDER=0 does the same).
 
 commands:
   check      --keys FILE --doc FILE [--fkeys FILE] [--index] [--streaming]
@@ -163,7 +202,8 @@ Result<ParsedArgs> ParseArgs(const std::vector<std::string>& args) {
     if (name == "sql" || name == "naive" || name == "3nf" ||
         name == "via-cover" || name == "csv" || name == "explain" ||
         name == "engine" || name == "index" || name == "no-closure-index" ||
-        name == "streaming") {
+        name == "streaming" || name == "quiet" || name == "explain-cost" ||
+        name == "no-flight-recorder") {
       parsed.flags[name] = "true";
     } else if (name == "trace" || name == "metrics" || name == "profile") {
       parsed.flags[name] = "";
@@ -436,6 +476,15 @@ int CmdPropagate(const ParsedArgs& args, std::ostream& out) {
   if (!fd.ok()) throw fd.status();
 
   PropagationStats stats;
+  // Per-constraint attribution (--explain-cost): every implication call,
+  // memo hit and closure touch below charges to this FD's row.
+  obs::CostAttribution* costs = obs::ActiveCosts();
+  const uint32_t cost_id =
+      costs != nullptr ? costs->Intern(fd->ToString(table->schema()) + " on " +
+                                       table->relation_name())
+                       : obs::CostAttribution::kNoConstraint;
+  obs::CostScope cost_scope(cost_id);
+  obs::ScopedCostTimer cost_timer(cost_id);
   Result<bool> verdict = Status::Internal("unreached");
   if (args.Has("engine")) {
     ImplicationEngine engine(*keys);
@@ -701,7 +750,11 @@ std::string ConfigString(const ParsedArgs& args) {
   std::string out;
   for (const auto& [name, value] : args.flags) {
     if (name == "trace" || name == "metrics" || name == "profile" ||
-        name == "trace-format") {
+        name == "trace-format" || name == "log-level" ||
+        name == "log-format" || name == "log-file" || name == "quiet" ||
+        name == "metrics-format" || name == "metrics-out" ||
+        name == "metrics-interval-ms" || name == "explain-cost" ||
+        name == "crash-dump" || name == "no-flight-recorder") {
       continue;
     }
     if (!out.empty()) out += ' ';
@@ -726,16 +779,35 @@ int RunObserved(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     throw Status::InvalidArgument("unknown --trace-format '" + trace_format +
                                   "' (expected json or perfetto)");
   }
+  const std::string metrics_format =
+      args.Has("metrics-format") ? args.Get("metrics-format") : "text";
+  if (metrics_format != "text" && metrics_format != "openmetrics") {
+    throw Status::InvalidArgument("unknown --metrics-format '" +
+                                  metrics_format +
+                                  "' (expected text or openmetrics)");
+  }
   const bool profiling = args.Has("profile");
+  const bool explain_cost = args.Has("explain-cost");
 
   obs::MetricRegistry registry;
   obs::Trace trace;
   obs::Profiler profiler;
   std::optional<obs::ScopedMemAccounting> mem_scope;
+  std::optional<obs::CostAttribution> costs;
+  std::optional<obs::PeriodicMetricsWriter> periodic;
   int code;
   {
     obs::ScopedMetrics metrics_scope(&registry);
     obs::ScopedTrace trace_scope(&trace);
+    std::optional<obs::ScopedCostAttribution> cost_scope;
+    if (explain_cost) {
+      costs.emplace();
+      cost_scope.emplace(&*costs);
+    }
+    if (args.Has("metrics-out") && args.Has("metrics-interval-ms")) {
+      periodic.emplace(&registry, args.Get("metrics-out"),
+                       std::stoi(args.Get("metrics-interval-ms")));
+    }
     if (profiling) {
       mem_scope.emplace();
       profiler.Start();
@@ -744,6 +816,9 @@ int RunObserved(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     code = DispatchCommand(args, out);
   }
   if (profiling) profiler.Stop();
+  // Stopping the periodic writer flushes the final snapshot; a one-shot
+  // --metrics-out (no interval) writes below, from the report snapshot.
+  periodic.reset();
   if (code == -1) return -1;  // unknown command: no report
 
   obs::RunReport report;
@@ -757,6 +832,15 @@ int RunObserved(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     mem_scope.reset();
   } else {
     report.memory = obs::CurrentMemorySummary();
+  }
+  if (explain_cost) {
+    report.constraint_costs = costs->Snapshot();
+    obs::SortHotFirst(&report.constraint_costs);
+  }
+  if (args.Has("metrics-out") && !args.Has("metrics-interval-ms") &&
+      !obs::WriteOpenMetricsFile(report.metrics, args.Get("metrics-out"))) {
+    throw Status::InvalidArgument("cannot write metrics to " +
+                                  args.Get("metrics-out"));
   }
 
   bool text_report_emitted = false;
@@ -797,8 +881,13 @@ int RunObserved(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     }
   }
   // The text report already lists the metrics; only print them
-  // separately when they would otherwise not reach stderr.
-  if (args.Has("metrics") && !text_report_emitted) {
+  // separately when they would otherwise not reach stderr. OpenMetrics
+  // output is machine-oriented, so it is emitted even alongside the
+  // text report.
+  const bool want_metrics = args.Has("metrics") || args.Has("metrics-format");
+  if (want_metrics && metrics_format == "openmetrics") {
+    err << obs::RenderOpenMetrics(report.metrics);
+  } else if (want_metrics && !text_report_emitted) {
     err << "metrics:\n";
     for (const auto& [name, value] : report.metrics.counters) {
       err << "  " << name << " = " << value << "\n";
@@ -807,42 +896,111 @@ int RunObserved(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
       err << "  " << name << " = " << value << " (gauge)\n";
     }
   }
+  if (explain_cost && !text_report_emitted &&
+      !report.constraint_costs.empty()) {
+    err << "constraint costs (hot first):\n"
+        << obs::CostTableToText(report.constraint_costs);
+  }
   return code;
+}
+
+// Routes logger output into the caller-supplied error stream for the
+// duration of a RunCli call, so test harnesses that capture `err` as an
+// ostringstream still see logged diagnostics.
+struct ScopedErrSink {
+  explicit ScopedErrSink(std::ostream& err) {
+    obs::SetLogSinkCallback(&Write, &err);
+  }
+  ~ScopedErrSink() { obs::SetLogSinkCallback(nullptr, nullptr); }
+  static void Write(std::string_view line, void* ctx) {
+    static_cast<std::ostream*>(ctx)->write(
+        line.data(), static_cast<std::streamsize>(line.size()));
+  }
+};
+
+// Applies --quiet / --log-level / --log-format / --log-file. Throws
+// Status::InvalidArgument on unknown values so the normal CLI error
+// path reports them.
+void ApplyLogFlags(const ParsedArgs& args) {
+  if (args.Has("quiet")) obs::SetLogLevel(obs::LogLevel::kError);
+  if (args.Has("log-level")) {
+    obs::LogLevel level;
+    if (!obs::ParseLogLevel(args.Get("log-level"), &level)) {
+      throw Status::InvalidArgument(
+          "unknown --log-level '" + args.Get("log-level") +
+          "' (expected debug, info, warn, error, or off)");
+    }
+    obs::SetLogLevel(level);
+  }
+  if (args.Has("log-format")) {
+    obs::LogFormat format;
+    if (!obs::ParseLogFormat(args.Get("log-format"), &format)) {
+      throw Status::InvalidArgument("unknown --log-format '" +
+                                    args.Get("log-format") +
+                                    "' (expected text or ndjson)");
+    }
+    obs::SetLogFormat(format);
+  }
+  if (args.Has("log-file") && !obs::SetLogFile(args.Get("log-file"))) {
+    throw Status::InvalidArgument("cannot open log file " +
+                                  args.Get("log-file"));
+  }
 }
 
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
            std::ostream& err) {
+  // Each invocation starts from the default log configuration so one
+  // run's flags never leak into the next (the CLI is re-entrant for
+  // tests).
+  obs::SetLogLevel(obs::LogLevel::kWarn);
+  obs::SetLogFormat(obs::LogFormat::kText);
+  obs::SetLogSinkStderr();  // closes any --log-file from a prior call
+  ScopedErrSink err_sink(err);
   Result<ParsedArgs> parsed = ParseArgs(args);
   if (!parsed.ok()) {
-    err << "error: " << parsed.status().message() << "\n"
-        << "run `xmlprop help` for usage\n";
+    obs::LogError("cli", "error: " + parsed.status().message(),
+                  {obs::F("hint", "run `xmlprop help` for usage")});
     return 1;
   }
   try {
+    ApplyLogFlags(*parsed);
+    if (parsed->Has("no-flight-recorder")) {
+      obs::SetFlightRecorderEnabled(false);
+    }
+    if (parsed->Has("crash-dump")) {
+      obs::InstallCrashHandler(parsed->Get("crash-dump").c_str());
+    } else if (const char* env = std::getenv("XMLPROP_CRASH_DUMP");
+               env != nullptr && env[0] != '\0') {
+      obs::InstallCrashHandler(env);
+    }
     const std::string& cmd = parsed->command;
     if (cmd == "help" || cmd == "--help" || cmd == "-h") {
       out << kHelp;
       return 0;
     }
-    const int code = (parsed->Has("trace") || parsed->Has("metrics") ||
-                      parsed->Has("profile") || parsed->Has("trace-format"))
-                         ? RunObserved(*parsed, out, err)
-                         : DispatchCommand(*parsed, out);
+    obs::LogDebug("cli", "dispatching", {obs::F("command", cmd)});
+    const int code =
+        (parsed->Has("trace") || parsed->Has("metrics") ||
+         parsed->Has("profile") || parsed->Has("trace-format") ||
+         parsed->Has("explain-cost") || parsed->Has("metrics-format") ||
+         parsed->Has("metrics-out"))
+            ? RunObserved(*parsed, out, err)
+            : DispatchCommand(*parsed, out);
     if (code == -1) {
-      err << "error: unknown command '" << cmd << "'\n"
-          << "run `xmlprop help` for usage\n";
+      obs::LogError("cli", "error: unknown command '" + cmd + "'",
+                    {obs::F("hint", "run `xmlprop help` for usage")});
       return 1;
     }
     return code;
   } catch (const Status& status) {
     // Command helpers throw Status for input problems; the library
     // itself never throws (Status/Result error model).
-    err << "error: " << status.ToString() << "\n";
+    obs::LogError("cli", "error: " + status.ToString());
     return 1;
   } catch (const std::exception& e) {
-    err << "error: " << e.what() << "\n";
+    obs::LogError("cli", std::string("error: ") + e.what());
     return 1;
   }
 }

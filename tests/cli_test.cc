@@ -3,10 +3,13 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <regex>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "obs/flight_recorder.h"
 #include "paper_fixtures.h"
 
 namespace xmlprop {
@@ -575,6 +578,228 @@ TEST_F(CliTest, UnknownTraceFormatIsAnError) {
                      Path("doc.xml"), "--trace-format=xml"});
   EXPECT_EQ(r.code, 1);
   EXPECT_NE(r.err.find("unknown --trace-format"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Telemetry plane: structured log flags, per-constraint cost attribution
+// and OpenMetrics exposition.
+
+TEST_F(CliTest, LogFlagsLeaveStdoutIdentical) {
+  const std::vector<std::string> base = {"check", "--keys", Path("keys.txt"),
+                                         "--doc", Path("doc.xml")};
+  RunResult plain = Run(base);
+  ASSERT_EQ(plain.code, 0) << plain.err;
+  EXPECT_EQ(plain.err, "") << "clean run must stay silent on stderr";
+
+  for (const char* flag :
+       {"--quiet", "--log-level=debug", "--log-level=error",
+        "--log-format=ndjson"}) {
+    std::vector<std::string> flagged = base;
+    flagged.push_back(flag);
+    RunResult r = Run(flagged);
+    EXPECT_EQ(r.code, plain.code) << flag;
+    EXPECT_EQ(r.out, plain.out) << flag << " altered stdout";
+  }
+}
+
+TEST_F(CliTest, DebugLevelShowsDispatchRecord) {
+  RunResult r = Run({"check", "--keys", Path("keys.txt"), "--doc",
+                     Path("doc.xml"), "--log-level=debug"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.err.find("DEBUG"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("command=check"), std::string::npos) << r.err;
+}
+
+TEST_F(CliTest, ErrorsRenderThroughTheLogger) {
+  RunResult r = Run({"check", "--keys", Path("nope.txt"), "--doc",
+                     Path("doc.xml")});
+  EXPECT_EQ(r.code, 1);
+  // The logged record keeps the classic error: prefix and adds the
+  // level tag.
+  EXPECT_NE(r.err.find("ERROR"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("error: "), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos) << r.err;
+}
+
+TEST_F(CliTest, NdjsonErrorsAreJsonLines) {
+  RunResult r = Run({"check", "--keys", Path("nope.txt"), "--doc",
+                     Path("doc.xml"), "--log-format=ndjson"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_EQ(r.err.front(), '{') << r.err;
+  EXPECT_NE(r.err.find("\"level\":\"error\""), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos) << r.err;
+}
+
+TEST_F(CliTest, QuietStillShowsErrors) {
+  RunResult r = Run({"frobnicate", "--quiet"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos) << r.err;
+}
+
+TEST_F(CliTest, BadLogLevelIsAnError) {
+  RunResult r = Run({"check", "--keys", Path("keys.txt"), "--doc",
+                     Path("doc.xml"), "--log-level=banana"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown --log-level"), std::string::npos) << r.err;
+}
+
+TEST_F(CliTest, BadLogFormatIsAnError) {
+  RunResult r = Run({"check", "--keys", Path("keys.txt"), "--doc",
+                     Path("doc.xml"), "--log-format=yaml"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown --log-format"), std::string::npos) << r.err;
+}
+
+TEST_F(CliTest, LogFileCapturesRecordsInsteadOfStderr) {
+  const std::string log_file = Path("run.log");
+  RunResult r = Run({"check", "--keys", Path("keys.txt"), "--doc",
+                     Path("doc.xml"), "--log-level=debug",
+                     "--log-file=" + log_file});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_EQ(r.err, "") << "records must go to the file, not stderr";
+  std::ifstream in(log_file);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("command=check"), std::string::npos) << content;
+}
+
+TEST_F(CliTest, ExplainCostPrintsHotFirstTable) {
+  Write("bad.xml", R"(<r><book isbn="1"/><book isbn="1"/></r>)");
+  const std::vector<std::string> base = {"check", "--keys", Path("keys.txt"),
+                                         "--doc", Path("bad.xml")};
+  RunResult plain = Run(base);
+  std::vector<std::string> explained = base;
+  explained.push_back("--explain-cost");
+  RunResult r = Run(explained);
+  EXPECT_EQ(r.code, plain.code);
+  EXPECT_EQ(r.out, plain.out) << "--explain-cost altered stdout";
+  EXPECT_NE(r.err.find("constraint costs (hot first):"), std::string::npos)
+      << r.err;
+  EXPECT_NE(r.err.find("violations"), std::string::npos) << r.err;
+}
+
+// Extracts the integer value of `"name":` inside `json` (first match).
+uint64_t JsonInt(const std::string& json, const std::string& name) {
+  const std::regex pattern("\"" + name + "\":([0-9]+)");
+  std::smatch match;
+  if (!std::regex_search(json, match, pattern)) return 0;
+  return std::stoull(match[1]);
+}
+
+// Sums every `"field":N` occurrence inside the constraint_costs array.
+uint64_t SumCostField(const std::string& json, const std::string& field) {
+  const size_t begin = json.find("\"constraint_costs\":[");
+  if (begin == std::string::npos) return 0;
+  const size_t end = json.find(']', begin);
+  const std::string section = json.substr(begin, end - begin);
+  const std::regex pattern("\"" + field + "\":([0-9]+)");
+  uint64_t sum = 0;
+  for (auto it = std::sregex_iterator(section.begin(), section.end(), pattern);
+       it != std::sregex_iterator(); ++it) {
+    sum += std::stoull((*it)[1]);
+  }
+  return sum;
+}
+
+// The acceptance criterion: per-constraint totals reconcile exactly with
+// the aggregate metric counters in the same v3 run report — on both the
+// tree-walking and the indexed check paths.
+TEST_F(CliTest, ExplainCostReconcilesWithAggregateMetrics) {
+  Write("bad.xml", R"(<r><book isbn="1"/><book isbn="1"/><book isbn="2"/>
+                      <author name="a"/><author name="a"/></r>)");
+  Write("two_keys.txt",
+        "K1: (ε, (//book, {@isbn}))\nK2: (ε, (//author, {@name}))\n");
+  for (bool indexed : {false, true}) {
+    const std::string report_file =
+        Path(indexed ? "cost_idx.json" : "cost_tree.json");
+    std::vector<std::string> args = {"check",
+                                     "--keys",
+                                     Path("two_keys.txt"),
+                                     "--doc",
+                                     Path("bad.xml"),
+                                     "--explain-cost",
+                                     "--trace=" + report_file};
+    if (indexed) args.push_back("--index");
+    RunResult r = Run(args);
+    EXPECT_EQ(r.code, 2) << r.err;
+
+    std::ifstream in(report_file);
+    std::string json((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    ASSERT_NE(json.find("\"version\":3"), std::string::npos) << json;
+    ASSERT_NE(json.find("\"constraint_costs\":["), std::string::npos) << json;
+
+    const uint64_t contexts = SumCostField(json, "contexts");
+    const uint64_t tuples = SumCostField(json, "tuples_hashed");
+    const uint64_t violations = SumCostField(json, "violations");
+    EXPECT_GT(contexts, 0u) << json;
+    EXPECT_GT(tuples, 0u) << json;
+    EXPECT_GT(violations, 0u) << json;
+    EXPECT_EQ(contexts, JsonInt(json, "check.contexts"))
+        << (indexed ? "indexed" : "tree") << " contexts drifted: " << json;
+    EXPECT_EQ(tuples, JsonInt(json, "check.tuples_hashed"))
+        << (indexed ? "indexed" : "tree") << " tuples drifted: " << json;
+    EXPECT_EQ(violations, JsonInt(json, "check.violations"))
+        << (indexed ? "indexed" : "tree") << " violations drifted: " << json;
+  }
+}
+
+TEST_F(CliTest, PropagateExplainCostAttributesTheFd) {
+  RunResult r = Run({"propagate", "--keys", Path("keys.txt"), "--rules",
+                     Path("rules.txt"), "--relation", "book", "--fd",
+                     "isbn -> contact", "--explain-cost"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.err.find("constraint costs (hot first):"), std::string::npos)
+      << r.err;
+  EXPECT_NE(r.err.find("on book"), std::string::npos) << r.err;
+}
+
+TEST_F(CliTest, OpenMetricsFormatRendersExposition) {
+  const std::vector<std::string> base = {"check", "--keys", Path("keys.txt"),
+                                         "--doc", Path("doc.xml")};
+  RunResult plain = Run(base);
+  std::vector<std::string> flagged = base;
+  flagged.push_back("--metrics-format=openmetrics");
+  RunResult r = Run(flagged);
+  EXPECT_EQ(r.code, plain.code);
+  EXPECT_EQ(r.out, plain.out) << "openmetrics exposition altered stdout";
+  EXPECT_NE(r.err.find("# TYPE xmlprop_"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("# EOF"), std::string::npos) << r.err;
+}
+
+TEST_F(CliTest, UnknownMetricsFormatIsAnError) {
+  RunResult r = Run({"check", "--keys", Path("keys.txt"), "--doc",
+                     Path("doc.xml"), "--metrics-format=xml"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown --metrics-format"), std::string::npos);
+}
+
+TEST_F(CliTest, MetricsOutWritesOpenMetricsFile) {
+  const std::string metrics_file = Path("metrics.om");
+  RunResult r = Run({"check", "--keys", Path("keys.txt"), "--doc",
+                     Path("doc.xml"), "--metrics-out=" + metrics_file});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream in(metrics_file);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("xmlprop_"), std::string::npos) << content;
+  EXPECT_EQ(content.substr(content.size() - 6), "# EOF\n");
+}
+
+TEST_F(CliTest, CrashDumpFlagInstallsTheHandlerPath) {
+  const std::string dump_file = Path("crash.dump");
+  RunResult r = Run({"check", "--keys", Path("keys.txt"), "--doc",
+                     Path("doc.xml"), "--crash-dump=" + dump_file});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(std::string(obs::CrashDumpPath()), dump_file);
+}
+
+TEST_F(CliTest, NoFlightRecorderFlagDisablesTheRing) {
+  RunResult r = Run({"check", "--keys", Path("keys.txt"), "--doc",
+                     Path("doc.xml"), "--no-flight-recorder"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_FALSE(obs::FlightRecorderEnabled());
+  obs::SetFlightRecorderEnabled(true);  // restore for other tests
 }
 
 }  // namespace

@@ -1,0 +1,188 @@
+#include "obs/cost_attribution.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xmlprop {
+namespace obs {
+namespace {
+
+TEST(CostAttributionTest, InternIsStableAndIdempotent) {
+  CostAttribution costs;
+  const uint32_t a = costs.Intern("key A");
+  const uint32_t b = costs.Intern("key B");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(costs.Intern("key A"), a);
+  EXPECT_EQ(costs.size(), 2u);
+}
+
+TEST(CostAttributionTest, AddAccumulatesPerKindAndSnapshotLabels) {
+  CostAttribution costs;
+  const uint32_t id = costs.Intern("orders.key");
+  costs.Add(id, CostKind::kContexts, 3);
+  costs.Add(id, CostKind::kContexts, 2);
+  costs.Add(id, CostKind::kViolations, 1);
+
+  const std::vector<ConstraintCostRow> rows = costs.Snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].label, "orders.key");
+  EXPECT_EQ(rows[0].Get(CostKind::kContexts), 5u);
+  EXPECT_EQ(rows[0].Get(CostKind::kViolations), 1u);
+  EXPECT_EQ(rows[0].Get(CostKind::kTuplesHashed), 0u);
+}
+
+TEST(CostAttributionTest, NoConstraintChargesAreDropped) {
+  CostAttribution costs;
+  costs.Add(CostAttribution::kNoConstraint, CostKind::kContexts, 99);
+  EXPECT_TRUE(costs.Snapshot().empty());
+}
+
+TEST(CostAttributionTest, WallMsConvertsNanoseconds) {
+  ConstraintCostRow row;
+  row.values[static_cast<int>(CostKind::kWallNs)] = 2'500'000;
+  EXPECT_DOUBLE_EQ(row.WallMs(), 2.5);
+}
+
+TEST(CostAttributionTest, CostAddNeedsBothTableAndScope) {
+  // No table installed: CostAdd is a no-op even inside a scope.
+  {
+    CostScope scope(0);
+    CostAdd(CostKind::kContexts);
+  }
+  CostAttribution costs;
+  const uint32_t id = costs.Intern("scoped.key");
+  {
+    ScopedCostAttribution active(&costs);
+    // Table installed but no constraint in scope: dropped.
+    CostAdd(CostKind::kContexts);
+    EXPECT_FALSE(CostActive());
+    {
+      CostScope scope(id);
+      EXPECT_TRUE(CostActive());
+      CostAdd(CostKind::kContexts, 4);
+    }
+    // Scope restored: dropped again.
+    CostAdd(CostKind::kContexts, 100);
+  }
+  const std::vector<ConstraintCostRow> rows = costs.Snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].Get(CostKind::kContexts), 4u);
+}
+
+TEST(CostAttributionTest, CostScopesNest) {
+  CostAttribution costs;
+  const uint32_t outer = costs.Intern("outer");
+  const uint32_t inner = costs.Intern("inner");
+  ScopedCostAttribution active(&costs);
+  CostScope outer_scope(outer);
+  CostAdd(CostKind::kImplicationCalls);
+  {
+    CostScope inner_scope(inner);
+    CostAdd(CostKind::kImplicationCalls, 2);
+  }
+  CostAdd(CostKind::kImplicationCalls);
+
+  const std::vector<ConstraintCostRow> rows = costs.Snapshot();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].label, "outer");
+  EXPECT_EQ(rows[0].Get(CostKind::kImplicationCalls), 2u);
+  EXPECT_EQ(rows[1].label, "inner");
+  EXPECT_EQ(rows[1].Get(CostKind::kImplicationCalls), 2u);
+}
+
+TEST(CostAttributionTest, ScopedCostTimerChargesWallTime) {
+  CostAttribution costs;
+  const uint32_t id = costs.Intern("timed");
+  {
+    ScopedCostAttribution active(&costs);
+    ScopedCostTimer timer(id);
+    // Any nonzero amount of work; steady_clock resolution guarantees > 0
+    // after a sleep.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::vector<ConstraintCostRow> rows = costs.Snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_GT(rows[0].Get(CostKind::kWallNs), 0u);
+  EXPECT_GT(rows[0].WallMs(), 0.0);
+}
+
+TEST(CostAttributionTest, TimerWithoutActiveTableChargesNothing) {
+  CostAttribution costs;
+  const uint32_t id = costs.Intern("untimed");
+  { ScopedCostTimer timer(id); }
+  EXPECT_EQ(costs.Snapshot()[0].Get(CostKind::kWallNs), 0u);
+}
+
+TEST(CostAttributionTest, ConcurrentChargesNeverLoseIncrements) {
+  CostAttribution costs;
+  const uint32_t id = costs.Intern("contended");
+  ScopedCostAttribution active(&costs);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&costs, id] {
+      ScopedCostAttribution nested(&costs);
+      CostScope scope(id);
+      for (int i = 0; i < kIters; ++i) CostAdd(CostKind::kTuplesHashed);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(costs.Snapshot()[0].Get(CostKind::kTuplesHashed),
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(CostAttributionTest, ConcurrentInternsYieldDistinctStableIds) {
+  CostAttribution costs;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<uint32_t> ids(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&costs, &ids, t] { ids[t] = costs.Intern("shared.label"); });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(ids[t], ids[0]);
+  EXPECT_EQ(costs.size(), 1u);
+}
+
+TEST(CostAttributionTest, SortHotFirstOrdersByWallThenViolations) {
+  std::vector<ConstraintCostRow> rows(4);
+  rows[0].label = "cold";
+  rows[0].values[static_cast<int>(CostKind::kWallNs)] = 10;
+  rows[1].label = "hot";
+  rows[1].values[static_cast<int>(CostKind::kWallNs)] = 1000;
+  rows[2].label = "b-tied";
+  rows[2].values[static_cast<int>(CostKind::kWallNs)] = 500;
+  rows[2].values[static_cast<int>(CostKind::kViolations)] = 2;
+  rows[3].label = "a-tied";
+  rows[3].values[static_cast<int>(CostKind::kWallNs)] = 500;
+  rows[3].values[static_cast<int>(CostKind::kViolations)] = 2;
+
+  SortHotFirst(&rows);
+  EXPECT_EQ(rows[0].label, "hot");
+  EXPECT_EQ(rows[1].label, "a-tied") << "label ascending breaks exact ties";
+  EXPECT_EQ(rows[2].label, "b-tied");
+  EXPECT_EQ(rows[3].label, "cold");
+}
+
+TEST(CostAttributionTest, InternBeyondCapacityDropsToNoConstraint) {
+  CostAttribution costs;
+  uint32_t last = 0;
+  for (uint32_t i = 0; i < CostAttribution::kMaxConstraints; ++i) {
+    last = costs.Intern("c" + std::to_string(i));
+  }
+  EXPECT_NE(last, CostAttribution::kNoConstraint);
+  EXPECT_EQ(costs.Intern("one.too.many"), CostAttribution::kNoConstraint);
+  // Charging the overflow id is a silent no-op, not a write out of bounds.
+  costs.Add(CostAttribution::kNoConstraint, CostKind::kContexts, 1);
+  EXPECT_EQ(costs.size(), CostAttribution::kMaxConstraints);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace xmlprop

@@ -1,0 +1,215 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xmlprop {
+namespace obs {
+namespace {
+
+// Every test starts from a forgotten recorder: no registered rings, the
+// sequence counter at zero, and the recorder force-enabled (the suite
+// must not depend on XMLPROP_FLIGHT_RECORDER in the environment).
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetFlightRecorderEnabled(true);
+    internal::ResetFlightRecorderForTest();
+  }
+  void TearDown() override { internal::ResetFlightRecorderForTest(); }
+};
+
+TEST_F(FlightRecorderTest, RecordsSpansMetricsAndLogs) {
+  RecordSpanBegin("phase.alpha");
+  RecordMetricDelta("some.counter", 7);
+  RecordLogEvent(static_cast<int>(LogLevel::kWarn), "watch out");
+  RecordSpanEnd("phase.alpha");
+
+  const std::string dump = DumpFlightRecorderToString();
+  EXPECT_NE(dump.find("span_begin"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("span_end"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("phase.alpha"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("some.counter"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("watch out"), std::string::npos) << dump;
+}
+
+TEST_F(FlightRecorderTest, DisabledRecorderDropsEverything) {
+  SetFlightRecorderEnabled(false);
+  RecordSpanBegin("invisible");
+  RecordMetricDelta("invisible.counter", 1);
+  SetFlightRecorderEnabled(true);
+
+  const std::string dump = DumpFlightRecorderToString();
+  EXPECT_EQ(dump.find("invisible"), std::string::npos) << dump;
+}
+
+TEST_F(FlightRecorderTest, RingKeepsOnlyTheLastCapacityEvents) {
+  // Overfill the ring; only the newest kFlightRingCapacity events may
+  // survive, and they must be exactly the highest-numbered ones.
+  const size_t total = kFlightRingCapacity + 50;
+  for (size_t i = 0; i < total; ++i) {
+    RecordMetricDelta("evt." + std::to_string(i), 1);
+  }
+  const std::string dump = DumpFlightRecorderToString();
+  EXPECT_EQ(dump.find("evt.0 "), std::string::npos) << "oldest survived";
+  EXPECT_EQ(dump.find("evt.49 "), std::string::npos) << "pre-wrap survived";
+  // The first retained event right after the wrap point...
+  EXPECT_NE(dump.find("evt.50 "), std::string::npos) << dump.substr(0, 400);
+  // ...through the newest.
+  EXPECT_NE(dump.find("evt." + std::to_string(total - 1)), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, LongNamesAreTruncatedNotDropped) {
+  const std::string name(200, 'x');
+  RecordMetricDelta(name, 1);
+  const std::string dump = DumpFlightRecorderToString();
+  EXPECT_NE(dump.find(std::string(FlightEvent::kTextCapacity, 'x')),
+            std::string::npos);
+  EXPECT_EQ(dump.find(std::string(FlightEvent::kTextCapacity + 1, 'x')),
+            std::string::npos)
+      << "name not truncated to capacity";
+}
+
+TEST_F(FlightRecorderTest, MergesThreadsInGlobalOrder) {
+  RecordMetricDelta("main.first", 1);
+  std::thread other([] { RecordMetricDelta("other.second", 1); });
+  other.join();
+  RecordMetricDelta("main.third", 1);
+
+  const std::string dump = DumpFlightRecorderToString();
+  const size_t first = dump.find("main.first");
+  const size_t second = dump.find("other.second");
+  const size_t third = dump.find("main.third");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  ASSERT_NE(third, std::string::npos);
+  EXPECT_LT(first, second);
+  EXPECT_LT(second, third);
+}
+
+TEST_F(FlightRecorderTest, DumpShowsActiveSpanStack) {
+  Trace trace;
+  ScopedTrace scoped(&trace);
+  Span outer("outer.work");
+  Span inner("inner.work");
+  const std::string dump = DumpFlightRecorderToString();
+  EXPECT_NE(dump.find("outer.work"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("inner.work"), std::string::npos) << dump;
+}
+
+TEST_F(FlightRecorderTest, MetricRegistryFeedsTheRing) {
+  MetricRegistry registry;
+  ScopedMetrics scope(&registry);
+  Count("ring.fed.counter", 3);
+  const std::string dump = DumpFlightRecorderToString();
+  EXPECT_NE(dump.find("ring.fed.counter"), std::string::npos) << dump;
+}
+
+TEST_F(FlightRecorderTest, DumpToFdMatchesStringDump) {
+  RecordMetricDelta("fd.dump.event", 9);
+  char path[] = "/tmp/xmlprop_flight_fd_XXXXXX";
+  const int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  DumpFlightRecorderToFd(fd, 0);
+  ::close(fd);
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::remove(path);
+  EXPECT_NE(buf.str().find("fd.dump.event"), std::string::npos) << buf.str();
+}
+
+TEST_F(FlightRecorderTest, ConcurrentWritersStayWellFormed) {
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 2000; ++i) {
+        RecordMetricDelta("worker." + std::to_string(t), i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::string dump = DumpFlightRecorderToString();
+  // Every line the merged dump emits for events must carry a seq marker;
+  // the dump itself must terminate.
+  EXPECT_NE(dump.find("worker."), std::string::npos);
+}
+
+// The crash-path acceptance test: a forked child installs the handler,
+// opens spans, records events and aborts. The parent asserts the child
+// died of SIGABRT and that the dump carries the last events and the
+// active span stack. SIGABRT (not SIGSEGV) keeps the test ASan-friendly:
+// ASan intercepts SEGV by default but leaves abort() alone.
+TEST_F(FlightRecorderTest, ForcedCrashDumpHasEventsAndSpanStack) {
+  char path[] = "/tmp/xmlprop_crash_dump_XXXXXX";
+  const int tmp = mkstemp(path);
+  ASSERT_GE(tmp, 0);
+  ::close(tmp);
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: deterministic recorder state, a live span stack, a known
+    // tail of events, then a fatal signal.
+    SetFlightRecorderEnabled(true);
+    internal::ResetFlightRecorderForTest();
+    InstallCrashHandler(path);
+    Trace trace;
+    ScopedTrace scoped(&trace);
+    Span outer("crash.outer");
+    Span inner("crash.inner");
+    for (int i = 0; i < 300; ++i) {
+      RecordMetricDelta("crash.evt." + std::to_string(i), i);
+    }
+    std::abort();  // never returns
+  }
+
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string dump = buf.str();
+  std::remove(path);
+
+  EXPECT_NE(dump.find("SIGABRT"), std::string::npos) << dump.substr(0, 400);
+  // Active span stack at the moment of death.
+  EXPECT_NE(dump.find("crash.outer"), std::string::npos);
+  EXPECT_NE(dump.find("crash.inner"), std::string::npos);
+  // The ring holds the newest kFlightRingCapacity events: 300 metric
+  // events were recorded (plus span records), so the tail must be there
+  // and the earliest must have been overwritten.
+  EXPECT_NE(dump.find("crash.evt.299"), std::string::npos);
+  EXPECT_NE(dump.find("crash.evt.200"), std::string::npos);
+  EXPECT_EQ(dump.find("crash.evt.10 "), std::string::npos);
+  // The header records peak RSS.
+  EXPECT_NE(dump.find("vm_hwm_kb"), std::string::npos) << dump.substr(0, 400);
+}
+
+TEST_F(FlightRecorderTest, CrashDumpPathReflectsInstall) {
+  InstallCrashHandler("/tmp/xmlprop_some_dump.txt");
+  EXPECT_STREQ(CrashDumpPath(), "/tmp/xmlprop_some_dump.txt");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace xmlprop

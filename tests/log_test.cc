@@ -1,0 +1,172 @@
+#include "obs/log.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xmlprop {
+namespace obs {
+namespace {
+
+// Captures every emitted line through the callback sink and restores the
+// default log configuration afterwards, so the suite leaves no state for
+// other tests (the logger is process-global).
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetLogLevel(LogLevel::kDebug);
+    SetLogFormat(LogFormat::kText);
+    SetLogSinkCallback(&Capture, &lines_);
+  }
+  void TearDown() override {
+    SetLogSinkCallback(nullptr, nullptr);
+    SetLogLevel(LogLevel::kWarn);
+    SetLogFormat(LogFormat::kText);
+  }
+
+  static void Capture(std::string_view line, void* ctx) {
+    static_cast<std::vector<std::string>*>(ctx)->emplace_back(line);
+  }
+
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LogTest, TextFormatCarriesLevelComponentMessageAndFields) {
+  LogWarn("parser", "unexpected token", {F("line", 42), F("file", "doc.xml")});
+  ASSERT_EQ(lines_.size(), 1u);
+  const std::string& line = lines_[0];
+  EXPECT_NE(line.find(" WARN "), std::string::npos) << line;
+  EXPECT_NE(line.find("parser: unexpected token"), std::string::npos) << line;
+  EXPECT_NE(line.find("line=42"), std::string::npos) << line;
+  EXPECT_NE(line.find("file=doc.xml"), std::string::npos) << line;
+  EXPECT_EQ(line.back(), '\n');
+  // ISO-8601 UTC timestamp prefix: YYYY-MM-DDTHH:MM:SS.mmmZ.
+  EXPECT_EQ(line[4], '-');
+  EXPECT_EQ(line[10], 'T');
+  EXPECT_EQ(line[23], 'Z');
+}
+
+TEST_F(LogTest, LevelsBelowTheSwitchAreDropped) {
+  SetLogLevel(LogLevel::kWarn);
+  LogDebug("x", "debug message");
+  LogInfo("x", "info message");
+  LogWarn("x", "warn message");
+  LogError("x", "error message");
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_NE(lines_[0].find("warn message"), std::string::npos);
+  EXPECT_NE(lines_[1].find("error message"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  SetLogLevel(LogLevel::kOff);
+  LogError("x", "even errors");
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LogTest, LogEnabledMatchesTheSwitch) {
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  EXPECT_TRUE(LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+}
+
+TEST_F(LogTest, NdjsonFormatEmitsOneObjectPerLine) {
+  SetLogFormat(LogFormat::kNdjson);
+  LogError("cli", "bad \"flag\"", {F("count", 3), F("name", "x\ny")});
+  ASSERT_EQ(lines_.size(), 1u);
+  const std::string& line = lines_[0];
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.substr(line.size() - 2), "}\n");
+  EXPECT_NE(line.find("\"level\":\"error\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"component\":\"cli\""), std::string::npos) << line;
+  // Message quotes escaped, numbers unquoted, strings quoted + escaped.
+  EXPECT_NE(line.find("bad \\\"flag\\\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"count\":3"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"name\":\"x\\ny\""), std::string::npos) << line;
+}
+
+TEST_F(LogTest, NdjsonWithoutFieldsOmitsFieldsObject) {
+  SetLogFormat(LogFormat::kNdjson);
+  LogWarn("a", "plain");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].find("\"fields\""), std::string::npos) << lines_[0];
+}
+
+TEST_F(LogTest, FieldConstructorsRenderTypes) {
+  EXPECT_EQ(F("k", true).value, "true");
+  EXPECT_FALSE(F("k", true).quoted);
+  EXPECT_EQ(F("k", false).value, "false");
+  EXPECT_EQ(F("k", int64_t{-5}).value, "-5");
+  EXPECT_FALSE(F("k", int64_t{-5}).quoted);
+  EXPECT_EQ(F("k", uint64_t{7}).value, "7");
+  EXPECT_EQ(F("k", 1.5).value, "1.5");
+  EXPECT_TRUE(F("k", "text").quoted);
+  EXPECT_EQ(F("k", static_cast<const char*>(nullptr)).value, "");
+}
+
+TEST_F(LogTest, ParseLogLevelAcceptsKnownNamesOnly) {
+  LogLevel level = LogLevel::kWarn;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_EQ(level, LogLevel::kOff) << "failed parse must not touch out";
+}
+
+TEST_F(LogTest, ParseLogFormatAcceptsTextAndNdjson) {
+  LogFormat format = LogFormat::kText;
+  EXPECT_TRUE(ParseLogFormat("ndjson", &format));
+  EXPECT_EQ(format, LogFormat::kNdjson);
+  EXPECT_TRUE(ParseLogFormat("json", &format));
+  EXPECT_EQ(format, LogFormat::kNdjson);
+  EXPECT_TRUE(ParseLogFormat("text", &format));
+  EXPECT_EQ(format, LogFormat::kText);
+  EXPECT_FALSE(ParseLogFormat("xml", &format));
+}
+
+TEST_F(LogTest, LogLevelNamesRoundTrip) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    LogLevel parsed = LogLevel::kDebug;
+    ASSERT_TRUE(ParseLogLevel(LogLevelName(level), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
+}
+
+TEST_F(LogTest, LogFileSinkBeatsTheCallback) {
+  char path[] = "/tmp/xmlprop_log_file_XXXXXX";
+  const int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+  ASSERT_TRUE(SetLogFile(path));
+  LogError("file", "to the file");
+  SetLogSinkStderr();  // closes the file, back to default
+  SetLogSinkCallback(&Capture, &lines_);
+
+  EXPECT_TRUE(lines_.empty()) << "callback saw a line destined for the file";
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::remove(path);
+  EXPECT_NE(content.find("to the file"), std::string::npos) << content;
+}
+
+TEST_F(LogTest, SetLogFileFailsOnUnwritablePath) {
+  EXPECT_FALSE(SetLogFile("/nonexistent_dir_xyz/log.txt"));
+  // Failure leaves the previous (callback) sink in place.
+  LogError("x", "still captured");
+  EXPECT_EQ(lines_.size(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace xmlprop

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -120,6 +122,84 @@ TEST(MetricRegistryTest, PercentilesBracketTheDistribution) {
 TEST(MetricRegistryTest, PercentileOfEmptyHistogramIsZero) {
   obs::HistogramSnapshot h;
   EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.Percentile(0), 0.0);
+  EXPECT_EQ(h.Percentile(100), 0.0);
+}
+
+TEST(MetricRegistryTest, SingleSamplePercentilesCollapseToTheSample) {
+  obs::MetricRegistry registry;
+  registry.Observe("one", 7.25);
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  const obs::HistogramSnapshot& h = snapshot.histograms[0].second;
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_EQ(h.min, 7.25);
+  EXPECT_EQ(h.max, 7.25);
+  // Every percentile of a single observation is that observation —
+  // interpolation inside the bucket must clamp to [min, max].
+  EXPECT_EQ(h.Percentile(0), 7.25);
+  EXPECT_EQ(h.Percentile(50), 7.25);
+  EXPECT_EQ(h.Percentile(95), 7.25);
+  EXPECT_EQ(h.Percentile(100), 7.25);
+}
+
+TEST(MetricRegistryTest, ExtremeObservationsSaturateTheLastBucket) {
+  using H = obs::HistogramSnapshot;
+  // Values past the bucket range — including +inf, where
+  // ceil(log2(value)) overflows any int cast — clamp to the last bucket
+  // instead of indexing out of bounds.
+  EXPECT_EQ(H::BucketIndex(1e308), H::kNumBuckets - 1);
+  EXPECT_EQ(H::BucketIndex(std::numeric_limits<double>::max()),
+            H::kNumBuckets - 1);
+  EXPECT_EQ(H::BucketIndex(std::numeric_limits<double>::infinity()),
+            H::kNumBuckets - 1);
+
+  obs::MetricRegistry registry;
+  registry.Observe("extreme", std::numeric_limits<double>::infinity());
+  registry.Observe("extreme", 1.0);
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  const obs::HistogramSnapshot& h = snapshot.histograms[0].second;
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.buckets[H::kNumBuckets - 1], 1u);
+  // Percentiles stay ordered and finite-of-bucket-bounded even with an
+  // infinite max recorded.
+  EXPECT_LE(h.Percentile(50), h.Percentile(99));
+}
+
+TEST(MetricRegistryTest, ConcurrentObserveSnapshotsStayConsistent) {
+  obs::MetricRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::atomic<bool> stop{false};
+  // A reader snapshots concurrently with the writers; every snapshot it
+  // takes must be internally consistent (bucket sum == count).
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const obs::MetricsSnapshot snapshot = registry.Snapshot();
+      for (const auto& [name, h] : snapshot.histograms) {
+        uint64_t in_buckets = 0;
+        for (uint64_t b : h.buckets) in_buckets += b;
+        EXPECT_EQ(in_buckets, h.count) << name;
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&registry] {
+      for (int i = 0; i < kIters; ++i) {
+        registry.Observe("contended", static_cast<double>(i % 100));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  const obs::HistogramSnapshot& h = snapshot.histograms[0].second;
+  EXPECT_EQ(h.count, static_cast<uint64_t>(kThreads) * kIters);
+  uint64_t in_buckets = 0;
+  for (uint64_t b : h.buckets) in_buckets += b;
+  EXPECT_EQ(in_buckets, h.count);
 }
 
 TEST(MetricRegistryTest, GlobalHelpersNoOpWhenInactive) {
@@ -325,7 +405,7 @@ obs::RunReport MakeReport() {
 TEST(ReportTest, JsonHasGoldenShape) {
   const std::string json = obs::ReportToJson(MakeReport());
   // Required top-level keys, in the documented order.
-  EXPECT_NE(json.find("\"version\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"version\":3"), std::string::npos) << json;
   EXPECT_NE(json.find("\"command\":\"cmd\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"config\":\"flag=value\""), std::string::npos);
   EXPECT_NE(json.find("\"wall_ms\":"), std::string::npos);

@@ -1,0 +1,161 @@
+#include "obs/openmetrics.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace xmlprop {
+namespace obs {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(OpenMetricsNameTest, PrefixesAndSanitizes) {
+  EXPECT_EQ(OpenMetricsName("check.contexts"), "xmlprop_check_contexts");
+  EXPECT_EQ(OpenMetricsName("a-b c"), "xmlprop_a_b_c");
+  EXPECT_EQ(OpenMetricsName("Already_OK9"), "xmlprop_Already_OK9");
+}
+
+TEST(OpenMetricsTest, CountersRenderAsTotalsWithTypeLines) {
+  MetricRegistry registry;
+  registry.Add("check.violations", 4);
+  const std::string text = RenderOpenMetrics(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE xmlprop_check_violations counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("xmlprop_check_violations_total 4\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(OpenMetricsTest, GaugesRenderPlainAndOutputEndsWithEof) {
+  MetricRegistry registry;
+  registry.SetGauge("pool.size", -2);
+  const std::string text = RenderOpenMetrics(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE xmlprop_pool_size gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("xmlprop_pool_size -2\n"), std::string::npos);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(OpenMetricsTest, EmptySnapshotIsJustEof) {
+  MetricRegistry registry;
+  EXPECT_EQ(RenderOpenMetrics(registry.Snapshot()), "# EOF\n");
+}
+
+TEST(OpenMetricsTest, HistogramsRenderCumulativeBucketsSumAndCount) {
+  MetricRegistry registry;
+  registry.Observe("op.ms", 1.0);
+  registry.Observe("op.ms", 2.0);
+  registry.Observe("op.ms", 1000.0);
+  const std::string text = RenderOpenMetrics(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE xmlprop_op_ms histogram\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("xmlprop_op_ms_sum 1003\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("xmlprop_op_ms_count 3\n"), std::string::npos) << text;
+  // The mandatory +Inf bucket carries the full count, and cumulative
+  // counts never decrease along the bucket series.
+  EXPECT_NE(text.find("xmlprop_op_ms_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos)
+      << text;
+  std::istringstream lines(text);
+  std::string line;
+  uint64_t last = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("xmlprop_op_ms_bucket", 0) != 0) continue;
+    const uint64_t count =
+        std::stoull(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(count, last) << text;
+    last = count;
+  }
+  EXPECT_EQ(last, 3u);
+}
+
+// The shape gate CI's openmetrics lint enforces: every line is a comment,
+// blank-free sample, or the EOF marker.
+TEST(OpenMetricsTest, EveryLineMatchesTheLintGrammar) {
+  MetricRegistry registry;
+  registry.Add("a.counter", 1);
+  registry.SetGauge("b.gauge", 2);
+  registry.Observe("c.hist", 3.5);
+  const std::string text = RenderOpenMetrics(registry.Snapshot());
+  const std::regex sample(
+      R"(^[a-zA-Z_][a-zA-Z0-9_]*(\{le="[^"]+"\})? -?[0-9.+eEinf]+$)");
+  const std::regex comment(R"(^# (TYPE|HELP|EOF).*$)");
+  std::istringstream lines(text);
+  std::string line;
+  bool saw_eof = false;
+  while (std::getline(lines, line)) {
+    EXPECT_FALSE(saw_eof) << "content after # EOF: " << line;
+    if (line == "# EOF") {
+      saw_eof = true;
+      continue;
+    }
+    EXPECT_TRUE(std::regex_match(line, sample) ||
+                std::regex_match(line, comment))
+        << "unlintable line: " << line;
+  }
+  EXPECT_TRUE(saw_eof);
+}
+
+TEST(OpenMetricsTest, WriteFileIsAtomicAndMatchesRender) {
+  MetricRegistry registry;
+  registry.Add("written.counter", 11);
+  char path[] = "/tmp/xmlprop_openmetrics_XXXXXX";
+  const int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+  ASSERT_TRUE(WriteOpenMetricsFile(registry.Snapshot(), path));
+  EXPECT_EQ(ReadAll(path), RenderOpenMetrics(registry.Snapshot()));
+  // No .tmp litter after a successful rename.
+  EXPECT_FALSE(std::ifstream(std::string(path) + ".tmp").good());
+  std::remove(path);
+}
+
+TEST(OpenMetricsTest, WriteFileFailsCleanlyOnBadPath) {
+  MetricRegistry registry;
+  EXPECT_FALSE(
+      WriteOpenMetricsFile(registry.Snapshot(), "/nonexistent_dir_xyz/m.om"));
+}
+
+TEST(OpenMetricsTest, PeriodicWriterSnapshotsAndFlushesOnDestruction) {
+  MetricRegistry registry;
+  registry.Add("periodic.counter", 1);
+  char path[] = "/tmp/xmlprop_periodic_XXXXXX";
+  const int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+  int writes = 0;
+  {
+    PeriodicMetricsWriter writer(&registry, path, 5);
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    registry.Add("periodic.counter", 1);
+    writes = writer.writes();
+    EXPECT_GE(writes, 1) << "no periodic snapshot within 40ms at 5ms cadence";
+  }
+  // Destruction wrote a final snapshot that includes the last increment.
+  const std::string content = ReadAll(path);
+  std::remove(path);
+  EXPECT_NE(content.find("xmlprop_periodic_counter_total 2"),
+            std::string::npos)
+      << content;
+  EXPECT_EQ(content.substr(content.size() - 6), "# EOF\n");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace xmlprop
