@@ -28,6 +28,7 @@
 #include "xml/stream_parser.h"
 #include "xml/tree_index.h"
 #include "xml/writer.h"
+#include "obs/context.h"
 #include "obs/log.h"
 #include <sstream>
 
@@ -316,6 +317,106 @@ void AddEditRecheckRows(bool quick, bench::JsonReport* report) {
   obs::LogInfo("bench", note.str());
 }
 
+// The request-scoped observability ablation: the identical fully-observed
+// indexed check+shred workload on the process-global telemetry plane
+// (ScopedTrace + ScopedMetrics + ScopedCostAttribution — what `--trace
+// --metrics` installs) versus bound to an ObsContext (binding-first
+// dispatch on every metric/span/cost charge, tail sampler armed, activity
+// stamped for the watchdog). Both sides record everything, so the A/B
+// delta isolates the per-charge binding consult the context runtime adds
+// — the docs promise ≤ a few percent; the gate tolerance absorbs timer
+// noise on the small corpus.
+void AddCtxOverheadRows(bool quick, bench::JsonReport* report) {
+  constexpr int kReps = 5;
+  const int confs = quick ? 25 : 200;
+  Tree doc = MakeCorpus(confs);
+  TreeIndex index(doc);
+  ThreadPool pool;
+  CheckOptions options;
+  options.pool = &pool;
+
+  auto workload = [&] {
+    std::vector<TaggedViolation> violations =
+        CheckAll(index, Fix().keys, options);
+    Instance instance = EvalTableTree(index, Fix().table);
+    return std::make_pair(violations.size(), instance.size());
+  };
+
+  // A: the legacy plane — per-rep process-global trace/metrics/costs,
+  // null binding, every charge falls through to the globals.
+  double off_ms = 0;
+  std::pair<size_t, size_t> off_shape{};
+  for (int rep = 0; rep < kReps; ++rep) {
+    obs::Trace trace;
+    obs::MetricRegistry registry;
+    obs::CostAttribution costs;
+    std::pair<size_t, size_t> shape;
+    double ms = 0;
+    {
+      obs::ScopedTrace trace_scope(&trace);
+      obs::ScopedMetrics metrics_scope(&registry);
+      obs::ScopedCostAttribution costs_scope(&costs);
+      bench::WallTimer timer;
+      shape = workload();
+      ms = timer.Ms();
+    }
+    trace.Finish();
+    off_shape = shape;
+    if (rep == 0 || ms < off_ms) off_ms = ms;
+  }
+
+  // B: the same workload bound to a per-rep ObsContext. Construction and
+  // Close() sit outside the timed region — the row measures the
+  // steady-state dispatch cost, not the (once-per-operation) fold.
+  double on_ms = 0;
+  bool identical = true;
+  for (int rep = 0; rep < kReps; ++rep) {
+    obs::TraceTailSampler sampler(8);
+    obs::ObsContextOptions ctx_options;
+    ctx_options.name = "bench.ctx_overhead";
+    ctx_options.sampler = &sampler;
+    obs::ObsContext context(std::move(ctx_options));
+    std::pair<size_t, size_t> shape;
+    double ms = 0;
+    {
+      obs::ScopedObsContext scope(&context);
+      bench::WallTimer timer;
+      shape = workload();
+      ms = timer.Ms();
+    }
+    context.Close(nullptr);
+    identical = identical && shape == off_shape;
+    if (rep == 0 || ms < on_ms) on_ms = ms;
+  }
+
+  const double overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
+  report->AddRow()
+      .Str("mode", "ctx_off")
+      .Int("confs", static_cast<uint64_t>(confs))
+      .Int("nodes", doc.size())
+      .Num("wall_ms", off_ms)
+      .Num("tolerance", 0.35)
+      .Int("max_rss_kb", static_cast<uint64_t>(obs::ReadPeakRssKb()))
+      .Int("violations", off_shape.first)
+      .Int("tuples", off_shape.second);
+  report->AddRow()
+      .Str("mode", "ctx_on")
+      .Int("confs", static_cast<uint64_t>(confs))
+      .Int("nodes", doc.size())
+      .Num("wall_ms", on_ms)
+      .Num("tolerance", 0.35)
+      .Int("max_rss_kb", static_cast<uint64_t>(obs::ReadPeakRssKb()))
+      .Int("violations", off_shape.first)
+      .Int("tuples", off_shape.second)
+      .Bool("identical_to_ctx_off", identical)
+      .Num("overhead_pct", overhead_pct);
+  std::ostringstream note;
+  note << "ctx_overhead confs=" << confs << ": off " << off_ms << " ms, on "
+       << on_ms << " ms (" << overhead_pct << "% overhead), identical="
+       << (identical ? "yes" : "NO");
+  obs::LogInfo("bench", note.str());
+}
+
 // The index-on/off pipeline ablation behind BENCH_pipeline.json: per
 // corpus size, best-of-`kReps` wall clock per stage (parse, index build,
 // key check, shred; plus the document-independent minimum-cover stage for
@@ -560,6 +661,7 @@ void RunAblation(bool quick, bool perfetto) {
     obs::LogInfo("bench", note.str());
   }
   AddEditRecheckRows(quick, &report);
+  AddCtxOverheadRows(quick, &report);
   report.Write();
 }
 

@@ -1,0 +1,274 @@
+#include "obs/context.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
+
+namespace xmlprop {
+namespace obs {
+
+namespace internal {
+thread_local ObsBinding tls_obs_binding;
+}  // namespace internal
+
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point from,
+                 std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+// "parse=1.234ms, check.contexts=0.512ms(x7)" — the slow-op record's
+// per-phase summary. The root span is the operation itself; its children
+// are the phases. Roots without children (no phase spans recorded)
+// surface themselves.
+std::string PhaseSummary(const TraceSummary& trace) {
+  std::string out;
+  char buf[48];
+  auto append = [&](const SpanNode& node) {
+    if (!out.empty()) out.append(", ");
+    out.append(node.name);
+    std::snprintf(buf, sizeof(buf), "=%.3fms", node.total_ms);
+    out.append(buf);
+    if (node.count > 1) {
+      std::snprintf(buf, sizeof(buf), "(x%llu)",
+                    static_cast<unsigned long long>(node.count));
+      out.append(buf);
+    }
+  };
+  for (const SpanNode& root : trace.roots) {
+    if (root.children.empty()) {
+      append(root);
+    } else {
+      for (const SpanNode& phase : root.children) append(phase);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TraceTailSampler
+
+bool TraceTailSampler::Admit(double wall_ms, bool force) {
+  bool admit;
+  if (force || keep_ < 0) {
+    admit = true;
+    if (keep_ > 0) {
+      // A forced admission still occupies a slowest-K slot, so the bar
+      // for later ordinary admissions keeps rising.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (slowest_.size() < static_cast<size_t>(keep_)) {
+        slowest_.push_back(wall_ms);
+        std::push_heap(slowest_.begin(), slowest_.end(),
+                       std::greater<double>());
+      } else if (wall_ms > slowest_.front()) {
+        std::pop_heap(slowest_.begin(), slowest_.end(),
+                      std::greater<double>());
+        slowest_.back() = wall_ms;
+        std::push_heap(slowest_.begin(), slowest_.end(),
+                       std::greater<double>());
+      }
+    }
+  } else if (keep_ == 0) {
+    admit = false;
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slowest_.size() < static_cast<size_t>(keep_)) {
+      slowest_.push_back(wall_ms);
+      std::push_heap(slowest_.begin(), slowest_.end(), std::greater<double>());
+      admit = true;
+    } else if (wall_ms > slowest_.front()) {
+      std::pop_heap(slowest_.begin(), slowest_.end(), std::greater<double>());
+      slowest_.back() = wall_ms;
+      std::push_heap(slowest_.begin(), slowest_.end(), std::greater<double>());
+      admit = true;
+    } else {
+      admit = false;
+    }
+  }
+  (admit ? retained_ : discarded_).fetch_add(1, std::memory_order_relaxed);
+  return admit;
+}
+
+// ---------------------------------------------------------------------------
+// StallWatchdog
+
+StallWatchdog::StallWatchdog(int stall_ms, int poll_ms)
+    : stall_ms_(stall_ms > 0 ? stall_ms : 1),
+      poll_ms_(poll_ms > 0 ? poll_ms : std::max(1, stall_ms_ / 4)),
+      thread_([this] { Run(); }) {}
+
+StallWatchdog::~StallWatchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    // Sever the contexts' back-pointers: a context closed after the
+    // watchdog died must not call Unwatch on a dead object.
+    for (Entry& entry : watched_) {
+      entry.context->watchdog_.store(nullptr, std::memory_order_relaxed);
+    }
+    watched_.clear();
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void StallWatchdog::Watch(ObsContext* context) {
+  if (context == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.context = context;
+  entry.last_activity = context->activity();
+  entry.last_change = std::chrono::steady_clock::now();
+  watched_.push_back(entry);
+  context->watchdog_.store(this, std::memory_order_relaxed);
+}
+
+void StallWatchdog::Unwatch(ObsContext* context) {
+  if (context == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  watched_.erase(std::remove_if(watched_.begin(), watched_.end(),
+                                [context](const Entry& entry) {
+                                  return entry.context == context;
+                                }),
+                 watched_.end());
+  context->watchdog_.store(nullptr, std::memory_order_relaxed);
+}
+
+void StallWatchdog::Run() {
+#if defined(__linux__)
+  pthread_setname_np(pthread_self(), "xmlprop-wdog");
+#endif
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(poll_ms_),
+                     [this] { return stop_; })) {
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (Entry& entry : watched_) {
+      const uint64_t activity = entry.context->activity();
+      if (activity != entry.last_activity) {
+        entry.last_activity = activity;
+        entry.last_change = now;
+        entry.flagged = false;  // re-arm: the context came back to life
+        continue;
+      }
+      const double idle_ms = ElapsedMs(entry.last_change, now);
+      if (entry.flagged || idle_ms < static_cast<double>(stall_ms_)) continue;
+      entry.flagged = true;
+      stalls_.fetch_add(1, std::memory_order_relaxed);
+      // Charge the stalled context itself, so the fold carries the stall
+      // into the process-level exposition. Registry adds do not count as
+      // activity (only bound-thread charges touch the heartbeat), so the
+      // watchdog never masks the very stall it reports.
+      entry.context->metrics()->Add("obs.stalls_detected", 1);
+      LogError("watchdog", "context stalled: no span/metric activity",
+               {F("ctx", entry.context->name()), F("idle_ms", idle_ms),
+                F("stall_ms", static_cast<int64_t>(stall_ms_)),
+                F("open_spans", DumpOpenSpanStacksToString())});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ObsContext
+
+ObsContext::ObsContext(ObsContextOptions options)
+    : options_(std::move(options)),
+      start_(std::chrono::steady_clock::now()) {
+  if (options_.name.empty()) options_.name = "op";
+}
+
+ObsContext::~ObsContext() {
+  // An owner that never closed gets the un-folded close: retention and
+  // the slow-op record still run, process aggregation is simply skipped.
+  if (!closed()) Close(nullptr);
+}
+
+void ObsContext::MarkError(std::string_view what) {
+  std::lock_guard<std::mutex> lock(close_mu_);
+  error_.store(true, std::memory_order_relaxed);
+  if (error_what_.empty()) error_what_.assign(what);
+}
+
+internal::ObsBinding ObsContext::binding() {
+  internal::ObsBinding b;
+  b.context = this;
+  b.trace = &trace_;
+  b.metrics = &metrics_;
+  b.costs = &costs_;
+  b.activity = &activity_;
+  b.log_tag = options_.name.c_str();
+  return b;
+}
+
+const ObsContext::Result& ObsContext::Close(MetricRegistry* fold_into) {
+  std::lock_guard<std::mutex> lock(close_mu_);
+  if (closed_.load(std::memory_order_acquire)) return result_;
+  if (StallWatchdog* watchdog = watchdog_.load(std::memory_order_relaxed)) {
+    watchdog->Unwatch(this);
+  }
+  result_.wall_ms = ElapsedMs(start_, std::chrono::steady_clock::now());
+  result_.error = error_.load(std::memory_order_relaxed);
+  result_.slow =
+      options_.slow_op_ms > 0 && result_.wall_ms >= options_.slow_op_ms;
+  // Errors and slow-ops always land in the retained set — they are the
+  // tail the sampling exists to keep.
+  const bool force = result_.slow || result_.error;
+  result_.retained = options_.sampler == nullptr
+                         ? true
+                         : options_.sampler->Admit(result_.wall_ms, force);
+  metrics_.Add(result_.retained ? "obs.traces_retained"
+                                : "obs.traces_discarded");
+  if (result_.retained) {
+    result_.trace = trace_.Finish();  // materialize only when admitted
+  }
+  result_.metrics = metrics_.Snapshot();
+  result_.constraint_costs = costs_.Snapshot();
+  if (result_.slow) {
+    LogWarn("slowop", "operation exceeded slow-op threshold",
+            {F("ctx", options_.name), F("wall_ms", result_.wall_ms),
+             F("threshold_ms", options_.slow_op_ms), F("error", result_.error),
+             F("phases", PhaseSummary(result_.trace))});
+  }
+  if (result_.error) {
+    LogError("obs", "operation failed",
+             {F("ctx", options_.name), F("what", error_what_),
+              F("wall_ms", result_.wall_ms)});
+  }
+  // Fold AFTER the retention counters were bumped, so the process-level
+  // exposition equals the exact per-context sum.
+  if (fold_into != nullptr) fold_into->Merge(result_.metrics);
+  closed_.store(true, std::memory_order_release);
+  return result_;
+}
+
+// ---------------------------------------------------------------------------
+// ScopedObsContext
+
+ScopedObsContext::ScopedObsContext(ObsContext* context)
+    : previous_(internal::tls_obs_binding) {
+  internal::tls_obs_binding =
+      context != nullptr ? context->binding() : internal::ObsBinding{};
+}
+
+ScopedObsContext::~ScopedObsContext() {
+  internal::tls_obs_binding = previous_;
+}
+
+ObsContext* CurrentObsContext() {
+  return internal::tls_obs_binding.context;
+}
+
+}  // namespace obs
+}  // namespace xmlprop

@@ -1,0 +1,212 @@
+#ifndef XMLPROP_OBS_CONTEXT_H_
+#define XMLPROP_OBS_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/context_binding.h"
+#include "obs/cost_attribution.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xmlprop {
+namespace obs {
+
+/// Request-scoped observability runtime.
+///
+/// An ObsContext owns one operation's entire telemetry state — a private
+/// trace arena, metric registry shard, cost-attribution table and
+/// log-field tag — so two operations running concurrently on overlapping
+/// ThreadPool workers never interleave spans, merge counters or corrupt
+/// per-constraint cost reconciliation. This is the isolation layer the
+/// `xmlprop serve` daemon needs (ROADMAP): each session binds its own
+/// context, and the process-level view is recovered by folding every
+/// context's registry into the global one at close, so the OpenMetrics
+/// exposition equals the sum over contexts.
+///
+/// Lifecycle: construct → ScopedObsContext (binds the calling thread;
+/// ThreadPool workers inherit through SpanToken/SpanParent adoption) →
+/// unbind → Close(). Close() stops the clock, decides tail retention,
+/// emits the slow-op log record, folds the metric shard into the target
+/// registry and publishes the per-context Result. Idempotent; the
+/// destructor closes (without folding) when the owner never did.
+
+class ObsContext;
+
+/// Slowest-K admission policy for tail-based trace retention, shared by
+/// the contexts of one server/process. Thread-safe. Admission is decided
+/// at close time against the K slowest operations seen SO FAR (a
+/// streaming approximation: earlier admissions are not revoked when a
+/// slower tail arrives later). Errors and slow-ops force admission
+/// regardless of K.
+class TraceTailSampler {
+ public:
+  /// keep < 0: retain every trace (the single-command CLI default);
+  /// keep == 0: retain none (unless forced); keep > 0: slowest-K.
+  explicit TraceTailSampler(int keep) : keep_(keep) {}
+  TraceTailSampler(const TraceTailSampler&) = delete;
+  TraceTailSampler& operator=(const TraceTailSampler&) = delete;
+
+  /// True when the operation's trace should be materialized.
+  bool Admit(double wall_ms, bool force);
+
+  uint64_t retained() const { return retained_.load(std::memory_order_relaxed); }
+  uint64_t discarded() const {
+    return discarded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const int keep_;
+  std::mutex mu_;
+  std::vector<double> slowest_;  // min-heap of the K slowest wall times
+  std::atomic<uint64_t> retained_{0};
+  std::atomic<uint64_t> discarded_{0};
+};
+
+/// Heartbeat thread that flags contexts with no span/metric activity for
+/// `stall_ms` milliseconds: logs an error record carrying every
+/// registered thread's open span stack (rendered through the
+/// flight-recorder merge path) and bumps `obs.stalls_detected` on the
+/// stalled context's registry. A context is flagged once per stall
+/// episode; activity resuming re-arms it.
+class StallWatchdog {
+ public:
+  /// `poll_ms` <= 0 picks max(1, stall_ms / 4).
+  explicit StallWatchdog(int stall_ms, int poll_ms = 0);
+  ~StallWatchdog();
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  void Watch(ObsContext* context);
+  void Unwatch(ObsContext* context);
+
+  /// Stall episodes flagged so far (all watched contexts).
+  uint64_t stalls_detected() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    ObsContext* context = nullptr;
+    uint64_t last_activity = 0;
+    std::chrono::steady_clock::time_point last_change;
+    bool flagged = false;
+  };
+
+  void Run();
+
+  const int stall_ms_;
+  const int poll_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::vector<Entry> watched_;
+  std::atomic<uint64_t> stalls_{0};
+  std::thread thread_;
+};
+
+struct ObsContextOptions {
+  /// Context name: the log `ctx` tag and the report's `context` field.
+  std::string name = "op";
+  /// Operations slower than this (milliseconds) emit the slow-op log
+  /// record and force trace retention. 0 disables the slow-op plane.
+  double slow_op_ms = 0;
+  /// Tail-retention policy; nullptr retains every trace. Not owned —
+  /// must outlive the context (it is the cross-context object).
+  TraceTailSampler* sampler = nullptr;
+};
+
+class ObsContext {
+ public:
+  explicit ObsContext(ObsContextOptions options);
+  ~ObsContext();
+  ObsContext(const ObsContext&) = delete;
+  ObsContext& operator=(const ObsContext&) = delete;
+
+  const std::string& name() const { return options_.name; }
+  Trace* trace() { return &trace_; }
+  MetricRegistry* metrics() { return &metrics_; }
+  CostAttribution* costs() { return &costs_; }
+
+  /// Marks the operation failed. Errors force trace retention at Close.
+  void MarkError(std::string_view what);
+
+  /// The binding ScopedObsContext installs (and SpanToken carries).
+  internal::ObsBinding binding();
+
+  /// Span/metric charges recorded so far — the watchdog's heartbeat.
+  uint64_t activity() const {
+    return activity_.load(std::memory_order_relaxed);
+  }
+  /// Manual heartbeat for code between instrumented phases.
+  void Touch() { activity_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Everything one closed context produces.
+  struct Result {
+    double wall_ms = 0;
+    bool retained = false;  ///< trace materialized (tail-sampling verdict)
+    bool slow = false;      ///< wall_ms exceeded slow_op_ms
+    bool error = false;     ///< MarkError was called
+    TraceSummary trace;     ///< aggregated span tree; empty when discarded
+    MetricsSnapshot metrics;  ///< this context's shard only
+    std::vector<ConstraintCostRow> constraint_costs;  ///< intern order
+  };
+
+  /// Closes the context: stops the clock, bumps
+  /// `obs.traces_retained`/`obs.traces_discarded` into the shard, decides
+  /// retention (materializing the trace only when admitted), emits the
+  /// slow-op log record, then folds the shard into `fold_into` (skipped
+  /// when null) so process-level metrics equal the sum over contexts.
+  /// Idempotent: later calls return the first Result.
+  const Result& Close(MetricRegistry* fold_into);
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+ private:
+  friend class StallWatchdog;
+
+  ObsContextOptions options_;
+  std::chrono::steady_clock::time_point start_;
+  Trace trace_;
+  MetricRegistry metrics_;
+  CostAttribution costs_;
+  std::atomic<uint64_t> activity_{0};
+  std::atomic<bool> error_{false};
+  std::string error_what_;
+  std::mutex close_mu_;
+  std::atomic<bool> closed_{false};
+  std::atomic<StallWatchdog*> watchdog_{nullptr};
+  Result result_;
+};
+
+/// Binds `context` to the current thread for this scope (RAII; restores
+/// the previous binding, so contexts nest). ThreadPool workers inherit
+/// the binding through the SpanToken captured by obs::CurrentSpan() and
+/// re-established by obs::SpanParent — the same adoption handshake that
+/// already carries span parentage across the fan-out. Passing nullptr
+/// binds the default (process-global) context for the scope.
+class ScopedObsContext {
+ public:
+  explicit ScopedObsContext(ObsContext* context);
+  ~ScopedObsContext();
+  ScopedObsContext(const ScopedObsContext&) = delete;
+  ScopedObsContext& operator=(const ScopedObsContext&) = delete;
+
+ private:
+  internal::ObsBinding previous_;
+};
+
+/// The context bound to the current thread, or nullptr on the default
+/// context. One TLS read.
+ObsContext* CurrentObsContext();
+
+}  // namespace obs
+}  // namespace xmlprop
+
+#endif  // XMLPROP_OBS_CONTEXT_H_

@@ -1,0 +1,61 @@
+#ifndef XMLPROP_OBS_CONTEXT_BINDING_H_
+#define XMLPROP_OBS_CONTEXT_BINDING_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace xmlprop {
+namespace obs {
+
+class ObsContext;
+class Trace;
+class MetricRegistry;
+class CostAttribution;
+
+namespace internal {
+
+// ---------------------------------------------------------------------------
+// The per-thread observability cursor.
+//
+// Every hot-path helper (Count/Gauge/Observe, Span, CostAdd, the log
+// renderer) consults this thread-local binding FIRST and only falls back
+// to the process-global atomics (g_active_trace / g_active_metrics /
+// g_active_costs) when the slot is null. An all-null binding — the state
+// of every thread that never entered an ObsContext — therefore behaves
+// exactly like the pre-context code: one TLS read plus one branch on top
+// of the original relaxed atomic load. That null state IS the "static
+// default context"; it is what keeps single-command CLI output
+// bit-identical and the disabled-path overhead inside the flight-recorder
+// budget.
+//
+// The binding propagates across ThreadPool fan-outs by riding the
+// existing span-adoption handshake: obs::CurrentSpan() captures it into
+// the SpanToken and obs::SpanParent installs/restores it inside the
+// worker body. Code between the two never touches it.
+struct ObsBinding {
+  ObsContext* context = nullptr;
+  Trace* trace = nullptr;
+  MetricRegistry* metrics = nullptr;
+  CostAttribution* costs = nullptr;
+  /// The owning context's liveness counter (stall-watchdog heartbeat);
+  /// bumped relaxed on every bound span/metric charge.
+  std::atomic<uint64_t>* activity = nullptr;
+  /// The context's name, NUL-terminated, owned by (and outliving) the
+  /// context — stamped onto log records as the `ctx` field.
+  const char* log_tag = nullptr;
+};
+
+extern thread_local ObsBinding tls_obs_binding;
+
+/// Marks the bound context live (no-op on the default context). Relaxed:
+/// the watchdog only compares successive samples for inequality.
+inline void BindingTouch() {
+  std::atomic<uint64_t>* activity = tls_obs_binding.activity;
+  if (activity != nullptr) activity->fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+}  // namespace obs
+}  // namespace xmlprop
+
+#endif  // XMLPROP_OBS_CONTEXT_BINDING_H_

@@ -10,6 +10,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/context_binding.h"
+
 namespace xmlprop {
 namespace obs {
 
@@ -105,9 +107,12 @@ extern std::atomic<CostAttribution*> g_active_costs;
 extern thread_local uint32_t tls_cost_id;
 }  // namespace internal
 
-/// The process-wide active table, or nullptr when attribution is off
-/// (the default: every helper below is then one relaxed load).
+/// The table charges on this thread land in: the bound ObsContext's
+/// table when one is installed, else the process-wide table, else
+/// nullptr when attribution is off (the default: every helper below is
+/// then one TLS read + one relaxed load).
 inline CostAttribution* ActiveCosts() {
+  if (CostAttribution* bound = internal::tls_obs_binding.costs) return bound;
   return internal::g_active_costs.load(std::memory_order_relaxed);
 }
 

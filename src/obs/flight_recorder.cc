@@ -46,6 +46,7 @@ std::atomic<uint32_t> g_ring_count{0};
 std::atomic<uint64_t> g_seq{0};
 std::atomic<uint64_t> g_clock_epoch_ns{0};
 std::atomic<uint64_t> g_dropped_thread_events{0};
+std::atomic<uint64_t> g_truncated_total{0};
 // Bumped by ResetFlightRecorderForTest so stale thread-local ring
 // pointers from before a reset re-register instead of scribbling on a
 // reclaimed slot.
@@ -281,6 +282,8 @@ void DumpCore(ByteSink* sink, int sig) {
   PutI64(sink, SignalSafePeakRssKb());
   PutStr(sink, "\ndropped_thread_events: ");
   PutU64(sink, g_dropped_thread_events.load(std::memory_order_relaxed));
+  PutStr(sink, "\ntruncated_events: ");
+  PutU64(sink, g_truncated_total.load(std::memory_order_relaxed));
   PutStr(sink, "\n");
 
   uint32_t rings = g_ring_count.load(std::memory_order_acquire);
@@ -400,10 +403,18 @@ void FlightRecord(FlightEventKind kind, const char* text, size_t text_len,
   e.value = value;
   e.kind = kind;
   if (text_len > FlightEvent::kTextCapacity) {
-    text_len = FlightEvent::kTextCapacity;
+    // Keep a prefix and make the cut explicit: `…` in the dump plus a
+    // counter, so an operator reading a truncated metric name knows it
+    // was cut rather than mistaking the prefix for the full name.
+    text_len = FlightEvent::kTruncatedTextBytes;
+    if (text != nullptr) std::memcpy(e.text, text, text_len);
+    std::memcpy(e.text + text_len, "\xE2\x80\xA6", 3);
+    e.text[text_len + 3] = '\0';
+    g_truncated_total.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    if (text != nullptr && text_len > 0) std::memcpy(e.text, text, text_len);
+    e.text[text_len] = '\0';
   }
-  if (text != nullptr && text_len > 0) std::memcpy(e.text, text, text_len);
-  e.text[text_len] = '\0';
   ring->head.store(head + 1, std::memory_order_release);
 }
 
@@ -423,6 +434,7 @@ void ResetFlightRecorderForTest() {
   g_ring_count.store(0, std::memory_order_relaxed);
   g_seq.store(0, std::memory_order_relaxed);
   g_dropped_thread_events.store(0, std::memory_order_relaxed);
+  g_truncated_total.store(0, std::memory_order_relaxed);
 }
 
 uint64_t FlightDroppedThreads() {
@@ -458,6 +470,44 @@ std::string DumpFlightRecorderToString() {
   StringSink sink;
   DumpCore(&sink, 0);
   return std::move(sink.out);
+}
+
+std::string DumpOpenSpanStacksToString() {
+  StringSink sink;
+  uint32_t rings = g_ring_count.load(std::memory_order_acquire);
+  if (rings > kFlightMaxThreads) rings = kFlightMaxThreads;
+  bool first = true;
+  for (uint32_t r = 0; r < rings; ++r) {
+    const ThreadRing& ring = g_rings[r];
+    if (ring.state.load(std::memory_order_acquire) != 1) continue;
+    const char* const* stack = ring.span_stack.load(std::memory_order_relaxed);
+    const int* depth_ptr = ring.span_depth.load(std::memory_order_relaxed);
+    if (stack == nullptr || depth_ptr == nullptr) continue;
+    if (!first) PutStr(&sink, "; ");
+    first = false;
+    PutStr(&sink, "tid=");
+    PutU64(&sink, ring.tid);
+    PutStr(&sink, " name=");
+    PutStr(&sink, ring.name[0] != '\0' ? ring.name : "thread");
+    PutStr(&sink, ":");
+    int depth = *depth_ptr;
+    if (depth < 0) depth = 0;
+    if (depth > xmlprop::obs::internal::kMaxSpanStack) {
+      depth = xmlprop::obs::internal::kMaxSpanStack;
+    }
+    if (depth == 0) PutStr(&sink, " (idle)");
+    for (int i = 0; i < depth; ++i) {
+      PutStr(&sink, i == 0 ? " " : " > ");
+      const char* name = stack[i];
+      PutStr(&sink, name != nullptr ? name : "?");
+    }
+  }
+  if (first) PutStr(&sink, "(no registered threads)");
+  return std::move(sink.out);
+}
+
+uint64_t FlightTruncatedTotal() {
+  return g_truncated_total.load(std::memory_order_relaxed);
 }
 
 void DumpFlightRecorderToFd(int fd, int signal) {

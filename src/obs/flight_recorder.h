@@ -36,9 +36,15 @@ enum class FlightEventKind : uint8_t {
 
 /// One fixed-size POD ring record. `text` holds the (possibly truncated)
 /// span/metric name or log message — copied, never referenced, so the
-/// dump can never chase a dangling pointer.
+/// dump can never chase a dangling pointer. Text longer than the slot
+/// keeps its first 44 bytes plus an explicit `…` marker (3-byte UTF-8)
+/// and bumps the truncation counter (FlightTruncatedTotal) — truncation
+/// is visible in the dump, never silent.
 struct FlightEvent {
   static constexpr size_t kTextCapacity = 47;  ///< + NUL = 48 bytes
+  /// Bytes of original text kept when truncating (the rest of the slot
+  /// holds the `…` marker).
+  static constexpr size_t kTruncatedTextBytes = 44;
 
   uint64_t seq = 0;    ///< global record order (1-based; 0 = empty slot)
   uint64_t ts_ns = 0;  ///< steady-clock nanoseconds since recorder epoch
@@ -122,6 +128,17 @@ const char* CrashDumpPath();
 /// write, minus the signal line — into a string. Not async-signal-safe;
 /// for tests, debugging and operator tooling.
 std::string DumpFlightRecorderToString();
+
+/// Renders every registered thread's open-span stack on one line each
+/// ("tid=123 name=pool-0: a > b > c; ..."), reusing the crash dump's
+/// merge path. The stall watchdog attaches this to its stall record so
+/// operators see where each thread is stuck. Not async-signal-safe.
+std::string DumpOpenSpanStacksToString();
+
+/// Ring events whose text was truncated to fit the 48-byte slot since
+/// process start (or the last test reset). Surfaced as the
+/// `obs.flight_truncated_total` counter by the CLI.
+uint64_t FlightTruncatedTotal();
 
 /// Async-signal-safe dump to an open file descriptor. `signal` > 0 adds
 /// the fatal-signal header line. This is the crash handler's body,

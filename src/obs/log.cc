@@ -11,6 +11,7 @@
 #include <pthread.h>
 #endif
 
+#include "obs/context_binding.h"
 #include "obs/flight_recorder.h"
 #include "obs/report.h"
 
@@ -92,6 +93,14 @@ std::string RenderText(LogLevel level, std::string_view component,
   line.append(LevelTag(level));
   line.push_back(' ');
   line.append(ThreadName());
+  // The bound ObsContext's tag, so interleaved records from concurrent
+  // operations remain attributable. Absent on the default context, which
+  // keeps single-command log lines byte-identical.
+  if (internal::tls_obs_binding.log_tag != nullptr) {
+    line.append(" [");
+    line.append(internal::tls_obs_binding.log_tag);
+    line.push_back(']');
+  }
   line.push_back(' ');
   line.append(component);
   line.append(": ");
@@ -118,6 +127,10 @@ std::string RenderNdjson(LogLevel level, std::string_view component,
   line.append(LogLevelName(level));
   line.append("\",\"thread\":\"");
   line.append(JsonEscape(ThreadName()));
+  if (internal::tls_obs_binding.log_tag != nullptr) {
+    line.append("\",\"ctx\":\"");
+    line.append(JsonEscape(internal::tls_obs_binding.log_tag));
+  }
   line.append("\",\"component\":\"");
   line.append(JsonEscape(component));
   line.append("\",\"msg\":\"");

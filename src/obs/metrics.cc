@@ -136,7 +136,35 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
   return snapshot;
 }
 
+void MetricRegistry::Merge(const MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    if (value == 0) continue;
+    CounterCell(name).fetch_add(value, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges_[name] = value;
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (h.count == 0) continue;
+    HistogramCell& cell = histograms_[name];
+    if (cell.count == 0) {
+      cell.min = h.min;
+      cell.max = h.max;
+    } else {
+      cell.min = std::min(cell.min, h.min);
+      cell.max = std::max(cell.max, h.max);
+    }
+    cell.count += h.count;
+    cell.sum += h.sum;
+    for (int i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+      cell.buckets[i] += h.buckets[i];
+    }
+  }
+}
+
 MetricRegistry* ActiveMetrics() {
+  if (MetricRegistry* bound = internal::tls_obs_binding.metrics) return bound;
   return internal::g_active_metrics.load(std::memory_order_relaxed);
 }
 

@@ -11,6 +11,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/context_binding.h"
+
 namespace xmlprop {
 namespace obs {
 
@@ -83,6 +85,13 @@ class MetricRegistry {
   /// Deterministic (name-sorted) copy of everything recorded so far.
   MetricsSnapshot Snapshot() const;
 
+  /// Folds a snapshot of another registry into this one — the
+  /// context-close aggregation path (ObsContext::Close): counters add,
+  /// gauges last-write-win, histograms merge moments and buckets. Writes
+  /// the cells directly (no flight-recorder events), so folding a shard
+  /// never floods the black-box ring with replayed deltas.
+  void Merge(const MetricsSnapshot& snapshot);
+
  private:
   struct HistogramCell {
     uint64_t count = 0;
@@ -103,10 +112,13 @@ class MetricRegistry {
   std::unordered_map<std::string, HistogramCell> histograms_;
 };
 
-/// The process-wide active registry, or nullptr when metrics are off.
-/// Library code never checks a flag — it calls the Count/Gauge/Observe
-/// helpers below, which are a single relaxed atomic load when no registry
-/// is installed (the "disabled overhead below the noise floor" contract).
+/// The registry charges on this thread currently land in: the bound
+/// ObsContext's shard when one is installed (ScopedObsContext /
+/// SpanParent adoption), else the process-wide registry, else nullptr
+/// when metrics are off. Library code never checks a flag — it calls the
+/// Count/Gauge/Observe helpers below, which stay one TLS read + one
+/// relaxed atomic load when nothing is installed (the "disabled overhead
+/// below the noise floor" contract).
 MetricRegistry* ActiveMetrics();
 
 /// Installs `registry` as the active one for this scope (RAII; restores
@@ -126,8 +138,15 @@ namespace internal {
 extern std::atomic<MetricRegistry*> g_active_metrics;
 }  // namespace internal
 
-/// Bumps the named counter in the active registry, if any.
+/// Bumps the named counter in the active registry, if any. The bound
+/// context's shard wins over the process-global registry; a bound charge
+/// also stamps the context's liveness heartbeat (stall watchdog).
 inline void Count(const char* name, uint64_t delta = 1) {
+  if (MetricRegistry* bound = internal::tls_obs_binding.metrics) {
+    bound->Add(name, delta);
+    internal::BindingTouch();
+    return;
+  }
   MetricRegistry* r =
       internal::g_active_metrics.load(std::memory_order_relaxed);
   if (r != nullptr) r->Add(name, delta);
@@ -135,6 +154,11 @@ inline void Count(const char* name, uint64_t delta = 1) {
 
 /// Sets the named gauge in the active registry, if any.
 inline void Gauge(const char* name, int64_t value) {
+  if (MetricRegistry* bound = internal::tls_obs_binding.metrics) {
+    bound->SetGauge(name, value);
+    internal::BindingTouch();
+    return;
+  }
   MetricRegistry* r =
       internal::g_active_metrics.load(std::memory_order_relaxed);
   if (r != nullptr) r->SetGauge(name, value);
@@ -142,6 +166,11 @@ inline void Gauge(const char* name, int64_t value) {
 
 /// Observes `value` into the named histogram in the active registry.
 inline void Observe(const char* name, double value) {
+  if (MetricRegistry* bound = internal::tls_obs_binding.metrics) {
+    bound->Observe(name, value);
+    internal::BindingTouch();
+    return;
+  }
   MetricRegistry* r =
       internal::g_active_metrics.load(std::memory_order_relaxed);
   if (r != nullptr) r->Observe(name, value);

@@ -107,15 +107,20 @@ PeriodicMetricsWriter::PeriodicMetricsWriter(const MetricRegistry* registry,
       interval_ms_(interval_ms > 0 ? interval_ms : 1000),
       thread_([this] { Run(); }) {}
 
-PeriodicMetricsWriter::~PeriodicMetricsWriter() {
+PeriodicMetricsWriter::~PeriodicMetricsWriter() { Stop(); }
+
+void PeriodicMetricsWriter::Stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
     stop_ = true;
   }
   cv_.notify_all();
   thread_.join();
-  // Final snapshot, so even runs shorter than one interval leave the
-  // exposition on disk.
+  // Final snapshot after the thread joined, so even runs shorter than
+  // one interval leave the exposition on disk and the last scrape sees
+  // everything the registry accumulated (including late context folds).
   if (WriteOpenMetricsFile(registry_->Snapshot(), path_)) {
     std::lock_guard<std::mutex> lock(mu_);
     ++writes_;

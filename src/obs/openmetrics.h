@@ -35,8 +35,11 @@ bool WriteOpenMetricsFile(const MetricsSnapshot& snapshot,
 
 /// Periodic snapshot-to-file mode for long runs: a background thread
 /// writes the registry's exposition to `path` every `interval_ms`
-/// milliseconds (and once on destruction, so short runs still leave a
-/// final snapshot). The registry must outlive the writer.
+/// milliseconds, plus one final atomic snapshot at Stop() (or
+/// destruction), so short runs still leave the exposition on disk and
+/// the last scrape always reflects the registry's final state — callers
+/// that fold context shards in late call Stop() AFTER the fold.
+/// The registry must outlive the writer.
 class PeriodicMetricsWriter {
  public:
   PeriodicMetricsWriter(const MetricRegistry* registry, std::string path,
@@ -45,8 +48,12 @@ class PeriodicMetricsWriter {
   PeriodicMetricsWriter(const PeriodicMetricsWriter&) = delete;
   PeriodicMetricsWriter& operator=(const PeriodicMetricsWriter&) = delete;
 
-  /// Snapshots written so far (for tests; the destructor's final write
-  /// counts too).
+  /// Joins the writer thread and writes the final snapshot. Idempotent;
+  /// the destructor delegates here when never called explicitly.
+  void Stop();
+
+  /// Snapshots written so far (for tests; Stop()'s final write counts
+  /// too).
   int writes() const;
 
  private:
@@ -58,6 +65,7 @@ class PeriodicMetricsWriter {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+  bool stopped_ = false;  // Stop() already ran (thread joined, flushed)
   int writes_ = 0;
   std::thread thread_;
 };

@@ -77,7 +77,11 @@ std::string JsonEscape(std::string_view s) {
 std::string ReportToJson(const RunReport& report) {
   std::ostringstream out;
   out << "{\"version\":" << kReportVersion << ",\"command\":\""
-      << JsonEscape(report.command) << "\",\"config\":\""
+      << JsonEscape(report.command) << "\",";
+  if (!report.context.empty()) {
+    out << "\"context\":\"" << JsonEscape(report.context) << "\",";
+  }
+  out << "\"config\":\""
       << JsonEscape(report.config) << "\",\"wall_ms\":"
       << Num(report.trace.wall_ms) << ",\"spans\":[";
   for (size_t i = 0; i < report.trace.roots.size(); ++i) {
@@ -187,6 +191,7 @@ std::string CostTableToText(const std::vector<ConstraintCostRow>& rows) {
 std::string ReportToText(const RunReport& report) {
   std::ostringstream out;
   out << "trace: " << report.command;
+  if (!report.context.empty()) out << " ctx=" << report.context;
   if (!report.config.empty()) out << " [" << report.config << "]";
   out << "  wall " << Num(report.trace.wall_ms) << " ms\n";
   for (const SpanNode& root : report.trace.roots) {

@@ -18,6 +18,9 @@ namespace obs {
 /// CI validates emitted reports against the required top-level keys.
 struct RunReport {
   std::string command;   ///< e.g. "cover" — the CLI verb or bench name
+  /// Name of the ObsContext the run was charged to; empty on the default
+  /// (process-global) context, which omits the JSON key entirely.
+  std::string context;
   std::string config;    ///< free-form run configuration ("engine=on ...")
   TraceSummary trace;    ///< aggregated span tree + wall time
   MetricsSnapshot metrics;
@@ -36,8 +39,8 @@ inline constexpr int kReportVersion = 3;
 
 /// Serializes `report` as a single JSON object with top-level keys
 /// `version`, `command`, `config`, `wall_ms`, `spans`, `metrics`,
-/// `memory`, and — when the respective planes ran — `profile` and
-/// `constraint_costs`.
+/// `memory`, and — when the respective planes ran — `context` (after
+/// `command`), `profile` and `constraint_costs`.
 std::string ReportToJson(const RunReport& report);
 
 /// Renders the hot-first per-constraint cost table as aligned text (the

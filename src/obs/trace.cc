@@ -232,14 +232,22 @@ ScopedTrace::~ScopedTrace() {
   internal::g_active_trace.store(previous_, std::memory_order_relaxed);
 }
 
-SpanToken CurrentSpan() { return SpanToken{internal::tls_current_span}; }
+SpanToken CurrentSpan() {
+  // The token carries this thread's observability binding alongside the
+  // span seq, so SpanParent re-establishes BOTH in pool workers — span
+  // parentage and ObsContext attribution ride one handshake.
+  return SpanToken{internal::tls_current_span, internal::tls_obs_binding};
+}
 
 Span::Span(const char* name)
-    : trace_(internal::g_active_trace.load(std::memory_order_relaxed)),
+    : trace_(internal::tls_obs_binding.trace != nullptr
+                 ? internal::tls_obs_binding.trace
+                 : internal::g_active_trace.load(std::memory_order_relaxed)),
       name_(name) {
   // The flight recorder sees every span, traced or not — it is the
   // always-on black box, independent of the opt-in Trace plane.
   RecordSpanBegin(name_);
+  internal::BindingTouch();  // span starts count as context activity
   const bool cursor_wanted =
       internal::g_span_stack_refs.load(std::memory_order_relaxed) > 0;
   if (trace_ == nullptr && !cursor_wanted) return;
@@ -275,11 +283,16 @@ Span::~Span() {
 }
 
 SpanParent::SpanParent(SpanToken parent)
-    : previous_(internal::tls_current_span) {
+    : previous_(internal::tls_current_span),
+      previous_binding_(internal::tls_obs_binding) {
   internal::tls_current_span = parent.seq;
+  internal::tls_obs_binding = parent.binding;
 }
 
-SpanParent::~SpanParent() { internal::tls_current_span = previous_; }
+SpanParent::~SpanParent() {
+  internal::tls_current_span = previous_;
+  internal::tls_obs_binding = previous_binding_;
+}
 
 }  // namespace obs
 }  // namespace xmlprop

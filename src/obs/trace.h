@@ -10,6 +10,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/context_binding.h"
+
 namespace xmlprop {
 namespace obs {
 
@@ -163,9 +165,14 @@ class ScopedTrace {
 
 /// Opaque handle to the current innermost span on this thread; capture
 /// it before a ThreadPool fan-out and re-establish it inside workers
-/// with SpanParent so worker spans nest under the caller's span.
+/// with SpanParent so worker spans nest under the caller's span. The
+/// token also carries the caller's observability binding (ObsContext
+/// cursor), so workers charge the same context the fan-out caller was
+/// bound to — context propagation rides the existing adoption handshake,
+/// no fan-out site changes needed.
 struct SpanToken {
   uint64_t seq = 0;
+  internal::ObsBinding binding{};
 };
 
 /// The current thread's innermost open span (0 token = no span / no
@@ -194,10 +201,12 @@ class Span {
 };
 
 /// RAII guard that makes `parent` the current span for this thread,
-/// restoring the previous one on destruction. Used inside ThreadPool
-/// worker bodies to adopt the fan-out caller's span as parent. Safe
-/// because ParallelFor blocks the caller, keeping the parent span open
-/// for the guard's whole lifetime.
+/// restoring the previous one on destruction, and installs the token's
+/// observability binding for the guard's scope (so the worker charges
+/// the fan-out caller's ObsContext). Used inside ThreadPool worker
+/// bodies to adopt the fan-out caller's span as parent. Safe because
+/// ParallelFor blocks the caller, keeping the parent span (and its
+/// context) open for the guard's whole lifetime.
 class SpanParent {
  public:
   explicit SpanParent(SpanToken parent);
@@ -207,6 +216,7 @@ class SpanParent {
 
  private:
   uint64_t previous_;
+  internal::ObsBinding previous_binding_;
 };
 
 }  // namespace obs

@@ -21,6 +21,7 @@
 #include "keys/xsd_import.h"
 #include "core/publish.h"
 #include "obs/chrome_trace.h"
+#include "obs/context.h"
 #include "obs/cost_attribution.h"
 #include "obs/flight_recorder.h"
 #include "obs/log.h"
@@ -106,6 +107,20 @@ observability (any command):
                   (last-N events, open span stacks, peak RSS) to FILE,
                   then re-raise. XMLPROP_CRASH_DUMP=FILE does the same
                   from the environment.
+  --slow-op-ms=N  Run the command under a request-scoped ObsContext and
+                  emit a structured slow-op log record (wall time,
+                  per-phase span summary) when the operation takes
+                  longer than N ms. Slow ops force trace retention.
+  --stall-ms=N    Start a stall watchdog: if the operation records no
+                  span/metric activity for N ms, log an error with every
+                  thread's open span stack and bump
+                  obs.stalls_detected. Implies the ObsContext runtime.
+  --trace-retain=K
+                  Tail-based trace retention: materialize the span tree
+                  only for the K slowest operations (errors and slow ops
+                  always retained; K=0 keeps none, negative keeps all).
+                  Counted in obs.traces_retained / obs.traces_discarded.
+                  Implies the ObsContext runtime.
   --no-flight-recorder
                   Disable the always-on flight recorder for this run
                   (XMLPROP_FLIGHT_RECORDER=0 does the same).
@@ -754,7 +769,9 @@ std::string ConfigString(const ParsedArgs& args) {
         name == "log-format" || name == "log-file" || name == "quiet" ||
         name == "metrics-format" || name == "metrics-out" ||
         name == "metrics-interval-ms" || name == "explain-cost" ||
-        name == "crash-dump" || name == "no-flight-recorder") {
+        name == "crash-dump" || name == "no-flight-recorder" ||
+        name == "slow-op-ms" || name == "stall-ms" ||
+        name == "trace-retain") {
       continue;
     }
     if (!out.empty()) out += ' ';
@@ -788,6 +805,12 @@ int RunObserved(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   }
   const bool profiling = args.Has("profile");
   const bool explain_cost = args.Has("explain-cost");
+  // Any of the three new planes opts the run into the request-scoped
+  // ObsContext runtime; without them the run charges the process-global
+  // cursors exactly as before (bit-identical default path).
+  const bool ctx_mode = args.Has("slow-op-ms") || args.Has("stall-ms") ||
+                        args.Has("trace-retain");
+  const uint64_t flight_truncated_start = obs::FlightTruncatedTotal();
 
   obs::MetricRegistry registry;
   obs::Trace trace;
@@ -795,8 +818,30 @@ int RunObserved(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   std::optional<obs::ScopedMemAccounting> mem_scope;
   std::optional<obs::CostAttribution> costs;
   std::optional<obs::PeriodicMetricsWriter> periodic;
+  std::optional<obs::TraceTailSampler> sampler;
+  std::optional<obs::ObsContext> context;
+  std::optional<obs::StallWatchdog> watchdog;
+  if (ctx_mode) {
+    if (args.Has("trace-retain")) {
+      sampler.emplace(std::stoi(args.Get("trace-retain")));
+    }
+    obs::ObsContextOptions options;
+    options.name = args.command;
+    if (args.Has("slow-op-ms")) {
+      options.slow_op_ms = std::stod(args.Get("slow-op-ms"));
+    }
+    options.sampler = sampler ? &*sampler : nullptr;
+    context.emplace(std::move(options));
+    if (args.Has("stall-ms")) {
+      watchdog.emplace(std::stoi(args.Get("stall-ms")));
+      watchdog->Watch(&*context);
+    }
+  }
   int code;
   {
+    // The process-global installs stay up even in context mode: threads
+    // that never adopted the binding (none today, but a safe fallback)
+    // charge the registry the context folds into, so totals reconcile.
     obs::ScopedMetrics metrics_scope(&registry);
     obs::ScopedTrace trace_scope(&trace);
     std::optional<obs::ScopedCostAttribution> cost_scope;
@@ -812,19 +857,46 @@ int RunObserved(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
       mem_scope.emplace();
       profiler.Start();
     }
+    std::optional<obs::ScopedObsContext> ctx_scope;
+    if (context) ctx_scope.emplace(&*context);
     obs::Span root(args.command.c_str());
     code = DispatchCommand(args, out);
   }
   if (profiling) profiler.Stop();
-  // Stopping the periodic writer flushes the final snapshot; a one-shot
-  // --metrics-out (no interval) writes below, from the report snapshot.
-  periodic.reset();
+  // Stop the watchdog before closing (Close unwatches too; this also
+  // ends the heartbeat thread), then close the context, folding its
+  // shard into the process registry so the exposition below equals the
+  // per-context sum.
+  watchdog.reset();
+  const obs::ObsContext::Result* ctx_result = nullptr;
+  if (context) ctx_result = &context->Close(&registry);
+  // Surface the flight recorder's truncation tally for this run as a
+  // counter, so truncated black-box names show up in --metrics and the
+  // OpenMetrics exposition (the recorder itself must not call obs::Count
+  // — metric adds feed back into the ring).
+  const uint64_t truncated_delta =
+      obs::FlightTruncatedTotal() - flight_truncated_start;
+  if (truncated_delta > 0) {
+    registry.Add("obs.flight_truncated_total", truncated_delta);
+  }
+  // Stopping the periodic writer AFTER the fold flushes a final snapshot
+  // that includes the context's shard; a one-shot --metrics-out (no
+  // interval) writes below, from the report snapshot.
+  if (periodic) periodic->Stop();
   if (code == -1) return -1;  // unknown command: no report
 
   obs::RunReport report;
   report.command = args.command;
   report.config = ConfigString(args);
-  report.trace = trace.Finish();
+  if (ctx_result != nullptr) {
+    report.context = context->name();
+    report.trace = ctx_result->trace;
+    // A discarded trace has no tree but the operation still has a wall
+    // time; carry the context's clock so wall_ms stays meaningful.
+    if (!ctx_result->retained) report.trace.wall_ms = ctx_result->wall_ms;
+  } else {
+    report.trace = trace.Finish();
+  }
   report.metrics = registry.Snapshot();
   if (profiling) {
     report.profile = profiler.Stop();
@@ -834,7 +906,11 @@ int RunObserved(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     report.memory = obs::CurrentMemorySummary();
   }
   if (explain_cost) {
-    report.constraint_costs = costs->Snapshot();
+    // In context mode the bound threads charged the context's table;
+    // the process-global table only catches unbound stragglers.
+    report.constraint_costs =
+        ctx_result != nullptr ? ctx_result->constraint_costs
+                              : costs->Snapshot();
     obs::SortHotFirst(&report.constraint_costs);
   }
   if (args.Has("metrics-out") && !args.Has("metrics-interval-ms") &&
@@ -985,7 +1061,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
         (parsed->Has("trace") || parsed->Has("metrics") ||
          parsed->Has("profile") || parsed->Has("trace-format") ||
          parsed->Has("explain-cost") || parsed->Has("metrics-format") ||
-         parsed->Has("metrics-out"))
+         parsed->Has("metrics-out") || parsed->Has("slow-op-ms") ||
+         parsed->Has("stall-ms") || parsed->Has("trace-retain"))
             ? RunObserved(*parsed, out, err)
             : DispatchCommand(*parsed, out);
     if (code == -1) {

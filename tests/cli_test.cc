@@ -45,6 +45,12 @@ class CliTest : public ::testing::Test {
   std::string Path(const std::string& name) const {
     return (dir_ / name).string();
   }
+  static std::string ReadFile(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
 
   // Runs the CLI and captures output.
   struct RunResult {
@@ -519,6 +525,78 @@ TEST_F(CliTest, UnwritableTraceFileIsAnError) {
                      Path("doc.xml"), "--trace=/nonexistent-dir/run.json"});
   EXPECT_EQ(r.code, 1);
   EXPECT_NE(r.err.find("cannot write trace report"), std::string::npos);
+}
+
+// Request-scoped context flags are observe-only: with thresholds that never
+// fire, stdout and exit codes are bit-identical to the unflagged run and
+// stderr stays silent.
+TEST_F(CliTest, ContextFlagsLeaveStdoutIdentical) {
+  const std::vector<std::vector<std::string>> commands = {
+      {"check", "--keys", Path("keys.txt"), "--doc", Path("doc.xml")},
+      {"check", "--keys", Path("keys.txt"), "--doc", Path("doc.xml"),
+       "--index"},
+      {"cover", "--keys", Path("keys.txt"), "--rules", Path("universal.txt"),
+       "--engine"},
+      {"shred", "--rules", Path("rules.txt"), "--doc", Path("doc.xml"),
+       "--sql"},
+  };
+  for (const std::vector<std::string>& base : commands) {
+    RunResult plain = Run(base);
+
+    std::vector<std::string> ctx = base;
+    ctx.push_back("--slow-op-ms=60000");
+    ctx.push_back("--stall-ms=60000");
+    ctx.push_back("--trace-retain=5");
+    RunResult with_ctx = Run(ctx);
+    EXPECT_EQ(with_ctx.code, plain.code) << base[0];
+    EXPECT_EQ(StripTimings(with_ctx.out), StripTimings(plain.out))
+        << base[0] << " context flags altered stdout";
+    EXPECT_EQ(with_ctx.err, "") << base[0];
+  }
+}
+
+// A sub-microsecond threshold forces the slow-op record: one structured
+// WARN line carrying the context name, wall time, and per-phase summary.
+TEST_F(CliTest, SlowOpThresholdEmitsStructuredRecord) {
+  RunResult r = Run({"check", "--keys", Path("keys.txt"), "--doc",
+                     Path("doc.xml"), "--slow-op-ms=0.000001",
+                     "--log-format=ndjson"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.err.find("\"component\":\"slowop\""), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("\"ctx\":\"check\""), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("\"wall_ms\":"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("\"threshold_ms\":"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("\"phases\":\""), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("xml.parse"), std::string::npos) << r.err;
+}
+
+// Under a context the trace report names the context, and the tail sampler's
+// verdict decides whether spans are materialized: retain=0 discards the span
+// tree but still reports the context wall time and the discard counter.
+TEST_F(CliTest, ContextTraceReportCarriesContextAndHonorsRetainZero) {
+  const std::string trace_file = Path("ctx_run.json");
+  RunResult kept = Run({"check", "--keys", Path("keys.txt"), "--doc",
+                        Path("doc.xml"), "--slow-op-ms=60000",
+                        "--trace=" + trace_file});
+  ASSERT_EQ(kept.code, 0) << kept.err;
+  std::string json = ReadFile(trace_file);
+  EXPECT_NE(json.find("\"context\":\"check\""), std::string::npos) << json;
+  EXPECT_NE(json.find("xml.parse"), std::string::npos) << json;
+  EXPECT_NE(json.find("obs.traces_retained"), std::string::npos) << json;
+
+  RunResult dropped = Run({"check", "--keys", Path("keys.txt"), "--doc",
+                           Path("doc.xml"), "--trace-retain=0",
+                           "--trace=" + trace_file});
+  ASSERT_EQ(dropped.code, 0) << dropped.err;
+  json = ReadFile(trace_file);
+  EXPECT_NE(json.find("\"context\":\"check\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"spans\":[]"), std::string::npos) << json;
+  EXPECT_NE(json.find("obs.traces_discarded"), std::string::npos) << json;
+  // Wall time survives the discard: the report's wall_ms comes from the
+  // context clock, not the (dropped) span tree.
+  const size_t wall_pos = json.find("\"wall_ms\":");
+  ASSERT_NE(wall_pos, std::string::npos) << json;
+  EXPECT_GT(std::stod(json.substr(wall_pos + 10)), 0.0) << json;
 }
 
 // The PR acceptance command: profiling plus Perfetto export leaves the

@@ -75,15 +75,32 @@ TEST_F(FlightRecorderTest, RingKeepsOnlyTheLastCapacityEvents) {
   EXPECT_NE(dump.find("evt." + std::to_string(total - 1)), std::string::npos);
 }
 
-TEST_F(FlightRecorderTest, LongNamesAreTruncatedNotDropped) {
+TEST_F(FlightRecorderTest, LongNamesAreTruncatedWithExplicitMarker) {
+  EXPECT_EQ(FlightTruncatedTotal(), 0u);
   const std::string name(200, 'x');
   RecordMetricDelta(name, 1);
   const std::string dump = DumpFlightRecorderToString();
-  EXPECT_NE(dump.find(std::string(FlightEvent::kTextCapacity, 'x')),
-            std::string::npos);
-  EXPECT_EQ(dump.find(std::string(FlightEvent::kTextCapacity + 1, 'x')),
+  // The kept prefix plus the UTF-8 ellipsis marker — truncation must be
+  // visible in the dump, never a silently shortened name.
+  const std::string marked =
+      std::string(FlightEvent::kTruncatedTextBytes, 'x') + "\xE2\x80\xA6";
+  EXPECT_NE(dump.find(marked), std::string::npos) << dump.substr(0, 400);
+  EXPECT_EQ(dump.find(std::string(FlightEvent::kTruncatedTextBytes + 1, 'x')),
             std::string::npos)
-      << "name not truncated to capacity";
+      << "name not truncated to the marked prefix";
+  EXPECT_EQ(FlightTruncatedTotal(), 1u);
+  EXPECT_NE(dump.find("truncated_events: 1"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, ShortNamesFillTheSlotWithoutMarkerOrCount) {
+  // Exactly-capacity text still fits whole: no marker, no counter bump.
+  const std::string name(FlightEvent::kTextCapacity, 'y');
+  RecordMetricDelta(name, 1);
+  const std::string dump = DumpFlightRecorderToString();
+  EXPECT_NE(dump.find(name), std::string::npos);
+  EXPECT_EQ(dump.find("\xE2\x80\xA6"), std::string::npos);
+  EXPECT_EQ(FlightTruncatedTotal(), 0u);
+  EXPECT_NE(dump.find("truncated_events: 0"), std::string::npos);
 }
 
 TEST_F(FlightRecorderTest, MergesThreadsInGlobalOrder) {
@@ -111,6 +128,17 @@ TEST_F(FlightRecorderTest, DumpShowsActiveSpanStack) {
   const std::string dump = DumpFlightRecorderToString();
   EXPECT_NE(dump.find("outer.work"), std::string::npos) << dump;
   EXPECT_NE(dump.find("inner.work"), std::string::npos) << dump;
+}
+
+TEST_F(FlightRecorderTest, OpenSpanStacksRenderCompactly) {
+  Trace trace;
+  ScopedTrace scoped(&trace);
+  Span outer("stack.outer");
+  Span inner("stack.inner");
+  const std::string stacks = DumpOpenSpanStacksToString();
+  EXPECT_NE(stacks.find("stack.outer > stack.inner"), std::string::npos)
+      << stacks;
+  EXPECT_NE(stacks.find("tid="), std::string::npos) << stacks;
 }
 
 TEST_F(FlightRecorderTest, MetricRegistryFeedsTheRing) {

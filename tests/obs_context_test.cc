@@ -1,0 +1,399 @@
+#include "obs/context.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/cost_attribution.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xmlprop {
+namespace {
+
+// The structural signature of a span tree: names, counts and nesting —
+// everything except the (nondeterministic) durations. Two runs of the
+// same workload are "bit-identical" when their shapes, counters and cost
+// rows match; wall times never are.
+std::string Shape(const std::vector<obs::SpanNode>& nodes) {
+  std::string out;
+  for (const obs::SpanNode& node : nodes) {
+    out += node.name;
+    out += ':';
+    out += std::to_string(node.count);
+    out += '(';
+    out += Shape(node.children);
+    out += ')';
+  }
+  return out;
+}
+
+// The shared workload: a root span fanning 48 items across the pool,
+// each worker adopting the caller's token (span parent AND context
+// binding), charging a counter and a per-constraint cost row. Everything
+// it records is deterministic except timings.
+void RunWorkload(ThreadPool* pool, const std::string& constraint) {
+  obs::Span root("op");
+  const obs::SpanToken parent = obs::CurrentSpan();
+  pool->ParallelFor(48, [&](size_t begin, size_t end, size_t /*worker*/) {
+    obs::SpanParent adopt(parent);
+    obs::CostAttribution* costs = obs::ActiveCosts();
+    obs::CostScope cost_scope(costs != nullptr
+                                  ? costs->Intern(constraint)
+                                  : obs::CostAttribution::kNoConstraint);
+    obs::Span chunk("chunk");
+    for (size_t i = begin; i < end; ++i) {
+      obs::Span item("item");
+      obs::Count("work.items");
+      obs::CostAdd(obs::CostKind::kContexts);
+    }
+  });
+}
+
+// --------------------------------------------------------------------------
+// Binding basics
+
+TEST(ObsContextTest, DefaultContextIsNullBinding) {
+  EXPECT_EQ(obs::CurrentObsContext(), nullptr);
+  // At rest the binding is empty and no process registry is installed,
+  // so the hot helpers are no-ops — the legacy default behavior.
+  EXPECT_EQ(obs::ActiveMetrics(), nullptr);
+  obs::Count("default.noop");  // must not crash
+}
+
+TEST(ObsContextTest, ScopedBindingRoutesChargesToTheContext) {
+  obs::MetricRegistry process_registry;
+  obs::ScopedMetrics process_scope(&process_registry);
+  obs::ObsContext context(obs::ObsContextOptions{.name = "op-a"});
+  {
+    obs::ScopedObsContext bind(&context);
+    EXPECT_EQ(obs::CurrentObsContext(), &context);
+    EXPECT_EQ(obs::ActiveMetrics(), context.metrics());
+    obs::Count("ctx.charge", 3);
+  }
+  EXPECT_EQ(obs::CurrentObsContext(), nullptr);
+  obs::Count("process.charge");
+  EXPECT_EQ(context.metrics()->Counter("ctx.charge"), 3u);
+  EXPECT_EQ(context.metrics()->Counter("process.charge"), 0u);
+  // The bound charge never leaked into the process registry...
+  EXPECT_EQ(process_registry.Counter("ctx.charge"), 0u);
+  // ...and the unbound charge fell back to it.
+  EXPECT_EQ(process_registry.Counter("process.charge"), 1u);
+}
+
+TEST(ObsContextTest, ScopedContextsNestAndRestore) {
+  obs::ObsContext outer(obs::ObsContextOptions{.name = "outer"});
+  obs::ObsContext inner(obs::ObsContextOptions{.name = "inner"});
+  obs::ScopedObsContext bind_outer(&outer);
+  obs::Count("seen");
+  {
+    obs::ScopedObsContext bind_inner(&inner);
+    EXPECT_EQ(obs::CurrentObsContext(), &inner);
+    obs::Count("seen");
+  }
+  EXPECT_EQ(obs::CurrentObsContext(), &outer);
+  obs::Count("seen");
+  EXPECT_EQ(outer.metrics()->Counter("seen"), 2u);
+  EXPECT_EQ(inner.metrics()->Counter("seen"), 1u);
+}
+
+TEST(ObsContextTest, SpanTokenCarriesTheBindingIntoForeignThreads) {
+  obs::ObsContext context(obs::ObsContextOptions{.name = "carried"});
+  obs::SpanToken token;
+  {
+    obs::ScopedObsContext bind(&context);
+    token = obs::CurrentSpan();
+  }
+  // A thread that never bound the context adopts it through the token —
+  // the exact mechanism ThreadPool workers use.
+  std::thread worker([token] {
+    EXPECT_EQ(obs::CurrentObsContext(), nullptr);
+    obs::SpanParent adopt(token);
+    EXPECT_NE(obs::CurrentObsContext(), nullptr);
+    obs::Count("carried.charge");
+  });
+  worker.join();
+  EXPECT_EQ(context.metrics()->Counter("carried.charge"), 1u);
+}
+
+TEST(ObsContextTest, SpanActivityStampsTheHeartbeat) {
+  obs::ObsContext context(obs::ObsContextOptions{.name = "hb"});
+  const uint64_t before = context.activity();
+  {
+    obs::ScopedObsContext bind(&context);
+    obs::Span span("tick");
+    obs::Count("tick.counter");
+  }
+  EXPECT_GT(context.activity(), before);
+}
+
+// --------------------------------------------------------------------------
+// Close semantics
+
+TEST(ObsContextTest, CloseFoldsTheShardExactlyOnce) {
+  obs::MetricRegistry global;
+  obs::ObsContext context(obs::ObsContextOptions{.name = "fold"});
+  {
+    obs::ScopedObsContext bind(&context);
+    obs::Count("fold.charge", 7);
+  }
+  const obs::ObsContext::Result& result = context.Close(&global);
+  EXPECT_TRUE(result.retained);  // no sampler: everything retained
+  EXPECT_EQ(result.metrics.Counter("fold.charge"), 7u);
+  EXPECT_EQ(global.Counter("fold.charge"), 7u);
+  EXPECT_EQ(global.Counter("obs.traces_retained"), 1u);
+  // Idempotent: a second close neither re-folds nor re-counts.
+  context.Close(&global);
+  EXPECT_EQ(global.Counter("fold.charge"), 7u);
+  EXPECT_EQ(global.Counter("obs.traces_retained"), 1u);
+}
+
+TEST(ObsContextTest, ErrorForcesRetentionPastAZeroKeepSampler) {
+  obs::TraceTailSampler sampler(0);  // retain nothing...
+  obs::ObsContext plain(
+      obs::ObsContextOptions{.name = "plain", .sampler = &sampler});
+  {
+    obs::ScopedObsContext bind(&plain);
+    obs::Span span("work");
+  }
+  const obs::ObsContext::Result& plain_result = plain.Close(nullptr);
+  EXPECT_FALSE(plain_result.retained);
+  EXPECT_TRUE(plain_result.trace.roots.empty());
+  EXPECT_EQ(plain_result.metrics.Counter("obs.traces_discarded"), 1u);
+
+  obs::ObsContext failed(
+      obs::ObsContextOptions{.name = "failed", .sampler = &sampler});
+  {
+    obs::ScopedObsContext bind(&failed);
+    obs::Span span("work");
+  }
+  failed.MarkError("boom");
+  const obs::ObsContext::Result& failed_result = failed.Close(nullptr);
+  EXPECT_TRUE(failed_result.error);
+  EXPECT_TRUE(failed_result.retained);  // ...unless the op failed
+  ASSERT_EQ(failed_result.trace.roots.size(), 1u);
+  EXPECT_EQ(failed_result.trace.roots[0].name, "work");
+  EXPECT_EQ(failed_result.metrics.Counter("obs.traces_retained"), 1u);
+}
+
+// --------------------------------------------------------------------------
+// Tail-based retention policy
+
+TEST(TraceTailSamplerTest, SlowestKAdmitsOnlyTheTail) {
+  obs::TraceTailSampler sampler(2);
+  EXPECT_TRUE(sampler.Admit(10, false));   // heap fills
+  EXPECT_TRUE(sampler.Admit(20, false));   // heap fills
+  EXPECT_FALSE(sampler.Admit(5, false));   // faster than both kept
+  EXPECT_TRUE(sampler.Admit(30, false));   // evicts the 10 ms slot
+  EXPECT_FALSE(sampler.Admit(15, false));  // bar is now {20, 30}
+  EXPECT_EQ(sampler.retained(), 3u);
+  EXPECT_EQ(sampler.discarded(), 2u);
+}
+
+TEST(TraceTailSamplerTest, NegativeKeepRetainsEverything) {
+  obs::TraceTailSampler sampler(-1);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(sampler.Admit(i, false));
+  EXPECT_EQ(sampler.retained(), 10u);
+  EXPECT_EQ(sampler.discarded(), 0u);
+}
+
+TEST(TraceTailSamplerTest, ForcedAdmissionsStillRaiseTheBar) {
+  obs::TraceTailSampler sampler(1);
+  EXPECT_TRUE(sampler.Admit(100, true));  // forced (slow/error op)
+  // An ordinary op faster than the forced one must not displace it.
+  EXPECT_FALSE(sampler.Admit(50, false));
+  EXPECT_TRUE(sampler.Admit(200, false));
+}
+
+// --------------------------------------------------------------------------
+// Slow-op log plane
+
+TEST(ObsContextTest, SlowOpEmitsStructuredRecordWithPhaseSummary) {
+  static std::string captured;
+  captured.clear();
+  obs::SetLogSinkCallback(
+      [](std::string_view line, void*) { captured.append(line); }, nullptr);
+  obs::ObsContext context(
+      obs::ObsContextOptions{.name = "slow-one", .slow_op_ms = 1e-6});
+  {
+    obs::ScopedObsContext bind(&context);
+    obs::Span root("op");
+    obs::Span phase("op.phase");
+  }
+  const obs::ObsContext::Result& result = context.Close(nullptr);
+  obs::SetLogSinkCallback(nullptr, nullptr);
+  EXPECT_TRUE(result.slow);
+  EXPECT_TRUE(result.retained);
+  EXPECT_NE(captured.find("slowop"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("slow-one"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("op.phase"), std::string::npos) << captured;
+}
+
+TEST(ObsContextTest, NdjsonLogRecordsCarryTheContextTag) {
+  static std::string captured;
+  captured.clear();
+  obs::SetLogSinkCallback(
+      [](std::string_view line, void*) { captured.append(line); }, nullptr);
+  obs::SetLogFormat(obs::LogFormat::kNdjson);
+  obs::ObsContext context(obs::ObsContextOptions{.name = "tagged"});
+  {
+    obs::ScopedObsContext bind(&context);
+    obs::LogWarn("test", "bound record");
+  }
+  obs::LogWarn("test", "unbound record");
+  obs::SetLogFormat(obs::LogFormat::kText);
+  obs::SetLogSinkCallback(nullptr, nullptr);
+  const size_t bound = captured.find("bound record");
+  const size_t unbound = captured.find("unbound record");
+  ASSERT_NE(bound, std::string::npos);
+  ASSERT_NE(unbound, std::string::npos);
+  EXPECT_NE(captured.substr(0, bound).find("\"ctx\":\"tagged\""),
+            std::string::npos)
+      << captured;
+  EXPECT_EQ(captured.substr(bound, unbound - bound).find("\"ctx\""),
+            std::string::npos)
+      << "default-context record must not carry a ctx tag: " << captured;
+}
+
+// --------------------------------------------------------------------------
+// Stall watchdog
+
+TEST(StallWatchdogTest, FlagsAnIdleContextAndReArmsOnActivity) {
+  static std::string captured;
+  captured.clear();
+  obs::SetLogSinkCallback(
+      [](std::string_view line, void*) { captured.append(line); }, nullptr);
+  obs::ObsContext context(obs::ObsContextOptions{.name = "stuck"});
+  obs::StallWatchdog watchdog(/*stall_ms=*/20, /*poll_ms=*/5);
+  watchdog.Watch(&context);
+  const auto wait_for_stalls = [&](uint64_t target) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (watchdog.stalls_detected() < target &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return watchdog.stalls_detected() >= target;
+  };
+  ASSERT_TRUE(wait_for_stalls(1)) << "watchdog never flagged the idle context";
+  // One episode = one flag: staying idle must not re-count.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(watchdog.stalls_detected(), 1u);
+  // The stall report itself must not read as activity.
+  const uint64_t activity_after_flag = context.activity();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(context.activity(), activity_after_flag);
+  // Activity re-arms the episode; a fresh stall is flagged again.
+  context.Touch();
+  ASSERT_TRUE(wait_for_stalls(2)) << "watchdog did not re-arm after activity";
+  watchdog.Unwatch(&context);
+  obs::SetLogSinkCallback(nullptr, nullptr);
+  EXPECT_GE(context.metrics()->Counter("obs.stalls_detected"), 1u);
+  EXPECT_NE(captured.find("stalled"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("stuck"), std::string::npos) << captured;
+}
+
+TEST(StallWatchdogTest, CloseWhileWatchedUnregistersCleanly) {
+  obs::MetricRegistry global;
+  auto context = std::make_unique<obs::ObsContext>(
+      obs::ObsContextOptions{.name = "short-lived"});
+  obs::StallWatchdog watchdog(/*stall_ms=*/10000, /*poll_ms=*/5);
+  watchdog.Watch(context.get());
+  context->Close(&global);
+  context.reset();  // the watchdog must not touch the dead context
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(watchdog.stalls_detected(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// The isolation acceptance test: two contexts, one pool, overlapping
+// workers — each context's telemetry must equal a serial run's exactly
+// (span-tree shape, counters, per-constraint cost rows), and folding
+// both shards must equal the per-context sum.
+
+TEST(ObsContextTest, ConcurrentContextsOnASharedPoolStayIsolated) {
+  ThreadPool pool(3);  // forced fan-out: both ops share all 3 workers
+
+  // Serial reference run.
+  obs::ObsContext serial(obs::ObsContextOptions{.name = "serial"});
+  {
+    obs::ScopedObsContext bind(&serial);
+    RunWorkload(&pool, "key-serial");
+  }
+  const obs::ObsContext::Result& reference = serial.Close(nullptr);
+  const std::string reference_shape = Shape(reference.trace.roots);
+  ASSERT_FALSE(reference_shape.empty());
+  ASSERT_EQ(reference.metrics.Counter("work.items"), 48u);
+  ASSERT_EQ(reference.constraint_costs.size(), 1u);
+  ASSERT_EQ(reference.constraint_costs[0].Get(obs::CostKind::kContexts), 48u);
+
+  // Two operations race on the same pool, each under its own context.
+  obs::ObsContext ctx_a(obs::ObsContextOptions{.name = "op-a"});
+  obs::ObsContext ctx_b(obs::ObsContextOptions{.name = "op-b"});
+  std::thread runner_a([&] {
+    obs::ScopedObsContext bind(&ctx_a);
+    for (int round = 0; round < 8; ++round) RunWorkload(&pool, "key-a");
+  });
+  std::thread runner_b([&] {
+    obs::ScopedObsContext bind(&ctx_b);
+    for (int round = 0; round < 8; ++round) RunWorkload(&pool, "key-b");
+  });
+  runner_a.join();
+  runner_b.join();
+
+  obs::MetricRegistry global;
+  const obs::ObsContext::Result& result_a = ctx_a.Close(&global);
+  const obs::ObsContext::Result& result_b = ctx_b.Close(&global);
+
+  for (const auto* result : {&result_a, &result_b}) {
+    // Exactly 8 serial-identical operations, nothing interleaved: the
+    // span tree is 8 copies of the reference root, the counters are 8x
+    // the reference counters.
+    ASSERT_EQ(result->trace.roots.size(), 1u);
+    const obs::SpanNode& op = result->trace.roots[0];
+    EXPECT_EQ(op.name, "op");
+    EXPECT_EQ(op.count, 8u);
+    EXPECT_EQ(result->metrics.Counter("work.items"), 8u * 48u);
+    const obs::SpanNode* chunk = result->trace.Find("op/chunk");
+    ASSERT_NE(chunk, nullptr);
+    EXPECT_EQ(chunk->count, 8u * 3u);
+    const obs::SpanNode* item = result->trace.Find("op/chunk/item");
+    ASSERT_NE(item, nullptr);
+    EXPECT_EQ(item->count, 8u * 48u);
+  }
+  // Disjoint cost tables: each context saw only its own constraint.
+  ASSERT_EQ(result_a.constraint_costs.size(), 1u);
+  EXPECT_EQ(result_a.constraint_costs[0].label, "key-a");
+  EXPECT_EQ(result_a.constraint_costs[0].Get(obs::CostKind::kContexts),
+            8u * 48u);
+  ASSERT_EQ(result_b.constraint_costs.size(), 1u);
+  EXPECT_EQ(result_b.constraint_costs[0].label, "key-b");
+  EXPECT_EQ(result_b.constraint_costs[0].Get(obs::CostKind::kContexts),
+            8u * 48u);
+  // A single concurrent op's shape equals the serial reference shape:
+  // compare one round's subtree by dividing the counts — equivalently,
+  // one more serial run must reproduce the reference exactly.
+  obs::ObsContext serial2(obs::ObsContextOptions{.name = "serial2"});
+  {
+    obs::ScopedObsContext bind(&serial2);
+    RunWorkload(&pool, "key-serial");
+  }
+  EXPECT_EQ(Shape(serial2.Close(nullptr).trace.roots), reference_shape);
+
+  // Process-level aggregation: the folded registry equals the sum over
+  // contexts, counter by counter.
+  EXPECT_EQ(global.Counter("work.items"),
+            result_a.metrics.Counter("work.items") +
+                result_b.metrics.Counter("work.items"));
+  EXPECT_EQ(global.Counter("obs.traces_retained"), 2u);
+}
+
+}  // namespace
+}  // namespace xmlprop

@@ -156,6 +156,34 @@ TEST(OpenMetricsTest, PeriodicWriterSnapshotsAndFlushesOnDestruction) {
   EXPECT_EQ(content.substr(content.size() - 6), "# EOF\n");
 }
 
+TEST(OpenMetricsTest, ExplicitStopFlushesLateChargesAndIsIdempotent) {
+  MetricRegistry registry;
+  registry.Add("stop.counter", 1);
+  char path[] = "/tmp/xmlprop_stop_XXXXXX";
+  const int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+  PeriodicMetricsWriter writer(&registry, path, 10000);  // never fires
+  // The context-fold pattern: charges folded in after the run, then an
+  // explicit Stop() — the final scrape must include them.
+  registry.Add("stop.counter", 4);
+  writer.Stop();
+  const int writes_after_stop = writer.writes();
+  EXPECT_GE(writes_after_stop, 1);
+  std::string content = ReadAll(path);
+  EXPECT_NE(content.find("xmlprop_stop_counter_total 5"), std::string::npos)
+      << content;
+  // Idempotent: a second Stop (and the destructor after it) neither
+  // rewrites nor double-joins.
+  registry.Add("stop.counter", 100);
+  writer.Stop();
+  EXPECT_EQ(writer.writes(), writes_after_stop);
+  content = ReadAll(path);
+  std::remove(path);
+  EXPECT_NE(content.find("xmlprop_stop_counter_total 5"), std::string::npos)
+      << content;
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace xmlprop
