@@ -1,0 +1,254 @@
+// Service benchmark: the `xmlprop serve` resident-artifact win. A real
+// daemon (Unix-domain socket, ThreadPool workers, SessionCache) answers
+// repeated `check --index` requests over a generated bibliography; the
+// cold configuration caps the cache at one byte so every request
+// re-parses and re-indexes the document, the warm configuration keeps
+// the compiled artifacts resident. Both run the same wire protocol and
+// the same executor, so the ratio isolates the artifact cache.
+//
+// BENCH_service.json gates the p50 per-request latency of both modes and
+// asserts (identity columns) that warm replies are byte-identical to
+// cold replies modulo the "built in N ms" digits, and that the warm
+// speedup clears the 3x acceptance floor.
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/log.h"
+#include "obs/mem_stats.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "tools/cli.h"
+#include "xml/tree.h"
+#include "xml/writer.h"
+
+namespace xmlprop {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kKeys = R"(
+KC: (ε, (//conf, {@id}))
+KY: (//conf, (year, {@y}))
+KP: (//conf/year, (paper, {@no}))
+KT: (//conf/year/paper, (title, {}))
+)";
+
+// The bench_pipeline bibliography: `confs` conferences × 4 years × 8
+// papers, sized so parse + index dominates the socket round trip. Each
+// paper also carries metadata attributes no key references — realistic
+// payload the cold path must parse and intern on every request while
+// the warm check never visits it.
+Tree MakeCorpus(int confs) {
+  Tree doc("r");
+  for (int c = 0; c < confs; ++c) {
+    NodeId conf = doc.CreateElement(doc.root(), "conf");
+    doc.CreateAttribute(conf, "id", "conf" + std::to_string(c)).ok();
+    for (int y = 0; y < 4; ++y) {
+      NodeId year = doc.CreateElement(conf, "year");
+      doc.CreateAttribute(year, "y", std::to_string(2000 + y)).ok();
+      for (int p = 0; p < 8; ++p) {
+        NodeId paper = doc.CreateElement(year, "paper");
+        doc.CreateAttribute(paper, "no", std::to_string(p)).ok();
+        const int id = c * 100 + y * 10 + p;
+        doc.CreateAttribute(paper, "pages",
+                            std::to_string(id) + "-" + std::to_string(id + 12))
+            .ok();
+        doc.CreateAttribute(paper, "doi",
+                            "10.1000/conf" + std::to_string(c) + "." +
+                                std::to_string(2000 + y) + "." +
+                                std::to_string(p))
+            .ok();
+        doc.CreateAttribute(paper, "au", "author" + std::to_string(id % 97))
+            .ok();
+        NodeId title = doc.CreateElement(paper, "title");
+        doc.CreateAttribute(title, "text",
+                            "p" + std::to_string(c * 100 + y * 10 + p))
+            .ok();
+      }
+    }
+  }
+  return doc;
+}
+
+// The index stats line times its own build, so warm replays of the
+// cached line differ from cold rebuilds only in those digits.
+std::string NormalizeMs(const std::string& s) {
+  static const std::regex kMs("built in [0-9.eE+-]+ ms");
+  return std::regex_replace(s, kMs, "built in _ ms");
+}
+
+double Percentile50(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+struct ModeResult {
+  std::vector<double> request_ms;
+  std::string normalized_out;  // every request's stdout, normalized
+  bool uniform = true;         // all requests agreed with each other
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+// Runs one daemon with the given cache budget and measures `iters`
+// sequential check requests end to end (connect + frame + execute +
+// reply).
+ModeResult RunMode(const std::string& socket_path,
+                   const std::vector<std::string>& argv, size_t cache_bytes,
+                   int iters) {
+  service::ServiceServer::Options options;
+  options.socket_path = socket_path;
+  options.workers = 2;
+  options.cache_bytes = cache_bytes;
+  service::ServiceServer server(
+      options,
+      [](const std::vector<std::string>& req_argv,
+         service::ArtifactProvider* provider, std::ostream& out,
+         std::ostream& err) {
+        return RunForService(req_argv, provider, out, err);
+      });
+  if (!server.Start().ok()) std::abort();
+
+  ModeResult result;
+  service::Request request;
+  request.op = "run";
+  request.argv = argv;
+  for (int i = 0; i < iters; ++i) {
+    bench::WallTimer timer;
+    Result<service::Reply> reply = service::Call(socket_path, request);
+    const double ms = timer.Ms();
+    if (!reply.ok() || reply->exit_code != 0 || !reply->reject.empty()) {
+      std::abort();
+    }
+    result.request_ms.push_back(ms);
+    const std::string normalized = NormalizeMs(reply->out);
+    if (result.normalized_out.empty()) {
+      result.normalized_out = normalized;
+    } else if (normalized != result.normalized_out) {
+      result.uniform = false;
+    }
+  }
+  const service::SessionCache::Stats stats = server.cache()->stats();
+  result.cache_hits = stats.hits;
+  result.cache_misses = stats.misses;
+  server.Shutdown();
+  return result;
+}
+
+void RunAblation(bool quick) {
+  bench::JsonReport report("service_cache", "BENCH_service.json");
+  const int confs = quick ? 300 : 1000;
+  const int cold_iters = quick ? 9 : 15;
+  const int warm_iters = quick ? 25 : 51;
+
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("xmlprop_bench_service_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const std::string keys_path = (dir / "keys.txt").string();
+  const std::string doc_path = (dir / "bib.xml").string();
+  {
+    std::ofstream(keys_path, std::ios::binary) << kKeys;
+    std::ofstream(doc_path, std::ios::binary) << WriteXml(MakeCorpus(confs));
+  }
+  const std::vector<std::string> argv = {"check",  "--keys", keys_path,
+                                         "--doc",  doc_path, "--index"};
+
+  // Cold: a one-byte budget makes every artifact oversize, so each
+  // request re-reads, re-parses and re-indexes from disk.
+  const ModeResult cold =
+      RunMode((dir / "cold.sock").string(), argv, 1, cold_iters);
+  // Warm: the default-sized cache keeps the TreeIndex and key set
+  // resident after the first request.
+  const ModeResult warm = RunMode((dir / "warm.sock").string(), argv,
+                                  256u << 20, warm_iters);
+  fs::remove_all(dir);
+
+  const double cold_p50 = Percentile50(cold.request_ms);
+  const double warm_p50 = Percentile50(warm.request_ms);
+  const double speedup = cold_p50 / warm_p50;
+  const bool identical =
+      cold.uniform && warm.uniform && cold.normalized_out == warm.normalized_out;
+
+  bench::JsonReport::Row& cold_row = report.AddRow();
+  cold_row.Str("mode", "check_cold")
+      .Str("op", "check")
+      .Int("confs", static_cast<uint64_t>(confs))
+      .Int("requests", static_cast<uint64_t>(cold_iters))
+      .Num("p50_ms", cold_p50)
+      .Num("wall_ms", cold_p50)
+      .Num("tolerance", 0.35)
+      .Int("cache_hits", cold.cache_hits)
+      .Int("cache_misses", cold.cache_misses)
+      .Int("max_rss_kb", static_cast<uint64_t>(obs::ReadPeakRssKb()));
+
+  bench::JsonReport::Row& warm_row = report.AddRow();
+  warm_row.Str("mode", "check_warm")
+      .Str("op", "check")
+      .Int("confs", static_cast<uint64_t>(confs))
+      .Int("requests", static_cast<uint64_t>(warm_iters))
+      .Num("p50_ms", warm_p50)
+      .Num("wall_ms", warm_p50)
+      .Num("tolerance", 0.35)
+      .Int("cache_hits", warm.cache_hits)
+      .Int("cache_misses", warm.cache_misses)
+      .Int("max_rss_kb", static_cast<uint64_t>(obs::ReadPeakRssKb()))
+      // Identity columns — the acceptance gate. A warm daemon must echo
+      // the cold answers byte-for-byte (modulo the timed stats digits)
+      // and clear the 3x p50 floor.
+      .Bool("identical_to_cold", identical)
+      .Bool("speedup_ge_3x", speedup >= 3.0)
+      .Num("speedup_vs_cold", speedup);
+
+  std::ostringstream note;
+  note << "service confs=" << confs << ": cold p50 " << cold_p50
+       << " ms (" << cold_iters << " reqs, " << cold.cache_misses
+       << " misses), warm p50 " << warm_p50 << " ms (" << warm_iters
+       << " reqs, " << warm.cache_hits << " hits) = " << speedup
+       << "x, identical=" << (identical ? "yes" : "NO");
+  obs::LogInfo("bench", note.str());
+  report.Write();
+}
+
+// Microbench: one protocol frame round trip (encode + decode) — the
+// per-request wire overhead floor.
+void BM_ProtocolRoundTrip(benchmark::State& state) {
+  service::Request request;
+  request.op = "run";
+  request.argv = {"check", "--keys", "/tmp/k.txt", "--doc", "/tmp/d.xml",
+                  "--index"};
+  for (auto _ : state) {
+    std::string encoded = service::EncodeRequest(request);
+    Result<service::Request> decoded = service::DecodeRequest(encoded);
+    if (!decoded.ok()) state.SkipWithError("decode failed");
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_ProtocolRoundTrip);
+
+}  // namespace
+}  // namespace xmlprop
+
+int main(int argc, char** argv) {
+  xmlprop::obs::SetLogLevel(xmlprop::obs::LogLevel::kInfo);
+  const bool quick = xmlprop::bench::ConsumeFlag(&argc, argv, "--quick");
+  xmlprop::RunAblation(quick);
+  if (quick) return 0;  // CI smoke: JSON only, skip the BM_ sweep
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

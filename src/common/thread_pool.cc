@@ -48,8 +48,10 @@ void ThreadPool::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ and drained
-      task = std::move(queue_.back());
-      queue_.pop_back();
+      // FIFO: the serve request loop posts here, and a queue that served
+      // newest-first would starve the oldest waiting request.
+      task = std::move(queue_.front());
+      queue_.pop_front();
     }
     task();
     {
@@ -83,6 +85,25 @@ void ThreadPool::ParallelFor(
   work_cv_.notify_all();
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++in_flight_;
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
 }
 
 }  // namespace xmlprop

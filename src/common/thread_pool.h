@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -47,14 +48,30 @@ class ThreadPool {
                    const std::function<void(size_t begin, size_t end,
                                             size_t worker)>& body);
 
+  /// Enqueues one task for any idle worker and returns immediately — the
+  /// asynchronous entry point the `xmlprop serve` request loop runs on
+  /// (ParallelFor stays the batch API the reasoning kernels use). Tasks
+  /// posted before destruction are drained, never dropped. Do not mix
+  /// Post with ParallelFor on the same pool instance: ParallelFor's join
+  /// waits for ALL in-flight tasks, posted ones included.
+  void Post(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running — the
+  /// server's drain barrier before shutdown.
+  void Wait();
+
+  /// Tasks queued or running right now (admission-control input; racy by
+  /// nature, callers must tolerate small over/undershoot).
+  size_t pending() const;
+
  private:
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  std::vector<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_;
   size_t in_flight_ = 0;
   bool stop_ = false;
 };

@@ -183,10 +183,18 @@ void StallWatchdog::Run() {
 // ---------------------------------------------------------------------------
 // ObsContext
 
+namespace {
+std::atomic<uint64_t> g_next_context_id{1};
+}  // namespace
+
 ObsContext::ObsContext(ObsContextOptions options)
     : options_(std::move(options)),
+      id_(g_next_context_id.fetch_add(1, std::memory_order_relaxed)),
       start_(std::chrono::steady_clock::now()) {
   if (options_.name.empty()) options_.name = "op";
+  // The black box lists open contexts by (name, id): a crash mid-request
+  // names exactly the requests that were in flight.
+  open_operation_slot_ = RegisterOpenOperation(options_.name.c_str(), id_);
 }
 
 ObsContext::~ObsContext() {
@@ -249,6 +257,8 @@ const ObsContext::Result& ObsContext::Close(MetricRegistry* fold_into) {
   // Fold AFTER the retention counters were bumped, so the process-level
   // exposition equals the exact per-context sum.
   if (fold_into != nullptr) fold_into->Merge(result_.metrics);
+  UnregisterOpenOperation(open_operation_slot_);
+  open_operation_slot_ = -1;
   closed_.store(true, std::memory_order_release);
   return result_;
 }

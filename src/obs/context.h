@@ -130,6 +130,11 @@ class ObsContext {
   ObsContext& operator=(const ObsContext&) = delete;
 
   const std::string& name() const { return options_.name; }
+  /// Process-unique operation id (1-based, monotonic). While the context
+  /// is open, (name, id) is registered with the flight recorder, so a
+  /// crash dump names the in-flight requests ("open_operations:
+  /// check#12 cover#13") — the serve daemon's "crashed doing what" line.
+  uint64_t id() const { return id_; }
   Trace* trace() { return &trace_; }
   MetricRegistry* metrics() { return &metrics_; }
   CostAttribution* costs() { return &costs_; }
@@ -172,6 +177,8 @@ class ObsContext {
   friend class StallWatchdog;
 
   ObsContextOptions options_;
+  uint64_t id_ = 0;
+  int open_operation_slot_ = -1;
   std::chrono::steady_clock::time_point start_;
   Trace trace_;
   MetricRegistry metrics_;

@@ -55,6 +55,18 @@ std::atomic<uint64_t> g_registration_epoch{1};
 char g_crash_path[512] = {};
 std::atomic<int> g_crash_in_progress{0};
 
+// One in-flight operation slot. `id` doubles as the occupancy flag
+// (0 = free); the name is written before the id is published, so a
+// crash-time reader that sees a non-zero id sees a complete (or at
+// worst torn-but-NUL-terminated) name.
+struct OpenOperationSlot {
+  std::atomic<uint64_t> id{0};
+  char name[32] = {};
+};
+
+OpenOperationSlot g_open_operations[kMaxOpenOperations];
+std::atomic<uint64_t> g_open_operations_dropped{0};
+
 uint64_t NowNs() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -269,6 +281,24 @@ void DumpRing(ByteSink* sink, const ThreadRing& ring) {
   PutStr(sink, "\n");
 }
 
+// "check#12 cover#13" (or "(none)") — every occupied operation slot,
+// slot order. Async-signal-safe: bounded reads of preallocated storage.
+void DumpOpenOperations(ByteSink* sink) {
+  bool any = false;
+  for (size_t i = 0; i < kMaxOpenOperations; ++i) {
+    const uint64_t id = g_open_operations[i].id.load(std::memory_order_acquire);
+    if (id == 0) continue;
+    if (any) PutStr(sink, " ");
+    any = true;
+    sink->Append(g_open_operations[i].name,
+                 ::strnlen(g_open_operations[i].name,
+                           sizeof(g_open_operations[i].name) - 1));
+    PutStr(sink, "#");
+    PutU64(sink, id);
+  }
+  if (!any) PutStr(sink, "(none)");
+}
+
 void DumpCore(ByteSink* sink, int sig) {
   PutStr(sink, "xmlprop flight recorder dump\n");
   if (sig > 0) {
@@ -284,6 +314,10 @@ void DumpCore(ByteSink* sink, int sig) {
   PutU64(sink, g_dropped_thread_events.load(std::memory_order_relaxed));
   PutStr(sink, "\ntruncated_events: ");
   PutU64(sink, g_truncated_total.load(std::memory_order_relaxed));
+  PutStr(sink, "\nopen_operations: ");
+  DumpOpenOperations(sink);
+  PutStr(sink, "\ndropped_operations: ");
+  PutU64(sink, g_open_operations_dropped.load(std::memory_order_relaxed));
   PutStr(sink, "\n");
 
   uint32_t rings = g_ring_count.load(std::memory_order_acquire);
@@ -435,6 +469,11 @@ void ResetFlightRecorderForTest() {
   g_seq.store(0, std::memory_order_relaxed);
   g_dropped_thread_events.store(0, std::memory_order_relaxed);
   g_truncated_total.store(0, std::memory_order_relaxed);
+  for (size_t i = 0; i < kMaxOpenOperations; ++i) {
+    g_open_operations[i].id.store(0, std::memory_order_relaxed);
+    g_open_operations[i].name[0] = '\0';
+  }
+  g_open_operations_dropped.store(0, std::memory_order_relaxed);
 }
 
 uint64_t FlightDroppedThreads() {
@@ -508,6 +547,43 @@ std::string DumpOpenSpanStacksToString() {
 
 uint64_t FlightTruncatedTotal() {
   return g_truncated_total.load(std::memory_order_relaxed);
+}
+
+int RegisterOpenOperation(const char* name, uint64_t id) {
+  if (id == 0) id = 1;
+  for (size_t i = 0; i < kMaxOpenOperations; ++i) {
+    uint64_t expected = 0;
+    // Reserve with a sentinel first so two registrars never interleave
+    // name writes in one slot; publish the real id after the copy.
+    if (!g_open_operations[i].id.compare_exchange_strong(
+            expected, ~uint64_t{0}, std::memory_order_acq_rel)) {
+      continue;
+    }
+    char* slot_name = g_open_operations[i].name;
+    const size_t cap = sizeof(g_open_operations[i].name) - 1;
+    size_t len = name != nullptr ? ::strnlen(name, cap) : 0;
+    if (len > 0) std::memcpy(slot_name, name, len);
+    slot_name[len] = '\0';
+    g_open_operations[i].id.store(id, std::memory_order_release);
+    return static_cast<int>(i);
+  }
+  g_open_operations_dropped.fetch_add(1, std::memory_order_relaxed);
+  return -1;
+}
+
+void UnregisterOpenOperation(int slot) {
+  if (slot < 0 || static_cast<size_t>(slot) >= kMaxOpenOperations) return;
+  g_open_operations[slot].id.store(0, std::memory_order_release);
+}
+
+std::string DumpOpenOperationsToString() {
+  StringSink sink;
+  DumpOpenOperations(&sink);
+  return std::move(sink.out);
+}
+
+uint64_t OpenOperationsDropped() {
+  return g_open_operations_dropped.load(std::memory_order_relaxed);
 }
 
 void DumpFlightRecorderToFd(int fd, int signal) {

@@ -140,6 +140,36 @@ std::string DumpOpenSpanStacksToString();
 /// `obs.flight_truncated_total` counter by the CLI.
 uint64_t FlightTruncatedTotal();
 
+// ---------------------------------------------------------------------------
+// In-flight operation registry. The serve daemon registers each open
+// request (its ObsContext does, transparently) so a crash dump names the
+// requests that were being served when the process died — the black box
+// answers "crashed doing what, for whom" across many concurrent
+// requests, not just "crashed where". Preallocated fixed slots; reading
+// is async-signal-safe (a concurrently reused slot at worst shows a torn
+// but NUL-terminated name).
+
+/// Operations the registry can hold at once; registrations beyond this
+/// are dropped (counted in the dump's `dropped_operations` header).
+inline constexpr size_t kMaxOpenOperations = 64;
+
+/// Registers an in-flight operation. `name` is copied (truncated to 31
+/// bytes); `id` must be non-zero (0 marks a free slot and is remapped to
+/// 1). Returns the slot to pass to UnregisterOpenOperation, or -1 when
+/// the table is full (the unregister of -1 is a no-op). Lifetime-safe
+/// for a long-lived daemon: slots recycle, nothing grows.
+int RegisterOpenOperation(const char* name, uint64_t id);
+void UnregisterOpenOperation(int slot);
+
+/// "check#12 cover#13" — the open operations, oldest slot first ("(none)"
+/// when idle). Reuses the crash dump's rendering; for tests and the
+/// serve `stats` endpoint. Not async-signal-safe (returns std::string);
+/// the crash handler renders the same section through the fd path.
+std::string DumpOpenOperationsToString();
+
+/// Registrations dropped because the table was full.
+uint64_t OpenOperationsDropped();
+
 /// Async-signal-safe dump to an open file descriptor. `signal` > 0 adds
 /// the fatal-signal header line. This is the crash handler's body,
 /// exposed so tests can exercise the exact signal-path code.

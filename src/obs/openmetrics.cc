@@ -127,6 +127,18 @@ void PeriodicMetricsWriter::Stop() {
   }
 }
 
+void PeriodicMetricsWriter::Restart() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopped_) return;  // still running: nothing to re-arm
+    stopped_ = false;
+    stop_ = false;
+  }
+  // Stop() joined the previous thread before flipping stopped_, so the
+  // handle is safe to reuse here.
+  thread_ = std::thread([this] { Run(); });
+}
+
 int PeriodicMetricsWriter::writes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return writes_;

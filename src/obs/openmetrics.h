@@ -52,6 +52,14 @@ class PeriodicMetricsWriter {
   /// the destructor delegates here when never called explicitly.
   void Stop();
 
+  /// Re-arms a stopped writer: spawns a fresh thread on the same
+  /// registry/path/interval. Idempotent (a running writer is left
+  /// alone), so a daemon that folds request contexts and flushes with
+  /// Stop() can call Restart() on every request boundary without
+  /// tracking writer state — the scrape file keeps updating for the
+  /// process lifetime. Not thread-safe against a concurrent Stop().
+  void Restart();
+
   /// Snapshots written so far (for tests; Stop()'s final write counts
   /// too).
   int writes() const;

@@ -12,6 +12,7 @@ namespace xmlprop {
 
 namespace internal {
 std::atomic<bool> g_closure_index_enabled{true};
+thread_local int t_closure_index_override = 0;
 }  // namespace internal
 
 ClosureIndex::ClosureIndex(const std::vector<Fd>& fds, size_t universe_size,

@@ -186,35 +186,65 @@ class ClosureIndex {
   std::vector<uint32_t> live_nodes_;
 };
 
-/// Process-wide ablation switch for the compiled closure kernel — the
+/// Ablation switch for the compiled closure kernel — the
 /// `--no-closure-index` escape hatch (mirroring the data plane's
 /// `--index`). When off, `FdSet::Closure` and `Minimize` run the seed's
 /// fired-flag fixpoint byte-for-byte.
+///
+/// Two layers: a process-wide default plus a per-thread override. The
+/// override is what `xmlprop serve` needs — two concurrent requests on
+/// different handler threads can run one kernel-on and one kernel-off
+/// without bleeding into each other (a process atomic would make one
+/// request's `--no-closure-index` ablate a stranger's closure calls).
+/// Every kernel-vs-seed decision point (FdSet::Closure/Implies/
+/// IsSuperkey, cover.cc Minimize) reads the switch on the thread that
+/// owns the request, before any pool fan-out, so the thread-scoped guard
+/// covers the whole command.
 namespace internal {
 extern std::atomic<bool> g_closure_index_enabled;
+/// 0 = no override (use the process default); +1 force on; -1 force off.
+extern thread_local int t_closure_index_override;
 }  // namespace internal
 
 inline bool ClosureIndexEnabled() {
+  const int override_state = internal::t_closure_index_override;
+  if (override_state != 0) return override_state > 0;
   return internal::g_closure_index_enabled.load(std::memory_order_relaxed);
 }
+/// Sets the process-wide default (tests / single-command tools only;
+/// serve-mode requests use the scoped per-thread guards below).
 inline void SetClosureIndexEnabled(bool enabled) {
   internal::g_closure_index_enabled.store(enabled, std::memory_order_relaxed);
 }
 
-/// RAII guard: disables the closure kernel for a scope (CLI flag, the
-/// bench ablations' "off" arm, property tests' reference arm).
-class ScopedClosureIndexDisable {
+/// RAII guard: forces the kernel on or off for the current thread for
+/// the guard's lifetime (nests; restores the previous override). The
+/// serve request loop wraps each command in one of these, keyed by the
+/// request's own flags.
+class ScopedClosureIndexOverride {
  public:
-  ScopedClosureIndexDisable() : previous_(ClosureIndexEnabled()) {
-    SetClosureIndexEnabled(false);
+  explicit ScopedClosureIndexOverride(bool enabled)
+      : previous_(internal::t_closure_index_override) {
+    internal::t_closure_index_override = enabled ? 1 : -1;
   }
-  ~ScopedClosureIndexDisable() { SetClosureIndexEnabled(previous_); }
-  ScopedClosureIndexDisable(const ScopedClosureIndexDisable&) = delete;
-  ScopedClosureIndexDisable& operator=(const ScopedClosureIndexDisable&) =
+  ~ScopedClosureIndexOverride() {
+    internal::t_closure_index_override = previous_;
+  }
+  ScopedClosureIndexOverride(const ScopedClosureIndexOverride&) = delete;
+  ScopedClosureIndexOverride& operator=(const ScopedClosureIndexOverride&) =
       delete;
 
  private:
-  bool previous_;
+  int previous_;
+};
+
+/// RAII guard: disables the closure kernel for a scope (CLI flag, the
+/// bench ablations' "off" arm, property tests' reference arm).
+/// Thread-scoped, so a concurrent serve request on another thread keeps
+/// its own setting.
+class ScopedClosureIndexDisable : public ScopedClosureIndexOverride {
+ public:
+  ScopedClosureIndexDisable() : ScopedClosureIndexOverride(false) {}
 };
 
 }  // namespace xmlprop

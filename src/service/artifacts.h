@@ -1,0 +1,108 @@
+#ifndef XMLPROP_SERVICE_ARTIFACTS_H_
+#define XMLPROP_SERVICE_ARTIFACTS_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "keys/implication_engine.h"
+#include "keys/xml_key.h"
+#include "relational/fd_set.h"
+#include "transform/rule.h"
+#include "transform/table_tree.h"
+#include "xml/stream_parser.h"
+#include "xml/tree.h"
+
+namespace xmlprop {
+namespace service {
+
+/// A cached minimum cover: the TableTree it was computed over (the
+/// schema the FDs print against) plus the cover itself. Shared readers
+/// may only enumerate `cover.fds()` / read `table.schema()` — closure
+/// queries against a shared FdSet would race on its lazily compiled
+/// index.
+struct CoverArtifact {
+  TableTree table;
+  FdSet cover;
+};
+
+/// Exclusive access to a resident ImplicationEngine. The engine is
+/// externally synchronized (its memo tables are mutated by queries), so
+/// the provider hands it out under a per-engine mutex: the lease holds
+/// the lock for its lifetime, serializing requests that share one key
+/// set while letting requests on different key sets run concurrently.
+/// The shared_ptr keeps the engine alive even if the cache evicts the
+/// entry mid-request.
+class EngineLease {
+ public:
+  EngineLease() = default;
+  EngineLease(std::shared_ptr<ImplicationEngine> engine,
+              std::shared_ptr<std::mutex> mu)
+      : mu_(std::move(mu)), engine_(std::move(engine)) {
+    if (mu_) lock_ = std::unique_lock<std::mutex>(*mu_);
+  }
+  EngineLease(EngineLease&&) = default;
+  EngineLease& operator=(EngineLease&&) = default;
+
+  ImplicationEngine& engine() { return *engine_; }
+  bool valid() const { return engine_ != nullptr; }
+
+ private:
+  // Declaration order matters: the lock must release before the mutex's
+  // shared_ptr drops its reference.
+  std::shared_ptr<std::mutex> mu_;
+  std::shared_ptr<ImplicationEngine> engine_;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// The compiled-artifact plane the CLI command bodies load through when
+/// they run inside the `xmlprop serve` daemon. A one-shot run passes no
+/// provider and parses its inputs from scratch; the daemon passes its
+/// SessionCache, so repeated requests reuse the parsed key set, the
+/// parsed transformation, the document Tree, the TreeIndex, the
+/// ImplicationEngine memo and non-engine minimum covers across requests.
+///
+/// Every getter re-fingerprints the named file's bytes: a changed file
+/// is rebuilt (and the stale entry invalidated), so answers are always
+/// computed against the file's current content — the cache trades parse
+/// work, never freshness.
+class ArtifactProvider {
+ public:
+  virtual ~ArtifactProvider() = default;
+
+  /// Parsed key set Σ of the keys file.
+  virtual Result<std::shared_ptr<const std::vector<XmlKey>>> Keys(
+      const std::string& path) = 0;
+
+  /// Parsed transformation of the rules file.
+  virtual Result<std::shared_ptr<const Transformation>> Rules(
+      const std::string& path) = 0;
+
+  /// Parsed document tree, with its Euler ranges finalized at build time
+  /// so concurrent shared readers never touch the lazy path.
+  virtual Result<std::shared_ptr<const Tree>> Doc(const std::string& path) = 0;
+
+  /// Parsed + indexed document (`--index` / `--streaming` data plane).
+  /// `stats_line` receives the "index: ..." line the CLI prints —
+  /// computed on build, replayed verbatim on a hit, so warm output stays
+  /// identical to cold output (the build-time digits are the one field
+  /// that can differ between daemon and one-shot runs either way).
+  virtual Result<std::shared_ptr<const IndexedDoc>> Indexed(
+      const std::string& path, bool streaming, std::string* stats_line) = 0;
+
+  /// Exclusive lease on the resident ImplicationEngine for this key set.
+  virtual Result<EngineLease> Engine(const std::string& keys_path) = 0;
+
+  /// Cached minimum cover (non-engine path only: its output is a pure
+  /// function of the inputs, so a warm replay is byte-identical).
+  virtual Result<std::shared_ptr<const CoverArtifact>> Cover(
+      const std::string& keys_path, const std::string& rules_path,
+      const std::string& relation, bool naive) = 0;
+};
+
+}  // namespace service
+}  // namespace xmlprop
+
+#endif  // XMLPROP_SERVICE_ARTIFACTS_H_

@@ -1,0 +1,49 @@
+#include "service/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace xmlprop {
+namespace service {
+
+Result<Reply> Call(const std::string& socket_path, const Request& request) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("connect: socket path too long: " +
+                                   socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("connect: socket: ") +
+                            std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd);
+    return Status::NotFound("connect " + socket_path + ": " + what +
+                            " (is `xmlprop serve` running?)");
+  }
+  // A rejecting server (overloaded, shutting down) replies and closes
+  // without reading the request, so this write can fail with EPIPE while
+  // the reject frame already sits in our receive buffer — always attempt
+  // the read and only report the write failure if no reply came back.
+  const bool wrote = WriteFrame(fd, EncodeRequest(request));
+  Result<std::string> frame = ReadFrame(fd);
+  ::close(fd);
+  if (!frame.ok()) {
+    if (!wrote) return Status::Internal("connect: write failed");
+    return Status::Internal("connect: no reply (" + frame.status().message() +
+                            ")");
+  }
+  return DecodeReply(*frame);
+}
+
+}  // namespace service
+}  // namespace xmlprop

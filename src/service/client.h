@@ -1,0 +1,20 @@
+#ifndef XMLPROP_SERVICE_CLIENT_H_
+#define XMLPROP_SERVICE_CLIENT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "service/protocol.h"
+
+namespace xmlprop {
+namespace service {
+
+/// Sends one request to the daemon at `socket_path` and reads the reply.
+/// NotFound when the socket does not exist / nothing listens; Internal on
+/// wire errors.
+Result<Reply> Call(const std::string& socket_path, const Request& request);
+
+}  // namespace service
+}  // namespace xmlprop
+
+#endif  // XMLPROP_SERVICE_CLIENT_H_

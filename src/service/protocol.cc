@@ -1,0 +1,403 @@
+#include "service/protocol.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace xmlprop {
+namespace service {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+}
+
+void AppendString(std::string* out, const char* key, const std::string& v) {
+  out->push_back('"');
+  out->append(key);
+  out->append("\": \"");
+  AppendEscaped(out, v);
+  out->push_back('"');
+}
+
+// -------------------------------------------------------------------------
+// A minimal recursive-descent parser for the protocol's own JSON: objects
+// with string keys and string / number / bool / array-of-string values.
+// Both ends of the wire are this codec, so the subset is closed.
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Status Fail(const std::string& what) {
+    return Status::InvalidArgument("protocol: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipWs();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Fail("expected string");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad \\u escape");
+          }
+          // The codec only emits \u00XX for control bytes; decode the
+          // low byte and pass anything else through as UTF-8-ish bytes.
+          if (value < 0x80) {
+            out.push_back(static_cast<char>(value));
+          } else if (value < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (value >> 6)));
+            out.push_back(static_cast<char>(0x80 | (value & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (value >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((value >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (value & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Result<double> ParseNumber() {
+    SkipWs();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::strchr("+-.eE0123456789", text_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected number");
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  Result<bool> ParseBool() {
+    SkipWs();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    return Fail("expected bool");
+  }
+
+  Result<std::vector<std::string>> ParseStringArray() {
+    if (!Consume('[')) return Fail("expected array");
+    std::vector<std::string> out;
+    if (Consume(']')) return out;
+    for (;;) {
+      XMLPROP_ASSIGN_OR_RETURN(std::string item, ParseString());
+      out.push_back(std::move(item));
+      if (Consume(']')) return out;
+      if (!Consume(',')) return Fail("expected ',' in array");
+    }
+  }
+
+  /// Skips one value of ANY JSON shape — including nested objects and
+  /// heterogeneous arrays the current revision never emits — so unknown
+  /// keys stay ignorable across protocol revisions.
+  Status SkipValue() {
+    switch (Peek()) {
+      case '"':
+        return ParseString().status();
+      case '[': {
+        Consume('[');
+        if (Consume(']')) return Status::OK();
+        for (;;) {
+          const Status item = SkipValue();
+          if (!item.ok()) return item;
+          if (Consume(']')) return Status::OK();
+          if (!Consume(',')) return Fail("expected ',' in array");
+        }
+      }
+      case '{': {
+        Consume('{');
+        if (Consume('}')) return Status::OK();
+        for (;;) {
+          Result<std::string> key = ParseString();
+          if (!key.ok()) return key.status();
+          if (!Consume(':')) return Fail("expected ':'");
+          const Status value = SkipValue();
+          if (!value.ok()) return value;
+          if (Consume('}')) return Status::OK();
+          if (!Consume(',')) return Fail("expected ',' in object");
+        }
+      }
+      case 't':
+      case 'f':
+        return ParseBool().status();
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          return Status::OK();
+        }
+        return Fail("expected null");
+      default:
+        return ParseNumber().status();
+    }
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+template <typename FieldFn>
+Status ParseObject(Parser* p, const FieldFn& field) {
+  if (!p->Consume('{')) return p->Fail("expected object");
+  if (p->Consume('}')) return Status::OK();
+  for (;;) {
+    Result<std::string> key = p->ParseString();
+    if (!key.ok()) return key.status();
+    if (!p->Consume(':')) return p->Fail("expected ':'");
+    Status field_status = field(*key);
+    if (!field_status.ok()) return field_status;
+    if (p->Consume('}')) return Status::OK();
+    if (!p->Consume(',')) return p->Fail("expected ',' in object");
+  }
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  AppendEscaped(&out, s);
+  return out;
+}
+
+std::string EncodeRequest(const Request& request) {
+  std::string out = "{";
+  AppendString(&out, "op", request.op);
+  out.append(", \"argv\": [");
+  for (size_t i = 0; i < request.argv.size(); ++i) {
+    if (i > 0) out.append(", ");
+    out.push_back('"');
+    AppendEscaped(&out, request.argv[i]);
+    out.push_back('"');
+  }
+  out.append("]}\n");
+  return out;
+}
+
+Result<Request> DecodeRequest(const std::string& json) {
+  Parser p(json);
+  Request request;
+  const Status parsed =
+      ParseObject(&p, [&](const std::string& key) -> Status {
+        if (key == "op") {
+          XMLPROP_ASSIGN_OR_RETURN(request.op, p.ParseString());
+          return Status::OK();
+        }
+        if (key == "argv") {
+          XMLPROP_ASSIGN_OR_RETURN(request.argv, p.ParseStringArray());
+          return Status::OK();
+        }
+        return p.SkipValue();
+      });
+  if (!parsed.ok()) return parsed;
+  if (request.op.empty()) {
+    return Status::InvalidArgument("protocol: request missing op");
+  }
+  return request;
+}
+
+std::string EncodeReply(const Reply& reply) {
+  std::string out = "{\"v\": " + std::to_string(kProtocolVersion);
+  out.append(", ");
+  AppendString(&out, "reject", reply.reject);
+  out.append(", \"exit_code\": " + std::to_string(reply.exit_code));
+  out.append(", \"request_id\": " + std::to_string(reply.request_id));
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", reply.wall_ms);
+  out.append(", \"wall_ms\": ").append(buf);
+  out.append(", ");
+  AppendString(&out, "out", reply.out);
+  out.append(", ");
+  AppendString(&out, "err", reply.err);
+  out.append(", ");
+  AppendString(&out, "body", reply.body);
+  out.append("}\n");
+  return out;
+}
+
+Result<Reply> DecodeReply(const std::string& json) {
+  Parser p(json);
+  Reply reply;
+  const Status parsed =
+      ParseObject(&p, [&](const std::string& key) -> Status {
+        if (key == "reject") {
+          XMLPROP_ASSIGN_OR_RETURN(reply.reject, p.ParseString());
+        } else if (key == "exit_code") {
+          XMLPROP_ASSIGN_OR_RETURN(double v, p.ParseNumber());
+          reply.exit_code = static_cast<int>(v);
+        } else if (key == "request_id") {
+          XMLPROP_ASSIGN_OR_RETURN(double v, p.ParseNumber());
+          reply.request_id = static_cast<uint64_t>(v);
+        } else if (key == "wall_ms") {
+          XMLPROP_ASSIGN_OR_RETURN(reply.wall_ms, p.ParseNumber());
+        } else if (key == "out") {
+          XMLPROP_ASSIGN_OR_RETURN(reply.out, p.ParseString());
+        } else if (key == "err") {
+          XMLPROP_ASSIGN_OR_RETURN(reply.err, p.ParseString());
+        } else if (key == "body") {
+          XMLPROP_ASSIGN_OR_RETURN(reply.body, p.ParseString());
+        } else {
+          return p.SkipValue();
+        }
+        return Status::OK();
+      });
+  if (!parsed.ok()) return parsed;
+  return reply;
+}
+
+bool WriteFrame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  unsigned char prefix[4] = {
+      static_cast<unsigned char>(n & 0xFF),
+      static_cast<unsigned char>((n >> 8) & 0xFF),
+      static_cast<unsigned char>((n >> 16) & 0xFF),
+      static_cast<unsigned char>((n >> 24) & 0xFF),
+  };
+  std::string frame(reinterpret_cast<char*>(prefix), 4);
+  frame.append(payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE, not kill
+    // the daemon with SIGPIPE.
+    const ssize_t w = ::send(fd, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+namespace {
+
+// Reads exactly `n` bytes; 0 = clean EOF before any byte, -1 = error or
+// truncation, 1 = success.
+int ReadExact(int fd, char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) return got == 0 ? 0 : -1;
+    got += static_cast<size_t>(r);
+  }
+  return 1;
+}
+
+}  // namespace
+
+Result<std::string> ReadFrame(int fd) {
+  char prefix[4];
+  const int header = ReadExact(fd, prefix, 4);
+  if (header == 0) return Status::NotFound("eof");
+  if (header < 0) return Status::Internal("protocol: truncated frame header");
+  const uint32_t n = static_cast<uint32_t>(static_cast<unsigned char>(prefix[0])) |
+                     (static_cast<uint32_t>(static_cast<unsigned char>(prefix[1])) << 8) |
+                     (static_cast<uint32_t>(static_cast<unsigned char>(prefix[2])) << 16) |
+                     (static_cast<uint32_t>(static_cast<unsigned char>(prefix[3])) << 24);
+  if (n > kMaxFrameBytes) {
+    return Status::InvalidArgument("protocol: frame exceeds " +
+                                   std::to_string(kMaxFrameBytes) + " bytes");
+  }
+  std::string payload(n, '\0');
+  if (n > 0 && ReadExact(fd, payload.data(), n) != 1) {
+    return Status::Internal("protocol: truncated frame payload");
+  }
+  return payload;
+}
+
+}  // namespace service
+}  // namespace xmlprop

@@ -1,0 +1,68 @@
+#ifndef XMLPROP_SERVICE_PROTOCOL_H_
+#define XMLPROP_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xmlprop {
+namespace service {
+
+// The `xmlprop serve` wire protocol: length-prefixed NDJSON over a Unix
+// domain socket. Each frame is a 4-byte little-endian payload length
+// followed by exactly one JSON object terminated with '\n' (the payload
+// IS an NDJSON line; the length prefix lets both sides read without
+// scanning and enforce the frame cap before buffering). One connection
+// carries one request and one reply.
+
+/// Frames larger than this are rejected before buffering — a corrupt
+/// length prefix must not allocate gigabytes.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Protocol revision, echoed in every reply.
+inline constexpr int kProtocolVersion = 1;
+
+struct Request {
+  /// "run" executes `argv` as a CLI command line; "ping", "metrics",
+  /// "stats" and "shutdown" are control operations (argv ignored).
+  std::string op;
+  std::vector<std::string> argv;
+};
+
+struct Reply {
+  /// Empty = the request was admitted and executed. Otherwise the typed
+  /// reject kind: "overloaded" (admission control), "bad-request"
+  /// (unparseable frame), "unsupported-flag" (a process-global flag in
+  /// serve mode), "shutting-down".
+  std::string reject;
+  int exit_code = 0;
+  std::string out;   ///< the command's stdout, byte-for-byte
+  std::string err;   ///< the command's stderr / diagnostics
+  std::string body;  ///< control-op payload (metrics exposition, stats)
+  double wall_ms = 0;
+  uint64_t request_id = 0;
+};
+
+std::string EncodeRequest(const Request& request);
+Result<Request> DecodeRequest(const std::string& json);
+std::string EncodeReply(const Reply& reply);
+Result<Reply> DecodeReply(const std::string& json);
+
+/// Escapes `s` as the inside of a JSON string literal (no quotes).
+std::string JsonEscape(const std::string& s);
+
+/// Writes one frame (length prefix + payload) to `fd`, retrying short
+/// writes. Returns false on I/O error.
+bool WriteFrame(int fd, const std::string& payload);
+
+/// Reads one frame's payload from `fd`. NotFound on clean EOF before any
+/// byte, InvalidArgument on oversized frames, Internal on I/O errors or
+/// truncated frames.
+Result<std::string> ReadFrame(int fd);
+
+}  // namespace service
+}  // namespace xmlprop
+
+#endif  // XMLPROP_SERVICE_PROTOCOL_H_

@@ -1,0 +1,364 @@
+#include "service/server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/log.h"
+#include "obs/trace.h"
+
+namespace xmlprop {
+namespace service {
+
+namespace {
+
+double NowUnixMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void WriteRejectAndClose(int fd, const std::string& kind,
+                         const std::string& what) {
+  Reply reply;
+  reply.reject = kind;
+  reply.exit_code = 1;
+  reply.err = what;
+  WriteFrame(fd, EncodeReply(reply));
+  ::close(fd);
+}
+
+// Process-global observability/lifecycle flags a daemon request may not
+// set (they would mutate state shared by every concurrent request). The
+// same list guards RunForService; this copy produces the typed reject
+// before the request is admitted to an ObsContext.
+bool FindUnsupportedFlag(const std::vector<std::string>& argv,
+                         std::string* which) {
+  static constexpr const char* kGlobalFlags[] = {
+      "trace",       "metrics",       "profile",
+      "trace-format", "log-level",    "log-format",
+      "log-file",    "quiet",         "metrics-format",
+      "metrics-out", "metrics-interval-ms", "explain-cost",
+      "crash-dump",  "slow-op-ms",    "stall-ms",
+      "trace-retain", "no-flight-recorder", "connect"};
+  for (const std::string& arg : argv) {
+    for (const char* flag : kGlobalFlags) {
+      const std::string name = std::string("--") + flag;
+      if (arg == name || arg.rfind(name + "=", 0) == 0) {
+        *which = flag;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ServiceServer::ServiceServer(const Options& options, CommandExecutor executor)
+    : options_(options),
+      executor_(std::move(executor)),
+      cache_(SessionCache::Options{options.cache_bytes}),
+      sampler_(options.trace_retain) {
+  if (options_.stall_ms > 0) watchdog_.emplace(options_.stall_ms);
+}
+
+ServiceServer::~ServiceServer() { Shutdown(); }
+
+Status ServiceServer::Start() {
+  if (options_.socket_path.empty()) {
+    return Status::InvalidArgument("serve: missing socket path");
+  }
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("serve: socket path too long: " +
+                                   options_.socket_path);
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+  // A stale socket file from a dead daemon would make bind fail forever.
+  ::unlink(options_.socket_path.c_str());
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("serve: socket: ") +
+                            std::strerror(errno));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("serve: bind " + options_.socket_path + ": " +
+                            what);
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("serve: listen: " + what);
+  }
+  pool_ = std::make_unique<ThreadPool>(options_.workers);
+  if (!options_.metrics_out.empty() && options_.metrics_interval_ms > 0) {
+    metrics_writer_.emplace(&registry_, options_.metrics_out,
+                            options_.metrics_interval_ms);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  obs::LogInfo("serve", "listening",
+               {obs::F("socket", options_.socket_path),
+                obs::F("workers", static_cast<int64_t>(pool_->size())),
+                obs::F("max_inflight",
+                       static_cast<int64_t>(options_.max_inflight))});
+  return Status::OK();
+}
+
+void ServiceServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // shutdown() on the listen socket wakes us with EINVAL; any other
+      // error on a closed/stopping listener also ends the loop.
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      registry_.Add("service.rejected_shutting_down");
+      WriteRejectAndClose(fd, "shutting-down", "server is shutting down");
+      continue;
+    }
+    // Admission control: the pool queue is bounded by max_inflight; the
+    // overflow gets a typed reject instead of unbounded buffering.
+    const int admitted = inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (admitted > options_.max_inflight) {
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      registry_.Add("service.rejected_overloaded");
+      WriteRejectAndClose(
+          fd, "overloaded",
+          "server at capacity (" + std::to_string(options_.max_inflight) +
+              " requests in flight); retry later");
+      continue;
+    }
+    pool_->Post([this, fd] {
+      HandleConnection(fd);
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  }
+}
+
+void ServiceServer::HandleConnection(int fd) {
+  Result<std::string> frame = ReadFrame(fd);
+  if (!frame.ok()) {
+    // Clean EOF (a probe connection) gets no reply; garbage gets the
+    // typed reject.
+    if (frame.status().code() != StatusCode::kNotFound) {
+      WriteRejectAndClose(fd, "bad-request", frame.status().message());
+      return;
+    }
+    ::close(fd);
+    return;
+  }
+  Result<Request> request = DecodeRequest(*frame);
+  Reply reply;
+  if (!request.ok()) {
+    reply.reject = "bad-request";
+    reply.exit_code = 1;
+    reply.err = request.status().message();
+  } else {
+    reply = Execute(*request);
+  }
+  WriteFrame(fd, EncodeReply(reply));
+  ::close(fd);
+}
+
+Reply ServiceServer::Execute(const Request& request) {
+  Reply reply;
+  if (request.op == "ping") {
+    reply.body = "pong";
+    return reply;
+  }
+  if (request.op == "metrics") {
+    reply.body = MetricsExposition();
+    return reply;
+  }
+  if (request.op == "stats") {
+    reply.body = StatsJson();
+    return reply;
+  }
+  if (request.op == "shutdown") {
+    reply.body = "shutting down";
+    // Flip admission off and wake the accept loop; the serve command's
+    // Wait()/Shutdown() does the join + drain (joining the pool from a
+    // pool worker would deadlock).
+    if (!stopping_.exchange(true, std::memory_order_acq_rel)) {
+      ::shutdown(listen_fd_, SHUT_RDWR);
+    }
+    return reply;
+  }
+  if (request.op != "run") {
+    reply.reject = "bad-request";
+    reply.exit_code = 1;
+    reply.err = "unknown op '" + request.op + "'";
+    return reply;
+  }
+  if (request.argv.empty()) {
+    reply.reject = "bad-request";
+    reply.exit_code = 1;
+    reply.err = "run: empty argv";
+    return reply;
+  }
+  std::string flag;
+  if (FindUnsupportedFlag(request.argv, &flag)) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    registry_.Add("service.rejected_unsupported_flag");
+    reply.reject = "unsupported-flag";
+    reply.exit_code = 1;
+    reply.err = "--" + flag +
+                " is not available per-request in serve mode (configure it "
+                "on `xmlprop serve`)";
+    return reply;
+  }
+
+  // One ObsContext per request: private trace/metric/cost state, the
+  // slow-op and stall planes, flight-recorder registration of (command,
+  // request id) while open, and a fold into the server registry at close
+  // so the process exposition is the sum over requests.
+  obs::ObsContextOptions ctx_options;
+  ctx_options.name = request.argv[0];
+  ctx_options.slow_op_ms = options_.slow_op_ms;
+  ctx_options.sampler = &sampler_;
+  obs::ObsContext context(std::move(ctx_options));
+  if (watchdog_) watchdog_->Watch(&context);
+  std::ostringstream out;
+  std::ostringstream err;
+  int code;
+  {
+    obs::ScopedObsContext bind(&context);
+    obs::Span root(context.name().c_str());
+    code = executor_(request.argv, &cache_, out, err);
+  }
+  if (code == 1) context.MarkError(err.str());
+  const obs::ObsContext::Result& result = context.Close(&registry_);
+  registry_.Add("service.requests");
+  registry_.Observe("service.request_ms", result.wall_ms);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+  reply.exit_code = code;
+  reply.out = out.str();
+  reply.err = err.str();
+  reply.wall_ms = result.wall_ms;
+  reply.request_id = context.id();
+  AccessLog(request, reply, result, context.id());
+  return reply;
+}
+
+void ServiceServer::AccessLog(const Request& request, const Reply& reply,
+                              const obs::ObsContext::Result& result,
+                              uint64_t id) {
+  if (options_.access_log.empty()) return;
+  char buf[64];
+  std::string line = "{\"ts_ms\": ";
+  std::snprintf(buf, sizeof(buf), "%.3f", NowUnixMs());
+  line.append(buf);
+  line.append(", \"id\": " + std::to_string(id));
+  line.append(", \"cmd\": \"" + JsonEscape(request.argv.empty()
+                                               ? request.op
+                                               : request.argv[0]) +
+              "\"");
+  line.append(", \"code\": " + std::to_string(reply.exit_code));
+  std::snprintf(buf, sizeof(buf), "%.3f", result.wall_ms);
+  line.append(", \"wall_ms\": ").append(buf);
+  line.append(", \"slow\": ").append(result.slow ? "true" : "false");
+  line.append(", \"error\": ").append(result.error ? "true" : "false");
+  line.append(", \"trace_retained\": ")
+      .append(result.retained ? "true" : "false");
+  line.append("}\n");
+  std::lock_guard<std::mutex> lock(access_log_mu_);
+  if (options_.access_log == "-") {
+    std::cerr << line;
+  } else {
+    std::ofstream f(options_.access_log, std::ios::app);
+    if (f) f << line;
+  }
+}
+
+std::string ServiceServer::MetricsExposition() {
+  registry_.SetGauge("service.inflight",
+                     inflight_.load(std::memory_order_relaxed));
+  const SessionCache::Stats cache_stats = cache_.stats();
+  registry_.SetGauge("service.cache_bytes",
+                     static_cast<int64_t>(cache_stats.bytes));
+  registry_.SetGauge("service.cache_entries",
+                     static_cast<int64_t>(cache_stats.entries));
+  registry_.SetGauge("service.cache_generation",
+                     static_cast<int64_t>(cache_stats.generation));
+  return obs::RenderOpenMetrics(registry_.Snapshot());
+}
+
+std::string ServiceServer::StatsJson() {
+  const SessionCache::Stats s = cache_.stats();
+  std::string out = "{";
+  out += "\"requests_served\": " + std::to_string(requests_served()) + ", ";
+  out += "\"requests_rejected\": " + std::to_string(requests_rejected()) +
+         ", ";
+  out += "\"inflight\": " +
+         std::to_string(inflight_.load(std::memory_order_relaxed)) + ", ";
+  out += "\"cache_hits\": " + std::to_string(s.hits) + ", ";
+  out += "\"cache_misses\": " + std::to_string(s.misses) + ", ";
+  out += "\"cache_evictions\": " + std::to_string(s.evictions) + ", ";
+  out += "\"cache_invalidations\": " + std::to_string(s.invalidations) + ", ";
+  out += "\"cache_rejected_oversize\": " +
+         std::to_string(s.rejected_oversize) + ", ";
+  out += "\"cache_generation\": " + std::to_string(s.generation) + ", ";
+  out += "\"cache_entries\": " + std::to_string(s.entries) + ", ";
+  out += "\"cache_bytes\": " + std::to_string(s.bytes);
+  out += "}";
+  return out;
+}
+
+void ServiceServer::Wait() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (accept_thread_.joinable()) accept_thread_.join();
+  }
+  Shutdown();
+}
+
+void ServiceServer::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (stopped_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (pool_) pool_->Wait();
+  // Watchdog before contexts is the safe order here: every request
+  // context closed when its task finished, so the watchdog has no
+  // watched entries left.
+  watchdog_.reset();
+  if (metrics_writer_) {
+    metrics_writer_->Stop();  // final snapshot includes every fold
+    metrics_writer_.reset();
+  } else if (!options_.metrics_out.empty()) {
+    obs::WriteOpenMetricsFile(registry_.Snapshot(), options_.metrics_out);
+  }
+  pool_.reset();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(options_.socket_path.c_str());
+  stopped_.store(true, std::memory_order_release);
+}
+
+}  // namespace service
+}  // namespace xmlprop

@@ -1,0 +1,137 @@
+#ifndef XMLPROP_SERVICE_SERVER_H_
+#define XMLPROP_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "obs/context.h"
+#include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "service/protocol.h"
+#include "service/session_cache.h"
+
+namespace xmlprop {
+namespace service {
+
+/// Executes one CLI command line against the daemon's artifact provider,
+/// writing the command's stdout/stderr to the streams. Supplied by the
+/// CLI layer (tools/cli.cc) so the service library does not depend on
+/// it.
+using CommandExecutor = std::function<int(
+    const std::vector<std::string>& argv, ArtifactProvider* provider,
+    std::ostream& out, std::ostream& err)>;
+
+/// The `xmlprop serve` daemon: a Unix-domain-socket listener that keeps
+/// compiled artifacts resident in a SessionCache and runs each request
+/// in its own ObsContext on a shared ThreadPool.
+///
+///   - Admission control: at most `max_inflight` requests are admitted
+///     (queued + running, the pool's bounded queue); excess connections
+///     get a typed "overloaded" reject frame immediately instead of
+///     unbounded queueing.
+///   - Per-request observability: every admitted "run" request gets an
+///     ObsContext named after its command (slow-op threshold, stall
+///     watchdog and tail sampler as configured), registered with the
+///     flight recorder while open — a crash dump names the in-flight
+///     request ids. Contexts fold into the server registry at close, so
+///     the `metrics` operation's OpenMetrics exposition is the exact sum
+///     over requests. One access-log NDJSON line per request.
+///   - Lifecycle: Start() binds and spawns the accept loop; a "shutdown"
+///     request (or Shutdown()) stops admission, drains the pool and
+///     joins every thread; Wait() blocks until that completes.
+class ServiceServer {
+ public:
+  struct Options {
+    std::string socket_path;
+    /// Worker threads executing requests. 0 = hardware concurrency.
+    size_t workers = 0;
+    /// SessionCache accounted-byte budget.
+    size_t cache_bytes = 256u << 20;
+    /// Admitted (queued + running) request bound; beyond it connections
+    /// are rejected with kind "overloaded".
+    int max_inflight = 64;
+    /// Per-request slow-op threshold (ms); 0 disables.
+    double slow_op_ms = 0;
+    /// Stall watchdog threshold (ms); 0 disables the watchdog.
+    int stall_ms = 0;
+    /// Tail-based trace retention (K slowest); negative retains all.
+    int trace_retain = -1;
+    /// Access-log sink: empty = none, "-" = the server's stderr, else a
+    /// file path (append).
+    std::string access_log;
+    /// OpenMetrics scrape file, rewritten every metrics_interval_ms (one
+    /// final snapshot at shutdown either way). Empty = none.
+    std::string metrics_out;
+    int metrics_interval_ms = 0;
+  };
+
+  ServiceServer(const Options& options, CommandExecutor executor);
+  ~ServiceServer();
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Binds the socket and starts accepting. InvalidArgument/Internal on
+  /// bind failures (stale socket files are unlinked first).
+  Status Start();
+
+  /// Blocks until a shutdown request drained the server.
+  void Wait();
+
+  /// Programmatic shutdown (idempotent): stop admission, drain, join.
+  void Shutdown();
+
+  SessionCache* cache() { return &cache_; }
+  const obs::MetricRegistry* registry() const { return &registry_; }
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  uint64_t requests_rejected() const {
+    return requests_rejected_.load(std::memory_order_relaxed);
+  }
+
+  /// The OpenMetrics exposition of the server registry plus live service
+  /// gauges — the `metrics` operation's payload.
+  std::string MetricsExposition();
+
+  /// Flat JSON object with request counters and SessionCache statistics
+  /// — the `stats` operation's payload.
+  std::string StatsJson();
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  Reply Execute(const Request& request);
+  void AccessLog(const Request& request, const Reply& reply,
+                 const obs::ObsContext::Result& result, uint64_t id);
+
+  const Options options_;
+  CommandExecutor executor_;
+  SessionCache cache_;
+  obs::MetricRegistry registry_;
+  obs::TraceTailSampler sampler_;
+  std::optional<obs::StallWatchdog> watchdog_;
+  std::optional<obs::PeriodicMetricsWriter> metrics_writer_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<int> inflight_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> requests_rejected_{0};
+  std::mutex shutdown_mu_;
+  std::mutex access_log_mu_;
+};
+
+}  // namespace service
+}  // namespace xmlprop
+
+#endif  // XMLPROP_SERVICE_SERVER_H_

@@ -1,0 +1,418 @@
+#include "service/session_cache.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "core/minimum_cover.h"
+#include "core/naive_cover.h"
+#include "obs/mem_stats.h"
+#include "obs/metrics.h"
+#include "transform/rule_parser.h"
+#include "xml/parser.h"
+#include "xml/tree_index.h"
+
+namespace xmlprop {
+namespace service {
+
+namespace {
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Stats every source path into one signature vector. Any stat failure
+// maps to NotFound, mirroring ReadFileBytes.
+Result<std::vector<SessionCache::StatSig>> StatSources(
+    const std::vector<std::string>& source_paths) {
+  std::vector<SessionCache::StatSig> sigs;
+  sigs.reserve(source_paths.size());
+  for (const std::string& path : source_paths) {
+    struct ::stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return Status::NotFound("cannot stat file: " + path);
+    }
+    SessionCache::StatSig sig;
+    sig.ino = static_cast<uint64_t>(st.st_ino);
+    sig.size = static_cast<uint64_t>(st.st_size);
+    sig.mtime_ns = static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+                   static_cast<int64_t>(st.st_mtim.tv_nsec);
+    sigs.push_back(sig);
+  }
+  return sigs;
+}
+
+// File mtimes tick on the kernel's coarse clock, so an in-place rewrite
+// can land inside the same timestamp as the bytes an entry was stamped
+// with. A signature is only trusted once its mtime is safely in the
+// past (the git "racy timestamp" guard); fresher files take the
+// content-fingerprint path.
+bool SigsSettled(const std::vector<SessionCache::StatSig>& sigs) {
+  struct ::timespec now;
+  if (::clock_gettime(CLOCK_REALTIME, &now) != 0) return false;
+  const int64_t now_ns =
+      static_cast<int64_t>(now.tv_sec) * 1000000000 + now.tv_nsec;
+  constexpr int64_t kSettleNs = 20 * 1000 * 1000;  // > one jiffy at HZ=100
+  for (const SessionCache::StatSig& sig : sigs) {
+    if (sig.mtime_ns + kSettleNs > now_ns) return false;
+  }
+  return true;
+}
+
+// The "index: ..." line LoadIndexedDoc prints, minus the output-dialect
+// prefix (the CLI prepends that at print time).
+std::string IndexStatsLine(const IndexedDoc& doc, double ms) {
+  std::ostringstream line;
+  line << "index: " << doc.tree->size() << " nodes ("
+       << doc.index->element_count() << " elements, "
+       << doc.index->attribute_count() << " attributes), "
+       << doc.index->label_count() << " labels, " << doc.index->value_count()
+       << " attr values, built in " << ms << " ms\n";
+  return line.str();
+}
+
+}  // namespace
+
+uint64_t Fingerprint64(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+SessionCache::SessionCache(const Options& options) : options_(options) {}
+SessionCache::~SessionCache() = default;
+
+void SessionCache::EvictToFitLocked(size_t incoming_bytes) {
+  while (bytes_ + incoming_bytes > options_.max_bytes && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    if (it != entries_.end()) {
+      bytes_ -= it->second.bytes;
+      entries_.erase(it);
+      ++stats_.evictions;
+      obs::Count("service.cache_evictions");
+    }
+  }
+}
+
+void SessionCache::InsertLocked(const std::string& key, uint64_t fingerprint,
+                                std::vector<StatSig> sigs, Built built) {
+  EvictToFitLocked(built.bytes);
+  Entry entry;
+  entry.fingerprint = fingerprint;
+  entry.generation = stats_.generation;
+  entry.bytes = built.bytes;
+  entry.sigs = std::move(sigs);
+  entry.artifact = std::move(built.artifact);
+  entry.stats_line = std::move(built.stats_line);
+  entry.engine_mu = std::move(built.engine_mu);
+  lru_.push_front(key);
+  entry.lru_it = lru_.begin();
+  bytes_ += entry.bytes;
+  entries_[key] = std::move(entry);
+}
+
+void SessionCache::DropEntryLocked(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+  ++stats_.invalidations;
+  ++stats_.generation;
+}
+
+template <typename BuildFn>
+Result<SessionCache::Entry> SessionCache::GetOrBuild(
+    const std::string& key, const std::vector<std::string>& source_paths,
+    const BuildFn& build) {
+  // O(1) fast path: if every source stats to the signature the entry was
+  // stamped with, the bytes cannot have changed (rename-replace swaps
+  // the inode, in-place writes move the nanosecond mtime) — serve the
+  // hit without touching file contents.
+  Result<std::vector<StatSig>> sigs = StatSources(source_paths);
+  if (!sigs.ok()) {
+    // An unreadable source also invalidates whatever was cached for it.
+    std::lock_guard<std::mutex> lock(mu_);
+    DropEntryLocked(key);
+    return sigs.status();
+  }
+  if (SigsSettled(*sigs)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.sigs == *sigs) {
+      ++stats_.hits;
+      obs::Count("service.cache_hits");
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second;
+    }
+  }
+
+  // Slow path. One read serves both the fingerprint and (on a miss) the
+  // parse, so an answer is always computed from the exact bytes it was
+  // stamped with.
+  std::vector<std::string> sources;
+  size_t source_bytes = 0;
+  uint64_t fingerprint = 0;
+  for (const std::string& path : source_paths) {
+    Result<std::string> bytes = ReadFileBytes(path);
+    if (!bytes.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      DropEntryLocked(key);
+      return bytes.status();
+    }
+    source_bytes += bytes->size();
+    // Chain the per-file hashes so file order matters.
+    fingerprint = fingerprint * 1099511628211ull + Fingerprint64(*bytes);
+    sources.push_back(*std::move(bytes));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (it->second.fingerprint == fingerprint) {
+        // Touched but byte-identical (or the stat raced a concurrent
+        // replace that landed the same content): refresh the signature
+        // and keep serving the artifact.
+        it->second.sigs = *std::move(sigs);
+        ++stats_.hits;
+        obs::Count("service.cache_hits");
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        return it->second;
+      }
+      // Source changed under the same key: stamp a new generation and
+      // rebuild below.
+      DropEntryLocked(key);
+      obs::Count("service.cache_invalidations");
+    }
+    ++stats_.misses;
+    obs::Count("service.cache_misses");
+  }
+
+  // Single-flight: one build at a time, which also keeps the
+  // process-global ScopedMemAccounting scope exclusive.
+  std::lock_guard<std::mutex> build_lock(build_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.fingerprint == fingerprint) {
+      // Lost the race to another request building the same artifact.
+      ++stats_.hits;
+      obs::Count("service.cache_hits");
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second;
+    }
+  }
+
+  Built built;
+  {
+    obs::ScopedMemAccounting accounting;
+    Result<Built> result = build(sources);
+    if (!result.ok()) return result.status();
+    built = *std::move(result);
+    const obs::MemorySummary mem = accounting.Snapshot();
+    size_t accounted =
+        mem.hooks_enabled && mem.live_bytes > 0
+            ? static_cast<size_t>(mem.live_bytes)
+            : source_bytes * 2;  // hooks unavailable: size-proportional guess
+    built.bytes = std::max(accounted, source_bytes);
+  }
+
+  Entry out;
+  out.fingerprint = fingerprint;
+  out.bytes = built.bytes;
+  out.sigs = *sigs;
+  out.artifact = built.artifact;
+  out.stats_line = built.stats_line;
+  out.engine_mu = built.engine_mu;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.generation = stats_.generation;
+    if (built.bytes > options_.max_bytes) {
+      // Uncacheable: still serve the artifact, just do not retain it.
+      ++stats_.rejected_oversize;
+      obs::Count("service.cache_rejected_oversize");
+    } else {
+      InsertLocked(key, fingerprint, *std::move(sigs), std::move(built));
+    }
+  }
+  return out;
+}
+
+Result<std::shared_ptr<const std::vector<XmlKey>>> SessionCache::Keys(
+    const std::string& path) {
+  XMLPROP_ASSIGN_OR_RETURN(
+      Entry entry,
+      GetOrBuild("keys\t" + path, {path},
+                 [](const std::vector<std::string>& sources) -> Result<Built> {
+                   XMLPROP_ASSIGN_OR_RETURN(std::vector<XmlKey> keys,
+                                            ParseKeySet(sources[0]));
+                   Built built;
+                   built.artifact = std::make_shared<const std::vector<XmlKey>>(
+                       std::move(keys));
+                   return built;
+                 }));
+  return std::static_pointer_cast<const std::vector<XmlKey>>(entry.artifact);
+}
+
+Result<std::shared_ptr<const Transformation>> SessionCache::Rules(
+    const std::string& path) {
+  XMLPROP_ASSIGN_OR_RETURN(
+      Entry entry,
+      GetOrBuild("rules\t" + path, {path},
+                 [](const std::vector<std::string>& sources) -> Result<Built> {
+                   XMLPROP_ASSIGN_OR_RETURN(Transformation rules,
+                                            ParseTransformation(sources[0]));
+                   Built built;
+                   built.artifact =
+                       std::make_shared<const Transformation>(std::move(rules));
+                   return built;
+                 }));
+  return std::static_pointer_cast<const Transformation>(entry.artifact);
+}
+
+Result<std::shared_ptr<const Tree>> SessionCache::Doc(
+    const std::string& path) {
+  XMLPROP_ASSIGN_OR_RETURN(
+      Entry entry,
+      GetOrBuild("doc\t" + path, {path},
+                 [](const std::vector<std::string>& sources) -> Result<Built> {
+                   XMLPROP_ASSIGN_OR_RETURN(Tree tree, ParseXml(sources[0]));
+                   // Finalize the lazily derived Euler ranges now, while
+                   // the tree is still private to the build: shared
+                   // readers then only ever touch immutable state.
+                   tree.FinalizeEuler();
+                   Built built;
+                   built.artifact =
+                       std::make_shared<const Tree>(std::move(tree));
+                   return built;
+                 }));
+  return std::static_pointer_cast<const Tree>(entry.artifact);
+}
+
+Result<std::shared_ptr<const IndexedDoc>> SessionCache::Indexed(
+    const std::string& path, bool streaming, std::string* stats_line) {
+  const std::string key =
+      std::string("indexed\t") + (streaming ? "s\t" : "t\t") + path;
+  XMLPROP_ASSIGN_OR_RETURN(
+      Entry entry,
+      GetOrBuild(
+          key, {path},
+          [streaming](const std::vector<std::string>& sources)
+              -> Result<Built> {
+            IndexedDoc doc;
+            double ms = 0;
+            if (streaming) {
+              const auto start = std::chrono::steady_clock::now();
+              XMLPROP_ASSIGN_OR_RETURN(doc, ParseXmlIndexed(sources[0]));
+              ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+            } else {
+              XMLPROP_ASSIGN_OR_RETURN(Tree tree, ParseXml(sources[0]));
+              doc.tree = std::make_unique<Tree>(std::move(tree));
+              const auto start = std::chrono::steady_clock::now();
+              doc.index = std::make_unique<TreeIndex>(*doc.tree);
+              ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+            }
+            doc.tree->FinalizeEuler();
+            Built built;
+            built.stats_line = IndexStatsLine(doc, ms);
+            built.artifact = std::shared_ptr<const IndexedDoc>(
+                new IndexedDoc(std::move(doc)));
+            return built;
+          }));
+  if (stats_line != nullptr) *stats_line = entry.stats_line;
+  return std::static_pointer_cast<const IndexedDoc>(entry.artifact);
+}
+
+Result<EngineLease> SessionCache::Engine(const std::string& keys_path) {
+  XMLPROP_ASSIGN_OR_RETURN(
+      Entry entry,
+      GetOrBuild("engine\t" + keys_path, {keys_path},
+                 [](const std::vector<std::string>& sources) -> Result<Built> {
+                   XMLPROP_ASSIGN_OR_RETURN(std::vector<XmlKey> keys,
+                                            ParseKeySet(sources[0]));
+                   Built built;
+                   built.artifact = std::shared_ptr<const ImplicationEngine>(
+                       new ImplicationEngine(std::move(keys)));
+                   built.engine_mu = std::make_shared<std::mutex>();
+                   return built;
+                 }));
+  // The lease mutates the engine's memo; the cache stores it const-
+  // erased but hands out exclusive access, so the cast is sound.
+  auto engine = std::const_pointer_cast<ImplicationEngine>(
+      std::static_pointer_cast<const ImplicationEngine>(entry.artifact));
+  return EngineLease(std::move(engine), std::move(entry.engine_mu));
+}
+
+Result<std::shared_ptr<const CoverArtifact>> SessionCache::Cover(
+    const std::string& keys_path, const std::string& rules_path,
+    const std::string& relation, bool naive) {
+  const std::string key = "cover\t" + keys_path + "\t" + rules_path + "\t" +
+                          relation + "\t" + (naive ? "n" : "m");
+  XMLPROP_ASSIGN_OR_RETURN(
+      Entry entry,
+      GetOrBuild(
+          key, {keys_path, rules_path},
+          [&relation, naive](
+              const std::vector<std::string>& sources) -> Result<Built> {
+            XMLPROP_ASSIGN_OR_RETURN(std::vector<XmlKey> keys,
+                                     ParseKeySet(sources[0]));
+            XMLPROP_ASSIGN_OR_RETURN(Transformation rules,
+                                     ParseTransformation(sources[1]));
+            const TableRule* rule = nullptr;
+            if (!relation.empty()) {
+              XMLPROP_ASSIGN_OR_RETURN(rule, rules.FindRule(relation));
+            } else if (rules.rules().size() == 1) {
+              rule = &rules.rules()[0];
+            } else {
+              return Status::InvalidArgument(
+                  "the rules file defines several relations; pick one with "
+                  "--relation NAME");
+            }
+            XMLPROP_ASSIGN_OR_RETURN(TableTree table, TableTree::Build(*rule));
+            auto artifact = std::make_shared<CoverArtifact>();
+            XMLPROP_ASSIGN_OR_RETURN(
+                artifact->cover, naive ? NaiveMinimumCover(keys, table)
+                                       : MinimumCover(keys, table));
+            artifact->table = std::move(table);
+            Built built;
+            built.artifact = std::shared_ptr<const CoverArtifact>(artifact);
+            return built;
+          }));
+  return std::static_pointer_cast<const CoverArtifact>(entry.artifact);
+}
+
+SessionCache::Stats SessionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.entries = entries_.size();
+  out.bytes = bytes_;
+  return out;
+}
+
+void SessionCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+  ++stats_.generation;
+}
+
+}  // namespace service
+}  // namespace xmlprop

@@ -1,0 +1,150 @@
+#ifndef XMLPROP_SERVICE_SESSION_CACHE_H_
+#define XMLPROP_SERVICE_SESSION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/artifacts.h"
+
+namespace xmlprop {
+namespace service {
+
+/// Content fingerprint (FNV-1a, 64-bit) — the generation stamp's input.
+uint64_t Fingerprint64(const std::string& bytes);
+
+/// The daemon's keyed compiled-artifact cache: one SessionCache serves
+/// every request of an `xmlprop serve` process.
+///
+/// Keys are (artifact kind, source path[, parameters]); entries carry
+/// the fingerprint of the source bytes they were compiled from plus the
+/// stat signature (inode, size, nanosecond mtime) of each source file.
+/// A lookup whose sources stat to the stamped signatures is a hit in
+/// O(1) — no byte is re-read. When the signature differs the source is
+/// re-read and re-fingerprinted: a fingerprint match refreshes the
+/// signature and stays a hit (the file was rewritten with identical
+/// bytes), a mismatch invalidates the stale entry and rebuilds — the
+/// generation counter stamps each rebuild, so a document or Σ change is
+/// observable in `stats()` and never serves stale verdicts.
+///
+/// Capacity is bounded by accounted bytes. Builds run single-flight
+/// under one build mutex (also making the process-global
+/// ScopedMemAccounting scope exclusive); accounted bytes are the build's
+/// live allocation delta, floored at the source text size. The
+/// accounting is approximate under concurrency (allocations of requests
+/// running during a build window land in the build's scope) — it bounds
+/// memory, it is not a profiler. An artifact larger than the whole
+/// budget is returned uncached (`rejected_oversize`). Eviction is LRU;
+/// evicting an entry only drops the cache's reference — leases and
+/// shared_ptr holders keep using their artifact safely.
+///
+/// Thread-safe. ImplicationEngines are handed out under a per-engine
+/// mutex (EngineLease) because the engine memo is externally
+/// synchronized; everything else is shared immutable state (Trees have
+/// their Euler ranges finalized at build time).
+class SessionCache : public ArtifactProvider {
+ public:
+  struct Options {
+    /// Accounted-byte budget. 0 = cache nothing (every build is a miss
+    /// and returned uncached — the ablation configuration).
+    size_t max_bytes = 256u << 20;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;   ///< fingerprint-mismatch rebuilds
+    uint64_t rejected_oversize = 0;
+    uint64_t generation = 0;      ///< bumped on every invalidation
+    size_t entries = 0;
+    size_t bytes = 0;
+  };
+
+  /// The O(1) hit-validation signature of one source file. A lookup
+  /// whose sources all stat to the signatures the entry was stamped with
+  /// is served without re-reading the bytes; any difference (inode —
+  /// rename-replace always allocates a new one — size, or nanosecond
+  /// mtime) falls back to the full content-fingerprint check, so an
+  /// in-place rewrite with identical bytes refreshes the signature and
+  /// stays a hit while a real change invalidates.
+  struct StatSig {
+    uint64_t ino = 0;
+    uint64_t size = 0;
+    int64_t mtime_ns = 0;
+    bool operator==(const StatSig& other) const {
+      return ino == other.ino && size == other.size &&
+             mtime_ns == other.mtime_ns;
+    }
+  };
+
+  explicit SessionCache(const Options& options);
+  ~SessionCache() override;
+
+  Result<std::shared_ptr<const std::vector<XmlKey>>> Keys(
+      const std::string& path) override;
+  Result<std::shared_ptr<const Transformation>> Rules(
+      const std::string& path) override;
+  Result<std::shared_ptr<const Tree>> Doc(const std::string& path) override;
+  Result<std::shared_ptr<const IndexedDoc>> Indexed(
+      const std::string& path, bool streaming,
+      std::string* stats_line) override;
+  Result<EngineLease> Engine(const std::string& keys_path) override;
+  Result<std::shared_ptr<const CoverArtifact>> Cover(
+      const std::string& keys_path, const std::string& rules_path,
+      const std::string& relation, bool naive) override;
+
+  Stats stats() const;
+
+  /// Drops every entry and bumps the generation (e.g. on SIGHUP-style
+  /// reconfiguration). In-flight artifact holders are unaffected.
+  void Clear();
+
+ private:
+  struct Entry {
+    uint64_t fingerprint = 0;
+    uint64_t generation = 0;
+    size_t bytes = 0;
+    std::vector<StatSig> sigs;              ///< fast-path validation stamp
+    std::shared_ptr<const void> artifact;
+    std::string stats_line;                 ///< Indexed entries only
+    std::shared_ptr<std::mutex> engine_mu;  ///< Engine entries only
+    std::list<std::string>::iterator lru_it;
+  };
+
+  struct Built {
+    std::shared_ptr<const void> artifact;
+    size_t bytes = 0;
+    std::string stats_line;
+    std::shared_ptr<std::mutex> engine_mu;
+  };
+
+  /// Hit: returns the entry's artifact (LRU-touched). Miss/stale: calls
+  /// `build(source_bytes)` single-flight and inserts the result.
+  template <typename BuildFn>
+  Result<Entry> GetOrBuild(const std::string& key,
+                           const std::vector<std::string>& source_paths,
+                           const BuildFn& build);
+
+  void InsertLocked(const std::string& key, uint64_t fingerprint,
+                    std::vector<StatSig> sigs, Built built);
+  void DropEntryLocked(const std::string& key);
+  void EvictToFitLocked(size_t incoming_bytes);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::mutex build_mu_;  ///< single-flight build serialization
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  size_t bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace service
+}  // namespace xmlprop
+
+#endif  // XMLPROP_SERVICE_SESSION_CACHE_H_

@@ -7,6 +7,10 @@
 
 namespace xmlprop {
 
+namespace service {
+class ArtifactProvider;
+}  // namespace service
+
 /// Runs the `xmlprop` command-line tool. `args` excludes the program
 /// name (argv[1..]). Normal output goes to `out`, diagnostics to `err`.
 /// Returns the process exit code (0 success; 1 user/input error; 2 the
@@ -24,6 +28,18 @@ namespace xmlprop {
 ///   import-xsd --xsd F                     keys from XML Schema
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
            std::ostream& err);
+
+/// Executes one command line inside the `xmlprop serve` daemon: command
+/// bodies load their inputs through `provider` (the daemon's resident
+/// SessionCache) instead of parsing from scratch, and process-global
+/// observability flags (--trace, --profile, --log-*, --crash-dump, ...)
+/// are rejected — per-request telemetry is the server's ObsContext.
+/// Never touches global log configuration, so concurrent requests cannot
+/// bleed into each other. stdout stays byte-identical to a one-shot
+/// RunCli of the same command line (modulo build-timing digits).
+int RunForService(const std::vector<std::string>& args,
+                  service::ArtifactProvider* provider, std::ostream& out,
+                  std::ostream& err);
 
 }  // namespace xmlprop
 

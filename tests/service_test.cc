@@ -1,0 +1,445 @@
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "paper_fixtures.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "tools/cli.h"
+
+namespace xmlprop {
+namespace service {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Protocol codec + framing
+
+TEST(ServiceProtocolTest, RequestRoundTripsThroughJson) {
+  Request request;
+  request.op = "run";
+  request.argv = {"check", "--keys", "a \"quoted\" path",
+                  "--fd", "a, b -> c\nnewline\ttab"};
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->op, request.op);
+  EXPECT_EQ(decoded->argv, request.argv);
+}
+
+TEST(ServiceProtocolTest, ReplyRoundTripsThroughJson) {
+  Reply reply;
+  reply.reject = "overloaded";
+  reply.exit_code = 2;
+  reply.out = "line one\nline \"two\"\n";
+  reply.err = "warning: \t control \x01 char";
+  reply.body = "{\"k\": 1}";
+  reply.wall_ms = 12.5;
+  reply.request_id = 42;
+  auto decoded = DecodeReply(EncodeReply(reply));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->reject, reply.reject);
+  EXPECT_EQ(decoded->exit_code, reply.exit_code);
+  EXPECT_EQ(decoded->out, reply.out);
+  EXPECT_EQ(decoded->err, reply.err);
+  EXPECT_EQ(decoded->body, reply.body);
+  EXPECT_DOUBLE_EQ(decoded->wall_ms, reply.wall_ms);
+  EXPECT_EQ(decoded->request_id, reply.request_id);
+}
+
+TEST(ServiceProtocolTest, EncodedFramesAreNdjsonLines) {
+  const std::string encoded = EncodeRequest({"ping", {}});
+  ASSERT_FALSE(encoded.empty());
+  EXPECT_EQ(encoded.back(), '\n');
+  EXPECT_EQ(encoded.find('\n'), encoded.size() - 1);  // exactly one line
+}
+
+TEST(ServiceProtocolTest, GarbageIsRejected) {
+  EXPECT_FALSE(DecodeRequest("not json").ok());
+  EXPECT_FALSE(DecodeRequest("{\"op\": ").ok());
+  EXPECT_FALSE(DecodeReply("[]").ok());
+}
+
+TEST(ServiceProtocolTest, UnknownFieldsAreSkippedForForwardCompat) {
+  auto decoded = DecodeRequest(
+      "{\"op\": \"ping\", \"future\": {\"nested\": [1, 2, \"x\"]}, "
+      "\"argv\": []}\n");
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->op, "ping");
+}
+
+TEST(ServiceProtocolTest, FramesRoundTripOverASocketPair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string payload = EncodeRequest({"run", {"check", "--keys", "k"}});
+  ASSERT_TRUE(WriteFrame(fds[0], payload));
+  auto read = ReadFrame(fds[1]);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, payload);
+  ::close(fds[0]);
+  auto eof = ReadFrame(fds[1]);
+  EXPECT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kNotFound);  // clean EOF
+  ::close(fds[1]);
+}
+
+TEST(ServiceProtocolTest, OversizedFrameIsRejectedBeforeBuffering) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const uint32_t huge = kMaxFrameBytes + 1;
+  unsigned char prefix[4] = {
+      static_cast<unsigned char>(huge & 0xff),
+      static_cast<unsigned char>((huge >> 8) & 0xff),
+      static_cast<unsigned char>((huge >> 16) & 0xff),
+      static_cast<unsigned char>((huge >> 24) & 0xff)};
+  ASSERT_EQ(::write(fds[0], prefix, 4), 4);
+  auto read = ReadFrame(fds[1]);
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Server end-to-end (in-process daemon over a real Unix socket)
+
+std::string NormalizeMs(const std::string& text) {
+  return std::regex_replace(text,
+                            std::regex("built in [0-9.eE+-]+ ms"),
+                            "built in _ ms");
+}
+
+class ServiceServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("xmlprop_service_test_" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    keys_path_ = Write("keys.txt", testing_fixtures::kPaperKeys);
+    doc_path_ = Write("doc.xml", testing_fixtures::kFig1Xml);
+    rules_path_ = Write("rules.txt", testing_fixtures::kPaperTransformation);
+    socket_path_ = (dir_ / "sock").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Write(const std::string& name, const std::string& content) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+    return path;
+  }
+  static std::string ReadAll(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+  static CommandExecutor CliExecutor() {
+    return [](const std::vector<std::string>& argv, ArtifactProvider* provider,
+              std::ostream& out, std::ostream& err) {
+      return RunForService(argv, provider, out, err);
+    };
+  }
+
+  ServiceServer::Options BaseOptions() {
+    ServiceServer::Options options;
+    options.socket_path = socket_path_;
+    options.workers = 4;
+    return options;
+  }
+
+  Reply Run(const std::vector<std::string>& argv) {
+    auto reply = Call(socket_path_, Request{"run", argv});
+    EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+    return reply.ok() ? *reply : Reply{};
+  }
+
+  fs::path dir_;
+  std::string keys_path_;
+  std::string doc_path_;
+  std::string rules_path_;
+  std::string socket_path_;
+};
+
+TEST_F(ServiceServerTest, PingMetricsStatsAndShutdown) {
+  ServiceServer server(BaseOptions(), CliExecutor());
+  ASSERT_TRUE(server.Start().ok());
+
+  auto pong = Call(socket_path_, {"ping", {}});
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong->body, "pong");
+  EXPECT_TRUE(pong->reject.empty());
+
+  Reply check = Run({"check", "--keys", keys_path_, "--doc", doc_path_});
+  EXPECT_EQ(check.exit_code, 0);
+  EXPECT_NE(check.out.find("OK: document satisfies all 7"), std::string::npos);
+  EXPECT_GT(check.request_id, 0u);
+
+  auto metrics = Call(socket_path_, {"metrics", {}});
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->body.find("xmlprop_service_requests_total 1"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("# EOF"), std::string::npos);
+
+  auto stats = Call(socket_path_, {"stats", {}});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->body.find("\"requests_served\": 1"), std::string::npos);
+
+  auto bye = Call(socket_path_, {"shutdown", {}});
+  ASSERT_TRUE(bye.ok());
+  server.Wait();
+  EXPECT_EQ(server.requests_served(), 1u);
+  // The socket file is gone after a clean shutdown.
+  EXPECT_FALSE(fs::exists(socket_path_));
+}
+
+TEST_F(ServiceServerTest, RoutedStdoutIsByteIdenticalToOneShot) {
+  ServiceServer server(BaseOptions(), CliExecutor());
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::vector<std::vector<std::string>> commands = {
+      {"check", "--keys", keys_path_, "--doc", doc_path_},
+      {"check", "--keys", keys_path_, "--doc", doc_path_, "--index"},
+      {"cover", "--keys", keys_path_, "--rules", rules_path_, "--relation",
+       "book"},
+      {"cover", "--keys", keys_path_, "--rules", rules_path_, "--relation",
+       "chapter", "--naive"},
+      {"propagate", "--keys", keys_path_, "--rules", rules_path_,
+       "--relation", "chapter", "--fd", "inBook, number -> name"},
+      {"shred", "--rules", rules_path_, "--doc", doc_path_, "--sql"},
+  };
+  for (const auto& argv : commands) {
+    std::ostringstream out, err;
+    const int code = RunCli(argv, out, err);
+    // Twice through the daemon: the second pass is all warm cache.
+    for (int pass = 0; pass < 2; ++pass) {
+      Reply reply = Run(argv);
+      EXPECT_EQ(reply.exit_code, code) << argv[0] << " pass " << pass;
+      EXPECT_EQ(NormalizeMs(reply.out), NormalizeMs(out.str()))
+          << argv[0] << " pass " << pass;
+    }
+  }
+  const SessionCache::Stats stats = server.cache()->stats();
+  EXPECT_GT(stats.hits, 0u);
+
+  server.Shutdown();
+}
+
+TEST_F(ServiceServerTest, UnsupportedProcessGlobalFlagGetsTypedReject) {
+  ServiceServer server(BaseOptions(), CliExecutor());
+  ASSERT_TRUE(server.Start().ok());
+  for (const std::string flag :
+       {"--trace", "--profile", "--log-level=debug", "--crash-dump=x",
+        "--metrics-out=x", "--quiet"}) {
+    Reply reply =
+        Run({"check", "--keys", keys_path_, "--doc", doc_path_, flag});
+    EXPECT_EQ(reply.reject, "unsupported-flag") << flag;
+    EXPECT_EQ(reply.exit_code, 1) << flag;
+  }
+  // Per-request engine/closure-index toggles stay allowed.
+  Reply ok = Run({"cover", "--keys", keys_path_, "--rules", rules_path_,
+                  "--relation", "book", "--engine", "--no-closure-index"});
+  EXPECT_TRUE(ok.reject.empty());
+  EXPECT_EQ(ok.exit_code, 0);
+  server.Shutdown();
+}
+
+TEST_F(ServiceServerTest, NestedServeIsRejected) {
+  ServiceServer server(BaseOptions(), CliExecutor());
+  ASSERT_TRUE(server.Start().ok());
+  Reply reply = Run({"serve", "--socket", (dir_ / "nested").string()});
+  EXPECT_EQ(reply.exit_code, 1);
+  EXPECT_NE(reply.err.find("cannot nest"), std::string::npos);
+  server.Shutdown();
+}
+
+TEST_F(ServiceServerTest, AdmissionControlRejectsBeyondMaxInflight) {
+  // A blocking executor holds the only admitted slot; the next request
+  // must get the typed overloaded reject instead of queueing.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool entered = false;
+  ServiceServer::Options options = BaseOptions();
+  options.max_inflight = 1;
+  ServiceServer server(
+      options, [&](const std::vector<std::string>&, ArtifactProvider*,
+                   std::ostream& out, std::ostream&) {
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          entered = true;
+          cv.notify_all();
+          cv.wait(lock, [&] { return release; });
+        }
+        out << "done\n";
+        return 0;
+      });
+  ASSERT_TRUE(server.Start().ok());
+
+  std::thread blocked([&] {
+    auto reply = Call(socket_path_, {"run", {"slow"}});
+    ASSERT_TRUE(reply.ok());
+    EXPECT_TRUE(reply->reject.empty());
+    EXPECT_EQ(reply->out, "done\n");
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered; });
+  }
+  auto rejected = Call(socket_path_, {"run", {"other"}});
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->reject, "overloaded");
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  blocked.join();
+  EXPECT_EQ(server.requests_rejected(), 1u);
+  server.Shutdown();
+}
+
+TEST_F(ServiceServerTest, ConcurrentRequestsProduceIdenticalVerdicts) {
+  ServiceServer::Options options = BaseOptions();
+  options.max_inflight = 64;
+  ServiceServer server(options, CliExecutor());
+  ASSERT_TRUE(server.Start().ok());
+
+  std::ostringstream expected_out, expected_err;
+  const std::vector<std::string> argv = {"cover",      "--keys",
+                                         keys_path_,   "--rules",
+                                         rules_path_,  "--relation",
+                                         "section"};
+  const int expected_code = RunCli(argv, expected_out, expected_err);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5; ++i) {
+        auto reply = Call(socket_path_, {"run", argv});
+        if (!reply.ok() || !reply->reject.empty() ||
+            reply->exit_code != expected_code ||
+            reply->out != expected_out.str()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.requests_served(), 40u);
+  server.Shutdown();
+}
+
+TEST_F(ServiceServerTest, AccessLogAndScrapeFileCoverTheDaemonLifetime) {
+  ServiceServer::Options options = BaseOptions();
+  options.access_log = (dir_ / "access.ndjson").string();
+  options.metrics_out = (dir_ / "metrics.prom").string();
+  options.metrics_interval_ms = 20;
+  ServiceServer server(options, CliExecutor());
+  ASSERT_TRUE(server.Start().ok());
+  Run({"check", "--keys", keys_path_, "--doc", doc_path_});
+  Run({"implies", "--keys", keys_path_, "--key", "(ε, (//book, {@isbn}))"});
+  server.Shutdown();
+
+  const std::string log = ReadAll(options.access_log);
+  EXPECT_NE(log.find("\"cmd\": \"check\""), std::string::npos);
+  EXPECT_NE(log.find("\"cmd\": \"implies\""), std::string::npos);
+  // One JSON object per line, every line carries the id + wall time.
+  std::istringstream lines(log);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_NE(line.find("\"id\": "), std::string::npos);
+    EXPECT_NE(line.find("\"wall_ms\": "), std::string::npos);
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+
+  // The final scrape snapshot (written at shutdown) sums both requests.
+  const std::string prom = ReadAll(options.metrics_out);
+  EXPECT_NE(prom.find("xmlprop_service_requests_total 2"), std::string::npos);
+  EXPECT_NE(prom.find("# EOF"), std::string::npos);
+}
+
+TEST_F(ServiceServerTest, ShutdownIsIdempotentAndStartAfterStaleSocketWorks) {
+  {
+    ServiceServer server(BaseOptions(), CliExecutor());
+    ASSERT_TRUE(server.Start().ok());
+    server.Shutdown();
+    server.Shutdown();  // second call is a no-op
+  }
+  // A stale socket file (e.g. after SIGKILL) must not block a restart.
+  { std::ofstream stale(socket_path_); }
+  ServiceServer server(BaseOptions(), CliExecutor());
+  ASSERT_TRUE(server.Start().ok());
+  auto pong = Call(socket_path_, {"ping", {}});
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong->body, "pong");
+  server.Shutdown();
+}
+
+TEST_F(ServiceServerTest, ClientReportsMissingDaemonAsNotFound) {
+  auto reply = Call((dir_ / "nothing_here").string(), {"ping", {}});
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// PeriodicMetricsWriter re-arm (satellite: daemon-lifetime readiness)
+
+TEST(PeriodicMetricsWriterTest, RestartReArmsAStoppedWriter) {
+  const std::string path =
+      (fs::temp_directory_path() /
+       ("xmlprop_pmw_restart_" +
+        std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+        ".prom"))
+          .string();
+  obs::MetricRegistry registry;
+  registry.Add("service.requests", 1);
+  obs::PeriodicMetricsWriter writer(&registry, path, 10);
+  writer.Stop();
+  const int writes_after_stop = writer.writes();
+
+  registry.Add("service.requests", 1);
+  writer.Restart();
+  writer.Restart();  // idempotent on a running writer
+  for (int i = 0; i < 200 && writer.writes() == writes_after_stop; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(writer.writes(), writes_after_stop);
+  writer.Stop();
+
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("xmlprop_service_requests_total 2"),
+            std::string::npos);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace xmlprop

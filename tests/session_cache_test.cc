@@ -1,0 +1,289 @@
+#include "service/session_cache.h"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "paper_fixtures.h"
+#include "xml/writer.h"
+
+namespace xmlprop {
+namespace service {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SessionCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("xmlprop_session_cache_test_" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    keys_path_ = Write("keys.txt", testing_fixtures::kPaperKeys);
+    doc_path_ = Write("doc.xml", testing_fixtures::kFig1Xml);
+    rules_path_ = Write("rules.txt", testing_fixtures::kPaperTransformation);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Write(const std::string& name, const std::string& content) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+    return path;
+  }
+
+  // Atomic content replacement (write + rename), so concurrent readers
+  // never observe a torn file.
+  void Replace(const std::string& path, const std::string& content) {
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      out << content;
+    }
+    fs::rename(tmp, path);
+  }
+
+  fs::path dir_;
+  std::string keys_path_;
+  std::string doc_path_;
+  std::string rules_path_;
+};
+
+TEST_F(SessionCacheTest, SecondLookupIsAHitAndSharesTheArtifact) {
+  SessionCache cache(SessionCache::Options{});
+  auto first = cache.Keys(keys_path_);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = cache.Keys(keys_path_);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // same resident object
+  const SessionCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.invalidations, 0u);
+  EXPECT_EQ(stats.generation, 0u);
+}
+
+TEST_F(SessionCacheTest, ChangedFileInvalidatesAndBumpsGeneration) {
+  SessionCache cache(SessionCache::Options{});
+  auto first = cache.Keys(keys_path_);
+  ASSERT_TRUE(first.ok());
+  const size_t before = (*first)->size();
+
+  Replace(keys_path_, "K1: (//book, (chapter, {@number}))\n");
+  auto second = cache.Keys(keys_path_);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*second)->size(), 1u);
+  EXPECT_NE((*second)->size(), before);
+  // The evicted artifact stays valid for its holder.
+  EXPECT_EQ((*first)->size(), before);
+
+  const SessionCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.generation, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST_F(SessionCacheTest, UnreadableSourceDropsTheEntry) {
+  SessionCache cache(SessionCache::Options{});
+  ASSERT_TRUE(cache.Keys(keys_path_).ok());
+  EXPECT_EQ(cache.stats().entries, 1u);
+  fs::remove(keys_path_);
+  auto gone = cache.Keys(keys_path_);
+  EXPECT_FALSE(gone.ok());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_GE(cache.stats().generation, 1u);
+}
+
+TEST_F(SessionCacheTest, TinyBudgetServesUncached) {
+  SessionCache cache(SessionCache::Options{1});  // nothing fits
+  auto keys = cache.Keys(keys_path_);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_FALSE((*keys)->empty());
+  auto doc = cache.Doc(doc_path_);
+  ASSERT_TRUE(doc.ok());
+  const SessionCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_GE(stats.rejected_oversize, 2u);
+}
+
+TEST_F(SessionCacheTest, LruEvictionKeepsBytesUnderBudget) {
+  // Budget sized to hold some but not all of the documents.
+  constexpr size_t kBudget = 64 * 1024;
+  SessionCache cache(SessionCache::Options{kBudget});
+  for (int i = 0; i < 16; ++i) {
+    std::string body = "<r>";
+    for (int j = 0; j < 200; ++j) {
+      body += "<item id=\"" + std::to_string(i * 1000 + j) + "\"/>";
+    }
+    body += "</r>";
+    const std::string path =
+        Write("doc_" + std::to_string(i) + ".xml", body);
+    auto doc = cache.Doc(path);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  }
+  const SessionCache::Stats stats = cache.stats();
+  EXPECT_LE(stats.bytes, kBudget);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LT(stats.entries, 16u);
+}
+
+TEST_F(SessionCacheTest, EngineLeaseIsExclusivePerKeySet) {
+  SessionCache cache(SessionCache::Options{});
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 8; ++i) {
+        auto lease = cache.Engine(keys_path_);
+        ASSERT_TRUE(lease.ok()) << lease.status().ToString();
+        ASSERT_TRUE(lease->valid());
+        const int now = concurrent.fetch_add(1) + 1;
+        int seen = max_concurrent.load();
+        while (now > seen && !max_concurrent.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        concurrent.fetch_sub(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // The per-engine mutex serializes every lease on one key set.
+  EXPECT_EQ(max_concurrent.load(), 1);
+}
+
+TEST_F(SessionCacheTest, CoverArtifactIsKeyedOnRelationAndAlgorithm) {
+  SessionCache cache(SessionCache::Options{});
+  auto book = cache.Cover(keys_path_, rules_path_, "book", false);
+  ASSERT_TRUE(book.ok()) << book.status().ToString();
+  auto chapter = cache.Cover(keys_path_, rules_path_, "chapter", false);
+  ASSERT_TRUE(chapter.ok());
+  EXPECT_NE(book->get(), chapter->get());
+  auto book_again = cache.Cover(keys_path_, rules_path_, "book", false);
+  ASSERT_TRUE(book_again.ok());
+  EXPECT_EQ(book->get(), book_again->get());
+  auto book_naive = cache.Cover(keys_path_, rules_path_, "book", true);
+  ASSERT_TRUE(book_naive.ok());
+  EXPECT_NE(book->get(), book_naive->get());
+}
+
+TEST_F(SessionCacheTest, ClearDropsEverything) {
+  SessionCache cache(SessionCache::Options{});
+  ASSERT_TRUE(cache.Keys(keys_path_).ok());
+  ASSERT_TRUE(cache.Doc(doc_path_).ok());
+  EXPECT_EQ(cache.stats().entries, 2u);
+  cache.Clear();
+  const SessionCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_GE(stats.generation, 1u);
+}
+
+// The ISSUE's concurrency acceptance test: randomized hit/miss traffic
+// from several threads against a tiny budget while a writer flips one
+// file between two versions. Every artifact a reader observes must be
+// bit-identical to one of the two authored versions — never a blend,
+// never a stale-fingerprint mix.
+TEST_F(SessionCacheTest, ConcurrentRandomizedTrafficYieldsBitIdenticalViews) {
+  const std::string v1 = "K1: (ε, (//book, {@isbn}))\n";
+  const std::string v2 =
+      "K1: (ε, (//book, {@isbn}))\n"
+      "K2: (//book, (chapter, {@number}))\n";
+  const std::string flip_path = Write("flip_keys.txt", v1);
+
+  // Canonical per-version serializations, computed single-threaded.
+  auto serialize = [](const std::vector<XmlKey>& keys) {
+    std::ostringstream out;
+    for (const XmlKey& k : keys) out << k.ToString() << "\n";
+    return out.str();
+  };
+  SessionCache seed(SessionCache::Options{});
+  auto k1 = seed.Keys(flip_path);
+  ASSERT_TRUE(k1.ok());
+  const std::string v1_view = serialize(**k1);
+  Replace(flip_path, v2);
+  auto k2 = seed.Keys(flip_path);
+  ASSERT_TRUE(k2.ok());
+  const std::string v2_view = serialize(**k2);
+  ASSERT_NE(v1_view, v2_view);
+  Replace(flip_path, v1);
+
+  // Tiny budget: a few entries fit, so hits, misses, evictions and
+  // invalidations all occur under contention.
+  SessionCache cache(SessionCache::Options{32 * 1024});
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  std::thread writer([&] {
+    bool odd = false;
+    while (!stop.load(std::memory_order_acquire)) {
+      Replace(flip_path, odd ? v2 : v1);
+      odd = !odd;
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 6; ++t) {
+    readers.emplace_back([&, t] {
+      std::mt19937 rng(1234u + static_cast<unsigned>(t));
+      for (int i = 0; i < 120; ++i) {
+        switch (rng() % 3) {
+          case 0: {
+            auto keys = cache.Keys(flip_path);
+            if (!keys.ok()) {
+              failures.fetch_add(1);
+              break;
+            }
+            const std::string view = serialize(**keys);
+            if (view != v1_view && view != v2_view) failures.fetch_add(1);
+            break;
+          }
+          case 1: {
+            auto keys = cache.Keys(keys_path_);
+            if (!keys.ok() || (*keys)->size() != 7u) failures.fetch_add(1);
+            break;
+          }
+          default: {
+            auto doc = cache.Doc(doc_path_);
+            if (!doc.ok() || (*doc)->size() == 0) failures.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const SessionCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_LE(stats.bytes, 32u * 1024u);
+}
+
+TEST_F(SessionCacheTest, FingerprintDistinguishesContent) {
+  EXPECT_NE(Fingerprint64("a"), Fingerprint64("b"));
+  EXPECT_EQ(Fingerprint64("same"), Fingerprint64("same"));
+  EXPECT_NE(Fingerprint64(""), Fingerprint64(std::string("\0", 1)));
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace xmlprop
