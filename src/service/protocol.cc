@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 
 #include <sys/socket.h>
 #include <unistd.h>
@@ -147,7 +148,18 @@ class Parser {
       ++pos_;
     }
     if (pos_ == start) return Fail("expected number");
-    return std::stod(text_.substr(start, pos_ - start));
+    // The char scan above is permissive (it accepts "-", ".", "1e999");
+    // stod must not throw out of a daemon worker, so convert guarded and
+    // require the whole token to be consumed.
+    const std::string token = text_.substr(start, pos_ - start);
+    try {
+      size_t consumed = 0;
+      const double value = std::stod(token, &consumed);
+      if (consumed != token.size()) return Fail("bad number");
+      return value;
+    } catch (const std::exception&) {
+      return Fail("bad number");
+    }
   }
 
   Result<bool> ParseBool() {
@@ -371,7 +383,11 @@ int ReadExact(int fd, char* buf, size_t n) {
       if (errno == EINTR) continue;
       return -1;
     }
-    if (r == 0) return got == 0 ? 0 : -1;
+    if (r == 0) {
+      if (got == 0) return 0;
+      errno = 0;  // truncation, not an errno condition
+      return -1;
+    }
     got += static_cast<size_t>(r);
   }
   return 1;
@@ -383,7 +399,12 @@ Result<std::string> ReadFrame(int fd) {
   char prefix[4];
   const int header = ReadExact(fd, prefix, 4);
   if (header == 0) return Status::NotFound("eof");
-  if (header < 0) return Status::Internal("protocol: truncated frame header");
+  if (header < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Internal("protocol: read timed out");
+    }
+    return Status::Internal("protocol: truncated frame header");
+  }
   const uint32_t n = static_cast<uint32_t>(static_cast<unsigned char>(prefix[0])) |
                      (static_cast<uint32_t>(static_cast<unsigned char>(prefix[1])) << 8) |
                      (static_cast<uint32_t>(static_cast<unsigned char>(prefix[2])) << 16) |
@@ -394,6 +415,9 @@ Result<std::string> ReadFrame(int fd) {
   }
   std::string payload(n, '\0');
   if (n > 0 && ReadExact(fd, payload.data(), n) != 1) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Internal("protocol: read timed out");
+    }
     return Status::Internal("protocol: truncated frame payload");
   }
   return payload;

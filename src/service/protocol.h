@@ -34,8 +34,10 @@ struct Request {
 struct Reply {
   /// Empty = the request was admitted and executed. Otherwise the typed
   /// reject kind: "overloaded" (admission control), "bad-request"
-  /// (unparseable frame), "unsupported-flag" (a process-global flag in
-  /// serve mode), "shutting-down".
+  /// (unparseable frame / read timeout), "unsupported-flag" (a
+  /// process-global flag in serve mode), "shutting-down",
+  /// "oversized-reply" (output exceeds the frame cap), "internal-error"
+  /// (unexpected exception; the daemon survives).
   std::string reject;
   int exit_code = 0;
   std::string out;   ///< the command's stdout, byte-for-byte

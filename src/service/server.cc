@@ -4,11 +4,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -24,6 +26,18 @@ double NowUnixMs() {
   return std::chrono::duration<double, std::milli>(
              std::chrono::system_clock::now().time_since_epoch())
       .count();
+}
+
+// Bounds how long a worker can block on one peer's socket. Without it an
+// idle or half-dead client pins a pool worker plus an admitted slot
+// until it goes away on its own.
+void SetSocketTimeouts(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 void WriteRejectAndClose(int fd, const std::string& kind,
@@ -130,6 +144,7 @@ void ServiceServer::AcceptLoop() {
       // error on a closed/stopping listener also ends the loop.
       break;
     }
+    SetSocketTimeouts(fd, options_.io_timeout_ms);
     if (stopping_.load(std::memory_order_acquire)) {
       requests_rejected_.fetch_add(1, std::memory_order_relaxed);
       registry_.Add("service.rejected_shutting_down");
@@ -168,16 +183,48 @@ void ServiceServer::HandleConnection(int fd) {
     ::close(fd);
     return;
   }
-  Result<Request> request = DecodeRequest(*frame);
   Reply reply;
-  if (!request.ok()) {
-    reply.reject = "bad-request";
+  // Last-resort guard: nothing may throw past a pool worker (that would
+  // std::terminate the daemon), so any stray exception from decode or
+  // command execution becomes a typed reject on this one connection.
+  try {
+    Result<Request> request = DecodeRequest(*frame);
+    if (!request.ok()) {
+      reply.reject = "bad-request";
+      reply.exit_code = 1;
+      reply.err = request.status().message();
+    } else {
+      reply = Execute(*request);
+    }
+  } catch (const std::exception& e) {
+    reply = Reply();
+    reply.reject = "internal-error";
     reply.exit_code = 1;
-    reply.err = request.status().message();
-  } else {
-    reply = Execute(*request);
+    reply.err = std::string("unhandled exception: ") + e.what();
+  } catch (...) {
+    reply = Reply();
+    reply.reject = "internal-error";
+    reply.exit_code = 1;
+    reply.err = "unhandled exception";
   }
-  WriteFrame(fd, EncodeReply(reply));
+  std::string payload = EncodeReply(reply);
+  if (payload.size() > kMaxFrameBytes) {
+    // WriteFrame would silently drop an oversized payload and the client
+    // would report a generic "no reply"; tell it what happened instead.
+    Reply oversize;
+    oversize.reject = "oversized-reply";
+    oversize.exit_code = 1;
+    oversize.request_id = reply.request_id;
+    oversize.wall_ms = reply.wall_ms;
+    oversize.err = "reply of " + std::to_string(payload.size()) +
+                   " bytes exceeds the frame cap of " +
+                   std::to_string(kMaxFrameBytes) +
+                   " bytes; run the command without --connect";
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    registry_.Add("service.rejected_oversized_reply");
+    payload = EncodeReply(oversize);
+  }
+  WriteFrame(fd, payload);
   ::close(fd);
 }
 

@@ -58,6 +58,12 @@ class ServiceServer {
     /// Admitted (queued + running) request bound; beyond it connections
     /// are rejected with kind "overloaded".
     int max_inflight = 64;
+    /// Per-socket receive/send timeout (SO_RCVTIMEO/SO_SNDTIMEO) on
+    /// accepted connections. A peer that connects and never sends a full
+    /// frame would otherwise hold a pool worker and an admitted slot
+    /// forever; max_inflight such peers would wedge the daemon. 0
+    /// disables (not recommended).
+    int io_timeout_ms = 10000;
     /// Per-request slow-op threshold (ms); 0 disables.
     double slow_op_ms = 0;
     /// Stall watchdog threshold (ms); 0 disables the watchdog.

@@ -108,6 +108,11 @@ void SessionCache::EvictToFitLocked(size_t incoming_bytes) {
 
 void SessionCache::InsertLocked(const std::string& key, uint64_t fingerprint,
                                 std::vector<StatSig> sigs, Built built) {
+  // A racing builder may have inserted under this key between our miss
+  // check and now; release its bytes and LRU node first, or bytes_
+  // inflates permanently and the stale LRU node can later evict the
+  // fresh entry as if least-recently-used.
+  DropEntryLocked(key);
   EvictToFitLocked(built.bytes);
   Entry entry;
   entry.fingerprint = fingerprint;

@@ -195,8 +195,8 @@ commands:
   export-xsd --keys FILE [--root LABEL]
              Render keys as XML Schema identity constraints.
   serve      --socket PATH [--workers N] [--cache-mb N] [--max-inflight N]
-             [--slow-op-ms N] [--stall-ms N] [--trace-retain K]
-             [--access-log FILE|-] [--metrics-out FILE]
+             [--io-timeout-ms N] [--slow-op-ms N] [--stall-ms N]
+             [--trace-retain K] [--access-log FILE|-] [--metrics-out FILE]
              [--metrics-interval-ms N]
              Resident constraint service: listen on a Unix-domain socket
              and keep compiled artifacts (parsed keys/rules, document
@@ -932,6 +932,9 @@ int CmdServe(const ParsedArgs& args, std::ostream& out) {
   if (args.Has("max-inflight")) {
     options.max_inflight = std::stoi(args.Get("max-inflight"));
   }
+  if (args.Has("io-timeout-ms")) {
+    options.io_timeout_ms = std::stoi(args.Get("io-timeout-ms"));
+  }
   if (args.Has("slow-op-ms")) {
     options.slow_op_ms = std::stod(args.Get("slow-op-ms"));
   }
@@ -1012,7 +1015,11 @@ int RunConnected(const ParsedArgs& parsed,
     return 1;
   }
   if (!reply->reject.empty()) {
-    obs::LogError("cli", "error: request rejected: " + reply->reject);
+    std::string what = "error: request rejected: " + reply->reject;
+    // The server's err field carries the actionable detail (which flag
+    // was unsupported, the capacity hint, ...).
+    if (!reply->err.empty()) what += ": " + reply->err;
+    obs::LogError("cli", what);
     return 1;
   }
   out << reply->out;

@@ -1,6 +1,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
@@ -13,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include "obs/metrics.h"
@@ -97,6 +99,24 @@ TEST(ServiceProtocolTest, FramesRoundTripOverASocketPair) {
   EXPECT_FALSE(eof.ok());
   EXPECT_EQ(eof.status().code(), StatusCode::kNotFound);  // clean EOF
   ::close(fds[1]);
+}
+
+TEST(ServiceProtocolTest, MalformedNumbersAreRejectedNotThrown) {
+  // "-", ".", "e5" pass the permissive number-char scan and "1e999"
+  // overflows double; each must produce a parse error — an exception
+  // here would escape a daemon pool worker and terminate the process.
+  EXPECT_FALSE(DecodeReply("{\"exit_code\": -}").ok());
+  EXPECT_FALSE(DecodeReply("{\"wall_ms\": .}").ok());
+  EXPECT_FALSE(DecodeReply("{\"wall_ms\": e5}").ok());
+  EXPECT_FALSE(DecodeReply("{\"wall_ms\": 1e999}").ok());
+  EXPECT_FALSE(DecodeReply("{\"wall_ms\": 1.2.3}").ok());
+  // Skipped unknown fields run through the same number path.
+  EXPECT_FALSE(DecodeRequest("{\"op\": \"ping\", \"x\": 1e999}").ok());
+  // Sane numbers still decode.
+  auto decoded = DecodeReply("{\"exit_code\": 2, \"wall_ms\": 1.5e1}");
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->exit_code, 2);
+  EXPECT_DOUBLE_EQ(decoded->wall_ms, 15.0);
 }
 
 TEST(ServiceProtocolTest, OversizedFrameIsRejectedBeforeBuffering) {
@@ -317,6 +337,49 @@ TEST_F(ServiceServerTest, AdmissionControlRejectsBeyondMaxInflight) {
   }
   blocked.join();
   EXPECT_EQ(server.requests_rejected(), 1u);
+  server.Shutdown();
+}
+
+TEST_F(ServiceServerTest, IdleConnectionTimesOutAndFreesItsSlot) {
+  ServiceServer::Options options = BaseOptions();
+  options.max_inflight = 1;
+  options.io_timeout_ms = 200;
+  ServiceServer server(options, CliExecutor());
+  ASSERT_TRUE(server.Start().ok());
+
+  // A peer that connects and never sends a frame would hold the only
+  // admitted slot (and a pool worker) forever without SO_RCVTIMEO.
+  const int idle = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(idle, 0);
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  ASSERT_EQ(::connect(idle, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  // After --io-timeout-ms the daemon must reclaim the worker: a real
+  // request eventually succeeds even at max_inflight=1.
+  bool served = false;
+  for (int i = 0; i < 100 && !served; ++i) {
+    auto reply = Call(socket_path_,
+                      {"run", {"check", "--keys", keys_path_, "--doc",
+                               doc_path_}});
+    if (reply.ok() && reply->reject.empty()) {
+      served = true;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  EXPECT_TRUE(served);
+
+  // The idle peer was told why before its connection closed.
+  auto frame = ReadFrame(idle);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  auto reject = DecodeReply(*frame);
+  ASSERT_TRUE(reject.ok()) << reject.status().ToString();
+  EXPECT_EQ(reject->reject, "bad-request");
+  ::close(idle);
   server.Shutdown();
 }
 
